@@ -1,0 +1,576 @@
+// Package zkperf_bench regenerates the paper's tables and figures as Go
+// benchmarks — one per artifact — plus kernel microbenchmarks and the
+// ablation studies called out in DESIGN.md.
+//
+// The table/figure benchmarks run a shared experiment suite (quick sweep:
+// BN128, 2^10–2^12, all three CPU models). Run them with
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/zkbench for the full-size sweeps.
+package zkperf_bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"math/big"
+	"zkperf/internal/circuit"
+	"zkperf/internal/core"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+
+	"math/bits"
+
+	"zkperf/internal/plonk"
+	"zkperf/internal/poly"
+	"zkperf/internal/rns"
+	"zkperf/internal/witness"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *core.Suite
+)
+
+// benchSuite lazily builds one shared suite; the first bench that touches
+// a (curve, size) pays its profiling cost, the rest hit the cache.
+func benchSuite() *core.Suite {
+	suiteOnce.Do(func() { suite = core.NewSuite(core.QuickConfig()) })
+	return suite
+}
+
+// ---------- one benchmark per paper artifact ----------
+
+// BenchmarkExecTimeBreakdown regenerates the §IV-B execution-time shares
+// (paper: setup 76.1%, proving 13.4%).
+func BenchmarkExecTimeBreakdown(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExecTimeBreakdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4TopDown regenerates the top-down analysis of Fig. 4.
+func BenchmarkFig4TopDown(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4TopDown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5LoadsStores regenerates the loads/stores bands of Fig. 5.
+func BenchmarkFig5LoadsStores(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig5LoadsStores(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2MPKI regenerates the LLC MPKI table (Table II).
+func BenchmarkTable2MPKI(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2MPKI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Bandwidth regenerates the max-bandwidth table (Table III).
+func BenchmarkTable3Bandwidth(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table3Bandwidth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4HotFunctions regenerates the hot-function table (Table IV).
+func BenchmarkTable4HotFunctions(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table4HotFunctions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5OpcodeMix regenerates the opcode-mix table (Table V).
+func BenchmarkTable5OpcodeMix(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table5OpcodeMix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6StrongScaling regenerates the strong-scaling curves (Fig. 6).
+func BenchmarkFig6StrongScaling(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6StrongScaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7WeakScaling regenerates the weak-scaling curves (Fig. 7).
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7WeakScaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6SerialParallel regenerates the Amdahl/Gustafson fits
+// (Table VI).
+func BenchmarkTable6SerialParallel(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table6SerialParallel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- kernel microbenchmarks ----------
+
+func BenchmarkFieldMulBN254(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(1)
+	var x, y, z ff.Element
+	fr.Random(&x, rng)
+	fr.Random(&y, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Mul(&z, &x, &y)
+	}
+}
+
+func BenchmarkFieldMulBLS12381Fp(b *testing.B) {
+	fp := ff.NewBLS12381Fp()
+	rng := ff.NewRNG(1)
+	var x, y, z ff.Element
+	fp.Random(&x, rng)
+	fp.Random(&y, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp.Mul(&z, &x, &y)
+	}
+}
+
+func BenchmarkFieldInverse(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(1)
+	var x, z ff.Element
+	fr.RandomNonZero(&x, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Inverse(&z, &x)
+	}
+}
+
+func msmInput(c *curve.Curve, n int) ([]curve.G1Affine, []ff.Element) {
+	rng := ff.NewRNG(7)
+	points := make([]curve.G1Affine, n)
+	scalars := make([]ff.Element, n)
+	var g, p curve.G1Jac
+	c.G1FromAffine(&g, &c.G1Gen)
+	for i := range points {
+		var k ff.Element
+		c.Fr.Random(&k, rng)
+		c.G1ScalarMul(&p, &g, &k)
+		c.G1ToAffine(&points[i], &p)
+		c.Fr.Random(&scalars[i], rng)
+	}
+	return points, scalars
+}
+
+func BenchmarkMSM1024(b *testing.B) {
+	c := curve.NewBN254()
+	points, scalars := msmInput(c, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.G1MSM(points, scalars, 1)
+	}
+}
+
+func BenchmarkNTT4096(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	d, err := poly.NewDomain(fr, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := ff.NewRNG(3)
+	a := make([]ff.Element, d.N)
+	for i := range a {
+		fr.Random(&a[i], rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.NTT(a)
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	eng := groth16.NewEngine(curve.NewBN254())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Pair.Pair(&eng.Curve.G1Gen, &eng.Curve.G2Gen)
+	}
+}
+
+func BenchmarkGroth16Prove1024(b *testing.B) {
+	c := curve.NewBN254()
+	eng := groth16.NewEngine(c)
+	sys, prog, err := circuit.CompileSource(c.Fr, circuit.ExponentiateSource(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := ff.NewRNG(5)
+	pk, _, err := eng.Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var x ff.Element
+	c.Fr.SetUint64(&x, 3)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Prove(sys, pk, w, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile4096(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	src := circuit.ExponentiateSource(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := circuit.CompileSource(fr, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- ablation benchmarks (DESIGN.md §5) ----------
+
+// BenchmarkAblationMSM compares Pippenger against the naive per-point
+// double-and-add baseline.
+func BenchmarkAblationMSM(b *testing.B) {
+	c := curve.NewBN254()
+	points, scalars := msmInput(c, 256)
+	b.Run("pippenger", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = c.G1MSM(points, scalars, 1)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = c.G1MSMNaive(points, scalars)
+		}
+	})
+}
+
+// BenchmarkAblationPolyMul compares NTT-based against schoolbook
+// polynomial multiplication.
+func BenchmarkAblationPolyMul(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(9)
+	const n = 512
+	p := make([]ff.Element, n)
+	q := make([]ff.Element, n)
+	for i := range p {
+		fr.Random(&p[i], rng)
+		fr.Random(&q[i], rng)
+	}
+	b.Run("ntt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := poly.Mul(fr, p, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = poly.MulNaive(fr, p, q)
+		}
+	})
+}
+
+// BenchmarkAblationInverse compares batch inversion against per-element
+// inversion (the setup stage's Lagrange denominators).
+func BenchmarkAblationInverse(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(11)
+	const n = 1024
+	xs := make([]ff.Element, n)
+	for i := range xs {
+		fr.RandomNonZero(&xs[i], rng)
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tmp := make([]ff.Element, n)
+			copy(tmp, xs)
+			fr.BatchInverse(tmp)
+		}
+	})
+	b.Run("per-element", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var z ff.Element
+			for j := range xs {
+				fr.Inverse(&z, &xs[j])
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFixedBase compares the precomputed-table fixed-base
+// multiplication (setup's workhorse) against plain double-and-add.
+func BenchmarkAblationFixedBase(b *testing.B) {
+	c := curve.NewBN254()
+	tab := c.NewG1Table(&c.G1Gen)
+	rng := ff.NewRNG(13)
+	var k ff.Element
+	c.Fr.Random(&k, rng)
+	b.Run("table", func(b *testing.B) {
+		var z curve.G1Jac
+		for i := 0; i < b.N; i++ {
+			tab.Mul(&z, &k)
+		}
+	})
+	b.Run("double-and-add", func(b *testing.B) {
+		var g, z curve.G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		for i := 0; i < b.N; i++ {
+			c.G1ScalarMul(&z, &g, &k)
+		}
+	})
+}
+
+// BenchmarkAblationRuntimeOverhead measures the witness stage's profile
+// with and without the simulated node.js runtime — quantifying how much of
+// the paper's witness-stage behaviour is runtime startup rather than
+// constraint solving.
+func BenchmarkAblationRuntimeOverhead(b *testing.B) {
+	for _, withRuntime := range []bool{true, false} {
+		name := "with-runtime"
+		if !withRuntime {
+			name = "without-runtime"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.NewRunner()
+				r.IncludeRuntime = withRuntime
+				p, err := r.ProfileStage("BN128", 10, core.StageWitness)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(p.WallSeconds()*1000, "ms/stage")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMSMWindow sweeps the effective Pippenger window width
+// by varying the instance size around the heuristic's break points.
+func BenchmarkAblationMSMWindow(b *testing.B) {
+	c := curve.NewBN254()
+	for _, n := range []int{64, 512, 4096} {
+		points, scalars := msmInput(c, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = c.G1MSM(points, scalars, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkPlonkVsGroth16 reproduces the paper's §IV-A rationale for
+// choosing Groth16: "the proving time of PlonK is twice as slow compared
+// to Groth16". Both schemes prove the same exponentiation statement.
+func BenchmarkPlonkVsGroth16(b *testing.B) {
+	// e chosen so both schemes fill their power-of-two domains (2048):
+	// PLONK pads its wire polynomials to the domain size, so a padded
+	// instance would overstate its cost.
+	const e = 1500
+	c := curve.NewBN254()
+	fr := c.Fr
+
+	// Groth16 side.
+	g16 := groth16.NewEngine(c)
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := ff.NewRNG(21)
+	gpk, _, err := g16.Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 3)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// PLONK side: the same statement as a gate circuit.
+	pl := plonk.NewEngine(c)
+	circ, xv, _ := plonk.ExponentiateCircuit(fr, e)
+	ppk, _, err := pl.Setup(circ, ff.NewRNG(22))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw := circ.NewAssignment()
+	fr.SetUint64(&pw[xv], 3)
+	// Solve forward: w_{i+1} = w_i · x, y = w_last.
+	for i := 0; i < circ.NumGates(); i++ {
+		if fr.IsOne(&circ.QM[i]) {
+			fr.Mul(&pw[circ.C[i]], &pw[circ.A[i]], &pw[circ.B[i]])
+		}
+	}
+	var y ff.Element
+	yBig := new(big.Int).Exp(big.NewInt(3), big.NewInt(e), fr.Modulus())
+	fr.SetBigInt(&y, yBig)
+	pw[0] = y
+	public := []ff.Element{y}
+
+	b.Run("groth16-prove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g16.Prove(sys, gpk, w, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plonk-prove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Prove(ppk, pw, public); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCRT compares multiply-chain throughput in the
+// Montgomery representation against the residue-number-system (CRT)
+// representation the paper's Key Takeaway 3 proposes. The RNS lanes are
+// word-sized and independent (no carry chains), which is what a parallel
+// accelerator exploits; on a single core the comparison shows the per-lane
+// cost structure.
+func BenchmarkAblationCRT(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(31)
+	var x, y ff.Element
+	fr.Random(&x, rng)
+	fr.Random(&y, rng)
+	b.Run("montgomery-4limb", func(b *testing.B) {
+		var z ff.Element
+		fr.Set(&z, &x)
+		for i := 0; i < b.N; i++ {
+			fr.Mul(&z, &z, &y)
+		}
+	})
+	s, err := rns.NewSystem(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := s.FromBig(fr.BigInt(&x))
+	ry := s.FromBig(fr.BigInt(&y))
+	b.Run("rns-9lane", func(b *testing.B) {
+		z := append(rns.Residues(nil), rx...)
+		for i := 0; i < b.N; i++ {
+			s.Mul(z, z, ry)
+		}
+	})
+	b.Run("rns-single-lane", func(b *testing.B) {
+		// The latency an accelerator lane would see: one word-sized
+		// modular multiply.
+		z := append(rns.Residues(nil), rx[:1]...)
+		one := rns.Residues{ry[0]}
+		lane, _ := rns.NewSystem(2)
+		_ = lane
+		for i := 0; i < b.N; i++ {
+			s2 := s
+			_ = s2
+			z[0] = rnsMulModLane(z[0], one[0], s.Moduli[0])
+		}
+	})
+}
+
+// rnsMulModLane mirrors the per-lane cost of rns.Mul for the ablation.
+func rnsMulModLane(a, bb, m uint64) uint64 {
+	hi, lo := mulHiLo(a, bb)
+	_, rem := div64(hi%m, lo, m)
+	return rem
+}
+
+func mulHiLo(a, b uint64) (uint64, uint64)    { return bits.Mul64(a, b) }
+func div64(hi, lo, m uint64) (uint64, uint64) { return bits.Div64(hi, lo, m) }
+
+// BenchmarkAblationPointCompression measures the zkey-size/time trade-off
+// of compressed point serialization — the memory-footprint optimization
+// the paper's Key Takeaway 2 points to.
+func BenchmarkAblationPointCompression(b *testing.B) {
+	c := curve.NewBN254()
+	points, _ := msmInput(c, 2048)
+	b.Run("uncompressed-write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := c.WriteG1Slice(&buf, points); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		}
+	})
+	b.Run("compressed-write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := c.WriteG1SliceCompressed(&buf, points); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		}
+	})
+	var ubuf, cbuf bytes.Buffer
+	if err := c.WriteG1Slice(&ubuf, points); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WriteG1SliceCompressed(&cbuf, points); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncompressed-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadG1Slice(bytes.NewReader(ubuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compressed-read", func(b *testing.B) {
+		// Decompression pays one square root per point: the classic
+		// bandwidth-for-compute trade.
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReadG1SliceCompressed(bytes.NewReader(cbuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Command zkbench regenerates every table and figure of the paper's
+// evaluation section ("Performance Analysis of Zero-Knowledge Proofs",
+// IISWC 2024): the execution-time breakdown, the top-down
+// microarchitecture analysis (Fig. 4), the memory analysis (Fig. 5,
+// Tables II–III), the code analysis (Tables IV–V) and the scalability
+// analysis (Figs. 6–7, Table VI).
+//
+// Usage:
+//
+//	zkbench [-sweep quick|default|full] [-experiment all|exectime|fig4|
+//	        fig5|table2|table3|table4|table5|fig6|fig7|table6]
+//
+// The default sweep covers 2^10–2^15 constraints on both curves; "full"
+// runs the paper's complete 2^10–2^18 range (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zkperf/internal/core"
+	"zkperf/internal/report"
+)
+
+func main() {
+	sweep := flag.String("sweep", "default", "sweep size: quick, default or full")
+	exp := flag.String("experiment", "all", "which experiment to run")
+	flag.Parse()
+
+	var cfg core.Config
+	switch *sweep {
+	case "quick":
+		cfg = core.QuickConfig()
+	case "default":
+		cfg = core.DefaultConfig()
+	case "full":
+		cfg = core.FullConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "zkbench: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+
+	printTableI(cfg)
+	suite := core.NewSuite(cfg)
+	start := time.Now()
+	if err := run(suite, *exp); err != nil {
+		fmt.Fprintf(os.Stderr, "zkbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nTotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// printTableI renders the hardware configuration of the modeled testbed
+// (the paper's Table I).
+func printTableI(cfg core.Config) {
+	t := &report.Table{
+		Title:   "Table I — Modeled hardware configuration",
+		Headers: []string{"CPU", "#Cores(P)", "#Cores(E)", "#SMT", "DRAM", "Type", "#Ch", "Mem BW", "LLC", "nodejs"},
+	}
+	for _, c := range cfg.CPUs {
+		t.AddRow(c.Name,
+			fmt.Sprintf("%d", c.PerfCores), fmt.Sprintf("%d", c.EffCores),
+			fmt.Sprintf("%d", c.SMT), fmt.Sprintf("%d GB", c.DRAMGBytes), c.DRAMType,
+			fmt.Sprintf("%d", c.DRAMChans), fmt.Sprintf("%.1f GB/s", c.MemBWGBps),
+			fmt.Sprintf("%d MiB", c.LLC.SizeBytes>>20), c.NodeJS)
+	}
+	fmt.Println(t)
+}
+
+func run(s *core.Suite, exp string) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	printed := false
+	section := func(fn func() error) error {
+		printed = true
+		return fn()
+	}
+
+	if want("exectime") {
+		if err := section(func() error {
+			t, err := s.ExecTimeBreakdown()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		if err := section(func() error {
+			ts, err := s.Fig4TopDown()
+			if err != nil {
+				return err
+			}
+			for _, t := range ts {
+				fmt.Println(t)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		if err := section(func() error {
+			t, err := s.Fig5LoadsStores()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		if err := section(func() error {
+			t, err := s.Table2MPKI()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table3") {
+		if err := section(func() error {
+			t, err := s.Table3Bandwidth()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table4") {
+		if err := section(func() error {
+			t, err := s.Table4HotFunctions()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table5") {
+		if err := section(func() error {
+			t, err := s.Table5OpcodeMix()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := section(func() error {
+			cs, err := s.Fig6StrongScaling()
+			if err != nil {
+				return err
+			}
+			for _, c := range cs {
+				fmt.Println(c)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		if err := section(func() error {
+			c, err := s.Fig7WeakScaling()
+			if err != nil {
+				return err
+			}
+			fmt.Println(c)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table6") {
+		if err := section(func() error {
+			t, err := s.Table6SerialParallel()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !printed {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+// Command zkcli is a snarkjs-style command-line pipeline for the zk-SNARK
+// workflow of the paper's Figure 1. Each stage reads its predecessors'
+// artifacts from files and writes its own:
+//
+//	zkcli compile -circuit c.zkc -curve bn128 -r1cs c.r1cs -prog c.prog
+//	zkcli setup   -curve bn128 -r1cs c.r1cs -pk c.pk -vk c.vk
+//	zkcli witness -curve bn128 -r1cs c.r1cs -prog c.prog -input x=7 -wtns c.wtns
+//	zkcli prove   -curve bn128 -r1cs c.r1cs -pk c.pk -wtns c.wtns -proof c.proof
+//	zkcli verify  -curve bn128 -vk c.vk -wtns c.wtns -proof c.proof
+//
+// The -input flag may repeat; values are decimal or 0x-hex field elements.
+// `zkcli gen -e N -o c.zkc` emits the paper's exponentiation benchmark
+// circuit source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	start := time.Now()
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "compile":
+		err = cmdCompile(args)
+	case "setup":
+		err = cmdSetup(args)
+	case "witness":
+		err = cmdWitness(args)
+	case "prove":
+		err = cmdProve(args)
+	case "verify":
+		err = cmdVerify(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zkcli %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify> [flags]")
+	os.Exit(2)
+}
+
+// inputFlags collects repeated -input name=value pairs.
+type inputFlags []string
+
+func (f *inputFlags) String() string     { return strings.Join(*f, ",") }
+func (f *inputFlags) Set(s string) error { *f = append(*f, s); return nil }
+
+func getCurve(name string) (*curve.Curve, error) {
+	c := curve.NewCurve(name)
+	if c == nil {
+		return nil, fmt.Errorf("unknown curve %q (use bn128 or bls12-381)", name)
+	}
+	return c, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	e := fs.Int("e", 1024, "exponent (number of constraints)")
+	out := fs.String("o", "circuit.zkc", "output circuit source file")
+	fs.Parse(args)
+	return os.WriteFile(*out, []byte(circuit.ExponentiateSource(*e)), 0o644)
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	circuitPath := fs.String("circuit", "", "circuit source file (.zkc)")
+	curveName := fs.String("curve", "bn128", "curve: bn128 or bls12-381")
+	r1csPath := fs.String("r1cs", "circuit.r1cs", "output constraint system")
+	progPath := fs.String("prog", "circuit.prog", "output solver program")
+	fs.Parse(args)
+	if *circuitPath == "" {
+		return fmt.Errorf("-circuit is required")
+	}
+	c, err := getCurve(*curveName)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*circuitPath)
+	if err != nil {
+		return err
+	}
+	sys, prog, err := circuit.CompileSource(c.Fr, string(src))
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Printf("compiled: %d constraints, %d variables (%d public, %d private)\n",
+		st.Constraints, st.Variables, st.Public, st.Private)
+	if err := writeFile(*r1csPath, func(f *os.File) error {
+		_, err := sys.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	return writeFile(*progPath, func(f *os.File) error {
+		return witness.WriteProgram(f, c.Fr, prog)
+	})
+}
+
+func cmdSetup(args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ExitOnError)
+	curveName := fs.String("curve", "bn128", "curve")
+	r1csPath := fs.String("r1cs", "circuit.r1cs", "constraint system")
+	pkPath := fs.String("pk", "circuit.pk", "output proving key")
+	vkPath := fs.String("vk", "circuit.vk", "output verification key")
+	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "toxic-waste RNG seed")
+	threads := fs.Int("threads", 1, "worker threads")
+	fs.Parse(args)
+	c, err := getCurve(*curveName)
+	if err != nil {
+		return err
+	}
+	sys, err := readSystem(*r1csPath, c)
+	if err != nil {
+		return err
+	}
+	eng := groth16.NewEngine(c)
+	eng.Threads = *threads
+	pk, vk, err := eng.Setup(sys, ff.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*pkPath, func(f *os.File) error { return pk.Serialize(f, c) }); err != nil {
+		return err
+	}
+	return writeFile(*vkPath, func(f *os.File) error { return vk.Serialize(f, c) })
+}
+
+func cmdWitness(args []string) error {
+	fs := flag.NewFlagSet("witness", flag.ExitOnError)
+	curveName := fs.String("curve", "bn128", "curve")
+	r1csPath := fs.String("r1cs", "circuit.r1cs", "constraint system")
+	progPath := fs.String("prog", "circuit.prog", "solver program")
+	wtnsPath := fs.String("wtns", "circuit.wtns", "output witness")
+	var inputs inputFlags
+	fs.Var(&inputs, "input", "input assignment name=value (repeatable)")
+	fs.Parse(args)
+	c, err := getCurve(*curveName)
+	if err != nil {
+		return err
+	}
+	sys, err := readSystem(*r1csPath, c)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(*progPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	prog, err := witness.ReadProgram(pf, c.Fr)
+	if err != nil {
+		return err
+	}
+	assign := witness.Assignment{}
+	for _, in := range inputs {
+		name, val, ok := strings.Cut(in, "=")
+		if !ok {
+			return fmt.Errorf("malformed -input %q (want name=value)", in)
+		}
+		var e ff.Element
+		if _, err := c.Fr.SetString(&e, val); err != nil {
+			return err
+		}
+		assign[name] = e
+	}
+	w, err := witness.Solve(sys, prog, assign)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("witness: %d wires solved, %d public values\n", len(w.Full), len(w.Public))
+	return writeFile(*wtnsPath, func(f *os.File) error {
+		return groth16.WriteWitness(f, c.Fr, w)
+	})
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	curveName := fs.String("curve", "bn128", "curve")
+	r1csPath := fs.String("r1cs", "circuit.r1cs", "constraint system")
+	pkPath := fs.String("pk", "circuit.pk", "proving key")
+	wtnsPath := fs.String("wtns", "circuit.wtns", "witness")
+	proofPath := fs.String("proof", "circuit.proof", "output proof")
+	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "blinding RNG seed")
+	threads := fs.Int("threads", 1, "worker threads")
+	fs.Parse(args)
+	c, err := getCurve(*curveName)
+	if err != nil {
+		return err
+	}
+	sys, err := readSystem(*r1csPath, c)
+	if err != nil {
+		return err
+	}
+	var pk groth16.ProvingKey
+	pf, err := os.Open(*pkPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := pk.Deserialize(pf, c); err != nil {
+		return err
+	}
+	wf, err := os.Open(*wtnsPath)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	w, err := groth16.ReadWitness(wf, c.Fr)
+	if err != nil {
+		return err
+	}
+	eng := groth16.NewEngine(c)
+	eng.Threads = *threads
+	proof, err := eng.Prove(sys, &pk, w, ff.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	return writeFile(*proofPath, func(f *os.File) error { return proof.Serialize(f, c) })
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	curveName := fs.String("curve", "bn128", "curve")
+	vkPath := fs.String("vk", "circuit.vk", "verification key")
+	wtnsPath := fs.String("wtns", "circuit.wtns", "witness (public part is used)")
+	proofPath := fs.String("proof", "circuit.proof", "proof")
+	fs.Parse(args)
+	c, err := getCurve(*curveName)
+	if err != nil {
+		return err
+	}
+	var vk groth16.VerifyingKey
+	vf, err := os.Open(*vkPath)
+	if err != nil {
+		return err
+	}
+	defer vf.Close()
+	if err := vk.Deserialize(vf, c); err != nil {
+		return err
+	}
+	wf, err := os.Open(*wtnsPath)
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	w, err := groth16.ReadWitness(wf, c.Fr)
+	if err != nil {
+		return err
+	}
+	var proof groth16.Proof
+	pf, err := os.Open(*proofPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := proof.Deserialize(pf, c); err != nil {
+		return err
+	}
+	eng := groth16.NewEngine(c)
+	if err := eng.Verify(&vk, &proof, w.Public); err != nil {
+		return err
+	}
+	fmt.Println("OK: proof is valid")
+	return nil
+}
+
+func readSystem(path string, c *curve.Curve) (*r1cs.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys := r1cs.NewSystem(c.Fr)
+	if _, err := sys.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

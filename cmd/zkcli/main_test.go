@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPipelineEndToEnd drives the full file-based workflow through the
+// command implementations: gen → compile → setup → witness → prove →
+// verify, matching how the paper drives circom/snarkjs from the shell.
+func TestPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+
+	if err := cmdGen([]string{"-e", "32", "-o", p("c.zkc")}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdCompile([]string{"-circuit", p("c.zkc"), "-r1cs", p("c.r1cs"), "-prog", p("c.prog")}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := cmdSetup([]string{"-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-vk", p("c.vk"), "-seed", "1"}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := cmdWitness([]string{"-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-input", "x=7", "-wtns", p("c.wtns")}); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	if err := cmdProve([]string{"-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-wtns", p("c.wtns"), "-proof", p("c.proof"), "-seed", "2"}); err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := cmdVerify([]string{"-vk", p("c.vk"), "-wtns", p("c.wtns"), "-proof", p("c.proof")}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Proof artifact should be succinct.
+	fi, err := os.Stat(p("c.proof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 512 {
+		t.Errorf("proof file is %d bytes, expected a few hundred", fi.Size())
+	}
+}
+
+func TestPipelineBLS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLS pipeline is slow")
+	}
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+	args := func(extra ...string) []string { return append(extra, "-curve", "bls12-381") }
+
+	if err := cmdGen([]string{"-e", "16", "-o", p("c.zkc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompile(args("-circuit", p("c.zkc"), "-r1cs", p("c.r1cs"), "-prog", p("c.prog"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSetup(args("-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-vk", p("c.vk"), "-seed", "3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWitness(args("-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-input", "x=2", "-wtns", p("c.wtns"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProve(args("-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-wtns", p("c.wtns"), "-proof", p("c.proof"), "-seed", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify(args("-vk", p("c.vk"), "-wtns", p("c.wtns"), "-proof", p("c.proof"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+	if err := cmdGen([]string{"-e", "8", "-o", p("c.zkc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompile([]string{"-circuit", p("c.zkc"), "-r1cs", p("c.r1cs"), "-prog", p("c.prog")}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing input.
+	if err := cmdWitness([]string{"-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-wtns", p("c.wtns")}); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Malformed input syntax.
+	if err := cmdWitness([]string{"-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-input", "x:7", "-wtns", p("c.wtns")}); err == nil {
+		t.Error("malformed -input accepted")
+	}
+	// Unparseable value.
+	if err := cmdWitness([]string{"-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-input", "x=banana", "-wtns", p("c.wtns")}); err == nil {
+		t.Error("garbage value accepted")
+	}
+}
+
+func TestVerifyRejectsWrongArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+	// Build two separate pipelines and cross-verify.
+	build := func(prefix, x string, seed string) {
+		if err := cmdGen([]string{"-e", "16", "-o", p(prefix + ".zkc")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdCompile([]string{"-circuit", p(prefix + ".zkc"), "-r1cs", p(prefix + ".r1cs"), "-prog", p(prefix + ".prog")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdSetup([]string{"-r1cs", p(prefix + ".r1cs"), "-pk", p(prefix + ".pk"), "-vk", p(prefix + ".vk"), "-seed", seed}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdWitness([]string{"-r1cs", p(prefix + ".r1cs"), "-prog", p(prefix + ".prog"), "-input", "x=" + x, "-wtns", p(prefix + ".wtns")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdProve([]string{"-r1cs", p(prefix + ".r1cs"), "-pk", p(prefix + ".pk"), "-wtns", p(prefix + ".wtns"), "-proof", p(prefix + ".proof"), "-seed", "9"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	build("a", "7", "1")
+	build("b", "5", "2")
+	// Proof from pipeline a against witness of pipeline b must fail.
+	if err := cmdVerify([]string{"-vk", p("a.vk"), "-wtns", p("b.wtns"), "-proof", p("a.proof")}); err == nil {
+		t.Error("cross-witness verification succeeded")
+	}
+	// Proof under the wrong key must fail.
+	if err := cmdVerify([]string{"-vk", p("b.vk"), "-wtns", p("a.wtns"), "-proof", p("a.proof")}); err == nil {
+		t.Error("wrong-key verification succeeded")
+	}
+}
+
+func TestUnknownCurve(t *testing.T) {
+	if _, err := getCurve("p256"); err == nil {
+		t.Error("unknown curve accepted")
+	}
+}

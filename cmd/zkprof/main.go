@@ -1,0 +1,112 @@
+// Command zkprof profiles a single zk-SNARK stage with one of the paper's
+// four analyses, on one modeled CPU:
+//
+//	zkprof -stage proving -analysis topdown -cpu i9-13900K -curve BN128 -logn 12
+//
+// Analyses: topdown, memory, code, opcode, scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zkperf/internal/core"
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/report"
+)
+
+func main() {
+	stage := flag.String("stage", "proving", "stage: compile|setup|witness|proving|verifying")
+	analysis := flag.String("analysis", "topdown", "analysis: topdown|memory|code|opcode|scaling")
+	cpuName := flag.String("cpu", "i9-13900K", "CPU model: i7-8650U|i5-11400|i9-13900K")
+	curveName := flag.String("curve", "BN128", "curve: BN128|BLS12-381")
+	logN := flag.Int("logn", 12, "log2 of the constraint count")
+	flag.Parse()
+
+	if err := run(*stage, *analysis, *cpuName, *curveName, *logN); err != nil {
+		fmt.Fprintf(os.Stderr, "zkprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(stageName, analysis, cpuName, curveName string, logN int) error {
+	var stage core.Stage
+	for _, s := range core.Stages {
+		if string(s) == stageName {
+			stage = s
+		}
+	}
+	if stage == "" {
+		return fmt.Errorf("unknown stage %q", stageName)
+	}
+	cpu := cpumodel.ByName(cpuName)
+	if cpu == nil {
+		return fmt.Errorf("unknown CPU %q", cpuName)
+	}
+
+	runner := core.NewRunner()
+	fmt.Fprintf(os.Stderr, "profiling %s stage (%s, 2^%d constraints)...\n", stage, curveName, logN)
+	p, err := runner.ProfileStage(curveName, logN, stage)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stage %s: wall time %.1f ms, %d modeled instructions\n\n",
+		stage, p.WallSeconds()*1000, p.Mix.Total())
+
+	switch analysis {
+	case "topdown":
+		cr := core.SimulateCaches(p, cpu)
+		b := core.TopDown(p, cpu, cr)
+		t := &report.Table{
+			Title:   fmt.Sprintf("Top-down breakdown on %s", cpu.Name),
+			Headers: []string{"FrontEnd%", "BadSpec%", "BackEnd%", "(mem%)", "(core%)", "Retiring%", "Dominant"},
+		}
+		t.AddRow(report.F1(b.FrontEnd), report.F1(b.BadSpec), report.F1(b.BackEnd),
+			report.F1(b.BackEndMemory), report.F1(b.BackEndCore), report.F1(b.Retiring), b.Dominant())
+		fmt.Println(t)
+	case "memory":
+		cr := core.SimulateCaches(p, cpu)
+		m := core.Memory(p, cpu, cr)
+		t := &report.Table{
+			Title:   fmt.Sprintf("Memory analysis on %s", cpu.Name),
+			Headers: []string{"Loads", "Stores", "LLC MPKI", "Max BW (GBps)"},
+		}
+		t.AddRow(report.SI(m.Loads), report.SI(m.Stores), report.F(m.MPKI), report.F(m.MaxBWGBps))
+		fmt.Println(t)
+	case "code":
+		t := &report.Table{
+			Title:   "Function-level profile",
+			Headers: []string{"Function", "CPU time %"},
+		}
+		for _, f := range core.HotFunctions(p) {
+			t.AddRow(f.Name, report.F1(f.Percent))
+		}
+		fmt.Println(t)
+	case "opcode":
+		c, ctl, d := core.OpcodeMix(p)
+		t := &report.Table{
+			Title:   "Instruction-level opcode mix",
+			Headers: []string{"Compute%", "Control%", "Data%", "Category"},
+		}
+		t.AddRow(report.F(c), report.F(ctl), report.F(d), core.OpcodeDominant(p))
+		fmt.Println(t)
+	case "scaling":
+		threads := []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32}
+		sp := core.StrongScaling(p, cpu, threads)
+		ch := &report.Chart{
+			Title:  fmt.Sprintf("Strong scaling of %s on %s", stage, cpu.Name),
+			XLabel: "threads",
+		}
+		for _, n := range threads {
+			ch.XTicks = append(ch.XTicks, fmt.Sprintf("%d", n))
+		}
+		ch.Series = append(ch.Series, report.Series{Name: string(stage), Values: sp})
+		fmt.Println(ch)
+		fit := core.FitStrong(threads, sp)
+		fmt.Printf("Amdahl fit: %.1f%% serial / %.1f%% parallel\n", fit.SerialPct, fit.ParallelPct)
+	default:
+		return fmt.Errorf("unknown analysis %q", analysis)
+	}
+	return nil
+}

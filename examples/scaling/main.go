@@ -1,0 +1,55 @@
+// Scaling: a miniature of the paper's scalability analysis. It profiles
+// the proving stage once, then replays its measured fork-join structure on
+// the simulated i9-13900K at 1–32 threads, prints the Fig. 6-style curve,
+// and extracts the serial/parallel split with an Amdahl fit (Table VI).
+//
+// Run with: go run ./examples/scaling [-logn 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"zkperf/internal/core"
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/report"
+)
+
+func main() {
+	logN := flag.Int("logn", 12, "log2 of the constraint count")
+	flag.Parse()
+
+	runner := core.NewRunner()
+	fmt.Printf("profiling the five stages at 2^%d constraints (BN128)...\n", *logN)
+	profiles, err := runner.ProfileAllStages("BN128", *logN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cpu := cpumodel.NewI9_13900K()
+	threads := []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32}
+
+	ch := &report.Chart{
+		Title:  fmt.Sprintf("Strong scaling on the simulated %s", cpu.Name),
+		XLabel: "threads",
+	}
+	for _, n := range threads {
+		ch.XTicks = append(ch.XTicks, fmt.Sprintf("%d", n))
+	}
+
+	t := &report.Table{
+		Title:   "Amdahl fit per stage (cf. the paper's Table VI)",
+		Headers: []string{"Stage", "Speedup@32", "Serial%", "Parallel%"},
+	}
+	for _, st := range core.Stages {
+		sp := core.StrongScaling(profiles[st], cpu, threads)
+		ch.Series = append(ch.Series, report.Series{Name: string(st), Values: sp})
+		fit := core.FitStrong(threads, sp)
+		t.AddRow(string(st), report.F(sp[len(sp)-1]), report.F1(fit.SerialPct), report.F1(fit.ParallelPct))
+	}
+	fmt.Println(ch)
+	fmt.Println(t)
+	fmt.Println("The proving stage scales furthest (MSM windows parallelize);")
+	fmt.Println("witness and verifying saturate almost immediately — the paper's Key Takeaway 5.")
+}

@@ -1,0 +1,3 @@
+module zkperf
+
+go 1.22

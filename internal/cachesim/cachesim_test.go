@@ -1,0 +1,176 @@
+package cachesim
+
+import (
+	"testing"
+
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/trace"
+)
+
+func newSim() *Sim { return New(cpumodel.NewI7_8650U()) }
+
+func TestSequentialScanMissRate(t *testing.T) {
+	s := newSim()
+	// One pass over 4 MiB (exceeds L1/L2, fits LLC): with 64-byte lines
+	// and 64-byte elements, every element is a new line → every access is
+	// an L1 miss, landing in LLC fills on a cold hierarchy.
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "a",
+		RegionBytes: 4 << 20, ElemSize: 64, Touches: 65536})
+	if s.Loads != 65536 {
+		t.Fatalf("loads = %d, want 65536", s.Loads)
+	}
+	if s.LLCLoadMiss < 60000 {
+		t.Errorf("cold sequential scan should miss everywhere: %d", s.LLCLoadMiss)
+	}
+	// A second pass over the same region now hits in LLC.
+	before := s.LLCLoadMiss
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "a",
+		RegionBytes: 4 << 20, ElemSize: 64, Touches: 65536})
+	if delta := s.LLCLoadMiss - before; delta > 1000 {
+		t.Errorf("warm rescan of LLC-resident region missed %d times", delta)
+	}
+}
+
+func TestSmallRegionStaysInL1(t *testing.T) {
+	s := newSim()
+	// 16 KiB fits the 32 KiB L1D: after the cold pass, repeated passes hit.
+	for pass := 0; pass < 4; pass++ {
+		s.Replay(trace.Access{Kind: trace.Sequential, Region: "hot",
+			RegionBytes: 16 << 10, ElemSize: 64, Touches: 256})
+	}
+	// Cold pass misses ≤ 256 lines; later passes hit in L1.
+	if s.L1.Misses > 300 {
+		t.Errorf("L1 misses = %d for an L1-resident region", s.L1.Misses)
+	}
+}
+
+func TestWriteCountsAsStore(t *testing.T) {
+	s := newSim()
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "w",
+		RegionBytes: 1 << 16, ElemSize: 64, Touches: 1024, Write: true})
+	if s.Stores != 1024 || s.Loads != 0 {
+		t.Errorf("stores=%d loads=%d, want 1024/0", s.Stores, s.Loads)
+	}
+	if s.LLCStoreMiss == 0 {
+		t.Error("cold stores should miss")
+	}
+}
+
+func TestSamplingScalesCounts(t *testing.T) {
+	// A pattern above the replay cap must still report the full touch
+	// count (scaled), and the miss rate must stay plausible.
+	s := newSim()
+	touches := int64(maxReplayTouches) * 8
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "big",
+		RegionBytes: 256 << 20, ElemSize: 64, Touches: touches})
+	if s.Loads < touches*9/10 || s.Loads > touches*11/10 {
+		t.Errorf("scaled loads = %d, want ≈%d", s.Loads, touches)
+	}
+	// A streaming scan over 256 MiB misses nearly always.
+	if float64(s.LLCLoadMiss) < 0.8*float64(touches) {
+		t.Errorf("streaming misses = %d of %d touches", s.LLCLoadMiss, touches)
+	}
+}
+
+func TestRandomFitsInLLC(t *testing.T) {
+	s := New(cpumodel.NewI9_13900K()) // 36 MiB LLC
+	// Random touches within 4 MiB: after warmup, LLC should absorb almost
+	// everything beyond the cold fills.
+	s.Replay(trace.Access{Kind: trace.Random, Region: "r",
+		RegionBytes: 4 << 20, ElemSize: 64, Touches: 1 << 17})
+	missRate := float64(s.LLCLoadMiss) / float64(s.Loads)
+	if missRate > 0.6 {
+		t.Errorf("random-in-LLC miss rate = %v, too high", missRate)
+	}
+}
+
+func TestRandomExceedsLLC(t *testing.T) {
+	s := newSim() // 8 MiB LLC
+	s.Replay(trace.Access{Kind: trace.Random, Region: "huge",
+		RegionBytes: 128 << 20, ElemSize: 64, Touches: 1 << 17})
+	missRate := float64(s.LLCLoadMiss) / float64(s.Loads)
+	if missRate < 0.5 {
+		t.Errorf("random-over-LLC miss rate = %v, too low", missRate)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	s := newSim()
+	s.LLCLoadMiss = 500
+	if got := s.MPKI(1_000_000); got != 0.5 {
+		t.Errorf("MPKI = %v, want 0.5", got)
+	}
+	if got := s.MPKI(0); got != 0 {
+		t.Errorf("MPKI(0 instrs) = %v, want 0", got)
+	}
+}
+
+func TestAvgMemLatency(t *testing.T) {
+	s := newSim()
+	// No accesses: L1 latency.
+	if got := s.AvgMemLatency(); got != float64(s.CPU.L1D.LatencyCyc) {
+		t.Errorf("empty AvgMemLatency = %v", got)
+	}
+	// All-miss workload has latency far above L1.
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "m",
+		RegionBytes: 64 << 20, ElemSize: 64, Touches: 1 << 17})
+	if got := s.AvgMemLatency(); got < 20 {
+		t.Errorf("streaming AvgMemLatency = %v cycles, too low", got)
+	}
+}
+
+func TestRegionsAreDisjoint(t *testing.T) {
+	s := newSim()
+	// Writing region A then scanning region B must not hit A's lines.
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "A",
+		RegionBytes: 1 << 20, ElemSize: 64, Touches: 16384, Write: true})
+	missesBefore := s.LLC.Misses
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "B",
+		RegionBytes: 1 << 20, ElemSize: 64, Touches: 16384})
+	delta := s.LLC.Misses - missesBefore
+	if delta < 15000 {
+		t.Errorf("region B reused region A's lines: only %d new misses", delta)
+	}
+}
+
+func TestDRAMBytesTracksMisses(t *testing.T) {
+	s := newSim()
+	s.Replay(trace.Access{Kind: trace.Sequential, Region: "d",
+		RegionBytes: 8 << 20, ElemSize: 64, Touches: 1 << 17})
+	wantBytes := (s.LLCLoadMiss + s.LLCStoreMiss) * int64(s.CPU.LLC.LineSize)
+	if s.DRAMBytes != wantBytes {
+		t.Errorf("DRAMBytes = %d, want %d", s.DRAMBytes, wantBytes)
+	}
+}
+
+func TestZeroTouchesNoOp(t *testing.T) {
+	s := newSim()
+	s.Replay(trace.Access{Kind: trace.Random, Region: "z", RegionBytes: 1 << 20})
+	if s.Loads != 0 && s.Stores != 0 {
+		t.Error("zero-touch pattern changed counters")
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	s := newSim()
+	// 4 KiB stride over 16 MiB: every touch is a distinct page/line.
+	s.Replay(trace.Access{Kind: trace.Strided, Region: "s",
+		RegionBytes: 16 << 20, ElemSize: 8, Stride: 4096, Touches: 4096})
+	if s.Loads != 4096 {
+		t.Errorf("strided loads = %d", s.Loads)
+	}
+	if s.L1.Misses < 3500 {
+		t.Errorf("page-stride walk should miss L1 almost always: %d", s.L1.Misses)
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	s := newSim()
+	s.ReplayAll([]trace.Access{
+		{Kind: trace.Sequential, Region: "x", RegionBytes: 1 << 16, ElemSize: 64, Touches: 1024},
+		{Kind: trace.Random, Region: "y", RegionBytes: 1 << 16, ElemSize: 64, Touches: 1024, Write: true},
+	})
+	if s.Loads != 1024 || s.Stores != 1024 {
+		t.Errorf("ReplayAll loads=%d stores=%d", s.Loads, s.Stores)
+	}
+}

@@ -1,0 +1,354 @@
+package circuit
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/witness"
+)
+
+func fr() *ff.Field { return ff.NewBN254Fr() }
+
+func TestExponentiateCompileAndSolve(t *testing.T) {
+	f := fr()
+	for _, e := range []int{1, 2, 3, 8, 100} {
+		src := ExponentiateSource(e)
+		sys, prog, err := CompileSource(f, src)
+		if err != nil {
+			t.Fatalf("e=%d: compile: %v", e, err)
+		}
+		if got := sys.NumConstraints(); got != e {
+			t.Errorf("e=%d: %d constraints, want %d", e, got, e)
+		}
+		var x ff.Element
+		f.SetUint64(&x, 3)
+		w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+		if err != nil {
+			t.Fatalf("e=%d: solve: %v", e, err)
+		}
+		// y should be 3^e.
+		want := new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(e)), f.Modulus())
+		got := f.BigInt(&w.Public[1])
+		if got.Cmp(want) != 0 {
+			t.Errorf("e=%d: y = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestWitnessPublicLayout(t *testing.T) {
+	f := fr()
+	sys, prog, err := CompileSource(f, ExponentiateSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	f.SetUint64(&x, 2)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Public) != 1+sys.NumPublic {
+		t.Errorf("public witness length %d, want %d", len(w.Public), 1+sys.NumPublic)
+	}
+	if !f.IsOne(&w.Full[0]) {
+		t.Error("witness[0] must be the constant 1")
+	}
+	if len(w.Full) != sys.NumVariables() {
+		t.Errorf("full witness length %d, want %d", len(w.Full), sys.NumVariables())
+	}
+}
+
+func TestWitnessMissingInput(t *testing.T) {
+	f := fr()
+	sys, prog, _ := CompileSource(f, ExponentiateSource(4))
+	if _, err := witness.Solve(sys, prog, witness.Assignment{}); err == nil {
+		t.Error("Solve should fail with a missing input")
+	}
+}
+
+func TestMulChain(t *testing.T) {
+	f := fr()
+	sys, prog, err := CompileSource(f, MulChainSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b ff.Element
+	f.SetUint64(&a, 7)
+	f.SetUint64(&b, 2)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop range is [1,5): 4 iterations, so z = a·b⁵ = 7·32 = 224.
+	var want ff.Element
+	f.SetUint64(&want, 224)
+	if !f.Equal(&w.Public[1], &want) {
+		t.Errorf("z = %s, want 224", f.String(&w.Public[1]))
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	f := fr()
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"no circuit kw", "foo Bar {}"},
+		{"unterminated", "circuit C { var x = 1;"},
+		{"bad char", "circuit C { var x = 1 @ 2; }"},
+		{"undeclared", "circuit C { public output y; y <== z; }"},
+		{"redeclared", "circuit C { private input x; private input x; y <== x; }"},
+		{"decl after logic", "circuit C { var w = 1; private input x; }"},
+		{"unbound output", "circuit C { public output y; private input x; var w = x; }"},
+		{"double bind", "circuit C { public output y; private input x; y <== x; y <== x; }"},
+		{"assign to input", "circuit C { private input x; public output y; x = 3; y <== x; }"},
+		{"bind non-output", "circuit C { private input x; public output y; x <== 3; y <== x; }"},
+		{"non-const loop bound", "circuit C { private input x; public output y; for i in 1..x { } y <== x; }"},
+	}
+	for _, tc := range cases {
+		if _, _, err := CompileSource(f, tc.src); err == nil {
+			t.Errorf("%s: expected compile error, got none", tc.name)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	f := fr()
+	src := `// header comment
+circuit C {
+    private input x; // trailing comment
+    public output y;
+    // a full-line comment
+    y <== x * x;
+}`
+	sys, _, err := CompileSource(f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumConstraints() != 2 {
+		t.Errorf("constraints = %d, want 2", sys.NumConstraints())
+	}
+}
+
+func TestLoopSemantics(t *testing.T) {
+	f := fr()
+	// Loop bounds are [lo, hi): for i in 0..3 runs 3 times; the loop var is
+	// usable as a constant.
+	src := `circuit C {
+    private input x;
+    public output y;
+    var acc = 0;
+    for i in 0..3 {
+        acc = acc + i * x;
+    }
+    y <== acc;
+}`
+	sys, prog, err := CompileSource(f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	f.SetUint64(&x, 10)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// acc = (0+1+2)·x = 30
+	var want ff.Element
+	f.SetUint64(&want, 30)
+	if !f.Equal(&w.Public[1], &want) {
+		t.Errorf("y = %s, want 30", f.String(&w.Public[1]))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	f := fr()
+	src := `circuit C {
+    private input x;
+    public output y;
+    var acc = x;
+    for i in 0..3 {
+        for j in 0..4 {
+            acc = acc * x;
+        }
+    }
+    y <== acc;
+}`
+	sys, prog, err := CompileSource(f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumConstraints() != 13 { // 12 muls + output bind
+		t.Errorf("constraints = %d, want 13", sys.NumConstraints())
+	}
+	var x ff.Element
+	f.SetUint64(&x, 2)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(big.NewInt(2), big.NewInt(13), f.Modulus())
+	if f.BigInt(&w.Public[1]).Cmp(want) != 0 {
+		t.Errorf("y = %s, want 2^13", f.String(&w.Public[1]))
+	}
+}
+
+func TestAssertStatement(t *testing.T) {
+	f := fr()
+	src := `circuit C {
+    private input x;
+    public output y;
+    assert x * x == 9;
+    y <== x;
+}`
+	sys, prog, err := CompileSource(f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var three, four ff.Element
+	f.SetUint64(&three, 3)
+	f.SetUint64(&four, 4)
+	if _, err := witness.Solve(sys, prog, witness.Assignment{"x": three}); err != nil {
+		t.Errorf("x=3 should satisfy assert: %v", err)
+	}
+	if _, err := witness.Solve(sys, prog, witness.Assignment{"x": four}); err == nil {
+		t.Error("x=4 should violate assert")
+	}
+}
+
+func TestBuilderConstantFold(t *testing.T) {
+	f := fr()
+	b := NewBuilder(f)
+	x := b.PrivateInput("x")
+	// Multiplying by constants must not create gates.
+	c2 := b.ConstantUint64(2)
+	c3 := b.ConstantUint64(3)
+	_ = b.Mul(c2, c3)
+	_ = b.Mul(x, c2)
+	if b.NumGates() != 0 {
+		t.Errorf("constant multiplications created %d gates", b.NumGates())
+	}
+	_ = b.Mul(x, x)
+	if b.NumGates() != 1 {
+		t.Errorf("gate count = %d, want 1", b.NumGates())
+	}
+}
+
+func TestBuilderInverse(t *testing.T) {
+	f := fr()
+	b := NewBuilder(f)
+	y := b.PublicOutput("y")
+	x := b.PrivateInput("x")
+	inv := b.Inverse(x)
+	if err := b.BindOutput(y, inv); err != nil {
+		t.Fatal(err)
+	}
+	sys, prog := b.Compile()
+	var five ff.Element
+	f.SetUint64(&five, 5)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": five})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prod ff.Element
+	f.Mul(&prod, &w.Public[1], &five)
+	if !f.IsOne(&prod) {
+		t.Error("inverse gate produced a non-inverse")
+	}
+	// Inverting zero must fail at solve time.
+	var zero ff.Element
+	if _, err := witness.Solve(sys, prog, witness.Assignment{"x": zero}); err == nil {
+		t.Error("inverting zero should fail")
+	}
+}
+
+func TestMiMCHashCircuit(t *testing.T) {
+	f := fr()
+	const rounds = 11
+	sys, prog, err := MiMCHashCircuit(f, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumConstraints() != 4*rounds+1 {
+		t.Errorf("constraints = %d, want %d", sys.NumConstraints(), 4*rounds+1)
+	}
+	rng := ff.NewRNG(8)
+	var m ff.Element
+	f.Random(&m, rng)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"m": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MiMCHash(f, rounds, &m)
+	if !f.Equal(&w.Public[1], &want) {
+		t.Error("circuit MiMC disagrees with reference implementation")
+	}
+}
+
+func TestMerkleCircuit(t *testing.T) {
+	f := fr()
+	const depth, rounds = 5, 11
+	sys, prog, err := MerkleCircuit(f, depth, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, root := MerkleAssignment(f, depth, rounds, 42)
+	w, err := witness.Solve(sys, prog, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(&w.Public[1], &root) {
+		t.Error("circuit root disagrees with reference Merkle computation")
+	}
+	// Corrupt one sibling: the root must change (proof of path binding).
+	var bad ff.Element
+	f.SetUint64(&bad, 123456)
+	assign["sib2"] = bad
+	w2, err := witness.Solve(sys, prog, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Equal(&w2.Public[1], &root) {
+		t.Error("corrupted path still produced the same root")
+	}
+}
+
+func TestRangeCheckCircuit(t *testing.T) {
+	f := fr()
+	const bits = 16
+	sys, prog, err := RangeCheckCircuit(f, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v, slack, max ff.Element
+	f.SetUint64(&v, 1000)
+	f.SetUint64(&slack, 24)
+	f.SetUint64(&max, 1024)
+	if _, err := witness.Solve(sys, prog, witness.Assignment{"v": v, "slack": slack, "max": max}); err != nil {
+		t.Errorf("valid range assignment rejected: %v", err)
+	}
+	// v > max: slack would need to be negative (wraps to a huge value that
+	// fails its own range check).
+	f.SetUint64(&v, 2000)
+	var negSlack ff.Element
+	f.SetUint64(&negSlack, 976)
+	f.Neg(&negSlack, &negSlack)
+	if _, err := witness.Solve(sys, prog, witness.Assignment{"v": v, "slack": negSlack, "max": max}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestExponentiateSourceShape(t *testing.T) {
+	src := ExponentiateSource(16)
+	if !strings.Contains(src, "circuit Exponentiate") {
+		t.Error("missing circuit header")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExponentiateSource(0) should panic")
+		}
+	}()
+	ExponentiateSource(0)
+}

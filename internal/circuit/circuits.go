@@ -1,0 +1,207 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// This file provides the benchmark circuits used throughout the analysis
+// framework and examples. ExponentiateSource generates the paper's
+// workload; the builder-based constructors provide realistic application
+// circuits (hashing, Merkle membership, range checks).
+
+// ExponentiateSource returns circuit-language source for y = x^e — the
+// paper's benchmark circuit (Section IV-A). Compiling it yields exactly e
+// constraints: e−1 multiplication gates plus the output binding, matching
+// the paper's convention that e equals the number of constraints.
+func ExponentiateSource(e int) string {
+	if e < 1 {
+		panic("circuit: exponent must be >= 1")
+	}
+	var sb strings.Builder
+	sb.WriteString("// y = x^e exponentiation benchmark circuit\n")
+	sb.WriteString("circuit Exponentiate {\n")
+	sb.WriteString("    private input x;\n")
+	sb.WriteString("    public output y;\n")
+	sb.WriteString("    var w = x;\n")
+	fmt.Fprintf(&sb, "    for i in 1..%d {\n", e)
+	sb.WriteString("        w = w * x;\n")
+	sb.WriteString("    }\n")
+	sb.WriteString("    y <== w;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// MulChainSource returns source for a chain of n private multiplications
+// z = a·b, z = z·b, ... — a second simple workload shape with two inputs.
+func MulChainSource(n int) string {
+	var sb strings.Builder
+	sb.WriteString("circuit MulChain {\n")
+	sb.WriteString("    private input a;\n")
+	sb.WriteString("    private input b;\n")
+	sb.WriteString("    public output z;\n")
+	sb.WriteString("    var w = a * b;\n")
+	fmt.Fprintf(&sb, "    for i in 1..%d {\n", n)
+	sb.WriteString("        w = w * b;\n")
+	sb.WriteString("    }\n")
+	sb.WriteString("    z <== w;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// MiMCRounds is the default number of rounds for the MiMC permutation.
+// Real deployments use ~91 rounds for 128-bit security on BN254; the value
+// is configurable in the constructors.
+const MiMCRounds = 91
+
+// mimcConstants derives the per-round constants deterministically.
+func mimcConstants(fr *ff.Field, rounds int) []ff.Element {
+	rng := ff.NewRNG(0x4d694d43) // "MiMC"
+	cs := make([]ff.Element, rounds)
+	for i := range cs {
+		fr.Random(&cs[i], rng)
+	}
+	return cs
+}
+
+// mimcPermWire builds the MiMC-x⁷ permutation over a wire inside b:
+// per round, t = state + key + c_i; state = t⁷ (4 multiplication gates).
+func mimcPermWire(b *Builder, state, key Wire, cs []ff.Element) Wire {
+	for i := range cs {
+		t := b.Add(b.Add(state, key), b.ConstantElement(cs[i]))
+		t2 := b.Mul(t, t)
+		t4 := b.Mul(t2, t2)
+		t6 := b.Mul(t4, t2)
+		state = b.Mul(t6, t)
+	}
+	return state
+}
+
+// MiMCHashCircuit builds a circuit proving knowledge of a preimage m with
+// MiMC(m) = h: private input m, public output h (Miyaguchi–Preneel-style
+// feed-forward h = perm(m) + m).
+func MiMCHashCircuit(fr *ff.Field, rounds int) (*r1cs.System, *witness.Program, error) {
+	b := NewBuilder(fr)
+	h := b.PublicOutput("h")
+	m := b.PrivateInput("m")
+	zero := b.ConstantUint64(0)
+	perm := mimcPermWire(b, m, zero, mimcConstants(fr, rounds))
+	digest := b.Add(perm, m)
+	if err := b.BindOutput(h, digest); err != nil {
+		return nil, nil, err
+	}
+	sys, prog := b.Compile()
+	return sys, prog, nil
+}
+
+// MiMCHash computes the same hash outside the circuit (reference
+// implementation, used by examples and tests to cross-check the solver).
+func MiMCHash(fr *ff.Field, rounds int, m *ff.Element) ff.Element {
+	cs := mimcConstants(fr, rounds)
+	var state ff.Element
+	fr.Set(&state, m)
+	for i := range cs {
+		var t, t2, t4, t6 ff.Element
+		fr.Add(&t, &state, &cs[i])
+		fr.Square(&t2, &t)
+		fr.Square(&t4, &t2)
+		fr.Mul(&t6, &t4, &t2)
+		fr.Mul(&state, &t6, &t)
+	}
+	var out ff.Element
+	fr.Add(&out, &state, m)
+	return out
+}
+
+// mimcHash2 compresses two field elements: H(l, r) = perm(l + r) + l + r.
+func mimcHash2(fr *ff.Field, rounds int, l, r *ff.Element) ff.Element {
+	var sum ff.Element
+	fr.Add(&sum, l, r)
+	return MiMCHash(fr, rounds, &sum)
+}
+
+// MerkleCircuit builds a Merkle-membership circuit of the given depth:
+// the prover shows a private leaf hashes up a private authentication path
+// to a public root. Path direction bits are private boolean inputs.
+//
+// Input names: "leaf", "sib0".."sib{depth-1}", "dir0".."dir{depth-1}";
+// output name: "root".
+func MerkleCircuit(fr *ff.Field, depth, rounds int) (*r1cs.System, *witness.Program, error) {
+	b := NewBuilder(fr)
+	root := b.PublicOutput("root")
+	leaf := b.PrivateInput("leaf")
+	sibs := make([]Wire, depth)
+	dirs := make([]Wire, depth)
+	for i := 0; i < depth; i++ {
+		sibs[i] = b.PrivateInput(fmt.Sprintf("sib%d", i))
+	}
+	for i := 0; i < depth; i++ {
+		dirs[i] = b.PrivateInput(fmt.Sprintf("dir%d", i))
+	}
+	cs := mimcConstants(fr, rounds)
+	zero := b.ConstantUint64(0)
+	cur := leaf
+	for i := 0; i < depth; i++ {
+		b.AssertBoolean(dirs[i])
+		// dir = 0: (cur, sib); dir = 1: (sib, cur). Linear select:
+		// left = cur + dir·(sib − cur), right = sib + dir·(cur − sib).
+		diff := b.Sub(sibs[i], cur)
+		dTimes := b.Mul(dirs[i], diff)
+		left := b.Add(cur, dTimes)
+		right := b.Sub(b.Add(sibs[i], cur), left)
+		sum := b.Add(left, right)
+		perm := mimcPermWire(b, sum, zero, cs)
+		cur = b.Add(perm, sum)
+	}
+	if err := b.BindOutput(root, cur); err != nil {
+		return nil, nil, err
+	}
+	sys, prog := b.Compile()
+	return sys, prog, nil
+}
+
+// MerkleAssignment computes a consistent assignment for MerkleCircuit:
+// a random tree path with the given leaf, returning the assignment and the
+// resulting root.
+func MerkleAssignment(fr *ff.Field, depth, rounds int, seed uint64) (witness.Assignment, ff.Element) {
+	rng := ff.NewRNG(seed)
+	assign := witness.Assignment{}
+	var leaf ff.Element
+	fr.Random(&leaf, rng)
+	assign["leaf"] = leaf
+	cur := leaf
+	for i := 0; i < depth; i++ {
+		var sib, dir ff.Element
+		fr.Random(&sib, rng)
+		dirBit := rng.Uint64() & 1
+		fr.SetUint64(&dir, dirBit)
+		assign[fmt.Sprintf("sib%d", i)] = sib
+		assign[fmt.Sprintf("dir%d", i)] = dir
+		if dirBit == 0 {
+			cur = mimcHash2(fr, rounds, &cur, &sib)
+		} else {
+			cur = mimcHash2(fr, rounds, &sib, &cur)
+		}
+	}
+	return assign, cur
+}
+
+// RangeCheckCircuit proves a private value fits in `bits` bits: private
+// input v, no outputs beyond the implied constraints. A public input "max"
+// is included so the statement has public content: the circuit asserts
+// v + slack == max for a private slack also range-checked — i.e. v ≤ max.
+func RangeCheckCircuit(fr *ff.Field, bits int) (*r1cs.System, *witness.Program, error) {
+	b := NewBuilder(fr)
+	max := b.PublicInput("max")
+	v := b.PrivateInput("v")
+	slack := b.PrivateInput("slack")
+	b.ToBits(v, bits)
+	b.ToBits(slack, bits)
+	b.AssertEqual(b.Add(v, slack), max)
+	sys, prog := b.Compile()
+	return sys, prog, nil
+}

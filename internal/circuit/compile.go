@@ -1,0 +1,356 @@
+package circuit
+
+import (
+	"fmt"
+	"math/big"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// CompileSource parses and compiles circuit source text into a constraint
+// system and solver program — the full compile stage of the zk-SNARK
+// workflow (source → gates → R1CS).
+func CompileSource(fr *ff.Field, src string) (*r1cs.System, *witness.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CompileAST(fr, file)
+}
+
+// binding is one name in scope: exactly one of the fields is active.
+type binding struct {
+	wire     Wire     // signals and vars
+	arr      []Wire   // signal arrays (input/output)
+	arrBound []bool   // per-element bind state for output arrays
+	isVar    bool     // vars may be reassigned
+	isOutput bool     // outputs must be bound exactly once with <==
+	bound    bool     // whether an output has been bound
+	intVal   *big.Int // loop variables (compile-time integers)
+}
+
+// compiler walks the AST and drives a Builder.
+type compiler struct {
+	b     *Builder
+	scope map[string]*binding
+}
+
+// CompileAST compiles a parsed circuit file.
+func CompileAST(fr *ff.Field, file *File) (*r1cs.System, *witness.Program, error) {
+	c := &compiler{b: NewBuilder(fr), scope: make(map[string]*binding)}
+
+	// Pass 1: declarations. They must precede all other statements so the
+	// R1CS wire layout (public | private | internal) is fixed up front.
+	// Public wires are allocated before private ones regardless of source
+	// order.
+	rest := file.Body
+	var decls []*DeclStmt
+	for len(rest) > 0 {
+		d, ok := rest[0].(*DeclStmt)
+		if !ok {
+			break
+		}
+		decls = append(decls, d)
+		rest = rest[1:]
+	}
+	for _, s := range rest {
+		if d, ok := s.(*DeclStmt); ok {
+			return nil, nil, fmt.Errorf("line %d: declaration of %q must appear before circuit logic", d.Line, d.Name)
+		}
+	}
+	for _, pass := range []bool{true, false} { // public first, then private
+		for _, d := range decls {
+			if d.IsPublic != pass {
+				continue
+			}
+			if _, exists := c.scope[d.Name]; exists {
+				return nil, nil, fmt.Errorf("line %d: %q redeclared", d.Line, d.Name)
+			}
+			size := 0
+			if d.Size != nil {
+				v, err := c.evalInt(d.Size)
+				if err != nil {
+					return nil, nil, fmt.Errorf("line %d: array size: %v", d.Line, err)
+				}
+				if !v.IsInt64() || v.Int64() < 1 || v.Int64() > 1<<24 {
+					return nil, nil, fmt.Errorf("line %d: array size %v out of range", d.Line, v)
+				}
+				size = int(v.Int64())
+			}
+			alloc := func(name string) (Wire, bool, error) {
+				switch {
+				case d.IsInput && d.IsPublic:
+					return c.b.PublicInput(name), false, nil
+				case d.IsInput:
+					return c.b.PrivateInput(name), false, nil
+				case d.IsPublic:
+					return c.b.PublicOutput(name), true, nil
+				}
+				return Wire{}, false, fmt.Errorf("line %d: output %q cannot be private", d.Line, d.Name)
+			}
+			bind := &binding{}
+			if size > 0 {
+				bind.arr = make([]Wire, size)
+				bind.arrBound = make([]bool, size)
+				for i := range bind.arr {
+					w, isOut, err := alloc(fmt.Sprintf("%s[%d]", d.Name, i))
+					if err != nil {
+						return nil, nil, err
+					}
+					bind.arr[i] = w
+					bind.isOutput = isOut
+				}
+			} else {
+				w, isOut, err := alloc(d.Name)
+				if err != nil {
+					return nil, nil, err
+				}
+				bind.wire = w
+				bind.isOutput = isOut
+			}
+			c.scope[d.Name] = bind
+		}
+	}
+
+	if err := c.stmts(rest); err != nil {
+		return nil, nil, err
+	}
+
+	for name, bind := range c.scope {
+		if !bind.isOutput {
+			continue
+		}
+		if bind.arr == nil && !bind.bound {
+			return nil, nil, fmt.Errorf("output %q is never bound with <==", name)
+		}
+		for i, ok := range bind.arrBound {
+			if !ok {
+				return nil, nil, fmt.Errorf("output %q[%d] is never bound with <==", name, i)
+			}
+		}
+	}
+
+	sys, prog := c.b.Compile()
+	return sys, prog, nil
+}
+
+func (c *compiler) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarStmt:
+		if _, exists := c.scope[st.Name]; exists {
+			return fmt.Errorf("line %d: %q redeclared", st.Line, st.Name)
+		}
+		w, err := c.expr(st.Init)
+		if err != nil {
+			return err
+		}
+		c.scope[st.Name] = &binding{wire: w, isVar: true}
+		return nil
+
+	case *AssignStmt:
+		bind, ok := c.scope[st.Name]
+		if !ok {
+			return fmt.Errorf("line %d: assignment to undeclared %q", st.Line, st.Name)
+		}
+		w, err := c.expr(st.Expr)
+		if err != nil {
+			return err
+		}
+		if st.Bind {
+			if !bind.isOutput {
+				return fmt.Errorf("line %d: '<==' target %q is not an output", st.Line, st.Name)
+			}
+			target := bind.wire
+			if st.Index != nil {
+				if bind.arr == nil {
+					return fmt.Errorf("line %d: %q is not an array", st.Line, st.Name)
+				}
+				i, err := c.arrayIndex(st.Index, len(bind.arr), st.Line, st.Name)
+				if err != nil {
+					return err
+				}
+				if bind.arrBound[i] {
+					return fmt.Errorf("line %d: output %q[%d] bound twice", st.Line, st.Name, i)
+				}
+				bind.arrBound[i] = true
+				target = bind.arr[i]
+			} else {
+				if bind.arr != nil {
+					return fmt.Errorf("line %d: output array %q needs an index", st.Line, st.Name)
+				}
+				if bind.bound {
+					return fmt.Errorf("line %d: output %q bound twice", st.Line, st.Name)
+				}
+				bind.bound = true
+			}
+			if err := c.b.BindOutput(target, w); err != nil {
+				return fmt.Errorf("line %d: %v", st.Line, err)
+			}
+			return nil
+		}
+		if st.Index != nil {
+			return fmt.Errorf("line %d: cannot reassign signal array element %q", st.Line, st.Name)
+		}
+		if !bind.isVar {
+			return fmt.Errorf("line %d: %q is not a var (use '<==' for outputs)", st.Line, st.Name)
+		}
+		bind.wire = w
+		return nil
+
+	case *ForStmt:
+		lo, err := c.evalInt(st.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := c.evalInt(st.Hi)
+		if err != nil {
+			return err
+		}
+		if _, exists := c.scope[st.Var]; exists {
+			return fmt.Errorf("line %d: loop variable %q shadows an existing name", st.Line, st.Var)
+		}
+		iv := new(big.Int).Set(lo)
+		loopBind := &binding{intVal: iv}
+		c.scope[st.Var] = loopBind
+		for iv.Cmp(hi) < 0 {
+			if err := c.stmts(st.Body); err != nil {
+				return err
+			}
+			iv.Add(iv, big.NewInt(1))
+		}
+		delete(c.scope, st.Var)
+		return nil
+
+	case *AssertStmt:
+		a, err := c.expr(st.A)
+		if err != nil {
+			return err
+		}
+		b, err := c.expr(st.B)
+		if err != nil {
+			return err
+		}
+		c.b.AssertEqual(a, b)
+		return nil
+	}
+	return fmt.Errorf("internal: unknown statement %T", s)
+}
+
+// expr compiles an expression to a circuit wire.
+func (c *compiler) expr(e Expr) (Wire, error) {
+	switch ex := e.(type) {
+	case *NumExpr:
+		return c.b.Constant(ex.Value), nil
+	case *IdentExpr:
+		bind, ok := c.scope[ex.Name]
+		if !ok {
+			return Wire{}, fmt.Errorf("line %d: undeclared identifier %q", ex.Line, ex.Name)
+		}
+		if bind.intVal != nil {
+			return c.b.Constant(bind.intVal), nil
+		}
+		if bind.arr != nil {
+			return Wire{}, fmt.Errorf("line %d: array %q needs an index", ex.Line, ex.Name)
+		}
+		return bind.wire, nil
+	case *IndexExpr:
+		bind, ok := c.scope[ex.Name]
+		if !ok {
+			return Wire{}, fmt.Errorf("line %d: undeclared identifier %q", ex.Line, ex.Name)
+		}
+		if bind.arr == nil {
+			return Wire{}, fmt.Errorf("line %d: %q is not an array", ex.Line, ex.Name)
+		}
+		i, err := c.arrayIndex(ex.Index, len(bind.arr), ex.Line, ex.Name)
+		if err != nil {
+			return Wire{}, err
+		}
+		return bind.arr[i], nil
+	case *NegExpr:
+		a, err := c.expr(ex.A)
+		if err != nil {
+			return Wire{}, err
+		}
+		return c.b.Neg(a), nil
+	case *BinExpr:
+		a, err := c.expr(ex.A)
+		if err != nil {
+			return Wire{}, err
+		}
+		b, err := c.expr(ex.B)
+		if err != nil {
+			return Wire{}, err
+		}
+		switch ex.Op {
+		case '+':
+			return c.b.Add(a, b), nil
+		case '-':
+			return c.b.Sub(a, b), nil
+		case '*':
+			return c.b.Mul(a, b), nil
+		}
+		return Wire{}, fmt.Errorf("line %d: unknown operator %q", ex.Line, ex.Op)
+	}
+	return Wire{}, fmt.Errorf("internal: unknown expression %T", e)
+}
+
+// arrayIndex evaluates a compile-time array index and bounds-checks it.
+func (c *compiler) arrayIndex(e Expr, size, line int, name string) (int, error) {
+	v, err := c.evalInt(e)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: index of %q: %v", line, name, err)
+	}
+	if !v.IsInt64() || v.Int64() < 0 || v.Int64() >= int64(size) {
+		return 0, fmt.Errorf("line %d: index %v out of range for %q[%d]", line, v, name, size)
+	}
+	return int(v.Int64()), nil
+}
+
+// evalInt evaluates a compile-time integer expression (loop bounds).
+func (c *compiler) evalInt(e Expr) (*big.Int, error) {
+	switch ex := e.(type) {
+	case *NumExpr:
+		return ex.Value, nil
+	case *IdentExpr:
+		bind, ok := c.scope[ex.Name]
+		if !ok || bind.intVal == nil {
+			return nil, fmt.Errorf("line %d: %q is not a compile-time integer", ex.Line, ex.Name)
+		}
+		return new(big.Int).Set(bind.intVal), nil
+	case *NegExpr:
+		v, err := c.evalInt(ex.A)
+		if err != nil {
+			return nil, err
+		}
+		return new(big.Int).Neg(v), nil
+	case *BinExpr:
+		a, err := c.evalInt(ex.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.evalInt(ex.B)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case '+':
+			return new(big.Int).Add(a, b), nil
+		case '-':
+			return new(big.Int).Sub(a, b), nil
+		case '*':
+			return new(big.Int).Mul(a, b), nil
+		}
+	}
+	return nil, fmt.Errorf("loop bounds must be compile-time integer expressions")
+}

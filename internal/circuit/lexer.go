@@ -1,0 +1,168 @@
+package circuit
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// The circuit language is a small circom-like DSL:
+//
+//	circuit Exponentiate {
+//	    private input x;
+//	    public output y;
+//	    var w = x;
+//	    for i in 1..8 {
+//	        w = w * x;
+//	    }
+//	    y <== w;
+//	}
+//
+// Tokens below; // comments run to end of line.
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokSemi    // ;
+	tokAssign  // =
+	tokBind    // <==
+	tokEq      // ==
+	tokPlus    // +
+	tokMinus   // −
+	tokStar    // *
+	tokDotDot  // ..
+	tokKeyword // circuit, public, private, input, output, var, for, in, assert
+)
+
+var keywords = map[string]bool{
+	"circuit": true, "public": true, "private": true,
+	"input": true, "output": true, "var": true,
+	"for": true, "in": true, "assert": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer converts source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// Next returns the next token, or an error for unrecognized input.
+func (l *lexer) Next() (token, error) {
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		switch {
+		case ch == '\n':
+			l.line++
+			l.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			l.pos++
+		case ch == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	ch := l.src[l.pos]
+	start := l.pos
+	mk := func(kind tokenKind, n int) (token, error) {
+		l.pos += n
+		return token{kind: kind, text: l.src[start:l.pos], line: l.line}, nil
+	}
+	switch {
+	case ch == '{':
+		return mk(tokLBrace, 1)
+	case ch == '}':
+		return mk(tokRBrace, 1)
+	case ch == '(':
+		return mk(tokLParen, 1)
+	case ch == ')':
+		return mk(tokRParen, 1)
+	case ch == '[':
+		return mk(tokLBrack, 1)
+	case ch == ']':
+		return mk(tokRBrack, 1)
+	case ch == ';':
+		return mk(tokSemi, 1)
+	case ch == '+':
+		return mk(tokPlus, 1)
+	case ch == '-':
+		return mk(tokMinus, 1)
+	case ch == '*':
+		return mk(tokStar, 1)
+	case ch == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '.':
+		return mk(tokDotDot, 2)
+	case ch == '<' && l.pos+2 < len(l.src) && l.src[l.pos+1] == '=' && l.src[l.pos+2] == '=':
+		return mk(tokBind, 3)
+	case ch == '=' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+		return mk(tokEq, 2)
+	case ch == '=':
+		return mk(tokAssign, 1)
+	case unicode.IsDigit(rune(ch)):
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) ||
+			l.src[l.pos] == 'x' || isHexDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsLetter(rune(ch)) || ch == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) ||
+			unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("line %d: unexpected character %q", l.line, ch)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// lexAll tokenizes the whole source (convenience for the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package circuit
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// AST node types for the circuit language.
+
+// File is a parsed circuit file.
+type File struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares an input or output signal, or an array of them when
+// Size is non-nil (a compile-time integer expression).
+type DeclStmt struct {
+	Name     string
+	IsInput  bool // input vs output
+	IsPublic bool
+	Size     Expr // nil for scalars
+	Line     int
+}
+
+// VarStmt declares a mutable circuit variable.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt re-binds a var (Op '=') or binds an output (Op '<==').
+// Index is non-nil when the target is an array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar targets
+	Bind  bool // true for <==
+	Expr  Expr
+	Line  int
+}
+
+// ForStmt is a compile-time-unrolled loop: for Var in Lo..Hi { Body }.
+// The range is inclusive of Lo and exclusive of Hi.
+type ForStmt struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Line   int
+}
+
+// AssertStmt is assert A == B.
+type AssertStmt struct {
+	A, B Expr
+	Line int
+}
+
+func (*DeclStmt) stmtNode()   {}
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*ForStmt) stmtNode()    {}
+func (*AssertStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value *big.Int
+	Line  int
+}
+
+// IdentExpr references a signal, var or loop variable.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr references an array element with a compile-time index.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinExpr is A op B with op in {+, -, *}.
+type BinExpr struct {
+	Op   byte
+	A, B Expr
+	Line int
+}
+
+// NegExpr is -A.
+type NegExpr struct {
+	A    Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*IdentExpr) exprNode() {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*NegExpr) exprNode()   {}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses circuit source text into an AST.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("line %d: expected %s, found %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("line %d: expected %q, found %s", t.line, kw, t)
+	}
+	return nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	if err := p.expectKeyword("circuit"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "circuit name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return nil, fmt.Errorf("line %d: trailing input after circuit body: %s", t.line, t)
+	}
+	return &File{Name: name.text, Body: body}, nil
+}
+
+// parseBlock parses statements until the closing '}' (which it consumes).
+func (p *parser) parseBlock() ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.next()
+			return stmts, nil
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("line %d: unexpected end of input, missing '}'", t.line)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "public", "private", "input", "output":
+			return p.parseDecl()
+		case "var":
+			return p.parseVar()
+		case "for":
+			return p.parseFor()
+		case "assert":
+			return p.parseAssert()
+		}
+		return nil, fmt.Errorf("line %d: unexpected keyword %q", t.line, t.text)
+	}
+	if t.kind == tokIdent {
+		return p.parseAssign()
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s", t.line, t)
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	t := p.next() // public | private | input | output
+	d := &DeclStmt{Line: t.line}
+	explicitVis := false
+	if t.text == "public" || t.text == "private" {
+		d.IsPublic = t.text == "public"
+		explicitVis = true
+		t = p.next()
+		if t.kind != tokKeyword || (t.text != "input" && t.text != "output") {
+			return nil, fmt.Errorf("line %d: expected 'input' or 'output', found %s", t.line, t)
+		}
+	}
+	d.IsInput = t.text == "input"
+	if !explicitVis {
+		// Defaults follow circom: inputs private, outputs public.
+		d.IsPublic = !d.IsInput
+	}
+	name, err := p.expect(tokIdent, "signal name")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.text
+	if p.peek().kind == tokLBrack {
+		p.next()
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+		d.Size = size
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseVar() (Stmt, error) {
+	t := p.next() // var
+	name, err := p.expect(tokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &VarStmt{Name: name.text, Init: init, Line: t.line}, nil
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	name := p.next()
+	var index Expr
+	if p.peek().kind == tokLBrack {
+		p.next()
+		var err error
+		index, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+	}
+	op := p.next()
+	if op.kind != tokAssign && op.kind != tokBind {
+		return nil, fmt.Errorf("line %d: expected '=' or '<==', found %s", op.line, op)
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name.text, Index: index, Bind: op.kind == tokBind, Expr: expr, Line: name.line}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	name, err := p.expect(tokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDotDot, "'..'"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: name.text, Lo: lo, Hi: hi, Body: body, Line: t.line}, nil
+}
+
+func (p *parser) parseAssert() (Stmt, error) {
+	t := p.next() // assert
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEq, "'=='"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &AssertStmt{A: a, B: b, Line: t.line}, nil
+}
+
+// parseExpr handles + and − at the lowest precedence.
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := byte('+')
+		if t.kind == tokMinus {
+			op = '-'
+		}
+		lhs = &BinExpr{Op: op, A: lhs, B: rhs, Line: t.line}
+	}
+}
+
+// parseTerm handles *.
+func (p *parser) parseTerm() (Expr, error) {
+	lhs, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokStar {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: '*', A: lhs, B: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, ok := new(big.Int).SetString(t.text, 0)
+		if !ok {
+			return nil, fmt.Errorf("line %d: invalid number %q", t.line, t.text)
+		}
+		return &NumExpr{Value: v, Line: t.line}, nil
+	case tokIdent:
+		if p.peek().kind == tokLBrack {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		}
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	case tokMinus:
+		a, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{A: a, Line: t.line}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s in expression", t.line, t)
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"zkperf/internal/opcode"
+
+	"zkperf/internal/cachesim"
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/pipeline"
+	"zkperf/internal/sched"
+	"zkperf/internal/stats"
+	"zkperf/internal/trace"
+)
+
+// codeFootprint estimates each stage's hot code size in bytes. The
+// profiled stack is circom (a native binary) for compile and node.js-JIT'd
+// JavaScript/WASM for the rest; JIT code caches are large and are the main
+// front-end pressure source. Values are model parameters (see DESIGN.md).
+func codeFootprint(s Stage) int64 {
+	switch s {
+	case StageCompile:
+		return 320 << 10 // circom native code
+	case StageSetup:
+		return 512 << 10 // JIT'd bigint + key assembly + serialization paths
+	case StageWitness:
+		return 384 << 10 // WASM interpreter/JIT mix
+	case StageProving:
+		return 288 << 10 // JIT'd MSM/NTT kernels (small hot loops)
+	case StageVerify:
+		return 448 << 10 // JIT'd pairing code
+	}
+	return 256 << 10
+}
+
+// memExposure derives the fraction of miss latency the out-of-order core
+// cannot hide from the access-pattern composition of the stage.
+func memExposure(rec *trace.Recorder) float64 {
+	var wsum, tsum float64
+	for i := range rec.Accesses {
+		a := &rec.Accesses[i]
+		var w float64
+		switch a.Kind {
+		case trace.PointerChase:
+			w = 0.85 // dependent loads: almost fully exposed
+		case trace.Random:
+			w = 0.45 // some MLP across independent touches
+		case trace.Strided:
+			w = 0.20 // stride prefetchers cover most of it
+		default: // Sequential
+			w = 0.10 // stream prefetchers hide nearly everything
+		}
+		wsum += w * float64(a.Touches)
+		tsum += float64(a.Touches)
+	}
+	if tsum == 0 {
+		return 0.3
+	}
+	return wsum / tsum
+}
+
+// CacheResult bundles one stage's simulated memory behaviour on one CPU.
+type CacheResult struct {
+	Sim *cachesim.Sim
+	// PatternDRAM[i] is the DRAM traffic attributable to pattern i of the
+	// stage's access list (after sampling scale-up).
+	PatternDRAM []int64
+}
+
+// SimulateCaches replays a stage's access trace on one CPU model.
+func SimulateCaches(p *StageProfile, cpu *cpumodel.CPU) *CacheResult {
+	sim := cachesim.New(cpu)
+	res := &CacheResult{Sim: sim, PatternDRAM: make([]int64, len(p.Rec.Accesses))}
+	for i := range p.Rec.Accesses {
+		before := sim.DRAMBytes
+		sim.Replay(p.Rec.Accesses[i])
+		res.PatternDRAM[i] = sim.DRAMBytes - before
+	}
+	return res
+}
+
+// TopDown runs the Fig. 4 analysis: the stage's pipeline-slot breakdown on
+// one CPU.
+func TopDown(p *StageProfile, cpu *cpumodel.CPU, cr *CacheResult) pipeline.Breakdown {
+	in := pipeline.Inputs{
+		Mix:              p.Mix,
+		CondBranches:     p.Rec.Branches,
+		IndirectBranches: p.Rec.Dispatches,
+		L1Misses:         cr.Sim.L1.Misses,
+		L2Misses:         cr.Sim.L2.Misses,
+		LLCMisses:        cr.Sim.LLC.Misses,
+		MemExposure:      memExposure(p.Rec),
+		ChainInstr:       opcode.ChainInstructions(p.Rec, limbs(p.Curve, p.Stage)),
+		CodeFootprint:    codeFootprint(p.Stage),
+	}
+	return pipeline.Analyze(in, cpu)
+}
+
+// MemoryResult is one stage's Fig. 5 / Table II / Table III row on one CPU.
+type MemoryResult struct {
+	Loads, Stores int64   // Fig. 5
+	MPKI          float64 // Table II (LLC load MPKI)
+	MaxBWGBps     float64 // Table III (peak DRAM bandwidth)
+}
+
+// Memory runs the memory analysis for one stage on one CPU.
+func Memory(p *StageProfile, cpu *cpumodel.CPU, cr *CacheResult) MemoryResult {
+	res := MemoryResult{
+		Loads:  cr.Sim.Loads,
+		Stores: cr.Sim.Stores,
+		MPKI:   cr.Sim.MPKI(p.Mix.Total()),
+	}
+
+	// Peak bandwidth: the fastest DRAM-touching burst among the stage's
+	// access patterns, as a bandwidth profiler samples it. Each pattern's
+	// duration is modeled from its touch count and per-kind sustainable
+	// throughput, then widened to the profiler's sampling window (VTune
+	// reports bandwidth over ~1 ms windows, so a shorter burst is
+	// averaged down). The result is capped by the single-stream limit
+	// (line transfers bounded by one core's miss-level parallelism and
+	// prefetchers) and by the chip's DRAM bandwidth.
+	const sampleWindowSec = 0.001
+	stream := singleStreamGBps(cpu)
+	for i := range p.Rec.Accesses {
+		a := &p.Rec.Accesses[i]
+		dram := cr.PatternDRAM[i]
+		if dram < 256<<10 {
+			continue
+		}
+		elem := float64(a.ElemSize)
+		if elem <= 0 {
+			elem = 8
+		}
+		bytesPerCycle := a.BytesPerCycle
+		if bytesPerCycle == 0 {
+			switch a.Kind {
+			case trace.Sequential:
+				bytesPerCycle = 16
+			case trace.Strided:
+				bytesPerCycle = 8
+			case trace.Random:
+				bytesPerCycle = 2
+			default: // PointerChase
+				bytesPerCycle = 0.5
+			}
+		}
+		cycles := float64(a.Touches) * elem / bytesPerCycle
+		seconds := cycles / (cpu.FreqGHz * 1e9)
+		if seconds < sampleWindowSec {
+			seconds = sampleWindowSec
+		}
+		bw := float64(dram) / 1e9 / seconds
+		if bw > stream {
+			bw = stream
+		}
+		if bw > cpu.MemBWGBps {
+			bw = cpu.MemBWGBps
+		}
+		if bw > res.MaxBWGBps {
+			res.MaxBWGBps = bw
+		}
+	}
+	return res
+}
+
+// singleStreamGBps models the per-core streaming bandwidth limit:
+// line-size × miss-level-parallelism × prefetch factor / DRAM latency.
+func singleStreamGBps(cpu *cpumodel.CPU) float64 {
+	const mlp, prefetch = 12.0, 1.8
+	latencyNs := float64(cpu.DRAMLatency) / cpu.FreqGHz
+	bw := float64(cpu.LLC.LineSize) * mlp * prefetch / latencyNs // GB/s
+	if bw > cpu.MemBWGBps {
+		bw = cpu.MemBWGBps
+	}
+	return bw
+}
+
+// HotFunction is a Table IV row: a function class and its share of stage
+// CPU time.
+type HotFunction struct {
+	Name    string
+	Percent float64
+	Nanos   int64
+}
+
+// HotFunctions aggregates the recorder's scope profile by function class
+// (the prefix before '/': bigint, memcpy, malloc, msm, ntt, pairing,
+// interp, heap allocation, page fault exception handler, …), sorted by
+// time share.
+func HotFunctions(p *StageProfile) []HotFunction {
+	total := p.Rec.TotalFuncNanos()
+	if total == 0 {
+		return nil
+	}
+	agg := map[string]int64{}
+	for _, f := range p.Rec.TopFunctions() {
+		class := f.Name
+		if i := strings.IndexByte(class, '/'); i >= 0 {
+			class = class[:i]
+		}
+		agg[class] += f.Nanos
+	}
+	out := make([]HotFunction, 0, len(agg))
+	for name, ns := range agg {
+		out = append(out, HotFunction{Name: name, Nanos: ns, Percent: 100 * float64(ns) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// OpcodeMix returns the Table V percentages for one stage.
+func OpcodeMix(p *StageProfile) (compute, control, data float64) {
+	return p.Mix.Percentages()
+}
+
+// OpcodeDominant returns the stage's Table V categorization.
+func OpcodeDominant(p *StageProfile) string { return p.Mix.Dominant() }
+
+// StrongScaling runs the Fig. 6 simulation for one stage profile on one
+// CPU over the given thread counts.
+func StrongScaling(p *StageProfile, cpu *cpumodel.CPU, threads []int) []float64 {
+	return sched.StrongScaling(cpu, p.Rec.Phases, threads)
+}
+
+// WeakScaling runs the Fig. 7 simulation: profiles[i] must be the stage
+// traced at scale factor scaleFactors[i], paired with threadCounts[i].
+func WeakScaling(profiles []*StageProfile, cpu *cpumodel.CPU, threadCounts []int, scaleFactors []float64) []float64 {
+	phases := make([][]trace.Phase, len(profiles))
+	for i, p := range profiles {
+		phases[i] = p.Rec.Phases
+	}
+	return sched.WeakScaling(cpu, phases, threadCounts, scaleFactors)
+}
+
+// ParallelFit is one Table VI row: the serial/parallel split extracted
+// from a scaling curve.
+type ParallelFit struct {
+	SerialPct   float64
+	ParallelPct float64
+}
+
+// FitStrong fits Amdahl's law to a strong-scaling curve.
+func FitStrong(threads []int, speedups []float64) ParallelFit {
+	pf := stats.FitAmdahl(threads, speedups)
+	return ParallelFit{SerialPct: 100 * (1 - pf), ParallelPct: 100 * pf}
+}
+
+// FitWeak fits Gustafson's law to a weak-scaling curve.
+func FitWeak(threads []int, speedups []float64) ParallelFit {
+	pf := stats.FitGustafson(threads, speedups)
+	return ParallelFit{SerialPct: 100 * (1 - pf), ParallelPct: 100 * pf}
+}

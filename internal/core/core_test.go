@@ -1,0 +1,317 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"zkperf/internal/cpumodel"
+)
+
+// sharedSuite caches one quick-suite run across the package tests (the
+// profiling runs are the expensive part).
+var sharedSuite *Suite
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	if sharedSuite == nil {
+		sharedSuite = NewSuite(QuickConfig())
+	}
+	return sharedSuite
+}
+
+func TestProfileAllStagesShape(t *testing.T) {
+	s := suite(t)
+	profs, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != len(Stages) {
+		t.Fatalf("profiled %d stages, want %d", len(profs), len(Stages))
+	}
+	for _, st := range Stages {
+		p := profs[st]
+		if p == nil {
+			t.Fatalf("missing stage %s", st)
+		}
+		if p.WallSeconds() <= 0 {
+			t.Errorf("%s: non-positive wall time", st)
+		}
+		if p.Mix.Total() == 0 {
+			t.Errorf("%s: empty instruction mix", st)
+		}
+		if len(p.Rec.Accesses) == 0 {
+			t.Errorf("%s: no access patterns", st)
+		}
+		if len(p.Rec.Phases) == 0 {
+			t.Errorf("%s: no phases", st)
+		}
+	}
+}
+
+func TestProfileCaching(t *testing.T) {
+	s := suite(t)
+	p1, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[StageSetup] != p2[StageSetup] {
+		t.Error("suite should cache profiles")
+	}
+	cpu := cpumodel.NewI7_8650U()
+	c1, err := s.Cache("BN128", 10, StageSetup, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Cache("BN128", 10, StageSetup, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("suite should cache cache-sim results")
+	}
+}
+
+// TestPaperShapeClaims asserts the qualitative results the paper reports,
+// at the quick sweep sizes.
+func TestPaperShapeClaims(t *testing.T) {
+	s := suite(t)
+	profs, err := s.Profiles("BN128", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i7, i9 := cpumodel.NewI7_8650U(), cpumodel.NewI9_13900K()
+
+	crI7 := map[Stage]*CacheResult{}
+	crI9 := map[Stage]*CacheResult{}
+	for _, st := range Stages {
+		if crI7[st], err = s.Cache("BN128", 12, st, i7); err != nil {
+			t.Fatal(err)
+		}
+		if crI9[st], err = s.Cache("BN128", 12, st, i9); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fig. 4: witness and verifying are front-end bound on every CPU.
+	for _, st := range []Stage{StageWitness, StageVerify} {
+		for _, cpu := range cpumodel.All() {
+			cr, err := s.Cache("BN128", 12, st, cpu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := TopDown(profs[st], cpu, cr)
+			if b.Dominant() != "front-end" {
+				t.Errorf("%s on %s: dominant %s, paper reports front-end", st, cpu.Name, b.Dominant())
+			}
+		}
+	}
+	// Fig. 4: proving is front-end bound on the i7 and back-end bound on
+	// the i9 — the paper's headline cross-CPU observation.
+	bI7 := TopDown(profs[StageProving], i7, crI7[StageProving])
+	bI9 := TopDown(profs[StageProving], i9, crI9[StageProving])
+	if bI7.Dominant() != "front-end" {
+		t.Errorf("proving on i7: dominant %s, want front-end", bI7.Dominant())
+	}
+	if bI9.Dominant() != "back-end" {
+		t.Errorf("proving on i9: dominant %s, want back-end", bI9.Dominant())
+	}
+
+	// Table II ordering: setup has the lowest MPKI; witness the highest.
+	mpki := map[Stage]float64{}
+	for _, st := range Stages {
+		mpki[st] = Memory(profs[st], i9, crI9[st]).MPKI
+	}
+	if mpki[StageSetup] > mpki[StageWitness] {
+		t.Errorf("setup MPKI (%v) should be below witness MPKI (%v)", mpki[StageSetup], mpki[StageWitness])
+	}
+
+	// Memory counts: the setup stage loads far more than it stores
+	// (read-only table lookups dominate).
+	mSetup := Memory(profs[StageSetup], i9, crI9[StageSetup])
+	if mSetup.Loads < 4*mSetup.Stores {
+		t.Errorf("setup loads/stores = %d/%d, expected heavily load-dominated",
+			mSetup.Loads, mSetup.Stores)
+	}
+
+	// Table V: setup/proving/verifying are compute intensive; compile is
+	// data-flow intensive.
+	for _, st := range []Stage{StageSetup, StageProving, StageVerify} {
+		if OpcodeDominant(profs[st]) != "compute" {
+			t.Errorf("%s opcode category = %s, want compute", st, OpcodeDominant(profs[st]))
+		}
+	}
+	if OpcodeDominant(profs[StageCompile]) != "data-flow" {
+		t.Errorf("compile opcode category = %s, want data-flow", OpcodeDominant(profs[StageCompile]))
+	}
+
+	// Scalability: proving scales further than compile and witness.
+	threads := []int{1, 2, 4, 8, 16, 32}
+	spProve := StrongScaling(profs[StageProving], i9, threads)
+	spCompile := StrongScaling(profs[StageCompile], i9, threads)
+	spWitness := StrongScaling(profs[StageWitness], i9, threads)
+	last := len(threads) - 1
+	if spProve[last] <= spCompile[last] || spProve[last] <= spWitness[last] {
+		t.Errorf("proving speedup (%v) should exceed compile (%v) and witness (%v)",
+			spProve[last], spCompile[last], spWitness[last])
+	}
+	// Compile saturates around 2x (parse/gen split), per the paper.
+	if spCompile[last] > 2.5 {
+		t.Errorf("compile speedup %v should saturate near 2", spCompile[last])
+	}
+}
+
+func TestWitnessVerifyTimesRoughlyConstant(t *testing.T) {
+	// The paper: witness generation and verifying times are independent of
+	// the constraint size (runtime startup dominates). Allow a 2x band
+	// across a 4x size range.
+	s := suite(t)
+	small, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.Profiles("BN128", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Stage{StageWitness, StageVerify} {
+		ratio := big[st].WallSeconds() / small[st].WallSeconds()
+		if ratio > 2.0 || ratio < 0.5 {
+			t.Errorf("%s wall-time ratio across sizes = %v, expected ≈1", st, ratio)
+		}
+	}
+	// Setup and proving, in contrast, must grow with size.
+	for _, st := range []Stage{StageSetup, StageProving} {
+		ratio := big[st].WallSeconds() / small[st].WallSeconds()
+		if ratio < 1.5 {
+			t.Errorf("%s wall-time ratio across 4x sizes = %v, expected growth", st, ratio)
+		}
+	}
+}
+
+func TestExperimentTablesRender(t *testing.T) {
+	s := suite(t)
+	type tableFn struct {
+		name string
+		fn   func() (fmtStringer, error)
+	}
+	fns := []tableFn{
+		{"exectime", func() (fmtStringer, error) { return s.ExecTimeBreakdown() }},
+		{"fig5", func() (fmtStringer, error) { return s.Fig5LoadsStores() }},
+		{"table2", func() (fmtStringer, error) { return s.Table2MPKI() }},
+		{"table3", func() (fmtStringer, error) { return s.Table3Bandwidth() }},
+		{"table4", func() (fmtStringer, error) { return s.Table4HotFunctions() }},
+		{"table5", func() (fmtStringer, error) { return s.Table5OpcodeMix() }},
+		{"table6", func() (fmtStringer, error) { return s.Table6SerialParallel() }},
+		{"fig7", func() (fmtStringer, error) { return s.Fig7WeakScaling() }},
+	}
+	for _, tf := range fns {
+		out, err := tf.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", tf.name, err)
+		}
+		if len(out.String()) < 40 {
+			t.Errorf("%s: suspiciously short output", tf.name)
+		}
+	}
+	tables, err := s.Fig4TopDown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(s.Cfg.Curves) {
+		t.Errorf("fig4 produced %d tables, want %d", len(tables), len(s.Cfg.Curves))
+	}
+	charts, err := s.Fig6StrongScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != len(Stages) {
+		t.Errorf("fig6 produced %d charts, want %d", len(charts), len(Stages))
+	}
+}
+
+type fmtStringer interface{ String() string }
+
+func TestHotFunctionsIncludePaperTable4(t *testing.T) {
+	s := suite(t)
+	profs, err := s.Profiles("BN128", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across all stages, the classes of Table IV must appear.
+	seen := map[string]bool{}
+	for _, st := range Stages {
+		for _, f := range HotFunctions(profs[st]) {
+			seen[f.Name] = true
+		}
+	}
+	for _, want := range []string{"memcpy", "bigint", "malloc", "heap allocation", "page fault exception handler"} {
+		if !seen[want] {
+			t.Errorf("Table IV function class %q never appears in the profiles", want)
+		}
+	}
+}
+
+func TestHotFunctionPercentsSum(t *testing.T) {
+	s := suite(t)
+	profs, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range Stages {
+		var sum float64
+		for _, f := range HotFunctions(profs[st]) {
+			if f.Percent < 0 {
+				t.Errorf("%s: negative percent for %s", st, f.Name)
+			}
+			sum += f.Percent
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: function percents sum to %v", st, sum)
+		}
+	}
+}
+
+func TestUnknownCurvePanics(t *testing.T) {
+	r := NewRunner()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown curve should panic")
+		}
+	}()
+	_, _ = r.ProfileAllStages("P-256", 10)
+}
+
+func TestStageNamesMatchPaper(t *testing.T) {
+	want := []string{"compile", "setup", "witness", "proving", "verifying"}
+	for i, st := range Stages {
+		if string(st) != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, st, want[i])
+		}
+	}
+}
+
+func TestBLSProfilesWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLS12-381 pipeline is slow")
+	}
+	s := suite(t)
+	profs, err := s.Profiles("BLS12-381", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(profs[StageSetup].Curve, "BLS") {
+		t.Error("curve label wrong")
+	}
+	// BLS base-field arithmetic is 6-limb: stage mixes differ from BN.
+	bn, err := s.Profiles("BN128", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profs[StageProving].Mix.Total() <= bn[StageProving].Mix.Total() {
+		t.Error("BLS proving should execute more instructions than BN")
+	}
+}

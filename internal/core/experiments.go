@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/report"
+	"zkperf/internal/stats"
+)
+
+// Config selects the sweep an experiment suite runs. The paper evaluates
+// 2^10–2^18 constraints; the default here stops at 2^15 so the whole suite
+// finishes in minutes — pass larger MaxLog for the full range.
+type Config struct {
+	Curves   []string
+	LogSizes []int
+	CPUs     []*cpumodel.CPU
+	// Threads is the strong-scaling sweep (Fig. 6), matching the paper's
+	// 1–32 threads on the i9.
+	Threads []int
+	// WSThreads/WSLogSizes pair up for weak scaling (Fig. 7): both double.
+	WSThreads  []int
+	WSLogSizes []int
+}
+
+// DefaultConfig returns the standard sweep: both curves, 2^10–2^15, all
+// three CPUs.
+func DefaultConfig() Config {
+	return Config{
+		Curves:     []string{"BN128", "BLS12-381"},
+		LogSizes:   []int{10, 11, 12, 13, 14, 15},
+		CPUs:       cpumodel.All(),
+		Threads:    []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32},
+		WSThreads:  []int{1, 2, 4, 8},
+		WSLogSizes: []int{12, 13, 14, 15},
+	}
+}
+
+// QuickConfig returns a reduced sweep for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{
+		Curves:     []string{"BN128"},
+		LogSizes:   []int{10, 11, 12},
+		CPUs:       cpumodel.All(),
+		Threads:    []int{1, 2, 4, 8, 16, 32},
+		WSThreads:  []int{1, 2, 4},
+		WSLogSizes: []int{10, 11, 12},
+	}
+}
+
+// FullConfig returns the paper's complete sweep (2^10–2^18, both curves).
+// Expect a long runtime.
+func FullConfig() Config {
+	c := DefaultConfig()
+	c.LogSizes = []int{10, 11, 12, 13, 14, 15, 16, 17, 18}
+	c.WSThreads = []int{1, 2, 4, 8, 16, 32}
+	c.WSLogSizes = []int{13, 14, 15, 16, 17, 18}
+	return c
+}
+
+// Suite runs and caches stage profiles and cache simulations for a config.
+type Suite struct {
+	Cfg    Config
+	Runner *Runner
+
+	profiles map[profKey]map[Stage]*StageProfile
+	caches   map[cacheKey]*CacheResult
+}
+
+type profKey struct {
+	curve string
+	logN  int
+}
+
+type cacheKey struct {
+	curve string
+	logN  int
+	stage Stage
+	cpu   string
+}
+
+// NewSuite creates an experiment suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		Cfg:      cfg,
+		Runner:   NewRunner(),
+		profiles: make(map[profKey]map[Stage]*StageProfile),
+		caches:   make(map[cacheKey]*CacheResult),
+	}
+}
+
+// Profiles returns (running on first use) the stage profiles for one
+// (curve, size) pipeline.
+func (s *Suite) Profiles(curve string, logN int) (map[Stage]*StageProfile, error) {
+	k := profKey{curve, logN}
+	if p, ok := s.profiles[k]; ok {
+		return p, nil
+	}
+	p, err := s.Runner.ProfileAllStages(curve, logN)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles[k] = p
+	return p, nil
+}
+
+// Cache returns (simulating on first use) the cache result for one
+// (curve, size, stage, cpu) combination.
+func (s *Suite) Cache(curve string, logN int, stage Stage, cpu *cpumodel.CPU) (*CacheResult, error) {
+	k := cacheKey{curve, logN, stage, cpu.Name}
+	if c, ok := s.caches[k]; ok {
+		return c, nil
+	}
+	profs, err := s.Profiles(curve, logN)
+	if err != nil {
+		return nil, err
+	}
+	c := SimulateCaches(profs[stage], cpu)
+	s.caches[k] = c
+	return c, nil
+}
+
+// logLabel renders 2^k for tick labels.
+func logLabel(logN int) string { return fmt.Sprintf("2^%d", logN) }
+
+// ---------- Execution-time breakdown (§IV-B) ----------
+
+// ExecTimeBreakdown reports each stage's share of total pipeline wall time
+// per curve, averaged over the configured sizes (the paper: setup 76.1%,
+// proving 13.4%).
+func (s *Suite) ExecTimeBreakdown() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Execution time: per-stage share of the zk-SNARK pipeline (avg over sizes)",
+		Headers: []string{"Curve", "compile", "setup", "witness", "proving", "verifying"},
+	}
+	for _, curve := range s.Cfg.Curves {
+		shares := map[Stage]float64{}
+		for _, logN := range s.Cfg.LogSizes {
+			profs, err := s.Profiles(curve, logN)
+			if err != nil {
+				return nil, err
+			}
+			var total float64
+			for _, st := range Stages {
+				total += profs[st].WallSeconds()
+			}
+			for _, st := range Stages {
+				shares[st] += 100 * profs[st].WallSeconds() / total
+			}
+		}
+		n := float64(len(s.Cfg.LogSizes))
+		row := []string{curve}
+		for _, st := range Stages {
+			row = append(row, report.F1(shares[st]/n)+"%")
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ---------- Fig. 4: top-down microarchitecture analysis ----------
+
+// Fig4TopDown reports the pipeline-slot breakdown for every stage, CPU and
+// curve, averaged over sizes, plus the per-size dominant category.
+func (s *Suite) Fig4TopDown() ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, curve := range s.Cfg.Curves {
+		t := &report.Table{
+			Title:   fmt.Sprintf("Fig. 4 — Top-down analysis (%s), avg over sizes", curve),
+			Headers: []string{"Stage", "CPU", "FrontEnd%", "BadSpec%", "BackEnd%", "(mem%)", "(core%)", "Retiring%", "Dominant"},
+		}
+		for _, st := range Stages {
+			for _, cpu := range s.Cfg.CPUs {
+				var fe, bs, be, bem, bec, ret float64
+				domCount := map[string]int{}
+				for _, logN := range s.Cfg.LogSizes {
+					profs, err := s.Profiles(curve, logN)
+					if err != nil {
+						return nil, err
+					}
+					cr, err := s.Cache(curve, logN, st, cpu)
+					if err != nil {
+						return nil, err
+					}
+					b := TopDown(profs[st], cpu, cr)
+					fe += b.FrontEnd
+					bs += b.BadSpec
+					be += b.BackEnd
+					bem += b.BackEndMemory
+					bec += b.BackEndCore
+					ret += b.Retiring
+					domCount[b.Dominant()]++
+				}
+				n := float64(len(s.Cfg.LogSizes))
+				dom, best := "", 0
+				for d, c := range domCount {
+					if c > best {
+						dom, best = d, c
+					}
+				}
+				t.AddRow(string(st), cpu.Name, report.F1(fe/n), report.F1(bs/n),
+					report.F1(be/n), report.F1(bem/n), report.F1(bec/n), report.F1(ret/n),
+					fmt.Sprintf("%s (%d/%d sizes)", dom, best, len(s.Cfg.LogSizes)))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ---------- Fig. 5: loads and stores ----------
+
+// Fig5LoadsStores reports per-stage loads/stores across sizes: the mean
+// with min/max envelope over CPUs and curves, matching the figure's bands.
+func (s *Suite) Fig5LoadsStores() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 5 — Loads and stores per stage (mean [min..max] over CPUs & curves)",
+		Headers: []string{"Stage", "Size", "Loads", "Stores"},
+	}
+	for _, st := range Stages {
+		for _, logN := range s.Cfg.LogSizes {
+			var lds, sts []float64
+			for _, curve := range s.Cfg.Curves {
+				for _, cpu := range s.Cfg.CPUs {
+					profs, err := s.Profiles(curve, logN)
+					if err != nil {
+						return nil, err
+					}
+					cr, err := s.Cache(curve, logN, st, cpu)
+					if err != nil {
+						return nil, err
+					}
+					m := Memory(profs[st], cpu, cr)
+					lds = append(lds, float64(m.Loads))
+					sts = append(sts, float64(m.Stores))
+				}
+			}
+			fmtBand := func(v []float64) string {
+				mean, lo, hi := stats.Mean(v), v[0], v[0]
+				for _, x := range v {
+					if x < lo {
+						lo = x
+					}
+					if x > hi {
+						hi = x
+					}
+				}
+				return fmt.Sprintf("%s [%s..%s]", report.SI(int64(mean)), report.SI(int64(lo)), report.SI(int64(hi)))
+			}
+			t.AddRow(string(st), logLabel(logN), fmtBand(lds), fmtBand(sts))
+		}
+	}
+	return t, nil
+}
+
+// ---------- Table II: LLC MPKI ----------
+
+// Table2MPKI reports the maximum LLC load MPKI over sizes for each stage,
+// CPU and curve.
+func (s *Suite) Table2MPKI() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table II — LLC load MPKI (max over sizes)",
+		Headers: []string{"Stage"},
+	}
+	for _, cpu := range s.Cfg.CPUs {
+		for _, curve := range s.Cfg.Curves {
+			t.Headers = append(t.Headers, fmt.Sprintf("%s-%s", shortCPU(cpu.Name), shortCurve(curve)))
+		}
+	}
+	for _, st := range Stages {
+		row := []string{string(st)}
+		for _, cpu := range s.Cfg.CPUs {
+			for _, curve := range s.Cfg.Curves {
+				maxMPKI := 0.0
+				for _, logN := range s.Cfg.LogSizes {
+					profs, err := s.Profiles(curve, logN)
+					if err != nil {
+						return nil, err
+					}
+					cr, err := s.Cache(curve, logN, st, cpu)
+					if err != nil {
+						return nil, err
+					}
+					m := Memory(profs[st], cpu, cr)
+					if m.MPKI > maxMPKI {
+						maxMPKI = m.MPKI
+					}
+				}
+				row = append(row, report.F(maxMPKI))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ---------- Table III: maximum memory bandwidth ----------
+
+// Table3Bandwidth reports the maximum memory bandwidth per stage and
+// curve, averaged over CPUs and sizes as in the paper.
+func (s *Suite) Table3Bandwidth() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table III — Max memory bandwidth (GBps), avg over CPUs and sizes",
+		Headers: []string{"Curve", "compile", "setup", "witness", "proving", "verifying"},
+	}
+	for _, curve := range s.Cfg.Curves {
+		row := []string{shortCurve(curve)}
+		for _, st := range Stages {
+			var sum float64
+			var n int
+			for _, cpu := range s.Cfg.CPUs {
+				for _, logN := range s.Cfg.LogSizes {
+					profs, err := s.Profiles(curve, logN)
+					if err != nil {
+						return nil, err
+					}
+					cr, err := s.Cache(curve, logN, st, cpu)
+					if err != nil {
+						return nil, err
+					}
+					m := Memory(profs[st], cpu, cr)
+					sum += m.MaxBWGBps
+					n++
+				}
+			}
+			row = append(row, report.F(sum/float64(n)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ---------- Table IV: hot functions ----------
+
+// Table4HotFunctions reports the top CPU-time functions per stage at the
+// largest configured size (BN128).
+func (s *Suite) Table4HotFunctions() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table IV — Time-consuming functions per stage",
+		Headers: []string{"Stage", "Function", "CPU time %"},
+	}
+	curve := s.Cfg.Curves[0]
+	logN := s.Cfg.LogSizes[len(s.Cfg.LogSizes)-1]
+	profs, err := s.Profiles(curve, logN)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range Stages {
+		for i, f := range HotFunctions(profs[st]) {
+			if i >= 4 {
+				break
+			}
+			t.AddRow(string(st), f.Name, report.F1(f.Percent))
+		}
+	}
+	return t, nil
+}
+
+// ---------- Table V: opcode mix ----------
+
+// Table5OpcodeMix reports the compute/control/data instruction shares per
+// stage and curve, averaged over sizes.
+func (s *Suite) Table5OpcodeMix() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table V — Opcode mix (%), avg over sizes",
+		Headers: []string{"Stage", "Curve", "Comp%", "Ctrl%", "Data%", "Category"},
+	}
+	for _, st := range Stages {
+		for _, curve := range s.Cfg.Curves {
+			var cSum, ctlSum, dSum float64
+			dom := ""
+			for _, logN := range s.Cfg.LogSizes {
+				profs, err := s.Profiles(curve, logN)
+				if err != nil {
+					return nil, err
+				}
+				c, ctl, d := OpcodeMix(profs[st])
+				cSum += c
+				ctlSum += ctl
+				dSum += d
+				dom = OpcodeDominant(profs[st])
+			}
+			n := float64(len(s.Cfg.LogSizes))
+			t.AddRow(string(st), shortCurve(curve),
+				report.F(cSum/n), report.F(ctlSum/n), report.F(dSum/n), dom)
+		}
+	}
+	return t, nil
+}
+
+// ---------- Fig. 6: strong scaling ----------
+
+// Fig6StrongScaling returns one chart per stage: speedup vs. thread count
+// on the i9 for each configured size (BN128, matching the paper's figure).
+func (s *Suite) Fig6StrongScaling() ([]*report.Chart, error) {
+	cpu := cpumodel.NewI9_13900K()
+	curve := s.Cfg.Curves[0]
+	var charts []*report.Chart
+	ticks := make([]string, len(s.Cfg.Threads))
+	for i, n := range s.Cfg.Threads {
+		ticks[i] = fmt.Sprintf("%d", n)
+	}
+	for _, st := range Stages {
+		ch := &report.Chart{
+			Title:  fmt.Sprintf("Fig. 6 — Strong scaling, %s stage (i9, %s)", st, curve),
+			XLabel: "threads",
+			XTicks: ticks,
+		}
+		for _, logN := range s.Cfg.LogSizes {
+			profs, err := s.Profiles(curve, logN)
+			if err != nil {
+				return nil, err
+			}
+			sp := StrongScaling(profs[st], cpu, s.Cfg.Threads)
+			ch.Series = append(ch.Series, report.Series{Name: logLabel(logN), Values: sp})
+		}
+		charts = append(charts, ch)
+	}
+	return charts, nil
+}
+
+// ---------- Fig. 7: weak scaling ----------
+
+// Fig7WeakScaling returns one chart with a series per stage: weak-scaling
+// speedup as threads and constraints double together (i9).
+func (s *Suite) Fig7WeakScaling() (*report.Chart, error) {
+	cpu := cpumodel.NewI9_13900K()
+	curve := s.Cfg.Curves[0]
+	n := len(s.Cfg.WSThreads)
+	if len(s.Cfg.WSLogSizes) < n {
+		n = len(s.Cfg.WSLogSizes)
+	}
+	ticks := make([]string, n)
+	sfs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ticks[i] = fmt.Sprintf("%d/%s", s.Cfg.WSThreads[i], logLabel(s.Cfg.WSLogSizes[i]))
+		sfs[i] = float64(int64(1) << uint(s.Cfg.WSLogSizes[i]-s.Cfg.WSLogSizes[0]))
+	}
+	ch := &report.Chart{
+		Title:  fmt.Sprintf("Fig. 7 — Weak scaling (i9, %s): threads and constraints double together", curve),
+		XLabel: "threads/constraints",
+		XTicks: ticks,
+	}
+	for _, st := range Stages {
+		profiles := make([]*StageProfile, n)
+		for i := 0; i < n; i++ {
+			profs, err := s.Profiles(curve, s.Cfg.WSLogSizes[i])
+			if err != nil {
+				return nil, err
+			}
+			profiles[i] = profs[st]
+		}
+		sp := WeakScaling(profiles, cpu, s.Cfg.WSThreads[:n], sfs)
+		ch.Series = append(ch.Series, report.Series{Name: string(st), Values: sp})
+	}
+	return ch, nil
+}
+
+// ---------- Table VI: serial/parallel fits ----------
+
+// Table6SerialParallel fits Amdahl's law to the strong-scaling curves
+// (averaged over sizes) and Gustafson's law to the weak-scaling curves,
+// reporting serial/parallel percentages per stage and curve on the i9.
+func (s *Suite) Table6SerialParallel() (*report.Table, error) {
+	cpu := cpumodel.NewI9_13900K()
+	t := &report.Table{
+		Title:   "Table VI — Serial vs parallel share per stage (i9)",
+		Headers: []string{"Stage", "Curve", "SS Serial%", "SS Parallel%", "WS Serial%", "WS Parallel%"},
+	}
+	for _, st := range Stages {
+		for _, curve := range s.Cfg.Curves {
+			// Strong scaling: average the Amdahl fit over sizes.
+			var ssPar float64
+			for _, logN := range s.Cfg.LogSizes {
+				profs, err := s.Profiles(curve, logN)
+				if err != nil {
+					return nil, err
+				}
+				sp := StrongScaling(profs[st], cpu, s.Cfg.Threads)
+				fit := FitStrong(s.Cfg.Threads, sp)
+				ssPar += fit.ParallelPct
+			}
+			ssPar /= float64(len(s.Cfg.LogSizes))
+
+			// Weak scaling fit.
+			n := len(s.Cfg.WSThreads)
+			if len(s.Cfg.WSLogSizes) < n {
+				n = len(s.Cfg.WSLogSizes)
+			}
+			profiles := make([]*StageProfile, n)
+			sfs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				profs, err := s.Profiles(curve, s.Cfg.WSLogSizes[i])
+				if err != nil {
+					return nil, err
+				}
+				profiles[i] = profs[st]
+				sfs[i] = float64(int64(1) << uint(s.Cfg.WSLogSizes[i]-s.Cfg.WSLogSizes[0]))
+			}
+			ws := WeakScaling(profiles, cpu, s.Cfg.WSThreads[:n], sfs)
+			wsFit := FitWeak(s.Cfg.WSThreads[:n], ws)
+
+			t.AddRow(string(st), shortCurve(curve),
+				report.F(100-ssPar), report.F(ssPar),
+				report.F(wsFit.SerialPct), report.F(wsFit.ParallelPct))
+		}
+	}
+	return t, nil
+}
+
+// shortCPU abbreviates a CPU name for table headers.
+func shortCPU(name string) string {
+	switch name {
+	case "i7-8650U":
+		return "i7"
+	case "i5-11400":
+		return "i5"
+	case "i9-13900K":
+		return "i9"
+	}
+	return name
+}
+
+// shortCurve abbreviates a curve name.
+func shortCurve(name string) string {
+	switch name {
+	case "BN128", "BN254":
+		return "BN"
+	case "BLS12-381":
+		return "BLS"
+	}
+	return name
+}

@@ -1,0 +1,110 @@
+package curve
+
+import (
+	"fmt"
+	"io"
+
+	"zkperf/internal/ff"
+)
+
+// Compressed point encoding: the paper's Key Takeaway 2 suggests point
+// compression (citing Gorla & Massierer) to reduce the memory traffic of
+// the key-heavy stages. A compressed G1 point stores only the x coordinate
+// plus one parity bit for y, halving the serialized size; decompression
+// recovers y with one square root (y² = x³ + b).
+//
+// The ablation benchmark compares zkey sizes and (de)serialization time
+// between the two encodings.
+
+// Compressed-point flag byte values.
+const (
+	flagInfinity = 0
+	flagYEven    = 2
+	flagYOdd     = 3
+)
+
+// G1CompressedLen returns the byte length of a compressed G1 encoding.
+func (c *Curve) G1CompressedLen() int { return 1 + c.Fp.ByteLen() }
+
+// G1Compress encodes p as a flag byte plus the x coordinate. The flag
+// carries the parity of the canonical representation of y.
+func (c *Curve) G1Compress(p *G1Affine) []byte {
+	out := make([]byte, c.G1CompressedLen())
+	if p.Inf {
+		out[0] = flagInfinity
+		return out
+	}
+	yBytes := c.Fp.Bytes(&p.Y)
+	if yBytes[len(yBytes)-1]&1 == 0 {
+		out[0] = flagYEven
+	} else {
+		out[0] = flagYOdd
+	}
+	copy(out[1:], c.Fp.Bytes(&p.X))
+	return out
+}
+
+// G1Decompress recovers a point from its compressed encoding, solving
+// y² = x³ + b and selecting the root with the recorded parity.
+func (c *Curve) G1Decompress(p *G1Affine, data []byte) error {
+	if len(data) != c.G1CompressedLen() {
+		return fmt.Errorf("curve: compressed G1 length %d, want %d", len(data), c.G1CompressedLen())
+	}
+	switch data[0] {
+	case flagInfinity:
+		*p = G1Affine{Inf: true}
+		return nil
+	case flagYEven, flagYOdd:
+	default:
+		return fmt.Errorf("curve: invalid compression flag %d", data[0])
+	}
+	p.Inf = false
+	c.Fp.SetBytes(&p.X, data[1:])
+	// y² = x³ + b
+	var y2 ff.Element
+	c.Fp.Square(&y2, &p.X)
+	c.Fp.Mul(&y2, &y2, &p.X)
+	c.Fp.Add(&y2, &y2, &c.B)
+	if !c.Fp.Sqrt(&p.Y, &y2) {
+		return fmt.Errorf("curve: x coordinate is not on the curve")
+	}
+	wantOdd := data[0] == flagYOdd
+	yBytes := c.Fp.Bytes(&p.Y)
+	if (yBytes[len(yBytes)-1]&1 == 1) != wantOdd {
+		c.Fp.Neg(&p.Y, &p.Y)
+	}
+	return nil
+}
+
+// WriteG1SliceCompressed writes a length-prefixed compressed point array.
+func (c *Curve) WriteG1SliceCompressed(w io.Writer, ps []G1Affine) error {
+	if err := writeU64(w, uint64(len(ps))); err != nil {
+		return err
+	}
+	for i := range ps {
+		if _, err := w.Write(c.G1Compress(&ps[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadG1SliceCompressed reads a length-prefixed compressed point array,
+// decompressing (and thereby validating) every point.
+func (c *Curve) ReadG1SliceCompressed(r io.Reader) ([]G1Affine, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]G1Affine, n)
+	buf := make([]byte, c.G1CompressedLen())
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if err := c.G1Decompress(&out[i], buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package curve
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	for _, c := range testCurves() {
+		var g, p G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		for k := int64(1); k <= 32; k++ {
+			c.G1ScalarMulBig(&p, &g, big.NewInt(k))
+			var aff, back G1Affine
+			c.G1ToAffine(&aff, &p)
+			data := c.G1Compress(&aff)
+			if len(data) != c.G1CompressedLen() {
+				t.Fatalf("%s: compressed length %d", c.Name, len(data))
+			}
+			if err := c.G1Decompress(&back, data); err != nil {
+				t.Fatalf("%s: decompress [%d]G: %v", c.Name, k, err)
+			}
+			if !c.Fp.Equal(&aff.X, &back.X) || !c.Fp.Equal(&aff.Y, &back.Y) {
+				t.Fatalf("%s: [%d]G changed in compression round trip", c.Name, k)
+			}
+		}
+	}
+}
+
+func TestCompressInfinity(t *testing.T) {
+	c := NewBN254()
+	inf := G1Affine{Inf: true}
+	var back G1Affine
+	if err := c.G1Decompress(&back, c.G1Compress(&inf)); err != nil || !back.Inf {
+		t.Error("infinity compression round trip failed")
+	}
+}
+
+func TestCompressHalvesSize(t *testing.T) {
+	c := NewBN254()
+	if c.G1CompressedLen() >= c.G1EncodedLen() {
+		t.Errorf("compressed %d bytes vs uncompressed %d", c.G1CompressedLen(), c.G1EncodedLen())
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	c := NewBN254()
+	var p G1Affine
+	// Wrong length.
+	if err := c.G1Decompress(&p, []byte{1, 2, 3}); err == nil {
+		t.Error("short encoding accepted")
+	}
+	// Bad flag.
+	data := make([]byte, c.G1CompressedLen())
+	data[0] = 7
+	if err := c.G1Decompress(&p, data); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// x not on curve: x = 0 gives y² = b = 3, a non-residue for BN254.
+	data[0] = flagYEven
+	for i := 1; i < len(data); i++ {
+		data[i] = 0
+	}
+	var y2 ff.Element
+	c.Fp.Set(&y2, &c.B)
+	if c.Fp.Legendre(&y2) == -1 {
+		if err := c.G1Decompress(&p, data); err == nil {
+			t.Error("off-curve x accepted")
+		}
+	}
+}
+
+func TestCompressedSliceRoundTrip(t *testing.T) {
+	c := NewBN254()
+	points, _ := msmTestVectors(c, 20, 99)
+	points[3].Inf = true
+	var buf bytes.Buffer
+	if err := c.WriteG1SliceCompressed(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	// Compressed stream should be roughly half the uncompressed one.
+	var unbuf bytes.Buffer
+	if err := c.WriteG1Slice(&unbuf, points); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= unbuf.Len()*3/4 {
+		t.Errorf("compressed %dB not much smaller than %dB", buf.Len(), unbuf.Len())
+	}
+	back, err := c.ReadG1SliceCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(points) {
+		t.Fatal("length changed")
+	}
+	for i := range points {
+		if points[i].Inf != back[i].Inf {
+			t.Fatalf("infinity flag changed at %d", i)
+		}
+		if !points[i].Inf && (!c.Fp.Equal(&points[i].X, &back[i].X) || !c.Fp.Equal(&points[i].Y, &back[i].Y)) {
+			t.Fatalf("point %d changed", i)
+		}
+	}
+}

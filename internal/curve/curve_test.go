@@ -1,0 +1,340 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+func testCurves() []*Curve { return []*Curve{NewBN254(), NewBLS12381()} }
+
+func TestGeneratorsOnCurve(t *testing.T) {
+	for _, c := range testCurves() {
+		if !c.G1IsOnCurve(&c.G1Gen) {
+			t.Errorf("%s: G1 generator not on curve", c.Name)
+		}
+		if !c.G2IsOnCurve(&c.G2Gen) {
+			t.Errorf("%s: G2 generator not on twist curve", c.Name)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	for _, c := range testCurves() {
+		var g, rg G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		c.G1ScalarMulBig(&rg, &g, c.Fr.Modulus())
+		if !c.G1IsInfinity(&rg) {
+			t.Errorf("%s: [r]G1 != infinity", c.Name)
+		}
+		var g2, rg2 G2Jac
+		c.G2FromAffine(&g2, &c.G2Gen)
+		c.G2ScalarMulBig(&rg2, &g2, c.Fr.Modulus())
+		if !c.G2IsInfinity(&rg2) {
+			t.Errorf("%s: [r]G2 != infinity", c.Name)
+		}
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	for _, c := range testCurves() {
+		var g, twoG, gPlusG, threeG, sum G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+
+		c.G1Double(&twoG, &g)
+		c.G1Add(&gPlusG, &g, &g)
+		if !c.G1Equal(&twoG, &gPlusG) {
+			t.Errorf("%s: 2G != G+G", c.Name)
+		}
+
+		c.G1Add(&threeG, &twoG, &g)
+		c.G1ScalarMulBig(&sum, &g, big.NewInt(3))
+		if !c.G1Equal(&threeG, &sum) {
+			t.Errorf("%s: 2G+G != [3]G", c.Name)
+		}
+
+		// G + (−G) = ∞
+		var negG, zero G1Jac
+		c.G1Neg(&negG, &g)
+		c.G1Add(&zero, &g, &negG)
+		if !c.G1IsInfinity(&zero) {
+			t.Errorf("%s: G + (−G) != infinity", c.Name)
+		}
+
+		// ∞ + G = G
+		var inf, res G1Jac
+		c.G1Infinity(&inf)
+		c.G1Add(&res, &inf, &g)
+		if !c.G1Equal(&res, &g) {
+			t.Errorf("%s: ∞ + G != G", c.Name)
+		}
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	for _, c := range testCurves() {
+		var g, twoG, gPlusG, threeG, sum G2Jac
+		c.G2FromAffine(&g, &c.G2Gen)
+
+		c.G2Double(&twoG, &g)
+		c.G2Add(&gPlusG, &g, &g)
+		if !c.G2Equal(&twoG, &gPlusG) {
+			t.Errorf("%s: 2G2 != G2+G2", c.Name)
+		}
+
+		c.G2Add(&threeG, &twoG, &g)
+		c.G2ScalarMulBig(&sum, &g, big.NewInt(3))
+		if !c.G2Equal(&threeG, &sum) {
+			t.Errorf("%s: 2G2+G2 != [3]G2", c.Name)
+		}
+
+		var negG, zero G2Jac
+		c.G2Neg(&negG, &g)
+		c.G2Add(&zero, &g, &negG)
+		if !c.G2IsInfinity(&zero) {
+			t.Errorf("%s: G2 + (−G2) != infinity", c.Name)
+		}
+	}
+}
+
+func TestScalarMulDistributive(t *testing.T) {
+	for _, c := range testCurves() {
+		var g G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		rng := ff.NewRNG(31)
+		var a, b, apb ff.Element
+		c.Fr.Random(&a, rng)
+		c.Fr.Random(&b, rng)
+		c.Fr.Add(&apb, &a, &b)
+
+		var ag, bg, abg, sum G1Jac
+		c.G1ScalarMul(&ag, &g, &a)
+		c.G1ScalarMul(&bg, &g, &b)
+		c.G1ScalarMul(&abg, &g, &apb)
+		c.G1Add(&sum, &ag, &bg)
+		if !c.G1Equal(&abg, &sum) {
+			t.Errorf("%s: [a+b]G != [a]G + [b]G", c.Name)
+		}
+	}
+}
+
+func TestToAffineRoundTrip(t *testing.T) {
+	for _, c := range testCurves() {
+		var g, back G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		c.G1ScalarMulBig(&g, &g, big.NewInt(12345))
+		var aff G1Affine
+		c.G1ToAffine(&aff, &g)
+		if !c.G1IsOnCurve(&aff) {
+			t.Errorf("%s: [12345]G not on curve after normalization", c.Name)
+		}
+		c.G1FromAffine(&back, &aff)
+		if !c.G1Equal(&back, &g) {
+			t.Errorf("%s: affine round-trip changed the point", c.Name)
+		}
+	}
+}
+
+func TestBatchToAffine(t *testing.T) {
+	for _, c := range testCurves() {
+		const n = 17
+		src := make([]G1Jac, n)
+		var g G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		for i := range src {
+			c.G1ScalarMulBig(&src[i], &g, big.NewInt(int64(i))) // includes [0]G = ∞
+		}
+		dst := make([]G1Affine, n)
+		c.G1BatchToAffine(dst, src)
+		if !dst[0].Inf {
+			t.Errorf("%s: batch [0]G should be infinity", c.Name)
+		}
+		for i := 1; i < n; i++ {
+			var one G1Affine
+			c.G1ToAffine(&one, &src[i])
+			if !c.Fp.Equal(&one.X, &dst[i].X) || !c.Fp.Equal(&one.Y, &dst[i].Y) {
+				t.Errorf("%s: batch affine mismatch at %d", c.Name, i)
+			}
+		}
+	}
+}
+
+func msmTestVectors(c *Curve, n int, seed uint64) ([]G1Affine, []ff.Element) {
+	rng := ff.NewRNG(seed)
+	points := make([]G1Affine, n)
+	scalars := make([]ff.Element, n)
+	var g, p G1Jac
+	c.G1FromAffine(&g, &c.G1Gen)
+	for i := 0; i < n; i++ {
+		var k ff.Element
+		c.Fr.Random(&k, rng)
+		c.G1ScalarMul(&p, &g, &k)
+		c.G1ToAffine(&points[i], &p)
+		c.Fr.Random(&scalars[i], rng)
+	}
+	return points, scalars
+}
+
+func TestMSMMatchesNaive(t *testing.T) {
+	for _, c := range testCurves() {
+		for _, n := range []int{1, 2, 7, 33, 100} {
+			points, scalars := msmTestVectors(c, n, uint64(n))
+			fast := c.G1MSM(points, scalars, 1)
+			naive := c.G1MSMNaive(points, scalars)
+			if !c.G1Equal(&fast, &naive) {
+				t.Errorf("%s: MSM(n=%d) != naive", c.Name, n)
+			}
+		}
+	}
+}
+
+func TestMSMParallelMatchesSerial(t *testing.T) {
+	c := NewBN254()
+	points, scalars := msmTestVectors(c, 256, 77)
+	serial := c.G1MSM(points, scalars, 1)
+	parallel := c.G1MSM(points, scalars, 8)
+	if !c.G1Equal(&serial, &parallel) {
+		t.Error("parallel MSM disagrees with serial MSM")
+	}
+}
+
+func TestMSMEdgeCases(t *testing.T) {
+	c := NewBN254()
+	// Empty input.
+	res := c.G1MSM(nil, nil, 1)
+	if !c.G1IsInfinity(&res) {
+		t.Error("MSM of empty input should be infinity")
+	}
+	// All-zero scalars.
+	points, scalars := msmTestVectors(c, 9, 3)
+	for i := range scalars {
+		c.Fr.Zero(&scalars[i])
+	}
+	res = c.G1MSM(points, scalars, 1)
+	if !c.G1IsInfinity(&res) {
+		t.Error("MSM with zero scalars should be infinity")
+	}
+	// Mismatched lengths must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("MSM length mismatch should panic")
+		}
+	}()
+	c.G1MSM(points[:3], scalars[:2], 1)
+}
+
+func TestG2MSM(t *testing.T) {
+	c := NewBN254()
+	const n = 20
+	rng := ff.NewRNG(5)
+	points := make([]G2Affine, n)
+	scalars := make([]ff.Element, n)
+	var g, p G2Jac
+	c.G2FromAffine(&g, &c.G2Gen)
+	for i := 0; i < n; i++ {
+		var k ff.Element
+		c.Fr.Random(&k, rng)
+		c.G2ScalarMul(&p, &g, &k)
+		c.G2ToAffine(&points[i], &p)
+		c.Fr.Random(&scalars[i], rng)
+	}
+	fast := c.G2MSM(points, scalars, 1)
+	// Naive reference.
+	var acc, term, pj G2Jac
+	c.G2Infinity(&acc)
+	for i := range points {
+		c.G2FromAffine(&pj, &points[i])
+		c.G2ScalarMul(&term, &pj, &scalars[i])
+		c.G2Add(&acc, &acc, &term)
+	}
+	if !c.G2Equal(&fast, &acc) {
+		t.Error("G2 MSM != naive reference")
+	}
+}
+
+func TestWindowDigit(t *testing.T) {
+	// 0b...1111_0000_1010 with c=4: digits are 10, 0, 15, ...
+	limbs := []uint64{0xF0A, 0x1}
+	if d := windowDigit(limbs, 0, 4); d != 0xA {
+		t.Errorf("digit 0 = %d, want 10", d)
+	}
+	if d := windowDigit(limbs, 1, 4); d != 0 {
+		t.Errorf("digit 1 = %d, want 0", d)
+	}
+	if d := windowDigit(limbs, 2, 4); d != 0xF {
+		t.Errorf("digit 2 = %d, want 15", d)
+	}
+	// Digit straddling the limb boundary: bits 60..64.
+	limbs2 := []uint64{0xF000000000000000, 0x1}
+	if d := windowDigit(limbs2, 12, 5); d != 0x1F {
+		t.Errorf("straddling digit = %d, want 31", d)
+	}
+	// Out of range window.
+	if d := windowDigit(limbs2, 100, 5); d != 0 {
+		t.Errorf("out-of-range digit = %d, want 0", d)
+	}
+}
+
+func TestNewCurveByName(t *testing.T) {
+	for _, name := range []string{"BN254", "BN128", "bn254", "bn128"} {
+		if c := NewCurve(name); c == nil || c.Name != "BN254" {
+			t.Errorf("NewCurve(%q) failed", name)
+		}
+	}
+	for _, name := range []string{"BLS12-381", "BLS12381", "bls12-381"} {
+		if c := NewCurve(name); c == nil || c.Name != "BLS12-381" {
+			t.Errorf("NewCurve(%q) failed", name)
+		}
+	}
+	if c := NewCurve("P-256"); c != nil {
+		t.Error("NewCurve should return nil for unknown curves")
+	}
+}
+
+func TestFixedBaseTableMatchesScalarMul(t *testing.T) {
+	for _, c := range testCurves() {
+		tab := c.NewG1Table(&c.G1Gen)
+		tab2 := c.NewG2Table(&c.G2Gen)
+		rng := ff.NewRNG(61)
+		var gj G1Jac
+		c.G1FromAffine(&gj, &c.G1Gen)
+		var g2j G2Jac
+		c.G2FromAffine(&g2j, &c.G2Gen)
+		for i := 0; i < 5; i++ {
+			var k ff.Element
+			c.Fr.Random(&k, rng)
+			var fromTable, direct G1Jac
+			tab.Mul(&fromTable, &k)
+			c.G1ScalarMul(&direct, &gj, &k)
+			if !c.G1Equal(&fromTable, &direct) {
+				t.Fatalf("%s: G1 table mul disagrees with double-and-add", c.Name)
+			}
+			var fromTable2, direct2 G2Jac
+			tab2.Mul(&fromTable2, &k)
+			c.G2ScalarMul(&direct2, &g2j, &k)
+			if !c.G2Equal(&fromTable2, &direct2) {
+				t.Fatalf("%s: G2 table mul disagrees with double-and-add", c.Name)
+			}
+		}
+		// Batch path matches the single path, including zero scalars.
+		scalars := make([]ff.Element, 7)
+		for i := range scalars {
+			c.Fr.Random(&scalars[i], rng)
+		}
+		c.Fr.Zero(&scalars[3])
+		batch := tab.MulBatch(scalars, 2)
+		for i := range scalars {
+			var single G1Jac
+			tab.Mul(&single, &scalars[i])
+			var aff G1Affine
+			c.G1ToAffine(&aff, &single)
+			if aff.Inf != batch[i].Inf {
+				t.Fatalf("%s: batch infinity mismatch at %d", c.Name, i)
+			}
+			if !aff.Inf && (!c.Fp.Equal(&aff.X, &batch[i].X) || !c.Fp.Equal(&aff.Y, &batch[i].Y)) {
+				t.Fatalf("%s: batch mismatch at %d", c.Name, i)
+			}
+		}
+	}
+}

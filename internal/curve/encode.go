@@ -1,0 +1,202 @@
+package curve
+
+import (
+	"fmt"
+	"io"
+
+	"zkperf/internal/ff"
+)
+
+// Point serialization: uncompressed affine encoding with a leading flag
+// byte (0 = infinity, 1 = finite), then big-endian X and Y coordinates.
+// G2 coordinates serialize as A0 then A1 for each of X and Y.
+
+// G1Bytes returns the canonical encoding of p.
+func (c *Curve) G1Bytes(p *G1Affine) []byte {
+	n := c.Fp.ByteLen()
+	out := make([]byte, 1+2*n)
+	if p.Inf {
+		return out
+	}
+	out[0] = 1
+	copy(out[1:1+n], c.Fp.Bytes(&p.X))
+	copy(out[1+n:], c.Fp.Bytes(&p.Y))
+	return out
+}
+
+// G1SetBytes decodes p from data, validating that the point is on the
+// curve.
+func (c *Curve) G1SetBytes(p *G1Affine, data []byte) error {
+	n := c.Fp.ByteLen()
+	if len(data) != 1+2*n {
+		return fmt.Errorf("curve: G1 encoding length %d, want %d", len(data), 1+2*n)
+	}
+	if data[0] == 0 {
+		*p = G1Affine{Inf: true}
+		return nil
+	}
+	p.Inf = false
+	c.Fp.SetBytes(&p.X, data[1:1+n])
+	c.Fp.SetBytes(&p.Y, data[1+n:])
+	if !c.G1IsOnCurve(p) {
+		return fmt.Errorf("curve: decoded G1 point not on curve")
+	}
+	return nil
+}
+
+// G1EncodedLen returns the byte length of a G1 encoding.
+func (c *Curve) G1EncodedLen() int { return 1 + 2*c.Fp.ByteLen() }
+
+// G2Bytes returns the canonical encoding of p.
+func (c *Curve) G2Bytes(p *G2Affine) []byte {
+	n := c.Fp.ByteLen()
+	out := make([]byte, 1+4*n)
+	if p.Inf {
+		return out
+	}
+	out[0] = 1
+	copy(out[1:], c.Fp.Bytes(&p.X.A0))
+	copy(out[1+n:], c.Fp.Bytes(&p.X.A1))
+	copy(out[1+2*n:], c.Fp.Bytes(&p.Y.A0))
+	copy(out[1+3*n:], c.Fp.Bytes(&p.Y.A1))
+	return out
+}
+
+// G2SetBytes decodes p from data, validating curve membership.
+func (c *Curve) G2SetBytes(p *G2Affine, data []byte) error {
+	n := c.Fp.ByteLen()
+	if len(data) != 1+4*n {
+		return fmt.Errorf("curve: G2 encoding length %d, want %d", len(data), 1+4*n)
+	}
+	if data[0] == 0 {
+		*p = G2Affine{Inf: true}
+		return nil
+	}
+	p.Inf = false
+	c.Fp.SetBytes(&p.X.A0, data[1:1+n])
+	c.Fp.SetBytes(&p.X.A1, data[1+n:1+2*n])
+	c.Fp.SetBytes(&p.Y.A0, data[1+2*n:1+3*n])
+	c.Fp.SetBytes(&p.Y.A1, data[1+3*n:])
+	if !c.G2IsOnCurve(p) {
+		return fmt.Errorf("curve: decoded G2 point not on curve")
+	}
+	return nil
+}
+
+// G2EncodedLen returns the byte length of a G2 encoding.
+func (c *Curve) G2EncodedLen() int { return 1 + 4*c.Fp.ByteLen() }
+
+// WriteG1Slice writes a length-prefixed G1 point array.
+func (c *Curve) WriteG1Slice(w io.Writer, ps []G1Affine) error {
+	if err := writeU64(w, uint64(len(ps))); err != nil {
+		return err
+	}
+	for i := range ps {
+		if _, err := w.Write(c.G1Bytes(&ps[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadG1Slice reads a length-prefixed G1 point array.
+func (c *Curve) ReadG1Slice(r io.Reader) ([]G1Affine, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]G1Affine, n)
+	buf := make([]byte, c.G1EncodedLen())
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if err := c.G1SetBytes(&out[i], buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteG2Slice writes a length-prefixed G2 point array.
+func (c *Curve) WriteG2Slice(w io.Writer, ps []G2Affine) error {
+	if err := writeU64(w, uint64(len(ps))); err != nil {
+		return err
+	}
+	for i := range ps {
+		if _, err := w.Write(c.G2Bytes(&ps[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadG2Slice reads a length-prefixed G2 point array.
+func (c *Curve) ReadG2Slice(r io.Reader) ([]G2Affine, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]G2Affine, n)
+	buf := make([]byte, c.G2EncodedLen())
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if err := c.G2SetBytes(&out[i], buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteFrSlice writes a length-prefixed scalar array.
+func WriteFrSlice(w io.Writer, fr *ff.Field, xs []ff.Element) error {
+	if err := writeU64(w, uint64(len(xs))); err != nil {
+		return err
+	}
+	for i := range xs {
+		if _, err := w.Write(fr.Bytes(&xs[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrSlice reads a length-prefixed scalar array.
+func ReadFrSlice(r io.Reader, fr *ff.Field) ([]ff.Element, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ff.Element, n)
+	buf := make([]byte, fr.ByteLen())
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		fr.SetBytes(&out[i], buf)
+	}
+	return out, nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}

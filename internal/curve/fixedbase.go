@@ -1,0 +1,129 @@
+package curve
+
+import (
+	"zkperf/internal/ff"
+	"zkperf/internal/tower"
+)
+
+// Fixed-base scalar multiplication: the Groth16 setup performs hundreds of
+// thousands of scalar multiplications with the same base (the group
+// generator), so a windowed precomputation table turns each one into
+// ~⌈bits/c⌉ mixed additions. The table is built once per curve engine and
+// shared across all setups.
+
+// fixedBaseWindow is the table window width. 8 gives 255-entry rows and
+// 32 rows for a 254-bit scalar field: ~8k precomputed points.
+const fixedBaseWindow = 8
+
+// FixedBaseTable holds the per-window multiples of one base point:
+// table[w][d−1] = [d·2^{cw}]·Base for digits d in 1..2^c−1.
+type FixedBaseTable[E any] struct {
+	ops     Ops[E]
+	windows [][]Affine[E]
+	bits    int
+}
+
+// newFixedBaseTable precomputes the table for the given affine base.
+func newFixedBaseTable[E any](ops Ops[E], base *Affine[E], scalarBits int) *FixedBaseTable[E] {
+	c := fixedBaseWindow
+	numWindows := (scalarBits + c - 1) / c
+	t := &FixedBaseTable[E]{ops: ops, bits: scalarBits}
+	t.windows = make([][]Affine[E], numWindows)
+
+	var windowBase Jac[E]
+	fromAffine(ops, &windowBase, base)
+	rowJac := make([]Jac[E], (1<<uint(c))-1)
+	for w := 0; w < numWindows; w++ {
+		// Row: 1·B, 2·B, …, (2^c−1)·B where B = [2^{cw}]·base.
+		var acc Jac[E]
+		jacSetInfinity(ops, &acc)
+		for d := 0; d < len(rowJac); d++ {
+			jacAdd(ops, &acc, &acc, &windowBase)
+			rowJac[d] = acc
+		}
+		row := make([]Affine[E], len(rowJac))
+		batchToAffine(ops, row, rowJac)
+		t.windows[w] = row
+		// Advance the window base: B ← [2^c]·B.
+		for i := 0; i < c; i++ {
+			jacDouble(ops, &windowBase, &windowBase)
+		}
+	}
+	return t
+}
+
+// mul computes [k]·Base for a canonical little-endian limb scalar.
+func (t *FixedBaseTable[E]) mul(z *Jac[E], limbs []uint64) {
+	ops := t.ops
+	jacSetInfinity(ops, z)
+	for w := range t.windows {
+		d := windowDigit(limbs, w, fixedBaseWindow)
+		if d == 0 {
+			continue
+		}
+		jacAddAffine(ops, z, z, &t.windows[w][d-1])
+	}
+}
+
+// G1Table is a fixed-base table over the G1 generator (or any G1 point).
+type G1Table struct {
+	c   *Curve
+	tab *FixedBaseTable[ff.Element]
+}
+
+// G2Table is a fixed-base table over a G2 point.
+type G2Table struct {
+	c   *Curve
+	tab *FixedBaseTable[tower.E2]
+}
+
+// NewG1Table precomputes a fixed-base table for base.
+func (c *Curve) NewG1Table(base *G1Affine) *G1Table {
+	return &G1Table{c: c, tab: newFixedBaseTable[ff.Element](c.g1ops, base, c.Fr.Bits())}
+}
+
+// NewG2Table precomputes a fixed-base table for base.
+func (c *Curve) NewG2Table(base *G2Affine) *G2Table {
+	return &G2Table{c: c, tab: newFixedBaseTable[tower.E2](c.g2ops, base, c.Fr.Bits())}
+}
+
+// Mul sets z = [k]·Base for a scalar-field element k.
+func (t *G1Table) Mul(z *G1Jac, k *ff.Element) {
+	limbs := frToLimbs(t.c.Fr, []ff.Element{*k})
+	t.tab.mul(z, limbs[0])
+}
+
+// Mul sets z = [k]·Base for a scalar-field element k.
+func (t *G2Table) Mul(z *G2Jac, k *ff.Element) {
+	limbs := frToLimbs(t.c.Fr, []ff.Element{*k})
+	t.tab.mul(z, limbs[0])
+}
+
+// MulBatch computes [kᵢ]·Base for every scalar, in parallel worker chunks,
+// returning affine results (batch-normalized per chunk).
+func (t *G1Table) MulBatch(scalars []ff.Element, threads int) []G1Affine {
+	out := make([]G1Affine, len(scalars))
+	limbs := frToLimbs(t.c.Fr, scalars)
+	parallelChunks(len(scalars), threads, func(lo, hi int) {
+		jacs := make([]G1Jac, hi-lo)
+		for i := lo; i < hi; i++ {
+			t.tab.mul(&jacs[i-lo], limbs[i])
+		}
+		batchToAffine[ff.Element](t.c.g1ops, out[lo:hi], jacs)
+	})
+	return out
+}
+
+// MulBatch computes [kᵢ]·Base for every scalar, in parallel worker chunks.
+func (t *G2Table) MulBatch(scalars []ff.Element, threads int) []G2Affine {
+	out := make([]G2Affine, len(scalars))
+	limbs := frToLimbs(t.c.Fr, scalars)
+	parallelChunks(len(scalars), threads, func(lo, hi int) {
+		jacs := make([]G2Jac, hi-lo)
+		for i := lo; i < hi; i++ {
+			t.tab.mul(&jacs[i-lo], limbs[i])
+		}
+		batchToAffine[tower.E2](t.c.g2ops, out[lo:hi], jacs)
+	})
+	return out
+}

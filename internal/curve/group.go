@@ -1,0 +1,284 @@
+// Package curve implements the elliptic-curve groups G1 and G2 of the
+// BN254 and BLS12-381 pairing-friendly curves: affine and Jacobian point
+// arithmetic, scalar multiplication, and Pippenger multi-scalar
+// multiplication (MSM) — the dominant kernel of the Groth16 setup and
+// proving stages that the paper characterizes.
+//
+// The group law is written once, generically over a coordinate-field
+// adapter (Ops), and instantiated for Fp (G1) and Fp2 (G2). Both curves
+// have a = 0, so the a=0 short-Weierstrass Jacobian formulas apply.
+package curve
+
+import "math/big"
+
+// Ops is the coordinate-field adapter the generic group law is written
+// against. It is implemented by fpOps (base field, G1) and e2Ops (quadratic
+// extension, G2).
+type Ops[E any] interface {
+	Set(z, x *E)
+	SetZero(z *E)
+	SetOne(z *E)
+	Add(z, x, y *E)
+	Sub(z, x, y *E)
+	Neg(z, x *E)
+	Mul(z, x, y *E)
+	Square(z, x *E)
+	Double(z, x *E)
+	Inverse(z, x *E)
+	IsZero(x *E) bool
+	Equal(x, y *E) bool
+}
+
+// Affine is a point in affine coordinates. The zero value is NOT the
+// identity; use Inf to mark the point at infinity.
+type Affine[E any] struct {
+	X, Y E
+	Inf  bool
+}
+
+// Jac is a point in Jacobian projective coordinates (X/Z², Y/Z³).
+// Z == 0 encodes the point at infinity.
+type Jac[E any] struct {
+	X, Y, Z E
+}
+
+// jacSetInfinity sets p to the identity.
+func jacSetInfinity[E any](ops Ops[E], p *Jac[E]) {
+	ops.SetOne(&p.X)
+	ops.SetOne(&p.Y)
+	ops.SetZero(&p.Z)
+}
+
+// jacIsInfinity reports whether p is the identity.
+func jacIsInfinity[E any](ops Ops[E], p *Jac[E]) bool { return ops.IsZero(&p.Z) }
+
+// fromAffine lifts an affine point to Jacobian coordinates.
+func fromAffine[E any](ops Ops[E], z *Jac[E], a *Affine[E]) {
+	if a.Inf {
+		jacSetInfinity(ops, z)
+		return
+	}
+	ops.Set(&z.X, &a.X)
+	ops.Set(&z.Y, &a.Y)
+	ops.SetOne(&z.Z)
+}
+
+// toAffine normalizes a Jacobian point to affine coordinates (one field
+// inversion).
+func toAffine[E any](ops Ops[E], z *Affine[E], p *Jac[E]) {
+	if jacIsInfinity(ops, p) {
+		z.Inf = true
+		return
+	}
+	z.Inf = false
+	var zinv, zinv2, zinv3 E
+	ops.Inverse(&zinv, &p.Z)
+	ops.Square(&zinv2, &zinv)
+	ops.Mul(&zinv3, &zinv2, &zinv)
+	ops.Mul(&z.X, &p.X, &zinv2)
+	ops.Mul(&z.Y, &p.Y, &zinv3)
+}
+
+// jacDouble sets z = 2p using the a=0 dbl-2009-l formulas.
+func jacDouble[E any](ops Ops[E], z, p *Jac[E]) {
+	if jacIsInfinity(ops, p) {
+		*z = *p
+		return
+	}
+	var a, b, c, d, e, f, t, t2 E
+	ops.Square(&a, &p.X) // A = X²
+	ops.Square(&b, &p.Y) // B = Y²
+	ops.Square(&c, &b)   // C = B²
+	// D = 2((X+B)² − A − C)
+	ops.Add(&t, &p.X, &b)
+	ops.Square(&t, &t)
+	ops.Sub(&t, &t, &a)
+	ops.Sub(&t, &t, &c)
+	ops.Double(&d, &t)
+	// E = 3A, F = E²
+	ops.Double(&e, &a)
+	ops.Add(&e, &e, &a)
+	ops.Square(&f, &e)
+	// Z3 = 2·Y·Z (computed before X/Y in case z aliases p)
+	var z3 E
+	ops.Mul(&z3, &p.Y, &p.Z)
+	ops.Double(&z3, &z3)
+	// X3 = F − 2D
+	ops.Double(&t, &d)
+	ops.Sub(&z.X, &f, &t)
+	// Y3 = E(D − X3) − 8C
+	ops.Sub(&t, &d, &z.X)
+	ops.Mul(&t, &e, &t)
+	ops.Double(&t2, &c)
+	ops.Double(&t2, &t2)
+	ops.Double(&t2, &t2)
+	ops.Sub(&z.Y, &t, &t2)
+	ops.Set(&z.Z, &z3)
+}
+
+// jacAdd sets z = p + q using the add-2007-bl formulas, handling identity
+// and doubling edge cases.
+func jacAdd[E any](ops Ops[E], z, p, q *Jac[E]) {
+	if jacIsInfinity(ops, p) {
+		*z = *q
+		return
+	}
+	if jacIsInfinity(ops, q) {
+		*z = *p
+		return
+	}
+	var z1z1, z2z2, u1, u2, s1, s2, h, i, j, r, v, t, t2 E
+	ops.Square(&z1z1, &p.Z)
+	ops.Square(&z2z2, &q.Z)
+	ops.Mul(&u1, &p.X, &z2z2)
+	ops.Mul(&u2, &q.X, &z1z1)
+	ops.Mul(&t, &q.Z, &z2z2)
+	ops.Mul(&s1, &p.Y, &t)
+	ops.Mul(&t, &p.Z, &z1z1)
+	ops.Mul(&s2, &q.Y, &t)
+	ops.Sub(&h, &u2, &u1)
+	ops.Sub(&r, &s2, &s1)
+	if ops.IsZero(&h) {
+		if ops.IsZero(&r) {
+			jacDouble(ops, z, p)
+			return
+		}
+		jacSetInfinity(ops, z)
+		return
+	}
+	ops.Double(&r, &r) // r = 2(S2−S1)
+	ops.Double(&t, &h)
+	ops.Square(&i, &t) // I = (2H)²
+	ops.Mul(&j, &h, &i)
+	ops.Mul(&v, &u1, &i)
+	// Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H — before X/Y for aliasing safety.
+	var z3 E
+	ops.Add(&z3, &p.Z, &q.Z)
+	ops.Square(&z3, &z3)
+	ops.Sub(&z3, &z3, &z1z1)
+	ops.Sub(&z3, &z3, &z2z2)
+	ops.Mul(&z3, &z3, &h)
+	// X3 = r² − J − 2V
+	ops.Square(&t, &r)
+	ops.Sub(&t, &t, &j)
+	ops.Double(&t2, &v)
+	ops.Sub(&z.X, &t, &t2)
+	// Y3 = r(V − X3) − 2·S1·J
+	ops.Sub(&t, &v, &z.X)
+	ops.Mul(&t, &r, &t)
+	ops.Mul(&t2, &s1, &j)
+	ops.Double(&t2, &t2)
+	ops.Sub(&z.Y, &t, &t2)
+	ops.Set(&z.Z, &z3)
+}
+
+// jacAddAffine sets z = p + q for an affine q (mixed addition).
+func jacAddAffine[E any](ops Ops[E], z, p *Jac[E], q *Affine[E]) {
+	if q.Inf {
+		*z = *p
+		return
+	}
+	var qj Jac[E]
+	fromAffine(ops, &qj, q)
+	jacAdd(ops, z, p, &qj)
+}
+
+// jacNeg sets z = −p.
+func jacNeg[E any](ops Ops[E], z, p *Jac[E]) {
+	ops.Set(&z.X, &p.X)
+	ops.Neg(&z.Y, &p.Y)
+	ops.Set(&z.Z, &p.Z)
+}
+
+// jacEqual reports whether p and q represent the same point.
+func jacEqual[E any](ops Ops[E], p, q *Jac[E]) bool {
+	pInf, qInf := jacIsInfinity(ops, p), jacIsInfinity(ops, q)
+	if pInf || qInf {
+		return pInf == qInf
+	}
+	// Cross-multiply: X1·Z2² == X2·Z1² and Y1·Z2³ == Y2·Z1³.
+	var z1z1, z2z2, l, r E
+	ops.Square(&z1z1, &p.Z)
+	ops.Square(&z2z2, &q.Z)
+	ops.Mul(&l, &p.X, &z2z2)
+	ops.Mul(&r, &q.X, &z1z1)
+	if !ops.Equal(&l, &r) {
+		return false
+	}
+	var z1c, z2c E
+	ops.Mul(&z1c, &z1z1, &p.Z)
+	ops.Mul(&z2c, &z2z2, &q.Z)
+	ops.Mul(&l, &p.Y, &z2c)
+	ops.Mul(&r, &q.Y, &z1c)
+	return ops.Equal(&l, &r)
+}
+
+// jacScalarMulBig sets z = [k]p for a non-negative big.Int scalar using
+// left-to-right double-and-add.
+func jacScalarMulBig[E any](ops Ops[E], z, p *Jac[E], k *big.Int) {
+	var acc Jac[E]
+	jacSetInfinity(ops, &acc)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		jacDouble(ops, &acc, &acc)
+		if k.Bit(i) == 1 {
+			jacAdd(ops, &acc, &acc, p)
+		}
+	}
+	*z = acc
+}
+
+// isOnCurve reports whether the affine point satisfies y² = x³ + b.
+func isOnCurve[E any](ops Ops[E], p *Affine[E], b *E) bool {
+	if p.Inf {
+		return true
+	}
+	var y2, x3 E
+	ops.Square(&y2, &p.Y)
+	ops.Square(&x3, &p.X)
+	ops.Mul(&x3, &x3, &p.X)
+	ops.Add(&x3, &x3, b)
+	return ops.Equal(&y2, &x3)
+}
+
+// batchToAffine converts a slice of Jacobian points to affine form with a
+// single batch inversion (3 multiplications per point plus one inversion,
+// instead of one inversion per point).
+func batchToAffine[E any](ops Ops[E], dst []Affine[E], src []Jac[E]) {
+	n := len(src)
+	if len(dst) != n {
+		panic("curve: batchToAffine length mismatch")
+	}
+	zs := make([]E, n)
+	for i := range src {
+		ops.Set(&zs[i], &src[i].Z)
+	}
+	// Montgomery batch inversion over the coordinate field.
+	prefix := make([]E, n)
+	var acc E
+	ops.SetOne(&acc)
+	for i := 0; i < n; i++ {
+		ops.Set(&prefix[i], &acc)
+		if !ops.IsZero(&zs[i]) {
+			ops.Mul(&acc, &acc, &zs[i])
+		}
+	}
+	var inv E
+	ops.Inverse(&inv, &acc)
+	for i := n - 1; i >= 0; i-- {
+		if ops.IsZero(&zs[i]) {
+			dst[i].Inf = true
+			continue
+		}
+		var zinv, tmp E
+		ops.Mul(&zinv, &inv, &prefix[i])
+		ops.Mul(&inv, &inv, &zs[i])
+		dst[i].Inf = false
+		var zinv2, zinv3 E
+		ops.Square(&zinv2, &zinv)
+		ops.Mul(&zinv3, &zinv2, &zinv)
+		ops.Mul(&tmp, &src[i].X, &zinv2)
+		ops.Set(&dst[i].X, &tmp)
+		ops.Mul(&tmp, &src[i].Y, &zinv3)
+		ops.Set(&dst[i].Y, &tmp)
+	}
+}

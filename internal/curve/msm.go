@@ -1,0 +1,186 @@
+package curve
+
+import (
+	"runtime"
+	"sync"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/tower"
+)
+
+// Multi-scalar multiplication (MSM): computes Σ kᵢ·Pᵢ with Pippenger's
+// bucket algorithm. MSM dominates the Groth16 setup and proving stages —
+// it is one of the two kernels (with the NTT) that hardware accelerators
+// such as PipeZK target — so this implementation mirrors the structure of
+// production libraries: windowed signed-digit-free bucketing with the
+// window width chosen from the instance size, and optional parallelism
+// across windows.
+
+// msmWindowSize picks the Pippenger window width c for n points. The
+// classic cost model minimizes n·⌈b/c⌉ + ⌈b/c⌉·2^c additions.
+func msmWindowSize(n int) int {
+	switch {
+	case n < 8:
+		return 2
+	case n < 32:
+		return 3
+	case n < 128:
+		return 5
+	case n < 1024:
+		return 7
+	case n < 8192:
+		return 9
+	case n < 1<<17:
+		return 11
+	case n < 1<<21:
+		return 13
+	default:
+		return 15
+	}
+}
+
+// scalarDigits extracts the w-th c-bit window digit from a canonical
+// little-endian limb scalar.
+func windowDigit(limbs []uint64, w, c int) int {
+	bitPos := w * c
+	limbIdx := bitPos >> 6
+	if limbIdx >= len(limbs) {
+		return 0
+	}
+	shift := uint(bitPos & 63)
+	digit := limbs[limbIdx] >> shift
+	if shift+uint(c) > 64 && limbIdx+1 < len(limbs) {
+		digit |= limbs[limbIdx+1] << (64 - shift)
+	}
+	return int(digit & ((1 << uint(c)) - 1))
+}
+
+// msm is the generic Pippenger core. scalars are given as canonical
+// little-endian limb arrays of uniform length; threads bounds the number
+// of concurrent window workers (≤ 1 disables parallelism).
+func msm[E any](ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, threads int) Jac[E] {
+	n := len(points)
+	var result Jac[E]
+	jacSetInfinity(ops, &result)
+	if n == 0 {
+		return result
+	}
+	if n != len(scalars) {
+		panic("curve: MSM points/scalars length mismatch")
+	}
+	c := msmWindowSize(n)
+	numWindows := (scalarBits + c - 1) / c
+	windowSums := make([]Jac[E], numWindows)
+
+	processWindow := func(w int) {
+		buckets := make([]Jac[E], 1<<uint(c))
+		occupied := make([]bool, 1<<uint(c))
+		for i := range buckets {
+			jacSetInfinity(ops, &buckets[i])
+		}
+		for i := 0; i < n; i++ {
+			d := windowDigit(scalars[i], w, c)
+			if d == 0 {
+				continue
+			}
+			jacAddAffine(ops, &buckets[d], &buckets[d], &points[i])
+			occupied[d] = true
+		}
+		// Running-sum trick: Σ d·bucket[d] via two passes of additions.
+		var running, sum Jac[E]
+		jacSetInfinity(ops, &running)
+		jacSetInfinity(ops, &sum)
+		for d := (1 << uint(c)) - 1; d >= 1; d-- {
+			if occupied[d] {
+				jacAdd(ops, &running, &running, &buckets[d])
+			}
+			jacAdd(ops, &sum, &sum, &running)
+		}
+		windowSums[w] = sum
+	}
+
+	if threads <= 1 || numWindows == 1 {
+		for w := 0; w < numWindows; w++ {
+			processWindow(w)
+		}
+	} else {
+		if threads > runtime.GOMAXPROCS(0)*4 {
+			threads = runtime.GOMAXPROCS(0) * 4
+		}
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for w := range work {
+					processWindow(w)
+				}
+			}()
+		}
+		for w := 0; w < numWindows; w++ {
+			work <- w
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Combine windows: result = Σ_w 2^{cw} · windowSums[w], evaluated
+	// Horner-style from the top window down.
+	for w := numWindows - 1; w >= 0; w-- {
+		if w != numWindows-1 {
+			for b := 0; b < c; b++ {
+				jacDouble(ops, &result, &result)
+			}
+		}
+		jacAdd(ops, &result, &result, &windowSums[w])
+	}
+	return result
+}
+
+// frToLimbs converts scalar-field elements (Montgomery form) to canonical
+// little-endian limb arrays for digit extraction.
+func frToLimbs(fr *ff.Field, scalars []ff.Element) [][]uint64 {
+	out := make([][]uint64, len(scalars))
+	nl := fr.NumLimbs()
+	backing := make([]uint64, len(scalars)*nl)
+	for i := range scalars {
+		limbs := backing[i*nl : (i+1)*nl]
+		b := fr.Bytes(&scalars[i]) // canonical big-endian
+		for j := 0; j < nl; j++ {
+			var v uint64
+			for k := 0; k < 8; k++ {
+				v = v<<8 | uint64(b[len(b)-8*(j+1)+k])
+			}
+			limbs[j] = v
+		}
+		out[i] = limbs
+	}
+	return out
+}
+
+// G1MSM computes Σ scalars[i]·points[i] in G1 with up to threads workers.
+func (c *Curve) G1MSM(points []G1Affine, scalars []ff.Element, threads int) G1Jac {
+	limbs := frToLimbs(c.Fr, scalars)
+	return msm[ff.Element](c.g1ops, points, limbs, c.Fr.Bits(), threads)
+}
+
+// G2MSM computes Σ scalars[i]·points[i] in G2 with up to threads workers.
+func (c *Curve) G2MSM(points []G2Affine, scalars []ff.Element, threads int) G2Jac {
+	limbs := frToLimbs(c.Fr, scalars)
+	return msm[tower.E2](c.g2ops, points, limbs, c.Fr.Bits(), threads)
+}
+
+// G1MSMNaive is the baseline double-and-add MSM (one scalar multiplication
+// per point). It exists for correctness cross-checks and for the ablation
+// benchmark comparing Pippenger against the naive algorithm.
+func (c *Curve) G1MSMNaive(points []G1Affine, scalars []ff.Element) G1Jac {
+	var acc, term, pj G1Jac
+	c.G1Infinity(&acc)
+	for i := range points {
+		c.G1FromAffine(&pj, &points[i])
+		c.G1ScalarMul(&term, &pj, &scalars[i])
+		c.G1Add(&acc, &acc, &term)
+	}
+	return acc
+}

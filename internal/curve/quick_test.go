@@ -1,0 +1,113 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"zkperf/internal/ff"
+)
+
+// Property-based tests on the group laws the protocol depends on.
+
+// TestQuickScalarMulHomomorphism: [a+b]G == [a]G + [b]G and
+// [a·b]G == [a]([b]G) for random scalars.
+func TestQuickScalarMulHomomorphism(t *testing.T) {
+	c := NewBN254()
+	var g G1Jac
+	c.G1FromAffine(&g, &c.G1Gen)
+	prop := func(seed uint64) bool {
+		rng := ff.NewRNG(seed)
+		var a, b, apb, ab ff.Element
+		c.Fr.Random(&a, rng)
+		c.Fr.Random(&b, rng)
+		c.Fr.Add(&apb, &a, &b)
+		c.Fr.Mul(&ab, &a, &b)
+
+		var ag, bg, sum, direct G1Jac
+		c.G1ScalarMul(&ag, &g, &a)
+		c.G1ScalarMul(&bg, &g, &b)
+		c.G1Add(&sum, &ag, &bg)
+		c.G1ScalarMul(&direct, &g, &apb)
+		if !c.G1Equal(&sum, &direct) {
+			return false
+		}
+		var nested, flat G1Jac
+		c.G1ScalarMul(&nested, &bg, &a)
+		c.G1ScalarMul(&flat, &g, &ab)
+		return c.G1Equal(&nested, &flat)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAdditionCommutativeAssociative over random multiples of G.
+func TestQuickAdditionLaws(t *testing.T) {
+	c := NewBN254()
+	var g G1Jac
+	c.G1FromAffine(&g, &c.G1Gen)
+	prop := func(ka, kb, kc uint32) bool {
+		var a, b, cc G1Jac
+		c.G1ScalarMulBig(&a, &g, big.NewInt(int64(ka)+1))
+		c.G1ScalarMulBig(&b, &g, big.NewInt(int64(kb)+1))
+		c.G1ScalarMulBig(&cc, &g, big.NewInt(int64(kc)+1))
+
+		var ab, ba G1Jac
+		c.G1Add(&ab, &a, &b)
+		c.G1Add(&ba, &b, &a)
+		if !c.G1Equal(&ab, &ba) {
+			return false
+		}
+		var abc1, abc2, t1 G1Jac
+		c.G1Add(&t1, &a, &b)
+		c.G1Add(&abc1, &t1, &cc)
+		c.G1Add(&t1, &b, &cc)
+		c.G1Add(&abc2, &a, &t1)
+		return c.G1Equal(&abc1, &abc2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPointsStayOnCurve: all group operations preserve the curve
+// equation.
+func TestQuickPointsStayOnCurve(t *testing.T) {
+	c := NewBLS12381()
+	var g G1Jac
+	c.G1FromAffine(&g, &c.G1Gen)
+	prop := func(k uint32) bool {
+		var p G1Jac
+		c.G1ScalarMulBig(&p, &g, big.NewInt(int64(k)))
+		var aff G1Affine
+		c.G1ToAffine(&aff, &p)
+		return c.G1IsOnCurve(&aff)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMSMLinearity: MSM(points, a·s) == [a]·MSM(points, s).
+func TestQuickMSMLinearity(t *testing.T) {
+	c := NewBN254()
+	points, scalars := msmTestVectors(c, 16, 55)
+	prop := func(seed uint64) bool {
+		rng := ff.NewRNG(seed)
+		var a ff.Element
+		c.Fr.Random(&a, rng)
+		scaled := make([]ff.Element, len(scalars))
+		for i := range scalars {
+			c.Fr.Mul(&scaled[i], &scalars[i], &a)
+		}
+		lhs := c.G1MSM(points, scaled, 1)
+		base := c.G1MSM(points, scalars, 1)
+		var rhs G1Jac
+		c.G1ScalarMul(&rhs, &base, &a)
+		return c.G1Equal(&lhs, &rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}

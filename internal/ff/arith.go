@@ -1,0 +1,106 @@
+package ff
+
+import "math/bits"
+
+// Mul sets z = x*y mod p using the CIOS (Coarsely Integrated Operand
+// Scanning) Montgomery multiplication algorithm. The loop is generic over
+// the limb count so that one implementation serves 4-limb (BN254, BLS12-381
+// scalar field) and 6-limb (BLS12-381 base field) moduli.
+func (f *Field) Mul(z, x, y *Element) *Element {
+	if f.Count != nil {
+		f.Count.Mul++
+	}
+	f.mulNoCount(z, x, y)
+	return z
+}
+
+// Square sets z = x*x mod p. It currently reuses the CIOS multiplier; a
+// dedicated squaring saves ~25% of limb products but the generic path keeps
+// the operation-count instrumentation simple and uniform.
+func (f *Field) Square(z, x *Element) *Element {
+	if f.Count != nil {
+		f.Count.Sq++
+	}
+	f.mulNoCount(z, x, x)
+	return z
+}
+
+// mulNoCount is the uncounted CIOS core shared by Mul, Square and the
+// Montgomery-form conversions.
+func (f *Field) mulNoCount(z, x, y *Element) {
+	var t [MaxLimbs + 2]uint64
+	n := f.n
+	for i := 0; i < n; i++ {
+		// t += x[i] * y
+		var c uint64
+		xi := x[i]
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t[n], cc = bits.Add64(t[n], c, 0)
+		t[n+1] = cc
+
+		// Montgomery reduction step: make t divisible by 2^64.
+		m := t[0] * f.inv
+		hi, lo := bits.Mul64(m, f.p[0])
+		_, cc = bits.Add64(lo, t[0], 0)
+		c = hi + cc
+		for j := 1; j < n; j++ {
+			hi, lo = bits.Mul64(m, f.p[j])
+			var c2 uint64
+			lo, c2 = bits.Add64(lo, t[j], 0)
+			hi += c2
+			lo, c2 = bits.Add64(lo, c, 0)
+			hi += c2
+			t[j-1] = lo
+			c = hi
+		}
+		t[n-1], cc = bits.Add64(t[n], c, 0)
+		t[n] = t[n+1] + cc
+	}
+	for i := 0; i < n; i++ {
+		z[i] = t[i]
+	}
+	for i := n; i < MaxLimbs; i++ {
+		z[i] = 0
+	}
+	f.reduceOnce(z, t[n])
+}
+
+// MulUint64 sets z = x * v mod p for a small scalar v.
+func (f *Field) MulUint64(z, x *Element, v uint64) *Element {
+	var ve Element
+	f.SetUint64(&ve, v)
+	return f.Mul(z, x, &ve)
+}
+
+// Halve sets z = x/2 mod p.
+func (f *Field) Halve(z, x *Element) *Element {
+	*z = *x
+	n := f.n
+	if z[0]&1 == 1 {
+		var carry uint64
+		for i := 0; i < n; i++ {
+			z[i], carry = bits.Add64(z[i], f.p[i], carry)
+		}
+		// shift right including the carry bit
+		for i := 0; i < n-1; i++ {
+			z[i] = z[i]>>1 | z[i+1]<<63
+		}
+		z[n-1] = z[n-1]>>1 | carry<<63
+		return z
+	}
+	for i := 0; i < n-1; i++ {
+		z[i] = z[i]>>1 | z[i+1]<<63
+	}
+	z[n-1] >>= 1
+	return z
+}

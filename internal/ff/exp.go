@@ -1,0 +1,189 @@
+package ff
+
+import "math/big"
+
+// expLimbs sets z = x^e mod p where e is given as little-endian 64-bit
+// limbs (canonical integer, not Montgomery form). Plain left-to-right
+// square-and-multiply; exponents here are field-sized so the ~1.5·bits
+// multiplications are acceptable.
+func (f *Field) expLimbs(z, x *Element, e []uint64) *Element {
+	var acc Element
+	f.One(&acc)
+	started := false
+	for i := len(e) - 1; i >= 0; i-- {
+		w := e[i]
+		for b := 63; b >= 0; b-- {
+			if started {
+				f.Square(&acc, &acc)
+			}
+			if w>>uint(b)&1 == 1 {
+				if started {
+					f.Mul(&acc, &acc, x)
+				} else {
+					f.Set(&acc, x)
+					started = true
+				}
+			}
+		}
+	}
+	if !started {
+		f.One(&acc)
+	}
+	*z = acc
+	return z
+}
+
+// Exp sets z = x^e mod p for a non-negative big.Int exponent.
+func (f *Field) Exp(z, x *Element, e *big.Int) *Element {
+	if e.Sign() < 0 {
+		var inv Element
+		f.Inverse(&inv, x)
+		return f.Exp(z, &inv, new(big.Int).Neg(e))
+	}
+	words := e.Bits()
+	limbs := make([]uint64, len(words))
+	for i, w := range words {
+		limbs[i] = uint64(w)
+	}
+	return f.expLimbs(z, x, limbs)
+}
+
+// ExpUint64 sets z = x^e mod p for a machine-word exponent.
+func (f *Field) ExpUint64(z, x *Element, e uint64) *Element {
+	return f.expLimbs(z, x, []uint64{e})
+}
+
+// Inverse sets z = x^{-1} mod p via Fermat's little theorem (x^{p-2}).
+// Inverting zero yields zero, matching the convention of most pairing
+// libraries.
+func (f *Field) Inverse(z, x *Element) *Element {
+	if f.IsZero(x) {
+		return f.Zero(z)
+	}
+	if f.Count != nil {
+		f.Count.Inv++
+	}
+	return f.expLimbs(z, x, f.pm2)
+}
+
+// Sqrt sets z to a square root of x if one exists and returns true,
+// otherwise returns false and leaves z unspecified. It uses the
+// p ≡ 3 (mod 4) shortcut when available and generic Tonelli–Shanks
+// otherwise.
+func (f *Field) Sqrt(z, x *Element) bool {
+	if f.IsZero(x) {
+		f.Zero(z)
+		return true
+	}
+	var cand Element
+	if f.sqExp != nil {
+		f.expLimbs(&cand, x, f.sqExp)
+	} else {
+		f.tonelliShanks(&cand, x)
+	}
+	var sq Element
+	f.Square(&sq, &cand)
+	if !f.Equal(&sq, x) {
+		return false
+	}
+	*z = cand
+	return true
+}
+
+// Legendre returns 1 if x is a nonzero quadratic residue, -1 if it is a
+// non-residue, and 0 if x == 0.
+func (f *Field) Legendre(x *Element) int {
+	if f.IsZero(x) {
+		return 0
+	}
+	e := new(big.Int).Sub(f.pBig, big.NewInt(1))
+	e.Rsh(e, 1)
+	var r Element
+	f.Exp(&r, x, e)
+	if f.IsOne(&r) {
+		return 1
+	}
+	return -1
+}
+
+// tonelliShanks computes a candidate square root for odd primes with
+// p ≡ 1 (mod 4). The caller verifies the candidate.
+func (f *Field) tonelliShanks(z, x *Element) {
+	// Write p-1 = q * 2^s with q odd.
+	q := new(big.Int).Sub(f.pBig, big.NewInt(1))
+	s := 0
+	for q.Bit(0) == 0 {
+		q.Rsh(q, 1)
+		s++
+	}
+	// Find a non-residue n deterministically.
+	var nr Element
+	for v := uint64(2); ; v++ {
+		f.SetUint64(&nr, v)
+		if f.Legendre(&nr) == -1 {
+			break
+		}
+	}
+	var c, t, r Element
+	f.Exp(&c, &nr, q) // c = n^q
+	f.Exp(&t, x, q)   // t = x^q
+	e := new(big.Int).Add(q, big.NewInt(1))
+	e.Rsh(e, 1)
+	f.Exp(&r, x, e) // r = x^{(q+1)/2}
+	m := s
+	for !f.IsOne(&t) {
+		// Find least i such that t^{2^i} == 1.
+		var tt Element
+		f.Set(&tt, &t)
+		i := 0
+		for !f.IsOne(&tt) {
+			f.Square(&tt, &tt)
+			i++
+			if i == m {
+				// Not a residue; caller's verification will fail.
+				*z = r
+				return
+			}
+		}
+		var b Element
+		f.Set(&b, &c)
+		for j := 0; j < m-i-1; j++ {
+			f.Square(&b, &b)
+		}
+		f.Mul(&r, &r, &b)
+		f.Square(&c, &b)
+		f.Mul(&t, &t, &c)
+		m = i
+	}
+	*z = r
+}
+
+// BatchInverse inverts every nonzero element of xs in place using the
+// Montgomery batch-inversion trick: 3(n-1) multiplications plus a single
+// inversion. Zero entries are left as zero.
+func (f *Field) BatchInverse(xs []Element) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	prefix := make([]Element, n)
+	var acc Element
+	f.One(&acc)
+	for i := range xs {
+		prefix[i] = acc
+		if !f.IsZero(&xs[i]) {
+			f.Mul(&acc, &acc, &xs[i])
+		}
+	}
+	var inv Element
+	f.Inverse(&inv, &acc)
+	for i := n - 1; i >= 0; i-- {
+		if f.IsZero(&xs[i]) {
+			continue
+		}
+		var tmp Element
+		f.Mul(&tmp, &inv, &prefix[i])
+		f.Mul(&inv, &inv, &xs[i])
+		xs[i] = tmp
+	}
+}

@@ -1,0 +1,379 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var testFields = []*Field{
+	NewBN254Fp(),
+	NewBN254Fr(),
+	NewBLS12381Fp(),
+	NewBLS12381Fr(),
+}
+
+func randElems(f *Field, n int, seed uint64) []Element {
+	rng := NewRNG(seed)
+	out := make([]Element, n)
+	for i := range out {
+		f.Random(&out[i], rng)
+	}
+	return out
+}
+
+func TestFieldConstants(t *testing.T) {
+	for _, f := range testFields {
+		if f.Bits() == 0 || f.NumLimbs() == 0 {
+			t.Fatalf("%s: empty field parameters", f.Name)
+		}
+		var one Element
+		f.One(&one)
+		if got := f.BigInt(&one); got.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("%s: One() = %v, want 1", f.Name, got)
+		}
+		var zero Element
+		f.Zero(&zero)
+		if !f.IsZero(&zero) {
+			t.Errorf("%s: Zero() not zero", f.Name)
+		}
+	}
+}
+
+func TestMulMatchesBigInt(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(42)
+		for i := 0; i < 50; i++ {
+			var a, b, c Element
+			f.Random(&a, rng)
+			f.Random(&b, rng)
+			f.Mul(&c, &a, &b)
+			want := new(big.Int).Mul(f.BigInt(&a), f.BigInt(&b))
+			want.Mod(want, f.Modulus())
+			if got := f.BigInt(&c); got.Cmp(want) != 0 {
+				t.Fatalf("%s: mul mismatch at iter %d:\n got %v\nwant %v", f.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAddSubMatchesBigInt(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(7)
+		for i := 0; i < 50; i++ {
+			var a, b, s, d Element
+			f.Random(&a, rng)
+			f.Random(&b, rng)
+			f.Add(&s, &a, &b)
+			f.Sub(&d, &a, &b)
+			wantS := new(big.Int).Add(f.BigInt(&a), f.BigInt(&b))
+			wantS.Mod(wantS, f.Modulus())
+			wantD := new(big.Int).Sub(f.BigInt(&a), f.BigInt(&b))
+			wantD.Mod(wantD, f.Modulus())
+			if got := f.BigInt(&s); got.Cmp(wantS) != 0 {
+				t.Fatalf("%s: add mismatch", f.Name)
+			}
+			if got := f.BigInt(&d); got.Cmp(wantD) != 0 {
+				t.Fatalf("%s: sub mismatch", f.Name)
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(9)
+		for i := 0; i < 20; i++ {
+			var a, inv, prod Element
+			f.RandomNonZero(&a, rng)
+			f.Inverse(&inv, &a)
+			f.Mul(&prod, &a, &inv)
+			if !f.IsOne(&prod) {
+				t.Fatalf("%s: a * a^-1 != 1", f.Name)
+			}
+		}
+		var zero, invZero Element
+		f.Inverse(&invZero, &zero)
+		if !f.IsZero(&invZero) {
+			t.Errorf("%s: Inverse(0) should be 0", f.Name)
+		}
+	}
+}
+
+func TestNegHalveDouble(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(11)
+		for i := 0; i < 20; i++ {
+			var a, n, s, h, d Element
+			f.Random(&a, rng)
+			f.Neg(&n, &a)
+			f.Add(&s, &a, &n)
+			if !f.IsZero(&s) {
+				t.Fatalf("%s: a + (-a) != 0", f.Name)
+			}
+			f.Halve(&h, &a)
+			f.Double(&d, &h)
+			if !f.Equal(&d, &a) {
+				t.Fatalf("%s: 2*(a/2) != a", f.Name)
+			}
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(13)
+		var a Element
+		f.RandomNonZero(&a, rng)
+		// Fermat: a^(p-1) == 1.
+		e := new(big.Int).Sub(f.Modulus(), big.NewInt(1))
+		var r Element
+		f.Exp(&r, &a, e)
+		if !f.IsOne(&r) {
+			t.Fatalf("%s: a^(p-1) != 1", f.Name)
+		}
+		// x^0 == 1, x^1 == x.
+		f.ExpUint64(&r, &a, 0)
+		if !f.IsOne(&r) {
+			t.Fatalf("%s: a^0 != 1", f.Name)
+		}
+		f.ExpUint64(&r, &a, 1)
+		if !f.Equal(&r, &a) {
+			t.Fatalf("%s: a^1 != a", f.Name)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(17)
+		for i := 0; i < 10; i++ {
+			var a, sq, root Element
+			f.Random(&a, rng)
+			f.Square(&sq, &a)
+			if !f.Sqrt(&root, &sq) {
+				t.Fatalf("%s: Sqrt failed on a known square", f.Name)
+			}
+			var check Element
+			f.Square(&check, &root)
+			if !f.Equal(&check, &sq) {
+				t.Fatalf("%s: Sqrt returned a non-root", f.Name)
+			}
+		}
+	}
+}
+
+func TestLegendre(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(19)
+		var a, sq Element
+		f.RandomNonZero(&a, rng)
+		f.Square(&sq, &a)
+		if f.Legendre(&sq) != 1 {
+			t.Errorf("%s: Legendre(square) != 1", f.Name)
+		}
+		var zero Element
+		if f.Legendre(&zero) != 0 {
+			t.Errorf("%s: Legendre(0) != 0", f.Name)
+		}
+		// Exhaustively look for a non-residue among small values to check -1.
+		found := false
+		for v := uint64(2); v < 50; v++ {
+			var e Element
+			f.SetUint64(&e, v)
+			if f.Legendre(&e) == -1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no small non-residue found (suspicious)", f.Name)
+		}
+	}
+}
+
+func TestBatchInverse(t *testing.T) {
+	for _, f := range testFields {
+		xs := randElems(f, 33, 23)
+		f.Zero(&xs[5]) // include a zero entry
+		orig := make([]Element, len(xs))
+		copy(orig, xs)
+		f.BatchInverse(xs)
+		for i := range xs {
+			if i == 5 {
+				if !f.IsZero(&xs[i]) {
+					t.Fatalf("%s: batch inverse of zero entry not zero", f.Name)
+				}
+				continue
+			}
+			var prod Element
+			f.Mul(&prod, &xs[i], &orig[i])
+			if !f.IsOne(&prod) {
+				t.Fatalf("%s: batch inverse wrong at %d", f.Name, i)
+			}
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(29)
+		for i := 0; i < 10; i++ {
+			var a, b Element
+			f.Random(&a, rng)
+			data := f.Bytes(&a)
+			if len(data) != f.ByteLen() {
+				t.Fatalf("%s: Bytes length %d != %d", f.Name, len(data), f.ByteLen())
+			}
+			f.SetBytes(&b, data)
+			if !f.Equal(&a, &b) {
+				t.Fatalf("%s: bytes round-trip mismatch", f.Name)
+			}
+		}
+	}
+}
+
+func TestSetStringAndString(t *testing.T) {
+	f := NewBN254Fr()
+	var a Element
+	if _, err := f.SetString(&a, "12345"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(&a); got != "12345" {
+		t.Errorf("String = %q, want 12345", got)
+	}
+	if _, err := f.SetString(&a, "0x10"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(&a); got != "16" {
+		t.Errorf("String = %q, want 16", got)
+	}
+	if _, err := f.SetString(&a, "not-a-number"); err == nil {
+		t.Error("SetString should reject garbage")
+	}
+}
+
+func TestUint64(t *testing.T) {
+	f := NewBN254Fr()
+	var a Element
+	f.SetUint64(&a, 77)
+	v, ok := f.Uint64(&a)
+	if !ok || v != 77 {
+		t.Errorf("Uint64 = %d,%v want 77,true", v, ok)
+	}
+	f.SetString(&a, "340282366920938463463374607431768211456") // 2^128
+	if _, ok := f.Uint64(&a); ok {
+		t.Error("Uint64 should report overflow for 2^128")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	f := NewBN254Fr()
+	var a, b Element
+	f.SetUint64(&a, 5)
+	f.SetUint64(&b, 9)
+	if f.Cmp(&a, &b) != -1 || f.Cmp(&b, &a) != 1 || f.Cmp(&a, &a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+}
+
+func TestOpCount(t *testing.T) {
+	f := NewBN254Fr()
+	var c OpCount
+	f.Count = &c
+	var a, b, z Element
+	f.SetUint64(&a, 3)
+	f.SetUint64(&b, 4)
+	c.Reset()
+	f.Mul(&z, &a, &b)
+	f.Add(&z, &a, &b)
+	f.Sub(&z, &a, &b)
+	f.Square(&z, &a)
+	// Inverse is implemented as an exponentiation, so it contributes its
+	// internal multiplications and squarings to the tally — exactly what an
+	// instruction-level profiler would observe.
+	f.Inverse(&z, &a)
+	if c.Mul < 1 || c.Add != 1 || c.Sub != 1 || c.Sq < 1 || c.Inv != 1 {
+		t.Errorf("unexpected op counts: %+v", c)
+	}
+	var sum OpCount
+	c.AddTo(&sum)
+	if sum.Total() != c.Total() {
+		t.Errorf("AddTo/Total mismatch")
+	}
+}
+
+// Property-based tests on algebraic laws.
+
+func TestQuickFieldLaws(t *testing.T) {
+	f := NewBN254Fr()
+	rng := NewRNG(1234)
+	gen := func() Element {
+		var e Element
+		f.Random(&e, rng)
+		return e
+	}
+	// Commutativity and associativity of multiplication, distributivity.
+	prop := func(seed uint64) bool {
+		a, b, c := gen(), gen(), gen()
+		var ab, ba Element
+		f.Mul(&ab, &a, &b)
+		f.Mul(&ba, &b, &a)
+		if !f.Equal(&ab, &ba) {
+			return false
+		}
+		var abc1, abc2, t1 Element
+		f.Mul(&t1, &a, &b)
+		f.Mul(&abc1, &t1, &c)
+		f.Mul(&t1, &b, &c)
+		f.Mul(&abc2, &a, &t1)
+		if !f.Equal(&abc1, &abc2) {
+			return false
+		}
+		var bc, aTimesSum, sum, prod1, prod2 Element
+		f.Add(&bc, &b, &c)
+		f.Mul(&aTimesSum, &a, &bc)
+		f.Mul(&prod1, &a, &b)
+		f.Mul(&prod2, &a, &c)
+		f.Add(&sum, &prod1, &prod2)
+		return f.Equal(&aTimesSum, &sum)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMontgomeryRoundTrip(t *testing.T) {
+	for _, f := range testFields {
+		f := f
+		prop := func(lo, hi uint64) bool {
+			v := new(big.Int).SetUint64(hi)
+			v.Lsh(v, 64)
+			v.Or(v, new(big.Int).SetUint64(lo))
+			var e Element
+			f.SetBigInt(&e, v)
+			return f.BigInt(&e).Cmp(v) == 0
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if fv := r.Float64(); fv < 0 || fv >= 1 {
+			t.Fatalf("Float64 out of range: %v", fv)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package ff
+
+// Modulus strings for the fields used by the zk-SNARK protocol. The BN254
+// curve (called BN128 in circom/snarkjs, after its ~128-bit security target
+// at design time) and BLS12-381 are the two curves the paper evaluates.
+const (
+	// BN254PModulus is the base-field modulus of BN254 / alt_bn128.
+	BN254PModulus = "21888242871839275222246405745257275088696311157297823662689037894645226208583"
+	// BN254RModulus is the scalar-field (subgroup order) modulus of BN254.
+	BN254RModulus = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+	// BLS12381PModulus is the base-field modulus of BLS12-381.
+	BLS12381PModulus = "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+	// BLS12381RModulus is the scalar-field modulus of BLS12-381.
+	BLS12381RModulus = "0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+)
+
+// NewBN254Fp returns a fresh BN254 base-field context.
+func NewBN254Fp() *Field { return NewField("bn254.Fp", BN254PModulus) }
+
+// NewBN254Fr returns a fresh BN254 scalar-field context.
+func NewBN254Fr() *Field { return NewField("bn254.Fr", BN254RModulus) }
+
+// NewBLS12381Fp returns a fresh BLS12-381 base-field context.
+func NewBLS12381Fp() *Field { return NewField("bls12381.Fp", BLS12381PModulus) }
+
+// NewBLS12381Fr returns a fresh BLS12-381 scalar-field context.
+func NewBLS12381Fr() *Field { return NewField("bls12381.Fr", BLS12381RModulus) }

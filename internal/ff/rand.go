@@ -1,0 +1,56 @@
+package ff
+
+import "math/big"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64) used
+// for reproducible workload generation and test vectors. It is NOT
+// cryptographically secure; the analysis framework needs determinism, not
+// secrecy — the paper's toxic-waste randomness is irrelevant to the
+// performance being characterized.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("ff: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Random sets z to a pseudo-random field element drawn from rng.
+func (f *Field) Random(z *Element, rng *RNG) *Element {
+	v := new(big.Int)
+	limbs := make([]uint64, f.n+1)
+	for i := range limbs {
+		limbs[i] = rng.Uint64()
+	}
+	v = limbsToBig(limbs)
+	return f.SetBigInt(z, v)
+}
+
+// RandomNonZero sets z to a pseudo-random nonzero field element.
+func (f *Field) RandomNonZero(z *Element, rng *RNG) *Element {
+	for {
+		f.Random(z, rng)
+		if !f.IsZero(z) {
+			return z
+		}
+	}
+}

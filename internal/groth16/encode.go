@@ -1,0 +1,195 @@
+package groth16
+
+import (
+	"fmt"
+	"io"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/witness"
+)
+
+// Artifact serialization. The snarkjs pipeline the paper profiles moves
+// stage outputs through files (.zkey, .wtns, proof JSON); the CLI here
+// mirrors that, and the traced stage runs include this (de)serialization
+// work just as the paper's measurements do.
+
+// Serialize writes the proving key (the .zkey equivalent).
+func (pk *ProvingKey) Serialize(w io.Writer, c *curve.Curve) error {
+	for _, p := range []*curve.G1Affine{&pk.Alpha1, &pk.Beta1, &pk.Delta1} {
+		if _, err := w.Write(c.G1Bytes(p)); err != nil {
+			return err
+		}
+	}
+	for _, p := range []*curve.G2Affine{&pk.Beta2, &pk.Delta2} {
+		if _, err := w.Write(c.G2Bytes(p)); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(w, uint64(pk.DomainSize)); err != nil {
+		return err
+	}
+	for _, s := range [][]curve.G1Affine{pk.A, pk.B1, pk.K, pk.H} {
+		if err := c.WriteG1Slice(w, s); err != nil {
+			return err
+		}
+	}
+	return c.WriteG2Slice(w, pk.B2)
+}
+
+// Deserialize reads a proving key written by Serialize.
+func (pk *ProvingKey) Deserialize(r io.Reader, c *curve.Curve) error {
+	g1buf := make([]byte, c.G1EncodedLen())
+	g2buf := make([]byte, c.G2EncodedLen())
+	for _, p := range []*curve.G1Affine{&pk.Alpha1, &pk.Beta1, &pk.Delta1} {
+		if _, err := io.ReadFull(r, g1buf); err != nil {
+			return err
+		}
+		if err := c.G1SetBytes(p, g1buf); err != nil {
+			return err
+		}
+	}
+	for _, p := range []*curve.G2Affine{&pk.Beta2, &pk.Delta2} {
+		if _, err := io.ReadFull(r, g2buf); err != nil {
+			return err
+		}
+		if err := c.G2SetBytes(p, g2buf); err != nil {
+			return err
+		}
+	}
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	pk.DomainSize = int(n)
+	if pk.A, err = c.ReadG1Slice(r); err != nil {
+		return err
+	}
+	if pk.B1, err = c.ReadG1Slice(r); err != nil {
+		return err
+	}
+	if pk.K, err = c.ReadG1Slice(r); err != nil {
+		return err
+	}
+	if pk.H, err = c.ReadG1Slice(r); err != nil {
+		return err
+	}
+	pk.B2, err = c.ReadG2Slice(r)
+	return err
+}
+
+// Serialize writes the verifying key.
+func (vk *VerifyingKey) Serialize(w io.Writer, c *curve.Curve) error {
+	if _, err := w.Write(c.G1Bytes(&vk.Alpha1)); err != nil {
+		return err
+	}
+	for _, p := range []*curve.G2Affine{&vk.Beta2, &vk.Gamma2, &vk.Delta2} {
+		if _, err := w.Write(c.G2Bytes(p)); err != nil {
+			return err
+		}
+	}
+	return c.WriteG1Slice(w, vk.IC)
+}
+
+// Deserialize reads a verifying key.
+func (vk *VerifyingKey) Deserialize(r io.Reader, c *curve.Curve) error {
+	g1buf := make([]byte, c.G1EncodedLen())
+	g2buf := make([]byte, c.G2EncodedLen())
+	if _, err := io.ReadFull(r, g1buf); err != nil {
+		return err
+	}
+	if err := c.G1SetBytes(&vk.Alpha1, g1buf); err != nil {
+		return err
+	}
+	for _, p := range []*curve.G2Affine{&vk.Beta2, &vk.Gamma2, &vk.Delta2} {
+		if _, err := io.ReadFull(r, g2buf); err != nil {
+			return err
+		}
+		if err := c.G2SetBytes(p, g2buf); err != nil {
+			return err
+		}
+	}
+	var err error
+	vk.IC, err = c.ReadG1Slice(r)
+	return err
+}
+
+// Serialize writes a proof (2 G1 points + 1 G2 point — a few hundred
+// bytes, the succinctness the paper highlights).
+func (p *Proof) Serialize(w io.Writer, c *curve.Curve) error {
+	if _, err := w.Write(c.G1Bytes(&p.A)); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.G2Bytes(&p.B)); err != nil {
+		return err
+	}
+	_, err := w.Write(c.G1Bytes(&p.C))
+	return err
+}
+
+// Deserialize reads a proof.
+func (p *Proof) Deserialize(r io.Reader, c *curve.Curve) error {
+	g1buf := make([]byte, c.G1EncodedLen())
+	g2buf := make([]byte, c.G2EncodedLen())
+	if _, err := io.ReadFull(r, g1buf); err != nil {
+		return err
+	}
+	if err := c.G1SetBytes(&p.A, g1buf); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, g2buf); err != nil {
+		return err
+	}
+	if err := c.G2SetBytes(&p.B, g2buf); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, g1buf); err != nil {
+		return err
+	}
+	return c.G1SetBytes(&p.C, g1buf)
+}
+
+// WriteWitness serializes a witness (the .wtns equivalent).
+func WriteWitness(w io.Writer, fr *ff.Field, wit *witness.Witness) error {
+	if err := curve.WriteFrSlice(w, fr, wit.Full); err != nil {
+		return err
+	}
+	return curve.WriteFrSlice(w, fr, wit.Public)
+}
+
+// ReadWitness deserializes a witness.
+func ReadWitness(r io.Reader, fr *ff.Field) (*witness.Witness, error) {
+	full, err := curve.ReadFrSlice(r, fr)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := curve.ReadFrSlice(r, fr)
+	if err != nil {
+		return nil, err
+	}
+	if len(pub) > len(full) {
+		return nil, fmt.Errorf("groth16: malformed witness encoding")
+	}
+	return &witness.Witness{Full: full, Public: pub}, nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}

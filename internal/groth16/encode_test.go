@@ -1,0 +1,202 @@
+package groth16
+
+import (
+	"bytes"
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/witness"
+)
+
+func setupArtifacts(t *testing.T) (*Engine, *ProvingKey, *VerifyingKey, *Proof, *witness.Witness) {
+	t.Helper()
+	c := curve.NewBN254()
+	eng := NewEngine(c)
+	sys, prog, err := circuit.CompileSource(c.Fr, circuit.ExponentiateSource(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(11)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	c.Fr.SetUint64(&x, 3)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, pk, vk, proof, w
+}
+
+func TestProvingKeyRoundTrip(t *testing.T) {
+	eng, pk, _, _, _ := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := pk.Serialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	var pk2 ProvingKey
+	if err := pk2.Deserialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	if pk2.DomainSize != pk.DomainSize ||
+		len(pk2.A) != len(pk.A) || len(pk2.B1) != len(pk.B1) ||
+		len(pk2.B2) != len(pk.B2) || len(pk2.K) != len(pk.K) || len(pk2.H) != len(pk.H) {
+		t.Fatal("proving key shape changed in round trip")
+	}
+	fp := eng.Curve.Fp
+	for i := range pk.A {
+		if pk.A[i].Inf != pk2.A[i].Inf {
+			t.Fatal("infinity flag changed")
+		}
+		if !pk.A[i].Inf && (!fp.Equal(&pk.A[i].X, &pk2.A[i].X) || !fp.Equal(&pk.A[i].Y, &pk2.A[i].Y)) {
+			t.Fatalf("pk.A[%d] changed in round trip", i)
+		}
+	}
+}
+
+// TestRoundTrippedKeyStillProves: the strongest serialization check — a
+// deserialized key produces proofs that verify.
+func TestRoundTrippedKeyStillProves(t *testing.T) {
+	eng, pk, vk, _, w := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := pk.Serialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	var pk2 ProvingKey
+	if err := pk2.Deserialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	sys, _, _ := circuit.CompileSource(eng.Curve.Fr, circuit.ExponentiateSource(8))
+	proof, err := eng.Prove(sys, &pk2, w, ff.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, w.Public); err != nil {
+		t.Fatalf("proof from round-tripped key rejected: %v", err)
+	}
+}
+
+func TestVerifyingKeyRoundTrip(t *testing.T) {
+	eng, _, vk, proof, w := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := vk.Serialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	var vk2 VerifyingKey
+	if err := vk2.Deserialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(&vk2, proof, w.Public); err != nil {
+		t.Fatalf("round-tripped vk rejects valid proof: %v", err)
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	eng, _, vk, proof, w := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := proof.Serialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	// Groth16 proofs are succinct: assert the "hundreds of bytes" claim.
+	if buf.Len() > 512 {
+		t.Errorf("proof encoding is %d bytes — not succinct", buf.Len())
+	}
+	var p2 Proof
+	if err := p2.Deserialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, &p2, w.Public); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestWitnessRoundTrip(t *testing.T) {
+	eng, _, _, _, w := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := WriteWitness(&buf, eng.Curve.Fr, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadWitness(&buf, eng.Curve.Fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Full) != len(w.Full) || len(w2.Public) != len(w.Public) {
+		t.Fatal("witness shape changed")
+	}
+	for i := range w.Full {
+		if !eng.Curve.Fr.Equal(&w.Full[i], &w2.Full[i]) {
+			t.Fatalf("witness value %d changed", i)
+		}
+	}
+}
+
+func TestDeserializeGarbage(t *testing.T) {
+	c := curve.NewBN254()
+	var pk ProvingKey
+	if err := pk.Deserialize(bytes.NewReader([]byte{1, 2, 3}), c); err == nil {
+		t.Error("garbage proving key accepted")
+	}
+	var vk VerifyingKey
+	if err := vk.Deserialize(bytes.NewReader(nil), c); err == nil {
+		t.Error("empty verifying key accepted")
+	}
+	var p Proof
+	if err := p.Deserialize(bytes.NewReader(make([]byte, 10)), c); err == nil {
+		t.Error("truncated proof accepted")
+	}
+	// A proof with a corrupted point must fail validation (off-curve).
+	eng, _, _, proof, _ := setupArtifacts(t)
+	var buf bytes.Buffer
+	if err := proof.Serialize(&buf, eng.Curve); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[10] ^= 0xFF
+	var bad Proof
+	if err := bad.Deserialize(bytes.NewReader(data), eng.Curve); err == nil {
+		t.Error("off-curve proof point accepted")
+	}
+}
+
+func TestG1G2PointEncoding(t *testing.T) {
+	c := curve.NewBN254()
+	// Finite point round trip.
+	data := c.G1Bytes(&c.G1Gen)
+	var p curve.G1Affine
+	if err := c.G1SetBytes(&p, data); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Fp.Equal(&p.X, &c.G1Gen.X) || !c.Fp.Equal(&p.Y, &c.G1Gen.Y) {
+		t.Error("G1 round trip changed the point")
+	}
+	// Infinity round trip.
+	inf := curve.G1Affine{Inf: true}
+	var infBack curve.G1Affine
+	if err := c.G1SetBytes(&infBack, c.G1Bytes(&inf)); err != nil || !infBack.Inf {
+		t.Error("G1 infinity round trip failed")
+	}
+	// G2.
+	data2 := c.G2Bytes(&c.G2Gen)
+	var q curve.G2Affine
+	if err := c.G2SetBytes(&q, data2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.G2IsOnCurve(&q) {
+		t.Error("G2 round trip left the curve")
+	}
+	// Wrong lengths rejected.
+	if err := c.G1SetBytes(&p, data[:10]); err == nil {
+		t.Error("short G1 encoding accepted")
+	}
+	if err := c.G2SetBytes(&q, data2[:10]); err == nil {
+		t.Error("short G2 encoding accepted")
+	}
+}

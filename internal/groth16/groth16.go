@@ -1,0 +1,379 @@
+// Package groth16 implements the Groth16 zk-SNARK proving scheme
+// (Groth, EUROCRYPT 2016) — the scheme snarkjs implements and the paper
+// characterizes. It provides the setup, proving and verifying stages of
+// the workflow in Figure 1 of the paper; the compile and witness stages
+// live in the circuit and witness packages.
+//
+// An Engine bundles a curve, its pairing engine, and the fixed-base
+// generator tables; Threads controls the parallelism of the setup and
+// proving stages (the scalability analysis sweeps it).
+package groth16
+
+import (
+	"fmt"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/pairing"
+	"zkperf/internal/poly"
+	"zkperf/internal/qap"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/trace"
+	"zkperf/internal/witness"
+)
+
+// ProvingKey is the prover's half of the structured reference string.
+type ProvingKey struct {
+	Alpha1, Beta1, Delta1 curve.G1Affine
+	Beta2, Delta2         curve.G2Affine
+
+	// A[i] = [u_i(τ)]₁, B1[i] = [v_i(τ)]₁, B2[i] = [v_i(τ)]₂ for every
+	// witness variable i.
+	A  []curve.G1Affine
+	B1 []curve.G1Affine
+	B2 []curve.G2Affine
+
+	// K[i] = [(β·u_i(τ) + α·v_i(τ) + w_i(τ))/δ]₁ for private/internal
+	// variables (indices 1+NumPublic …).
+	K []curve.G1Affine
+
+	// H[i] = [τ^i·Z(τ)/δ]₁ for i < N−1.
+	H []curve.G1Affine
+
+	// DomainSize is the FFT domain size N the key was generated for.
+	DomainSize int
+}
+
+// VerifyingKey is the verifier's half of the structured reference string.
+type VerifyingKey struct {
+	Alpha1                curve.G1Affine
+	Beta2, Gamma2, Delta2 curve.G2Affine
+
+	// IC[i] = [(β·u_i(τ) + α·v_i(τ) + w_i(τ))/γ]₁ for the constant wire
+	// and the public variables (length 1+NumPublic).
+	IC []curve.G1Affine
+}
+
+// Proof is a Groth16 proof: two G1 points and one G2 point (the "hundreds
+// of bytes" succinctness the paper cites).
+type Proof struct {
+	A curve.G1Affine
+	B curve.G2Affine
+	C curve.G1Affine
+}
+
+// Engine runs the Groth16 stages on one curve.
+type Engine struct {
+	Curve *curve.Curve
+	Pair  *pairing.Engine
+
+	// Threads bounds the number of worker goroutines in setup and proving.
+	// 1 disables parallelism (required when operation tracing is active).
+	Threads int
+
+	// Rec, when non-nil, receives instrumentation events from the stages.
+	// Traced runs execute single-threaded regardless of Threads (the same
+	// serialization binary instrumentation imposes).
+	Rec *trace.Recorder
+
+	g1Tab *curve.G1Table
+	g2Tab *curve.G2Table
+}
+
+// threads returns the effective worker count (1 under tracing).
+func (e *Engine) threads() int {
+	if e.Rec != nil {
+		return 1
+	}
+	return e.Threads
+}
+
+// attachCounters routes field-operation counts into the recorder for the
+// duration of a stage; the returned function detaches them.
+func (e *Engine) attachCounters() func() {
+	if e.Rec == nil {
+		return func() {}
+	}
+	fr, fp := e.Curve.Fr, e.Curve.Fp
+	fr.Count, fp.Count = &e.Rec.Ops, &e.Rec.Ops
+	return func() { fr.Count, fp.Count = nil, nil }
+}
+
+// NewEngine creates a Groth16 engine with precomputed generator tables.
+func NewEngine(c *curve.Curve) *Engine {
+	return &Engine{
+		Curve:   c,
+		Pair:    pairing.NewEngine(c),
+		Threads: 1,
+		g1Tab:   c.NewG1Table(&c.G1Gen),
+		g2Tab:   c.NewG2Table(&c.G2Gen),
+	}
+}
+
+// Setup runs the trusted setup for the constraint system, producing the
+// proving and verification keys. Randomness (the "toxic waste") comes from
+// rng; the deterministic generator keeps the analysis reproducible.
+func (e *Engine) Setup(sys *r1cs.System, rng *ff.RNG) (*ProvingKey, *VerifyingKey, error) {
+	fr := e.Curve.Fr
+	rec := e.Rec
+	defer e.attachCounters()()
+	if sys.NumConstraints() == 0 {
+		return nil, nil, fmt.Errorf("groth16: empty constraint system")
+	}
+	d, err := poly.NewDomain(fr, sys.NumConstraints()+1)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nv := sys.NumVariables()
+	nPub := 1 + sys.NumPublic
+	st := sys.Stats()
+
+	// Toxic waste: τ, α, β, γ, δ — τ resampled until outside the domain.
+	var tau, alpha, beta, gamma, delta ff.Element
+	var ev *qap.Evaluations
+	rec.PhaseRun("bigint/qap-eval", 1, func() {
+		for {
+			fr.RandomNonZero(&tau, rng)
+			ev, err = qap.EvalAtPoint(sys, d, &tau)
+			if err == nil {
+				return
+			}
+		}
+	})
+	// QAP evaluation walks the sparse constraint matrices once and
+	// scatters weighted Lagrange values into the per-variable arrays.
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "r1cs.terms",
+		RegionBytes: int64(st.NonZeroTerms) * 40, ElemSize: 40, Touches: int64(st.NonZeroTerms)})
+	rec.Access(trace.Access{Kind: trace.Random, Region: "qap.uvw",
+		RegionBytes: int64(3 * nv * 32), ElemSize: 32, Touches: int64(st.NonZeroTerms), Write: true})
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "domain.lagrange",
+		RegionBytes: int64(d.N) * 32, ElemSize: 32, Touches: int64(d.N)})
+
+	fr.RandomNonZero(&alpha, rng)
+	fr.RandomNonZero(&beta, rng)
+	fr.RandomNonZero(&gamma, rng)
+	fr.RandomNonZero(&delta, rng)
+
+	var gammaInv, deltaInv ff.Element
+	fr.Inverse(&gammaInv, &gamma)
+	fr.Inverse(&deltaInv, &delta)
+
+	// Scalar-side computations.
+	kScalars := make([]ff.Element, nv) // (β·u_i + α·v_i + w_i), scaled below
+	hScalars := make([]ff.Element, d.N-1)
+	rec.PhaseRun("bigint/setup-scalars", 1, func() {
+		var t1, t2 ff.Element
+		for i := 0; i < nv; i++ {
+			fr.Mul(&t1, &beta, &ev.U[i])
+			fr.Mul(&t2, &alpha, &ev.V[i])
+			fr.Add(&t1, &t1, &t2)
+			fr.Add(&kScalars[i], &t1, &ev.W[i])
+			if i < nPub {
+				fr.Mul(&kScalars[i], &kScalars[i], &gammaInv)
+			} else {
+				fr.Mul(&kScalars[i], &kScalars[i], &deltaInv)
+			}
+		}
+		// H-query scalars: τ^i·Z(τ)/δ — a serial power chain.
+		zTau := d.ZEval(&tau)
+		var acc ff.Element
+		fr.Mul(&acc, &zTau, &deltaInv)
+		for i := range hScalars {
+			hScalars[i] = acc
+			fr.Mul(&acc, &acc, &tau)
+		}
+	})
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "qap.uvw",
+		RegionBytes: int64(3 * nv * 32), ElemSize: 32, Touches: int64(3 * nv)})
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "setup.scalars",
+		RegionBytes: int64((nv + d.N) * 32), ElemSize: 32, Touches: int64(nv + d.N), Write: true})
+
+	// Group-side: fixed-base multiplications against the generator tables.
+	pk := &ProvingKey{DomainSize: d.N}
+	vk := &VerifyingKey{}
+
+	fbG1 := func(name string, scalars []ff.Element) []curve.G1Affine {
+		var out []curve.G1Affine
+		rec.PhaseRun("msm/fixed-base-"+name, len(scalars), func() {
+			out = e.g1Tab.MulBatch(scalars, e.threads())
+		})
+		e.recFixedBase(name, len(scalars), false)
+		return out
+	}
+	pk.A = fbG1("A", ev.U)
+	pk.B1 = fbG1("B1", ev.V)
+	rec.PhaseRun("msm/fixed-base-B2", len(ev.V), func() {
+		pk.B2 = e.g2Tab.MulBatch(ev.V, e.threads())
+	})
+	e.recFixedBase("B2", len(ev.V), true)
+	pk.K = fbG1("K", kScalars[nPub:])
+	pk.H = fbG1("H", hScalars)
+	vk.IC = fbG1("IC", kScalars[:nPub])
+
+	var pj curve.G1Jac
+	var qj curve.G2Jac
+	mulG1 := func(dst *curve.G1Affine, k *ff.Element) {
+		e.g1Tab.Mul(&pj, k)
+		e.Curve.G1ToAffine(dst, &pj)
+	}
+	mulG2 := func(dst *curve.G2Affine, k *ff.Element) {
+		e.g2Tab.Mul(&qj, k)
+		e.Curve.G2ToAffine(dst, &qj)
+	}
+	mulG1(&pk.Alpha1, &alpha)
+	mulG1(&pk.Beta1, &beta)
+	mulG1(&pk.Delta1, &delta)
+	mulG2(&pk.Beta2, &beta)
+	mulG2(&pk.Delta2, &delta)
+	vk.Alpha1 = pk.Alpha1
+	vk.Beta2 = pk.Beta2
+	mulG2(&vk.Gamma2, &gamma)
+	vk.Delta2 = pk.Delta2
+
+	return pk, vk, nil
+}
+
+// Prove generates a proof for the witness under the proving key.
+func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng *ff.RNG) (*Proof, error) {
+	fr := e.Curve.Fr
+	c := e.Curve
+	rec := e.Rec
+	defer e.attachCounters()()
+	if len(w.Full) != sys.NumVariables() {
+		return nil, fmt.Errorf("groth16: witness length %d != %d variables", len(w.Full), sys.NumVariables())
+	}
+	if len(pk.A) != len(w.Full) {
+		return nil, fmt.Errorf("groth16: proving key shape mismatch")
+	}
+
+	d, err := poly.NewDomain(fr, pk.DomainSize)
+	if err != nil {
+		return nil, err
+	}
+	if d.N != pk.DomainSize {
+		return nil, fmt.Errorf("groth16: domain size mismatch")
+	}
+
+	// Quotient polynomial coefficients. The LC evaluation parallelizes
+	// across constraints; the NTT passes are layer-serialized, so the
+	// phase grain reflects the butterfly-block independence per layer.
+	var h []ff.Element
+	rec.PhaseRun("ntt/quotient", d.N/64+1, func() {
+		h = qap.QuotientEvals(sys, d, w.Full)
+	})
+	e.recQuotient(sys, d.N, d.LogN)
+
+	// Blinding factors.
+	var r, s ff.Element
+	fr.Random(&r, rng)
+	fr.Random(&s, rng)
+
+	nPub := 1 + sys.NumPublic
+	wPriv := w.Full[nPub:]
+
+	msmG1 := func(name string, points []curve.G1Affine, scalars []ff.Element) curve.G1Jac {
+		var out curve.G1Jac
+		grain := (fr.Bits() + 10) / 11 // ≈ number of Pippenger windows
+		rec.PhaseRun("msm/"+name, grain, func() {
+			out = c.G1MSM(points, scalars, e.threads())
+		})
+		e.recMSM(name, len(points), false)
+		return out
+	}
+
+	// A = α + Σ wᵢ·[uᵢ(τ)]₁ + r·δ
+	aAcc := msmG1("A", pk.A, w.Full)
+	var tj curve.G1Jac
+	c.G1FromAffine(&tj, &pk.Alpha1)
+	c.G1Add(&aAcc, &aAcc, &tj)
+	var deltaJ curve.G1Jac
+	c.G1FromAffine(&deltaJ, &pk.Delta1)
+	var rDelta curve.G1Jac
+	c.G1ScalarMul(&rDelta, &deltaJ, &r)
+	c.G1Add(&aAcc, &aAcc, &rDelta)
+
+	// B (G2) = β + Σ wᵢ·[vᵢ(τ)]₂ + s·δ; and its G1 shadow for C.
+	var bAcc2 curve.G2Jac
+	grain := (fr.Bits() + 10) / 11
+	rec.PhaseRun("msm/B2", grain, func() {
+		bAcc2 = c.G2MSM(pk.B2, w.Full, e.threads())
+	})
+	e.recMSM("B2", len(pk.B2), true)
+	var tj2 curve.G2Jac
+	c.G2FromAffine(&tj2, &pk.Beta2)
+	c.G2Add(&bAcc2, &bAcc2, &tj2)
+	var delta2J, sDelta2 curve.G2Jac
+	c.G2FromAffine(&delta2J, &pk.Delta2)
+	c.G2ScalarMul(&sDelta2, &delta2J, &s)
+	c.G2Add(&bAcc2, &bAcc2, &sDelta2)
+
+	bAcc1 := msmG1("B1", pk.B1, w.Full)
+	c.G1FromAffine(&tj, &pk.Beta1)
+	c.G1Add(&bAcc1, &bAcc1, &tj)
+	var sDelta1 curve.G1Jac
+	c.G1ScalarMul(&sDelta1, &deltaJ, &s)
+	c.G1Add(&bAcc1, &bAcc1, &sDelta1)
+
+	// C = Σ_priv wᵢ·Kᵢ + Σ hᵢ·Hᵢ + s·A + r·B1 − r·s·δ
+	cAcc := msmG1("K", pk.K, wPriv)
+	hAcc := msmG1("H", pk.H[:len(h)], h)
+	c.G1Add(&cAcc, &cAcc, &hAcc)
+	var term curve.G1Jac
+	rec.PhaseRun("bigint/proof-assembly", 1, func() {
+		c.G1ScalarMul(&term, &aAcc, &s)
+		c.G1Add(&cAcc, &cAcc, &term)
+		c.G1ScalarMul(&term, &bAcc1, &r)
+		c.G1Add(&cAcc, &cAcc, &term)
+		var rs ff.Element
+		fr.Mul(&rs, &r, &s)
+		c.G1ScalarMul(&term, &deltaJ, &rs)
+		c.G1Neg(&term, &term)
+		c.G1Add(&cAcc, &cAcc, &term)
+	})
+
+	proof := &Proof{}
+	c.G1ToAffine(&proof.A, &aAcc)
+	c.G2ToAffine(&proof.B, &bAcc2)
+	c.G1ToAffine(&proof.C, &cAcc)
+	return proof, nil
+}
+
+// Verify checks a proof against the public witness (the vector
+// [1, public wires] produced by the witness stage). It returns nil if the
+// proof is valid.
+func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) error {
+	c := e.Curve
+	rec := e.Rec
+	defer e.attachCounters()()
+	if len(public) != len(vk.IC) {
+		return fmt.Errorf("groth16: public witness length %d != %d", len(public), len(vk.IC))
+	}
+	// IC = Σ publicᵢ·ICᵢ
+	var ic curve.G1Affine
+	rec.PhaseRun("msm/IC", 1, func() {
+		icAcc := c.G1MSM(vk.IC, public, 1)
+		c.G1ToAffine(&ic, &icAcc)
+	})
+
+	// e(A,B) == e(α,β)·e(IC,γ)·e(C,δ)  ⇔
+	// e(A,B)·e(−α,β)·e(−IC,γ)·e(−C,δ) == 1
+	var negAlpha, negIC, negC curve.G1Affine
+	c.G1NegAffine(&negAlpha, &vk.Alpha1)
+	c.G1NegAffine(&negIC, &ic)
+	c.G1NegAffine(&negC, &proof.C)
+	ok := false
+	// The four Miller loops are independent (grain 4); the shared final
+	// exponentiation is serial.
+	rec.PhaseRun("pairing/check", 4, func() {
+		ok = e.Pair.PairingCheck(
+			[]curve.G1Affine{proof.A, negAlpha, negIC, negC},
+			[]curve.G2Affine{proof.B, vk.Beta2, vk.Gamma2, vk.Delta2},
+		)
+	})
+	e.recPairing(4)
+	if !ok {
+		return fmt.Errorf("groth16: invalid proof")
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package groth16
+
+import (
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/witness"
+)
+
+// endToEnd runs compile → setup → witness → prove → verify on the
+// exponentiation circuit.
+func endToEnd(t *testing.T, c *curve.Curve, e int, threads int) {
+	t.Helper()
+	fr := c.Fr
+	eng := NewEngine(c)
+	eng.Threads = threads
+
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(1)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 7)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, w.Public); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+
+	// A proof for a different public output must fail.
+	badPublic := make([]ff.Element, len(w.Public))
+	copy(badPublic, w.Public)
+	fr.SetUint64(&badPublic[1], 424242)
+	if err := eng.Verify(vk, proof, badPublic); err == nil {
+		t.Fatal("proof accepted for wrong public input")
+	}
+}
+
+func TestGroth16EndToEndBN254(t *testing.T)    { endToEnd(t, curve.NewBN254(), 30, 1) }
+func TestGroth16EndToEndBLS12381(t *testing.T) { endToEnd(t, curve.NewBLS12381(), 30, 1) }
+func TestGroth16Parallel(t *testing.T)         { endToEnd(t, curve.NewBN254(), 64, 4) }
+
+func TestGroth16TamperedProof(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(3)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 2)
+	w, _ := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap A for the generator: must fail.
+	tampered := *proof
+	tampered.A = c.G1Gen
+	if err := eng.Verify(vk, &tampered, w.Public); err == nil {
+		t.Error("tampered proof (A) accepted")
+	}
+	// Swap C for the generator: must fail.
+	tampered = *proof
+	tampered.C = c.G1Gen
+	if err := eng.Verify(vk, &tampered, w.Public); err == nil {
+		t.Error("tampered proof (C) accepted")
+	}
+}
+
+func TestGroth16ZeroKnowledgeBlinding(t *testing.T) {
+	// Two proofs of the same statement with different prover randomness
+	// must differ (the r/s blinding), yet both verify.
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, _ := circuit.CompileSource(fr, circuit.ExponentiateSource(8))
+	rng := ff.NewRNG(4)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 5)
+	w, _ := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	p1, err := eng.Prove(sys, pk, w, ff.NewRNG(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Prove(sys, pk, w, ff.NewRNG(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Equal(&p1.A.X, &p2.A.X) && fr.Equal(&p1.A.Y, &p2.A.Y) {
+		t.Error("two proofs with different randomness have identical A — blinding broken")
+	}
+	if err := eng.Verify(vk, p1, w.Public); err != nil {
+		t.Error(err)
+	}
+	if err := eng.Verify(vk, p2, w.Public); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroth16MiMCCircuit(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, err := circuit.MiMCHashCircuit(fr, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(5)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m ff.Element
+	fr.Random(&m, rng)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"m": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, w.Public); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroth16KeyMismatch(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys8, prog8, _ := circuit.CompileSource(fr, circuit.ExponentiateSource(8))
+	sys16, _, _ := circuit.CompileSource(fr, circuit.ExponentiateSource(16))
+	rng := ff.NewRNG(6)
+	pk16, _, err := eng.Setup(sys16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 2)
+	w8, _ := witness.Solve(sys8, prog8, witness.Assignment{"x": x})
+	if _, err := eng.Prove(sys8, pk16, w8, rng); err == nil {
+		t.Error("proving with a mismatched key should fail")
+	}
+}
+
+func TestGroth16EmptySystem(t *testing.T) {
+	c := curve.NewBN254()
+	eng := NewEngine(c)
+	sys, _ := circuit.NewBuilder(c.Fr).Compile()
+	if _, _, err := eng.Setup(sys, ff.NewRNG(1)); err == nil {
+		t.Error("setup on an empty system should fail")
+	}
+}
+
+func TestVerifyPublicLengthMismatch(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, _ := circuit.CompileSource(fr, circuit.ExponentiateSource(8))
+	rng := ff.NewRNG(7)
+	pk, vk, _ := eng.Setup(sys, rng)
+	var x ff.Element
+	fr.SetUint64(&x, 2)
+	w, _ := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	proof, _ := eng.Prove(sys, pk, w, rng)
+	if err := eng.Verify(vk, proof, w.Public[:1]); err == nil {
+		t.Error("short public witness accepted")
+	}
+}
+
+func TestGroth16RangeCheckCircuit(t *testing.T) {
+	// End-to-end through the bit-decomposition hints (OpBit): proves
+	// v ≤ max without revealing v.
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, err := circuit.RangeCheckCircuit(fr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(8)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v, slack, max ff.Element
+	fr.SetUint64(&v, 1000)
+	fr.SetUint64(&slack, 24)
+	fr.SetUint64(&max, 1024)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"v": v, "slack": slack, "max": max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, w.Public); err != nil {
+		t.Fatal(err)
+	}
+	// Verifying against a different public bound must fail.
+	bad := make([]ff.Element, len(w.Public))
+	copy(bad, w.Public)
+	fr.SetUint64(&bad[1], 4096)
+	if err := eng.Verify(vk, proof, bad); err == nil {
+		t.Error("proof accepted under a different public bound")
+	}
+}
+
+func TestGroth16MerkleCircuit(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	eng := NewEngine(c)
+	const depth, rounds = 4, 11
+	sys, prog, err := circuit.MerkleCircuit(fr, depth, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(9)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, root := circuit.MerkleAssignment(fr, depth, rounds, 7)
+	w, err := witness.Solve(sys, prog, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Equal(&w.Public[1], &root) {
+		t.Fatal("root mismatch")
+	}
+	proof, err := eng.Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, w.Public); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package groth16
+
+import (
+	"zkperf/internal/r1cs"
+	"zkperf/internal/trace"
+)
+
+// Access-pattern emission for the traced stages. Base sizes use the native
+// in-memory representations (32-byte scalars, 64/128-byte affine points),
+// expanded by jsBoxFactor: the profiled snarkjs stack stores field elements
+// and points as JavaScript objects/typed-array views whose heap footprint
+// is several times the raw data — the main reason its working sets
+// overflow even the i9's 36 MiB LLC at large constraint counts.
+
+// jsBoxFactor is the heap-expansion ratio of the JS/WASM representation
+// over the native one (V8 boxed objects, GC headers, views).
+const jsBoxFactor = 6
+
+// boxed expands an access pattern to the JS heap representation.
+func boxed(a trace.Access) trace.Access {
+	a.RegionBytes *= jsBoxFactor
+	a.ElemSize *= jsBoxFactor
+	return a
+}
+
+// recFixedBase records the memory behaviour of one fixed-base MulBatch:
+// a sequential scan of the scalars, per-scalar random lookups into the
+// precomputed window table, and a sequential write of the results.
+func (e *Engine) recFixedBase(name string, n int, g2 bool) {
+	rec := e.Rec
+	if rec == nil || n == 0 {
+		return
+	}
+	coordBytes := int64(e.Curve.Fp.ByteLen())
+	pointBytes := 2 * coordBytes
+	tableRows := (e.Curve.Fr.Bits() + fixedBaseWindowBits - 1) / fixedBaseWindowBits
+	tableBytes := int64(tableRows) * 255 * pointBytes
+	if g2 {
+		tableBytes *= 2
+		pointBytes *= 2
+	}
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "setup.scalars." + name,
+		RegionBytes: int64(n) * 32, ElemSize: 32, Touches: int64(n)}))
+	tblName := "fbtable.g1"
+	if g2 {
+		tblName = "fbtable.g2"
+	}
+	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: tblName,
+		RegionBytes: tableBytes, ElemSize: int(pointBytes), Touches: int64(n * tableRows)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "pk." + name,
+		RegionBytes: int64(n) * pointBytes, ElemSize: int(pointBytes), Touches: int64(n), Write: true}))
+}
+
+// fixedBaseWindowBits mirrors curve.fixedBaseWindow for footprint math.
+const fixedBaseWindowBits = 8
+
+// recMSM records the memory behaviour of one Pippenger MSM: streaming
+// reads of points and scalars, random bucket updates, and the window
+// reduction.
+func (e *Engine) recMSM(name string, n int, g2 bool) {
+	rec := e.Rec
+	if rec == nil || n == 0 {
+		return
+	}
+	coordBytes := int64(e.Curve.Fp.ByteLen())
+	pointBytes := 2 * coordBytes
+	jacBytes := 3 * coordBytes
+	if g2 {
+		pointBytes *= 2
+		jacBytes *= 2
+	}
+	c := msmWindowForSize(n)
+	windows := (e.Curve.Fr.Bits() + c - 1) / c
+	buckets := int64(1) << uint(c)
+	// Every window streams all points and scalars once…
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.points." + name,
+		RegionBytes: int64(n) * pointBytes, ElemSize: int(pointBytes), Touches: int64(n * windows)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.scalars." + name,
+		RegionBytes: int64(n) * 32, ElemSize: 32, Touches: int64(n * windows)}))
+	// …and scatters into its bucket array (read-modify-write).
+	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: "msm.buckets." + name,
+		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(n * windows)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: "msm.buckets." + name,
+		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(n * windows), Write: true}))
+	// Window reduction: a sequential sweep over the buckets per window.
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.buckets." + name,
+		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: buckets * int64(windows)}))
+}
+
+// msmWindowForSize mirrors the Pippenger window-width heuristic of the
+// curve package for footprint accounting.
+func msmWindowForSize(n int) int {
+	switch {
+	case n < 8:
+		return 2
+	case n < 32:
+		return 3
+	case n < 128:
+		return 5
+	case n < 1024:
+		return 7
+	case n < 8192:
+		return 9
+	case n < 1<<17:
+		return 11
+	case n < 1<<21:
+		return 13
+	default:
+		return 15
+	}
+}
+
+// recNTT records the strided butterfly passes of the quotient computation:
+// nine transforms (3 INTT, 3 coset NTT, 1 coset INTT plus scaling passes)
+// over the three evaluation vectors.
+func (e *Engine) recQuotient(sys *r1cs.System, domainN, logN int) {
+	rec := e.Rec
+	if rec == nil {
+		return
+	}
+	st := sys.Stats()
+	nv := sys.NumVariables()
+	// LC evaluation: sparse matrix stream + random witness gathers.
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "r1cs.terms",
+		RegionBytes: int64(st.NonZeroTerms) * 40, ElemSize: 40, Touches: int64(st.NonZeroTerms)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: "witness",
+		RegionBytes: int64(nv) * 32, ElemSize: 32, Touches: int64(st.NonZeroTerms)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "prove.abc",
+		RegionBytes: int64(3*domainN) * 32, ElemSize: 32, Touches: int64(3 * domainN), Write: true}))
+	// 7 transforms × logN butterfly passes, each touching N elements with
+	// power-of-two strides (reads and writes).
+	passes := int64(7 * logN)
+	rec.Access(boxed(trace.Access{Kind: trace.Strided, Region: "prove.abc",
+		RegionBytes: int64(3*domainN) * 32, ElemSize: 32, Stride: 64,
+		Touches: passes * int64(domainN)}))
+	rec.Access(boxed(trace.Access{Kind: trace.Strided, Region: "prove.abc",
+		RegionBytes: int64(3*domainN) * 32, ElemSize: 32, Stride: 64,
+		Touches: passes * int64(domainN), Write: true}))
+	// Pointwise quotient: one sequential fused pass.
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "prove.abc",
+		RegionBytes: int64(3*domainN) * 32, ElemSize: 32, Touches: int64(3 * domainN)}))
+}
+
+// recPairing records the working set of the verifying stage: the
+// Miller-loop state and line evaluations (small, cache-resident) and the
+// final-exponentiation accumulator.
+func (e *Engine) recPairing(pairs int) {
+	rec := e.Rec
+	if rec == nil {
+		return
+	}
+	fpBytes := int64(e.Curve.Fp.ByteLen())
+	e12 := 12 * fpBytes
+	loopLen := int64(e.Curve.LoopCount.BitLen())
+	// Per pair: the loop touches the accumulator, the running point and
+	// the line value every iteration.
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "pairing.state",
+		RegionBytes: 8 * e12, ElemSize: int(e12), Touches: int64(pairs) * loopLen * 6}))
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "pairing.state",
+		RegionBytes: 8 * e12, ElemSize: int(e12), Touches: int64(pairs) * loopLen * 3, Write: true}))
+	// Final exponentiation: ~hardExp.BitLen() squarings over the
+	// accumulator.
+	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "pairing.state",
+		RegionBytes: 8 * e12, ElemSize: int(e12), Touches: 1300 * 4}))
+}

@@ -1,0 +1,78 @@
+package jsruntime
+
+import (
+	"testing"
+
+	"zkperf/internal/trace"
+)
+
+func TestRunWithNilRecorder(t *testing.T) {
+	// Must not panic and must still perform the work.
+	Run(nil, Light)
+}
+
+func TestWeightsOrdering(t *testing.T) {
+	recs := map[Weight]*trace.Recorder{}
+	for _, w := range []Weight{Light, Medium, Heavy} {
+		r := trace.NewRecorder()
+		Run(r, w)
+		recs[w] = r
+	}
+	// Heavier weights do at least as much instruction-level work.
+	if recs[Light].ExtraCompute >= recs[Medium].ExtraCompute {
+		t.Error("Medium should execute more JS instructions than Light")
+	}
+	// Heavy has the largest object graph (allocation counts).
+	if recs[Heavy].Allocs <= recs[Medium].Allocs {
+		t.Error("Heavy should allocate more than Medium")
+	}
+}
+
+func TestRunEmitsTableIVFunctions(t *testing.T) {
+	r := trace.NewRecorder()
+	Run(r, Medium)
+	classes := map[string]bool{}
+	for _, f := range r.TopFunctions() {
+		if i := indexByte(f.Name, '/'); i >= 0 {
+			classes[f.Name[:i]] = true
+		}
+	}
+	for _, want := range []string{"malloc", "heap allocation", "memcpy", "page fault exception handler"} {
+		if !classes[want] {
+			t.Errorf("runtime profile missing function class %q", want)
+		}
+	}
+}
+
+func TestRunEmitsPhasesAndAccesses(t *testing.T) {
+	r := trace.NewRecorder()
+	Run(r, Light)
+	if len(r.Phases) < 4 {
+		t.Errorf("expected ≥4 phases, got %d", len(r.Phases))
+	}
+	if len(r.Accesses) < 4 {
+		t.Errorf("expected ≥4 access patterns, got %d", len(r.Accesses))
+	}
+	if r.TotalLoads() == 0 || r.TotalStores() == 0 {
+		t.Error("runtime should generate both loads and stores")
+	}
+	// Some phases are parallel (V8 worker threads).
+	parallel := false
+	for _, p := range r.Phases {
+		if p.Grain > 1 {
+			parallel = true
+		}
+	}
+	if !parallel {
+		t.Error("expected at least one parallel runtime phase")
+	}
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

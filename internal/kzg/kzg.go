@@ -1,0 +1,133 @@
+// Package kzg implements the Kate–Zaverucha–Goldberg polynomial commitment
+// scheme over the repository's pairing-friendly curves. It is the
+// commitment layer of the PLONK proving scheme (the second scheme snarkjs
+// supports, which the paper compares against Groth16).
+//
+// A commitment to p(x) is [p(τ)]·G1 for the structured reference string
+// {[τ^i]G1}; an opening proof at z is a commitment to the quotient
+// (p(x) − p(z))/(x − z), verified with one pairing equation:
+//
+//	e(C − [p(z)]G1, G2) == e(W, [τ]G2 − [z]G2)
+package kzg
+
+import (
+	"fmt"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/pairing"
+	"zkperf/internal/poly"
+)
+
+// SRS is the structured reference string (powers of the toxic τ in G1,
+// plus [τ]G2 for verification).
+type SRS struct {
+	C     *curve.Curve
+	G1    []curve.G1Affine // [τ^i]·G1 for i < len
+	G2Tau curve.G2Affine   // [τ]·G2
+}
+
+// NewSRS generates an SRS supporting polynomials of degree < size.
+// τ comes from rng (this is the scheme's trusted setup).
+func NewSRS(c *curve.Curve, size int, rng *ff.RNG) (*SRS, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("kzg: SRS size must be ≥ 2")
+	}
+	var tau ff.Element
+	c.Fr.RandomNonZero(&tau, rng)
+
+	scalars := make([]ff.Element, size)
+	var acc ff.Element
+	c.Fr.One(&acc)
+	for i := range scalars {
+		scalars[i] = acc
+		c.Fr.Mul(&acc, &acc, &tau)
+	}
+	tab := c.NewG1Table(&c.G1Gen)
+	srs := &SRS{C: c, G1: tab.MulBatch(scalars, 1)}
+
+	var g2j curve.G2Jac
+	c.G2FromAffine(&g2j, &c.G2Gen)
+	c.G2ScalarMul(&g2j, &g2j, &tau)
+	c.G2ToAffine(&srs.G2Tau, &g2j)
+	return srs, nil
+}
+
+// MaxDegree returns the largest committable polynomial length.
+func (s *SRS) MaxDegree() int { return len(s.G1) }
+
+// Commit returns [p(τ)]·G1. The polynomial is given low-degree-first and
+// must fit the SRS.
+func (s *SRS) Commit(p []ff.Element) (curve.G1Affine, error) {
+	var out curve.G1Affine
+	if len(p) > len(s.G1) {
+		return out, fmt.Errorf("kzg: polynomial degree %d exceeds SRS size %d", len(p)-1, len(s.G1)-1)
+	}
+	if len(p) == 0 {
+		out.Inf = true
+		return out, nil
+	}
+	acc := s.C.G1MSM(s.G1[:len(p)], p, 1)
+	s.C.G1ToAffine(&out, &acc)
+	return out, nil
+}
+
+// Open evaluates p at z and produces the witness commitment for the
+// quotient (p(x) − p(z))/(x − z) (synthetic division).
+func (s *SRS) Open(p []ff.Element, z *ff.Element) (eval ff.Element, proof curve.G1Affine, err error) {
+	fr := s.C.Fr
+	eval = poly.Eval(fr, p, z)
+	if len(p) == 0 {
+		proof.Inf = true
+		return eval, proof, nil
+	}
+	// q(x) = (p(x) − p(z)) / (x − z) via Horner-style synthetic division.
+	q := make([]ff.Element, len(p)-1)
+	var carry ff.Element
+	for i := len(p) - 1; i >= 1; i-- {
+		fr.Mul(&carry, &carry, z)
+		fr.Add(&carry, &carry, &p[i])
+		q[i-1] = carry
+	}
+	proof, err = s.Commit(q)
+	return eval, proof, err
+}
+
+// Verify checks an opening: that the committed polynomial evaluates to
+// eval at z.
+func (s *SRS) Verify(eng *pairing.Engine, commitment *curve.G1Affine, z, eval *ff.Element, proof *curve.G1Affine) bool {
+	c := s.C
+	// e(C − [eval]G1, G2) == e(W, [τ]G2 − [z]G2)
+	// ⇔ e(C − [eval]G1, −G2) · e(W, [τ−z]G2) == 1 … rearranged as
+	// e(C − [eval]G1 + [z]·W??) — use the standard bilinear form:
+	// e(C − [eval]G1, G2) · e(−W, [τ]G2 − [z]G2) == 1.
+	var evalG1, lhs curve.G1Jac
+	var g1 curve.G1Jac
+	c.G1FromAffine(&g1, &c.G1Gen)
+	c.G1ScalarMul(&evalG1, &g1, eval)
+	var cj curve.G1Jac
+	c.G1FromAffine(&cj, commitment)
+	c.G1Neg(&evalG1, &evalG1)
+	c.G1Add(&lhs, &cj, &evalG1)
+	var lhsA curve.G1Affine
+	c.G1ToAffine(&lhsA, &lhs)
+
+	var zG2, rhs2 curve.G2Jac
+	var g2 curve.G2Jac
+	c.G2FromAffine(&g2, &c.G2Gen)
+	c.G2ScalarMul(&zG2, &g2, z)
+	var tauJ curve.G2Jac
+	c.G2FromAffine(&tauJ, &s.G2Tau)
+	c.G2Neg(&zG2, &zG2)
+	c.G2Add(&rhs2, &tauJ, &zG2)
+	var rhs2A curve.G2Affine
+	c.G2ToAffine(&rhs2A, &rhs2)
+
+	var negProof curve.G1Affine
+	c.G1NegAffine(&negProof, proof)
+
+	return eng.PairingCheck(
+		[]curve.G1Affine{lhsA, negProof},
+		[]curve.G2Affine{c.G2Gen, rhs2A},
+	)
+}

@@ -1,0 +1,133 @@
+package kzg
+
+import (
+	"testing"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/pairing"
+)
+
+func testSRS(t *testing.T, c *curve.Curve) (*SRS, *pairing.Engine) {
+	t.Helper()
+	srs, err := NewSRS(c, 64, ff.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srs, pairing.NewEngine(c)
+}
+
+func randPoly(fr *ff.Field, n int, seed uint64) []ff.Element {
+	rng := ff.NewRNG(seed)
+	p := make([]ff.Element, n)
+	for i := range p {
+		fr.Random(&p[i], rng)
+	}
+	return p
+}
+
+func TestOpenVerify(t *testing.T) {
+	for _, c := range []*curve.Curve{curve.NewBN254(), curve.NewBLS12381()} {
+		srs, eng := testSRS(t, c)
+		p := randPoly(c.Fr, 33, 7)
+		com, err := srs.Commit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var z ff.Element
+		c.Fr.SetUint64(&z, 12345)
+		eval, proof, err := srs.Open(p, &z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !srs.Verify(eng, &com, &z, &eval, &proof) {
+			t.Fatalf("%s: valid opening rejected", c.Name)
+		}
+		// Wrong evaluation must fail.
+		var badEval ff.Element
+		c.Fr.Add(&badEval, &eval, &eval)
+		c.Fr.Add(&badEval, &badEval, &eval) // 3·eval ≠ eval for eval ≠ 0
+		if srs.Verify(eng, &com, &z, &badEval, &proof) {
+			t.Fatalf("%s: wrong evaluation accepted", c.Name)
+		}
+		// Wrong point must fail.
+		var badZ ff.Element
+		c.Fr.SetUint64(&badZ, 999)
+		if srs.Verify(eng, &com, &badZ, &eval, &proof) {
+			t.Fatalf("%s: wrong point accepted", c.Name)
+		}
+		// Wrong commitment must fail.
+		badCom := c.G1Gen
+		if srs.Verify(eng, &badCom, &z, &eval, &proof) {
+			t.Fatalf("%s: wrong commitment accepted", c.Name)
+		}
+	}
+}
+
+func TestCommitLinear(t *testing.T) {
+	// Commit(p) + Commit(q) == Commit(p+q): commitments are homomorphic.
+	c := curve.NewBN254()
+	srs, _ := testSRS(t, c)
+	fr := c.Fr
+	p := randPoly(fr, 20, 1)
+	q := randPoly(fr, 20, 2)
+	sum := make([]ff.Element, 20)
+	for i := range sum {
+		fr.Add(&sum[i], &p[i], &q[i])
+	}
+	cp, _ := srs.Commit(p)
+	cq, _ := srs.Commit(q)
+	csum, _ := srs.Commit(sum)
+	var pj, qj, total curve.G1Jac
+	c.G1FromAffine(&pj, &cp)
+	c.G1FromAffine(&qj, &cq)
+	c.G1Add(&total, &pj, &qj)
+	var sumJ curve.G1Jac
+	c.G1FromAffine(&sumJ, &csum)
+	if !c.G1Equal(&total, &sumJ) {
+		t.Error("commitments are not additively homomorphic")
+	}
+}
+
+func TestConstantAndEmptyPoly(t *testing.T) {
+	c := curve.NewBN254()
+	srs, eng := testSRS(t, c)
+	fr := c.Fr
+	// Constant polynomial opens to itself everywhere.
+	p := []ff.Element{fr.MustElement("42")}
+	com, err := srs.Commit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var z ff.Element
+	fr.SetUint64(&z, 5)
+	eval, proof, err := srs.Open(p, &z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.String(&eval) != "42" {
+		t.Errorf("constant eval = %s", fr.String(&eval))
+	}
+	if !srs.Verify(eng, &com, &z, &eval, &proof) {
+		t.Error("constant opening rejected")
+	}
+	// Empty polynomial commits to infinity.
+	com0, err := srs.Commit(nil)
+	if err != nil || !com0.Inf {
+		t.Error("empty commitment should be infinity")
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	c := curve.NewBN254()
+	srs, _ := testSRS(t, c)
+	if _, err := srs.Commit(randPoly(c.Fr, 65, 3)); err == nil {
+		t.Error("oversized polynomial accepted")
+	}
+	if srs.MaxDegree() != 64 {
+		t.Errorf("MaxDegree = %d", srs.MaxDegree())
+	}
+	if _, err := NewSRS(c, 1, ff.NewRNG(1)); err == nil {
+		t.Error("degenerate SRS accepted")
+	}
+}

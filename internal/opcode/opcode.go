@@ -1,0 +1,136 @@
+// Package opcode reproduces the paper's instruction-level code analysis
+// (Table V): classifying the executed instruction stream into compute,
+// control-flow and data-flow categories.
+//
+// The paper measures this with DynamoRIO on native x86 streams. The
+// portable substitute is a two-part model: the traced run counts dynamic
+// *primitives* (field operations, interpreter dispatches, copies,
+// allocations, array touches), and a static per-primitive instruction-cost
+// table — derived from what a compiled big-integer kernel actually
+// executes per limb — expands those counts into the three categories.
+// The categories match DynamoRIO's scheme: compute covers arithmetic/logic
+// opcodes (add, mul, and, …), control covers transfers (jz, jnb, call, …)
+// and data covers moves between registers and memory (mov, push, …).
+package opcode
+
+import "zkperf/internal/trace"
+
+// Mix is an instruction-count breakdown by category.
+type Mix struct {
+	Compute int64
+	Control int64
+	Data    int64
+}
+
+// Cost is the static instruction cost of one primitive.
+type Cost struct{ Compute, Control, Data int64 }
+
+// costModel returns the per-primitive costs for a field with the given
+// limb count. The numbers follow the instruction sequences of a schoolbook
+// CIOS Montgomery multiplier and a carry-chain adder compiled without full
+// unrolling (the snarkjs/WASM situation): per limb-product one mul plus
+// two carry adds, per inner loop one branch, operand limbs loaded once.
+func costModel(limbs int) map[string]Cost {
+	// wasmFactor models the instruction expansion of running the bigint
+	// kernels under a WASM engine rather than as native code (~3x).
+	const wasmFactor = 3
+	l := int64(limbs) * wasmFactor
+	return map[string]Cost{
+		// n² limb products, each mul+2×adc; loop overhead ~n²+n branches
+		// plus bounds checks; operands and temporaries spill partially.
+		"mul": {Compute: 3*l*l + 2*l, Control: l*l + l, Data: 4*l + l*l/2},
+		// carry-chain add/sub: n add + n adc, a compare-and-reduce branch,
+		// 2n loads + n stores.
+		"add": {Compute: 2*l + 2, Control: 2, Data: 3 * l},
+		// Interpreter dispatch: table fetch, bounds check, indirect jump.
+		"dispatch": {Compute: 2, Control: 3, Data: 4},
+		// Conditional branch with its flag-setting compare.
+		"branch": {Compute: 1, Control: 1, Data: 0},
+		// Allocator call: size-class lookup, freelist pop, bookkeeping.
+		"alloc": {Compute: 12, Control: 10, Data: 30},
+		// One array-element touch: address generation + the memory op.
+		"touch": {Compute: 1, Control: 0, Data: 2},
+		// One 8-byte unit of bulk copy: load+store pair.
+		"copyUnit": {Compute: 0, Control: 0, Data: 2},
+	}
+}
+
+// FromRecorder expands a traced run's primitive counts into an instruction
+// mix. limbs is the active field's limb count (4 for BN254, 4/6 for
+// BLS12-381 scalar/base operations; pass the dominant one for the stage).
+func FromRecorder(r *trace.Recorder, limbs int) Mix {
+	cm := costModel(limbs)
+	var m Mix
+	addN := func(c Cost, n int64) {
+		m.Compute += c.Compute * n
+		m.Control += c.Control * n
+		m.Data += c.Data * n
+	}
+	addN(cm["mul"], int64(r.Ops.Mul+r.Ops.Sq))
+	addN(cm["add"], int64(r.Ops.Add+r.Ops.Sub))
+	addN(cm["dispatch"], r.Dispatches)
+	addN(cm["branch"], r.Branches)
+	addN(cm["alloc"], r.Allocs)
+	addN(cm["copyUnit"], r.BytesCopied/8)
+	var touches int64
+	for i := range r.Accesses {
+		touches += r.Accesses[i].Touches
+	}
+	addN(cm["touch"], touches)
+	m.Compute += r.ExtraCompute
+	m.Control += r.ExtraControl
+	m.Data += r.ExtraData
+	return m
+}
+
+// Total returns the total instruction count.
+func (m Mix) Total() int64 { return m.Compute + m.Control + m.Data }
+
+// Percentages returns the category shares in percent (0 when empty).
+func (m Mix) Percentages() (compute, control, data float64) {
+	t := float64(m.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(m.Compute) / t, 100 * float64(m.Control) / t, 100 * float64(m.Data) / t
+}
+
+// Dominant returns which category the stage is "intensive" in, following
+// the paper's categorization: the largest share wins, with control-flow
+// flagged when its share is within 5 points of the leader (the paper calls
+// the witness stage control-flow intensive on relative grounds).
+func (m Mix) Dominant() string {
+	c, ctl, d := m.Percentages()
+	switch {
+	case c >= ctl && c >= d:
+		return "compute"
+	case d >= c && d >= ctl:
+		return "data-flow"
+	default:
+		return "control-flow"
+	}
+}
+
+// ChainInstructions returns the number of executed instructions belonging
+// to serial carry/multiply dependency chains — the big-integer
+// multiplications. These are the instructions whose latency the top-down
+// model charges as back-end core stalls: a serial chain limits IPC no
+// matter how wide the machine is.
+func ChainInstructions(r *trace.Recorder, limbs int) int64 {
+	c := costModel(limbs)["mul"]
+	return int64(r.Ops.Mul+r.Ops.Sq) * c.Compute
+}
+
+// BranchRate returns conditional+indirect branches per executed
+// instruction — the input the top-down model uses for its bad-speculation
+// estimate.
+func BranchRate(r *trace.Recorder, m Mix) (condPerInstr, indirectPerInstr float64) {
+	t := float64(m.Total())
+	if t == 0 {
+		return 0, 0
+	}
+	// Control-category instructions are mostly well-predicted loop
+	// branches; the recorder's explicit Branches/Dispatches counters mark
+	// the data-dependent ones.
+	return float64(r.Branches) / t, float64(r.Dispatches) / t
+}

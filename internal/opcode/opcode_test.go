@@ -1,0 +1,138 @@
+package opcode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zkperf/internal/trace"
+)
+
+func TestEmptyRecorder(t *testing.T) {
+	r := trace.NewRecorder()
+	m := FromRecorder(r, 4)
+	if m.Total() != 0 {
+		t.Errorf("empty recorder mix total = %d", m.Total())
+	}
+	c, ctl, d := m.Percentages()
+	if c != 0 || ctl != 0 || d != 0 {
+		t.Error("empty mix percentages should be zero")
+	}
+}
+
+func TestMulDominatedIsCompute(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Ops.Mul = 1_000_000
+	m := FromRecorder(r, 4)
+	if m.Dominant() != "compute" {
+		t.Errorf("mul-heavy stream classified %q", m.Dominant())
+	}
+	c, _, _ := m.Percentages()
+	if c < 50 {
+		t.Errorf("compute share = %v for a pure-mul stream", c)
+	}
+}
+
+func TestCopyDominatedIsDataFlow(t *testing.T) {
+	r := trace.NewRecorder()
+	r.BytesCopied = 100 << 20
+	m := FromRecorder(r, 4)
+	if m.Dominant() != "data-flow" {
+		t.Errorf("copy-heavy stream classified %q", m.Dominant())
+	}
+}
+
+func TestDispatchHeavyIsControlFlow(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Dispatches = 1_000_000
+	r.Branches = 2_000_000
+	m := FromRecorder(r, 4)
+	_, ctl, _ := m.Percentages()
+	if ctl < 30 {
+		t.Errorf("control share = %v for an interpreter-like stream", ctl)
+	}
+}
+
+func TestLimbScaling(t *testing.T) {
+	// 6-limb multiplications cost more than 4-limb ones in every category.
+	r := trace.NewRecorder()
+	r.Ops.Mul = 1000
+	m4 := FromRecorder(r, 4)
+	m6 := FromRecorder(r, 6)
+	if m6.Compute <= m4.Compute || m6.Total() <= m4.Total() {
+		t.Error("6-limb mix should exceed 4-limb mix")
+	}
+}
+
+func TestExtraInstrIncluded(t *testing.T) {
+	r := trace.NewRecorder()
+	r.InstrBulk(100, 200, 300)
+	m := FromRecorder(r, 4)
+	if m.Compute != 100 || m.Control != 200 || m.Data != 300 {
+		t.Errorf("bulk instructions not passed through: %+v", m)
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	prop := func(mul, add, disp, br uint32) bool {
+		r := trace.NewRecorder()
+		r.Ops.Mul = uint64(mul % 10000)
+		r.Ops.Add = uint64(add % 10000)
+		r.Dispatches = int64(disp % 10000)
+		r.Branches = int64(br % 10000)
+		m := FromRecorder(r, 4)
+		if m.Total() == 0 {
+			return true
+		}
+		c, ctl, d := m.Percentages()
+		sum := c + ctl + d
+		return sum > 99.999 && sum < 100.001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainInstructions(t *testing.T) {
+	r := trace.NewRecorder()
+	if ChainInstructions(r, 4) != 0 {
+		t.Error("no muls → no chain instructions")
+	}
+	r.Ops.Mul = 10
+	r.Ops.Sq = 5
+	chain4 := ChainInstructions(r, 4)
+	chain6 := ChainInstructions(r, 6)
+	if chain4 <= 0 || chain6 <= chain4 {
+		t.Errorf("chain scaling wrong: %d vs %d", chain4, chain6)
+	}
+	// Chains never exceed the full compute share of the same ops.
+	m := FromRecorder(r, 4)
+	if chain4 > m.Compute {
+		t.Errorf("chain %d exceeds compute %d", chain4, m.Compute)
+	}
+}
+
+func TestBranchRate(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Branches = 100
+	r.Dispatches = 50
+	r.Ops.Mul = 1000
+	m := FromRecorder(r, 4)
+	cond, ind := BranchRate(r, m)
+	if cond <= 0 || ind <= 0 || cond >= 1 || ind >= 1 {
+		t.Errorf("branch rates out of range: %v %v", cond, ind)
+	}
+	empty := trace.NewRecorder()
+	c0, i0 := BranchRate(empty, FromRecorder(empty, 4))
+	if c0 != 0 || i0 != 0 {
+		t.Error("empty recorder branch rates should be zero")
+	}
+}
+
+func TestAllocCostsAreDataHeavy(t *testing.T) {
+	r := trace.NewRecorder()
+	r.AllocN(10000, 64)
+	m := FromRecorder(r, 4)
+	if m.Dominant() != "data-flow" {
+		t.Errorf("allocator-heavy stream classified %q", m.Dominant())
+	}
+}

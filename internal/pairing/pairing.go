@@ -1,0 +1,258 @@
+// Package pairing implements the optimal ate pairing for BN254 and
+// BLS12-381 — the core of the Groth16 verifying stage.
+//
+// Design: rather than maintaining twist-specific sparse line formulas, G2
+// points are untwisted into E(Fp12) once and the Miller loop runs with
+// affine arithmetic directly over Fp12. This trades constant factors for a
+// single uniform, auditable loop shared by the D-twist (BN254) and M-twist
+// (BLS12-381). Vertical-line denominators lie in the Fp6 subfield and are
+// eliminated by the final exponentiation, so the loop omits them (standard
+// denominator elimination).
+package pairing
+
+import (
+	"math/big"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/tower"
+)
+
+// GT is an element of the pairing target group (a subgroup of Fp12*).
+type GT = tower.E12
+
+// Engine computes pairings on one curve. It precomputes the untwist
+// constants and the hard-part exponent of the final exponentiation.
+type Engine struct {
+	C *curve.Curve
+
+	// untwist coefficients: x ← x'·cx, y ← y'·cy in Fp12.
+	cx, cy tower.E12
+
+	// hardExp = (p⁴ − p² + 1)/r, the non-Frobenius part of the final
+	// exponentiation.
+	hardExp *big.Int
+}
+
+// e12Point is an affine point on E(Fp12) (the untwisted image of G2).
+type e12Point struct {
+	X, Y tower.E12
+	Inf  bool
+}
+
+// NewEngine builds a pairing engine for c.
+func NewEngine(c *curve.Curve) *Engine {
+	e := &Engine{C: c}
+	tw := c.Tw
+
+	var w2, w3 tower.E12
+	tw.WPower(&w2, 2)
+	tw.WPower(&w3, 3)
+	switch c.Twist {
+	case curve.DTwist:
+		// ψ(x', y') = (x'·w², y'·w³)
+		e.cx, e.cy = w2, w3
+	case curve.MTwist:
+		// ψ(x', y') = (x'·w⁴/ξ, y'·w³/ξ)
+		var w4, xiInv12 tower.E12
+		tw.WPower(&w4, 4)
+		var xiInv tower.E2
+		tw.E2Inverse(&xiInv, &tw.Xi)
+		tw.E12FromE2(&xiInv12, &xiInv)
+		tw.E12Mul(&e.cx, &w4, &xiInv12)
+		tw.E12Mul(&e.cy, &w3, &xiInv12)
+	}
+
+	p := c.Fp.Modulus()
+	r := c.Fr.Modulus()
+	p2 := new(big.Int).Mul(p, p)
+	p4 := new(big.Int).Mul(p2, p2)
+	hard := new(big.Int).Sub(p4, p2)
+	hard.Add(hard, big.NewInt(1))
+	hard.Div(hard, r)
+	e.hardExp = hard
+	return e
+}
+
+// untwist maps an affine G2 point (on the twist over Fp2) to E(Fp12).
+func (e *Engine) untwist(q *curve.G2Affine) e12Point {
+	tw := e.C.Tw
+	var p e12Point
+	if q.Inf {
+		p.Inf = true
+		return p
+	}
+	var x12, y12 tower.E12
+	tw.E12FromE2(&x12, &q.X)
+	tw.E12FromE2(&y12, &q.Y)
+	tw.E12Mul(&p.X, &x12, &e.cx)
+	tw.E12Mul(&p.Y, &y12, &e.cy)
+	return p
+}
+
+// lineAndStep multiplies f by the line through a and b evaluated at
+// (xP, yP) ∈ Fp (embedded), and returns a+b. If a == b the tangent line is
+// used. Vertical lines (a.x == b.x, a ≠ b) contribute an Fp6 value that the
+// final exponentiation kills, so f is left unchanged and the sum is ∞.
+func (e *Engine) lineAndStep(f *tower.E12, a, b *e12Point, xP, yP *tower.E12) e12Point {
+	tw := e.C.Tw
+	if a.Inf {
+		return *b
+	}
+	if b.Inf {
+		return *a
+	}
+	var lambda, num, den tower.E12
+	sameX := tw.E12Equal(&a.X, &b.X)
+	if sameX && !tw.E12Equal(&a.Y, &b.Y) {
+		// Vertical line: a + b = ∞.
+		return e12Point{Inf: true}
+	}
+	if sameX {
+		// Tangent: λ = 3x²/2y. If y == 0 the point has order 2 — cannot
+		// happen in the prime-order subgroup, but guard anyway.
+		if tw.E12IsZero(&a.Y) {
+			return e12Point{Inf: true}
+		}
+		var x2 tower.E12
+		tw.E12Square(&x2, &a.X)
+		tw.E12Add(&num, &x2, &x2)
+		tw.E12Add(&num, &num, &x2)
+		tw.E12Add(&den, &a.Y, &a.Y)
+	} else {
+		tw.E12Sub(&num, &b.Y, &a.Y)
+		tw.E12Sub(&den, &b.X, &a.X)
+	}
+	var denInv tower.E12
+	tw.E12Inverse(&denInv, &den)
+	tw.E12Mul(&lambda, &num, &denInv)
+
+	// l(P) = (yP − yA) − λ(xP − xA)
+	var l, t tower.E12
+	tw.E12Sub(&l, yP, &a.Y)
+	tw.E12Sub(&t, xP, &a.X)
+	tw.E12Mul(&t, &lambda, &t)
+	tw.E12Sub(&l, &l, &t)
+	tw.E12Mul(f, f, &l)
+
+	// Sum: x3 = λ² − xA − xB; y3 = λ(xA − x3) − yA.
+	var sum e12Point
+	var l2 tower.E12
+	tw.E12Square(&l2, &lambda)
+	tw.E12Sub(&l2, &l2, &a.X)
+	tw.E12Sub(&sum.X, &l2, &b.X)
+	tw.E12Sub(&t, &a.X, &sum.X)
+	tw.E12Mul(&t, &lambda, &t)
+	tw.E12Sub(&sum.Y, &t, &a.Y)
+	return sum
+}
+
+// MillerLoop computes the (un-exponentiated) Miller function for one pair.
+func (e *Engine) MillerLoop(p *curve.G1Affine, q *curve.G2Affine) GT {
+	tw := e.C.Tw
+	var f tower.E12
+	tw.E12One(&f)
+	if p.Inf || q.Inf {
+		return f
+	}
+	var xP, yP tower.E12
+	tw.E12FromFp(&xP, &p.X)
+	tw.E12FromFp(&yP, &p.Y)
+
+	qU := e.untwist(q)
+	T := qU
+	n := e.C.LoopCount
+	for i := n.BitLen() - 2; i >= 0; i-- {
+		tw.E12Square(&f, &f)
+		T = e.lineAndStep(&f, &T, &T, &xP, &yP)
+		if n.Bit(i) == 1 {
+			T = e.lineAndStep(&f, &T, &qU, &xP, &yP)
+		}
+	}
+
+	if e.C.LoopNeg {
+		// x < 0 (BLS12-381): f_{−|x|} ~ conj(f_{|x|}) up to factors killed
+		// by the final exponentiation.
+		tw.E12Conjugate(&f, &f)
+	}
+
+	if e.C.IsBN {
+		// Optimal ate for BN curves appends two Frobenius-twisted line
+		// steps: Q1 = π(Q), Q2 = π²(Q); f ·= l_{T,Q1}; T += Q1;
+		// f ·= l_{T,−Q2}.
+		var q1, q2 e12Point
+		tw.E12Frobenius(&q1.X, &qU.X)
+		tw.E12Frobenius(&q1.Y, &qU.Y)
+		tw.E12FrobeniusN(&q2.X, &qU.X, 2)
+		tw.E12FrobeniusN(&q2.Y, &qU.Y, 2)
+		tw.E12Neg(&q2.Y, &q2.Y)
+		T = e.lineAndStep(&f, &T, &q1, &xP, &yP)
+		T = e.lineAndStep(&f, &T, &q2, &xP, &yP)
+	}
+	return f
+}
+
+// FinalExp raises a Miller-loop output to (p¹² − 1)/r, mapping it into the
+// order-r target group. The easy part uses conjugation and Frobenius; the
+// hard part is a plain exponentiation by (p⁴ − p² + 1)/r.
+func (e *Engine) FinalExp(f *GT) GT {
+	tw := e.C.Tw
+	var out tower.E12
+	if tw.E12IsZero(f) {
+		tw.E12Zero(&out)
+		return out
+	}
+	// Easy part: t = f^{p⁶−1} = conj(f)·f⁻¹, then t = t^{p²}·t.
+	var conj, inv, t, tp2 tower.E12
+	tw.E12Conjugate(&conj, f)
+	tw.E12Inverse(&inv, f)
+	tw.E12Mul(&t, &conj, &inv)
+	tw.E12FrobeniusN(&tp2, &t, 2)
+	tw.E12Mul(&t, &tp2, &t)
+	// Hard part.
+	tw.E12Exp(&out, &t, e.hardExp)
+	return out
+}
+
+// Pair computes the reduced optimal ate pairing e(p, q).
+func (e *Engine) Pair(p *curve.G1Affine, q *curve.G2Affine) GT {
+	f := e.MillerLoop(p, q)
+	return e.FinalExp(&f)
+}
+
+// PairingCheck reports whether Π e(ps[i], qs[i]) == 1. It multiplies the
+// Miller-loop outputs and performs a single shared final exponentiation —
+// the structure used by Groth16 verification.
+func (e *Engine) PairingCheck(ps []curve.G1Affine, qs []curve.G2Affine) bool {
+	if len(ps) != len(qs) {
+		panic("pairing: mismatched input lengths")
+	}
+	tw := e.C.Tw
+	var acc tower.E12
+	tw.E12One(&acc)
+	for i := range ps {
+		f := e.MillerLoop(&ps[i], &qs[i])
+		tw.E12Mul(&acc, &acc, &f)
+	}
+	res := e.FinalExp(&acc)
+	return tw.E12IsOne(&res)
+}
+
+// GTMul returns a·b in the target group.
+func (e *Engine) GTMul(a, b *GT) GT {
+	var out GT
+	e.C.Tw.E12Mul(&out, a, b)
+	return out
+}
+
+// GTEqual reports whether two target-group elements are equal.
+func (e *Engine) GTEqual(a, b *GT) bool { return e.C.Tw.E12Equal(a, b) }
+
+// GTIsOne reports whether a is the identity.
+func (e *Engine) GTIsOne(a *GT) bool { return e.C.Tw.E12IsOne(a) }
+
+// GTExp returns a^k in the target group.
+func (e *Engine) GTExp(a *GT, k *big.Int) GT {
+	var out GT
+	e.C.Tw.E12Exp(&out, a, k)
+	return out
+}

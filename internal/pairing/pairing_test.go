@@ -1,0 +1,193 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+)
+
+func engines() []*Engine {
+	return []*Engine{NewEngine(curve.NewBN254()), NewEngine(curve.NewBLS12381())}
+}
+
+// TestPairingNonDegenerate: e(G1, G2) != 1.
+func TestPairingNonDegenerate(t *testing.T) {
+	for _, e := range engines() {
+		gt := e.Pair(&e.C.G1Gen, &e.C.G2Gen)
+		if e.GTIsOne(&gt) || e.C.Tw.E12IsZero(&gt) {
+			t.Errorf("%s: e(G1,G2) is degenerate", e.C.Name)
+		}
+	}
+}
+
+// TestPairingOrder: e(G1, G2)^r == 1 — the output lands in the order-r
+// subgroup.
+func TestPairingOrder(t *testing.T) {
+	for _, e := range engines() {
+		gt := e.Pair(&e.C.G1Gen, &e.C.G2Gen)
+		pow := e.GTExp(&gt, e.C.Fr.Modulus())
+		if !e.GTIsOne(&pow) {
+			t.Errorf("%s: e(G1,G2)^r != 1", e.C.Name)
+		}
+	}
+}
+
+// TestPairingBilinearG1: e([a]P, Q) == e(P, Q)^a.
+func TestPairingBilinearG1(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		a := big.NewInt(31415)
+		var aPj curve.G1Jac
+		var g1j curve.G1Jac
+		c.G1FromAffine(&g1j, &c.G1Gen)
+		c.G1ScalarMulBig(&aPj, &g1j, a)
+		var aP curve.G1Affine
+		c.G1ToAffine(&aP, &aPj)
+
+		left := e.Pair(&aP, &c.G2Gen)
+		base := e.Pair(&c.G1Gen, &c.G2Gen)
+		right := e.GTExp(&base, a)
+		if !e.GTEqual(&left, &right) {
+			t.Errorf("%s: e([a]P,Q) != e(P,Q)^a", c.Name)
+		}
+	}
+}
+
+// TestPairingBilinearG2: e(P, [b]Q) == e(P, Q)^b.
+func TestPairingBilinearG2(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		b := big.NewInt(27182)
+		var bQj, g2j curve.G2Jac
+		c.G2FromAffine(&g2j, &c.G2Gen)
+		c.G2ScalarMulBig(&bQj, &g2j, b)
+		var bQ curve.G2Affine
+		c.G2ToAffine(&bQ, &bQj)
+
+		left := e.Pair(&c.G1Gen, &bQ)
+		base := e.Pair(&c.G1Gen, &c.G2Gen)
+		right := e.GTExp(&base, b)
+		if !e.GTEqual(&left, &right) {
+			t.Errorf("%s: e(P,[b]Q) != e(P,Q)^b", c.Name)
+		}
+	}
+}
+
+// TestPairingBothSides: e([a]P, [b]Q) == e([b]P, [a]Q).
+func TestPairingBothSides(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		rng := ff.NewRNG(99)
+		var a, b ff.Element
+		c.Fr.Random(&a, rng)
+		c.Fr.Random(&b, rng)
+
+		var g1j, aPj, bPj curve.G1Jac
+		c.G1FromAffine(&g1j, &c.G1Gen)
+		c.G1ScalarMul(&aPj, &g1j, &a)
+		c.G1ScalarMul(&bPj, &g1j, &b)
+		var aP, bP curve.G1Affine
+		c.G1ToAffine(&aP, &aPj)
+		c.G1ToAffine(&bP, &bPj)
+
+		var g2j, aQj, bQj curve.G2Jac
+		c.G2FromAffine(&g2j, &c.G2Gen)
+		c.G2ScalarMul(&aQj, &g2j, &a)
+		c.G2ScalarMul(&bQj, &g2j, &b)
+		var aQ, bQ curve.G2Affine
+		c.G2ToAffine(&aQ, &aQj)
+		c.G2ToAffine(&bQ, &bQj)
+
+		left := e.Pair(&aP, &bQ)
+		right := e.Pair(&bP, &aQ)
+		if !e.GTEqual(&left, &right) {
+			t.Errorf("%s: e([a]P,[b]Q) != e([b]P,[a]Q)", c.Name)
+		}
+	}
+}
+
+// TestPairingInfinity: pairings with the identity are 1.
+func TestPairingInfinity(t *testing.T) {
+	for _, e := range engines() {
+		infG1 := curve.G1Affine{Inf: true}
+		infG2 := curve.G2Affine{Inf: true}
+		gt := e.Pair(&infG1, &e.C.G2Gen)
+		if !e.GTIsOne(&gt) {
+			t.Errorf("%s: e(∞, Q) != 1", e.C.Name)
+		}
+		gt = e.Pair(&e.C.G1Gen, &infG2)
+		if !e.GTIsOne(&gt) {
+			t.Errorf("%s: e(P, ∞) != 1", e.C.Name)
+		}
+	}
+}
+
+// TestPairingCheck: e(P, Q)·e(−P, Q) == 1.
+func TestPairingCheck(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		var negP curve.G1Affine
+		c.G1NegAffine(&negP, &c.G1Gen)
+		ok := e.PairingCheck(
+			[]curve.G1Affine{c.G1Gen, negP},
+			[]curve.G2Affine{c.G2Gen, c.G2Gen},
+		)
+		if !ok {
+			t.Errorf("%s: e(P,Q)·e(−P,Q) != 1", c.Name)
+		}
+		// And a deliberately wrong check must fail.
+		bad := e.PairingCheck(
+			[]curve.G1Affine{c.G1Gen, c.G1Gen},
+			[]curve.G2Affine{c.G2Gen, c.G2Gen},
+		)
+		if bad {
+			t.Errorf("%s: e(P,Q)² should not be 1", c.Name)
+		}
+	}
+}
+
+func TestPairingCheckLengthMismatch(t *testing.T) {
+	e := NewEngine(curve.NewBN254())
+	defer func() {
+		if recover() == nil {
+			t.Error("PairingCheck with mismatched lengths should panic")
+		}
+	}()
+	e.PairingCheck([]curve.G1Affine{e.C.G1Gen}, nil)
+}
+
+// TestGTMul sanity.
+func TestGTOps(t *testing.T) {
+	e := NewEngine(curve.NewBN254())
+	gt := e.Pair(&e.C.G1Gen, &e.C.G2Gen)
+	sq := e.GTMul(&gt, &gt)
+	viaExp := e.GTExp(&gt, big.NewInt(2))
+	if !e.GTEqual(&sq, &viaExp) {
+		t.Error("GTMul(a,a) != a^2")
+	}
+}
+
+// TestMultiPairingLinearity: e(P,Q)·e(P',Q) == e(P+P',Q) — checked through
+// PairingCheck with the negated sum.
+func TestMultiPairingLinearity(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		var g, p2j, sumJ curve.G1Jac
+		c.G1FromAffine(&g, &c.G1Gen)
+		c.G1ScalarMulBig(&p2j, &g, big.NewInt(5))
+		c.G1Add(&sumJ, &g, &p2j)
+		var p2, sum, negSum curve.G1Affine
+		c.G1ToAffine(&p2, &p2j)
+		c.G1ToAffine(&sum, &sumJ)
+		c.G1NegAffine(&negSum, &sum)
+		ok := e.PairingCheck(
+			[]curve.G1Affine{c.G1Gen, p2, negSum},
+			[]curve.G2Affine{c.G2Gen, c.G2Gen, c.G2Gen},
+		)
+		if !ok {
+			t.Errorf("%s: e(P,Q)·e(P',Q)·e(−(P+P'),Q) != 1", c.Name)
+		}
+	}
+}

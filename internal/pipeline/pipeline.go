@@ -1,0 +1,173 @@
+// Package pipeline implements the top-down microarchitecture analysis of
+// the paper (Fig. 4): attributing pipeline slots to the four top-level
+// categories front-end bound, bad speculation, back-end bound and retiring
+// (Yasin, ISPASS 2014).
+//
+// The paper reads these from VTune's hardware counters. The portable
+// substitute is an interval-style analytical model: the traced run supplies
+// the executed instruction mix, the data-dependent branch counts, the
+// cache-simulator miss profile and the stage's code footprint; the CPU
+// model supplies widths, penalties and latencies. Slot categories follow
+// the canonical accounting: cycles lost to instruction supply are
+// front-end, cycles refetching after mispredictions are bad speculation,
+// cycles where the backend cannot accept uops (memory or core stalls) are
+// back-end, and usefully-used slots are retiring.
+package pipeline
+
+import (
+	"math"
+
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/opcode"
+)
+
+// Inputs collects everything the model consumes for one stage execution.
+type Inputs struct {
+	Mix opcode.Mix
+
+	// Data-dependent control flow (from the recorder; loop branches in the
+	// control category are assumed well predicted).
+	CondBranches     int64
+	IndirectBranches int64
+
+	// Cache behaviour (from the cache simulator).
+	L1Misses  int64
+	L2Misses  int64
+	LLCMisses int64
+
+	// MemExposure is the fraction of miss latency the out-of-order window
+	// cannot hide, derived from the access-pattern composition (pointer
+	// chases expose almost everything, prefetched streams almost nothing).
+	MemExposure float64
+
+	// ChainInstr counts instructions in serial multiply/carry dependency
+	// chains (the big-integer kernels). Their latency cannot be hidden by
+	// width or window size, so they stall the back end on every machine —
+	// and waste proportionally more slots on wider ones.
+	ChainInstr int64
+
+	// CodeFootprint is the stage's hot code size in bytes. For the
+	// JS/WASM stack the paper profiles, this includes JIT-generated code —
+	// the main reason several stages are front-end bound.
+	CodeFootprint int64
+}
+
+// Breakdown is the top-down result, in percent (sums to ~100).
+type Breakdown struct {
+	FrontEnd float64
+	BadSpec  float64
+	BackEnd  float64
+	Retiring float64
+
+	// BackEndMemory/BackEndCore split the back-end share (level-2 metrics).
+	BackEndMemory float64
+	BackEndCore   float64
+}
+
+// Dominant returns the name of the largest category.
+func (b Breakdown) Dominant() string {
+	best, name := b.FrontEnd, "front-end"
+	if b.BadSpec > best {
+		best, name = b.BadSpec, "bad-speculation"
+	}
+	if b.BackEnd > best {
+		best, name = b.BackEnd, "back-end"
+	}
+	if b.Retiring > best {
+		name = "retiring"
+	}
+	return name
+}
+
+// Model constants. These are calibration parameters of the analytical
+// model, not measurements; DESIGN.md lists them as ablation candidates.
+const (
+	// icachePressureCoeff scales front-end stall cycles per instruction per
+	// doubling of code footprint beyond the L1I capacity.
+	icachePressureCoeff = 0.10
+	// decodeGapCoeff charges front-end cycles when the fetch/decode width
+	// cannot cover the issue width for dense instruction mixes.
+	decodeGapCoeff = 0.5
+	// coreChainCoeff is the back-end stall cycles charged per
+	// dependency-chain instruction (big-integer multiply/carry sequences).
+	coreChainCoeff = 0.5
+)
+
+// Analyze computes the top-down breakdown for one stage on one CPU.
+func Analyze(in Inputs, cpu *cpumodel.CPU) Breakdown {
+	instrs := float64(in.Mix.Total())
+	if instrs == 0 {
+		return Breakdown{Retiring: 100}
+	}
+	width := float64(cpu.IssueWidth)
+
+	// Slot accounting: every cycle offers `width` issue slots. A retired
+	// instruction uses one slot; a stall cycle wastes `width` of them —
+	// which is why the same serial dependency chain or miss latency makes
+	// a wider machine proportionally more stall-bound.
+	retireSlots := instrs
+
+	// Bad speculation: mispredicted data-dependent branches flush the
+	// pipeline for MispredPenalty cycles each.
+	mispredicts := float64(in.CondBranches)*(1-cpu.PredictorAcc) +
+		float64(in.IndirectBranches)*cpu.IndirectMissRate
+	badSpecCycles := mispredicts * float64(cpu.MispredPenalty)
+
+	// Front-end: instruction-supply stalls. Two components: i-cache/ITLB
+	// pressure growing with the log of footprint beyond L1I, and the
+	// decode gap on machines whose fetch width trails their issue width.
+	footRatio := float64(in.CodeFootprint) / float64(cpu.L1I.SizeBytes)
+	icachePressure := 0.0
+	if footRatio > 1 {
+		// Narrow fetch units recover more slowly from instruction-supply
+		// gaps: scale by the 4-wide baseline over this machine's width.
+		icachePressure = icachePressureCoeff * math.Log2(footRatio) * 4 / float64(cpu.FetchWidth)
+	}
+	decodeGap := 0.0
+	if cpu.FetchWidth < cpu.IssueWidth {
+		decodeGap = decodeGapCoeff * (1/float64(cpu.FetchWidth) - 1/width)
+	}
+	feCycles := instrs * (icachePressure + decodeGap)
+
+	// Back-end memory: exposed miss latency, serialized by the exposure
+	// factor (the OoO window hides the rest).
+	missCycles := float64(in.L1Misses)*float64(cpu.L2.LatencyCyc) +
+		float64(in.L2Misses)*float64(cpu.LLC.LatencyCyc) +
+		float64(in.LLCMisses)*float64(cpu.DRAMLatency)
+	beMemCycles := missCycles * in.MemExposure
+
+	// Back-end core: the serial multiply/carry chains keep execution ports
+	// idle for the same number of cycles on every machine; wider machines
+	// waste more slots per stalled cycle (applied below).
+	beCoreCycles := float64(in.ChainInstr) * coreChainCoeff
+
+	// Convert stall cycles to wasted slots and normalize.
+	feSlots := feCycles * width
+	bsSlots := badSpecCycles * width
+	beSlots := (beMemCycles + beCoreCycles) * width
+	total := retireSlots + bsSlots + feSlots + beSlots
+	toPct := func(c float64) float64 { return 100 * c / total }
+	return Breakdown{
+		FrontEnd:      toPct(feSlots),
+		BadSpec:       toPct(bsSlots),
+		BackEnd:       toPct(beSlots),
+		Retiring:      toPct(retireSlots),
+		BackEndMemory: toPct(beMemCycles * width),
+		BackEndCore:   toPct(beCoreCycles * width),
+	}
+}
+
+// Cycles estimates the stage's execution cycles on the modeled CPU (the
+// denominator of the bandwidth computation in the memory analysis).
+func Cycles(in Inputs, cpu *cpumodel.CPU) float64 {
+	instrs := float64(in.Mix.Total())
+	if instrs == 0 {
+		return 0
+	}
+	width := float64(cpu.IssueWidth)
+	b := Analyze(in, cpu)
+	// Retiring slots equal the instruction count; total slots follow from
+	// the retiring share, and cycles = slots / width.
+	totalSlots := instrs * 100 / b.Retiring
+	return totalSlots / width
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/opcode"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		Mix:           opcode.Mix{Compute: 400e6, Control: 200e6, Data: 400e6},
+		CondBranches:  5e6,
+		MemExposure:   0.4,
+		CodeFootprint: 256 << 10,
+	}
+}
+
+func TestBreakdownSumsTo100(t *testing.T) {
+	for _, cpu := range cpumodel.All() {
+		b := Analyze(baseInputs(), cpu)
+		sum := b.FrontEnd + b.BadSpec + b.BackEnd + b.Retiring
+		if math.Abs(sum-100) > 0.01 {
+			t.Errorf("%s: breakdown sums to %v", cpu.Name, sum)
+		}
+		if math.Abs(b.BackEnd-(b.BackEndMemory+b.BackEndCore)) > 0.01 {
+			t.Errorf("%s: back-end split inconsistent", cpu.Name)
+		}
+	}
+}
+
+func TestEmptyMixIsRetiring(t *testing.T) {
+	b := Analyze(Inputs{}, cpumodel.NewI9_13900K())
+	if b.Retiring != 100 {
+		t.Errorf("empty workload retiring = %v", b.Retiring)
+	}
+}
+
+func TestMispredictsRaiseBadSpec(t *testing.T) {
+	cpu := cpumodel.NewI7_8650U()
+	lo := baseInputs()
+	hi := baseInputs()
+	hi.IndirectBranches = 50e6 // interpreter-style dispatch storm
+	bLo := Analyze(lo, cpu)
+	bHi := Analyze(hi, cpu)
+	if bHi.BadSpec <= bLo.BadSpec {
+		t.Errorf("indirect branches did not raise bad speculation: %v vs %v", bHi.BadSpec, bLo.BadSpec)
+	}
+}
+
+func TestMissesRaiseBackEnd(t *testing.T) {
+	cpu := cpumodel.NewI9_13900K()
+	lo := baseInputs()
+	hi := baseInputs()
+	hi.LLCMisses = 20e6
+	bLo := Analyze(lo, cpu)
+	bHi := Analyze(hi, cpu)
+	if bHi.BackEnd <= bLo.BackEnd {
+		t.Error("LLC misses did not raise back-end bound")
+	}
+	if bHi.BackEndMemory <= bLo.BackEndMemory {
+		t.Error("LLC misses did not raise back-end memory share")
+	}
+}
+
+func TestFootprintRaisesFrontEnd(t *testing.T) {
+	cpu := cpumodel.NewI5_11400()
+	small := baseInputs()
+	small.CodeFootprint = 16 << 10 // fits L1I: no pressure
+	big := baseInputs()
+	big.CodeFootprint = 2 << 20
+	bSmall := Analyze(small, cpu)
+	bBig := Analyze(big, cpu)
+	if bBig.FrontEnd <= bSmall.FrontEnd {
+		t.Error("code footprint did not raise front-end bound")
+	}
+}
+
+// TestChainMakesWideMachinesBackEndBound captures the paper's central
+// Fig. 4 observation: the same bigint chain workload is front-end bound on
+// the narrow i7 but back-end bound on the wide, high-latency i9.
+func TestChainMakesWideMachinesBackEndBound(t *testing.T) {
+	in := baseInputs()
+	in.ChainInstr = 300e6
+	in.CodeFootprint = 288 << 10
+	i7 := Analyze(in, cpumodel.NewI7_8650U())
+	i9 := Analyze(in, cpumodel.NewI9_13900K())
+	if i9.BackEnd <= i7.BackEnd {
+		t.Errorf("i9 back-end (%v) should exceed i7 back-end (%v)", i9.BackEnd, i7.BackEnd)
+	}
+	if i7.FrontEnd <= i9.FrontEnd {
+		t.Errorf("i7 front-end (%v) should exceed i9 front-end (%v)", i7.FrontEnd, i9.FrontEnd)
+	}
+}
+
+func TestHigherExposureMoreBackEnd(t *testing.T) {
+	cpu := cpumodel.NewI5_11400()
+	lo := baseInputs()
+	lo.LLCMisses = 5e6
+	lo.MemExposure = 0.1
+	hi := lo
+	hi.MemExposure = 0.9
+	if Analyze(hi, cpu).BackEnd <= Analyze(lo, cpu).BackEnd {
+		t.Error("exposure did not raise back-end bound")
+	}
+}
+
+func TestCyclesConsistency(t *testing.T) {
+	cpu := cpumodel.NewI7_8650U()
+	in := baseInputs()
+	cycles := Cycles(in, cpu)
+	if cycles <= 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	// Cycles must at least cover retiring the instructions at issue width.
+	minCycles := float64(in.Mix.Total()) / float64(cpu.IssueWidth)
+	if cycles < minCycles {
+		t.Errorf("cycles %v below the retirement floor %v", cycles, minCycles)
+	}
+	if Cycles(Inputs{}, cpu) != 0 {
+		t.Error("empty workload should take 0 cycles")
+	}
+}
+
+func TestDominant(t *testing.T) {
+	cases := []struct {
+		b    Breakdown
+		want string
+	}{
+		{Breakdown{FrontEnd: 50, BackEnd: 20, Retiring: 30}, "front-end"},
+		{Breakdown{FrontEnd: 10, BackEnd: 60, Retiring: 30}, "back-end"},
+		{Breakdown{FrontEnd: 10, BadSpec: 50, BackEnd: 10, Retiring: 30}, "bad-speculation"},
+		{Breakdown{FrontEnd: 10, BackEnd: 10, Retiring: 80}, "retiring"},
+	}
+	for _, tc := range cases {
+		if got := tc.b.Dominant(); got != tc.want {
+			t.Errorf("Dominant(%+v) = %q, want %q", tc.b, got, tc.want)
+		}
+	}
+}

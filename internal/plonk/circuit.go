@@ -1,0 +1,187 @@
+package plonk
+
+import (
+	"fmt"
+	"math/big"
+
+	"zkperf/internal/ff"
+)
+
+// PLONK arithmetizes circuits as rows of the constraint
+//
+//	qL·a + qR·b + qO·c + qM·a·b + qC + PI = 0
+//
+// over three wire columns a, b, c, with copy constraints (expressed as a
+// permutation over the 3n wire slots) tying slots that carry the same
+// variable.
+
+// Var is a circuit variable (an index into the witness assignment).
+type Var int
+
+// Circuit is a gate-level PLONK circuit under construction.
+type Circuit struct {
+	fr *ff.Field
+
+	QL, QR, QO, QM, QC []ff.Element
+	A, B, C            []Var // wire variable per gate slot
+
+	nVars  int
+	nPub   int // public-input gates occupy the first nPub rows
+	frozen bool
+}
+
+// NewCircuit returns an empty circuit over fr.
+func NewCircuit(fr *ff.Field) *Circuit {
+	return &Circuit{fr: fr}
+}
+
+// NumGates returns the current gate count.
+func (c *Circuit) NumGates() int { return len(c.QL) }
+
+// NumPublic returns the number of public inputs.
+func (c *Circuit) NumPublic() int { return c.nPub }
+
+// NewVar allocates a fresh variable.
+func (c *Circuit) NewVar() Var {
+	c.nVars++
+	return Var(c.nVars - 1)
+}
+
+// PublicInput allocates a variable bound to the next public input. Public
+// inputs must be declared before any gate is added (they occupy the first
+// rows, where the verifier adds the PI polynomial).
+func (c *Circuit) PublicInput() Var {
+	if c.NumGates() != c.nPub {
+		panic("plonk: public inputs must be declared before gates")
+	}
+	v := c.NewVar()
+	// Row: 1·a + PI = 0 with PI = −x, forcing a = x.
+	var one ff.Element
+	c.fr.One(&one)
+	c.appendGate(one, zero(c.fr), zero(c.fr), zero(c.fr), zero(c.fr), v, v, v)
+	c.nPub++
+	return v
+}
+
+func zero(fr *ff.Field) ff.Element { var z ff.Element; return z }
+
+func (c *Circuit) appendGate(ql, qr, qo, qm, qc ff.Element, a, b, o Var) {
+	c.QL = append(c.QL, ql)
+	c.QR = append(c.QR, qr)
+	c.QO = append(c.QO, qo)
+	c.QM = append(c.QM, qm)
+	c.QC = append(c.QC, qc)
+	c.A = append(c.A, a)
+	c.B = append(c.B, b)
+	c.C = append(c.C, o)
+}
+
+// AddGate appends a fully general gate.
+func (c *Circuit) AddGate(ql, qr, qo, qm, qc ff.Element, a, b, o Var) {
+	c.appendGate(ql, qr, qo, qm, qc, a, b, o)
+}
+
+// Mul appends o = a·b and returns o.
+func (c *Circuit) Mul(a, b Var) Var {
+	o := c.NewVar()
+	fr := c.fr
+	var one, negOne ff.Element
+	fr.One(&one)
+	fr.Neg(&negOne, &one)
+	c.appendGate(zero(fr), zero(fr), negOne, one, zero(fr), a, b, o)
+	return o
+}
+
+// Add appends o = a + b and returns o.
+func (c *Circuit) Add(a, b Var) Var {
+	o := c.NewVar()
+	fr := c.fr
+	var one, negOne ff.Element
+	fr.One(&one)
+	fr.Neg(&negOne, &one)
+	c.appendGate(one, one, negOne, zero(fr), zero(fr), a, b, o)
+	return o
+}
+
+// AssertEqualConst constrains a == k.
+func (c *Circuit) AssertEqualConst(a Var, k *big.Int) {
+	fr := c.fr
+	var one, negK ff.Element
+	fr.One(&one)
+	fr.SetBigInt(&negK, k)
+	fr.Neg(&negK, &negK)
+	c.appendGate(one, zero(fr), zero(fr), zero(fr), negK, a, a, a)
+}
+
+// Assignment holds per-variable witness values.
+type Assignment []ff.Element
+
+// NewAssignment returns a zeroed assignment sized for the circuit.
+func (c *Circuit) NewAssignment() Assignment {
+	return make(Assignment, c.nVars)
+}
+
+// wireValues expands the assignment to the three wire columns, padded to
+// the domain size n.
+func (c *Circuit) wireValues(w Assignment, n int) (a, b, o []ff.Element, err error) {
+	if len(w) != c.nVars {
+		return nil, nil, nil, fmt.Errorf("plonk: assignment has %d values, circuit has %d variables", len(w), c.nVars)
+	}
+	a = make([]ff.Element, n)
+	b = make([]ff.Element, n)
+	o = make([]ff.Element, n)
+	for i := 0; i < c.NumGates(); i++ {
+		a[i] = w[c.A[i]]
+		b[i] = w[c.B[i]]
+		o[i] = w[c.C[i]]
+	}
+	return a, b, o, nil
+}
+
+// checkGates verifies the assignment satisfies every gate (with the
+// public-input rows receiving their PI values). Used in tests and as a
+// prover-side sanity check.
+func (c *Circuit) checkGates(w Assignment, public []ff.Element) error {
+	fr := c.fr
+	if len(public) != c.nPub {
+		return fmt.Errorf("plonk: %d public values for %d public inputs", len(public), c.nPub)
+	}
+	var t1, t2, acc ff.Element
+	for i := 0; i < c.NumGates(); i++ {
+		a, b, o := w[c.A[i]], w[c.B[i]], w[c.C[i]]
+		fr.Mul(&acc, &c.QL[i], &a)
+		fr.Mul(&t1, &c.QR[i], &b)
+		fr.Add(&acc, &acc, &t1)
+		fr.Mul(&t1, &c.QO[i], &o)
+		fr.Add(&acc, &acc, &t1)
+		fr.Mul(&t1, &c.QM[i], &a)
+		fr.Mul(&t2, &t1, &b)
+		fr.Add(&acc, &acc, &t2)
+		fr.Add(&acc, &acc, &c.QC[i])
+		if i < c.nPub {
+			fr.Sub(&acc, &acc, &public[i])
+		}
+		if !fr.IsZero(&acc) {
+			return fmt.Errorf("plonk: gate %d not satisfied", i)
+		}
+	}
+	return nil
+}
+
+// ExponentiateCircuit builds the paper's y = x^e benchmark as a PLONK
+// circuit: x private, y public. Returns the circuit and the variables.
+func ExponentiateCircuit(fr *ff.Field, e int) (*Circuit, Var, Var) {
+	c := NewCircuit(fr)
+	y := c.PublicInput()
+	x := c.NewVar()
+	w := x
+	for i := 1; i < e; i++ {
+		w = c.Mul(w, x)
+	}
+	// y == w: 1·a − 1·b = 0.
+	var one, negOne ff.Element
+	fr.One(&one)
+	fr.Neg(&negOne, &one)
+	c.appendGate(one, negOne, zero(fr), zero(fr), zero(fr), y, w, w)
+	return c, x, y
+}

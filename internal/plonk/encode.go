@@ -1,0 +1,71 @@
+package plonk
+
+import (
+	"io"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+)
+
+// Proof serialization: 7 G1 points, 16 scalars and 2 opening proofs in a
+// fixed order.
+
+// proofPoints lists the proof's commitments and openings in wire order.
+func (p *Proof) proofPoints() []*curve.G1Affine {
+	return []*curve.G1Affine{
+		&p.CA, &p.CB, &p.CC, &p.CZ, &p.CTlo, &p.CTmid, &p.CThi,
+		&p.Wz, &p.Wzw,
+	}
+}
+
+// proofScalars lists the proof's evaluations in wire order.
+func (p *Proof) proofScalars() []*ff.Element {
+	return []*ff.Element{
+		&p.EvA, &p.EvB, &p.EvC, &p.EvZ, &p.EvZw,
+		&p.EvTlo, &p.EvTmid, &p.EvThi,
+		&p.EvQl, &p.EvQr, &p.EvQo, &p.EvQm, &p.EvQc,
+		&p.EvS1, &p.EvS2, &p.EvS3,
+	}
+}
+
+// Serialize writes the proof.
+func (p *Proof) Serialize(w io.Writer, c *curve.Curve) error {
+	for _, pt := range p.proofPoints() {
+		if _, err := w.Write(c.G1Bytes(pt)); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.proofScalars() {
+		if _, err := w.Write(c.Fr.Bytes(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize reads a proof written by Serialize, validating that every
+// point lies on the curve.
+func (p *Proof) Deserialize(r io.Reader, c *curve.Curve) error {
+	buf := make([]byte, c.G1EncodedLen())
+	for _, pt := range p.proofPoints() {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		if err := c.G1SetBytes(pt, buf); err != nil {
+			return err
+		}
+	}
+	sbuf := make([]byte, c.Fr.ByteLen())
+	for _, e := range p.proofScalars() {
+		if _, err := io.ReadFull(r, sbuf); err != nil {
+			return err
+		}
+		c.Fr.SetBytes(e, sbuf)
+	}
+	return nil
+}
+
+// EncodedLen returns the byte length of a serialized proof on curve c.
+func (p *Proof) EncodedLen(c *curve.Curve) int {
+	return 9*c.G1EncodedLen() + 16*c.Fr.ByteLen()
+}

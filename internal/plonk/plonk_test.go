@@ -1,0 +1,244 @@
+package plonk
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+)
+
+// proveExp runs the PLONK pipeline on the exponentiation circuit.
+func proveExp(t *testing.T, c *curve.Curve, e int, xVal uint64) (*Engine, *VerifyingKey, *Proof, []ff.Element) {
+	t.Helper()
+	fr := c.Fr
+	circ, x, _ := ExponentiateCircuit(fr, e)
+	eng := NewEngine(c)
+	pk, vk, err := eng.Setup(circ, ff.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assignment: evaluate the circuit forward.
+	w := circ.NewAssignment()
+	fr.SetUint64(&w[x], xVal)
+	// Replaying the gates fills in the multiplication outputs.
+	fillAssignment(fr, circ, w)
+	yVal := new(big.Int).Exp(new(big.Int).SetUint64(xVal), big.NewInt(int64(e)), fr.Modulus())
+	var y ff.Element
+	fr.SetBigInt(&y, yVal)
+	w[0] = y // the public-input variable
+	public := []ff.Element{y}
+
+	proof, err := eng.Prove(pk, w, public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, vk, proof, public
+}
+
+// fillAssignment executes the mul/add gates forward to solve outputs.
+func fillAssignment(fr *ff.Field, c *Circuit, w Assignment) {
+	var one ff.Element
+	fr.One(&one)
+	for i := 0; i < c.NumGates(); i++ {
+		// Solve rows of the form qM·a·b − c = 0 or a + b − c = 0.
+		if fr.IsOne(&c.QM[i]) {
+			fr.Mul(&w[c.C[i]], &w[c.A[i]], &w[c.B[i]])
+		} else if fr.IsOne(&c.QL[i]) && fr.IsOne(&c.QR[i]) {
+			fr.Add(&w[c.C[i]], &w[c.A[i]], &w[c.B[i]])
+		}
+	}
+}
+
+func TestPlonkEndToEndBN254(t *testing.T) {
+	eng, vk, proof, public := proveExp(t, curve.NewBN254(), 30, 3)
+	if err := eng.Verify(vk, proof, public); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestPlonkEndToEndBLS12381(t *testing.T) {
+	eng, vk, proof, public := proveExp(t, curve.NewBLS12381(), 16, 5)
+	if err := eng.Verify(vk, proof, public); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestPlonkWrongPublicInput(t *testing.T) {
+	eng, vk, proof, public := proveExp(t, curve.NewBN254(), 16, 3)
+	bad := make([]ff.Element, len(public))
+	eng.Curve.Fr.SetUint64(&bad[0], 99999)
+	if err := eng.Verify(vk, proof, bad); err == nil {
+		t.Fatal("proof accepted for the wrong public input")
+	}
+}
+
+func TestPlonkTamperedProof(t *testing.T) {
+	eng, vk, proof, public := proveExp(t, curve.NewBN254(), 16, 3)
+	// Tamper with each commitment and each evaluation.
+	tampered := *proof
+	tampered.CZ = eng.Curve.G1Gen
+	if err := eng.Verify(vk, &tampered, public); err == nil {
+		t.Error("tampered CZ accepted")
+	}
+	tampered = *proof
+	eng.Curve.Fr.SetUint64(&tampered.EvA, 7)
+	if err := eng.Verify(vk, &tampered, public); err == nil {
+		t.Error("tampered EvA accepted")
+	}
+	tampered = *proof
+	tampered.Wz = eng.Curve.G1Gen
+	if err := eng.Verify(vk, &tampered, public); err == nil {
+		t.Error("tampered opening accepted")
+	}
+}
+
+func TestPlonkUnsatisfiedCircuit(t *testing.T) {
+	// A wrong assignment must be caught before any proof is produced.
+	c := curve.NewBN254()
+	fr := c.Fr
+	circ, x, _ := ExponentiateCircuit(fr, 8)
+	eng := NewEngine(c)
+	pk, _, err := eng.Setup(circ, ff.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := circ.NewAssignment()
+	fr.SetUint64(&w[x], 3)
+	fillAssignment(fr, circ, w)
+	var wrongY ff.Element
+	fr.SetUint64(&wrongY, 1)
+	w[0] = wrongY
+	if _, err := eng.Prove(pk, w, []ff.Element{wrongY}); err == nil {
+		t.Fatal("prover accepted an unsatisfied circuit")
+	}
+}
+
+func TestPlonkCopyConstraints(t *testing.T) {
+	// Two gates sharing a variable: breaking the copy constraint by
+	// assigning inconsistent values must fail at the gate check.
+	c := curve.NewBN254()
+	fr := c.Fr
+	circ := NewCircuit(fr)
+	a := circ.NewVar()
+	b := circ.Mul(a, a)  // b = a²
+	cc := circ.Mul(b, a) // c = a³
+	circ.AssertEqualConst(cc, big.NewInt(27))
+	eng := NewEngine(c)
+	pk, vk, err := eng.Setup(circ, ff.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := circ.NewAssignment()
+	fr.SetUint64(&w[a], 3)
+	fillAssignment(fr, circ, w)
+	proof, err := eng.Prove(pk, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, nil); err != nil {
+		t.Fatalf("valid copy-constraint proof rejected: %v", err)
+	}
+}
+
+func TestPlonkAddGateAndConstants(t *testing.T) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	circ := NewCircuit(fr)
+	s := circ.PublicInput() // s = a + b
+	a := circ.NewVar()
+	b := circ.NewVar()
+	sum := circ.Add(a, b)
+	var one, negOne ff.Element
+	fr.One(&one)
+	fr.Neg(&negOne, &one)
+	circ.AddGate(one, negOne, zero(fr), zero(fr), zero(fr), s, sum, sum)
+
+	eng := NewEngine(c)
+	pk, vk, err := eng.Setup(circ, ff.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := circ.NewAssignment()
+	fr.SetUint64(&w[a], 20)
+	fr.SetUint64(&w[b], 22)
+	fillAssignment(fr, circ, w)
+	var sVal ff.Element
+	fr.SetUint64(&sVal, 42)
+	w[s] = sVal
+	proof, err := eng.Prove(pk, w, []ff.Element{sVal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, proof, []ff.Element{sVal}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlonkPublicInputOrderEnforced(t *testing.T) {
+	c := curve.NewBN254()
+	circ := NewCircuit(c.Fr)
+	a := circ.NewVar()
+	circ.Mul(a, a)
+	defer func() {
+		if recover() == nil {
+			t.Error("PublicInput after gates should panic")
+		}
+	}()
+	circ.PublicInput()
+}
+
+func TestPlonkEmptyCircuit(t *testing.T) {
+	c := curve.NewBN254()
+	eng := NewEngine(c)
+	if _, _, err := eng.Setup(NewCircuit(c.Fr), ff.NewRNG(1)); err == nil {
+		t.Error("empty circuit accepted")
+	}
+}
+
+func TestPlonkDeterministicTranscript(t *testing.T) {
+	// Same inputs → same proof (no blinding in this variant), and the
+	// verifier's recomputed challenges must match.
+	c := curve.NewBN254()
+	_, vk, proof1, public := proveExp(t, c, 8, 3)
+	_, _, proof2, _ := proveExp(t, c, 8, 3)
+	if !c.Fr.Equal(&proof1.EvA, &proof2.EvA) {
+		t.Error("deterministic prover produced differing proofs")
+	}
+	eng := NewEngine(c)
+	if err := eng.Verify(vk, proof1, public); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofSerialization(t *testing.T) {
+	c := curve.NewBN254()
+	eng, vk, proof, public := proveExp(t, c, 8, 3)
+	var buf bytes.Buffer
+	if err := proof.Serialize(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != proof.EncodedLen(c) {
+		t.Errorf("encoded %d bytes, EncodedLen says %d", buf.Len(), proof.EncodedLen(c))
+	}
+	var back Proof
+	if err := back.Deserialize(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Verify(vk, &back, public); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+	// Corrupting a point byte must be caught at decode time.
+	var buf2 bytes.Buffer
+	if err := proof.Serialize(&buf2, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf2.Bytes()
+	data[5] ^= 0xFF
+	var bad Proof
+	if err := bad.Deserialize(bytes.NewReader(data), c); err == nil {
+		t.Error("corrupted proof point accepted")
+	}
+}

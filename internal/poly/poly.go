@@ -1,0 +1,278 @@
+// Package poly implements dense polynomial arithmetic over the scalar
+// field, radix-2 number-theoretic transforms (NTT/FFT), and multiplicative
+// evaluation domains with coset support. The NTT is the second dominant
+// kernel of the Groth16 prover (with the MSM): it converts constraint
+// evaluations to coefficient form and back when computing the quotient
+// polynomial H(x).
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"zkperf/internal/ff"
+)
+
+// Domain is a multiplicative subgroup {1, ω, ω², …, ω^{N−1}} of Fr* of
+// power-of-two size, plus a coset shift used to evaluate quotients where
+// the vanishing polynomial is nonzero.
+type Domain struct {
+	Fr   *ff.Field
+	N    int
+	LogN int
+
+	Root    ff.Element // ω, a primitive N-th root of unity
+	RootInv ff.Element // ω⁻¹
+	NInv    ff.Element // N⁻¹ (for the inverse transform)
+
+	CosetGen    ff.Element // multiplicative shift g (a quadratic non-residue)
+	CosetGenInv ff.Element
+}
+
+// NewDomain returns a domain of the smallest power-of-two size ≥ minSize.
+// It fails if the field's 2-adicity cannot accommodate the size.
+func NewDomain(fr *ff.Field, minSize int) (*Domain, error) {
+	if minSize < 1 {
+		return nil, fmt.Errorf("poly: domain size must be positive")
+	}
+	n := 1
+	logN := 0
+	for n < minSize {
+		n <<= 1
+		logN++
+	}
+
+	// 2-adicity: p − 1 = q·2^s with q odd.
+	pm1 := fr.Modulus()
+	pm1.Sub(pm1, big.NewInt(1))
+	s := 0
+	q := pm1
+	for q.Bit(0) == 0 {
+		q.Rsh(q, 1)
+		s++
+	}
+	if logN > s {
+		return nil, fmt.Errorf("poly: field %s supports domains up to 2^%d, need 2^%d", fr.Name, s, logN)
+	}
+
+	d := &Domain{Fr: fr, N: n, LogN: logN}
+
+	// The smallest quadratic non-residue g generates the full 2-Sylow
+	// subgroup, so ω = g^{(p−1)/N} has exact order N; g itself serves as
+	// the coset shift (no non-residue lies in a 2-power subgroup, whose
+	// elements are all squares).
+	var g ff.Element
+	for v := uint64(2); ; v++ {
+		fr.SetUint64(&g, v)
+		if fr.Legendre(&g) == -1 {
+			break
+		}
+	}
+	exp := fr.Modulus()
+	exp.Sub(exp, big.NewInt(1))
+	exp.Div(exp, big.NewInt(int64(n)))
+	fr.Exp(&d.Root, &g, exp)
+	fr.Inverse(&d.RootInv, &d.Root)
+	var nElem ff.Element
+	fr.SetUint64(&nElem, uint64(n))
+	fr.Inverse(&d.NInv, &nElem)
+	d.CosetGen = g
+	fr.Inverse(&d.CosetGenInv, &g)
+	return d, nil
+}
+
+// bitReverse permutes a into bit-reversed index order in place.
+func bitReverse(a []ff.Element, logN int) {
+	n := len(a)
+	shift := 64 - uint(logN)
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}
+
+// ntt is the in-place iterative Cooley-Tukey transform with the given
+// root (ω for forward, ω⁻¹ for inverse).
+func (d *Domain) ntt(a []ff.Element, root *ff.Element) {
+	fr := d.Fr
+	bitReverse(a, d.LogN)
+	for length := 2; length <= d.N; length <<= 1 {
+		// wLen = root^{N/length}
+		var wLen ff.Element
+		fr.Set(&wLen, root)
+		for l := length; l < d.N; l <<= 1 {
+			fr.Square(&wLen, &wLen)
+		}
+		half := length >> 1
+		for start := 0; start < d.N; start += length {
+			var w ff.Element
+			fr.One(&w)
+			for k := 0; k < half; k++ {
+				var t ff.Element
+				fr.Mul(&t, &a[start+k+half], &w)
+				fr.Sub(&a[start+k+half], &a[start+k], &t)
+				fr.Add(&a[start+k], &a[start+k], &t)
+				fr.Mul(&w, &w, &wLen)
+			}
+		}
+	}
+}
+
+// NTT transforms coefficients to evaluations over the domain, in place.
+// len(a) must equal the domain size.
+func (d *Domain) NTT(a []ff.Element) {
+	d.checkLen(a)
+	d.ntt(a, &d.Root)
+}
+
+// INTT transforms evaluations back to coefficients, in place.
+func (d *Domain) INTT(a []ff.Element) {
+	d.checkLen(a)
+	d.ntt(a, &d.RootInv)
+	fr := d.Fr
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &d.NInv)
+	}
+}
+
+// CosetNTT evaluates the coefficient vector over the coset g·H, in place.
+func (d *Domain) CosetNTT(a []ff.Element) {
+	d.checkLen(a)
+	fr := d.Fr
+	var pow ff.Element
+	fr.One(&pow)
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &pow)
+		fr.Mul(&pow, &pow, &d.CosetGen)
+	}
+	d.ntt(a, &d.Root)
+}
+
+// CosetINTT interpolates coset evaluations back to coefficients, in place.
+func (d *Domain) CosetINTT(a []ff.Element) {
+	d.checkLen(a)
+	fr := d.Fr
+	d.ntt(a, &d.RootInv)
+	var pow ff.Element
+	fr.One(&pow)
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &d.NInv)
+		fr.Mul(&a[i], &a[i], &pow)
+		fr.Mul(&pow, &pow, &d.CosetGenInv)
+	}
+}
+
+func (d *Domain) checkLen(a []ff.Element) {
+	if len(a) != d.N {
+		panic(fmt.Sprintf("poly: slice length %d != domain size %d", len(a), d.N))
+	}
+}
+
+// ZEval evaluates the vanishing polynomial Z(x) = x^N − 1 at x.
+func (d *Domain) ZEval(x *ff.Element) ff.Element {
+	fr := d.Fr
+	var acc ff.Element
+	fr.Set(&acc, x)
+	for i := 0; i < d.LogN; i++ {
+		fr.Square(&acc, &acc)
+	}
+	var one ff.Element
+	fr.One(&one)
+	fr.Sub(&acc, &acc, &one)
+	return acc
+}
+
+// RootPower returns ω^k.
+func (d *Domain) RootPower(k int) ff.Element {
+	var out ff.Element
+	d.Fr.ExpUint64(&out, &d.Root, uint64(k%d.N))
+	return out
+}
+
+// ---------- dense polynomial helpers ----------
+
+// Eval evaluates the coefficient vector p (low degree first) at x by
+// Horner's rule.
+func Eval(fr *ff.Field, p []ff.Element, x *ff.Element) ff.Element {
+	var acc ff.Element
+	fr.Zero(&acc)
+	for i := len(p) - 1; i >= 0; i-- {
+		fr.Mul(&acc, &acc, x)
+		fr.Add(&acc, &acc, &p[i])
+	}
+	return acc
+}
+
+// Add returns p + q (coefficient-wise, result has max length).
+func Add(fr *ff.Field, p, q []ff.Element) []ff.Element {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make([]ff.Element, n)
+	copy(out, p)
+	for i := range q {
+		fr.Add(&out[i], &out[i], &q[i])
+	}
+	return out
+}
+
+// Sub returns p − q.
+func Sub(fr *ff.Field, p, q []ff.Element) []ff.Element {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make([]ff.Element, n)
+	copy(out, p)
+	for i := range q {
+		fr.Sub(&out[i], &out[i], &q[i])
+	}
+	return out
+}
+
+// MulNaive returns p·q by schoolbook convolution — the O(n²) baseline used
+// in tests and the NTT ablation benchmark.
+func MulNaive(fr *ff.Field, p, q []ff.Element) []ff.Element {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make([]ff.Element, len(p)+len(q)-1)
+	var t ff.Element
+	for i := range p {
+		if fr.IsZero(&p[i]) {
+			continue
+		}
+		for j := range q {
+			fr.Mul(&t, &p[i], &q[j])
+			fr.Add(&out[i+j], &out[i+j], &t)
+		}
+	}
+	return out
+}
+
+// Mul returns p·q using NTT-based convolution.
+func Mul(fr *ff.Field, p, q []ff.Element) ([]ff.Element, error) {
+	if len(p) == 0 || len(q) == 0 {
+		return nil, nil
+	}
+	outLen := len(p) + len(q) - 1
+	d, err := NewDomain(fr, outLen)
+	if err != nil {
+		return nil, err
+	}
+	pa := make([]ff.Element, d.N)
+	qa := make([]ff.Element, d.N)
+	copy(pa, p)
+	copy(qa, q)
+	d.NTT(pa)
+	d.NTT(qa)
+	for i := range pa {
+		fr.Mul(&pa[i], &pa[i], &qa[i])
+	}
+	d.INTT(pa)
+	return pa[:outLen], nil
+}

@@ -1,0 +1,228 @@
+package poly
+
+import (
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+func fields() []*ff.Field { return []*ff.Field{ff.NewBN254Fr(), ff.NewBLS12381Fr()} }
+
+func TestDomainRootOrder(t *testing.T) {
+	for _, fr := range fields() {
+		for _, size := range []int{1, 2, 7, 16, 100, 1024} {
+			d, err := NewDomain(fr, size)
+			if err != nil {
+				t.Fatalf("%s size %d: %v", fr.Name, size, err)
+			}
+			if d.N < size || d.N&(d.N-1) != 0 {
+				t.Fatalf("%s: domain size %d not a power of two ≥ %d", fr.Name, d.N, size)
+			}
+			// ω^N == 1 and (N > 1) ω^{N/2} == −1: ω has exact order N.
+			var acc ff.Element
+			fr.Set(&acc, &d.Root)
+			for i := 0; i < d.LogN-1; i++ {
+				fr.Square(&acc, &acc)
+			}
+			if d.N > 1 {
+				var negOne, one ff.Element
+				fr.One(&one)
+				fr.Neg(&negOne, &one)
+				if !fr.Equal(&acc, &negOne) {
+					t.Fatalf("%s: ω^{N/2} != −1 for N=%d", fr.Name, d.N)
+				}
+				fr.Square(&acc, &acc)
+			}
+			if !fr.IsOne(&acc) {
+				t.Fatalf("%s: ω^N != 1 for N=%d", fr.Name, d.N)
+			}
+		}
+	}
+}
+
+func TestDomainTooLarge(t *testing.T) {
+	fr := ff.NewBN254Fr() // 2-adicity 28
+	if _, err := NewDomain(fr, 1<<29); err == nil {
+		t.Error("domain of size 2^29 should exceed BN254 Fr 2-adicity")
+	}
+	if _, err := NewDomain(fr, 0); err == nil {
+		t.Error("zero-size domain should be rejected")
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	for _, fr := range fields() {
+		d, err := NewDomain(fr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := ff.NewRNG(1)
+		a := make([]ff.Element, d.N)
+		orig := make([]ff.Element, d.N)
+		for i := range a {
+			fr.Random(&a[i], rng)
+		}
+		copy(orig, a)
+		d.NTT(a)
+		d.INTT(a)
+		for i := range a {
+			if !fr.Equal(&a[i], &orig[i]) {
+				t.Fatalf("%s: NTT/INTT round trip failed at %d", fr.Name, i)
+			}
+		}
+	}
+}
+
+func TestCosetRoundTrip(t *testing.T) {
+	for _, fr := range fields() {
+		d, _ := NewDomain(fr, 32)
+		rng := ff.NewRNG(2)
+		a := make([]ff.Element, d.N)
+		orig := make([]ff.Element, d.N)
+		for i := range a {
+			fr.Random(&a[i], rng)
+		}
+		copy(orig, a)
+		d.CosetNTT(a)
+		d.CosetINTT(a)
+		for i := range a {
+			if !fr.Equal(&a[i], &orig[i]) {
+				t.Fatalf("%s: coset round trip failed at %d", fr.Name, i)
+			}
+		}
+	}
+}
+
+// TestNTTMatchesEval: the forward transform agrees with direct evaluation
+// at the domain points.
+func TestNTTMatchesEval(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 8)
+	rng := ff.NewRNG(3)
+	coeffs := make([]ff.Element, d.N)
+	for i := range coeffs {
+		fr.Random(&coeffs[i], rng)
+	}
+	evals := make([]ff.Element, d.N)
+	copy(evals, coeffs)
+	d.NTT(evals)
+	for k := 0; k < d.N; k++ {
+		x := d.RootPower(k)
+		want := Eval(fr, coeffs, &x)
+		if !fr.Equal(&evals[k], &want) {
+			t.Fatalf("NTT[%d] != p(ω^%d)", k, k)
+		}
+	}
+}
+
+// TestCosetNTTMatchesEval: coset evaluations are p(g·ω^k).
+func TestCosetNTTMatchesEval(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 8)
+	rng := ff.NewRNG(4)
+	coeffs := make([]ff.Element, d.N)
+	for i := range coeffs {
+		fr.Random(&coeffs[i], rng)
+	}
+	evals := make([]ff.Element, d.N)
+	copy(evals, coeffs)
+	d.CosetNTT(evals)
+	for k := 0; k < d.N; k++ {
+		w := d.RootPower(k)
+		var x ff.Element
+		fr.Mul(&x, &d.CosetGen, &w)
+		want := Eval(fr, coeffs, &x)
+		if !fr.Equal(&evals[k], &want) {
+			t.Fatalf("CosetNTT[%d] != p(g·ω^%d)", k, k)
+		}
+	}
+}
+
+func TestZEval(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 16)
+	// Z vanishes on the domain…
+	for _, k := range []int{0, 1, 7, 15} {
+		x := d.RootPower(k)
+		z := d.ZEval(&x)
+		if !fr.IsZero(&z) {
+			t.Errorf("Z(ω^%d) != 0", k)
+		}
+	}
+	// …and is nonzero on the coset.
+	var x ff.Element
+	fr.Mul(&x, &d.CosetGen, &d.Root)
+	z := d.ZEval(&x)
+	if fr.IsZero(&z) {
+		t.Error("Z(g·ω) == 0 — coset intersects the domain")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(5)
+	for _, sizes := range [][2]int{{1, 1}, {3, 5}, {16, 16}, {33, 7}} {
+		p := make([]ff.Element, sizes[0])
+		q := make([]ff.Element, sizes[1])
+		for i := range p {
+			fr.Random(&p[i], rng)
+		}
+		for i := range q {
+			fr.Random(&q[i], rng)
+		}
+		want := MulNaive(fr, p, q)
+		got, err := Mul(fr, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length mismatch %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if !fr.Equal(&got[i], &want[i]) {
+				t.Fatalf("sizes %v: coefficient %d differs", sizes, i)
+			}
+		}
+	}
+}
+
+func TestAddSubEval(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(6)
+	p := make([]ff.Element, 5)
+	q := make([]ff.Element, 9)
+	for i := range p {
+		fr.Random(&p[i], rng)
+	}
+	for i := range q {
+		fr.Random(&q[i], rng)
+	}
+	var x ff.Element
+	fr.Random(&x, rng)
+	sum := Add(fr, p, q)
+	diff := Sub(fr, p, q)
+	pe := Eval(fr, p, &x)
+	qe := Eval(fr, q, &x)
+	se := Eval(fr, sum, &x)
+	de := Eval(fr, diff, &x)
+	var want ff.Element
+	fr.Add(&want, &pe, &qe)
+	if !fr.Equal(&se, &want) {
+		t.Error("(p+q)(x) != p(x)+q(x)")
+	}
+	fr.Sub(&want, &pe, &qe)
+	if !fr.Equal(&de, &want) {
+		t.Error("(p−q)(x) != p(x)−q(x)")
+	}
+}
+
+func TestNTTLengthPanic(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("NTT with wrong length should panic")
+		}
+	}()
+	d.NTT(make([]ff.Element, 4))
+}

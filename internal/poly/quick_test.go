@@ -1,0 +1,100 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zkperf/internal/ff"
+)
+
+// Property-based tests on the transform invariants the prover relies on.
+
+// TestQuickNTTLinearity: NTT(a + b) == NTT(a) + NTT(b).
+func TestQuickNTTLinearity(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 32)
+	prop := func(seed uint64) bool {
+		rng := ff.NewRNG(seed)
+		a := make([]ff.Element, d.N)
+		b := make([]ff.Element, d.N)
+		sum := make([]ff.Element, d.N)
+		for i := range a {
+			fr.Random(&a[i], rng)
+			fr.Random(&b[i], rng)
+			fr.Add(&sum[i], &a[i], &b[i])
+		}
+		d.NTT(a)
+		d.NTT(b)
+		d.NTT(sum)
+		var want ff.Element
+		for i := range sum {
+			fr.Add(&want, &a[i], &b[i])
+			if !fr.Equal(&sum[i], &want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConvolutionTheorem: INTT(NTT(a) ⊙ NTT(b)) == a * b for
+// polynomials whose product fits the domain.
+func TestQuickConvolutionTheorem(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, _ := NewDomain(fr, 32)
+	prop := func(seed uint64) bool {
+		rng := ff.NewRNG(seed)
+		half := d.N / 2
+		a := make([]ff.Element, d.N)
+		b := make([]ff.Element, d.N)
+		for i := 0; i < half; i++ {
+			fr.Random(&a[i], rng)
+			fr.Random(&b[i], rng)
+		}
+		want := MulNaive(fr, a[:half], b[:half])
+		d.NTT(a)
+		d.NTT(b)
+		for i := range a {
+			fr.Mul(&a[i], &a[i], &b[i])
+		}
+		d.INTT(a)
+		for i := range want {
+			if !fr.Equal(&a[i], &want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvalHomomorphism: (p+q)(x) == p(x) + q(x) at random points.
+func TestQuickEvalHomomorphism(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	prop := func(seed uint64, n uint8) bool {
+		rng := ff.NewRNG(seed)
+		size := int(n%16) + 1
+		p := make([]ff.Element, size)
+		q := make([]ff.Element, size)
+		for i := range p {
+			fr.Random(&p[i], rng)
+			fr.Random(&q[i], rng)
+		}
+		var x ff.Element
+		fr.Random(&x, rng)
+		sum := Add(fr, p, q)
+		var want ff.Element
+		pe, qe := Eval(fr, p, &x), Eval(fr, q, &x)
+		fr.Add(&want, &pe, &qe)
+		got := Eval(fr, sum, &x)
+		return fr.Equal(&got, &want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

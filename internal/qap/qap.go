@@ -1,0 +1,130 @@
+// Package qap implements the Quadratic Arithmetic Program reduction: the
+// bridge between the R1CS produced by the compile stage and the polynomial
+// identities Groth16 proves. It provides
+//
+//   - EvalAtPoint: per-variable QAP polynomial evaluations u_i(τ), v_i(τ),
+//     w_i(τ) at a secret point τ (used by the setup stage), and
+//   - QuotientEvals: the coefficients of the quotient polynomial
+//     H(x) = (A(x)·B(x) − C(x)) / Z(x) for a concrete witness (used by the
+//     proving stage), computed with coset NTTs.
+package qap
+
+import (
+	"fmt"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/poly"
+	"zkperf/internal/r1cs"
+)
+
+// Evaluations holds u_i(τ), v_i(τ), w_i(τ) for every witness variable i.
+type Evaluations struct {
+	U, V, W []ff.Element
+}
+
+// EvalAtPoint computes the QAP polynomial evaluations at tau over the
+// given domain. The QAP polynomials interpolate the R1CS coefficient
+// matrices column-wise over the domain: u_i(ω^j) = L_j[i], etc.
+//
+// It returns an error if tau lies inside the evaluation domain (Z(τ) = 0),
+// in which case the caller should resample.
+func EvalAtPoint(sys *r1cs.System, d *poly.Domain, tau *ff.Element) (*Evaluations, error) {
+	fr := sys.Fr
+	zTau := d.ZEval(tau)
+	if fr.IsZero(&zTau) {
+		return nil, fmt.Errorf("qap: tau lies in the evaluation domain")
+	}
+
+	// Lagrange basis at tau for a radix-2 domain:
+	// ℓ_j(τ) = Z(τ)·ω^j / (N·(τ − ω^j)).
+	n := d.N
+	lag := make([]ff.Element, n)
+	var omegaJ ff.Element
+	fr.One(&omegaJ)
+	var nElem ff.Element
+	fr.SetUint64(&nElem, uint64(n))
+	for j := 0; j < n; j++ {
+		var denom ff.Element
+		fr.Sub(&denom, tau, &omegaJ)
+		fr.Mul(&denom, &denom, &nElem)
+		lag[j] = denom // temporarily store denominators
+		fr.Mul(&omegaJ, &omegaJ, &d.Root)
+	}
+	fr.BatchInverse(lag)
+	fr.One(&omegaJ)
+	for j := 0; j < n; j++ {
+		fr.Mul(&lag[j], &lag[j], &zTau)
+		fr.Mul(&lag[j], &lag[j], &omegaJ)
+		fr.Mul(&omegaJ, &omegaJ, &d.Root)
+	}
+
+	nv := sys.NumVariables()
+	ev := &Evaluations{
+		U: make([]ff.Element, nv),
+		V: make([]ff.Element, nv),
+		W: make([]ff.Element, nv),
+	}
+	var t ff.Element
+	accumulate := func(dst []ff.Element, lc r1cs.LinComb, lj *ff.Element) {
+		for k := range lc {
+			fr.Mul(&t, &lc[k].Coeff, lj)
+			fr.Add(&dst[lc[k].Var], &dst[lc[k].Var], &t)
+		}
+	}
+	for j := range sys.Constraints {
+		c := &sys.Constraints[j]
+		accumulate(ev.U, c.L, &lag[j])
+		accumulate(ev.V, c.R, &lag[j])
+		accumulate(ev.W, c.O, &lag[j])
+	}
+	return ev, nil
+}
+
+// QuotientEvals computes the coefficients of H(x) = (A·B − C)/Z for the
+// given full witness. The returned slice has length N−1 (deg H ≤ N−2).
+//
+// A, B, C are the witness-weighted constraint polynomials: A(ω^j) = ⟨L_j,w⟩
+// etc. The division by Z happens on a multiplicative coset where
+// Z(g·ω^k) = g^N − 1 is a nonzero constant.
+func QuotientEvals(sys *r1cs.System, d *poly.Domain, w []ff.Element) []ff.Element {
+	fr := sys.Fr
+	n := d.N
+	a := make([]ff.Element, n)
+	b := make([]ff.Element, n)
+	c := make([]ff.Element, n)
+	for j := range sys.Constraints {
+		cons := &sys.Constraints[j]
+		a[j] = sys.EvalLC(cons.L, w)
+		b[j] = sys.EvalLC(cons.R, w)
+		c[j] = sys.EvalLC(cons.O, w)
+	}
+
+	// To coefficient form, then to the coset.
+	d.INTT(a)
+	d.INTT(b)
+	d.INTT(c)
+	d.CosetNTT(a)
+	d.CosetNTT(b)
+	d.CosetNTT(c)
+
+	// On the coset, Z(g·ω^k) = g^N·(ω^N)^k − 1 = g^N − 1 (constant).
+	var zCoset ff.Element
+	fr.Set(&zCoset, &d.CosetGen)
+	for i := 0; i < d.LogN; i++ {
+		fr.Square(&zCoset, &zCoset)
+	}
+	var one, zInv ff.Element
+	fr.One(&one)
+	fr.Sub(&zCoset, &zCoset, &one)
+	fr.Inverse(&zInv, &zCoset)
+
+	h := a // reuse
+	var t ff.Element
+	for k := 0; k < n; k++ {
+		fr.Mul(&t, &a[k], &b[k])
+		fr.Sub(&t, &t, &c[k])
+		fr.Mul(&h[k], &t, &zInv)
+	}
+	d.CosetINTT(h)
+	return h[:n-1]
+}

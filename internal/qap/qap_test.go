@@ -1,0 +1,169 @@
+package qap
+
+import (
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/ff"
+	"zkperf/internal/poly"
+	"zkperf/internal/witness"
+)
+
+// TestQAPIdentity is the core soundness check of the reduction: for a
+// satisfying witness, Σ wᵢ·uᵢ(τ) · Σ wᵢ·vᵢ(τ) − Σ wᵢ·wᵢ(τ) == H(τ)·Z(τ)
+// at a random point τ.
+func TestQAPIdentity(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 5)
+	wit, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := poly.NewDomain(fr, sys.NumConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := ff.NewRNG(17)
+	var tau ff.Element
+	fr.Random(&tau, rng)
+	ev, err := EvalAtPoint(sys, d, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var uw, vw, ww, tmp ff.Element
+	for i := range wit.Full {
+		fr.Mul(&tmp, &ev.U[i], &wit.Full[i])
+		fr.Add(&uw, &uw, &tmp)
+		fr.Mul(&tmp, &ev.V[i], &wit.Full[i])
+		fr.Add(&vw, &vw, &tmp)
+		fr.Mul(&tmp, &ev.W[i], &wit.Full[i])
+		fr.Add(&ww, &ww, &tmp)
+	}
+
+	h := QuotientEvals(sys, d, wit.Full)
+	hTau := poly.Eval(fr, h, &tau)
+	zTau := d.ZEval(&tau)
+
+	var lhs, rhs ff.Element
+	fr.Mul(&lhs, &uw, &vw)
+	fr.Sub(&lhs, &lhs, &ww)
+	fr.Mul(&rhs, &hTau, &zTau)
+	if !fr.Equal(&lhs, &rhs) {
+		t.Fatal("QAP identity A(τ)B(τ) − C(τ) = H(τ)Z(τ) does not hold")
+	}
+}
+
+// TestQAPIdentityFailsForBadWitness: corrupting the witness must break the
+// divisibility (the quotient no longer satisfies the identity at a random
+// point).
+func TestQAPIdentityFailsForBadWitness(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 5)
+	wit, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt an internal wire.
+	fr.SetUint64(&wit.Full[len(wit.Full)-1], 999)
+
+	d, _ := poly.NewDomain(fr, sys.NumConstraints())
+	rng := ff.NewRNG(19)
+	var tau ff.Element
+	fr.Random(&tau, rng)
+	ev, err := EvalAtPoint(sys, d, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uw, vw, ww, tmp ff.Element
+	for i := range wit.Full {
+		fr.Mul(&tmp, &ev.U[i], &wit.Full[i])
+		fr.Add(&uw, &uw, &tmp)
+		fr.Mul(&tmp, &ev.V[i], &wit.Full[i])
+		fr.Add(&vw, &vw, &tmp)
+		fr.Mul(&tmp, &ev.W[i], &wit.Full[i])
+		fr.Add(&ww, &ww, &tmp)
+	}
+	h := QuotientEvals(sys, d, wit.Full)
+	hTau := poly.Eval(fr, h, &tau)
+	zTau := d.ZEval(&tau)
+	var lhs, rhs ff.Element
+	fr.Mul(&lhs, &uw, &vw)
+	fr.Sub(&lhs, &lhs, &ww)
+	fr.Mul(&rhs, &hTau, &zTau)
+	if fr.Equal(&lhs, &rhs) {
+		t.Fatal("QAP identity held for a corrupted witness")
+	}
+}
+
+// TestEvalAtDomainPointRejected: τ inside the domain must be rejected.
+func TestEvalAtDomainPointRejected(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	sys, _, err := circuit.CompileSource(fr, circuit.ExponentiateSource(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := poly.NewDomain(fr, sys.NumConstraints())
+	tau := d.RootPower(3)
+	if _, err := EvalAtPoint(sys, d, &tau); err == nil {
+		t.Fatal("EvalAtPoint should reject τ in the domain")
+	}
+}
+
+// TestLagrangeInterpolationProperty: u_i(ω^j) must reproduce the L-matrix
+// column entries. We check via the identity Σᵢ wᵢ·uᵢ(ω^j) == ⟨L_j, w⟩
+// evaluated through coefficients recovered from EvalAtPoint at many taus —
+// indirectly via the QAP identity above; here we do the direct small case:
+// for the toy system the first constraint's L is exactly x (wire 2).
+func TestLagrangeBasisNormalization(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x ff.Element
+	fr.SetUint64(&x, 3)
+	wit, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := poly.NewDomain(fr, sys.NumConstraints())
+
+	// Evaluate the QAP at τ very close to domain structure: pick τ random;
+	// check that Σ wᵢuᵢ interpolates constraint LHS values, by comparing
+	// against direct Lagrange interpolation of the per-constraint values.
+	rng := ff.NewRNG(23)
+	var tau ff.Element
+	fr.Random(&tau, rng)
+	ev, err := EvalAtPoint(sys, d, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uw, tmp ff.Element
+	for i := range wit.Full {
+		fr.Mul(&tmp, &ev.U[i], &wit.Full[i])
+		fr.Add(&uw, &uw, &tmp)
+	}
+	// Direct interpolation: values a_j = ⟨L_j, w⟩ (zero-padded), INTT,
+	// then Horner at tau.
+	a := make([]ff.Element, d.N)
+	for j := range sys.Constraints {
+		a[j] = sys.EvalLC(sys.Constraints[j].L, wit.Full)
+	}
+	d.INTT(a)
+	want := poly.Eval(fr, a, &tau)
+	if !fr.Equal(&uw, &want) {
+		t.Fatal("Σ wᵢ·uᵢ(τ) disagrees with direct interpolation")
+	}
+}

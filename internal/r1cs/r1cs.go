@@ -1,0 +1,314 @@
+// Package r1cs implements the Rank-1 Constraint System — the intermediate
+// representation the compile stage produces from an arithmetic circuit
+// (Section II-C of the paper). A constraint is ⟨L,w⟩·⟨R,w⟩ = ⟨O,w⟩ over
+// the witness vector w, whose layout follows the Groth16 convention:
+//
+//	w[0]              = 1  (the constant wire)
+//	w[1..NumPublic]   = public inputs/outputs (witnessPublic)
+//	w[..+NumPrivate]  = private inputs
+//	w[rest]           = internal wires
+package r1cs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"zkperf/internal/ff"
+)
+
+// Variable is an index into the witness vector. Variable 0 is the constant
+// wire fixed to 1.
+type Variable int
+
+// ConstOne is the index of the constant-1 wire.
+const ConstOne Variable = 0
+
+// Term is one coefficient·variable product inside a linear combination.
+type Term struct {
+	Coeff ff.Element
+	Var   Variable
+}
+
+// LinComb is a sparse linear combination Σ Coeffᵢ·w[Varᵢ].
+type LinComb []Term
+
+// Constraint is one R1CS row: ⟨L,w⟩ · ⟨R,w⟩ = ⟨O,w⟩.
+type Constraint struct {
+	L, R, O LinComb
+}
+
+// System is a compiled constraint system (the paper's "ccs").
+type System struct {
+	Fr *ff.Field
+
+	NumPublic   int // public wires, excluding the constant wire
+	NumPrivate  int // private input wires
+	NumInternal int // internal (intermediate) wires
+
+	Constraints []Constraint
+
+	// PublicNames and PrivateNames give the source-level names of the
+	// input wires, in witness order. Used to bind input assignments.
+	PublicNames  []string
+	PrivateNames []string
+	// PublicIsOutput marks which public wires are outputs: computed by the
+	// witness solver rather than bound from the input assignment.
+	PublicIsOutput []bool
+}
+
+// NewSystem returns an empty system over the given scalar field.
+func NewSystem(fr *ff.Field) *System {
+	return &System{Fr: fr}
+}
+
+// NumVariables returns the total witness length, including the constant
+// wire.
+func (s *System) NumVariables() int {
+	return 1 + s.NumPublic + s.NumPrivate + s.NumInternal
+}
+
+// NumConstraints returns the number of constraints.
+func (s *System) NumConstraints() int { return len(s.Constraints) }
+
+// AddPublic appends a public wire with the given name and returns it.
+// isOutput marks wires the solver computes (outputs) rather than wires
+// bound from the input assignment.
+func (s *System) AddPublic(name string, isOutput bool) Variable {
+	if s.NumPrivate > 0 || s.NumInternal > 0 {
+		panic("r1cs: public wires must be allocated before private/internal wires")
+	}
+	s.NumPublic++
+	s.PublicNames = append(s.PublicNames, name)
+	s.PublicIsOutput = append(s.PublicIsOutput, isOutput)
+	return Variable(s.NumPublic)
+}
+
+// AddPrivate appends a private wire with the given name and returns it.
+func (s *System) AddPrivate(name string) Variable {
+	if s.NumInternal > 0 {
+		panic("r1cs: private wires must be allocated before internal wires")
+	}
+	s.NumPrivate++
+	s.PrivateNames = append(s.PrivateNames, name)
+	return Variable(s.NumPublic + s.NumPrivate)
+}
+
+// AddInternal appends an internal wire and returns it.
+func (s *System) AddInternal() Variable {
+	s.NumInternal++
+	return Variable(s.NumPublic + s.NumPrivate + s.NumInternal)
+}
+
+// AddConstraint appends the constraint L·R = O.
+func (s *System) AddConstraint(l, r, o LinComb) {
+	s.Constraints = append(s.Constraints, Constraint{L: l, R: r, O: o})
+}
+
+// EvalLC evaluates a linear combination against a witness vector.
+func (s *System) EvalLC(lc LinComb, w []ff.Element) ff.Element {
+	var acc, t ff.Element
+	s.Fr.Zero(&acc)
+	for i := range lc {
+		v := int(lc[i].Var)
+		s.Fr.Mul(&t, &lc[i].Coeff, &w[v])
+		s.Fr.Add(&acc, &acc, &t)
+	}
+	return acc
+}
+
+// IsSatisfied checks every constraint against w, returning the index of
+// the first violated constraint (or -1) and whether all hold.
+func (s *System) IsSatisfied(w []ff.Element) (int, bool) {
+	if len(w) != s.NumVariables() {
+		return -1, false
+	}
+	var prod ff.Element
+	for i := range s.Constraints {
+		c := &s.Constraints[i]
+		l := s.EvalLC(c.L, w)
+		r := s.EvalLC(c.R, w)
+		o := s.EvalLC(c.O, w)
+		s.Fr.Mul(&prod, &l, &r)
+		if !s.Fr.Equal(&prod, &o) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// Stats summarizes the system's shape; the analysis framework reports these
+// alongside performance numbers.
+type Stats struct {
+	Constraints  int
+	Variables    int
+	Public       int
+	Private      int
+	Internal     int
+	NonZeroTerms int // total sparse matrix entries across L, R, O
+}
+
+// Stats computes summary statistics.
+func (s *System) Stats() Stats {
+	nz := 0
+	for i := range s.Constraints {
+		c := &s.Constraints[i]
+		nz += len(c.L) + len(c.R) + len(c.O)
+	}
+	return Stats{
+		Constraints:  len(s.Constraints),
+		Variables:    s.NumVariables(),
+		Public:       s.NumPublic,
+		Private:      s.NumPrivate,
+		Internal:     s.NumInternal,
+		NonZeroTerms: nz,
+	}
+}
+
+// ---------- serialization ----------
+// The binary format is little-endian and self-describing enough for the
+// CLI to round-trip a compiled system between the compile and setup stages,
+// mirroring circom's .r1cs artifact.
+
+const magic = uint32(0x52314353) // "R1CS"
+
+// WriteTo serializes the system.
+func (s *System) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(magic)
+	writeU32(uint32(s.NumPublic))
+	writeU32(uint32(s.NumPrivate))
+	writeU32(uint32(s.NumInternal))
+	writeU32(uint32(len(s.Constraints)))
+	writeLC := func(lc LinComb) {
+		writeU32(uint32(len(lc)))
+		for i := range lc {
+			writeU32(uint32(lc[i].Var))
+			buf.Write(s.Fr.Bytes(&lc[i].Coeff))
+		}
+	}
+	for i := range s.Constraints {
+		writeLC(s.Constraints[i].L)
+		writeLC(s.Constraints[i].R)
+		writeLC(s.Constraints[i].O)
+	}
+	writeName := func(name string) {
+		writeU32(uint32(len(name)))
+		buf.WriteString(name)
+	}
+	for i, n := range s.PublicNames {
+		writeName(n)
+		if s.PublicIsOutput[i] {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	for _, n := range s.PrivateNames {
+		writeName(n)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadFrom deserializes a system previously written with WriteTo. The
+// receiver's Fr field must already be set to the matching scalar field.
+func (s *System) ReadFrom(r io.Reader) (int64, error) {
+	br := &countingReader{r: r}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	m, err := readU32()
+	if err != nil {
+		return br.n, err
+	}
+	if m != magic {
+		return br.n, fmt.Errorf("r1cs: bad magic %08x", m)
+	}
+	pub, _ := readU32()
+	priv, _ := readU32()
+	internal, _ := readU32()
+	nc, err := readU32()
+	if err != nil {
+		return br.n, err
+	}
+	s.NumPublic, s.NumPrivate, s.NumInternal = int(pub), int(priv), int(internal)
+	elemLen := s.Fr.ByteLen()
+	readLC := func() (LinComb, error) {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		lc := make(LinComb, n)
+		elem := make([]byte, elemLen)
+		for i := range lc {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			lc[i].Var = Variable(v)
+			if _, err := io.ReadFull(br, elem); err != nil {
+				return nil, err
+			}
+			s.Fr.SetBytes(&lc[i].Coeff, elem)
+		}
+		return lc, nil
+	}
+	s.Constraints = make([]Constraint, nc)
+	for i := range s.Constraints {
+		if s.Constraints[i].L, err = readLC(); err != nil {
+			return br.n, err
+		}
+		if s.Constraints[i].R, err = readLC(); err != nil {
+			return br.n, err
+		}
+		if s.Constraints[i].O, err = readLC(); err != nil {
+			return br.n, err
+		}
+	}
+	readName := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	s.PublicNames = make([]string, s.NumPublic)
+	s.PublicIsOutput = make([]bool, s.NumPublic)
+	flag := make([]byte, 1)
+	for i := range s.PublicNames {
+		if s.PublicNames[i], err = readName(); err != nil {
+			return br.n, err
+		}
+		if _, err := io.ReadFull(br, flag); err != nil {
+			return br.n, err
+		}
+		s.PublicIsOutput[i] = flag[0] == 1
+	}
+	s.PrivateNames = make([]string, s.NumPrivate)
+	for i := range s.PrivateNames {
+		if s.PrivateNames[i], err = readName(); err != nil {
+			return br.n, err
+		}
+	}
+	return br.n, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,140 @@
+package r1cs
+
+import (
+	"bytes"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+// buildToy constructs the system for y = x² manually:
+// wires: [1, y(pub out), x(priv), t(internal)] with t = x·x and y = t.
+func buildToy(fr *ff.Field) *System {
+	s := NewSystem(fr)
+	y := s.AddPublic("y", true)
+	x := s.AddPrivate("x")
+	t := s.AddInternal()
+	var one ff.Element
+	fr.One(&one)
+	lc := func(v Variable) LinComb { return LinComb{{Coeff: one, Var: v}} }
+	s.AddConstraint(lc(x), lc(x), lc(t))
+	s.AddConstraint(lc(t), lc(ConstOne), lc(y))
+	return s
+}
+
+func TestIsSatisfied(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := buildToy(fr)
+	w := make([]ff.Element, 4)
+	fr.One(&w[0])
+	fr.SetUint64(&w[1], 9) // y
+	fr.SetUint64(&w[2], 3) // x
+	fr.SetUint64(&w[3], 9) // t
+	if bad, ok := s.IsSatisfied(w); !ok {
+		t.Fatalf("valid witness rejected at constraint %d", bad)
+	}
+	fr.SetUint64(&w[1], 10)
+	if bad, ok := s.IsSatisfied(w); ok || bad != 1 {
+		t.Errorf("invalid witness: ok=%v bad=%d, want false,1", ok, bad)
+	}
+	// Wrong length is rejected.
+	if _, ok := s.IsSatisfied(w[:3]); ok {
+		t.Error("short witness accepted")
+	}
+}
+
+func TestWireLayoutInvariants(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := buildToy(fr)
+	if s.NumVariables() != 4 {
+		t.Errorf("NumVariables = %d, want 4", s.NumVariables())
+	}
+	st := s.Stats()
+	if st.Constraints != 2 || st.Public != 1 || st.Private != 1 || st.Internal != 1 {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+	if st.NonZeroTerms != 6 {
+		t.Errorf("NonZeroTerms = %d, want 6", st.NonZeroTerms)
+	}
+}
+
+func TestAllocationOrderEnforced(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := NewSystem(fr)
+	s.AddPrivate("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("AddPublic after AddPrivate should panic")
+		}
+	}()
+	s.AddPublic("y", false)
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := buildToy(fr)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSystem(fr)
+	if _, err := s2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumPublic != s.NumPublic || s2.NumPrivate != s.NumPrivate ||
+		s2.NumInternal != s.NumInternal || len(s2.Constraints) != len(s.Constraints) {
+		t.Fatal("shape mismatch after round trip")
+	}
+	if s2.PublicNames[0] != "y" || !s2.PublicIsOutput[0] || s2.PrivateNames[0] != "x" {
+		t.Error("names/flags mismatch after round trip")
+	}
+	for i := range s.Constraints {
+		for _, pair := range [][2]LinComb{
+			{s.Constraints[i].L, s2.Constraints[i].L},
+			{s.Constraints[i].R, s2.Constraints[i].R},
+			{s.Constraints[i].O, s2.Constraints[i].O},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatal("LC length mismatch after round trip")
+			}
+			for j := range pair[0] {
+				if pair[0][j].Var != pair[1][j].Var || !fr.Equal(&pair[0][j].Coeff, &pair[1][j].Coeff) {
+					t.Fatal("term mismatch after round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := NewSystem(fr)
+	if _, err := s.ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if _, err := s.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEvalLC(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	s := buildToy(fr)
+	w := make([]ff.Element, 4)
+	fr.One(&w[0])
+	fr.SetUint64(&w[2], 7)
+	var c2 ff.Element
+	fr.SetUint64(&c2, 2)
+	lc := LinComb{{Coeff: c2, Var: 2}, {Coeff: c2, Var: ConstOne}} // 2x + 2
+	got := s.EvalLC(lc, w)
+	var want ff.Element
+	fr.SetUint64(&want, 16)
+	if !fr.Equal(&got, &want) {
+		t.Errorf("EvalLC = %s, want 16", fr.String(&got))
+	}
+	// Empty LC evaluates to zero.
+	zero := s.EvalLC(nil, w)
+	if !fr.IsZero(&zero) {
+		t.Error("empty LC should evaluate to 0")
+	}
+}

@@ -1,0 +1,174 @@
+// Package report renders the analysis results as aligned text tables and
+// simple ASCII charts, mirroring the tables and figures of the paper.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders a multi-series ASCII line chart plus the underlying
+// numbers, standing in for the paper's figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	XTicks []string
+	Series []Series
+	Height int // plot rows; 0 uses a default
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	// Find the value range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", maxLen*4))
+	}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for xi, v := range s.Values {
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			col := xi * 4
+			if row >= 0 && row < height && col < len(grid[row]) {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for r, rowBytes := range grid {
+		val := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%8.2f |%s\n", val, string(rowBytes))
+	}
+	sb.WriteString("         +" + strings.Repeat("-", maxLen*4) + "\n")
+	if len(c.XTicks) > 0 {
+		sb.WriteString("          ")
+		for _, tick := range c.XTicks {
+			fmt.Fprintf(&sb, "%-4s", tick)
+		}
+		sb.WriteByte('\n')
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, "          x: %s\n", c.XLabel)
+	}
+	// Legend and values.
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s:", marks[si%len(marks)], s.Name)
+		for _, v := range s.Values {
+			fmt.Fprintf(&sb, " %.2f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// I formats an integer for table cells.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// SI formats a value with an SI suffix (K/M/G) for compact load/store
+// counts.
+func SI(v int64) string {
+	f := float64(v)
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.2fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.2fK", f/1e3)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"A", "Blongheader"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("yy", "22")
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Blongheader") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	// Columns align: both rows start their second column at the same
+	// offset.
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if r1 != r2 {
+		t.Errorf("columns misaligned: %d vs %d", r1, r2)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "speedup",
+		XLabel: "threads",
+		XTicks: []string{"1", "2", "4"},
+		Series: []Series{
+			{Name: "a", Values: []float64{1, 2, 4}},
+			{Name: "b", Values: []float64{1, 1.5, 2}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"speedup", "threads", "a:", "b:", "4.00", "1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q", want)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if !strings.Contains(c.String(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	// Constant values (hi == lo) must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "flat", Values: []float64{3, 3, 3}}}}
+	out := c.String()
+	if !strings.Contains(out, "flat") {
+		t.Error("flat series missing from output")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" || F1(1.26) != "1.3" || I(42) != "42" {
+		t.Error("basic formatters wrong")
+	}
+	cases := map[int64]string{
+		5:             "5",
+		1500:          "1.50K",
+		2_500_000:     "2.50M",
+		3_000_000_000: "3.00G",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

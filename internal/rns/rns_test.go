@@ -1,0 +1,169 @@
+package rns
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"zkperf/internal/ff"
+)
+
+func sys(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCapacity(t *testing.T) {
+	s := sys(t)
+	// M must exceed p² of the BN254 scalar field for product accumulation.
+	p := ff.NewBN254Fr().Modulus()
+	p2 := new(big.Int).Mul(p, p)
+	if s.M.Cmp(p2) <= 0 {
+		t.Errorf("M (%d bits) does not exceed p² (%d bits)", s.M.BitLen(), p2.BitLen())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sys(t)
+	rng := ff.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		v := randBig(rng, s.M)
+		r := s.FromBig(v)
+		back := s.ToBig(r)
+		if back.Cmp(v) != 0 {
+			t.Fatalf("round trip: got %v want %v", back, v)
+		}
+	}
+}
+
+func randBig(rng *ff.RNG, bound *big.Int) *big.Int {
+	words := make([]big.Word, (bound.BitLen()+63)/64+1)
+	for i := range words {
+		words[i] = big.Word(rng.Uint64())
+	}
+	v := new(big.Int).SetBits(words)
+	return v.Mod(v, bound)
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	s := sys(t)
+	rng := ff.NewRNG(2)
+	for i := 0; i < 50; i++ {
+		a := randBig(rng, s.M)
+		b := randBig(rng, s.M)
+		ra, rb := s.FromBig(a), s.FromBig(b)
+		out := s.Zero()
+		s.Mul(out, ra, rb)
+		want := new(big.Int).Mul(a, b)
+		want.Mod(want, s.M)
+		if s.ToBig(out).Cmp(want) != 0 {
+			t.Fatalf("mul mismatch at iter %d", i)
+		}
+	}
+}
+
+func TestAddSubMatchBig(t *testing.T) {
+	s := sys(t)
+	rng := ff.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		a := randBig(rng, s.M)
+		b := randBig(rng, s.M)
+		ra, rb := s.FromBig(a), s.FromBig(b)
+		sum, diff := s.Zero(), s.Zero()
+		s.Add(sum, ra, rb)
+		s.Sub(diff, ra, rb)
+		wantS := new(big.Int).Add(a, b)
+		wantS.Mod(wantS, s.M)
+		wantD := new(big.Int).Sub(a, b)
+		wantD.Mod(wantD, s.M)
+		if s.ToBig(sum).Cmp(wantS) != 0 {
+			t.Fatal("add mismatch")
+		}
+		if s.ToBig(diff).Cmp(wantD) != 0 {
+			t.Fatal("sub mismatch")
+		}
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	s := sys(t)
+	one := s.One()
+	if s.ToBig(one).Cmp(big.NewInt(1)) != 0 {
+		t.Error("One() != 1")
+	}
+	rng := ff.NewRNG(4)
+	a := s.FromBig(randBig(rng, s.M))
+	out := s.Zero()
+	s.Mul(out, a, one)
+	if s.ToBig(out).Cmp(s.ToBig(a)) != 0 {
+		t.Error("a·1 != a")
+	}
+	s.Mul(out, a, s.Zero())
+	if s.ToBig(out).Sign() != 0 {
+		t.Error("a·0 != 0")
+	}
+}
+
+// TestFieldProductReduction verifies the intended usage pattern: multiply
+// two field elements in RNS, convert back, reduce mod p — matching the
+// field's own multiplication.
+func TestFieldProductReduction(t *testing.T) {
+	s := sys(t)
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(5)
+	for i := 0; i < 20; i++ {
+		var a, b, want ff.Element
+		fr.Random(&a, rng)
+		fr.Random(&b, rng)
+		fr.Mul(&want, &a, &b)
+		ra := s.FromBig(fr.BigInt(&a))
+		rb := s.FromBig(fr.BigInt(&b))
+		out := s.Zero()
+		s.Mul(out, ra, rb)
+		got := new(big.Int).Mod(s.ToBig(out), fr.Modulus())
+		if got.Cmp(fr.BigInt(&want)) != 0 {
+			t.Fatal("RNS field product disagrees with Montgomery multiplication")
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(1); err == nil {
+		t.Error("1-modulus system accepted")
+	}
+	if _, err := NewSystem(99); err == nil {
+		t.Error("oversized system accepted")
+	}
+	for n := 2; n <= 10; n++ {
+		if _, err := NewSystem(n); err != nil {
+			t.Errorf("NewSystem(%d): %v", n, err)
+		}
+	}
+}
+
+func TestQuickLaneIndependence(t *testing.T) {
+	// Residue lane i of a product depends only on lane i of the inputs —
+	// the property that makes RNS parallel.
+	s, err := NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a0, b0, junk uint64) bool {
+		a := s.Zero()
+		b := s.Zero()
+		a[0], b[0] = a0%s.Moduli[0], b0%s.Moduli[0]
+		a[1], b[1] = junk%s.Moduli[1], junk%s.Moduli[1]
+		out1, out2 := s.Zero(), s.Zero()
+		s.Mul(out1, a, b)
+		a[1], b[1] = 0, 0 // perturb other lanes
+		s.Mul(out2, a, b)
+		return out1[0] == out2[0]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sched implements the multicore scheduling simulator behind the
+// scalability analysis (Figs. 6 and 7, Table VI). The host machine cannot
+// run the paper's 32-thread sweeps, so each stage's measured fork-join
+// phase structure (trace.Phase) is executed on a simulated machine built
+// from a cpumodel.CPU: heterogeneous thread speeds (P-cores, E-cores, SMT
+// siblings), per-task spawn overhead and per-phase barrier cost.
+//
+// Speedup saturation then emerges from the real task structure — a phase
+// with grain g cannot use more than g workers, serial phases bound the
+// whole stage (Amdahl), and spawn/barrier overheads make tiny tasks
+// slower at high thread counts, the effect the paper observes for
+// sub-second compile runs.
+package sched
+
+import (
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/trace"
+)
+
+// Machine is a simulated multicore target.
+type Machine struct {
+	// Speeds[i] is the relative throughput of worker i (1.0 = a P-core).
+	Speeds []float64
+	// SpawnNanos is charged serially per task dispatched in a parallel
+	// phase (goroutine/worker handoff cost).
+	SpawnNanos float64
+	// BarrierNanos is charged once per parallel phase per active worker
+	// (join/synchronization cost).
+	BarrierNanos float64
+}
+
+// Defaults for thread-management overheads, calibrated to Go's
+// goroutine machinery (~1µs handoff, ~2µs join per worker).
+const (
+	DefaultSpawnNanos   = 1000
+	DefaultBarrierNanos = 2000
+)
+
+// NewMachine builds a simulated machine with n hardware threads of the
+// given CPU model, in the model's scheduling order (P-cores, then E-cores,
+// then SMT siblings).
+func NewMachine(cpu *cpumodel.CPU, threads int) *Machine {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > cpu.TotalThreads() {
+		threads = cpu.TotalThreads()
+	}
+	speeds := make([]float64, threads)
+	for i := range speeds {
+		speeds[i] = cpu.CoreSpeed(i)
+	}
+	return &Machine{
+		Speeds:       speeds,
+		SpawnNanos:   DefaultSpawnNanos,
+		BarrierNanos: DefaultBarrierNanos,
+	}
+}
+
+// phaseTime computes the makespan of one fork-join phase on m.
+func (m *Machine) phaseTime(p trace.Phase) float64 {
+	work := float64(p.WorkNanos)
+	if work <= 0 {
+		return 0
+	}
+	grain := p.Grain
+	if grain < 1 {
+		grain = 1
+	}
+	if grain == 1 || len(m.Speeds) == 1 {
+		// Serial phase runs on the fastest worker.
+		return work / m.Speeds[0]
+	}
+	workers := len(m.Speeds)
+	if workers > grain {
+		workers = grain
+	}
+	taskCost := work / float64(grain)
+
+	// Equal-size tasks on heterogeneous workers: find the smallest
+	// makespan T such that Σ_i floor(T·s_i/c) ≥ grain, by binary search.
+	feasible := func(T float64) bool {
+		var done int64
+		for i := 0; i < workers; i++ {
+			done += int64(T * m.Speeds[i] / taskCost)
+			if done >= int64(grain) {
+				return true
+			}
+		}
+		return false
+	}
+	lo, hi := 0.0, work/m.Speeds[0]+taskCost
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	// Serial dispatch and join overheads.
+	overhead := m.SpawnNanos*float64(grain) + m.BarrierNanos*float64(workers)
+	return hi + overhead
+}
+
+// StageTime simulates a whole stage (its ordered phases) and returns the
+// total nanoseconds on m.
+func (m *Machine) StageTime(phases []trace.Phase) float64 {
+	var t float64
+	for i := range phases {
+		t += m.phaseTime(phases[i])
+	}
+	return t
+}
+
+// StrongScaling returns the Fig. 6 curve: speedup t₁/tₙ for each thread
+// count, over a fixed phase structure.
+func StrongScaling(cpu *cpumodel.CPU, phases []trace.Phase, threadCounts []int) []float64 {
+	t1 := NewMachine(cpu, 1).StageTime(phases)
+	out := make([]float64, len(threadCounts))
+	for i, n := range threadCounts {
+		tn := NewMachine(cpu, n).StageTime(phases)
+		if tn > 0 {
+			out[i] = t1 / tn
+		}
+	}
+	return out
+}
+
+// WeakScaling returns the Fig. 7 curve: speedup t₁·sf/tₙ where the phase
+// structure scales with the thread count. phasesBySize[i] is the structure
+// for scale factor sf = 2^i matched with threadCounts[i]; the baseline t₁
+// uses phasesBySize[0] on one thread.
+func WeakScaling(cpu *cpumodel.CPU, phasesBySize [][]trace.Phase, threadCounts []int, scaleFactors []float64) []float64 {
+	if len(phasesBySize) != len(threadCounts) || len(threadCounts) != len(scaleFactors) {
+		panic("sched: WeakScaling input length mismatch")
+	}
+	if len(phasesBySize) == 0 {
+		return nil
+	}
+	t1 := NewMachine(cpu, 1).StageTime(phasesBySize[0])
+	out := make([]float64, len(threadCounts))
+	for i := range threadCounts {
+		tn := NewMachine(cpu, threadCounts[i]).StageTime(phasesBySize[i])
+		if tn > 0 {
+			out[i] = t1 * scaleFactors[i] / tn
+		}
+	}
+	return out
+}

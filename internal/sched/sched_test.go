@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"testing"
+
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/trace"
+)
+
+func i9() *cpumodel.CPU { return cpumodel.NewI9_13900K() }
+
+func TestNewMachineClamping(t *testing.T) {
+	cpu := i9()
+	if m := NewMachine(cpu, 0); len(m.Speeds) != 1 {
+		t.Errorf("threads=0 should clamp to 1, got %d", len(m.Speeds))
+	}
+	if m := NewMachine(cpu, 1000); len(m.Speeds) != cpu.TotalThreads() {
+		t.Errorf("threads should clamp to SMT count %d, got %d", cpu.TotalThreads(), len(m.Speeds))
+	}
+	// First 8 workers are P-cores (speed 1), next 16 E-cores.
+	m := NewMachine(cpu, 32)
+	if m.Speeds[0] != 1.0 || m.Speeds[7] != 1.0 {
+		t.Error("first 8 workers should be P-cores")
+	}
+	if m.Speeds[8] != cpumodel.EffCoreSpeedFactor {
+		t.Error("worker 8 should be an E-core")
+	}
+	if m.Speeds[31] >= cpumodel.EffCoreSpeedFactor {
+		t.Error("last workers should be SMT siblings (slowest)")
+	}
+}
+
+func TestSerialPhaseUnaffectedByThreads(t *testing.T) {
+	phases := []trace.Phase{{Name: "serial", WorkNanos: 1e9, Grain: 1}}
+	t1 := NewMachine(i9(), 1).StageTime(phases)
+	t32 := NewMachine(i9(), 32).StageTime(phases)
+	if t1 != t32 {
+		t.Errorf("serial phase: t1=%v t32=%v should be equal", t1, t32)
+	}
+}
+
+func TestParallelPhaseScales(t *testing.T) {
+	phases := []trace.Phase{{Name: "par", WorkNanos: 1e9, Grain: 1024}}
+	t1 := NewMachine(i9(), 1).StageTime(phases)
+	t2 := NewMachine(i9(), 2).StageTime(phases)
+	t8 := NewMachine(i9(), 8).StageTime(phases)
+	if !(t1 > t2 && t2 > t8) {
+		t.Errorf("expected monotone improvement: %v %v %v", t1, t2, t8)
+	}
+	// With 8 equal P-cores the speedup should be close to 8.
+	sp := t1 / t8
+	if sp < 6.5 || sp > 8.1 {
+		t.Errorf("8-thread speedup = %v, want ≈8", sp)
+	}
+}
+
+func TestGrainLimitsSpeedup(t *testing.T) {
+	// A grain-2 phase cannot speed up beyond 2x.
+	phases := []trace.Phase{{Name: "g2", WorkNanos: 1e9, Grain: 2}}
+	t1 := NewMachine(i9(), 1).StageTime(phases)
+	t8 := NewMachine(i9(), 8).StageTime(phases)
+	if sp := t1 / t8; sp > 2.05 {
+		t.Errorf("grain-2 speedup = %v, should be ≤ 2", sp)
+	}
+}
+
+func TestAmdahlComposition(t *testing.T) {
+	// Half serial, half perfectly parallel → speedup ≤ 2 at any thread
+	// count, approaching 2.
+	phases := []trace.Phase{
+		{Name: "serial", WorkNanos: 5e8, Grain: 1},
+		{Name: "par", WorkNanos: 5e8, Grain: 4096},
+	}
+	t1 := NewMachine(i9(), 1).StageTime(phases)
+	t8 := NewMachine(i9(), 8).StageTime(phases)
+	sp := t1 / t8
+	if sp < 1.6 || sp > 2.0 {
+		t.Errorf("Amdahl composition speedup = %v, want ∈ (1.6, 2.0]", sp)
+	}
+}
+
+func TestOverheadPenalizesTinyTasks(t *testing.T) {
+	// A phase with many tiny tasks can get SLOWER with more threads — the
+	// effect the paper observed for sub-second compile runs at 24 threads.
+	phases := []trace.Phase{{Name: "tiny", WorkNanos: 2e6, Grain: 2000}} // 1µs tasks
+	t1 := NewMachine(i9(), 1).StageTime(phases)
+	t24 := NewMachine(i9(), 24).StageTime(phases)
+	if t24 < t1/24 {
+		t.Errorf("overhead model broken: t24=%v vs t1=%v", t24, t1)
+	}
+	// The spawn overhead (1µs per task) should roughly double the serial
+	// cost here regardless of threads.
+	if t24 < 2e6 {
+		t.Errorf("expected spawn overhead to dominate, t24=%v", t24)
+	}
+}
+
+func TestEmptyAndZeroPhases(t *testing.T) {
+	m := NewMachine(i9(), 4)
+	if got := m.StageTime(nil); got != 0 {
+		t.Errorf("empty stage time = %v", got)
+	}
+	if got := m.StageTime([]trace.Phase{{WorkNanos: 0, Grain: 8}}); got != 0 {
+		t.Errorf("zero-work phase time = %v", got)
+	}
+	// Grain 0 treated as serial.
+	if got := m.StageTime([]trace.Phase{{WorkNanos: 100, Grain: 0}}); got <= 0 {
+		t.Errorf("grain-0 phase time = %v", got)
+	}
+}
+
+func TestStrongScalingCurveShape(t *testing.T) {
+	phases := []trace.Phase{
+		{Name: "serial", WorkNanos: 2e8, Grain: 1},
+		{Name: "par", WorkNanos: 8e8, Grain: 1 << 16},
+	}
+	threads := []int{1, 2, 4, 8, 16, 32}
+	sp := StrongScaling(i9(), phases, threads)
+	if sp[0] != 1 {
+		t.Errorf("speedup at 1 thread = %v, want 1", sp[0])
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1]*0.9 {
+			t.Errorf("speedup dropped sharply at %d threads: %v", threads[i], sp)
+		}
+	}
+	// 80% parallel: asymptote at 5x; with E-cores helping, allow up to 5.2.
+	if sp[len(sp)-1] > 5.2 {
+		t.Errorf("final speedup %v exceeds Amdahl bound for 80%% parallel", sp[len(sp)-1])
+	}
+}
+
+func TestWeakScalingFlatForConstantWork(t *testing.T) {
+	// A stage whose work does NOT grow with the scale factor (like the
+	// paper's witness/verify stages) has WS speedup ≈ sf — i.e. linear.
+	base := []trace.Phase{{Name: "const", WorkNanos: 1e8, Grain: 1}}
+	phasesBySize := [][]trace.Phase{base, base, base}
+	threads := []int{1, 2, 4}
+	sfs := []float64{1, 2, 4}
+	ws := WeakScaling(i9(), phasesBySize, threads, sfs)
+	for i := range ws {
+		if ws[i] < sfs[i]*0.99 || ws[i] > sfs[i]*1.01 {
+			t.Errorf("constant-work WS[%d] = %v, want %v", i, ws[i], sfs[i])
+		}
+	}
+}
+
+func TestWeakScalingPerfectlyParallel(t *testing.T) {
+	// Work doubling with size, perfectly parallel → WS speedup stays ≈ sf
+	// × t1/tn... with tn == t1 (work/threads constant), speedup = sf.
+	mk := func(work int64) []trace.Phase {
+		return []trace.Phase{{Name: "p", WorkNanos: work, Grain: 1 << 12}}
+	}
+	phasesBySize := [][]trace.Phase{mk(1e8), mk(2e8), mk(4e8)}
+	threads := []int{1, 2, 4}
+	sfs := []float64{1, 2, 4}
+	ws := WeakScaling(i9(), phasesBySize, threads, sfs)
+	for i := range ws {
+		if ws[i] < sfs[i]*0.8 {
+			t.Errorf("parallel WS[%d] = %v, want ≈%v", i, ws[i], sfs[i])
+		}
+	}
+}
+
+func TestWeakScalingMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WeakScaling should panic on mismatched inputs")
+		}
+	}()
+	WeakScaling(i9(), nil, []int{1}, []float64{1})
+}
+
+func TestHeterogeneousSlowdown(t *testing.T) {
+	// Adding E-core workers (9th+) helps less than P-cores did.
+	phases := []trace.Phase{{Name: "par", WorkNanos: 1e9, Grain: 1 << 14}}
+	t8 := NewMachine(i9(), 8).StageTime(phases)
+	t16 := NewMachine(i9(), 16).StageTime(phases)
+	gain := t8 / t16
+	if gain > 2.0 {
+		t.Errorf("8 E-cores gave %vx gain; should be < 2 (they are slower)", gain)
+	}
+	if gain < 1.0 {
+		t.Errorf("more workers made things slower on large tasks: %v", gain)
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the statistical utilities of the analysis
+// framework: means, and least-squares fits of speedup curves to Amdahl's
+// and Gustafson's laws — the method the paper uses to extract the serial
+// and parallel percentages of Table VI from the Fig. 6/7 scaling data.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AmdahlSpeedup evaluates Amdahl's law: S(n) = 1/((1−p) + p/n) where p is
+// the parallel fraction.
+func AmdahlSpeedup(p float64, n float64) float64 {
+	return 1.0 / ((1 - p) + p/n)
+}
+
+// GustafsonSpeedup evaluates Gustafson's law: S(n) = (1−p) + p·n.
+func GustafsonSpeedup(p float64, n float64) float64 {
+	return (1 - p) + p*n
+}
+
+// FitAmdahl finds the parallel fraction p ∈ [0,1] minimizing the squared
+// error between measured speedups and Amdahl's law, by golden-section
+// search (the objective is unimodal in p for monotone speedup data).
+// threads and speedups must have equal length.
+func FitAmdahl(threads []int, speedups []float64) float64 {
+	if len(threads) != len(speedups) {
+		panic("stats: FitAmdahl length mismatch")
+	}
+	sse := func(p float64) float64 {
+		var e float64
+		for i, n := range threads {
+			d := speedups[i] - AmdahlSpeedup(p, float64(n))
+			e += d * d
+		}
+		return e
+	}
+	return goldenSection(sse, 0, 1)
+}
+
+// FitGustafson finds p ∈ [0,1] for S(n) = (1−p) + p·n by closed-form least
+// squares on the slope: S(n) − 1 = p·(n − 1).
+func FitGustafson(threads []int, speedups []float64) float64 {
+	if len(threads) != len(speedups) {
+		panic("stats: FitGustafson length mismatch")
+	}
+	var num, den float64
+	for i, n := range threads {
+		x := float64(n) - 1
+		num += (speedups[i] - 1) * x
+		den += x * x
+	}
+	if den == 0 {
+		return 0
+	}
+	p := num / den
+	return clamp01(p)
+}
+
+// goldenSection minimizes f over [lo, hi].
+func goldenSection(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 80; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2, 1e-9) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with non-positive input should be 0")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Error("Max(nil) != 0")
+	}
+	if got := Max([]float64{3, 7, 2}); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := Max([]float64{-3, -7}); got != -3 {
+		t.Errorf("Max = %v, want -3", got)
+	}
+}
+
+func TestAmdahlLawValues(t *testing.T) {
+	// Fully parallel: S(n) = n.
+	if got := AmdahlSpeedup(1, 8); !almost(got, 8, 1e-9) {
+		t.Errorf("Amdahl(p=1, n=8) = %v", got)
+	}
+	// Fully serial: S(n) = 1.
+	if got := AmdahlSpeedup(0, 8); !almost(got, 1, 1e-9) {
+		t.Errorf("Amdahl(p=0, n=8) = %v", got)
+	}
+	// Half parallel at infinity tends to 2; at n=2: 1/(0.5+0.25) = 1.333.
+	if got := AmdahlSpeedup(0.5, 2); !almost(got, 4.0/3.0, 1e-9) {
+		t.Errorf("Amdahl(0.5, 2) = %v", got)
+	}
+}
+
+func TestGustafsonLawValues(t *testing.T) {
+	if got := GustafsonSpeedup(1, 8); !almost(got, 8, 1e-9) {
+		t.Errorf("Gustafson(1,8) = %v", got)
+	}
+	if got := GustafsonSpeedup(0, 8); !almost(got, 1, 1e-9) {
+		t.Errorf("Gustafson(0,8) = %v", got)
+	}
+	if got := GustafsonSpeedup(0.5, 9); !almost(got, 5, 1e-9) {
+		t.Errorf("Gustafson(0.5,9) = %v", got)
+	}
+}
+
+// TestFitAmdahlRecovers: fitting data generated from the law recovers p.
+func TestFitAmdahlRecovers(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16, 32}
+	for _, p := range []float64{0.0, 0.3, 0.5, 0.7167, 0.95, 1.0} {
+		sp := make([]float64, len(threads))
+		for i, n := range threads {
+			sp[i] = AmdahlSpeedup(p, float64(n))
+		}
+		got := FitAmdahl(threads, sp)
+		if !almost(got, p, 0.01) {
+			t.Errorf("FitAmdahl recovered %v, want %v", got, p)
+		}
+	}
+}
+
+// TestFitGustafsonRecovers: same for Gustafson's law.
+func TestFitGustafsonRecovers(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16, 32}
+	for _, p := range []float64{0.0, 0.25, 0.7, 0.99, 1.0} {
+		sp := make([]float64, len(threads))
+		for i, n := range threads {
+			sp[i] = GustafsonSpeedup(p, float64(n))
+		}
+		got := FitGustafson(threads, sp)
+		if !almost(got, p, 1e-6) {
+			t.Errorf("FitGustafson recovered %v, want %v", got, p)
+		}
+	}
+}
+
+func TestFitAmdahlNoisy(t *testing.T) {
+	// The fit should be robust to mild multiplicative noise.
+	threads := []int{1, 2, 4, 8, 16, 32}
+	p := 0.8
+	noise := []float64{1.02, 0.98, 1.03, 0.97, 1.01, 0.99}
+	sp := make([]float64, len(threads))
+	for i, n := range threads {
+		sp[i] = AmdahlSpeedup(p, float64(n)) * noise[i]
+	}
+	got := FitAmdahl(threads, sp)
+	if !almost(got, p, 0.05) {
+		t.Errorf("noisy FitAmdahl = %v, want ≈%v", got, p)
+	}
+}
+
+func TestFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FitAmdahl should panic on length mismatch")
+		}
+	}()
+	FitAmdahl([]int{1, 2}, []float64{1})
+}
+
+func TestFitGustafsonClamps(t *testing.T) {
+	// Superlinear data clamps to 1; sublinear-below-1 clamps to 0.
+	threads := []int{1, 2, 4}
+	if got := FitGustafson(threads, []float64{1, 3, 9}); got != 1 {
+		t.Errorf("superlinear fit = %v, want 1", got)
+	}
+	if got := FitGustafson(threads, []float64{1, 0.8, 0.5}); got != 0 {
+		t.Errorf("sublinear fit = %v, want 0", got)
+	}
+	// Degenerate single point: denominator zero.
+	if got := FitGustafson([]int{1}, []float64{1}); got != 0 {
+		t.Errorf("degenerate fit = %v, want 0", got)
+	}
+}
+
+// Property: fitted p is always within [0,1] and the fit of exact curves is
+// idempotent.
+func TestQuickFitBounds(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16}
+	prop := func(raw [5]float64) bool {
+		sp := make([]float64, len(threads))
+		for i := range sp {
+			sp[i] = 1 + math.Abs(raw[i]) // arbitrary positive speedups
+		}
+		a := FitAmdahl(threads, sp)
+		g := FitGustafson(threads, sp)
+		return a >= 0 && a <= 1 && g >= 0 && g <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package tower
+
+import "zkperf/internal/ff"
+
+// Fp6 arithmetic: elements are B0 + B1·v + B2·v² with v³ = ξ.
+
+// E6Zero sets z = 0.
+func (t *Tower) E6Zero(z *E6) *E6 {
+	t.E2Zero(&z.B0)
+	t.E2Zero(&z.B1)
+	t.E2Zero(&z.B2)
+	return z
+}
+
+// E6One sets z = 1.
+func (t *Tower) E6One(z *E6) *E6 {
+	t.E2One(&z.B0)
+	t.E2Zero(&z.B1)
+	t.E2Zero(&z.B2)
+	return z
+}
+
+// E6IsZero reports whether z == 0.
+func (t *Tower) E6IsZero(z *E6) bool {
+	return t.E2IsZero(&z.B0) && t.E2IsZero(&z.B1) && t.E2IsZero(&z.B2)
+}
+
+// E6IsOne reports whether z == 1.
+func (t *Tower) E6IsOne(z *E6) bool {
+	return t.E2IsOne(&z.B0) && t.E2IsZero(&z.B1) && t.E2IsZero(&z.B2)
+}
+
+// E6Equal reports whether x == y.
+func (t *Tower) E6Equal(x, y *E6) bool {
+	return t.E2Equal(&x.B0, &y.B0) && t.E2Equal(&x.B1, &y.B1) && t.E2Equal(&x.B2, &y.B2)
+}
+
+// E6Set copies x into z.
+func (t *Tower) E6Set(z, x *E6) *E6 {
+	*z = *x
+	return z
+}
+
+// E6Add sets z = x + y.
+func (t *Tower) E6Add(z, x, y *E6) *E6 {
+	t.E2Add(&z.B0, &x.B0, &y.B0)
+	t.E2Add(&z.B1, &x.B1, &y.B1)
+	t.E2Add(&z.B2, &x.B2, &y.B2)
+	return z
+}
+
+// E6Sub sets z = x − y.
+func (t *Tower) E6Sub(z, x, y *E6) *E6 {
+	t.E2Sub(&z.B0, &x.B0, &y.B0)
+	t.E2Sub(&z.B1, &x.B1, &y.B1)
+	t.E2Sub(&z.B2, &x.B2, &y.B2)
+	return z
+}
+
+// E6Neg sets z = −x.
+func (t *Tower) E6Neg(z, x *E6) *E6 {
+	t.E2Neg(&z.B0, &x.B0)
+	t.E2Neg(&z.B1, &x.B1)
+	t.E2Neg(&z.B2, &x.B2)
+	return z
+}
+
+// E6Mul sets z = x·y via the Toom-Cook-style interpolation (Karatsuba for
+// cubic extensions; Devegili et al. "Multiplication and Squaring on
+// Pairing-Friendly Fields", Algorithm 13 shape).
+func (t *Tower) E6Mul(z, x, y *E6) *E6 {
+	var v0, v1, v2 E2
+	t.E2Mul(&v0, &x.B0, &y.B0)
+	t.E2Mul(&v1, &x.B1, &y.B1)
+	t.E2Mul(&v2, &x.B2, &y.B2)
+
+	var t0, t1, t2, c0, c1, c2 E2
+
+	// c0 = v0 + ξ((b1+b2)(y1+y2) − v1 − v2)
+	t.E2Add(&t0, &x.B1, &x.B2)
+	t.E2Add(&t1, &y.B1, &y.B2)
+	t.E2Mul(&t2, &t0, &t1)
+	t.E2Sub(&t2, &t2, &v1)
+	t.E2Sub(&t2, &t2, &v2)
+	t.E2MulByXi(&t2, &t2)
+	t.E2Add(&c0, &v0, &t2)
+
+	// c1 = (b0+b1)(y0+y1) − v0 − v1 + ξ·v2
+	t.E2Add(&t0, &x.B0, &x.B1)
+	t.E2Add(&t1, &y.B0, &y.B1)
+	t.E2Mul(&t2, &t0, &t1)
+	t.E2Sub(&t2, &t2, &v0)
+	t.E2Sub(&t2, &t2, &v1)
+	var xiV2 E2
+	t.E2MulByXi(&xiV2, &v2)
+	t.E2Add(&c1, &t2, &xiV2)
+
+	// c2 = (b0+b2)(y0+y2) − v0 − v2 + v1
+	t.E2Add(&t0, &x.B0, &x.B2)
+	t.E2Add(&t1, &y.B0, &y.B2)
+	t.E2Mul(&t2, &t0, &t1)
+	t.E2Sub(&t2, &t2, &v0)
+	t.E2Sub(&t2, &t2, &v2)
+	t.E2Add(&c2, &t2, &v1)
+
+	z.B0, z.B1, z.B2 = c0, c1, c2
+	return z
+}
+
+// E6Square sets z = x².
+func (t *Tower) E6Square(z, x *E6) *E6 {
+	// Reuse the multiplier; a dedicated squaring formula saves two Fp2
+	// multiplications but is a frequent source of subtle sign bugs.
+	var tmp E6
+	t.E6Mul(&tmp, x, x)
+	return t.E6Set(z, &tmp)
+}
+
+// E6MulByV sets z = v·x = (ξ·b2, b0, b1).
+func (t *Tower) E6MulByV(z, x *E6) *E6 {
+	var b2xi E2
+	t.E2MulByXi(&b2xi, &x.B2)
+	b0, b1 := x.B0, x.B1
+	z.B0 = b2xi
+	z.B1 = b0
+	z.B2 = b1
+	return z
+}
+
+// E6MulByE2 sets z = c·x for c ∈ Fp2.
+func (t *Tower) E6MulByE2(z, x *E6, c *E2) *E6 {
+	t.E2Mul(&z.B0, &x.B0, c)
+	t.E2Mul(&z.B1, &x.B1, c)
+	t.E2Mul(&z.B2, &x.B2, c)
+	return z
+}
+
+// E6Inverse sets z = x^{-1} using the standard cubic-extension formula.
+func (t *Tower) E6Inverse(z, x *E6) *E6 {
+	// c0 = b0² − ξ·b1·b2
+	// c1 = ξ·b2² − b0·b1
+	// c2 = b1² − b0·b2
+	// norm = b0·c0 + ξ·(b1·c2 + b2·c1) ∈ Fp2
+	var c0, c1, c2, tmp E2
+	t.E2Square(&c0, &x.B0)
+	t.E2Mul(&tmp, &x.B1, &x.B2)
+	t.E2MulByXi(&tmp, &tmp)
+	t.E2Sub(&c0, &c0, &tmp)
+
+	t.E2Square(&c1, &x.B2)
+	t.E2MulByXi(&c1, &c1)
+	t.E2Mul(&tmp, &x.B0, &x.B1)
+	t.E2Sub(&c1, &c1, &tmp)
+
+	t.E2Square(&c2, &x.B1)
+	t.E2Mul(&tmp, &x.B0, &x.B2)
+	t.E2Sub(&c2, &c2, &tmp)
+
+	var norm, t1, t2 E2
+	t.E2Mul(&norm, &x.B0, &c0)
+	t.E2Mul(&t1, &x.B1, &c2)
+	t.E2Mul(&t2, &x.B2, &c1)
+	t.E2Add(&t1, &t1, &t2)
+	t.E2MulByXi(&t1, &t1)
+	t.E2Add(&norm, &norm, &t1)
+
+	var inv E2
+	t.E2Inverse(&inv, &norm)
+	t.E2Mul(&z.B0, &c0, &inv)
+	t.E2Mul(&z.B1, &c1, &inv)
+	t.E2Mul(&z.B2, &c2, &inv)
+	return z
+}
+
+// E6Frobenius sets z = x^p using the precomputed γ constants.
+func (t *Tower) E6Frobenius(z, x *E6) *E6 {
+	t.E2Conjugate(&z.B0, &x.B0)
+	var c1, c2 E2
+	t.E2Conjugate(&c1, &x.B1)
+	t.E2Mul(&z.B1, &c1, &t.frobGamma1)
+	t.E2Conjugate(&c2, &x.B2)
+	t.E2Mul(&z.B2, &c2, &t.frobGamma2)
+	return z
+}
+
+// E6Random sets z to a pseudo-random element.
+func (t *Tower) E6Random(z *E6, rng *ff.RNG) *E6 {
+	t.E2Random(&z.B0, rng)
+	t.E2Random(&z.B1, rng)
+	t.E2Random(&z.B2, rng)
+	return z
+}

@@ -1,0 +1,293 @@
+package tower
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zkperf/internal/ff"
+)
+
+// towers under test: BN254 with ξ = 9+i, BLS12-381 with ξ = 1+i.
+func testTowers() []*Tower {
+	return []*Tower{
+		New(ff.NewBN254Fp(), 9, 1),
+		New(ff.NewBLS12381Fp(), 1, 1),
+	}
+}
+
+func TestE2Laws(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(1)
+		for i := 0; i < 20; i++ {
+			var a, b, c E2
+			tw.E2Random(&a, rng)
+			tw.E2Random(&b, rng)
+			tw.E2Random(&c, rng)
+
+			var ab, ba E2
+			tw.E2Mul(&ab, &a, &b)
+			tw.E2Mul(&ba, &b, &a)
+			if !tw.E2Equal(&ab, &ba) {
+				t.Fatalf("%s: E2 mul not commutative", tw.F.Name)
+			}
+
+			var lhs, rhs, t1, t2 E2
+			tw.E2Add(&t1, &b, &c)
+			tw.E2Mul(&lhs, &a, &t1)
+			tw.E2Mul(&t1, &a, &b)
+			tw.E2Mul(&t2, &a, &c)
+			tw.E2Add(&rhs, &t1, &t2)
+			if !tw.E2Equal(&lhs, &rhs) {
+				t.Fatalf("%s: E2 distributivity fails", tw.F.Name)
+			}
+
+			var sq, mm E2
+			tw.E2Square(&sq, &a)
+			tw.E2Mul(&mm, &a, &a)
+			if !tw.E2Equal(&sq, &mm) {
+				t.Fatalf("%s: E2 square != mul", tw.F.Name)
+			}
+		}
+	}
+}
+
+func TestE2Inverse(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(2)
+		for i := 0; i < 10; i++ {
+			var a, inv, prod E2
+			tw.E2Random(&a, rng)
+			if tw.E2IsZero(&a) {
+				continue
+			}
+			tw.E2Inverse(&inv, &a)
+			tw.E2Mul(&prod, &a, &inv)
+			if !tw.E2IsOne(&prod) {
+				t.Fatalf("%s: E2 inverse wrong", tw.F.Name)
+			}
+		}
+	}
+}
+
+func TestE2Conjugate(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(3)
+		var a, conj E2
+		tw.E2Random(&a, rng)
+		// conj(a) == a^p
+		tw.E2Conjugate(&conj, &a)
+		var ap E2
+		tw.E2Exp(&ap, &a, tw.F.Modulus())
+		if !tw.E2Equal(&conj, &ap) {
+			t.Fatalf("%s: E2 conjugate != a^p", tw.F.Name)
+		}
+	}
+}
+
+func TestE6Laws(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(4)
+		for i := 0; i < 10; i++ {
+			var a, b, c E6
+			tw.E6Random(&a, rng)
+			tw.E6Random(&b, rng)
+			tw.E6Random(&c, rng)
+
+			var ab, ba E6
+			tw.E6Mul(&ab, &a, &b)
+			tw.E6Mul(&ba, &b, &a)
+			if !tw.E6Equal(&ab, &ba) {
+				t.Fatalf("%s: E6 mul not commutative", tw.F.Name)
+			}
+
+			var abc1, abc2, t1 E6
+			tw.E6Mul(&t1, &a, &b)
+			tw.E6Mul(&abc1, &t1, &c)
+			tw.E6Mul(&t1, &b, &c)
+			tw.E6Mul(&abc2, &a, &t1)
+			if !tw.E6Equal(&abc1, &abc2) {
+				t.Fatalf("%s: E6 mul not associative", tw.F.Name)
+			}
+		}
+	}
+}
+
+func TestE6Inverse(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(5)
+		for i := 0; i < 5; i++ {
+			var a, inv, prod E6
+			tw.E6Random(&a, rng)
+			tw.E6Inverse(&inv, &a)
+			tw.E6Mul(&prod, &a, &inv)
+			if !tw.E6IsOne(&prod) {
+				t.Fatalf("%s: E6 inverse wrong", tw.F.Name)
+			}
+		}
+	}
+}
+
+func TestE6MulByV(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(6)
+		var a, viaMul, viaShift, v E6
+		tw.E6Random(&a, rng)
+		// v as an E6 element: (0, 1, 0)
+		tw.E6Zero(&v)
+		tw.E2One(&v.B1)
+		tw.E6Mul(&viaMul, &a, &v)
+		tw.E6MulByV(&viaShift, &a)
+		if !tw.E6Equal(&viaMul, &viaShift) {
+			t.Fatalf("%s: MulByV disagrees with full multiplication", tw.F.Name)
+		}
+	}
+}
+
+func TestE6Frobenius(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(7)
+		var a E6
+		tw.E6Random(&a, rng)
+		var frob E6
+		tw.E6Frobenius(&frob, &a)
+		// Check multiplicativity: φ(a·a) == φ(a)·φ(a).
+		var a2, fa2, f2 E6
+		tw.E6Mul(&a2, &a, &a)
+		tw.E6Frobenius(&fa2, &a2)
+		tw.E6Mul(&f2, &frob, &frob)
+		if !tw.E6Equal(&fa2, &f2) {
+			t.Fatalf("%s: E6 Frobenius not multiplicative", tw.F.Name)
+		}
+	}
+}
+
+func TestE12Laws(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(8)
+		for i := 0; i < 5; i++ {
+			var a, b E12
+			tw.E12Random(&a, rng)
+			tw.E12Random(&b, rng)
+
+			var ab, ba E12
+			tw.E12Mul(&ab, &a, &b)
+			tw.E12Mul(&ba, &b, &a)
+			if !tw.E12Equal(&ab, &ba) {
+				t.Fatalf("%s: E12 mul not commutative", tw.F.Name)
+			}
+
+			var sq, mm E12
+			tw.E12Square(&sq, &a)
+			tw.E12Mul(&mm, &a, &a)
+			if !tw.E12Equal(&sq, &mm) {
+				t.Fatalf("%s: E12 square != mul", tw.F.Name)
+			}
+		}
+	}
+}
+
+func TestE12Inverse(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(9)
+		var a, inv, prod E12
+		tw.E12Random(&a, rng)
+		tw.E12Inverse(&inv, &a)
+		tw.E12Mul(&prod, &a, &inv)
+		if !tw.E12IsOne(&prod) {
+			t.Fatalf("%s: E12 inverse wrong", tw.F.Name)
+		}
+	}
+}
+
+// TestE12Frobenius verifies φ(x) == x^p — the strongest possible check of
+// the precomputed γ constants.
+func TestE12Frobenius(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(10)
+		var a, frob, viaExp E12
+		tw.E12Random(&a, rng)
+		tw.E12Frobenius(&frob, &a)
+		tw.E12Exp(&viaExp, &a, tw.F.Modulus())
+		if !tw.E12Equal(&frob, &viaExp) {
+			t.Fatalf("%s: E12 Frobenius != x^p", tw.F.Name)
+		}
+	}
+}
+
+// TestWPowers verifies the w^k basis embeddings: w^a · w^b == w^{a+b}
+// (with w⁶ = ξ).
+func TestWPowers(t *testing.T) {
+	for _, tw := range testTowers() {
+		var w1, w2, w3, prod E12
+		tw.WPower(&w1, 1)
+		tw.WPower(&w2, 2)
+		tw.WPower(&w3, 3)
+		tw.E12Mul(&prod, &w1, &w2)
+		if !tw.E12Equal(&prod, &w3) {
+			t.Fatalf("%s: w·w² != w³", tw.F.Name)
+		}
+		// w³·w³ = w⁶ = ξ
+		var w6, xi12 E12
+		tw.E12Mul(&w6, &w3, &w3)
+		tw.E12FromE2(&xi12, &tw.Xi)
+		if !tw.E12Equal(&w6, &xi12) {
+			t.Fatalf("%s: w⁶ != ξ", tw.F.Name)
+		}
+	}
+}
+
+func TestE12ConjugateIsPower(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(11)
+		var a, conj, viaFrob E12
+		tw.E12Random(&a, rng)
+		tw.E12Conjugate(&conj, &a)
+		tw.E12FrobeniusN(&viaFrob, &a, 6)
+		if !tw.E12Equal(&conj, &viaFrob) {
+			t.Fatalf("%s: conjugate != Frobenius⁶", tw.F.Name)
+		}
+	}
+}
+
+// TestQuickE2FieldLaws drives random algebra through testing/quick.
+func TestQuickE2FieldLaws(t *testing.T) {
+	tw := New(ff.NewBN254Fp(), 9, 1)
+	prop := func(seed uint64) bool {
+		rng := ff.NewRNG(seed)
+		var a, b E2
+		tw.E2Random(&a, rng)
+		tw.E2Random(&b, rng)
+		// (a+b)² == a² + 2ab + b²
+		var sum, lhs, a2, b2, ab, rhs E2
+		tw.E2Add(&sum, &a, &b)
+		tw.E2Square(&lhs, &sum)
+		tw.E2Square(&a2, &a)
+		tw.E2Square(&b2, &b)
+		tw.E2Mul(&ab, &a, &b)
+		tw.E2Double(&ab, &ab)
+		tw.E2Add(&rhs, &a2, &ab)
+		tw.E2Add(&rhs, &rhs, &b2)
+		return tw.E2Equal(&lhs, &rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestE12InverseOfProduct: (ab)⁻¹ == b⁻¹·a⁻¹.
+func TestE12InverseOfProduct(t *testing.T) {
+	for _, tw := range testTowers() {
+		rng := ff.NewRNG(77)
+		var a, b, ab, abInv, aInv, bInv, prod E12
+		tw.E12Random(&a, rng)
+		tw.E12Random(&b, rng)
+		tw.E12Mul(&ab, &a, &b)
+		tw.E12Inverse(&abInv, &ab)
+		tw.E12Inverse(&aInv, &a)
+		tw.E12Inverse(&bInv, &b)
+		tw.E12Mul(&prod, &bInv, &aInv)
+		if !tw.E12Equal(&abInv, &prod) {
+			t.Fatalf("%s: (ab)^-1 != b^-1 a^-1", tw.F.Name)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package trace is the instrumentation layer of the analysis framework:
+// the stand-in for the event sources the paper gets from Intel VTune, perf
+// and DynamoRIO. The real zk-SNARK stages run with a Recorder attached and
+// emit four kinds of evidence:
+//
+//   - operation counts: every field multiplication/addition/inversion, via
+//     the ff.Field counter hook, plus explicit control-flow (interpreter
+//     dispatch, branches) and data-flow (copies, allocations) events;
+//   - function-level timing: scoped enter/leave pairs produce the hot-
+//     function profile of Table IV;
+//   - memory access patterns: structural descriptors (sequential scan,
+//     strided walk, random touch, pointer chase over named regions) that
+//     the cache simulator replays;
+//   - phase structure: the fork-join skeleton of each stage (serial
+//     sections and parallel sections with their grain), which the
+//     scheduling simulator executes for the scalability analysis.
+//
+// A nil *Recorder disables all instrumentation; the hooks are single
+// branch-on-nil checks so the untraced path stays fast.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"zkperf/internal/ff"
+)
+
+// PatternKind classifies a memory access pattern.
+type PatternKind int
+
+const (
+	// Sequential is a linear scan over a region.
+	Sequential PatternKind = iota
+	// Strided is a constant-stride walk (e.g. NTT butterflies).
+	Strided
+	// Random is uniform random touches within a region (e.g. MSM buckets).
+	Random
+	// PointerChase is dependent random touches (e.g. AST walks, interpreter
+	// operand fetches) — no spatial locality and no overlap of latency.
+	PointerChase
+)
+
+// String returns a short name for the pattern kind.
+func (k PatternKind) String() string {
+	switch k {
+	case Sequential:
+		return "seq"
+	case Strided:
+		return "stride"
+	case Random:
+		return "rand"
+	case PointerChase:
+		return "chase"
+	}
+	return "?"
+}
+
+// Access is one recorded access-pattern event: Touches element accesses of
+// ElemSize bytes following Kind within a logical region of RegionBytes.
+type Access struct {
+	Kind        PatternKind
+	Region      string // logical array name, e.g. "pk.A" or "witness"
+	RegionBytes int64  // size of the region being accessed
+	ElemSize    int    // bytes per touch
+	Stride      int    // byte stride for Strided
+	Touches     int64  // number of element touches
+	Write       bool   // stores rather than loads
+
+	// BytesPerCycle, when nonzero, overrides the per-kind throughput the
+	// bandwidth model assumes for this pattern (e.g. serialization that
+	// converts every element is far slower than a raw copy).
+	BytesPerCycle float64
+}
+
+// FuncStat is one entry of the function-level profile.
+type FuncStat struct {
+	Name  string
+	Nanos int64 // exclusive (self) time
+	Calls int64
+}
+
+// Phase is one fork-join section of a stage: Grain independent tasks of
+// roughly equal size totalling WorkNanos, or a serial section (Grain 1).
+// SpawnOverheadNanos is charged per task by the scheduling simulator.
+type Phase struct {
+	Name      string
+	WorkNanos int64 // total work measured single-threaded
+	Grain     int   // number of independent tasks (1 = serial)
+}
+
+// Recorder accumulates instrumentation events for one stage execution.
+// It is not safe for concurrent use: traced runs are single-threaded,
+// mirroring how binary instrumentation serializes execution.
+type Recorder struct {
+	// Ops receives field-operation counts; attach it to the fields in use
+	// (Field.Count) for the duration of the run.
+	Ops ff.OpCount
+
+	// Control-flow events.
+	Branches   int64 // conditional branches executed
+	Dispatches int64 // indirect branches (interpreter dispatch, dynamic calls)
+	Calls      int64 // function calls
+
+	// Data-flow events.
+	BytesCopied int64 // explicit copies (the memcpy traffic of Table IV)
+	Allocs      int64 // heap allocations
+	AllocBytes  int64
+
+	// Bulk instruction counts added directly to the mix. Used to model
+	// code whose per-primitive expansion is known in aggregate — the
+	// interpreted/JIT-compiled JavaScript of the profiled stack executes
+	// one to two orders of magnitude more machine instructions per source
+	// operation than the native Go that stands in for it here.
+	ExtraCompute int64
+	ExtraControl int64
+	ExtraData    int64
+
+	Accesses []Access
+	Phases   []Phase
+
+	funcs     map[string]*FuncStat
+	stack     []scopeFrame
+	wallStart time.Time
+	WallNanos int64
+}
+
+type scopeFrame struct {
+	name  string
+	start time.Time
+	child time.Duration // time spent in nested scopes
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{funcs: make(map[string]*FuncStat)}
+}
+
+// StartWall marks the beginning of the stage's wall-clock window.
+func (r *Recorder) StartWall() {
+	if r == nil {
+		return
+	}
+	r.wallStart = time.Now()
+}
+
+// StopWall closes the wall-clock window.
+func (r *Recorder) StopWall() {
+	if r == nil {
+		return
+	}
+	r.WallNanos += time.Since(r.wallStart).Nanoseconds()
+}
+
+// Enter opens a timed function scope. Always pair with Leave.
+func (r *Recorder) Enter(name string) {
+	if r == nil {
+		return
+	}
+	r.Calls++
+	r.stack = append(r.stack, scopeFrame{name: name, start: time.Now()})
+}
+
+// Leave closes the innermost scope, attributing self time to its function.
+func (r *Recorder) Leave() {
+	if r == nil {
+		return
+	}
+	n := len(r.stack)
+	if n == 0 {
+		panic("trace: Leave without Enter")
+	}
+	fr := r.stack[n-1]
+	r.stack = r.stack[:n-1]
+	total := time.Since(fr.start)
+	self := total - fr.child
+	st := r.funcs[fr.name]
+	if st == nil {
+		st = &FuncStat{Name: fr.name}
+		r.funcs[fr.name] = st
+	}
+	st.Nanos += self.Nanoseconds()
+	st.Calls++
+	if len(r.stack) > 0 {
+		r.stack[len(r.stack)-1].child += total
+	}
+}
+
+// Scope runs fn inside a timed scope.
+func (r *Recorder) Scope(name string, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	r.Enter(name)
+	fn()
+	r.Leave()
+}
+
+// Access records one access-pattern event.
+func (r *Recorder) Access(a Access) {
+	if r == nil {
+		return
+	}
+	r.Accesses = append(r.Accesses, a)
+}
+
+// Copy records a bulk copy of n bytes (and its implied load+store traffic
+// as sequential access patterns over an anonymous region).
+func (r *Recorder) Copy(region string, n int64) {
+	if r == nil {
+		return
+	}
+	r.BytesCopied += n
+	r.Accesses = append(r.Accesses,
+		Access{Kind: Sequential, Region: region + ".src", RegionBytes: n, ElemSize: 64, Touches: n / 64},
+		Access{Kind: Sequential, Region: region + ".dst", RegionBytes: n, ElemSize: 64, Touches: n / 64, Write: true},
+	)
+}
+
+// Alloc records a heap allocation of n bytes.
+func (r *Recorder) Alloc(n int64) {
+	if r == nil {
+		return
+	}
+	r.Allocs++
+	r.AllocBytes += n
+}
+
+// AllocN records count heap allocations of bytesEach bytes.
+func (r *Recorder) AllocN(count, bytesEach int64) {
+	if r == nil {
+		return
+	}
+	r.Allocs += count
+	r.AllocBytes += count * bytesEach
+}
+
+// InstrBulk adds raw instruction counts to the three mix categories.
+func (r *Recorder) InstrBulk(compute, control, data int64) {
+	if r == nil {
+		return
+	}
+	r.ExtraCompute += compute
+	r.ExtraControl += control
+	r.ExtraData += data
+}
+
+// Branch records n conditional branches.
+func (r *Recorder) Branch(n int64) {
+	if r == nil {
+		return
+	}
+	r.Branches += n
+}
+
+// Dispatch records n indirect branches (interpreter opcode dispatch).
+func (r *Recorder) Dispatch(n int64) {
+	if r == nil {
+		return
+	}
+	r.Dispatches += n
+}
+
+// PhaseRun measures fn as one fork-join phase with the given task grain
+// (1 = serial). The phase is also a timed function scope.
+func (r *Recorder) PhaseRun(name string, grain int, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	r.Enter(name)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	r.Leave()
+	r.Phases = append(r.Phases, Phase{Name: name, WorkNanos: elapsed.Nanoseconds(), Grain: grain})
+}
+
+// TopFunctions returns the function profile sorted by self time,
+// descending.
+func (r *Recorder) TopFunctions() []FuncStat {
+	out := make([]FuncStat, 0, len(r.funcs))
+	for _, st := range r.funcs {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalFuncNanos sums self time over all profiled functions.
+func (r *Recorder) TotalFuncNanos() int64 {
+	var t int64
+	for _, st := range r.funcs {
+		t += st.Nanos
+	}
+	return t
+}
+
+// TotalLoads sums read touches over all recorded access patterns.
+func (r *Recorder) TotalLoads() int64 {
+	var t int64
+	for i := range r.Accesses {
+		if !r.Accesses[i].Write {
+			t += r.Accesses[i].Touches
+		}
+	}
+	return t
+}
+
+// TotalStores sums write touches over all recorded access patterns.
+func (r *Recorder) TotalStores() int64 {
+	var t int64
+	for i := range r.Accesses {
+		if r.Accesses[i].Write {
+			t += r.Accesses[i].Touches
+		}
+	}
+	return t
+}

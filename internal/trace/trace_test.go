@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	// Every hook must be a no-op on a nil recorder.
+	r.StartWall()
+	r.StopWall()
+	r.Access(Access{})
+	r.Copy("x", 100)
+	r.Alloc(10)
+	r.AllocN(5, 10)
+	r.Branch(1)
+	r.Dispatch(1)
+	r.InstrBulk(1, 2, 3)
+	ran := false
+	r.Scope("s", func() { ran = true })
+	if !ran {
+		t.Error("Scope on nil recorder must still run fn")
+	}
+	ran = false
+	r.PhaseRun("p", 2, func() { ran = true })
+	if !ran {
+		t.Error("PhaseRun on nil recorder must still run fn")
+	}
+}
+
+func TestScopeTiming(t *testing.T) {
+	r := NewRecorder()
+	r.Scope("outer", func() {
+		time.Sleep(2 * time.Millisecond)
+		r.Scope("inner", func() {
+			time.Sleep(4 * time.Millisecond)
+		})
+	})
+	fns := r.TopFunctions()
+	if len(fns) != 2 {
+		t.Fatalf("expected 2 functions, got %d", len(fns))
+	}
+	var outer, inner *FuncStat
+	for i := range fns {
+		switch fns[i].Name {
+		case "outer":
+			outer = &fns[i]
+		case "inner":
+			inner = &fns[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing function entries")
+	}
+	// Self time: inner ≈ 4ms, outer ≈ 2ms (child time excluded).
+	if inner.Nanos < outer.Nanos {
+		t.Errorf("inner self time (%d) should exceed outer self time (%d)", inner.Nanos, outer.Nanos)
+	}
+	if outer.Nanos > 3_500_000 {
+		t.Errorf("outer self time %d includes child time", outer.Nanos)
+	}
+	if got := r.TotalFuncNanos(); got != outer.Nanos+inner.Nanos {
+		t.Errorf("TotalFuncNanos = %d", got)
+	}
+}
+
+func TestLeaveWithoutEnterPanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Error("Leave without Enter should panic")
+		}
+	}()
+	r.Leave()
+}
+
+func TestPhaseRecording(t *testing.T) {
+	r := NewRecorder()
+	r.PhaseRun("p1", 8, func() { time.Sleep(time.Millisecond) })
+	r.PhaseRun("p2", 1, func() {})
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(r.Phases))
+	}
+	if r.Phases[0].Name != "p1" || r.Phases[0].Grain != 8 {
+		t.Errorf("phase 0: %+v", r.Phases[0])
+	}
+	if r.Phases[0].WorkNanos < 500_000 {
+		t.Errorf("phase 0 work = %d, expected ≥ 0.5ms", r.Phases[0].WorkNanos)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	r := NewRecorder()
+	r.Branch(10)
+	r.Branch(5)
+	r.Dispatch(3)
+	r.Alloc(64)
+	r.AllocN(4, 16)
+	r.InstrBulk(100, 200, 300)
+	if r.Branches != 15 || r.Dispatches != 3 {
+		t.Errorf("control counters: %d %d", r.Branches, r.Dispatches)
+	}
+	if r.Allocs != 5 || r.AllocBytes != 64+64 {
+		t.Errorf("alloc counters: %d %d", r.Allocs, r.AllocBytes)
+	}
+	if r.ExtraCompute != 100 || r.ExtraControl != 200 || r.ExtraData != 300 {
+		t.Error("InstrBulk not accumulated")
+	}
+}
+
+func TestCopyEmitsPatterns(t *testing.T) {
+	r := NewRecorder()
+	r.Copy("buf", 6400)
+	if r.BytesCopied != 6400 {
+		t.Errorf("BytesCopied = %d", r.BytesCopied)
+	}
+	if len(r.Accesses) != 2 {
+		t.Fatalf("Copy should emit 2 patterns, got %d", len(r.Accesses))
+	}
+	if r.Accesses[0].Write || !r.Accesses[1].Write {
+		t.Error("Copy patterns should be one read + one write")
+	}
+	if r.Accesses[0].Touches != 100 {
+		t.Errorf("touches = %d, want 100", r.Accesses[0].Touches)
+	}
+}
+
+func TestLoadStoreTotals(t *testing.T) {
+	r := NewRecorder()
+	r.Access(Access{Touches: 10})
+	r.Access(Access{Touches: 7, Write: true})
+	r.Access(Access{Touches: 3})
+	if r.TotalLoads() != 13 {
+		t.Errorf("TotalLoads = %d", r.TotalLoads())
+	}
+	if r.TotalStores() != 7 {
+		t.Errorf("TotalStores = %d", r.TotalStores())
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	r := NewRecorder()
+	r.StartWall()
+	time.Sleep(2 * time.Millisecond)
+	r.StopWall()
+	if r.WallNanos < 1_500_000 {
+		t.Errorf("WallNanos = %d, want ≥ 1.5ms", r.WallNanos)
+	}
+	// Wall windows accumulate.
+	prev := r.WallNanos
+	r.StartWall()
+	r.StopWall()
+	if r.WallNanos < prev {
+		t.Error("WallNanos should accumulate")
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	cases := map[PatternKind]string{
+		Sequential: "seq", Strided: "stride", Random: "rand", PointerChase: "chase",
+		PatternKind(99): "?",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTopFunctionsSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Scope("slow", func() { time.Sleep(3 * time.Millisecond) })
+	r.Scope("fast", func() {})
+	fns := r.TopFunctions()
+	if fns[0].Name != "slow" {
+		t.Errorf("expected slow first, got %q", fns[0].Name)
+	}
+}

@@ -1,0 +1,126 @@
+package witness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+)
+
+// Program serialization: the compile stage persists the solver program
+// alongside the R1CS (circom's generated witness-calculator plays this
+// role), so the witness stage can run from files.
+
+const progMagic = uint32(0x5A575047) // "ZWPG"
+
+// WriteProgram serializes a solver program.
+func WriteProgram(w io.Writer, fr *ff.Field, p *Program) error {
+	writeU32 := func(v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := writeU32(progMagic); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(p.Instructions))); err != nil {
+		return err
+	}
+	writeLC := func(lc r1cs.LinComb) error {
+		if err := writeU32(uint32(len(lc))); err != nil {
+			return err
+		}
+		for i := range lc {
+			if err := writeU32(uint32(lc[i].Var)); err != nil {
+				return err
+			}
+			if _, err := w.Write(fr.Bytes(&lc[i].Coeff)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range p.Instructions {
+		ins := &p.Instructions[i]
+		if err := writeU32(uint32(ins.Op)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(ins.Out)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(ins.Aux)); err != nil {
+			return err
+		}
+		if err := writeLC(ins.L); err != nil {
+			return err
+		}
+		if err := writeLC(ins.R); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadProgram deserializes a solver program written by WriteProgram.
+func ReadProgram(r io.Reader, fr *ff.Field) (*Program, error) {
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if m != progMagic {
+		return nil, fmt.Errorf("witness: bad program magic %08x", m)
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	elem := make([]byte, fr.ByteLen())
+	readLC := func() (r1cs.LinComb, error) {
+		ln, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		lc := make(r1cs.LinComb, ln)
+		for i := range lc {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			lc[i].Var = r1cs.Variable(v)
+			if _, err := io.ReadFull(r, elem); err != nil {
+				return nil, err
+			}
+			fr.SetBytes(&lc[i].Coeff, elem)
+		}
+		return lc, nil
+	}
+	p := &Program{Instructions: make([]Instruction, n)}
+	for i := range p.Instructions {
+		ins := &p.Instructions[i]
+		op, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ins.Op = OpKind(op)
+		out, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ins.Out = r1cs.Variable(out)
+		aux, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ins.Aux = int(aux)
+		if ins.L, err = readLC(); err != nil {
+			return nil, err
+		}
+		if ins.R, err = readLC(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,126 @@
+package witness
+
+import (
+	"fmt"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/trace"
+)
+
+// SolveTraced is Solve with instrumentation: the interpreter records an
+// indirect-dispatch event per instruction, a conditional branch per
+// linear-combination term (the loop over sparse terms is data-dependent),
+// and the gather pattern of witness-vector reads. These are exactly the
+// behaviours that make the witness stage control-flow intensive and give
+// it the highest LLC MPKI in the paper's analysis.
+func SolveTraced(sys *r1cs.System, prog *Program, assign Assignment, rec *trace.Recorder) (*Witness, error) {
+	if rec == nil {
+		return Solve(sys, prog, assign)
+	}
+	fr := sys.Fr
+	prevCount := fr.Count
+	fr.Count = &rec.Ops
+	defer func() { fr.Count = prevCount }()
+
+	var w *Witness
+	var err error
+	var termTouches int64
+
+	// Witness solving is a dependency chain: each instruction may read
+	// wires produced by earlier ones. Only small independent runs exist,
+	// so the phase grain is low.
+	rec.PhaseRun("interp/solve", 2, func() {
+		w = nil
+		wv := make([]ff.Element, sys.NumVariables())
+		fr.One(&wv[0])
+
+		for i, name := range sys.PublicNames {
+			if sys.PublicIsOutput[i] {
+				continue
+			}
+			v, ok := assign[name]
+			if !ok {
+				err = fmt.Errorf("witness: missing input %q", name)
+				return
+			}
+			wv[1+i] = v
+		}
+		if err == nil {
+			for i, name := range sys.PrivateNames {
+				v, ok := assign[name]
+				if !ok {
+					err = fmt.Errorf("witness: missing input %q", name)
+					return
+				}
+				wv[1+sys.NumPublic+i] = v
+			}
+		}
+
+		for i := range prog.Instructions {
+			ins := &prog.Instructions[i]
+			rec.Dispatch(1) // opcode dispatch: indirect branch
+			nTerms := int64(len(ins.L) + len(ins.R))
+			rec.Branch(nTerms) // data-dependent sparse-term loop
+			termTouches += nTerms
+			switch ins.Op {
+			case OpMul:
+				l := sys.EvalLC(ins.L, wv)
+				r := sys.EvalLC(ins.R, wv)
+				fr.Mul(&wv[ins.Out], &l, &r)
+			case OpLinear:
+				wv[ins.Out] = sys.EvalLC(ins.L, wv)
+			case OpInverse:
+				l := sys.EvalLC(ins.L, wv)
+				if fr.IsZero(&l) {
+					err = fmt.Errorf("witness: instruction %d inverts zero", i)
+					return
+				}
+				fr.Inverse(&wv[ins.Out], &l)
+			case OpBit:
+				l := sys.EvalLC(ins.L, wv)
+				bit := fr.BigInt(&l).Bit(ins.Aux)
+				fr.SetUint64(&wv[ins.Out], uint64(bit))
+			default:
+				err = fmt.Errorf("witness: unknown opcode %d at instruction %d", ins.Op, i)
+				return
+			}
+		}
+
+		if bad, ok := sys.IsSatisfied(wv); !ok {
+			err = fmt.Errorf("witness: constraint %d not satisfied", bad)
+			return
+		}
+		pub := make([]ff.Element, 1+sys.NumPublic)
+		copy(pub, wv[:1+sys.NumPublic])
+		w = &Witness{Full: wv, Public: pub}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nv := int64(sys.NumVariables())
+	nIns := int64(len(prog.Instructions))
+	// The snarkjs witness calculator interprets WASM: every solved wire
+	// costs a few hundred interpreted instructions beyond the field
+	// arithmetic itself.
+	rec.InstrBulk(nIns*120, nIns*90, nIns*150)
+	// Instruction stream: a sequential walk (each instruction record holds
+	// its opcode plus pointers to its sparse LCs).
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "prog.code",
+		RegionBytes: nIns * 96, ElemSize: 96, Touches: nIns})
+	// Sparse-term operand fetches: dependent pointer-style gathers into
+	// the witness vector.
+	rec.Access(trace.Access{Kind: trace.PointerChase, Region: "witness",
+		RegionBytes: nv * 32, ElemSize: 32, Touches: 2 * termTouches})
+	// Solved wires written once each; the satisfaction check re-reads the
+	// matrices and witness.
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "witness",
+		RegionBytes: nv * 32, ElemSize: 32, Touches: nIns, Write: true})
+	st := sys.Stats()
+	rec.Access(trace.Access{Kind: trace.Sequential, Region: "r1cs.terms",
+		RegionBytes: int64(st.NonZeroTerms) * 40, ElemSize: 40, Touches: int64(st.NonZeroTerms)})
+	rec.Access(trace.Access{Kind: trace.PointerChase, Region: "witness",
+		RegionBytes: nv * 32, ElemSize: 32, Touches: int64(st.NonZeroTerms)})
+	return w, nil
+}

@@ -1,0 +1,129 @@
+package witness_test
+
+import (
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/ff"
+	"zkperf/internal/trace"
+	"zkperf/internal/witness"
+)
+
+// The witness package is exercised extensively through the circuit tests;
+// these tests focus on the traced interpreter and its parity with the
+// untraced path.
+
+func compile(t *testing.T, src string) (*ff.Field, func(a witness.Assignment, rec *trace.Recorder) (*witness.Witness, error)) {
+	t.Helper()
+	fr := ff.NewBN254Fr()
+	sys, prog, err := circuit.CompileSource(fr, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr, func(a witness.Assignment, rec *trace.Recorder) (*witness.Witness, error) {
+		return witness.SolveTraced(sys, prog, a, rec)
+	}
+}
+
+func TestTracedMatchesUntraced(t *testing.T) {
+	fr, solve := compile(t, circuit.ExponentiateSource(32))
+	var x ff.Element
+	fr.SetUint64(&x, 5)
+	plain, err := solve(witness.Assignment{"x": x}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	traced, err := solve(witness.Assignment{"x": x}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Full) != len(traced.Full) {
+		t.Fatal("witness lengths differ")
+	}
+	for i := range plain.Full {
+		if !fr.Equal(&plain.Full[i], &traced.Full[i]) {
+			t.Fatalf("witness differs at wire %d", i)
+		}
+	}
+}
+
+func TestTracedRecordsInterpreterEvents(t *testing.T) {
+	fr, solve := compile(t, circuit.ExponentiateSource(64))
+	var x ff.Element
+	fr.SetUint64(&x, 2)
+	rec := trace.NewRecorder()
+	if _, err := solve(witness.Assignment{"x": x}, rec); err != nil {
+		t.Fatal(err)
+	}
+	// One dispatch per instruction (63 muls + 1 output bind = 64).
+	if rec.Dispatches != 64 {
+		t.Errorf("dispatches = %d, want 64", rec.Dispatches)
+	}
+	if rec.Branches == 0 {
+		t.Error("no sparse-term branches recorded")
+	}
+	if rec.Ops.Mul == 0 {
+		t.Error("no field multiplications recorded")
+	}
+	if len(rec.Accesses) == 0 {
+		t.Error("no access patterns recorded")
+	}
+	if len(rec.Phases) == 0 {
+		t.Error("no phases recorded")
+	}
+	// The interpreter gathers from the witness region.
+	foundChase := false
+	for _, a := range rec.Accesses {
+		if a.Region == "witness" && a.Kind == trace.PointerChase {
+			foundChase = true
+		}
+	}
+	if !foundChase {
+		t.Error("witness gather pattern missing")
+	}
+}
+
+func TestTracedErrors(t *testing.T) {
+	fr, solve := compile(t, circuit.ExponentiateSource(8))
+	rec := trace.NewRecorder()
+	if _, err := solve(witness.Assignment{}, rec); err == nil {
+		t.Error("missing input not reported under tracing")
+	}
+	// Inverse of zero under tracing.
+	fr2 := ff.NewBN254Fr()
+	b := circuit.NewBuilder(fr2)
+	y := b.PublicOutput("y")
+	x := b.PrivateInput("x")
+	inv := b.Inverse(x)
+	if err := b.BindOutput(y, inv); err != nil {
+		t.Fatal(err)
+	}
+	sys, prog := b.Compile()
+	var zero ff.Element
+	if _, err := witness.SolveTraced(sys, prog, witness.Assignment{"x": zero}, trace.NewRecorder()); err == nil {
+		t.Error("zero inverse not reported under tracing")
+	}
+	_ = fr
+}
+
+func TestTracedBitDecomposition(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	sys, prog, err := circuit.RangeCheckCircuit(fr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v, slack, max ff.Element
+	fr.SetUint64(&v, 100)
+	fr.SetUint64(&slack, 28)
+	fr.SetUint64(&max, 128)
+	rec := trace.NewRecorder()
+	w, err := witness.SolveTraced(sys, prog,
+		witness.Assignment{"v": v, "slack": slack, "max": max}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("nil witness")
+	}
+}
