@@ -12,6 +12,7 @@ package zkperf_bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
 	"zkperf/internal/groth16"
+	"zkperf/internal/provesvc"
 
 	"math/bits"
 
@@ -573,4 +575,55 @@ func BenchmarkAblationPointCompression(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkProveService measures warm-cache serving throughput of the
+// proving service on the paper's 2^10 exponentiation circuit, sweeping
+// the worker count: one prove request per iteration, issued from b.N
+// parallel clients. The first request per sub-benchmark pays
+// compile+setup; everything after hits the artifact cache, so this
+// tracks the steady-state p50/p99 the serving layer can sustain.
+func BenchmarkProveService(b *testing.B) {
+	src := circuit.ExponentiateSource(1 << 10)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := provesvc.New(provesvc.Config{
+				Workers:    workers,
+				QueueDepth: 1024, // deep enough that clients queue, not shed
+				Seed:       1,
+			})
+			svc.Start()
+			defer svc.Shutdown(context.Background())
+
+			eng, err := svc.Registry().EngineFor("bn128")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var x ff.Element
+			eng.Curve.Fr.SetUint64(&x, 7)
+			req := provesvc.ProveRequest{
+				Curve:  "bn128",
+				Source: src,
+				Inputs: witness.Assignment{"x": x},
+			}
+			// Warm the artifact cache outside the timed region.
+			if _, err := svc.Prove(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := svc.Prove(context.Background(), req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := svc.Stats()
+			b.ReportMetric(st.Stages["prove"].P50Ms, "p50-ms")
+			b.ReportMetric(st.Stages["prove"].P99Ms, "p99-ms")
+			b.ReportMetric(st.CacheHitRate, "cache-hit-rate")
+		})
+	}
 }

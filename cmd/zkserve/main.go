@@ -1,0 +1,87 @@
+// Command zkserve runs the proving service as an HTTP server — the
+// long-lived deployment shape that amortizes circuit compilation and
+// trusted setup across many prove/verify requests.
+//
+//	zkserve -addr :8090 -workers 4 -queue 256 -threads 1 -timeout 30s
+//
+// Endpoints (JSON bodies; see internal/provesvc):
+//
+//	POST /prove        prove a circuit with the given inputs
+//	POST /prove/batch  prove several requests in one call
+//	POST /verify       check a proof against a circuit's verifying key
+//	GET  /stats        counters, cache hit rate, per-stage latencies
+//	GET  /healthz      200 while accepting work, 503 while draining
+//
+// On SIGINT/SIGTERM the server stops intake, drains in-flight jobs until
+// -drain expires, and logs what was dropped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zkperf/internal/provesvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent proving workers")
+	queue := flag.Int("queue", 256, "job queue depth (beyond this, requests get 429)")
+	threads := flag.Int("threads", 1, "engine threads inside one prove/setup")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs")
+	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed (pin for reproducible runs)")
+	flag.Parse()
+
+	svc := provesvc.New(provesvc.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		ProveThreads:   *threads,
+		DefaultTimeout: *timeout,
+		Seed:           *seed,
+	})
+	svc.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: provesvc.NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job)",
+		*addr, *workers, *queue, *threads)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("zkserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("zkserve: draining (deadline %v)…", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("zkserve: http shutdown: %v", err)
+	}
+	rep, err := svc.Shutdown(drainCtx)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("zkserve: drain: %v", err)
+	}
+	if rep != nil {
+		log.Printf("zkserve: drained %d in-flight, dropped %d queued, force-cancelled %d",
+			rep.Drained, rep.Dropped, rep.Forced)
+		if rep.Dropped > 0 || rep.Forced > 0 {
+			fmt.Fprintf(os.Stderr, "zkserve: %d jobs did not complete\n", rep.Dropped+rep.Forced)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package curve
 
 import (
+	"context"
+
 	"zkperf/internal/ff"
+	"zkperf/internal/parallel"
 	"zkperf/internal/tower"
 )
 
@@ -102,28 +105,42 @@ func (t *G2Table) Mul(z *G2Jac, k *ff.Element) {
 // MulBatch computes [kᵢ]·Base for every scalar, in parallel worker chunks,
 // returning affine results (batch-normalized per chunk).
 func (t *G1Table) MulBatch(scalars []ff.Element, threads int) []G1Affine {
+	out, _ := t.MulBatchCtx(context.Background(), scalars, threads)
+	return out
+}
+
+// MulBatchCtx is the cancellable MulBatch: no new chunk starts once ctx is
+// done, and ctx.Err() is returned. On error the output is partial and must
+// be discarded.
+func (t *G1Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads int) ([]G1Affine, error) {
 	out := make([]G1Affine, len(scalars))
 	limbs := frToLimbs(t.c.Fr, scalars)
-	parallelChunks(len(scalars), threads, func(lo, hi int) {
+	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
 		jacs := make([]G1Jac, hi-lo)
 		for i := lo; i < hi; i++ {
 			t.tab.mul(&jacs[i-lo], limbs[i])
 		}
 		batchToAffine[ff.Element](t.c.g1ops, out[lo:hi], jacs)
 	})
-	return out
+	return out, err
 }
 
 // MulBatch computes [kᵢ]·Base for every scalar, in parallel worker chunks.
 func (t *G2Table) MulBatch(scalars []ff.Element, threads int) []G2Affine {
+	out, _ := t.MulBatchCtx(context.Background(), scalars, threads)
+	return out
+}
+
+// MulBatchCtx is the cancellable MulBatch; see (*G1Table).MulBatchCtx.
+func (t *G2Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads int) ([]G2Affine, error) {
 	out := make([]G2Affine, len(scalars))
 	limbs := frToLimbs(t.c.Fr, scalars)
-	parallelChunks(len(scalars), threads, func(lo, hi int) {
+	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
 		jacs := make([]G2Jac, hi-lo)
 		for i := lo; i < hi; i++ {
 			t.tab.mul(&jacs[i-lo], limbs[i])
 		}
 		batchToAffine[tower.E2](t.c.g2ops, out[lo:hi], jacs)
 	})
-	return out
+	return out, err
 }

@@ -1,6 +1,7 @@
 package curve
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -57,8 +58,10 @@ func windowDigit(limbs []uint64, w, c int) int {
 
 // msm is the generic Pippenger core. scalars are given as canonical
 // little-endian limb arrays of uniform length; threads bounds the number
-// of concurrent window workers (≤ 1 disables parallelism).
-func msm[E any](ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, threads int) Jac[E] {
+// of concurrent window workers (≤ 1 disables parallelism). Cancellation
+// is checked at window boundaries: once ctx is done no further window is
+// processed, and the (partial) result must be discarded by the caller.
+func msm[E any](ctx context.Context, ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, threads int) Jac[E] {
 	n := len(points)
 	var result Jac[E]
 	jacSetInfinity(ops, &result)
@@ -101,6 +104,9 @@ func msm[E any](ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, 
 
 	if threads <= 1 || numWindows == 1 {
 		for w := 0; w < numWindows; w++ {
+			if ctx.Err() != nil {
+				return result
+			}
 			processWindow(w)
 		}
 	} else {
@@ -114,6 +120,9 @@ func msm[E any](ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, 
 			go func() {
 				defer wg.Done()
 				for w := range work {
+					if ctx.Err() != nil {
+						continue // drain remaining windows without work
+					}
 					processWindow(w)
 				}
 			}()
@@ -123,6 +132,9 @@ func msm[E any](ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, 
 		}
 		close(work)
 		wg.Wait()
+	}
+	if ctx.Err() != nil {
+		return result
 	}
 
 	// Combine windows: result = Σ_w 2^{cw} · windowSums[w], evaluated
@@ -161,14 +173,30 @@ func frToLimbs(fr *ff.Field, scalars []ff.Element) [][]uint64 {
 
 // G1MSM computes Σ scalars[i]·points[i] in G1 with up to threads workers.
 func (c *Curve) G1MSM(points []G1Affine, scalars []ff.Element, threads int) G1Jac {
-	limbs := frToLimbs(c.Fr, scalars)
-	return msm[ff.Element](c.g1ops, points, limbs, c.Fr.Bits(), threads)
+	r, _ := c.G1MSMCtx(context.Background(), points, scalars, threads)
+	return r
 }
 
 // G2MSM computes Σ scalars[i]·points[i] in G2 with up to threads workers.
 func (c *Curve) G2MSM(points []G2Affine, scalars []ff.Element, threads int) G2Jac {
+	r, _ := c.G2MSMCtx(context.Background(), points, scalars, threads)
+	return r
+}
+
+// G1MSMCtx is the cancellable G1 MSM: window workers stop picking up new
+// Pippenger windows once ctx is done, and the call returns ctx.Err(). On
+// error the returned point is meaningless and must be discarded.
+func (c *Curve) G1MSMCtx(ctx context.Context, points []G1Affine, scalars []ff.Element, threads int) (G1Jac, error) {
 	limbs := frToLimbs(c.Fr, scalars)
-	return msm[tower.E2](c.g2ops, points, limbs, c.Fr.Bits(), threads)
+	r := msm[ff.Element](ctx, c.g1ops, points, limbs, c.Fr.Bits(), threads)
+	return r, ctx.Err()
+}
+
+// G2MSMCtx is the cancellable G2 MSM; see G1MSMCtx.
+func (c *Curve) G2MSMCtx(ctx context.Context, points []G2Affine, scalars []ff.Element, threads int) (G2Jac, error) {
+	limbs := frToLimbs(c.Fr, scalars)
+	r := msm[tower.E2](ctx, c.g2ops, points, limbs, c.Fr.Bits(), threads)
+	return r, ctx.Err()
 }
 
 // G1MSMNaive is the baseline double-and-add MSM (one scalar multiplication

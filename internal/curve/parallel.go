@@ -1,33 +1,11 @@
 package curve
 
-import "sync"
+import "zkperf/internal/parallel"
 
-// parallelChunks splits [0, n) into contiguous chunks and runs fn on each
-// with up to `threads` goroutines. threads ≤ 1 runs inline. Chunks are
-// sized so every worker gets at most one — fn is expected to be coarse.
+// parallelChunks is a thin alias for parallel.Chunks so the curve kernels
+// keep reading naturally; the shared fork-join implementation lives in
+// internal/parallel, where the proving service worker pool and future
+// kernels reuse it.
 func parallelChunks(n, threads int, fn func(lo, hi int)) {
-	if n == 0 {
-		return
-	}
-	if threads <= 1 || n == 1 {
-		fn(0, n)
-		return
-	}
-	if threads > n {
-		threads = n
-	}
-	chunk := (n + threads - 1) / threads
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.Chunks(n, threads, fn)
 }

@@ -10,6 +10,8 @@
 package groth16
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"zkperf/internal/curve"
@@ -53,6 +55,12 @@ type VerifyingKey struct {
 	// and the public variables (length 1+NumPublic).
 	IC []curve.G1Affine
 }
+
+// ErrInvalidProof is returned by Verify when the pairing check fails —
+// i.e. the proof is well-formed but does not verify. Callers (such as the
+// serving layer) use it to distinguish "invalid proof" from infrastructure
+// errors.
+var ErrInvalidProof = errors.New("groth16: invalid proof")
 
 // Proof is a Groth16 proof: two G1 points and one G2 point (the "hundreds
 // of bytes" succinctness the paper cites).
@@ -114,6 +122,14 @@ func NewEngine(c *curve.Curve) *Engine {
 // proving and verification keys. Randomness (the "toxic waste") comes from
 // rng; the deterministic generator keeps the analysis reproducible.
 func (e *Engine) Setup(sys *r1cs.System, rng *ff.RNG) (*ProvingKey, *VerifyingKey, error) {
+	return e.SetupCtx(context.Background(), sys, rng)
+}
+
+// SetupCtx is the cancellable Setup: ctx is threaded into the fixed-base
+// batch kernels (checked at chunk boundaries) and re-checked between
+// stages, so a cancelled caller stops the setup promptly instead of
+// computing a key nobody will use.
+func (e *Engine) SetupCtx(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (*ProvingKey, *VerifyingKey, error) {
 	fr := e.Curve.Fr
 	rec := e.Rec
 	defer e.attachCounters()()
@@ -193,23 +209,37 @@ func (e *Engine) Setup(sys *r1cs.System, rng *ff.RNG) (*ProvingKey, *VerifyingKe
 	pk := &ProvingKey{DomainSize: d.N}
 	vk := &VerifyingKey{}
 
-	fbG1 := func(name string, scalars []ff.Element) []curve.G1Affine {
+	fbG1 := func(name string, scalars []ff.Element) ([]curve.G1Affine, error) {
 		var out []curve.G1Affine
+		var ferr error
 		rec.PhaseRun("msm/fixed-base-"+name, len(scalars), func() {
-			out = e.g1Tab.MulBatch(scalars, e.threads())
+			out, ferr = e.g1Tab.MulBatchCtx(ctx, scalars, e.threads())
 		})
 		e.recFixedBase(name, len(scalars), false)
-		return out
+		return out, ferr
 	}
-	pk.A = fbG1("A", ev.U)
-	pk.B1 = fbG1("B1", ev.V)
+	if pk.A, err = fbG1("A", ev.U); err != nil {
+		return nil, nil, err
+	}
+	if pk.B1, err = fbG1("B1", ev.V); err != nil {
+		return nil, nil, err
+	}
 	rec.PhaseRun("msm/fixed-base-B2", len(ev.V), func() {
-		pk.B2 = e.g2Tab.MulBatch(ev.V, e.threads())
+		pk.B2, err = e.g2Tab.MulBatchCtx(ctx, ev.V, e.threads())
 	})
 	e.recFixedBase("B2", len(ev.V), true)
-	pk.K = fbG1("K", kScalars[nPub:])
-	pk.H = fbG1("H", hScalars)
-	vk.IC = fbG1("IC", kScalars[:nPub])
+	if err != nil {
+		return nil, nil, err
+	}
+	if pk.K, err = fbG1("K", kScalars[nPub:]); err != nil {
+		return nil, nil, err
+	}
+	if pk.H, err = fbG1("H", hScalars); err != nil {
+		return nil, nil, err
+	}
+	if vk.IC, err = fbG1("IC", kScalars[:nPub]); err != nil {
+		return nil, nil, err
+	}
 
 	var pj curve.G1Jac
 	var qj curve.G2Jac
@@ -236,6 +266,15 @@ func (e *Engine) Setup(sys *r1cs.System, rng *ff.RNG) (*ProvingKey, *VerifyingKe
 
 // Prove generates a proof for the witness under the proving key.
 func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng *ff.RNG) (*Proof, error) {
+	return e.ProveCtx(context.Background(), sys, pk, w, rng)
+}
+
+// ProveCtx is the cancellable Prove: ctx is threaded into the quotient
+// NTTs (checked at pass boundaries) and the four MSMs (checked at
+// Pippenger-window boundaries), so a cancelled or deadline-expired job
+// stops burning cores within one kernel chunk instead of running the
+// proof to completion.
+func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng *ff.RNG) (*Proof, error) {
 	fr := e.Curve.Fr
 	c := e.Curve
 	rec := e.Rec
@@ -260,9 +299,12 @@ func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng
 	// phase grain reflects the butterfly-block independence per layer.
 	var h []ff.Element
 	rec.PhaseRun("ntt/quotient", d.N/64+1, func() {
-		h = qap.QuotientEvals(sys, d, w.Full)
+		h, err = qap.QuotientEvalsCtx(ctx, sys, d, w.Full)
 	})
 	e.recQuotient(sys, d.N, d.LogN)
+	if err != nil {
+		return nil, err
+	}
 
 	// Blinding factors.
 	var r, s ff.Element
@@ -272,18 +314,22 @@ func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng
 	nPub := 1 + sys.NumPublic
 	wPriv := w.Full[nPub:]
 
-	msmG1 := func(name string, points []curve.G1Affine, scalars []ff.Element) curve.G1Jac {
+	msmG1 := func(name string, points []curve.G1Affine, scalars []ff.Element) (curve.G1Jac, error) {
 		var out curve.G1Jac
+		var merr error
 		grain := (fr.Bits() + 10) / 11 // ≈ number of Pippenger windows
 		rec.PhaseRun("msm/"+name, grain, func() {
-			out = c.G1MSM(points, scalars, e.threads())
+			out, merr = c.G1MSMCtx(ctx, points, scalars, e.threads())
 		})
 		e.recMSM(name, len(points), false)
-		return out
+		return out, merr
 	}
 
 	// A = α + Σ wᵢ·[uᵢ(τ)]₁ + r·δ
-	aAcc := msmG1("A", pk.A, w.Full)
+	aAcc, err := msmG1("A", pk.A, w.Full)
+	if err != nil {
+		return nil, err
+	}
 	var tj curve.G1Jac
 	c.G1FromAffine(&tj, &pk.Alpha1)
 	c.G1Add(&aAcc, &aAcc, &tj)
@@ -297,9 +343,12 @@ func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng
 	var bAcc2 curve.G2Jac
 	grain := (fr.Bits() + 10) / 11
 	rec.PhaseRun("msm/B2", grain, func() {
-		bAcc2 = c.G2MSM(pk.B2, w.Full, e.threads())
+		bAcc2, err = c.G2MSMCtx(ctx, pk.B2, w.Full, e.threads())
 	})
 	e.recMSM("B2", len(pk.B2), true)
+	if err != nil {
+		return nil, err
+	}
 	var tj2 curve.G2Jac
 	c.G2FromAffine(&tj2, &pk.Beta2)
 	c.G2Add(&bAcc2, &bAcc2, &tj2)
@@ -308,7 +357,10 @@ func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng
 	c.G2ScalarMul(&sDelta2, &delta2J, &s)
 	c.G2Add(&bAcc2, &bAcc2, &sDelta2)
 
-	bAcc1 := msmG1("B1", pk.B1, w.Full)
+	bAcc1, err := msmG1("B1", pk.B1, w.Full)
+	if err != nil {
+		return nil, err
+	}
 	c.G1FromAffine(&tj, &pk.Beta1)
 	c.G1Add(&bAcc1, &bAcc1, &tj)
 	var sDelta1 curve.G1Jac
@@ -316,8 +368,14 @@ func (e *Engine) Prove(sys *r1cs.System, pk *ProvingKey, w *witness.Witness, rng
 	c.G1Add(&bAcc1, &bAcc1, &sDelta1)
 
 	// C = Σ_priv wᵢ·Kᵢ + Σ hᵢ·Hᵢ + s·A + r·B1 − r·s·δ
-	cAcc := msmG1("K", pk.K, wPriv)
-	hAcc := msmG1("H", pk.H[:len(h)], h)
+	cAcc, err := msmG1("K", pk.K, wPriv)
+	if err != nil {
+		return nil, err
+	}
+	hAcc, err := msmG1("H", pk.H[:len(h)], h)
+	if err != nil {
+		return nil, err
+	}
 	c.G1Add(&cAcc, &cAcc, &hAcc)
 	var term curve.G1Jac
 	rec.PhaseRun("bigint/proof-assembly", 1, func() {
@@ -373,7 +431,7 @@ func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) err
 	})
 	e.recPairing(4)
 	if !ok {
-		return fmt.Errorf("groth16: invalid proof")
+		return ErrInvalidProof
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+// Package parallel provides the shared fork-join helpers used by the
+// curve kernels (fixed-base batches, MSM window workers) and the proving
+// service. Centralizing the splitting logic keeps every hot path on one
+// tested implementation and gives the cancellable variant a single home:
+// ChunksCtx is what lets an abandoned proving job stop burning cores at
+// the next chunk boundary instead of running to completion.
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunks splits [0, n) into contiguous chunks and runs fn on each with up
+// to threads goroutines. threads ≤ 1 runs inline. Chunks are sized so
+// every worker gets at most one — fn is expected to be coarse.
+func Chunks(n, threads int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// chunksPerWorker oversubscribes the cancellable splitter so each worker
+// re-checks ctx several times per call rather than once.
+const chunksPerWorker = 4
+
+// ChunksCtx is the cancellable variant of Chunks. Work is split finer
+// (up to chunksPerWorker chunks per worker) and handed out from a shared
+// dispenser; once ctx is cancelled no new chunk starts. Chunks already in
+// progress run to completion — fn is never interrupted mid-range — so the
+// cancellation latency is bounded by one chunk of work. Returns ctx.Err()
+// if the context was cancelled, nil otherwise.
+func ChunksCtx(ctx context.Context, n, threads int, fn func(lo, hi int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if threads > n {
+		threads = n
+	}
+	nChunks := chunksPerWorker
+	if threads > 1 {
+		nChunks = threads * chunksPerWorker
+	}
+	if nChunks > n {
+		nChunks = n
+	}
+	chunk := (n + nChunks - 1) / nChunks
+
+	if threads <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return ctx.Err()
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// covered checks that the chunks exactly tile [0, n).
+func covered(t *testing.T, n int, seen []int32) {
+	t.Helper()
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, c)
+		}
+	}
+	_ = n
+}
+
+func TestChunksCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, threads := range []int{1, 2, 4, 100} {
+			seen := make([]int32, n)
+			Chunks(n, threads, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			covered(t, n, seen)
+		}
+	}
+}
+
+func TestChunksCtxCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, threads := range []int{1, 2, 4, 100} {
+			seen := make([]int32, n)
+			err := ChunksCtx(context.Background(), n, threads, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d threads=%d: %v", n, threads, err)
+			}
+			covered(t, n, seen)
+		}
+	}
+}
+
+func TestChunksCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ChunksCtx(ctx, 1000, 1, func(lo, hi int) { calls++ })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times after pre-cancelled ctx, want 0", calls)
+	}
+}
+
+func TestChunksCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	var once sync.Once
+	err := ChunksCtx(ctx, 1<<16, 4, func(lo, hi int) {
+		ran.Add(int64(hi - lo))
+		once.Do(cancel) // cancel after the first chunk completes
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// With 4 workers × chunksPerWorker chunks, at most the chunks already
+	// in flight when cancel fired can complete.
+	if ran.Load() == 1<<16 {
+		t.Fatal("all work completed despite cancellation")
+	}
+}

@@ -1,0 +1,262 @@
+package provesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+	"zkperf/internal/witness"
+)
+
+// The HTTP front-end: stdlib-only JSON endpoints over the service.
+//
+//	POST /prove        {"curve","circuit","inputs":{name:value},"timeout_ms"}
+//	POST /prove/batch  {"requests":[<prove body>, …]}
+//	POST /verify       {"curve","circuit","proof","public":[values]}
+//	GET  /stats        counters, cache hit rate, per-stage p50/p95/p99
+//	GET  /healthz      200 while accepting work, 503 while draining
+//
+// Field elements travel as decimal or 0x-hex strings; proofs as hex of
+// the compressed serialization.
+
+type proveBody struct {
+	Curve     string            `json:"curve"`
+	Circuit   string            `json:"circuit"`
+	Inputs    map[string]string `json:"inputs"`
+	TimeoutMs int64             `json:"timeout_ms"`
+}
+
+type proveReply struct {
+	Proof       string   `json:"proof"`
+	Public      []string `json:"public"` // circuit public wires, constant wire omitted
+	QueueWaitMs float64  `json:"queue_wait_ms"`
+	WitnessMs   float64  `json:"witness_ms"`
+	ProveMs     float64  `json:"prove_ms"`
+	TotalMs     float64  `json:"total_ms"`
+}
+
+type batchBody struct {
+	Requests []proveBody `json:"requests"`
+}
+
+type batchItem struct {
+	*proveReply
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
+}
+
+type verifyBody struct {
+	Curve   string   `json:"curve"`
+	Circuit string   `json:"circuit"`
+	Proof   string   `json:"proof"`
+	Public  []string `json:"public"`
+}
+
+// NewHandler wraps the service in an http.Handler.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /prove", s.handleProve)
+	mux.HandleFunc("POST /prove/batch", s.handleProveBatch)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// httpStatus maps service errors onto status codes: load shedding is 429,
+// draining 503, deadline 504, bad circuits/inputs 400.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDropped):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	writeJSON(w, status, map[string]any{"error": err.Error(), "code": status})
+}
+
+// toRequest converts the wire form to a ProveRequest, parsing inputs in
+// the curve's scalar field.
+func (s *Service) toRequest(b proveBody) (ProveRequest, error) {
+	req := ProveRequest{
+		Curve:   b.Curve,
+		Source:  b.Circuit,
+		Timeout: time.Duration(b.TimeoutMs) * time.Millisecond,
+	}
+	if req.Curve == "" {
+		req.Curve = "bn128"
+	}
+	if req.Source == "" {
+		return req, fmt.Errorf("provesvc: missing circuit source")
+	}
+	eng, err := s.reg.EngineFor(req.Curve)
+	if err != nil {
+		return req, err
+	}
+	req.Inputs = make(witness.Assignment, len(b.Inputs))
+	for name, val := range b.Inputs {
+		var e ff.Element
+		if _, err := eng.Curve.Fr.SetString(&e, val); err != nil {
+			return req, fmt.Errorf("provesvc: input %q: %w", name, err)
+		}
+		req.Inputs[name] = e
+	}
+	return req, nil
+}
+
+func (s *Service) toReply(res *ProveResult) (*proveReply, error) {
+	var buf bytes.Buffer
+	if err := res.Proof.Serialize(&buf, res.Artifact.Engine.Curve); err != nil {
+		return nil, err
+	}
+	fr := res.Artifact.Engine.Curve.Fr
+	pub := make([]string, 0, len(res.Public)-1)
+	for i := 1; i < len(res.Public); i++ { // skip the constant wire
+		pub = append(pub, fr.String(&res.Public[i]))
+	}
+	return &proveReply{
+		Proof:       hex.EncodeToString(buf.Bytes()),
+		Public:      pub,
+		QueueWaitMs: float64(res.QueueWait) / 1e6,
+		WitnessMs:   float64(res.WitnessTime) / 1e6,
+		ProveMs:     float64(res.ProveTime) / 1e6,
+		TotalMs:     float64(res.Total) / 1e6,
+	}, nil
+}
+
+func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
+	var body proveBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	req, err := s.toRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.Prove(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply, err := s.toReply(res)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
+	var body batchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	reqs := make([]ProveRequest, len(body.Requests))
+	parseErrs := make([]error, len(body.Requests))
+	for i, b := range body.Requests {
+		reqs[i], parseErrs[i] = s.toRequest(b)
+	}
+	results, errs := s.ProveBatch(r.Context(), reqs)
+	items := make([]batchItem, len(reqs))
+	for i := range items {
+		err := parseErrs[i]
+		if err == nil {
+			err = errs[i]
+		}
+		if err == nil && results[i] != nil {
+			items[i].proveReply, err = s.toReply(results[i])
+		}
+		if err != nil {
+			items[i].Error = err.Error()
+			items[i].Code = httpStatus(err)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var body verifyBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	if body.Curve == "" {
+		body.Curve = "bn128"
+	}
+	eng, err := s.reg.EngineFor(body.Curve)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	raw, err := hex.DecodeString(body.Proof)
+	if err != nil {
+		writeError(w, fmt.Errorf("provesvc: bad proof hex: %w", err))
+		return
+	}
+	var proof groth16.Proof
+	if err := proof.Deserialize(bytes.NewReader(raw), eng.Curve); err != nil {
+		writeError(w, fmt.Errorf("provesvc: bad proof: %w", err))
+		return
+	}
+	fr := eng.Curve.Fr
+	public := make([]ff.Element, len(body.Public)+1)
+	fr.One(&public[0])
+	for i, v := range body.Public {
+		if _, err := fr.SetString(&public[i+1], v); err != nil {
+			writeError(w, fmt.Errorf("provesvc: public[%d]: %w", i, err))
+			return
+		}
+	}
+	valid, err := s.Verify(r.Context(), VerifyRequest{
+		Curve:  body.Curve,
+		Source: body.Circuit,
+		Proof:  &proof,
+		Public: public,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"valid": valid})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

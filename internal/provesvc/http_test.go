@@ -1,0 +1,195 @@
+package provesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"zkperf/internal/circuit"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestHTTPProveVerifyStats(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 11})
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	prove := map[string]any{
+		"curve":   "bn128",
+		"circuit": src,
+		"inputs":  map[string]string{"x": "3"},
+	}
+
+	// First prove pays compile+setup; the second must hit the cache.
+	resp, out := postJSON(t, ts.URL+"/prove", prove)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prove status = %d, body %v", resp.StatusCode, out)
+	}
+	proofHex, _ := out["proof"].(string)
+	if proofHex == "" {
+		t.Fatal("prove response has no proof")
+	}
+	publicAny, _ := out["public"].([]any)
+	if len(publicAny) != 1 {
+		t.Fatalf("public = %v, want one value (y)", publicAny)
+	}
+	// y = 3^16 = 43046721.
+	if publicAny[0] != "43046721" {
+		t.Errorf("y = %v, want 43046721", publicAny[0])
+	}
+	if resp, _ := postJSON(t, ts.URL+"/prove", prove); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second prove status = %d", resp.StatusCode)
+	}
+
+	// Verify round-trips the proof and public values as the client saw them.
+	verify := map[string]any{
+		"curve":   "bn128",
+		"circuit": src,
+		"proof":   proofHex,
+		"public":  []string{"43046721"},
+	}
+	resp, out = postJSON(t, ts.URL+"/verify", verify)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["valid"] != true {
+		t.Fatalf("verify = %v, want valid", out)
+	}
+	verify["public"] = []string{"999"}
+	if _, out = postJSON(t, ts.URL+"/verify", verify); out["valid"] != false {
+		t.Fatalf("verify with wrong public = %v, want invalid", out)
+	}
+
+	// Stats reflect the traffic: two proves, one setup, cache hits > 0.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 2 {
+		t.Errorf("completed = %d, want 2", st.Completed)
+	}
+	if st.CacheHits == 0 {
+		t.Error("cache hits = 0, want > 0 after repeated proves")
+	}
+	if st.Setups != 1 {
+		t.Errorf("setups = %d, want 1", st.Setups)
+	}
+
+	// Bad requests are 400s.
+	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{"circuit": "circuit Broken {"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken circuit status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 13})
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	body := map[string]any{"requests": []map[string]any{
+		{"circuit": src, "inputs": map[string]string{"x": "2"}},
+		{"circuit": src, "inputs": map[string]string{"x": "3"}},
+		{"circuit": src, "inputs": map[string]string{}}, // missing input
+	}}
+	resp, out := postJSON(t, ts.URL+"/prove/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d items, want 3", len(results))
+	}
+	for i := 0; i < 2; i++ {
+		item := results[i].(map[string]any)
+		if item["proof"] == "" || item["error"] != nil {
+			t.Errorf("batch[%d] = %v, want a proof", i, item)
+		}
+	}
+	last := results[2].(map[string]any)
+	if last["error"] == nil {
+		t.Error("batch[2] with missing input should carry an error")
+	}
+}
+
+func TestHTTPHealthAndQueueFullMapping(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, Seed: 17})
+	s.Start()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	if got := httpStatus(ErrQueueFull); got != http.StatusTooManyRequests {
+		t.Errorf("ErrQueueFull maps to %d, want 429", got)
+	}
+	if got := httpStatus(ErrDraining); got != http.StatusServiceUnavailable {
+		t.Errorf("ErrDraining maps to %d, want 503", got)
+	}
+	if got := httpStatus(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Errorf("DeadlineExceeded maps to %d, want 504", got)
+	}
+
+	if _, err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+
+	// Submissions after shutdown map to 503.
+	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{
+		"circuit": circuit.ExponentiateSource(8),
+		"inputs":  map[string]string{"x": "2"},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("prove while draining = %d, want 503", resp.StatusCode)
+	}
+}

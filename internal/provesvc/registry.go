@@ -1,0 +1,196 @@
+package provesvc
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// CircuitKey identifies a cached artifact set: the same circuit source on
+// a different curve is a different key.
+type CircuitKey struct {
+	SourceHash [sha256.Size]byte
+	Curve      string
+}
+
+// Artifact bundles everything the expensive front half of the workflow
+// produces for one circuit — compiled constraint system, solver program,
+// and the Groth16 keys — so the serving hot path is witness + prove only.
+// Artifacts are immutable once published and shared across workers.
+type Artifact struct {
+	Key    CircuitKey
+	Engine *groth16.Engine
+	Sys    *r1cs.System
+	Prog   *witness.Program
+	PK     *groth16.ProvingKey
+	VK     *groth16.VerifyingKey
+
+	CompileTime time.Duration
+	SetupTime   time.Duration
+}
+
+// registryEntry is the singleflight slot for one key: the first requester
+// builds, everyone else waits on ready.
+type registryEntry struct {
+	ready chan struct{} // closed when art/err are set
+	art   *Artifact
+	err   error
+}
+
+// Registry caches {R1CS, ProvingKey, VerifyingKey} per (circuit-source
+// hash, curve). Concurrent Gets for an uncached key are deduplicated:
+// exactly one goroutine runs compile+setup, the rest block until it
+// publishes. The build runs detached from the triggering request's
+// context — a cancelled client must not poison the cache for the
+// requests queued behind it.
+type Registry struct {
+	threads  int    // engine parallelism for setup and prove
+	seedBase uint64 // toxic-waste RNG seed base
+	seedCtr  atomic.Uint64
+
+	mu      sync.Mutex
+	entries map[CircuitKey]*registryEntry
+	engines map[string]*groth16.Engine
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	setups atomic.Uint64 // actual compile+setup runs (the singleflight invariant)
+}
+
+// NewRegistry creates an empty registry. threads bounds the parallelism of
+// the Groth16 engines it creates; seed seeds the setup RNGs (vary it in
+// production, pin it for reproducible experiments).
+func NewRegistry(threads int, seed uint64) *Registry {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Registry{
+		threads:  threads,
+		seedBase: seed,
+		entries:  make(map[CircuitKey]*registryEntry),
+		engines:  make(map[string]*groth16.Engine),
+	}
+}
+
+// Hits, Misses, and Setups expose the cache counters. A "hit" is any Get
+// that found an entry, including waiters that piggybacked on an in-flight
+// build; Setups counts actual compile+setup executions.
+func (r *Registry) Hits() uint64   { return r.hits.Load() }
+func (r *Registry) Misses() uint64 { return r.misses.Load() }
+func (r *Registry) Setups() uint64 { return r.setups.Load() }
+
+// EngineFor returns the shared Groth16 engine for a curve, creating it
+// (generator tables included) on first use.
+func (r *Registry) EngineFor(curveName string) (*groth16.Engine, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engineForLocked(curveName)
+}
+
+func (r *Registry) engineForLocked(curveName string) (*groth16.Engine, error) {
+	if e, ok := r.engines[curveName]; ok {
+		return e, nil
+	}
+	c := curve.NewCurve(curveName)
+	if c == nil {
+		return nil, fmt.Errorf("provesvc: unknown curve %q (use bn128 or bls12-381)", curveName)
+	}
+	e := groth16.NewEngine(c)
+	e.Threads = r.threads
+	r.engines[curveName] = e
+	return e, nil
+}
+
+// Get returns the cached artifact for (curveName, source), building it on
+// first use. ctx only bounds this caller's wait: an in-flight build keeps
+// running for the benefit of other requesters even if ctx is cancelled.
+func (r *Registry) Get(ctx context.Context, curveName, source string) (*Artifact, error) {
+	key := CircuitKey{SourceHash: sha256.Sum256([]byte(source)), Curve: curveName}
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.mu.Unlock()
+		r.hits.Add(1)
+		select {
+		case <-e.ready:
+			return e.art, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &registryEntry{ready: make(chan struct{})}
+	r.entries[key] = e
+	r.mu.Unlock()
+	r.misses.Add(1)
+
+	go r.build(key, curveName, source, e)
+
+	select {
+	case <-e.ready:
+		return e.art, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// build runs compile → setup for one key and publishes the result. Errors
+// are cached too: compilation is deterministic, so every retry of a broken
+// circuit would fail identically.
+func (r *Registry) build(key CircuitKey, curveName, source string, e *registryEntry) {
+	defer close(e.ready)
+
+	eng, err := r.EngineFor(curveName)
+	if err != nil {
+		e.err = err
+		return
+	}
+
+	r.setups.Add(1)
+	t0 := time.Now()
+	sys, prog, err := circuit.CompileSource(eng.Curve.Fr, source)
+	if err != nil {
+		e.err = fmt.Errorf("provesvc: compile: %w", err)
+		return
+	}
+	compileTime := time.Since(t0)
+
+	t1 := time.Now()
+	rng := ff.NewRNG(mix64(r.seedBase + r.seedCtr.Add(1)))
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		e.err = fmt.Errorf("provesvc: setup: %w", err)
+		return
+	}
+
+	e.art = &Artifact{
+		Key:         key,
+		Engine:      eng,
+		Sys:         sys,
+		Prog:        prog,
+		PK:          pk,
+		VK:          vk,
+		CompileTime: compileTime,
+		SetupTime:   time.Since(t1),
+	}
+}
+
+// mix64 is SplitMix64's finalizer — it turns a sequential counter into a
+// well-spread RNG seed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

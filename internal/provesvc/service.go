@@ -1,0 +1,481 @@
+// Package provesvc is the serving layer of the repository: a long-lived,
+// embeddable proving service that amortizes the expensive front half of
+// the zk-SNARK workflow (compile + trusted setup) across many prove and
+// verify requests — the deployment shape the paper's stage breakdown
+// argues for, where setup dominates one-shot runs but vanishes per-proof
+// once cached.
+//
+// The service is a bounded job queue in front of a fixed worker pool. A
+// circuit Registry deduplicates concurrent setups and caches artifacts;
+// saturation is shed explicitly with ErrQueueFull (HTTP 429) instead of
+// queueing unboundedly; every job carries a context so client
+// cancellations and deadlines propagate into the MSM/NTT kernels; and
+// Shutdown drains in-flight work with a deadline and reports what was
+// dropped.
+package provesvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+	"zkperf/internal/witness"
+)
+
+var (
+	// ErrQueueFull is returned when the job queue is saturated; the HTTP
+	// layer maps it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("provesvc: job queue full")
+	// ErrDraining is returned for submissions after Shutdown started; the
+	// HTTP layer maps it to 503 Service Unavailable.
+	ErrDraining = errors.New("provesvc: service is draining")
+	// ErrDropped is the failure recorded on jobs that were still queued
+	// when Shutdown ran — they never started executing.
+	ErrDropped = errors.New("provesvc: job dropped during shutdown")
+)
+
+// Config sizes the service. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent proving workers
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-started jobs
+	// (default 64). When full, submissions fail fast with ErrQueueFull.
+	QueueDepth int
+	// ProveThreads is the engine parallelism *inside* one prove/setup
+	// (default 1): Workers×ProveThreads ≈ cores keeps the box busy
+	// without oversubscription collapse.
+	ProveThreads int
+	// DefaultTimeout caps each job's execution unless the request
+	// overrides it; 0 disables the default deadline.
+	DefaultTimeout time.Duration
+	// Seed seeds the setup and blinding RNGs. Pin it for reproducible
+	// experiments; vary it in production.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.ProveThreads < 1 {
+		c.ProveThreads = 1
+	}
+	return c
+}
+
+// ProveRequest asks the service for one proof.
+type ProveRequest struct {
+	// Curve names the pairing curve: "bn128" (default) or "bls12-381".
+	Curve string
+	// Source is the circuit source text; it doubles as the cache key.
+	Source string
+	// Inputs assigns the circuit's input wires.
+	Inputs witness.Assignment
+	// Timeout overrides the service's default job deadline when > 0.
+	Timeout time.Duration
+}
+
+// ProveResult is a completed proof plus its public wires and stage
+// timings.
+type ProveResult struct {
+	Proof    *groth16.Proof
+	Public   []ff.Element // [1, public wires] — what Verify consumes
+	Artifact *Artifact
+
+	QueueWait   time.Duration
+	WitnessTime time.Duration
+	ProveTime   time.Duration
+	Total       time.Duration
+}
+
+// VerifyRequest asks the service to check a proof against a circuit's
+// cached verifying key.
+type VerifyRequest struct {
+	Curve  string
+	Source string
+	Proof  *groth16.Proof
+	// Public is the public witness including the leading constant 1 (as
+	// returned in ProveResult.Public).
+	Public []ff.Element
+}
+
+// job is one queued prove request.
+type job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   func() bool // detaches the shutdown watcher
+	req    ProveRequest
+	enq    time.Time
+
+	res  *ProveResult
+	err  error
+	done chan struct{}
+}
+
+func (j *job) finish(res *ProveResult, err error) {
+	j.res, j.err = res, err
+	j.cancel()
+	j.stop()
+	close(j.done)
+}
+
+// DrainReport says what Shutdown did.
+type DrainReport struct {
+	// Drained is the number of in-flight jobs at drain start that were
+	// allowed to finish.
+	Drained int
+	// Dropped is the number of queued jobs discarded without running.
+	Dropped int
+	// Forced is the number of in-flight jobs cancelled because the drain
+	// deadline expired before they finished.
+	Forced int
+}
+
+// Service is the concurrent proving service.
+type Service struct {
+	cfg Config
+	reg *Registry
+	met metrics
+
+	jobs chan *job
+	done chan struct{} // closed by Shutdown: workers exit when idle
+
+	baseCtx    context.Context // cancelled to force-abort in-flight jobs
+	baseCancel context.CancelFunc
+
+	mu       sync.RWMutex // guards draining vs. enqueue
+	draining bool
+
+	workerWG sync.WaitGroup
+	seedCtr  atomic.Uint64
+
+	// hookJobStart, when set before Start, runs at the top of every job
+	// execution; tests use it to hold workers at a barrier.
+	hookJobStart func()
+}
+
+// New creates a service; call Start before submitting work.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:        cfg,
+		reg:        NewRegistry(cfg.ProveThreads, cfg.Seed),
+		jobs:       make(chan *job, cfg.QueueDepth),
+		done:       make(chan struct{}),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Registry exposes the circuit cache (e.g. to pre-warm circuits at boot).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+}
+
+// Prove submits a request and blocks until the proof is ready, the
+// request's deadline expires, ctx is cancelled, or the service sheds it.
+// Queue saturation fails fast with ErrQueueFull.
+func (s *Service) Prove(ctx context.Context, req ProveRequest) (*ProveResult, error) {
+	j, err := s.enqueue(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		// Abandon the job: cancelling its context makes the worker (or
+		// the kernels, if already running) bail out at the next check.
+		j.cancel()
+		return nil, ctx.Err()
+	}
+}
+
+// ProveBatch submits several requests at once and waits for all of them.
+// Admission is per-item: results[i]/errs[i] correspond to reqs[i], and
+// items that did not fit in the queue fail with ErrQueueFull while the
+// rest proceed.
+func (s *Service) ProveBatch(ctx context.Context, reqs []ProveRequest) ([]*ProveResult, []error) {
+	results := make([]*ProveResult, len(reqs))
+	errs := make([]error, len(reqs))
+	jobs := make([]*job, len(reqs))
+	for i, req := range reqs {
+		jobs[i], errs[i] = s.enqueue(ctx, req)
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case <-j.done:
+			results[i], errs[i] = j.res, j.err
+		case <-ctx.Done():
+			j.cancel()
+			errs[i] = ctx.Err()
+		}
+	}
+	return results, errs
+}
+
+func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
+	if req.Curve == "" {
+		req.Curve = "bn128"
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		jctx, cancel = context.WithCancel(ctx)
+	}
+	// A forced shutdown (drain deadline expired) aborts this job too.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+
+	j := &job{
+		ctx:    jctx,
+		cancel: cancel,
+		stop:   stop,
+		req:    req,
+		enq:    time.Now(),
+		done:   make(chan struct{}),
+	}
+
+	// The RLock is held across the non-blocking send so Shutdown (which
+	// takes the write lock before draining the queue) can never miss a
+	// concurrent enqueue.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		cancel()
+		stop()
+		s.met.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.met.accepted.Add(1)
+		return j, nil
+	default:
+		cancel()
+		stop()
+		s.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+func (s *Service) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case j := <-s.jobs:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job on the calling worker goroutine.
+func (s *Service) run(j *job) {
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	if h := s.hookJobStart; h != nil {
+		h()
+	}
+
+	wait := time.Since(j.enq)
+	s.met.queueWait.Observe(wait)
+
+	if err := j.ctx.Err(); err != nil {
+		s.met.canceled.Add(1)
+		j.finish(nil, err)
+		return
+	}
+
+	art, err := s.reg.Get(j.ctx, j.req.Curve, j.req.Source)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+
+	t0 := time.Now()
+	w, err := witness.Solve(art.Sys, art.Prog, j.req.Inputs)
+	if err != nil {
+		s.fail(j, fmt.Errorf("provesvc: witness: %w", err))
+		return
+	}
+	witnessTime := time.Since(t0)
+	s.met.witnessLat.Observe(witnessTime)
+
+	t1 := time.Now()
+	rng := ff.NewRNG(mix64(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * s.seedCtr.Add(1))))
+	proof, err := art.Engine.ProveCtx(j.ctx, art.Sys, art.PK, w, rng)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	proveTime := time.Since(t1)
+	s.met.proveLat.Observe(proveTime)
+
+	total := time.Since(j.enq)
+	s.met.totalLat.Observe(total)
+	s.met.completed.Add(1)
+	j.finish(&ProveResult{
+		Proof:       proof,
+		Public:      w.Public,
+		Artifact:    art,
+		QueueWait:   wait,
+		WitnessTime: witnessTime,
+		ProveTime:   proveTime,
+		Total:       total,
+	}, nil)
+}
+
+// fail records a job failure, classifying cancellations separately.
+func (s *Service) fail(j *job, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.met.canceled.Add(1)
+	} else {
+		s.met.failed.Add(1)
+	}
+	j.finish(nil, err)
+}
+
+// Verify checks a proof against the circuit's cached verifying key. It
+// runs inline on the caller's goroutine — verification is milliseconds,
+// not worth a queue slot. Returns (false, nil) for a well-formed but
+// invalid proof and (false, err) for infrastructure errors.
+func (s *Service) Verify(ctx context.Context, req VerifyRequest) (bool, error) {
+	if req.Curve == "" {
+		req.Curve = "bn128"
+	}
+	if req.Proof == nil {
+		return false, fmt.Errorf("provesvc: verify: missing proof")
+	}
+	art, err := s.reg.Get(ctx, req.Curve, req.Source)
+	if err != nil {
+		return false, err
+	}
+	t0 := time.Now()
+	err = art.Engine.Verify(art.VK, req.Proof, req.Public)
+	s.met.verifyLat.Observe(time.Since(t0))
+	s.met.verified.Add(1)
+	if errors.Is(err, groth16.ErrInvalidProof) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Snapshot {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	hits, misses := s.reg.Hits(), s.reg.Misses()
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return Snapshot{
+		Accepted:  s.met.accepted.Load(),
+		Rejected:  s.met.rejected.Load(),
+		Completed: s.met.completed.Load(),
+		Failed:    s.met.failed.Load(),
+		Canceled:  s.met.canceled.Load(),
+		Dropped:   s.met.dropped.Load(),
+		Verified:  s.met.verified.Load(),
+
+		Workers:    s.cfg.Workers,
+		InFlight:   int(s.met.inFlight.Load()),
+		QueueDepth: len(s.jobs),
+		QueueCap:   cap(s.jobs),
+		Draining:   draining,
+
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheHitRate: hitRate,
+		Setups:       s.reg.Setups(),
+
+		Stages: map[string]LatencySummary{
+			"queue_wait": s.met.queueWait.summary(),
+			"witness":    s.met.witnessLat.summary(),
+			"prove":      s.met.proveLat.summary(),
+			"total":      s.met.totalLat.summary(),
+			"verify":     s.met.verifyLat.summary(),
+		},
+	}
+}
+
+// Shutdown gracefully stops the service: it rejects new submissions,
+// discards still-queued jobs (failing them with ErrDropped), lets
+// in-flight jobs finish until ctx expires, then force-cancels whatever is
+// left. It returns a report of what happened; safe to call once.
+func (s *Service) Shutdown(ctx context.Context) (*DrainReport, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errors.New("provesvc: already shut down")
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	rep := &DrainReport{}
+
+	// Discard queued jobs. Workers may race us for them — jobs they win
+	// become in-flight and are drained below, which only shrinks Dropped.
+	for {
+		select {
+		case j := <-s.jobs:
+			s.met.dropped.Add(1)
+			rep.Dropped++
+			j.finish(nil, ErrDropped)
+		default:
+			goto emptied
+		}
+	}
+emptied:
+	rep.Drained = int(s.met.inFlight.Load())
+	close(s.done) // idle workers exit; busy ones finish their job first
+
+	finished := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		rep.Forced = int(s.met.inFlight.Load())
+		rep.Drained -= rep.Forced
+		s.baseCancel() // cancel in-flight job contexts
+		<-finished     // kernels bail at the next chunk boundary
+		err = ctx.Err()
+	}
+	s.baseCancel()
+	return rep, err
+}

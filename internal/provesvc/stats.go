@@ -1,0 +1,122 @@
+package provesvc
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets bounds the log₂ latency histogram: bucket 40 covers ~18
+// minutes in microseconds, far beyond any sane job deadline.
+const histBuckets = 41
+
+// histogram is a lock-free log₂-bucketed latency histogram. Sample d
+// lands in bucket bits.Len64(d in µs), so bucket i covers [2^{i−1}, 2^i)
+// microseconds. Quantiles are read from a snapshot and reported as the
+// bucket's upper bound — a ≤2× overestimate, which is the right bias for
+// a serving SLO readout.
+type histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// LatencySummary is the JSON-friendly digest of one histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (h *histogram) summary() LatencySummary {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := LatencySummary{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanMs = float64(h.sumNs.Load()) / float64(total) / 1e6
+	quantile := func(p float64) float64 {
+		target := uint64(p * float64(total))
+		if target < 1 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				// Upper bound of bucket i in ms: 2^i µs.
+				return float64(uint64(1)<<uint(i)) / 1e3
+			}
+		}
+		return float64(uint64(1)<<uint(histBuckets-1)) / 1e3
+	}
+	s.P50Ms = quantile(0.50)
+	s.P95Ms = quantile(0.95)
+	s.P99Ms = quantile(0.99)
+	return s
+}
+
+// metrics holds the service's atomic counters and per-stage histograms.
+// Everything here is updated without locks so the hot path never contends
+// with a /stats scrape.
+type metrics struct {
+	accepted  atomic.Uint64 // jobs admitted to the queue
+	rejected  atomic.Uint64 // ErrQueueFull + ErrDraining rejections
+	completed atomic.Uint64 // jobs that produced a proof
+	failed    atomic.Uint64 // jobs that errored (compile, witness, prove)
+	canceled  atomic.Uint64 // jobs aborted by cancellation or deadline
+	dropped   atomic.Uint64 // queued jobs discarded during shutdown
+	verified  atomic.Uint64 // verify requests served (valid or not)
+	inFlight  atomic.Int64  // jobs currently executing on a worker
+
+	queueWait  histogram // enqueue → worker pickup
+	witnessLat histogram
+	proveLat   histogram
+	totalLat   histogram // enqueue → completion, successful jobs only
+	verifyLat  histogram
+}
+
+// Snapshot is a point-in-time view of the service counters, safe to
+// serialize as the /stats response.
+type Snapshot struct {
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Dropped   uint64 `json:"dropped"`
+	Verified  uint64 `json:"verified"`
+
+	Workers    int  `json:"workers"`
+	InFlight   int  `json:"in_flight"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Draining   bool `json:"draining"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Setups       uint64  `json:"setups"`
+
+	Stages map[string]LatencySummary `json:"stages"`
+}

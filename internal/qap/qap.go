@@ -10,6 +10,7 @@
 package qap
 
 import (
+	"context"
 	"fmt"
 
 	"zkperf/internal/ff"
@@ -87,6 +88,15 @@ func EvalAtPoint(sys *r1cs.System, d *poly.Domain, tau *ff.Element) (*Evaluation
 // etc. The division by Z happens on a multiplicative coset where
 // Z(g·ω^k) = g^N − 1 is a nonzero constant.
 func QuotientEvals(sys *r1cs.System, d *poly.Domain, w []ff.Element) []ff.Element {
+	h, _ := QuotientEvalsCtx(context.Background(), sys, d, w)
+	return h
+}
+
+// QuotientEvalsCtx is the cancellable QuotientEvals: ctx is checked at the
+// NTT-pass boundaries (each pass is an O(N·logN) butterfly network), so an
+// abandoned proving job stops within one pass. On cancellation it returns
+// ctx.Err() and a nil slice.
+func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w []ff.Element) ([]ff.Element, error) {
 	fr := sys.Fr
 	n := d.N
 	a := make([]ff.Element, n)
@@ -99,13 +109,22 @@ func QuotientEvals(sys *r1cs.System, d *poly.Domain, w []ff.Element) []ff.Elemen
 		c[j] = sys.EvalLC(cons.O, w)
 	}
 
-	// To coefficient form, then to the coset.
-	d.INTT(a)
-	d.INTT(b)
-	d.INTT(c)
-	d.CosetNTT(a)
-	d.CosetNTT(b)
-	d.CosetNTT(c)
+	// To coefficient form, then to the coset. Seven transform passes in
+	// total (counting the final CosetINTT); cancellation is re-checked
+	// before each one.
+	for _, pass := range []func(){
+		func() { d.INTT(a) },
+		func() { d.INTT(b) },
+		func() { d.INTT(c) },
+		func() { d.CosetNTT(a) },
+		func() { d.CosetNTT(b) },
+		func() { d.CosetNTT(c) },
+	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pass()
+	}
 
 	// On the coset, Z(g·ω^k) = g^N·(ω^N)^k − 1 = g^N − 1 (constant).
 	var zCoset ff.Element
@@ -125,6 +144,9 @@ func QuotientEvals(sys *r1cs.System, d *poly.Domain, w []ff.Element) []ff.Elemen
 		fr.Sub(&t, &t, &c[k])
 		fr.Mul(&h[k], &t, &zInv)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.CosetINTT(h)
-	return h[:n-1]
+	return h[:n-1], nil
 }
