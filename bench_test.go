@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"math/big"
+	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 	"zkperf/internal/core"
 	"zkperf/internal/curve"
@@ -587,20 +588,20 @@ func BenchmarkProveService(b *testing.B) {
 	src := circuit.ExponentiateSource(1 << 10)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			svc := provesvc.New(provesvc.Config{
-				Workers:    workers,
-				QueueDepth: 1024, // deep enough that clients queue, not shed
-				Seed:       1,
-			})
+			svc := provesvc.New(
+				provesvc.WithWorkers(workers),
+				provesvc.WithQueueDepth(1024), // deep enough that clients queue, not shed
+				provesvc.WithSeed(1),
+			)
 			svc.Start()
 			defer svc.Shutdown(context.Background())
 
-			eng, err := svc.Registry().EngineFor("bn128")
+			c, err := svc.Registry().CurveFor("bn128")
 			if err != nil {
 				b.Fatal(err)
 			}
 			var x ff.Element
-			eng.Curve.Fr.SetUint64(&x, 7)
+			c.Fr.SetUint64(&x, 7)
 			req := provesvc.ProveRequest{
 				Curve:  "bn128",
 				Source: src,
@@ -624,6 +625,62 @@ func BenchmarkProveService(b *testing.B) {
 			b.ReportMetric(st.Stages["prove"].P50Ms, "p50-ms")
 			b.ReportMetric(st.Stages["prove"].P99Ms, "p99-ms")
 			b.ReportMetric(st.CacheHitRate, "cache-hit-rate")
+		})
+	}
+}
+
+// BenchmarkBackends is the head-to-head backend sweep on the paper's 2^10
+// exponentiation circuit: the same compiled R1CS proved under Groth16 and
+// PLONK through the unified backend interface. Setup runs once per
+// backend outside the timed region; each iteration is witness-solve +
+// prove, with verify time and proof size reported as metrics — the
+// three-way trade (prove time / proof size / universal vs circuit-specific
+// setup) the comparative literature centers on.
+func BenchmarkBackends(b *testing.B) {
+	const logN = 10
+	src := circuit.ExponentiateSource(1 << logN)
+	c := curve.NewCurve("bn128")
+	sys, prog, err := circuit.CompileSource(c.Fr, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var x ff.Element
+	c.Fr.SetUint64(&x, 7)
+	assign := witness.Assignment{"x": x}
+
+	for _, name := range backend.Names() {
+		b.Run(fmt.Sprintf("%s/n=2^%d", name, logN), func(b *testing.B) {
+			bk, err := backend.New(name, c, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := ff.NewRNG(1)
+			pk, vk, err := bk.Setup(context.Background(), sys, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := witness.Solve(sys, prog, assign)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			var proof backend.Proof
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if proof, err = bk.Prove(context.Background(), sys, pk, w, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+
+			if err := bk.Verify(vk, proof, w.Public); err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := proof.Encode(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "proof-bytes")
 		})
 	}
 }

@@ -1,8 +1,12 @@
 #!/bin/sh
-# CI gate: build everything, vet everything, and run the full test suite
-# under the race detector (the provesvc worker pool must stay race-clean).
+# CI gate: build everything, vet everything (including internal/backend
+# and the reworked provesvc), run the full test suite under the race
+# detector (the mixed-backend worker pool must stay race-clean), and
+# smoke-run the groth16-vs-plonk benchmark sweep once so the head-to-head
+# comparison path cannot rot.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+go test -run '^$' -bench '^BenchmarkBackends$' -benchtime=1x .

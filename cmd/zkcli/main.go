@@ -3,10 +3,15 @@
 // artifacts from files and writes its own:
 //
 //	zkcli compile -circuit c.zkc -curve bn128 -r1cs c.r1cs -prog c.prog
-//	zkcli setup   -curve bn128 -r1cs c.r1cs -pk c.pk -vk c.vk
+//	zkcli setup   -curve bn128 -backend plonk -r1cs c.r1cs -pk c.pk -vk c.vk
 //	zkcli witness -curve bn128 -r1cs c.r1cs -prog c.prog -input x=7 -wtns c.wtns
-//	zkcli prove   -curve bn128 -r1cs c.r1cs -pk c.pk -wtns c.wtns -proof c.proof
-//	zkcli verify  -curve bn128 -vk c.vk -wtns c.wtns -proof c.proof
+//	zkcli prove   -curve bn128 -backend plonk -r1cs c.r1cs -pk c.pk -wtns c.wtns -proof c.proof
+//	zkcli verify  -curve bn128 -backend plonk -vk c.vk -wtns c.wtns -proof c.proof
+//
+// setup, prove and verify take -backend (groth16 default, plonk); `zkcli
+// backends` lists the registered backends. Key/proof artifacts are in the
+// selected backend's serialization, so the same -backend must be used
+// across the pipeline. Each stage prints a per-backend timing report.
 //
 // The -input flag may repeat; values are decimal or 0x-hex field elements.
 // `zkcli gen -e N -o c.zkc` emits the paper's exponentiation benchmark
@@ -14,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
@@ -48,6 +55,8 @@ func main() {
 		err = cmdProve(args)
 	case "verify":
 		err = cmdVerify(args)
+	case "backends":
+		err = cmdBackends(args)
 	default:
 		usage()
 	}
@@ -59,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify|backends> [flags]")
 	os.Exit(2)
 }
 
@@ -75,6 +84,27 @@ func getCurve(name string) (*curve.Curve, error) {
 		return nil, fmt.Errorf("unknown curve %q (use bn128 or bls12-381)", name)
 	}
 	return c, nil
+}
+
+func getBackend(name string, c *curve.Curve, threads int) (backend.Backend, error) {
+	bk, err := backend.New(name, c, threads)
+	if err != nil {
+		return nil, fmt.Errorf("%w (available: %s)", err, strings.Join(backend.Names(), ", "))
+	}
+	return bk, nil
+}
+
+func cmdBackends(args []string) error {
+	fs := flag.NewFlagSet("backends", flag.ExitOnError)
+	fs.Parse(args)
+	for _, name := range backend.Names() {
+		marker := " "
+		if name == "groth16" {
+			marker = "*" // the default when -backend is omitted
+		}
+		fmt.Printf("%s %s\n", marker, name)
+	}
+	return nil
 }
 
 func cmdGen(args []string) error {
@@ -124,6 +154,7 @@ func cmdCompile(args []string) error {
 func cmdSetup(args []string) error {
 	fs := flag.NewFlagSet("setup", flag.ExitOnError)
 	curveName := fs.String("curve", "bn128", "curve")
+	backendName := fs.String("backend", "groth16", "proving backend (see `zkcli backends`)")
 	r1csPath := fs.String("r1cs", "circuit.r1cs", "constraint system")
 	pkPath := fs.String("pk", "circuit.pk", "output proving key")
 	vkPath := fs.String("vk", "circuit.vk", "output verification key")
@@ -134,20 +165,30 @@ func cmdSetup(args []string) error {
 	if err != nil {
 		return err
 	}
+	bk, err := getBackend(*backendName, c, *threads)
+	if err != nil {
+		return err
+	}
 	sys, err := readSystem(*r1csPath, c)
 	if err != nil {
 		return err
 	}
-	eng := groth16.NewEngine(c)
-	eng.Threads = *threads
-	pk, vk, err := eng.Setup(sys, ff.NewRNG(*seed))
+	t0 := time.Now()
+	pk, vk, err := bk.Setup(context.Background(), sys, ff.NewRNG(*seed))
 	if err != nil {
 		return err
 	}
-	if err := writeFile(*pkPath, func(f *os.File) error { return pk.Serialize(f, c) }); err != nil {
+	setupTime := time.Since(t0)
+	t1 := time.Now()
+	if err := writeFile(*pkPath, func(f *os.File) error { return pk.Encode(f) }); err != nil {
 		return err
 	}
-	return writeFile(*vkPath, func(f *os.File) error { return vk.Serialize(f, c) })
+	if err := writeFile(*vkPath, func(f *os.File) error { return vk.Encode(f) }); err != nil {
+		return err
+	}
+	fmt.Printf("[%s] setup=%v write=%v\n",
+		bk.Name(), setupTime.Round(time.Millisecond), time.Since(t1).Round(time.Millisecond))
+	return nil
 }
 
 func cmdWitness(args []string) error {
@@ -201,6 +242,7 @@ func cmdWitness(args []string) error {
 func cmdProve(args []string) error {
 	fs := flag.NewFlagSet("prove", flag.ExitOnError)
 	curveName := fs.String("curve", "bn128", "curve")
+	backendName := fs.String("backend", "groth16", "proving backend (see `zkcli backends`)")
 	r1csPath := fs.String("r1cs", "circuit.r1cs", "constraint system")
 	pkPath := fs.String("pk", "circuit.pk", "proving key")
 	wtnsPath := fs.String("wtns", "circuit.wtns", "witness")
@@ -212,19 +254,25 @@ func cmdProve(args []string) error {
 	if err != nil {
 		return err
 	}
+	bk, err := getBackend(*backendName, c, *threads)
+	if err != nil {
+		return err
+	}
 	sys, err := readSystem(*r1csPath, c)
 	if err != nil {
 		return err
 	}
-	var pk groth16.ProvingKey
+	t0 := time.Now()
 	pf, err := os.Open(*pkPath)
 	if err != nil {
 		return err
 	}
 	defer pf.Close()
-	if err := pk.Deserialize(pf, c); err != nil {
+	pk, err := bk.ReadProvingKey(pf, sys)
+	if err != nil {
 		return err
 	}
+	loadTime := time.Since(t0)
 	wf, err := os.Open(*wtnsPath)
 	if err != nil {
 		return err
@@ -234,18 +282,24 @@ func cmdProve(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng := groth16.NewEngine(c)
-	eng.Threads = *threads
-	proof, err := eng.Prove(sys, &pk, w, ff.NewRNG(*seed))
+	t1 := time.Now()
+	proof, err := bk.Prove(context.Background(), sys, pk, w, ff.NewRNG(*seed))
 	if err != nil {
 		return err
 	}
-	return writeFile(*proofPath, func(f *os.File) error { return proof.Serialize(f, c) })
+	proveTime := time.Since(t1)
+	if err := writeFile(*proofPath, func(f *os.File) error { return proof.Encode(f) }); err != nil {
+		return err
+	}
+	fmt.Printf("[%s] pk-load=%v prove=%v\n",
+		bk.Name(), loadTime.Round(time.Millisecond), proveTime.Round(time.Millisecond))
+	return nil
 }
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	curveName := fs.String("curve", "bn128", "curve")
+	backendName := fs.String("backend", "groth16", "proving backend (see `zkcli backends`)")
 	vkPath := fs.String("vk", "circuit.vk", "verification key")
 	wtnsPath := fs.String("wtns", "circuit.wtns", "witness (public part is used)")
 	proofPath := fs.String("proof", "circuit.proof", "proof")
@@ -254,13 +308,17 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	var vk groth16.VerifyingKey
+	bk, err := getBackend(*backendName, c, 1)
+	if err != nil {
+		return err
+	}
 	vf, err := os.Open(*vkPath)
 	if err != nil {
 		return err
 	}
 	defer vf.Close()
-	if err := vk.Deserialize(vf, c); err != nil {
+	vk, err := bk.ReadVerifyingKey(vf)
+	if err != nil {
 		return err
 	}
 	wf, err := os.Open(*wtnsPath)
@@ -272,20 +330,20 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	var proof groth16.Proof
 	pf, err := os.Open(*proofPath)
 	if err != nil {
 		return err
 	}
 	defer pf.Close()
-	if err := proof.Deserialize(pf, c); err != nil {
+	proof, err := bk.ReadProof(pf)
+	if err != nil {
+		return fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, bk.Name(), err)
+	}
+	t0 := time.Now()
+	if err := bk.Verify(vk, proof, w.Public); err != nil {
 		return err
 	}
-	eng := groth16.NewEngine(c)
-	if err := eng.Verify(&vk, &proof, w.Public); err != nil {
-		return err
-	}
-	fmt.Println("OK: proof is valid")
+	fmt.Printf("OK: proof is valid [%s] verify=%v\n", bk.Name(), time.Since(t0).Round(time.Millisecond))
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"zkperf/internal/curve"
 )
 
 // TestPipelineEndToEnd drives the full file-based workflow through the
@@ -39,6 +41,59 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 	if fi.Size() > 512 {
 		t.Errorf("proof file is %d bytes, expected a few hundred", fi.Size())
+	}
+}
+
+// TestPipelinePlonk drives the same file workflow through -backend plonk:
+// universal setup, bridge preprocessing on pk load, and a larger (but
+// still constant-size) proof.
+func TestPipelinePlonk(t *testing.T) {
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+	args := func(extra ...string) []string { return append(extra, "-backend", "plonk") }
+
+	if err := cmdGen([]string{"-e", "32", "-o", p("c.zkc")}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdCompile([]string{"-circuit", p("c.zkc"), "-r1cs", p("c.r1cs"), "-prog", p("c.prog")}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := cmdSetup(args("-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-vk", p("c.vk"), "-seed", "1")); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := cmdWitness([]string{"-r1cs", p("c.r1cs"), "-prog", p("c.prog"), "-input", "x=7", "-wtns", p("c.wtns")}); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	if err := cmdProve(args("-r1cs", p("c.r1cs"), "-pk", p("c.pk"), "-wtns", p("c.wtns"), "-proof", p("c.proof"), "-seed", "2")); err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := cmdVerify(args("-vk", p("c.vk"), "-wtns", p("c.wtns"), "-proof", p("c.proof"))); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// PLONK proofs are bigger than Groth16's three points but still
+	// constant-size: 9 commitments + 16 scalars, well under 4 KiB.
+	fi, err := os.Stat(p("c.proof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= 512 || fi.Size() > 4096 {
+		t.Errorf("plonk proof file is %d bytes, expected ~1 KiB", fi.Size())
+	}
+
+	// The plonk proof must not verify under the groth16 backend (the
+	// artifacts are in a different serialization entirely).
+	if err := cmdVerify([]string{"-vk", p("c.vk"), "-wtns", p("c.wtns"), "-proof", p("c.proof")}); err == nil {
+		t.Error("plonk artifacts accepted by groth16 verify")
+	}
+}
+
+func TestBackendsListAndUnknown(t *testing.T) {
+	if err := cmdBackends(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := getBackend("stark", curve.NewCurve("bn128"), 1); err == nil {
+		t.Error("unknown backend accepted")
 	}
 }
 

@@ -6,11 +6,14 @@
 //
 // Endpoints (JSON bodies; see internal/provesvc):
 //
-//	POST /prove        prove a circuit with the given inputs
-//	POST /prove/batch  prove several requests in one call
-//	POST /verify       check a proof against a circuit's verifying key
-//	GET  /stats        counters, cache hit rate, per-stage latencies
-//	GET  /healthz      200 while accepting work, 503 while draining
+//	POST /v1/prove        prove a circuit ("backend" picks groth16/plonk)
+//	POST /v1/prove/batch  prove several requests in one call
+//	POST /v1/verify       check a proof against a circuit's verifying key
+//	GET  /v1/stats        counters, cache hit rate, per-stage and
+//	                      per-backend latencies
+//	GET  /v1/healthz      200 while accepting work, 503 while draining
+//
+// The legacy unversioned paths answer 308 redirects to /v1.
 //
 // On SIGINT/SIGTERM the server stops intake, drains in-flight jobs until
 // -drain expires, and logs what was dropped.
@@ -26,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,22 +44,34 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline (0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed (pin for reproducible runs)")
+	backendsFlag := flag.String("backends", "", "comma-separated proving backends to serve (default: all)")
 	flag.Parse()
 
-	svc := provesvc.New(provesvc.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		ProveThreads:   *threads,
-		DefaultTimeout: *timeout,
-		Seed:           *seed,
-	})
+	opts := []provesvc.Option{
+		provesvc.WithWorkers(*workers),
+		provesvc.WithQueueDepth(*queue),
+		provesvc.WithProveThreads(*threads),
+		provesvc.WithDefaultTimeout(*timeout),
+		provesvc.WithSeed(*seed),
+	}
+	if *backendsFlag != "" {
+		var names []string
+		for _, name := range strings.Split(*backendsFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		opts = append(opts, provesvc.WithBackends(names...))
+	}
+	svc := provesvc.New(opts...)
 	svc.Start()
 
 	srv := &http.Server{Addr: *addr, Handler: provesvc.NewHandler(svc)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job)",
-		*addr, *workers, *queue, *threads)
+	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job, backends %v)",
+		*addr, *workers, *queue, *threads, svc.Backends())
+	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/stats /v1/healthz (legacy paths 308-redirect)")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,123 @@
+// Package backend defines the backend-neutral proving interface the
+// serving layer programs against. The paper's stage taxonomy
+// (compile/setup/witness/prove/verify) is protocol-generic even though
+// its measurements are Groth16-specific, and the comparative literature
+// shows backend choice moves the bottleneck between MSM- and
+// NTT-dominated kernels. This package makes that a runtime choice: both
+// internal/groth16 and internal/plonk are adapted to one Setup/Prove/
+// Verify surface with serializable key and proof handles, so the
+// registry, HTTP API and CLI can treat "which SNARK" as a request
+// parameter rather than a compile-time decision.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// ErrUnknownBackend is returned by New for a name not in the registry.
+var ErrUnknownBackend = errors.New("backend: unknown backend")
+
+// ErrInvalidProof is returned by Verify when a structurally valid proof
+// fails the scheme's checks (or was produced by a different backend).
+var ErrInvalidProof = errors.New("backend: invalid proof")
+
+// ProvingKey is an opaque, serializable proving-key handle. Handles are
+// immutable after creation and safe for concurrent Prove calls.
+type ProvingKey interface {
+	// Backend names the scheme that produced the key.
+	Backend() string
+	// Encode serializes the key (the .zkey equivalent).
+	Encode(w io.Writer) error
+}
+
+// VerifyingKey is an opaque, serializable verifying-key handle.
+type VerifyingKey interface {
+	Backend() string
+	Encode(w io.Writer) error
+}
+
+// Proof is an opaque, serializable proof handle.
+type Proof interface {
+	Backend() string
+	Encode(w io.Writer) error
+}
+
+// Setup runs the scheme's (possibly trusted) setup for a compiled
+// constraint system. rng supplies the toxic randomness.
+type Setup interface {
+	Setup(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (ProvingKey, VerifyingKey, error)
+}
+
+// Prover produces a proof for a solved witness. sys is the same system
+// the key was set up for — backends that lower R1CS to another gate form
+// (PLONK) rebuild their bridge from it deterministically. Implementations
+// honour ctx at kernel chunk boundaries so abandoned jobs stop burning
+// cores.
+type Prover interface {
+	Prove(ctx context.Context, sys *r1cs.System, pk ProvingKey, w *witness.Witness, rng *ff.RNG) (Proof, error)
+}
+
+// Verifier checks a proof against the public inputs. public follows the
+// witness.Witness.Public convention: [1, public wires]. A failed check
+// yields an error wrapping ErrInvalidProof; other errors mean malformed
+// input.
+type Verifier interface {
+	Verify(vk VerifyingKey, proof Proof, public []ff.Element) error
+}
+
+// Backend is one proving scheme bound to one curve: the three protocol
+// roles plus decoding of the wire formats its handles write.
+type Backend interface {
+	Setup
+	Prover
+	Verifier
+
+	// Name returns the registry name ("groth16", "plonk").
+	Name() string
+	// Curve returns the curve the backend is bound to.
+	Curve() *curve.Curve
+
+	// ReadProvingKey decodes a key written by ProvingKey.Encode. sys must
+	// be the system the key was set up for; backends with universal setups
+	// rebuild their circuit-specific preprocessing from it.
+	ReadProvingKey(r io.Reader, sys *r1cs.System) (ProvingKey, error)
+	ReadVerifyingKey(r io.Reader) (VerifyingKey, error)
+	ReadProof(r io.Reader) (Proof, error)
+}
+
+// constructors is the backend registry. Adding a scheme means adding one
+// entry here; everything above provesvc picks it up by name.
+var constructors = map[string]func(c *curve.Curve, threads int) Backend{
+	"groth16": newGroth16,
+	"plonk":   newPlonk,
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(constructors))
+	for name := range constructors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New returns the named backend bound to curve c. threads bounds the
+// parallelism of its kernels (1 disables it).
+func New(name string, c *curve.Curve, threads int) (Backend, error) {
+	ctor, ok := constructors[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have: %s)", ErrUnknownBackend, name, strings.Join(Names(), ", "))
+	}
+	return ctor(c, threads), nil
+}

@@ -1,0 +1,237 @@
+package backend
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// mixedSource has multi-term linear combinations on every side of its
+// constraints, exercising the accumulator-chain path of the PLONK bridge
+// that the paper's pure-multiplication benchmark never hits.
+const mixedSource = `
+circuit Mixed {
+    private input a;
+    private input b;
+    public output c;
+    var s = a + b;
+    var t = s * s;
+    var u = t + a + b;
+    c <== u * s;
+}
+`
+
+func compileFixture(t *testing.T, c *curve.Curve, src string, inputs map[string]uint64) (*r1cs.System, *witness.Witness) {
+	t.Helper()
+	sys, prog, err := circuit.CompileSource(c.Fr, src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	assign := witness.Assignment{}
+	for name, v := range inputs {
+		var e ff.Element
+		c.Fr.SetUint64(&e, v)
+		assign[name] = e
+	}
+	w, err := witness.Solve(sys, prog, assign)
+	if err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	return sys, w
+}
+
+// TestCrossBackendProveVerify runs the paper's exponentiation circuit at
+// 2^6–2^10 constraints on both curves under both backends: one shared
+// R1CS per (curve, size), one proof per backend, each verified by its own
+// verifying key and rejected once a public input is perturbed.
+func TestCrossBackendProveVerify(t *testing.T) {
+	sizes := []int{1 << 6, 1 << 7, 1 << 8, 1 << 9, 1 << 10}
+	for _, curveName := range []string{"bn128", "bls12-381"} {
+		c := curve.NewCurve(curveName)
+		for _, size := range sizes {
+			if testing.Short() && size > 1<<7 {
+				continue
+			}
+			sys, w := compileFixture(t, c, circuit.ExponentiateSource(size), map[string]uint64{"x": 3})
+			for _, name := range Names() {
+				t.Run(fmt.Sprintf("%s/%s/e=%d", curveName, name, size), func(t *testing.T) {
+					bk, err := New(name, c, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rng := ff.NewRNG(42)
+					pk, vk, err := bk.Setup(context.Background(), sys, rng)
+					if err != nil {
+						t.Fatalf("setup: %v", err)
+					}
+					proof, err := bk.Prove(context.Background(), sys, pk, w, rng)
+					if err != nil {
+						t.Fatalf("prove: %v", err)
+					}
+					if err := bk.Verify(vk, proof, w.Public); err != nil {
+						t.Fatalf("verify: %v", err)
+					}
+					bad := make([]ff.Element, len(w.Public))
+					copy(bad, w.Public)
+					var one ff.Element
+					c.Fr.One(&one)
+					c.Fr.Add(&bad[len(bad)-1], &bad[len(bad)-1], &one)
+					if err := bk.Verify(vk, proof, bad); !errors.Is(err, ErrInvalidProof) {
+						t.Fatalf("tampered public input accepted: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBridgeMixedLinComb proves a circuit whose constraints carry
+// multi-term LCs through both backends.
+func TestBridgeMixedLinComb(t *testing.T) {
+	for _, curveName := range []string{"bn128", "bls12-381"} {
+		c := curve.NewCurve(curveName)
+		sys, w := compileFixture(t, c, mixedSource, map[string]uint64{"a": 5, "b": 7})
+		for _, name := range Names() {
+			t.Run(curveName+"/"+name, func(t *testing.T) {
+				bk, err := New(name, c, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := ff.NewRNG(7)
+				pk, vk, err := bk.Setup(context.Background(), sys, rng)
+				if err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				proof, err := bk.Prove(context.Background(), sys, pk, w, rng)
+				if err != nil {
+					t.Fatalf("prove: %v", err)
+				}
+				if err := bk.Verify(vk, proof, w.Public); err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossBackendRejection checks that artifacts do not leak across
+// schemes: a proof produced by backend A must be rejected — not merely
+// error — when handed to backend B, both as a live handle and as bytes.
+func TestCrossBackendRejection(t *testing.T) {
+	c := curve.NewCurve("bn128")
+	sys, w := compileFixture(t, c, circuit.ExponentiateSource(1<<6), map[string]uint64{"x": 3})
+
+	type fixture struct {
+		bk    Backend
+		vk    VerifyingKey
+		proof Proof
+	}
+	fixtures := map[string]fixture{}
+	for _, name := range Names() {
+		bk, err := New(name, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := ff.NewRNG(11)
+		pk, vk, err := bk.Setup(context.Background(), sys, rng)
+		if err != nil {
+			t.Fatalf("%s setup: %v", name, err)
+		}
+		proof, err := bk.Prove(context.Background(), sys, pk, w, rng)
+		if err != nil {
+			t.Fatalf("%s prove: %v", name, err)
+		}
+		fixtures[name] = fixture{bk: bk, vk: vk, proof: proof}
+	}
+
+	g, p := fixtures["groth16"], fixtures["plonk"]
+	if err := p.bk.Verify(p.vk, g.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("plonk accepted groth16 proof: %v", err)
+	}
+	if err := g.bk.Verify(g.vk, p.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("groth16 accepted plonk proof: %v", err)
+	}
+
+	// Byte-level: a groth16 proof blob must not decode into a valid plonk
+	// proof that verifies (and vice versa).
+	var buf bytes.Buffer
+	if err := g.proof.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if decoded, err := p.bk.ReadProof(bytes.NewReader(buf.Bytes())); err == nil {
+		if err := p.bk.Verify(p.vk, decoded, w.Public); !errors.Is(err, ErrInvalidProof) {
+			t.Fatalf("plonk verified re-decoded groth16 bytes: %v", err)
+		}
+	}
+}
+
+// TestHandleRoundTrip serializes every handle kind and proves/verifies
+// with the restored copies — the path the CLI's file pipeline takes.
+func TestHandleRoundTrip(t *testing.T) {
+	c := curve.NewCurve("bn128")
+	sys, w := compileFixture(t, c, circuit.ExponentiateSource(1<<6), map[string]uint64{"x": 5})
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			bk, err := New(name, c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := ff.NewRNG(99)
+			pk, vk, err := bk.Setup(context.Background(), sys, rng)
+			if err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+
+			var pkBuf, vkBuf bytes.Buffer
+			if err := pk.Encode(&pkBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := vk.Encode(&vkBuf); err != nil {
+				t.Fatal(err)
+			}
+			pk2, err := bk.ReadProvingKey(bytes.NewReader(pkBuf.Bytes()), sys)
+			if err != nil {
+				t.Fatalf("read pk: %v", err)
+			}
+			vk2, err := bk.ReadVerifyingKey(bytes.NewReader(vkBuf.Bytes()))
+			if err != nil {
+				t.Fatalf("read vk: %v", err)
+			}
+
+			proof, err := bk.Prove(context.Background(), sys, pk2, w, rng)
+			if err != nil {
+				t.Fatalf("prove with restored pk: %v", err)
+			}
+			var prBuf bytes.Buffer
+			if err := proof.Encode(&prBuf); err != nil {
+				t.Fatal(err)
+			}
+			proof2, err := bk.ReadProof(bytes.NewReader(prBuf.Bytes()))
+			if err != nil {
+				t.Fatalf("read proof: %v", err)
+			}
+			if err := bk.Verify(vk2, proof2, w.Public); err != nil {
+				t.Fatalf("verify restored artifacts: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	c := curve.NewCurve("bn128")
+	if _, err := New("stark", c, 1); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("want ErrUnknownBackend, got %v", err)
+	}
+	names := Names()
+	if len(names) != 2 || names[0] != "groth16" || names[1] != "plonk" {
+		t.Fatalf("unexpected registry: %v", names)
+	}
+}

@@ -1,0 +1,117 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/groth16"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// groth16Backend adapts internal/groth16 to the Backend interface. It is
+// a thin wrapper: Groth16's native surface already matches (R1CS in,
+// circuit-specific keys out).
+type groth16Backend struct {
+	eng *groth16.Engine
+}
+
+func newGroth16(c *curve.Curve, threads int) Backend {
+	eng := groth16.NewEngine(c)
+	eng.Threads = threads
+	return &groth16Backend{eng: eng}
+}
+
+func (b *groth16Backend) Name() string        { return "groth16" }
+func (b *groth16Backend) Curve() *curve.Curve { return b.eng.Curve }
+
+type groth16PK struct {
+	pk *groth16.ProvingKey
+	c  *curve.Curve
+}
+
+func (k *groth16PK) Backend() string          { return "groth16" }
+func (k *groth16PK) Encode(w io.Writer) error { return k.pk.Serialize(w, k.c) }
+
+type groth16VK struct {
+	vk *groth16.VerifyingKey
+	c  *curve.Curve
+}
+
+func (k *groth16VK) Backend() string          { return "groth16" }
+func (k *groth16VK) Encode(w io.Writer) error { return k.vk.Serialize(w, k.c) }
+
+type groth16Proof struct {
+	p *groth16.Proof
+	c *curve.Curve
+}
+
+func (p *groth16Proof) Backend() string          { return "groth16" }
+func (p *groth16Proof) Encode(w io.Writer) error { return p.p.Serialize(w, p.c) }
+
+func (b *groth16Backend) Setup(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (ProvingKey, VerifyingKey, error) {
+	pk, vk, err := b.eng.SetupCtx(ctx, sys, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := b.eng.Curve
+	return &groth16PK{pk: pk, c: c}, &groth16VK{vk: vk, c: c}, nil
+}
+
+func (b *groth16Backend) Prove(ctx context.Context, sys *r1cs.System, pk ProvingKey, w *witness.Witness, rng *ff.RNG) (Proof, error) {
+	k, ok := pk.(*groth16PK)
+	if !ok {
+		return nil, fmt.Errorf("backend: groth16 given %s proving key", pk.Backend())
+	}
+	proof, err := b.eng.ProveCtx(ctx, sys, k.pk, w, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &groth16Proof{p: proof, c: b.eng.Curve}, nil
+}
+
+func (b *groth16Backend) Verify(vk VerifyingKey, proof Proof, public []ff.Element) error {
+	k, ok := vk.(*groth16VK)
+	if !ok {
+		return fmt.Errorf("%w: groth16 given %s verifying key", ErrInvalidProof, vk.Backend())
+	}
+	p, ok := proof.(*groth16Proof)
+	if !ok {
+		return fmt.Errorf("%w: groth16 given %s proof", ErrInvalidProof, proof.Backend())
+	}
+	if err := b.eng.Verify(k.vk, p.p, public); err != nil {
+		if errors.Is(err, groth16.ErrInvalidProof) {
+			return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		}
+		return err
+	}
+	return nil
+}
+
+func (b *groth16Backend) ReadProvingKey(r io.Reader, sys *r1cs.System) (ProvingKey, error) {
+	pk := new(groth16.ProvingKey)
+	if err := pk.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	return &groth16PK{pk: pk, c: b.eng.Curve}, nil
+}
+
+func (b *groth16Backend) ReadVerifyingKey(r io.Reader) (VerifyingKey, error) {
+	vk := new(groth16.VerifyingKey)
+	if err := vk.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	return &groth16VK{vk: vk, c: b.eng.Curve}, nil
+}
+
+func (b *groth16Backend) ReadProof(r io.Reader) (Proof, error) {
+	p := new(groth16.Proof)
+	if err := p.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	return &groth16Proof{p: p, c: b.eng.Curve}, nil
+}

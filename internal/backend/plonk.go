@@ -1,0 +1,262 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/plonk"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// plonkBackend adapts internal/plonk to the Backend interface. PLONK
+// arithmetizes gates, not R1CS rows, so the adapter carries a
+// deterministic lowering (the bridge) from the compiled system to a
+// plonk.Circuit. Because PLONK's setup is universal, a serialized
+// proving key stores only the SRS; ReadProvingKey rebuilds the bridge
+// and the circuit-specific preprocessing from the constraint system.
+type plonkBackend struct {
+	eng *plonk.Engine
+}
+
+func newPlonk(c *curve.Curve, threads int) Backend {
+	eng := plonk.NewEngine(c)
+	eng.Threads = threads
+	return &plonkBackend{eng: eng}
+}
+
+func (b *plonkBackend) Name() string        { return "plonk" }
+func (b *plonkBackend) Curve() *curve.Curve { return b.eng.Curve }
+
+// bridgeSrc tells the witness mapper how to value one plonk variable:
+// copy an R1CS wire (wire ≥ 0) or evaluate a linear combination that an
+// accumulator gate materialized (wire < 0).
+type bridgeSrc struct {
+	wire int
+	lc   r1cs.LinComb
+}
+
+// bridge is the R1CS→PLONK lowering of one constraint system. Plonk
+// variable i is valued by src[i]; the source order mirrors the circuit's
+// variable-allocation order exactly.
+type bridge struct {
+	circ *plonk.Circuit
+	src  []bridgeSrc
+}
+
+// buildBridge lowers sys to a PLONK circuit. Public wires become public
+// inputs (declared first, as PLONK requires), the constant wire becomes a
+// variable pinned to 1, and each constraint ⟨L,w⟩·⟨R,w⟩ = ⟨O,w⟩ becomes
+// one multiplication gate qM·a·b + qO·c = 0 after each linear
+// combination is reduced to a single (variable, coefficient) pair —
+// directly when the LC has one term, via an accumulator chain otherwise.
+// The lowering is deterministic, so rebuilding it for the same system
+// reproduces the same circuit (and hence, with the same SRS, the same
+// preprocessed key).
+func buildBridge(sys *r1cs.System) *bridge {
+	fr := sys.Fr
+	br := &bridge{circ: plonk.NewCircuit(fr)}
+	var one, negOne ff.Element
+	fr.One(&one)
+	fr.Neg(&negOne, &one)
+
+	varOf := make(map[r1cs.Variable]plonk.Var, sys.NumVariables())
+	for i := 0; i < sys.NumPublic; i++ {
+		varOf[r1cs.Variable(i+1)] = br.circ.PublicInput()
+		br.src = append(br.src, bridgeSrc{wire: i + 1})
+	}
+	oneVar := br.circ.NewVar()
+	br.src = append(br.src, bridgeSrc{wire: 0})
+	br.circ.AssertEqualConst(oneVar, big.NewInt(1))
+	varOf[r1cs.ConstOne] = oneVar
+
+	mapVar := func(v r1cs.Variable) plonk.Var {
+		if pv, ok := varOf[v]; ok {
+			return pv
+		}
+		pv := br.circ.NewVar()
+		br.src = append(br.src, bridgeSrc{wire: int(v)})
+		varOf[v] = pv
+		return pv
+	}
+
+	// reduce collapses an LC to coeff·var. Multi-term LCs chain
+	// accumulator gates; each intermediate is valued by its LC prefix.
+	var zero ff.Element
+	reduce := func(lc r1cs.LinComb) (plonk.Var, ff.Element) {
+		switch len(lc) {
+		case 0:
+			return oneVar, zero
+		case 1:
+			return mapVar(lc[0].Var), lc[0].Coeff
+		}
+		acc := br.circ.NewVar()
+		br.src = append(br.src, bridgeSrc{wire: -1, lc: lc[:2]})
+		br.circ.AddGate(lc[0].Coeff, lc[1].Coeff, negOne, zero, zero,
+			mapVar(lc[0].Var), mapVar(lc[1].Var), acc)
+		for j := 2; j < len(lc); j++ {
+			next := br.circ.NewVar()
+			br.src = append(br.src, bridgeSrc{wire: -1, lc: lc[:j+1]})
+			br.circ.AddGate(one, lc[j].Coeff, negOne, zero, zero,
+				acc, mapVar(lc[j].Var), next)
+			acc = next
+		}
+		return acc, one
+	}
+
+	var qm, qo ff.Element
+	for ci := range sys.Constraints {
+		con := &sys.Constraints[ci]
+		vl, kl := reduce(con.L)
+		vr, kr := reduce(con.R)
+		vo, ko := reduce(con.O)
+		fr.Mul(&qm, &kl, &kr)
+		fr.Neg(&qo, &ko)
+		br.circ.AddGate(zero, zero, qo, qm, zero, vl, vr, vo)
+	}
+	return br
+}
+
+// assignment values every plonk variable from the solved R1CS witness.
+func (br *bridge) assignment(sys *r1cs.System, full []ff.Element) (plonk.Assignment, error) {
+	w := br.circ.NewAssignment()
+	for i, s := range br.src {
+		if s.wire >= 0 {
+			if s.wire >= len(full) {
+				return nil, fmt.Errorf("backend: witness has %d wires, bridge expects wire %d", len(full), s.wire)
+			}
+			w[i] = full[s.wire]
+			continue
+		}
+		w[i] = sys.EvalLC(s.lc, full)
+	}
+	return w, nil
+}
+
+// plonkPublic strips the leading constant-1 slot from the Groth16-style
+// public vector to get PLONK's public-input list.
+func plonkPublic(public []ff.Element) ([]ff.Element, error) {
+	if len(public) == 0 {
+		return nil, fmt.Errorf("backend: public vector missing the constant-1 slot")
+	}
+	return public[1:], nil
+}
+
+type plonkPK struct {
+	pk *plonk.ProvingKey
+	br *bridge
+	c  *curve.Curve
+}
+
+func (k *plonkPK) Backend() string          { return "plonk" }
+func (k *plonkPK) Encode(w io.Writer) error { return k.pk.Serialize(w, k.c) }
+
+type plonkVK struct {
+	vk *plonk.VerifyingKey
+	c  *curve.Curve
+}
+
+func (k *plonkVK) Backend() string          { return "plonk" }
+func (k *plonkVK) Encode(w io.Writer) error { return k.vk.Serialize(w, k.c) }
+
+type plonkProof struct {
+	p *plonk.Proof
+	c *curve.Curve
+}
+
+func (p *plonkProof) Backend() string          { return "plonk" }
+func (p *plonkProof) Encode(w io.Writer) error { return p.p.Serialize(w, p.c) }
+
+func (b *plonkBackend) Setup(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (ProvingKey, VerifyingKey, error) {
+	br := buildBridge(sys)
+	pk, vk, err := b.eng.SetupCtx(ctx, br.circ, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := b.eng.Curve
+	return &plonkPK{pk: pk, br: br, c: c}, &plonkVK{vk: vk, c: c}, nil
+}
+
+func (b *plonkBackend) Prove(ctx context.Context, sys *r1cs.System, pk ProvingKey, w *witness.Witness, rng *ff.RNG) (Proof, error) {
+	k, ok := pk.(*plonkPK)
+	if !ok {
+		return nil, fmt.Errorf("backend: plonk given %s proving key", pk.Backend())
+	}
+	asg, err := k.br.assignment(sys, w.Full)
+	if err != nil {
+		return nil, err
+	}
+	public, err := plonkPublic(w.Public)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := b.eng.ProveCtx(ctx, k.pk, asg, public)
+	if err != nil {
+		return nil, err
+	}
+	return &plonkProof{p: proof, c: b.eng.Curve}, nil
+}
+
+func (b *plonkBackend) Verify(vk VerifyingKey, proof Proof, public []ff.Element) error {
+	k, ok := vk.(*plonkVK)
+	if !ok {
+		return fmt.Errorf("%w: plonk given %s verifying key", ErrInvalidProof, vk.Backend())
+	}
+	p, ok := proof.(*plonkProof)
+	if !ok {
+		return fmt.Errorf("%w: plonk given %s proof", ErrInvalidProof, proof.Backend())
+	}
+	pub, err := plonkPublic(public)
+	if err != nil {
+		return err
+	}
+	if err := b.eng.Verify(k.vk, p.p, pub); err != nil {
+		if errors.Is(err, plonk.ErrInvalidProof) {
+			return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// ReadProvingKey restores a key written by plonkPK.Encode. The wire
+// format carries only the universal SRS; the circuit-specific selectors,
+// permutation and domain are rebuilt deterministically from sys, which
+// is what makes the on-disk key reusable across every circuit that fits
+// the SRS.
+func (b *plonkBackend) ReadProvingKey(r io.Reader, sys *r1cs.System) (ProvingKey, error) {
+	raw := new(plonk.ProvingKey)
+	if err := raw.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	br := buildBridge(sys)
+	pk, err := b.eng.Preprocess(br.circ, raw.SRS)
+	if err != nil {
+		return nil, err
+	}
+	if pk.Domain.N != raw.Domain.N {
+		return nil, fmt.Errorf("backend: proving key domain %d does not match circuit domain %d", raw.Domain.N, pk.Domain.N)
+	}
+	return &plonkPK{pk: pk, br: br, c: b.eng.Curve}, nil
+}
+
+func (b *plonkBackend) ReadVerifyingKey(r io.Reader) (VerifyingKey, error) {
+	vk := new(plonk.VerifyingKey)
+	if err := vk.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	return &plonkVK{vk: vk, c: b.eng.Curve}, nil
+}
+
+func (b *plonkBackend) ReadProof(r io.Reader) (Proof, error) {
+	p := new(plonk.Proof)
+	if err := p.Deserialize(r, b.eng.Curve); err != nil {
+		return nil, err
+	}
+	return &plonkProof{p: p, c: b.eng.Curve}, nil
+}

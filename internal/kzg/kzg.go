@@ -11,7 +11,9 @@
 package kzg
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
@@ -30,6 +32,13 @@ type SRS struct {
 // NewSRS generates an SRS supporting polynomials of degree < size.
 // τ comes from rng (this is the scheme's trusted setup).
 func NewSRS(c *curve.Curve, size int, rng *ff.RNG) (*SRS, error) {
+	return NewSRSCtx(context.Background(), c, size, rng, 1)
+}
+
+// NewSRSCtx is the cancellable NewSRS: the fixed-base batch that computes
+// the τ powers checks ctx at chunk boundaries, and threads bounds its
+// parallelism.
+func NewSRSCtx(ctx context.Context, c *curve.Curve, size int, rng *ff.RNG, threads int) (*SRS, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("kzg: SRS size must be ≥ 2")
 	}
@@ -44,7 +53,11 @@ func NewSRS(c *curve.Curve, size int, rng *ff.RNG) (*SRS, error) {
 		c.Fr.Mul(&acc, &acc, &tau)
 	}
 	tab := c.NewG1Table(&c.G1Gen)
-	srs := &SRS{C: c, G1: tab.MulBatch(scalars, 1)}
+	g1, err := tab.MulBatchCtx(ctx, scalars, threads)
+	if err != nil {
+		return nil, err
+	}
+	srs := &SRS{C: c, G1: g1}
 
 	var g2j curve.G2Jac
 	c.G2FromAffine(&g2j, &c.G2Gen)
@@ -59,6 +72,12 @@ func (s *SRS) MaxDegree() int { return len(s.G1) }
 // Commit returns [p(τ)]·G1. The polynomial is given low-degree-first and
 // must fit the SRS.
 func (s *SRS) Commit(p []ff.Element) (curve.G1Affine, error) {
+	return s.CommitCtx(context.Background(), p, 1)
+}
+
+// CommitCtx is the cancellable Commit: the MSM checks ctx at
+// Pippenger-window boundaries, and threads bounds its parallelism.
+func (s *SRS) CommitCtx(ctx context.Context, p []ff.Element, threads int) (curve.G1Affine, error) {
 	var out curve.G1Affine
 	if len(p) > len(s.G1) {
 		return out, fmt.Errorf("kzg: polynomial degree %d exceeds SRS size %d", len(p)-1, len(s.G1)-1)
@@ -67,7 +86,10 @@ func (s *SRS) Commit(p []ff.Element) (curve.G1Affine, error) {
 		out.Inf = true
 		return out, nil
 	}
-	acc := s.C.G1MSM(s.G1[:len(p)], p, 1)
+	acc, err := s.C.G1MSMCtx(ctx, s.G1[:len(p)], p, threads)
+	if err != nil {
+		return out, err
+	}
 	s.C.G1ToAffine(&out, &acc)
 	return out, nil
 }
@@ -75,6 +97,11 @@ func (s *SRS) Commit(p []ff.Element) (curve.G1Affine, error) {
 // Open evaluates p at z and produces the witness commitment for the
 // quotient (p(x) − p(z))/(x − z) (synthetic division).
 func (s *SRS) Open(p []ff.Element, z *ff.Element) (eval ff.Element, proof curve.G1Affine, err error) {
+	return s.OpenCtx(context.Background(), p, z, 1)
+}
+
+// OpenCtx is the cancellable Open.
+func (s *SRS) OpenCtx(ctx context.Context, p []ff.Element, z *ff.Element, threads int) (eval ff.Element, proof curve.G1Affine, err error) {
 	fr := s.C.Fr
 	eval = poly.Eval(fr, p, z)
 	if len(p) == 0 {
@@ -89,8 +116,35 @@ func (s *SRS) Open(p []ff.Element, z *ff.Element) (eval ff.Element, proof curve.
 		fr.Add(&carry, &carry, &p[i])
 		q[i-1] = carry
 	}
-	proof, err = s.Commit(q)
+	proof, err = s.CommitCtx(ctx, q, threads)
 	return eval, proof, err
+}
+
+// Encode serializes the SRS (the universal, circuit-independent part of
+// a PLONK proving key).
+func (s *SRS) Encode(w io.Writer) error {
+	if err := s.C.WriteG1Slice(w, s.G1); err != nil {
+		return err
+	}
+	_, err := w.Write(s.C.G2Bytes(&s.G2Tau))
+	return err
+}
+
+// ReadSRS deserializes an SRS written by Encode.
+func ReadSRS(r io.Reader, c *curve.Curve) (*SRS, error) {
+	g1, err := c.ReadG1Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	srs := &SRS{C: c, G1: g1}
+	buf := make([]byte, c.G2EncodedLen())
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if err := c.G2SetBytes(&srs.G2Tau, buf); err != nil {
+		return nil, err
+	}
+	return srs, nil
 }
 
 // Verify checks an opening: that the committed polynomial evaluates to

@@ -1,10 +1,13 @@
 package plonk
 
 import (
+	"fmt"
 	"io"
 
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
+	"zkperf/internal/kzg"
+	"zkperf/internal/poly"
 )
 
 // Proof serialization: 7 G1 points, 16 scalars and 2 opening proofs in a
@@ -68,4 +71,124 @@ func (p *Proof) Deserialize(r io.Reader, c *curve.Curve) error {
 // EncodedLen returns the byte length of a serialized proof on curve c.
 func (p *Proof) EncodedLen(c *curve.Curve) int {
 	return 9*c.G1EncodedLen() + 16*c.Fr.ByteLen()
+}
+
+// Serialize writes the proving key's universal part: the domain size and
+// the SRS. PLONK's setup is universal — the selectors, permutation and
+// their commitments are deterministic functions of (circuit, SRS) — so
+// the circuit-specific tail is rebuilt by Engine.Preprocess after
+// Deserialize instead of travelling on the wire. This is the structural
+// asymmetry with Groth16, whose .zkey must carry every circuit-specific
+// point.
+func (pk *ProvingKey) Serialize(w io.Writer, c *curve.Curve) error {
+	if err := writeU64(w, uint64(pk.Domain.N)); err != nil {
+		return err
+	}
+	return pk.SRS.Encode(w)
+}
+
+// Deserialize reads a proving key written by Serialize. Only the SRS and
+// domain size are restored; callers must run Engine.Preprocess with the
+// original circuit to obtain a usable key.
+func (pk *ProvingKey) Deserialize(r io.Reader, c *curve.Curve) error {
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	srs, err := kzg.ReadSRS(r, c)
+	if err != nil {
+		return err
+	}
+	if len(srs.G1) < int(n)+1 {
+		return fmt.Errorf("plonk: SRS size %d below domain %d", len(srs.G1), n)
+	}
+	*pk = ProvingKey{SRS: srs}
+	pk.Domain = &poly.Domain{N: int(n)}
+	return nil
+}
+
+// vkPoints lists the verifying key's commitments in wire order.
+func (vk *VerifyingKey) vkPoints() []*curve.G1Affine {
+	return []*curve.G1Affine{
+		&vk.CQl, &vk.CQr, &vk.CQo, &vk.CQm, &vk.CQc,
+		&vk.CS1, &vk.CS2, &vk.CS3,
+	}
+}
+
+// Serialize writes the verifying key. The SRS contributes only [τ]G2 —
+// the pairing check never touches the G1 powers.
+func (vk *VerifyingKey) Serialize(w io.Writer, c *curve.Curve) error {
+	for _, v := range []uint64{uint64(vk.N), uint64(vk.NumPub)} {
+		if err := writeU64(w, v); err != nil {
+			return err
+		}
+	}
+	for _, e := range []*ff.Element{&vk.K1, &vk.K2, &vk.Omega} {
+		if _, err := w.Write(c.Fr.Bytes(e)); err != nil {
+			return err
+		}
+	}
+	for _, pt := range vk.vkPoints() {
+		if _, err := w.Write(c.G1Bytes(pt)); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(c.G2Bytes(&vk.SRS.G2Tau))
+	return err
+}
+
+// Deserialize reads a verifying key written by Serialize.
+func (vk *VerifyingKey) Deserialize(r io.Reader, c *curve.Curve) error {
+	n, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	numPub, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	vk.N, vk.NumPub = int(n), int(numPub)
+	sbuf := make([]byte, c.Fr.ByteLen())
+	for _, e := range []*ff.Element{&vk.K1, &vk.K2, &vk.Omega} {
+		if _, err := io.ReadFull(r, sbuf); err != nil {
+			return err
+		}
+		c.Fr.SetBytes(e, sbuf)
+	}
+	g1buf := make([]byte, c.G1EncodedLen())
+	for _, pt := range vk.vkPoints() {
+		if _, err := io.ReadFull(r, g1buf); err != nil {
+			return err
+		}
+		if err := c.G1SetBytes(pt, g1buf); err != nil {
+			return err
+		}
+	}
+	vk.SRS = &kzg.SRS{C: c}
+	g2buf := make([]byte, c.G2EncodedLen())
+	if _, err := io.ReadFull(r, g2buf); err != nil {
+		return err
+	}
+	return c.G2SetBytes(&vk.SRS.G2Tau, g2buf)
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
 }

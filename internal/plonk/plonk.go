@@ -1,14 +1,22 @@
 package plonk
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
 	"zkperf/internal/kzg"
 	"zkperf/internal/pairing"
+	"zkperf/internal/parallel"
 	"zkperf/internal/poly"
 )
+
+// ErrInvalidProof is returned by Verify when a proof fails one of the
+// checks — the constraint identity at ζ or a KZG opening. Wrapped so
+// callers can errors.Is it apart from malformed-input errors.
+var ErrInvalidProof = errors.New("plonk: invalid proof")
 
 // ProvingKey holds the preprocessed circuit: selector and permutation
 // polynomials (coefficient form), the evaluation domain and the SRS.
@@ -57,17 +65,36 @@ type Proof struct {
 type Engine struct {
 	Curve *curve.Curve
 	Pair  *pairing.Engine
+
+	// Threads bounds the parallelism of the MSM commits and the quotient
+	// coset evaluation. 1 disables parallelism.
+	Threads int
 }
 
 // NewEngine creates a PLONK engine.
 func NewEngine(c *curve.Curve) *Engine {
-	return &Engine{Curve: c, Pair: pairing.NewEngine(c)}
+	return &Engine{Curve: c, Pair: pairing.NewEngine(c), Threads: 1}
+}
+
+// threads returns the effective worker count.
+func (e *Engine) threads() int {
+	if e.Threads < 1 {
+		return 1
+	}
+	return e.Threads
 }
 
 // Setup preprocesses the circuit: builds the evaluation domain, the σ
 // permutation, interpolates selectors and commits to everything. The SRS
 // trusted setup consumes rng.
 func (e *Engine) Setup(c *Circuit, rng *ff.RNG) (*ProvingKey, *VerifyingKey, error) {
+	return e.SetupCtx(context.Background(), c, rng)
+}
+
+// SetupCtx is the cancellable Setup: ctx is threaded into the SRS
+// fixed-base batch and the eight preprocessing commits, so a cancelled
+// caller stops the setup promptly.
+func (e *Engine) SetupCtx(ctx context.Context, c *Circuit, rng *ff.RNG) (*ProvingKey, *VerifyingKey, error) {
 	fr := e.Curve.Fr
 	if c.NumGates() == 0 {
 		return nil, nil, fmt.Errorf("plonk: empty circuit")
@@ -76,15 +103,42 @@ func (e *Engine) Setup(c *Circuit, rng *ff.RNG) (*ProvingKey, *VerifyingKey, err
 	if err != nil {
 		return nil, nil, err
 	}
-	n := d.N
 
-	srs, err := kzg.NewSRS(e.Curve, n+1, rng)
+	srs, err := kzg.NewSRSCtx(ctx, e.Curve, d.N+1, rng, e.threads())
 	if err != nil {
 		return nil, nil, err
 	}
+	pk, err := e.Preprocess(c, srs)
+	if err != nil {
+		return nil, nil, err
+	}
+	vk, err := e.BuildVK(ctx, pk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pk, vk, nil
+}
+
+// Preprocess builds the per-circuit half of the proving key over an
+// existing (universal) SRS: the evaluation domain, coset shifts, selector
+// interpolations and the σ permutation polynomials. It is deterministic —
+// re-running it for the same circuit and SRS reproduces the same key,
+// which is what lets the serialized proving key carry only the SRS.
+func (e *Engine) Preprocess(c *Circuit, srs *kzg.SRS) (*ProvingKey, error) {
+	fr := e.Curve.Fr
+	if c.NumGates() == 0 {
+		return nil, fmt.Errorf("plonk: empty circuit")
+	}
+	d, err := poly.NewDomain(fr, c.NumGates())
+	if err != nil {
+		return nil, err
+	}
+	n := d.N
+	if srs.MaxDegree() < n+1 {
+		return nil, fmt.Errorf("plonk: SRS supports degree %d, circuit needs %d", srs.MaxDegree()-1, n)
+	}
 
 	pk := &ProvingKey{C: c, Domain: d, SRS: srs}
-	vk := &VerifyingKey{N: n, NumPub: c.nPub, Omega: d.Root, SRS: srs}
 
 	// Coset shifts k1, k2: k1·H and k2·H must be disjoint from H and from
 	// each other. Small constants work for our fields; verify anyway.
@@ -102,15 +156,14 @@ func (e *Engine) Setup(c *Circuit, rng *ff.RNG) (*ProvingKey, *VerifyingKey, err
 	fr.Inverse(&ratio, &pk.K2)
 	fr.Mul(&ratio, &ratio, &pk.K1)
 	if err := checkCoset(&pk.K1); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := checkCoset(&pk.K2); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := checkCoset(&ratio); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	vk.K1, vk.K2 = pk.K1, pk.K2
 
 	// Selector polynomials: pad values to N, interpolate.
 	interp := func(vals []ff.Element) []ff.Element {
@@ -173,39 +226,61 @@ func (e *Engine) Setup(c *Circuit, rng *ff.RNG) (*ProvingKey, *VerifyingKey, err
 	pk.S1 = interp(pk.s1v)
 	pk.S2 = interp(pk.s2v)
 	pk.S3 = interp(pk.s3v)
+	return pk, nil
+}
 
-	commit := func(p []ff.Element) (curve.G1Affine, error) { return srs.Commit(p) }
+// BuildVK commits to the preprocessed polynomials, producing the
+// verifying key that pairs with pk.
+func (e *Engine) BuildVK(ctx context.Context, pk *ProvingKey) (*VerifyingKey, error) {
+	vk := &VerifyingKey{
+		N: pk.Domain.N, NumPub: pk.C.nPub, Omega: pk.Domain.Root,
+		K1: pk.K1, K2: pk.K2, SRS: pk.SRS,
+	}
+	var err error
+	commit := func(p []ff.Element) (curve.G1Affine, error) {
+		return pk.SRS.CommitCtx(ctx, p, e.threads())
+	}
 	if vk.CQl, err = commit(pk.Ql); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CQr, err = commit(pk.Qr); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CQo, err = commit(pk.Qo); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CQm, err = commit(pk.Qm); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CQc, err = commit(pk.Qc); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CS1, err = commit(pk.S1); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CS2, err = commit(pk.S2); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if vk.CS3, err = commit(pk.S3); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return pk, vk, nil
+	return vk, nil
 }
 
 // Prove produces a proof that the assignment satisfies the circuit with
 // the given public inputs (the values of the declared PublicInput
 // variables, in order).
 func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proof, error) {
+	return e.ProveCtx(context.Background(), pk, w, public)
+}
+
+// ProveCtx is the cancellable Prove: ctx is threaded into every KZG
+// commit and opening (checked at Pippenger-window boundaries) and into
+// the coset quotient evaluation (checked at chunk boundaries), and
+// re-checked between the NTT passes — so a cancelled or deadline-expired
+// PLONK job stops burning cores within one kernel chunk, mirroring
+// groth16.ProveCtx.
+func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, public []ff.Element) (*Proof, error) {
 	fr := e.Curve.Fr
 	c := pk.C
 	d := pk.Domain
@@ -224,13 +299,13 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 	cCoef := intt(d, cv)
 
 	proof := &Proof{}
-	if proof.CA, err = pk.SRS.Commit(aCoef); err != nil {
+	if proof.CA, err = pk.SRS.CommitCtx(ctx, aCoef, e.threads()); err != nil {
 		return nil, err
 	}
-	if proof.CB, err = pk.SRS.Commit(bCoef); err != nil {
+	if proof.CB, err = pk.SRS.CommitCtx(ctx, bCoef, e.threads()); err != nil {
 		return nil, err
 	}
-	if proof.CC, err = pk.SRS.Commit(cCoef); err != nil {
+	if proof.CC, err = pk.SRS.CommitCtx(ctx, cCoef, e.threads()); err != nil {
 		return nil, err
 	}
 
@@ -273,13 +348,16 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 		fr.Mul(&dens[i], &dens[i], &t3)
 		fr.Mul(&omegaI, &omegaI, &d.Root)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fr.BatchInverse(dens)
 	for i := 0; i < n-1; i++ {
 		fr.Mul(&t1, &nums[i], &dens[i])
 		fr.Mul(&zv[i+1], &zv[i], &t1)
 	}
 	zCoef := intt(d, zv)
-	if proof.CZ, err = pk.SRS.Commit(zCoef); err != nil {
+	if proof.CZ, err = pk.SRS.CommitCtx(ctx, zCoef, e.threads()); err != nil {
 		return nil, err
 	}
 	tr.absorbPoint(&proof.CZ)
@@ -309,11 +387,17 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 		fr.Mul(&wp, &wp, &d.Root)
 	}
 	zwX := toCoset(zwCoef)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	qlX := toCoset(pk.Ql)
 	qrX := toCoset(pk.Qr)
 	qoX := toCoset(pk.Qo)
 	qmX := toCoset(pk.Qm)
 	qcX := toCoset(pk.Qc)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s1X := toCoset(pk.S1)
 	s2X := toCoset(pk.S2)
 	s3X := toCoset(pk.S3)
@@ -356,55 +440,65 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 	tEval := make([]ff.Element, d4.N)
 	var alpha2 ff.Element
 	fr.Square(&alpha2, &alpha)
-	fr.Set(&xj, &d4.CosetGen)
-	for j := 0; j < d4.N; j++ {
-		// gate = ql·a + qr·b + qo·c + qm·a·b + qc + PI
-		var gate, tmp ff.Element
-		fr.Mul(&gate, &qlX[j], &aX[j])
-		fr.Mul(&tmp, &qrX[j], &bX[j])
-		fr.Add(&gate, &gate, &tmp)
-		fr.Mul(&tmp, &qoX[j], &cX[j])
-		fr.Add(&gate, &gate, &tmp)
-		fr.Mul(&tmp, &qmX[j], &aX[j])
-		fr.Mul(&tmp, &tmp, &bX[j])
-		fr.Add(&gate, &gate, &tmp)
-		fr.Add(&gate, &gate, &qcX[j])
-		fr.Add(&gate, &gate, &piX[j])
+	// The per-point quotient evaluation is embarrassingly parallel: each
+	// chunk recomputes its starting coset point g·ω₄^lo and walks its own
+	// power chain. ChunksCtx both spreads it across e.Threads workers and
+	// bounds the cancellation latency to one chunk.
+	if err := parallel.ChunksCtx(ctx, d4.N, e.threads(), func(lo, hi int) {
+		var xj, rootLo ff.Element
+		fr.ExpUint64(&rootLo, &d4.Root, uint64(lo))
+		fr.Mul(&xj, &d4.CosetGen, &rootLo)
+		for j := lo; j < hi; j++ {
+			// gate = ql·a + qr·b + qo·c + qm·a·b + qc + PI
+			var gate, tmp ff.Element
+			fr.Mul(&gate, &qlX[j], &aX[j])
+			fr.Mul(&tmp, &qrX[j], &bX[j])
+			fr.Add(&gate, &gate, &tmp)
+			fr.Mul(&tmp, &qoX[j], &cX[j])
+			fr.Add(&gate, &gate, &tmp)
+			fr.Mul(&tmp, &qmX[j], &aX[j])
+			fr.Mul(&tmp, &tmp, &bX[j])
+			fr.Add(&gate, &gate, &tmp)
+			fr.Add(&gate, &gate, &qcX[j])
+			fr.Add(&gate, &gate, &piX[j])
 
-		// perm1 = Π(w + β·id + γ)·z − Π(w + β·σ + γ)·z(ωx)
-		var k1x, k2x, p1, p2, f1, f2, f3 ff.Element
-		fr.Mul(&k1x, &pk.K1, &xj)
-		fr.Mul(&k2x, &pk.K2, &xj)
-		f1 = factor(&aX[j], &xj)
-		f2 = factor(&bX[j], &k1x)
-		f3 = factor(&cX[j], &k2x)
-		fr.Mul(&p1, &f1, &f2)
-		fr.Mul(&p1, &p1, &f3)
-		fr.Mul(&p1, &p1, &zX[j])
-		f1 = factor(&aX[j], &s1X[j])
-		f2 = factor(&bX[j], &s2X[j])
-		f3 = factor(&cX[j], &s3X[j])
-		fr.Mul(&p2, &f1, &f2)
-		fr.Mul(&p2, &p2, &f3)
-		fr.Mul(&p2, &p2, &zwX[j])
-		var perm1 ff.Element
-		fr.Sub(&perm1, &p1, &p2)
+			// perm1 = Π(w + β·id + γ)·z − Π(w + β·σ + γ)·z(ωx)
+			var k1x, k2x, p1, p2, f1, f2, f3 ff.Element
+			fr.Mul(&k1x, &pk.K1, &xj)
+			fr.Mul(&k2x, &pk.K2, &xj)
+			f1 = factor(&aX[j], &xj)
+			f2 = factor(&bX[j], &k1x)
+			f3 = factor(&cX[j], &k2x)
+			fr.Mul(&p1, &f1, &f2)
+			fr.Mul(&p1, &p1, &f3)
+			fr.Mul(&p1, &p1, &zX[j])
+			f1 = factor(&aX[j], &s1X[j])
+			f2 = factor(&bX[j], &s2X[j])
+			f3 = factor(&cX[j], &s3X[j])
+			fr.Mul(&p2, &f1, &f2)
+			fr.Mul(&p2, &p2, &f3)
+			fr.Mul(&p2, &p2, &zwX[j])
+			var perm1 ff.Element
+			fr.Sub(&perm1, &p1, &p2)
 
-		// perm2 = (z − 1)·L1 with L1(x_j) = Z_H(x_j)/(N(x_j − 1)).
-		var perm2, l1v ff.Element
-		fr.Sub(&perm2, &zX[j], &one)
-		fr.Mul(&l1v, &zhVals[j%4], &l1Den[j])
-		fr.Mul(&perm2, &perm2, &l1v)
+			// perm2 = (z − 1)·L1 with L1(x_j) = Z_H(x_j)/(N(x_j − 1)).
+			var perm2, l1v ff.Element
+			fr.Sub(&perm2, &zX[j], &one)
+			fr.Mul(&l1v, &zhVals[j%4], &l1Den[j])
+			fr.Mul(&perm2, &perm2, &l1v)
 
-		// t = (gate + α·perm1 + α²·perm2) / Z_H
-		var num ff.Element
-		fr.Mul(&tmp, &alpha, &perm1)
-		fr.Add(&num, &gate, &tmp)
-		fr.Mul(&tmp, &alpha2, &perm2)
-		fr.Add(&num, &num, &tmp)
-		fr.Mul(&tEval[j], &num, &zhInv[j%4])
+			// t = (gate + α·perm1 + α²·perm2) / Z_H
+			var num ff.Element
+			fr.Mul(&tmp, &alpha, &perm1)
+			fr.Add(&num, &gate, &tmp)
+			fr.Mul(&tmp, &alpha2, &perm2)
+			fr.Add(&num, &num, &tmp)
+			fr.Mul(&tEval[j], &num, &zhInv[j%4])
 
-		fr.Mul(&xj, &xj, &d4.Root)
+			fr.Mul(&xj, &xj, &d4.Root)
+		}
+	}); err != nil {
+		return nil, err
 	}
 	d4.CosetINTT(tEval)
 	// Degree sanity: everything beyond 3N must vanish.
@@ -416,19 +510,22 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 	tLo := tEval[:n]
 	tMid := tEval[n : 2*n]
 	tHi := tEval[2*n : 3*n]
-	if proof.CTlo, err = pk.SRS.Commit(tLo); err != nil {
+	if proof.CTlo, err = pk.SRS.CommitCtx(ctx, tLo, e.threads()); err != nil {
 		return nil, err
 	}
-	if proof.CTmid, err = pk.SRS.Commit(tMid); err != nil {
+	if proof.CTmid, err = pk.SRS.CommitCtx(ctx, tMid, e.threads()); err != nil {
 		return nil, err
 	}
-	if proof.CThi, err = pk.SRS.Commit(tHi); err != nil {
+	if proof.CThi, err = pk.SRS.CommitCtx(ctx, tHi, e.threads()); err != nil {
 		return nil, err
 	}
 	tr.absorbPoint(&proof.CTlo)
 	tr.absorbPoint(&proof.CTmid)
 	tr.absorbPoint(&proof.CThi)
 	zeta := tr.challenge()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Evaluations at ζ (and ζω for z).
 	polysAtZeta := []struct {
@@ -466,10 +563,10 @@ func (e *Engine) Prove(pk *ProvingKey, w Assignment, public []ff.Element) (*Proo
 		}
 		fr.Mul(&vPow, &vPow, &v)
 	}
-	if _, proof.Wz, err = pk.SRS.Open(batched, &zeta); err != nil {
+	if _, proof.Wz, err = pk.SRS.OpenCtx(ctx, batched, &zeta, e.threads()); err != nil {
 		return nil, err
 	}
-	if _, proof.Wzw, err = pk.SRS.Open(zCoef, &zetaOmega); err != nil {
+	if _, proof.Wzw, err = pk.SRS.OpenCtx(ctx, zCoef, &zetaOmega, e.threads()); err != nil {
 		return nil, err
 	}
 	return proof, nil
@@ -629,7 +726,7 @@ func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) err
 	var rhs ff.Element
 	fr.Mul(&rhs, &tZeta, &zh)
 	if !fr.Equal(&lhs, &rhs) {
-		return fmt.Errorf("plonk: constraint identity fails at ζ")
+		return fmt.Errorf("%w: constraint identity fails at ζ", ErrInvalidProof)
 	}
 
 	// Batched KZG opening at ζ: combine commitments and evaluations with
@@ -655,13 +752,13 @@ func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) err
 	var combinedC curve.G1Affine
 	e.Curve.G1ToAffine(&combinedC, &accJ)
 	if !vk.SRS.Verify(e.Pair, &combinedC, &zeta, &combinedEval, &proof.Wz) {
-		return fmt.Errorf("plonk: batched opening at ζ fails")
+		return fmt.Errorf("%w: batched opening at ζ fails", ErrInvalidProof)
 	}
 
 	var zetaOmega ff.Element
 	fr.Mul(&zetaOmega, &zeta, &vk.Omega)
 	if !vk.SRS.Verify(e.Pair, &proof.CZ, &zetaOmega, &proof.EvZw, &proof.Wzw) {
-		return fmt.Errorf("plonk: opening of z at ζω fails")
+		return fmt.Errorf("%w: opening of z at ζω fails", ErrInvalidProof)
 	}
 	return nil
 }

@@ -10,30 +10,42 @@ import (
 	"net/http"
 	"time"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/ff"
-	"zkperf/internal/groth16"
 	"zkperf/internal/witness"
 )
 
-// The HTTP front-end: stdlib-only JSON endpoints over the service.
+// The HTTP front-end: stdlib-only JSON endpoints over the service,
+// versioned under /v1.
 //
-//	POST /prove        {"curve","circuit","inputs":{name:value},"timeout_ms"}
-//	POST /prove/batch  {"requests":[<prove body>, …]}
-//	POST /verify       {"curve","circuit","proof","public":[values]}
-//	GET  /stats        counters, cache hit rate, per-stage p50/p95/p99
-//	GET  /healthz      200 while accepting work, 503 while draining
+//	POST /v1/prove        {"curve","backend","circuit","inputs":{name:value},"timeout_ms"}
+//	POST /v1/prove/batch  {"requests":[<prove body>, …]}
+//	POST /v1/verify       {"curve","backend","circuit","proof","public":[values]}
+//	GET  /v1/stats        counters, cache hit rate, per-stage and per-backend p50/p95/p99
+//	GET  /v1/healthz      200 while accepting work, 503 while draining
 //
-// Field elements travel as decimal or 0x-hex strings; proofs as hex of
-// the compressed serialization.
+// The legacy unversioned paths answer 308 Permanent Redirect to their
+// /v1 equivalents (clients following redirects re-send the body, per RFC
+// 9110 §15.4.9). "backend" selects the proving scheme and defaults to
+// "groth16". Field elements travel as decimal or 0x-hex strings; proofs
+// as hex of the backend's serialization.
+//
+// Errors share one JSON envelope: {"code","message","retryable"}. code
+// is a stable machine-readable string (see errorClass), retryable tells
+// clients whether the same request can succeed later (load shedding,
+// drains and deadlines are retryable; malformed requests and invalid
+// proofs are not).
 
 type proveBody struct {
 	Curve     string            `json:"curve"`
+	Backend   string            `json:"backend"`
 	Circuit   string            `json:"circuit"`
 	Inputs    map[string]string `json:"inputs"`
 	TimeoutMs int64             `json:"timeout_ms"`
 }
 
 type proveReply struct {
+	Backend     string   `json:"backend"`
 	Proof       string   `json:"proof"`
 	Public      []string `json:"public"` // circuit public wires, constant wire omitted
 	QueueWaitMs float64  `json:"queue_wait_ms"`
@@ -46,45 +58,68 @@ type batchBody struct {
 	Requests []proveBody `json:"requests"`
 }
 
+type errEnvelope struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
 type batchItem struct {
 	*proveReply
-	Error string `json:"error,omitempty"`
-	Code  int    `json:"code,omitempty"`
+	Error *errEnvelope `json:"error,omitempty"`
 }
 
 type verifyBody struct {
 	Curve   string   `json:"curve"`
+	Backend string   `json:"backend"`
 	Circuit string   `json:"circuit"`
 	Proof   string   `json:"proof"`
 	Public  []string `json:"public"`
 }
 
-// NewHandler wraps the service in an http.Handler.
+// NewHandler wraps the service in an http.Handler serving the /v1 API,
+// with 308 redirects from the legacy unversioned paths.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /prove", s.handleProve)
-	mux.HandleFunc("POST /prove/batch", s.handleProveBatch)
-	mux.HandleFunc("POST /verify", s.handleVerify)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/prove", s.handleProve)
+	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/healthz"} {
+		mux.Handle(path, http.RedirectHandler("/v1"+path, http.StatusPermanentRedirect))
+	}
 	return mux
 }
 
-// httpStatus maps service errors onto status codes: load shedding is 429,
-// draining 503, deadline 504, bad circuits/inputs 400.
-func httpStatus(err error) int {
+// errorClass maps a service error to its HTTP status, stable error code
+// and retryability. Documented in the README's error-code table.
+func errorClass(err error) (status int, code string, retryable bool) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrDropped):
-		return http.StatusServiceUnavailable
+		return http.StatusTooManyRequests, "queue_full", true
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining", true
+	case errors.Is(err, ErrDropped):
+		return http.StatusServiceUnavailable, "dropped", true
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, "deadline_exceeded", true
 	case errors.Is(err, context.Canceled):
-		return http.StatusRequestTimeout
+		return http.StatusRequestTimeout, "canceled", false
+	case errors.Is(err, backend.ErrUnknownBackend):
+		return http.StatusBadRequest, "unknown_backend", false
+	case errors.Is(err, ErrUnknownCurve):
+		return http.StatusBadRequest, "unknown_curve", false
+	case errors.Is(err, backend.ErrInvalidProof):
+		return http.StatusBadRequest, "invalid_proof", false
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request", false
 	}
+}
+
+func envelope(err error) (int, *errEnvelope) {
+	status, code, retryable := errorClass(err)
+	return status, &errEnvelope{Code: code, Message: err.Error(), Retryable: retryable}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -94,8 +129,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	status := httpStatus(err)
-	writeJSON(w, status, map[string]any{"error": err.Error(), "code": status})
+	status, env := envelope(err)
+	writeJSON(w, status, env)
 }
 
 // toRequest converts the wire form to a ProveRequest, parsing inputs in
@@ -103,23 +138,30 @@ func writeError(w http.ResponseWriter, err error) {
 func (s *Service) toRequest(b proveBody) (ProveRequest, error) {
 	req := ProveRequest{
 		Curve:   b.Curve,
+		Backend: b.Backend,
 		Source:  b.Circuit,
 		Timeout: time.Duration(b.TimeoutMs) * time.Millisecond,
 	}
 	if req.Curve == "" {
 		req.Curve = "bn128"
 	}
+	if req.Backend == "" {
+		req.Backend = DefaultBackend
+	}
 	if req.Source == "" {
 		return req, fmt.Errorf("provesvc: missing circuit source")
 	}
-	eng, err := s.reg.EngineFor(req.Curve)
+	if !s.reg.backendEnabled(req.Backend) {
+		return req, fmt.Errorf("%w %q (serving: %v)", backend.ErrUnknownBackend, req.Backend, s.reg.Backends())
+	}
+	c, err := s.reg.CurveFor(req.Curve)
 	if err != nil {
 		return req, err
 	}
 	req.Inputs = make(witness.Assignment, len(b.Inputs))
 	for name, val := range b.Inputs {
 		var e ff.Element
-		if _, err := eng.Curve.Fr.SetString(&e, val); err != nil {
+		if _, err := c.Fr.SetString(&e, val); err != nil {
 			return req, fmt.Errorf("provesvc: input %q: %w", name, err)
 		}
 		req.Inputs[name] = e
@@ -129,15 +171,16 @@ func (s *Service) toRequest(b proveBody) (ProveRequest, error) {
 
 func (s *Service) toReply(res *ProveResult) (*proveReply, error) {
 	var buf bytes.Buffer
-	if err := res.Proof.Serialize(&buf, res.Artifact.Engine.Curve); err != nil {
+	if err := res.Proof.Encode(&buf); err != nil {
 		return nil, err
 	}
-	fr := res.Artifact.Engine.Curve.Fr
+	fr := res.Artifact.Backend.Curve().Fr
 	pub := make([]string, 0, len(res.Public)-1)
 	for i := 1; i < len(res.Public); i++ { // skip the constant wire
 		pub = append(pub, fr.String(&res.Public[i]))
 	}
 	return &proveReply{
+		Backend:     res.Proof.Backend(),
 		Proof:       hex.EncodeToString(buf.Bytes()),
 		Public:      pub,
 		QueueWaitMs: float64(res.QueueWait) / 1e6,
@@ -193,8 +236,7 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].proveReply, err = s.toReply(results[i])
 		}
 		if err != nil {
-			items[i].Error = err.Error()
-			items[i].Code = httpStatus(err)
+			_, items[i].Error = envelope(err)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": items})
@@ -209,7 +251,10 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if body.Curve == "" {
 		body.Curve = "bn128"
 	}
-	eng, err := s.reg.EngineFor(body.Curve)
+	if body.Backend == "" {
+		body.Backend = DefaultBackend
+	}
+	bk, err := s.reg.BackendFor(body.Curve, body.Backend)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -219,12 +264,12 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("provesvc: bad proof hex: %w", err))
 		return
 	}
-	var proof groth16.Proof
-	if err := proof.Deserialize(bytes.NewReader(raw), eng.Curve); err != nil {
-		writeError(w, fmt.Errorf("provesvc: bad proof: %w", err))
+	proof, err := bk.ReadProof(bytes.NewReader(raw))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, body.Backend, err))
 		return
 	}
-	fr := eng.Curve.Fr
+	fr := bk.Curve().Fr
 	public := make([]ff.Element, len(body.Public)+1)
 	fr.One(&public[0])
 	for i, v := range body.Public {
@@ -234,10 +279,11 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	valid, err := s.Verify(r.Context(), VerifyRequest{
-		Curve:  body.Curve,
-		Source: body.Circuit,
-		Proof:  &proof,
-		Public: public,
+		Curve:   body.Curve,
+		Backend: body.Backend,
+		Source:  body.Circuit,
+		Proof:   proof,
+		Public:  public,
 	})
 	if err != nil {
 		writeError(w, err)

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 )
 
@@ -29,8 +30,23 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]an
 	return resp, out
 }
 
+// wantEnvelope asserts the response body is the error envelope with the
+// given code and retryability.
+func wantEnvelope(t *testing.T, out map[string]any, code string, retryable bool) {
+	t.Helper()
+	if out["code"] != code {
+		t.Errorf("error code = %v, want %q (body %v)", out["code"], code, out)
+	}
+	if out["retryable"] != retryable {
+		t.Errorf("retryable = %v, want %v (code %v)", out["retryable"], retryable, out["code"])
+	}
+	if msg, _ := out["message"].(string); msg == "" {
+		t.Errorf("error envelope missing message: %v", out)
+	}
+}
+
 func TestHTTPProveVerifyStats(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 11})
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(11))
 	s.Start()
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(NewHandler(s))
@@ -44,9 +60,12 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 	}
 
 	// First prove pays compile+setup; the second must hit the cache.
-	resp, out := postJSON(t, ts.URL+"/prove", prove)
+	resp, out := postJSON(t, ts.URL+"/v1/prove", prove)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("prove status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["backend"] != DefaultBackend {
+		t.Errorf("reply backend = %v, want %q when omitted", out["backend"], DefaultBackend)
 	}
 	proofHex, _ := out["proof"].(string)
 	if proofHex == "" {
@@ -60,7 +79,7 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 	if publicAny[0] != "43046721" {
 		t.Errorf("y = %v, want 43046721", publicAny[0])
 	}
-	if resp, _ := postJSON(t, ts.URL+"/prove", prove); resp.StatusCode != http.StatusOK {
+	if resp, _ := postJSON(t, ts.URL+"/v1/prove", prove); resp.StatusCode != http.StatusOK {
 		t.Fatalf("second prove status = %d", resp.StatusCode)
 	}
 
@@ -71,7 +90,7 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 		"proof":   proofHex,
 		"public":  []string{"43046721"},
 	}
-	resp, out = postJSON(t, ts.URL+"/verify", verify)
+	resp, out = postJSON(t, ts.URL+"/v1/verify", verify)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("verify status = %d, body %v", resp.StatusCode, out)
 	}
@@ -79,12 +98,12 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 		t.Fatalf("verify = %v, want valid", out)
 	}
 	verify["public"] = []string{"999"}
-	if _, out = postJSON(t, ts.URL+"/verify", verify); out["valid"] != false {
+	if _, out = postJSON(t, ts.URL+"/v1/verify", verify); out["valid"] != false {
 		t.Fatalf("verify with wrong public = %v, want invalid", out)
 	}
 
 	// Stats reflect the traffic: two proves, one setup, cache hits > 0.
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,19 +122,166 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 		t.Errorf("setups = %d, want 1", st.Setups)
 	}
 
-	// Bad requests are 400s.
-	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{"circuit": "circuit Broken {"})
+	// Bad requests are 400s with the error envelope.
+	resp, out = postJSON(t, ts.URL+"/v1/prove", map[string]any{"circuit": "circuit Broken {"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("broken circuit status = %d, want 400", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{})
+	wantEnvelope(t, out, "bad_request", false)
+	resp, _ = postJSON(t, ts.URL+"/v1/prove", map[string]any{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty body status = %d, want 400", resp.StatusCode)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/prove", map[string]any{
+		"circuit": src, "curve": "secp256k1",
+		"inputs": map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown curve status = %d, want 400", resp.StatusCode)
+	}
+	wantEnvelope(t, out, "unknown_curve", false)
+	resp, out = postJSON(t, ts.URL+"/v1/prove", map[string]any{
+		"circuit": src, "backend": "stark",
+		"inputs": map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown backend status = %d, want 400", resp.StatusCode)
+	}
+	wantEnvelope(t, out, "unknown_backend", false)
+}
+
+// TestHTTPPlonkProveVerify drives the acceptance flow: POST /v1/prove
+// with "backend": "plonk" returns a verifiable proof and /v1/stats shows
+// per-backend latency quantiles.
+func TestHTTPPlonkProveVerify(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(12))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	resp, out := postJSON(t, ts.URL+"/v1/prove", map[string]any{
+		"curve":   "bn128",
+		"backend": "plonk",
+		"circuit": src,
+		"inputs":  map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plonk prove status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["backend"] != "plonk" {
+		t.Errorf("reply backend = %v, want plonk", out["backend"])
+	}
+	proofHex, _ := out["proof"].(string)
+	if proofHex == "" {
+		t.Fatal("plonk prove response has no proof")
+	}
+
+	resp, out = postJSON(t, ts.URL+"/v1/verify", map[string]any{
+		"curve":   "bn128",
+		"backend": "plonk",
+		"circuit": src,
+		"proof":   proofHex,
+		"public":  []string{"43046721"},
+	})
+	if resp.StatusCode != http.StatusOK || out["valid"] != true {
+		t.Fatalf("plonk verify = %d %v, want valid", resp.StatusCode, out)
+	}
+
+	// A groth16 proof handed to the plonk verifier must come back invalid
+	// or undecodable, never 5xx.
+	resp2, out2 := postJSON(t, ts.URL+"/v1/prove", map[string]any{
+		"circuit": src, "inputs": map[string]string{"x": "3"},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("groth16 prove status = %d", resp2.StatusCode)
+	}
+	g16Hex, _ := out2["proof"].(string)
+	resp, out = postJSON(t, ts.URL+"/v1/verify", map[string]any{
+		"backend": "plonk", "circuit": src,
+		"proof": g16Hex, "public": []string{"43046721"},
+	})
+	if resp.StatusCode == http.StatusOK {
+		if out["valid"] != false {
+			t.Errorf("groth16 proof accepted by plonk verifier: %v", out)
+		}
+	} else if resp.StatusCode == http.StatusBadRequest {
+		wantEnvelope(t, out, "invalid_proof", false)
+	} else {
+		t.Errorf("cross-backend verify status = %d, want 200-invalid or 400", resp.StatusCode)
+	}
+
+	// Per-backend stats carry the p50/p95/p99 readout for each scheme.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plonk", "groth16"} {
+		bst, ok := st.Backends[name]
+		if !ok {
+			t.Fatalf("stats missing backends[%q]: %v", name, st.Backends)
+		}
+		if bst.Completed == 0 {
+			t.Errorf("backends[%q].completed = 0, want > 0", name)
+		}
+		pr := bst.Stages["prove"]
+		if pr.Count == 0 || pr.P50Ms <= 0 || pr.P95Ms <= 0 || pr.P99Ms <= 0 {
+			t.Errorf("backends[%q].stages.prove = %+v, want populated quantiles", name, pr)
+		}
+	}
+}
+
+// TestHTTPLegacyRedirect pins the migration contract: unversioned paths
+// answer 308 with the /v1 location, and a client that follows redirects
+// (re-sending the POST body, per RFC 9110 §15.4.9) still gets served.
+func TestHTTPLegacyRedirect(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(19))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/healthz"} {
+		resp, err := noFollow.Post(ts.URL+path, "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s status = %d, want 308", path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1"+path {
+			t.Errorf("%s Location = %q, want %q", path, loc, "/v1"+path)
+		}
+	}
+
+	// The default client follows the 308 and re-sends the body: a legacy
+	// prove call keeps working end to end.
+	resp, out := postJSON(t, ts.URL+"/prove", map[string]any{
+		"circuit": circuit.ExponentiateSource(8),
+		"inputs":  map[string]string{"x": "2"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy prove via redirect status = %d, body %v", resp.StatusCode, out)
+	}
+	if p, _ := out["proof"].(string); p == "" {
+		t.Fatal("legacy prove via redirect returned no proof")
 	}
 }
 
 func TestHTTPBatch(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 13})
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(13))
 	s.Start()
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(NewHandler(s))
@@ -124,10 +290,10 @@ func TestHTTPBatch(t *testing.T) {
 	src := circuit.ExponentiateSource(16)
 	body := map[string]any{"requests": []map[string]any{
 		{"circuit": src, "inputs": map[string]string{"x": "2"}},
-		{"circuit": src, "inputs": map[string]string{"x": "3"}},
+		{"circuit": src, "backend": "plonk", "inputs": map[string]string{"x": "3"}},
 		{"circuit": src, "inputs": map[string]string{}}, // missing input
 	}}
-	resp, out := postJSON(t, ts.URL+"/prove/batch", body)
+	resp, out := postJSON(t, ts.URL+"/v1/prove/batch", body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status = %d", resp.StatusCode)
 	}
@@ -141,19 +307,24 @@ func TestHTTPBatch(t *testing.T) {
 			t.Errorf("batch[%d] = %v, want a proof", i, item)
 		}
 	}
-	last := results[2].(map[string]any)
-	if last["error"] == nil {
-		t.Error("batch[2] with missing input should carry an error")
+	if b := results[1].(map[string]any)["backend"]; b != "plonk" {
+		t.Errorf("batch[1] backend = %v, want plonk", b)
 	}
+	last := results[2].(map[string]any)
+	env, _ := last["error"].(map[string]any)
+	if env == nil {
+		t.Fatal("batch[2] with missing input should carry an error envelope")
+	}
+	wantEnvelope(t, env, "bad_request", false)
 }
 
-func TestHTTPHealthAndQueueFullMapping(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1, Seed: 17})
+func TestHTTPHealthAndErrorClass(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(1), WithSeed(17))
 	s.Start()
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,20 +333,35 @@ func TestHTTPHealthAndQueueFullMapping(t *testing.T) {
 		t.Errorf("healthz = %d, want 200", resp.StatusCode)
 	}
 
-	if got := httpStatus(ErrQueueFull); got != http.StatusTooManyRequests {
-		t.Errorf("ErrQueueFull maps to %d, want 429", got)
+	// The error taxonomy documented in the README: status, stable code,
+	// and whether a client retry can succeed.
+	cases := []struct {
+		err       error
+		status    int
+		code      string
+		retryable bool
+	}{
+		{ErrQueueFull, http.StatusTooManyRequests, "queue_full", true},
+		{ErrDraining, http.StatusServiceUnavailable, "draining", true},
+		{ErrDropped, http.StatusServiceUnavailable, "dropped", true},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline_exceeded", true},
+		{context.Canceled, http.StatusRequestTimeout, "canceled", false},
+		{backend.ErrUnknownBackend, http.StatusBadRequest, "unknown_backend", false},
+		{ErrUnknownCurve, http.StatusBadRequest, "unknown_curve", false},
+		{backend.ErrInvalidProof, http.StatusBadRequest, "invalid_proof", false},
 	}
-	if got := httpStatus(ErrDraining); got != http.StatusServiceUnavailable {
-		t.Errorf("ErrDraining maps to %d, want 503", got)
-	}
-	if got := httpStatus(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
-		t.Errorf("DeadlineExceeded maps to %d, want 504", got)
+	for _, c := range cases {
+		status, code, retryable := errorClass(c.err)
+		if status != c.status || code != c.code || retryable != c.retryable {
+			t.Errorf("errorClass(%v) = (%d, %q, %v), want (%d, %q, %v)",
+				c.err, status, code, retryable, c.status, c.code, c.retryable)
+		}
 	}
 
 	if _, err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err = http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +370,13 @@ func TestHTTPHealthAndQueueFullMapping(t *testing.T) {
 		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
 	}
 
-	// Submissions after shutdown map to 503.
-	resp, _ = postJSON(t, ts.URL+"/prove", map[string]any{
+	// Submissions after shutdown map to 503 + retryable envelope.
+	resp, out := postJSON(t, ts.URL+"/v1/prove", map[string]any{
 		"circuit": circuit.ExponentiateSource(8),
 		"inputs":  map[string]string{"x": "2"},
 	})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("prove while draining = %d, want 503", resp.StatusCode)
 	}
+	wantEnvelope(t, out, "draining", true)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 	"zkperf/internal/ff"
 	"zkperf/internal/witness"
@@ -16,12 +17,12 @@ import (
 // the given curve's scalar field.
 func assignX(t *testing.T, s *Service, curveName string, v uint64) witness.Assignment {
 	t.Helper()
-	eng, err := s.reg.EngineFor(curveName)
+	c, err := s.reg.CurveFor(curveName)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var x ff.Element
-	eng.Curve.Fr.SetUint64(&x, v)
+	c.Fr.SetUint64(&x, v)
 	return witness.Assignment{"x": x}
 }
 
@@ -39,7 +40,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 }
 
 func TestRegistrySingleflight(t *testing.T) {
-	reg := NewRegistry(1, 1)
+	reg := NewRegistry(1, 1, nil)
 	src := circuit.ExponentiateSource(64)
 
 	const n = 16
@@ -52,7 +53,7 @@ func TestRegistrySingleflight(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait() // release all requesters at once
-			arts[i], errs[i] = reg.Get(context.Background(), "bn128", src)
+			arts[i], errs[i] = reg.Get(context.Background(), "bn128", "groth16", src)
 		}(i)
 	}
 	start.Done()
@@ -77,92 +78,209 @@ func TestRegistrySingleflight(t *testing.T) {
 	}
 }
 
+// TestMixedBackendSingleflight hammers one source under both backends
+// concurrently: the cache key includes the backend, so exactly one setup
+// must run per backend and the artifacts must not be shared across them.
+// Run under -race this also proves the registry's locking is clean when
+// backends interleave.
+func TestMixedBackendSingleflight(t *testing.T) {
+	reg := NewRegistry(1, 1, nil)
+	src := circuit.ExponentiateSource(64)
+
+	const perBackend = 8
+	names := backend.Names()
+	arts := make([][]*Artifact, len(names))
+	errs := make([][]error, len(names))
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for bi := range names {
+		arts[bi] = make([]*Artifact, perBackend)
+		errs[bi] = make([]error, perBackend)
+		done.Add(perBackend)
+		for i := 0; i < perBackend; i++ {
+			go func(bi, i int) {
+				defer done.Done()
+				start.Wait()
+				arts[bi][i], errs[bi][i] = reg.Get(context.Background(), "bn128", names[bi], src)
+			}(bi, i)
+		}
+	}
+	start.Done()
+	done.Wait()
+
+	for bi, name := range names {
+		for i := 0; i < perBackend; i++ {
+			if errs[bi][i] != nil {
+				t.Fatalf("%s Get[%d]: %v", name, i, errs[bi][i])
+			}
+			if arts[bi][i] != arts[bi][0] {
+				t.Fatalf("%s Get[%d] returned a different artifact", name, i)
+			}
+		}
+		if got := arts[bi][0].Backend.Name(); got != name {
+			t.Errorf("artifact backend = %q, want %q", got, name)
+		}
+	}
+	if arts[0][0] == arts[1][0] {
+		t.Error("backends shared one artifact; cache key must include the backend")
+	}
+	if got := reg.Setups(); got != uint64(len(names)) {
+		t.Errorf("setups = %d, want %d (one per backend)", got, len(names))
+	}
+}
+
 func TestRegistryCachesErrors(t *testing.T) {
-	reg := NewRegistry(1, 1)
-	_, err := reg.Get(context.Background(), "bn128", "circuit Broken {")
+	reg := NewRegistry(1, 1, nil)
+	_, err := reg.Get(context.Background(), "bn128", "groth16", "circuit Broken {")
 	if err == nil {
 		t.Fatal("expected a compile error")
 	}
-	_, err2 := reg.Get(context.Background(), "bn128", "circuit Broken {")
+	_, err2 := reg.Get(context.Background(), "bn128", "groth16", "circuit Broken {")
 	if err2 == nil {
 		t.Fatal("expected the cached compile error")
 	}
 	if got := reg.Setups(); got != 1 {
 		t.Errorf("setups = %d, want 1 (errors should be cached)", got)
 	}
-	if _, err := reg.Get(context.Background(), "no-such-curve", "x"); err == nil {
-		t.Fatal("expected unknown-curve error")
+	if _, err := reg.Get(context.Background(), "no-such-curve", "groth16", "x"); !errors.Is(err, ErrUnknownCurve) {
+		t.Fatalf("unknown curve err = %v, want ErrUnknownCurve", err)
+	}
+	if _, err := reg.Get(context.Background(), "bn128", "no-such-backend", "x"); !errors.Is(err, backend.ErrUnknownBackend) {
+		t.Fatalf("unknown backend err = %v, want ErrUnknownBackend", err)
 	}
 }
 
 func TestProveVerifyEndToEnd(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 42})
+	for _, backendName := range backend.Names() {
+		t.Run(backendName, func(t *testing.T) {
+			s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(42))
+			s.Start()
+			defer s.Shutdown(context.Background())
+
+			src := circuit.ExponentiateSource(64)
+			req := ProveRequest{
+				Curve: "bn128", Backend: backendName, Source: src,
+				Inputs: assignX(t, s, "bn128", 3),
+			}
+
+			res, err := s.Prove(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Proof.Backend(); got != backendName {
+				t.Fatalf("proof backend = %q, want %q", got, backendName)
+			}
+			valid, err := s.Verify(context.Background(), VerifyRequest{
+				Curve: "bn128", Backend: backendName, Source: src,
+				Proof: res.Proof, Public: res.Public,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valid {
+				t.Fatal("proof did not verify")
+			}
+
+			// A wrong public input must yield invalid (not an error).
+			bad := make([]ff.Element, len(res.Public))
+			copy(bad, res.Public)
+			c, _ := s.reg.CurveFor("bn128")
+			c.Fr.SetUint64(&bad[len(bad)-1], 12345)
+			valid, err = s.Verify(context.Background(), VerifyRequest{
+				Curve: "bn128", Backend: backendName, Source: src,
+				Proof: res.Proof, Public: bad,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if valid {
+				t.Fatal("tampered public input still verified")
+			}
+
+			// Repeated proves of the same circuit must hit the artifact cache.
+			if _, err := s.Prove(context.Background(), req); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.CacheHits == 0 {
+				t.Errorf("cache hits = 0 after repeated proves, want > 0")
+			}
+			if st.Setups != 1 {
+				t.Errorf("setups = %d, want 1", st.Setups)
+			}
+			if st.Completed != 2 {
+				t.Errorf("completed = %d, want 2", st.Completed)
+			}
+			if st.Stages["prove"].Count != 2 {
+				t.Errorf("prove histogram count = %d, want 2", st.Stages["prove"].Count)
+			}
+			bst, ok := st.Backends[backendName]
+			if !ok {
+				t.Fatalf("stats missing backend %q block", backendName)
+			}
+			if bst.Completed != 2 {
+				t.Errorf("backend completed = %d, want 2", bst.Completed)
+			}
+			if bst.Stages["prove"].P99Ms <= 0 {
+				t.Errorf("backend prove p99 = %v, want > 0", bst.Stages["prove"].P99Ms)
+			}
+		})
+	}
+}
+
+// TestUnknownBackendRejected checks both the configured-subset and the
+// never-registered cases fail fast without consuming a queue slot.
+func TestUnknownBackendRejected(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(2), WithBackends("groth16"))
 	s.Start()
 	defer s.Shutdown(context.Background())
 
-	src := circuit.ExponentiateSource(64)
-	req := ProveRequest{Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 3)}
-
-	res, err := s.Prove(context.Background(), req)
-	if err != nil {
-		t.Fatal(err)
+	src := circuit.ExponentiateSource(8)
+	for _, name := range []string{"plonk", "stark"} {
+		_, err := s.Prove(context.Background(), ProveRequest{
+			Curve: "bn128", Backend: name, Source: src,
+			Inputs: assignX(t, s, "bn128", 2),
+		})
+		if !errors.Is(err, backend.ErrUnknownBackend) {
+			t.Fatalf("backend %q err = %v, want ErrUnknownBackend", name, err)
+		}
 	}
-	valid, err := s.Verify(context.Background(), VerifyRequest{
-		Curve: "bn128", Source: src, Proof: res.Proof, Public: res.Public,
+	if got := s.Stats().Rejected; got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+	if got := s.Backends(); len(got) != 1 || got[0] != "groth16" {
+		t.Errorf("Backends() = %v, want [groth16]", got)
+	}
+}
+
+// TestDeprecatedConfigConstructor keeps the struct-form constructor
+// working for callers predating the options API.
+func TestDeprecatedConfigConstructor(t *testing.T) {
+	s := NewWithConfig(Config{Workers: 1, QueueDepth: 2, Seed: 21})
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	src := circuit.ExponentiateSource(16)
+	res, err := s.Prove(context.Background(), ProveRequest{
+		Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 2),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !valid {
-		t.Fatal("proof did not verify")
-	}
-
-	// A wrong public input must yield invalid (not an error).
-	bad := make([]ff.Element, len(res.Public))
-	copy(bad, res.Public)
-	eng, _ := s.reg.EngineFor("bn128")
-	eng.Curve.Fr.SetUint64(&bad[len(bad)-1], 12345)
-	valid, err = s.Verify(context.Background(), VerifyRequest{
-		Curve: "bn128", Source: src, Proof: res.Proof, Public: bad,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if valid {
-		t.Fatal("tampered public input still verified")
-	}
-
-	// Repeated proves of the same circuit must hit the artifact cache.
-	if _, err := s.Prove(context.Background(), req); err != nil {
-		t.Fatal(err)
-	}
-	st := s.Stats()
-	if st.CacheHits == 0 {
-		t.Errorf("cache hits = 0 after repeated proves, want > 0")
-	}
-	if st.Setups != 1 {
-		t.Errorf("setups = %d, want 1", st.Setups)
-	}
-	if st.Completed != 2 {
-		t.Errorf("completed = %d, want 2", st.Completed)
-	}
-	if st.Stages["prove"].Count != 2 {
-		t.Errorf("prove histogram count = %d, want 2", st.Stages["prove"].Count)
-	}
-	if st.Stages["prove"].P99Ms <= 0 {
-		t.Errorf("prove p99 = %v, want > 0", st.Stages["prove"].P99Ms)
+	if got := res.Proof.Backend(); got != DefaultBackend {
+		t.Errorf("default backend = %q, want %q", got, DefaultBackend)
 	}
 }
 
 func TestProveBatch(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8, Seed: 7})
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(7))
 	s.Start()
 	defer s.Shutdown(context.Background())
 
 	src := circuit.ExponentiateSource(32)
 	reqs := []ProveRequest{
 		{Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 2)},
-		{Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 5)},
+		{Curve: "bn128", Backend: "plonk", Source: src, Inputs: assignX(t, s, "bn128", 5)},
 		{Curve: "bn128", Source: src, Inputs: witness.Assignment{}}, // missing input
 	}
 	results, errs := s.ProveBatch(context.Background(), reqs)
@@ -171,7 +289,8 @@ func TestProveBatch(t *testing.T) {
 			t.Fatalf("batch[%d]: %v", i, errs[i])
 		}
 		valid, err := s.Verify(context.Background(), VerifyRequest{
-			Curve: "bn128", Source: src, Proof: results[i].Proof, Public: results[i].Public,
+			Curve: "bn128", Backend: reqs[i].Backend, Source: src,
+			Proof: results[i].Proof, Public: results[i].Public,
 		})
 		if err != nil || !valid {
 			t.Fatalf("batch[%d] proof invalid: %v", i, err)
@@ -184,7 +303,7 @@ func TestProveBatch(t *testing.T) {
 
 func TestQueueFullBackpressure(t *testing.T) {
 	gate := make(chan struct{})
-	s := New(Config{Workers: 1, QueueDepth: 1, Seed: 9})
+	s := New(WithWorkers(1), WithQueueDepth(1), WithSeed(9))
 	s.hookJobStart = func() { <-gate }
 	s.Start()
 	defer func() {
@@ -229,13 +348,19 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 }
 
-func TestCancellationAbortsProve(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, ProveThreads: 1, Seed: 3})
+// testCancellationAbortsProve checks worker-side cancellation latency for
+// one backend: a cancelled job must release its worker far sooner than a
+// full prove takes.
+func testCancellationAbortsProve(t *testing.T, backendName string) {
+	s := New(WithWorkers(1), WithQueueDepth(4), WithProveThreads(1), WithSeed(3))
 	s.Start()
 	defer s.Shutdown(context.Background())
 
 	src := circuit.ExponentiateSource(2048)
-	req := ProveRequest{Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 3)}
+	req := ProveRequest{
+		Curve: "bn128", Backend: backendName, Source: src,
+		Inputs: assignX(t, s, "bn128", 3),
+	}
 
 	// Baseline: a full prove on the warm cache (the first call also pays
 	// compile+setup, so time only the second).
@@ -277,7 +402,8 @@ func TestCancellationAbortsProve(t *testing.T) {
 
 	// Deadline flavor: an expired per-job timeout aborts the same way.
 	_, err = s.Prove(context.Background(), ProveRequest{
-		Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 3),
+		Curve: "bn128", Backend: backendName, Source: src,
+		Inputs:  assignX(t, s, "bn128", 3),
 		Timeout: time.Millisecond,
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -288,9 +414,20 @@ func TestCancellationAbortsProve(t *testing.T) {
 	})
 }
 
+func TestCancellationAbortsProve(t *testing.T) {
+	testCancellationAbortsProve(t, "groth16")
+}
+
+// TestPlonkCancellationAbortsProve is the acceptance check that context
+// cancellation reaches PLONK's NTT/MSM chunk boundaries the same way
+// PR 1 wired it for Groth16.
+func TestPlonkCancellationAbortsProve(t *testing.T) {
+	testCancellationAbortsProve(t, "plonk")
+}
+
 func TestGracefulDrain(t *testing.T) {
 	gate := make(chan struct{})
-	s := New(Config{Workers: 1, QueueDepth: 8, Seed: 5})
+	s := New(WithWorkers(1), WithQueueDepth(8), WithSeed(5))
 	s.hookJobStart = func() { <-gate }
 	s.Start()
 
@@ -364,7 +501,7 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 func TestForcedShutdownCancelsInFlight(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, Seed: 6})
+	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(6))
 	s.Start()
 
 	src := circuit.ExponentiateSource(2048)

@@ -3,37 +3,44 @@ package provesvc
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
-	"zkperf/internal/groth16"
 	"zkperf/internal/r1cs"
 	"zkperf/internal/witness"
 )
 
+// ErrUnknownCurve is returned for curve names the service does not know;
+// the HTTP layer maps it to 400.
+var ErrUnknownCurve = errors.New("provesvc: unknown curve")
+
 // CircuitKey identifies a cached artifact set: the same circuit source on
-// a different curve is a different key.
+// a different curve — or under a different proving backend — is a
+// different key.
 type CircuitKey struct {
 	SourceHash [sha256.Size]byte
 	Curve      string
+	Backend    string
 }
 
 // Artifact bundles everything the expensive front half of the workflow
 // produces for one circuit — compiled constraint system, solver program,
-// and the Groth16 keys — so the serving hot path is witness + prove only.
-// Artifacts are immutable once published and shared across workers.
+// and the backend's keys — so the serving hot path is witness + prove
+// only. Artifacts are immutable once published and shared across workers.
 type Artifact struct {
-	Key    CircuitKey
-	Engine *groth16.Engine
-	Sys    *r1cs.System
-	Prog   *witness.Program
-	PK     *groth16.ProvingKey
-	VK     *groth16.VerifyingKey
+	Key     CircuitKey
+	Backend backend.Backend
+	Sys     *r1cs.System
+	Prog    *witness.Program
+	PK      backend.ProvingKey
+	VK      backend.VerifyingKey
 
 	CompileTime time.Duration
 	SetupTime   time.Duration
@@ -48,37 +55,50 @@ type registryEntry struct {
 }
 
 // Registry caches {R1CS, ProvingKey, VerifyingKey} per (circuit-source
-// hash, curve). Concurrent Gets for an uncached key are deduplicated:
-// exactly one goroutine runs compile+setup, the rest block until it
-// publishes. The build runs detached from the triggering request's
-// context — a cancelled client must not poison the cache for the
-// requests queued behind it.
+// hash, curve, backend). Concurrent Gets for an uncached key are
+// deduplicated: exactly one goroutine runs compile+setup, the rest block
+// until it publishes. The build runs detached from the triggering
+// request's context — a cancelled client must not poison the cache for
+// the requests queued behind it.
 type Registry struct {
-	threads  int    // engine parallelism for setup and prove
+	threads  int    // backend kernel parallelism for setup and prove
 	seedBase uint64 // toxic-waste RNG seed base
 	seedCtr  atomic.Uint64
 
-	mu      sync.Mutex
-	entries map[CircuitKey]*registryEntry
-	engines map[string]*groth16.Engine
+	enabled map[string]bool // backend names this registry will serve
+
+	mu       sync.Mutex
+	entries  map[CircuitKey]*registryEntry
+	curves   map[string]*curve.Curve
+	backends map[string]backend.Backend // keyed curve + "/" + backend
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	setups atomic.Uint64 // actual compile+setup runs (the singleflight invariant)
 }
 
-// NewRegistry creates an empty registry. threads bounds the parallelism of
-// the Groth16 engines it creates; seed seeds the setup RNGs (vary it in
-// production, pin it for reproducible experiments).
-func NewRegistry(threads int, seed uint64) *Registry {
+// NewRegistry creates an empty registry serving the named backends (nil
+// means every registered backend). threads bounds the parallelism of the
+// backends it creates; seed seeds the setup RNGs (vary it in production,
+// pin it for reproducible experiments).
+func NewRegistry(threads int, seed uint64, backends []string) *Registry {
 	if threads < 1 {
 		threads = 1
+	}
+	if len(backends) == 0 {
+		backends = backend.Names()
+	}
+	enabled := make(map[string]bool, len(backends))
+	for _, name := range backends {
+		enabled[name] = true
 	}
 	return &Registry{
 		threads:  threads,
 		seedBase: seed,
+		enabled:  enabled,
 		entries:  make(map[CircuitKey]*registryEntry),
-		engines:  make(map[string]*groth16.Engine),
+		curves:   make(map[string]*curve.Curve),
+		backends: make(map[string]backend.Backend),
 	}
 }
 
@@ -89,33 +109,76 @@ func (r *Registry) Hits() uint64   { return r.hits.Load() }
 func (r *Registry) Misses() uint64 { return r.misses.Load() }
 func (r *Registry) Setups() uint64 { return r.setups.Load() }
 
-// EngineFor returns the shared Groth16 engine for a curve, creating it
-// (generator tables included) on first use.
-func (r *Registry) EngineFor(curveName string) (*groth16.Engine, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.engineForLocked(curveName)
+// Backends returns the backend names this registry serves.
+func (r *Registry) Backends() []string {
+	out := make([]string, 0, len(r.enabled))
+	for _, name := range backend.Names() {
+		if r.enabled[name] {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
-func (r *Registry) engineForLocked(curveName string) (*groth16.Engine, error) {
-	if e, ok := r.engines[curveName]; ok {
-		return e, nil
+// backendEnabled reports whether name is served (cheap, lock-free: the
+// enabled set is fixed at construction).
+func (r *Registry) backendEnabled(name string) bool { return r.enabled[name] }
+
+// CurveFor returns the shared curve context for a name, creating it
+// (generator tables included) on first use.
+func (r *Registry) CurveFor(curveName string) (*curve.Curve, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curveForLocked(curveName)
+}
+
+func (r *Registry) curveForLocked(curveName string) (*curve.Curve, error) {
+	if c, ok := r.curves[curveName]; ok {
+		return c, nil
 	}
 	c := curve.NewCurve(curveName)
 	if c == nil {
-		return nil, fmt.Errorf("provesvc: unknown curve %q (use bn128 or bls12-381)", curveName)
+		return nil, fmt.Errorf("%w %q (use bn128 or bls12-381)", ErrUnknownCurve, curveName)
 	}
-	e := groth16.NewEngine(c)
-	e.Threads = r.threads
-	r.engines[curveName] = e
-	return e, nil
+	r.curves[curveName] = c
+	return c, nil
 }
 
-// Get returns the cached artifact for (curveName, source), building it on
-// first use. ctx only bounds this caller's wait: an in-flight build keeps
-// running for the benefit of other requesters even if ctx is cancelled.
-func (r *Registry) Get(ctx context.Context, curveName, source string) (*Artifact, error) {
-	key := CircuitKey{SourceHash: sha256.Sum256([]byte(source)), Curve: curveName}
+// BackendFor returns the shared backend instance for (curve, backend),
+// creating it on first use. Unknown or disabled backend names fail with
+// backend.ErrUnknownBackend.
+func (r *Registry) BackendFor(curveName, backendName string) (backend.Backend, error) {
+	if !r.enabled[backendName] {
+		return nil, fmt.Errorf("%w %q (serving: %v)", backend.ErrUnknownBackend, backendName, r.Backends())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := curveName + "/" + backendName
+	if bk, ok := r.backends[id]; ok {
+		return bk, nil
+	}
+	c, err := r.curveForLocked(curveName)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := backend.New(backendName, c, r.threads)
+	if err != nil {
+		return nil, err
+	}
+	r.backends[id] = bk
+	return bk, nil
+}
+
+// Get returns the cached artifact for (curveName, backendName, source),
+// building it on first use. ctx only bounds this caller's wait: an
+// in-flight build keeps running for the benefit of other requesters even
+// if ctx is cancelled.
+func (r *Registry) Get(ctx context.Context, curveName, backendName, source string) (*Artifact, error) {
+	key := CircuitKey{
+		SourceHash: sha256.Sum256([]byte(source)),
+		Curve:      curveName,
+		Backend:    backendName,
+	}
 
 	r.mu.Lock()
 	if e, ok := r.entries[key]; ok {
@@ -133,7 +196,7 @@ func (r *Registry) Get(ctx context.Context, curveName, source string) (*Artifact
 	r.mu.Unlock()
 	r.misses.Add(1)
 
-	go r.build(key, curveName, source, e)
+	go r.build(key, curveName, backendName, source, e)
 
 	select {
 	case <-e.ready:
@@ -144,12 +207,12 @@ func (r *Registry) Get(ctx context.Context, curveName, source string) (*Artifact
 }
 
 // build runs compile → setup for one key and publishes the result. Errors
-// are cached too: compilation is deterministic, so every retry of a broken
-// circuit would fail identically.
-func (r *Registry) build(key CircuitKey, curveName, source string, e *registryEntry) {
+// are cached too: compilation is deterministic, so every retry of a
+// broken circuit would fail identically.
+func (r *Registry) build(key CircuitKey, curveName, backendName, source string, e *registryEntry) {
 	defer close(e.ready)
 
-	eng, err := r.EngineFor(curveName)
+	bk, err := r.BackendFor(curveName, backendName)
 	if err != nil {
 		e.err = err
 		return
@@ -157,7 +220,7 @@ func (r *Registry) build(key CircuitKey, curveName, source string, e *registryEn
 
 	r.setups.Add(1)
 	t0 := time.Now()
-	sys, prog, err := circuit.CompileSource(eng.Curve.Fr, source)
+	sys, prog, err := circuit.CompileSource(bk.Curve().Fr, source)
 	if err != nil {
 		e.err = fmt.Errorf("provesvc: compile: %w", err)
 		return
@@ -166,7 +229,7 @@ func (r *Registry) build(key CircuitKey, curveName, source string, e *registryEn
 
 	t1 := time.Now()
 	rng := ff.NewRNG(mix64(r.seedBase + r.seedCtr.Add(1)))
-	pk, vk, err := eng.Setup(sys, rng)
+	pk, vk, err := bk.Setup(context.Background(), sys, rng)
 	if err != nil {
 		e.err = fmt.Errorf("provesvc: setup: %w", err)
 		return
@@ -174,7 +237,7 @@ func (r *Registry) build(key CircuitKey, curveName, source string, e *registryEn
 
 	e.art = &Artifact{
 		Key:         key,
-		Engine:      eng,
+		Backend:     bk,
 		Sys:         sys,
 		Prog:        prog,
 		PK:          pk,

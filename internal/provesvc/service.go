@@ -6,12 +6,12 @@
 // once cached.
 //
 // The service is a bounded job queue in front of a fixed worker pool. A
-// circuit Registry deduplicates concurrent setups and caches artifacts;
-// saturation is shed explicitly with ErrQueueFull (HTTP 429) instead of
-// queueing unboundedly; every job carries a context so client
-// cancellations and deadlines propagate into the MSM/NTT kernels; and
-// Shutdown drains in-flight work with a deadline and reports what was
-// dropped.
+// circuit Registry deduplicates concurrent setups and caches artifacts
+// per (source, curve, backend); saturation is shed explicitly with
+// ErrQueueFull (HTTP 429) instead of queueing unboundedly; every job
+// carries a context so client cancellations and deadlines propagate into
+// the MSM/NTT kernels of whichever backend runs it; and Shutdown drains
+// in-flight work with a deadline and reports what was dropped.
 package provesvc
 
 import (
@@ -23,8 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zkperf/internal/backend"
 	"zkperf/internal/ff"
-	"zkperf/internal/groth16"
 	"zkperf/internal/witness"
 )
 
@@ -40,7 +40,14 @@ var (
 	ErrDropped = errors.New("provesvc: job dropped during shutdown")
 )
 
+// DefaultBackend is assumed when a request does not name one.
+const DefaultBackend = "groth16"
+
 // Config sizes the service. Zero values pick sensible defaults.
+//
+// Deprecated: construct services with New and functional options
+// (WithWorkers, WithQueueDepth, WithBackends, …); Config remains for
+// callers predating the options API and is consumed via NewWithConfig.
 type Config struct {
 	// Workers is the number of concurrent proving workers
 	// (default GOMAXPROCS).
@@ -58,6 +65,9 @@ type Config struct {
 	// Seed seeds the setup and blinding RNGs. Pin it for reproducible
 	// experiments; vary it in production.
 	Seed uint64
+	// Backends lists the proving backends to serve (default: all
+	// registered — currently groth16 and plonk).
+	Backends []string
 }
 
 func (c Config) withDefaults() Config {
@@ -70,13 +80,44 @@ func (c Config) withDefaults() Config {
 	if c.ProveThreads < 1 {
 		c.ProveThreads = 1
 	}
+	if len(c.Backends) == 0 {
+		c.Backends = backend.Names()
+	}
 	return c
+}
+
+// Option configures a Service at construction.
+type Option func(*Config)
+
+// WithWorkers sets the number of concurrent proving workers.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithQueueDepth bounds the queued-but-not-started job count.
+func WithQueueDepth(d int) Option { return func(c *Config) { c.QueueDepth = d } }
+
+// WithProveThreads sets the kernel parallelism inside one prove/setup.
+func WithProveThreads(n int) Option { return func(c *Config) { c.ProveThreads = n } }
+
+// WithDefaultTimeout caps each job's execution unless the request
+// overrides it.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *Config) { c.DefaultTimeout = d }
+}
+
+// WithSeed seeds the setup and blinding RNGs.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithBackends restricts the service to the named proving backends.
+func WithBackends(names ...string) Option {
+	return func(c *Config) { c.Backends = names }
 }
 
 // ProveRequest asks the service for one proof.
 type ProveRequest struct {
 	// Curve names the pairing curve: "bn128" (default) or "bls12-381".
 	Curve string
+	// Backend names the proving scheme: "groth16" (default) or "plonk".
+	Backend string
 	// Source is the circuit source text; it doubles as the cache key.
 	Source string
 	// Inputs assigns the circuit's input wires.
@@ -88,7 +129,7 @@ type ProveRequest struct {
 // ProveResult is a completed proof plus its public wires and stage
 // timings.
 type ProveResult struct {
-	Proof    *groth16.Proof
+	Proof    backend.Proof
 	Public   []ff.Element // [1, public wires] — what Verify consumes
 	Artifact *Artifact
 
@@ -101,9 +142,10 @@ type ProveResult struct {
 // VerifyRequest asks the service to check a proof against a circuit's
 // cached verifying key.
 type VerifyRequest struct {
-	Curve  string
-	Source string
-	Proof  *groth16.Proof
+	Curve   string
+	Backend string
+	Source  string
+	Proof   backend.Proof
 	// Public is the public witness including the leading constant 1 (as
 	// returned in ProveResult.Public).
 	Public []ff.Element
@@ -165,21 +207,40 @@ type Service struct {
 }
 
 // New creates a service; call Start before submitting work.
-func New(cfg Config) *Service {
+func New(opts ...Option) *Service {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewWithConfig(cfg)
+}
+
+// NewWithConfig creates a service from a Config struct.
+//
+// Deprecated: use New with functional options.
+func NewWithConfig(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
-		reg:        NewRegistry(cfg.ProveThreads, cfg.Seed),
+		reg:        NewRegistry(cfg.ProveThreads, cfg.Seed, cfg.Backends),
 		jobs:       make(chan *job, cfg.QueueDepth),
 		done:       make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.Backends))
+	for _, name := range s.reg.Backends() {
+		s.met.perBackend[name] = &backendMetrics{}
+	}
+	return s
 }
 
 // Registry exposes the circuit cache (e.g. to pre-warm circuits at boot).
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Backends returns the backend names this service serves.
+func (s *Service) Backends() []string { return s.reg.Backends() }
 
 // Start launches the worker pool.
 func (s *Service) Start() {
@@ -237,6 +298,15 @@ func (s *Service) ProveBatch(ctx context.Context, reqs []ProveRequest) ([]*Prove
 func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	if req.Curve == "" {
 		req.Curve = "bn128"
+	}
+	if req.Backend == "" {
+		req.Backend = DefaultBackend
+	}
+	// Reject unknown backends before they consume a queue slot; unknown
+	// curves surface from the registry inside the worker.
+	if !s.reg.backendEnabled(req.Backend) {
+		s.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w %q (serving: %v)", backend.ErrUnknownBackend, req.Backend, s.reg.Backends())
 	}
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -313,11 +383,12 @@ func (s *Service) run(j *job) {
 		return
 	}
 
-	art, err := s.reg.Get(j.ctx, j.req.Curve, j.req.Source)
+	art, err := s.reg.Get(j.ctx, j.req.Curve, j.req.Backend, j.req.Source)
 	if err != nil {
 		s.fail(j, err)
 		return
 	}
+	bm := s.met.forBackend(j.req.Backend)
 
 	t0 := time.Now()
 	w, err := witness.Solve(art.Sys, art.Prog, j.req.Inputs)
@@ -330,7 +401,7 @@ func (s *Service) run(j *job) {
 
 	t1 := time.Now()
 	rng := ff.NewRNG(mix64(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * s.seedCtr.Add(1))))
-	proof, err := art.Engine.ProveCtx(j.ctx, art.Sys, art.PK, w, rng)
+	proof, err := art.Backend.Prove(j.ctx, art.Sys, art.PK, w, rng)
 	if err != nil {
 		s.fail(j, err)
 		return
@@ -341,6 +412,12 @@ func (s *Service) run(j *job) {
 	total := time.Since(j.enq)
 	s.met.totalLat.Observe(total)
 	s.met.completed.Add(1)
+	if bm != nil {
+		bm.witnessLat.Observe(witnessTime)
+		bm.proveLat.Observe(proveTime)
+		bm.totalLat.Observe(total)
+		bm.completed.Add(1)
+	}
 	j.finish(&ProveResult{
 		Proof:       proof,
 		Public:      w.Public,
@@ -370,18 +447,25 @@ func (s *Service) Verify(ctx context.Context, req VerifyRequest) (bool, error) {
 	if req.Curve == "" {
 		req.Curve = "bn128"
 	}
+	if req.Backend == "" {
+		req.Backend = DefaultBackend
+	}
 	if req.Proof == nil {
 		return false, fmt.Errorf("provesvc: verify: missing proof")
 	}
-	art, err := s.reg.Get(ctx, req.Curve, req.Source)
+	art, err := s.reg.Get(ctx, req.Curve, req.Backend, req.Source)
 	if err != nil {
 		return false, err
 	}
 	t0 := time.Now()
-	err = art.Engine.Verify(art.VK, req.Proof, req.Public)
-	s.met.verifyLat.Observe(time.Since(t0))
+	err = art.Backend.Verify(art.VK, req.Proof, req.Public)
+	d := time.Since(t0)
+	s.met.verifyLat.Observe(d)
 	s.met.verified.Add(1)
-	if errors.Is(err, groth16.ErrInvalidProof) {
+	if bm := s.met.forBackend(req.Backend); bm != nil {
+		bm.verifyLat.Observe(d)
+	}
+	if errors.Is(err, backend.ErrInvalidProof) {
 		return false, nil
 	}
 	if err != nil {
@@ -399,6 +483,10 @@ func (s *Service) Stats() Snapshot {
 	var hitRate float64
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
+	}
+	backends := make(map[string]BackendSnapshot, len(s.met.perBackend))
+	for name, bm := range s.met.perBackend {
+		backends[name] = bm.snapshot()
 	}
 	return Snapshot{
 		Accepted:  s.met.accepted.Load(),
@@ -427,6 +515,7 @@ func (s *Service) Stats() Snapshot {
 			"total":      s.met.totalLat.summary(),
 			"verify":     s.met.verifyLat.summary(),
 		},
+		Backends: backends,
 	}
 }
 

@@ -76,9 +76,21 @@ func (h *histogram) summary() LatencySummary {
 	return s
 }
 
+// backendMetrics is the per-backend slice of the service metrics, so
+// /stats can show where each scheme's latency distribution sits (the
+// MSM- vs NTT-bound trade-off the comparative literature predicts).
+type backendMetrics struct {
+	completed  atomic.Uint64
+	witnessLat histogram
+	proveLat   histogram
+	totalLat   histogram
+	verifyLat  histogram
+}
+
 // metrics holds the service's atomic counters and per-stage histograms.
 // Everything here is updated without locks so the hot path never contends
-// with a /stats scrape.
+// with a /stats scrape; perBackend is populated once at construction and
+// only read afterwards.
 type metrics struct {
 	accepted  atomic.Uint64 // jobs admitted to the queue
 	rejected  atomic.Uint64 // ErrQueueFull + ErrDraining rejections
@@ -94,6 +106,32 @@ type metrics struct {
 	proveLat   histogram
 	totalLat   histogram // enqueue → completion, successful jobs only
 	verifyLat  histogram
+
+	perBackend map[string]*backendMetrics
+}
+
+// forBackend returns the per-backend slice, or nil for names outside the
+// configured set (callers simply skip the extra observation).
+func (m *metrics) forBackend(name string) *backendMetrics {
+	return m.perBackend[name]
+}
+
+// BackendSnapshot is the per-backend block of the /stats response.
+type BackendSnapshot struct {
+	Completed uint64                    `json:"completed"`
+	Stages    map[string]LatencySummary `json:"stages"`
+}
+
+func (b *backendMetrics) snapshot() BackendSnapshot {
+	return BackendSnapshot{
+		Completed: b.completed.Load(),
+		Stages: map[string]LatencySummary{
+			"witness": b.witnessLat.summary(),
+			"prove":   b.proveLat.summary(),
+			"total":   b.totalLat.summary(),
+			"verify":  b.verifyLat.summary(),
+		},
+	}
 }
 
 // Snapshot is a point-in-time view of the service counters, safe to
@@ -118,5 +156,6 @@ type Snapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Setups       uint64  `json:"setups"`
 
-	Stages map[string]LatencySummary `json:"stages"`
+	Stages   map[string]LatencySummary  `json:"stages"`
+	Backends map[string]BackendSnapshot `json:"backends"`
 }
