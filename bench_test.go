@@ -25,6 +25,7 @@ import (
 	"zkperf/internal/ff"
 	"zkperf/internal/groth16"
 	"zkperf/internal/provesvc"
+	"zkperf/internal/telemetry"
 
 	"math/bits"
 
@@ -622,11 +623,60 @@ func BenchmarkProveService(b *testing.B) {
 			})
 			b.StopTimer()
 			st := svc.Stats()
-			b.ReportMetric(st.Stages["prove"].P50Ms, "p50-ms")
-			b.ReportMetric(st.Stages["prove"].P99Ms, "p99-ms")
-			b.ReportMetric(st.CacheHitRate, "cache-hit-rate")
+			prove := st.Backends["groth16"].Stages["prove"]
+			b.ReportMetric(prove.P50Ms, "p50-ms")
+			b.ReportMetric(prove.P99Ms, "p99-ms")
+			b.ReportMetric(st.Cache.HitRate, "cache-hit-rate")
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead prices the telemetry hooks on the groth16
+// prove path: the same warm prove with no probe in the context (every
+// hook reduces to a nil check) versus with a live probe recording kernel
+// spans. The disabled variant is the contract — it must sit within noise
+// of the pre-telemetry prove cost; ci.sh runs both so a regression in
+// either direction shows up in review.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	c := curve.NewBN254()
+	eng := groth16.NewEngine(c)
+	sys, prog, err := circuit.CompileSource(c.Fr, circuit.ExponentiateSource(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := ff.NewRNG(5)
+	pk, _, err := eng.Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var x ff.Element
+	c.Fr.SetUint64(&x, 3)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ProveCtx(ctx, sys, pk, w, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tel := telemetry.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			probe := telemetry.NewProbe("bench")
+			ctx := telemetry.WithProbe(context.Background(), probe)
+			if _, err := eng.ProveCtx(ctx, sys, pk, w, rng); err != nil {
+				b.Fatal(err)
+			}
+			tel.ObserveProbe("groth16", "bn128", probe)
+		}
+	})
 }
 
 // BenchmarkBackends is the head-to-head backend sweep on the paper's 2^10
@@ -673,7 +723,7 @@ func BenchmarkBackends(b *testing.B) {
 			}
 			b.StopTimer()
 
-			if err := bk.Verify(vk, proof, w.Public); err != nil {
+			if err := bk.Verify(context.Background(), vk, proof, w.Public); err != nil {
 				b.Fatal(err)
 			}
 			var buf bytes.Buffer

@@ -1,12 +1,16 @@
 #!/bin/sh
-# CI gate: build everything, vet everything (including internal/backend
-# and the reworked provesvc), run the full test suite under the race
-# detector (the mixed-backend worker pool must stay race-clean), and
-# smoke-run the groth16-vs-plonk benchmark sweep once so the head-to-head
-# comparison path cannot rot.
+# CI gate: formatting and vet first (cheap, catch drift early), then the
+# full test suite under the race detector (the mixed-backend worker pool
+# and the lock-free telemetry registry must stay race-clean), then two
+# one-shot benchmark smokes: the groth16-vs-plonk head-to-head, and the
+# telemetry overhead pair (disabled must stay within noise of the
+# pre-telemetry prove path — TestDisabledHookOverhead enforces the
+# nanosecond-level bound; this prints the full-prove numbers for review).
 set -eux
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race ./...
 go test -run '^$' -bench '^BenchmarkBackends$' -benchtime=1x .
+go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime=1x .

@@ -11,7 +11,13 @@
 // setup, prove and verify take -backend (groth16 default, plonk); `zkcli
 // backends` lists the registered backends. Key/proof artifacts are in the
 // selected backend's serialization, so the same -backend must be used
-// across the pipeline. Each stage prints a per-backend timing report.
+// across the pipeline. Each stage prints a per-backend timing report;
+// `prove -telemetry` additionally prints the kernel span tree (NTT, MSM,
+// pairing) recorded while proving.
+//
+// `zkcli stats -addr http://host:8090` fetches a running zkserve's
+// /v1/stats and renders the documented schema as a table; -json dumps
+// the raw snapshot.
 //
 // The -input flag may repeat; values are decimal or 0x-hex field elements.
 // `zkcli gen -e N -o c.zkc` emits the paper's exponentiation benchmark
@@ -20,9 +26,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,7 +40,9 @@ import (
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
 	"zkperf/internal/groth16"
+	"zkperf/internal/provesvc"
 	"zkperf/internal/r1cs"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
 
@@ -57,6 +68,8 @@ func main() {
 		err = cmdVerify(args)
 	case "backends":
 		err = cmdBackends(args)
+	case "stats":
+		err = cmdStats(args)
 	default:
 		usage()
 	}
@@ -68,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify|backends> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify|backends|stats> [flags]")
 	os.Exit(2)
 }
 
@@ -249,6 +262,7 @@ func cmdProve(args []string) error {
 	proofPath := fs.String("proof", "circuit.proof", "output proof")
 	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "blinding RNG seed")
 	threads := fs.Int("threads", 1, "worker threads")
+	telemetryOn := fs.Bool("telemetry", false, "record kernel spans and print the span tree after proving")
 	fs.Parse(args)
 	c, err := getCurve(*curveName)
 	if err != nil {
@@ -282,8 +296,14 @@ func cmdProve(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	var probe *telemetry.Probe
+	if *telemetryOn {
+		probe = telemetry.NewProbe("zkcli")
+		ctx = telemetry.WithProbe(ctx, probe)
+	}
 	t1 := time.Now()
-	proof, err := bk.Prove(context.Background(), sys, pk, w, ff.NewRNG(*seed))
+	proof, err := bk.Prove(ctx, sys, pk, w, ff.NewRNG(*seed))
 	if err != nil {
 		return err
 	}
@@ -293,6 +313,10 @@ func cmdProve(args []string) error {
 	}
 	fmt.Printf("[%s] pk-load=%v prove=%v\n",
 		bk.Name(), loadTime.Round(time.Millisecond), proveTime.Round(time.Millisecond))
+	if probe != nil {
+		fmt.Printf("telemetry span tree [%s/%s]:\n", bk.Name(), *curveName)
+		probe.Tree().WriteTree(os.Stdout)
+	}
 	return nil
 }
 
@@ -340,10 +364,72 @@ func cmdVerify(args []string) error {
 		return fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, bk.Name(), err)
 	}
 	t0 := time.Now()
-	if err := bk.Verify(vk, proof, w.Public); err != nil {
+	if err := bk.Verify(context.Background(), vk, proof, w.Public); err != nil {
 		return err
 	}
 	fmt.Printf("OK: proof is valid [%s] verify=%v\n", bk.Name(), time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+// cmdStats fetches /v1/stats from a running zkserve and renders it. It
+// decodes into provesvc.Snapshot — the same struct the server encodes —
+// so a schema drift between the two is a compile error, not a surprise.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8090", "zkserve base URL")
+	asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+	fs.Parse(args)
+
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	var st provesvc.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding stats: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+
+	fmt.Printf("service: accepted=%d completed=%d failed=%d rejected=%d cancelled=%d dropped=%d verified=%d workers=%d draining=%v\n",
+		st.Service.Accepted, st.Service.Completed, st.Service.Failed,
+		st.Service.Rejected, st.Service.Cancelled, st.Service.Dropped,
+		st.Service.Verified, st.Service.Workers, st.Service.Draining)
+	fmt.Printf("queue:   depth=%d/%d in_flight=%d wait_p50=%.2fms wait_p99=%.2fms\n",
+		st.Queue.Depth, st.Queue.Capacity, st.Queue.InFlight,
+		st.Queue.Wait.P50Ms, st.Queue.Wait.P99Ms)
+	fmt.Printf("cache:   hits=%d misses=%d hit_rate=%.2f setups=%d\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate, st.Cache.Setups)
+	names := make([]string, 0, len(st.Backends))
+	for name := range st.Backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bst := st.Backends[name]
+		fmt.Printf("%s: completed=%d failed=%d rejected=%d cancelled=%d\n",
+			name, bst.Completed, bst.Failed, bst.Rejected, bst.Cancelled)
+		stages := make([]string, 0, len(bst.Stages))
+		for stage := range bst.Stages {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			sum := bst.Stages[stage]
+			if sum.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s count=%-6d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				stage, sum.Count, sum.P50Ms, sum.P95Ms, sum.P99Ms)
+		}
+	}
 	return nil
 }
 

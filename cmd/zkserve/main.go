@@ -11,9 +11,17 @@
 //	POST /v1/verify       check a proof against a circuit's verifying key
 //	GET  /v1/stats        counters, cache hit rate, per-stage and
 //	                      per-backend latencies
+//	GET  /v1/metrics      Prometheus text exposition of the telemetry
+//	                      registry (404 with -telemetry=false)
 //	GET  /v1/healthz      200 while accepting work, 503 while draining
 //
-// The legacy unversioned paths answer 308 redirects to /v1.
+// The legacy unversioned paths answer 308 redirects to /v1. Every
+// response carries an X-Request-Id header (the client's, when sane) that
+// also appears in the access log.
+//
+// -debug-addr starts a second listener serving net/http/pprof (and the
+// same /v1/metrics) for profiling; it is off by default so production
+// deployments opt in explicitly.
 //
 // On SIGINT/SIGTERM the server stops intake, drains in-flight jobs until
 // -drain expires, and logs what was dropped.
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"zkperf/internal/provesvc"
+	"zkperf/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +55,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed (pin for reproducible runs)")
 	backendsFlag := flag.String("backends", "", "comma-separated proving backends to serve (default: all)")
+	telemetryOn := flag.Bool("telemetry", true, "always-on telemetry (stage/kernel metrics at /v1/metrics)")
+	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
+	accessLog := flag.Bool("access-log", true, "log one line per HTTP request")
 	flag.Parse()
 
 	opts := []provesvc.Option{
@@ -53,6 +66,9 @@ func main() {
 		provesvc.WithProveThreads(*threads),
 		provesvc.WithDefaultTimeout(*timeout),
 		provesvc.WithSeed(*seed),
+	}
+	if !*telemetryOn {
+		opts = append(opts, provesvc.WithTelemetry(nil))
 	}
 	if *backendsFlag != "" {
 		var names []string
@@ -66,12 +82,29 @@ func main() {
 	svc := provesvc.New(opts...)
 	svc.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: provesvc.NewHandler(svc)}
+	handler := provesvc.NewHandler(svc)
+	if *accessLog {
+		handler = provesvc.LogRequests(handler, nil)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job, backends %v)",
 		*addr, *workers, *queue, *threads, svc.Backends())
-	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/stats /v1/healthz (legacy paths 308-redirect)")
+	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/stats /v1/metrics /v1/healthz (legacy paths 308-redirect)")
+
+	// The debug listener is separate from the serving port so pprof is
+	// never exposed by accident: it only exists when -debug-addr is set.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dbg = &http.Server{Addr: *debugAddr, Handler: debugMux(svc.Telemetry())}
+		go func() {
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("zkserve: debug server: %v", err)
+			}
+		}()
+		log.Printf("zkserve: pprof debug server on %s (/debug/pprof/, /v1/metrics)", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -88,6 +121,9 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("zkserve: http shutdown: %v", err)
 	}
+	if dbg != nil {
+		dbg.Close()
+	}
 	rep, err := svc.Shutdown(drainCtx)
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("zkserve: drain: %v", err)
@@ -100,4 +136,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// debugMux builds the opt-in debug surface: the full net/http/pprof
+// suite plus the same Prometheus exposition the serving port offers, so
+// a scraper pointed at the debug port sees profiles and metrics side by
+// side.
+func debugMux(tel *telemetry.Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := tel.Registry()
+		if reg == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			log.Printf("zkserve: writing metrics: %v", err)
+		}
+	})
+	return mux
 }

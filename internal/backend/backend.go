@@ -70,9 +70,10 @@ type Prover interface {
 // Verifier checks a proof against the public inputs. public follows the
 // witness.Witness.Public convention: [1, public wires]. A failed check
 // yields an error wrapping ErrInvalidProof; other errors mean malformed
-// input.
+// input. ctx carries cancellation and the telemetry probe into the
+// pairing checks, symmetric with Prover.
 type Verifier interface {
-	Verify(vk VerifyingKey, proof Proof, public []ff.Element) error
+	Verify(ctx context.Context, vk VerifyingKey, proof Proof, public []ff.Element) error
 }
 
 // Backend is one proving scheme bound to one curve: the three protocol

@@ -76,7 +76,7 @@ func TestCrossBackendProveVerify(t *testing.T) {
 					if err != nil {
 						t.Fatalf("prove: %v", err)
 					}
-					if err := bk.Verify(vk, proof, w.Public); err != nil {
+					if err := bk.Verify(context.Background(), vk, proof, w.Public); err != nil {
 						t.Fatalf("verify: %v", err)
 					}
 					bad := make([]ff.Element, len(w.Public))
@@ -84,7 +84,7 @@ func TestCrossBackendProveVerify(t *testing.T) {
 					var one ff.Element
 					c.Fr.One(&one)
 					c.Fr.Add(&bad[len(bad)-1], &bad[len(bad)-1], &one)
-					if err := bk.Verify(vk, proof, bad); !errors.Is(err, ErrInvalidProof) {
+					if err := bk.Verify(context.Background(), vk, proof, bad); !errors.Is(err, ErrInvalidProof) {
 						t.Fatalf("tampered public input accepted: %v", err)
 					}
 				})
@@ -114,7 +114,7 @@ func TestBridgeMixedLinComb(t *testing.T) {
 				if err != nil {
 					t.Fatalf("prove: %v", err)
 				}
-				if err := bk.Verify(vk, proof, w.Public); err != nil {
+				if err := bk.Verify(context.Background(), vk, proof, w.Public); err != nil {
 					t.Fatalf("verify: %v", err)
 				}
 			})
@@ -153,10 +153,10 @@ func TestCrossBackendRejection(t *testing.T) {
 	}
 
 	g, p := fixtures["groth16"], fixtures["plonk"]
-	if err := p.bk.Verify(p.vk, g.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
+	if err := p.bk.Verify(context.Background(), p.vk, g.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
 		t.Fatalf("plonk accepted groth16 proof: %v", err)
 	}
-	if err := g.bk.Verify(g.vk, p.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
+	if err := g.bk.Verify(context.Background(), g.vk, p.proof, w.Public); !errors.Is(err, ErrInvalidProof) {
 		t.Fatalf("groth16 accepted plonk proof: %v", err)
 	}
 
@@ -167,7 +167,7 @@ func TestCrossBackendRejection(t *testing.T) {
 		t.Fatal(err)
 	}
 	if decoded, err := p.bk.ReadProof(bytes.NewReader(buf.Bytes())); err == nil {
-		if err := p.bk.Verify(p.vk, decoded, w.Public); !errors.Is(err, ErrInvalidProof) {
+		if err := p.bk.Verify(context.Background(), p.vk, decoded, w.Public); !errors.Is(err, ErrInvalidProof) {
 			t.Fatalf("plonk verified re-decoded groth16 bytes: %v", err)
 		}
 	}
@@ -218,7 +218,7 @@ func TestHandleRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("read proof: %v", err)
 			}
-			if err := bk.Verify(vk2, proof2, w.Public); err != nil {
+			if err := bk.Verify(context.Background(), vk2, proof2, w.Public); err != nil {
 				t.Fatalf("verify restored artifacts: %v", err)
 			}
 		})

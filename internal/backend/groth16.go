@@ -74,7 +74,7 @@ func (b *groth16Backend) Prove(ctx context.Context, sys *r1cs.System, pk Proving
 	return &groth16Proof{p: proof, c: b.eng.Curve}, nil
 }
 
-func (b *groth16Backend) Verify(vk VerifyingKey, proof Proof, public []ff.Element) error {
+func (b *groth16Backend) Verify(ctx context.Context, vk VerifyingKey, proof Proof, public []ff.Element) error {
 	k, ok := vk.(*groth16VK)
 	if !ok {
 		return fmt.Errorf("%w: groth16 given %s verifying key", ErrInvalidProof, vk.Backend())
@@ -83,7 +83,7 @@ func (b *groth16Backend) Verify(vk VerifyingKey, proof Proof, public []ff.Elemen
 	if !ok {
 		return fmt.Errorf("%w: groth16 given %s proof", ErrInvalidProof, proof.Backend())
 	}
-	if err := b.eng.Verify(k.vk, p.p, public); err != nil {
+	if err := b.eng.VerifyCtx(ctx, k.vk, p.p, public); err != nil {
 		if errors.Is(err, groth16.ErrInvalidProof) {
 			return fmt.Errorf("%w: %v", ErrInvalidProof, err)
 		}

@@ -202,7 +202,7 @@ func (b *plonkBackend) Prove(ctx context.Context, sys *r1cs.System, pk ProvingKe
 	return &plonkProof{p: proof, c: b.eng.Curve}, nil
 }
 
-func (b *plonkBackend) Verify(vk VerifyingKey, proof Proof, public []ff.Element) error {
+func (b *plonkBackend) Verify(ctx context.Context, vk VerifyingKey, proof Proof, public []ff.Element) error {
 	k, ok := vk.(*plonkVK)
 	if !ok {
 		return fmt.Errorf("%w: plonk given %s verifying key", ErrInvalidProof, vk.Backend())
@@ -215,7 +215,7 @@ func (b *plonkBackend) Verify(vk VerifyingKey, proof Proof, public []ff.Element)
 	if err != nil {
 		return err
 	}
-	if err := b.eng.Verify(k.vk, p.p, pub); err != nil {
+	if err := b.eng.VerifyCtx(ctx, k.vk, p.p, pub); err != nil {
 		if errors.Is(err, plonk.ErrInvalidProof) {
 			return fmt.Errorf("%w: %v", ErrInvalidProof, err)
 		}

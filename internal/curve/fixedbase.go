@@ -5,6 +5,7 @@ import (
 
 	"zkperf/internal/ff"
 	"zkperf/internal/parallel"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/tower"
 )
 
@@ -113,6 +114,8 @@ func (t *G1Table) MulBatch(scalars []ff.Element, threads int) []G1Affine {
 // done, and ctx.Err() is returned. On error the output is partial and must
 // be discarded.
 func (t *G1Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads int) ([]G1Affine, error) {
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
 	out := make([]G1Affine, len(scalars))
 	limbs := frToLimbs(t.c.Fr, scalars)
 	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
@@ -122,6 +125,7 @@ func (t *G1Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads
 		}
 		batchToAffine[ff.Element](t.c.g1ops, out[lo:hi], jacs)
 	})
+	probe.Observe(telemetry.KernelMSMG1, t0, len(scalars))
 	return out, err
 }
 
@@ -133,6 +137,8 @@ func (t *G2Table) MulBatch(scalars []ff.Element, threads int) []G2Affine {
 
 // MulBatchCtx is the cancellable MulBatch; see (*G1Table).MulBatchCtx.
 func (t *G2Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads int) ([]G2Affine, error) {
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
 	out := make([]G2Affine, len(scalars))
 	limbs := frToLimbs(t.c.Fr, scalars)
 	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
@@ -142,5 +148,6 @@ func (t *G2Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads
 		}
 		batchToAffine[tower.E2](t.c.g2ops, out[lo:hi], jacs)
 	})
+	probe.Observe(telemetry.KernelMSMG2, t0, len(scalars))
 	return out, err
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"zkperf/internal/ff"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/tower"
 )
 
@@ -185,17 +186,25 @@ func (c *Curve) G2MSM(points []G2Affine, scalars []ff.Element, threads int) G2Ja
 
 // G1MSMCtx is the cancellable G1 MSM: window workers stop picking up new
 // Pippenger windows once ctx is done, and the call returns ctx.Err(). On
-// error the returned point is meaningless and must be discarded.
+// error the returned point is meaningless and must be discarded. The
+// telemetry probe (if one rides in ctx) is resolved once here, not per
+// window.
 func (c *Curve) G1MSMCtx(ctx context.Context, points []G1Affine, scalars []ff.Element, threads int) (G1Jac, error) {
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
 	limbs := frToLimbs(c.Fr, scalars)
 	r := msm[ff.Element](ctx, c.g1ops, points, limbs, c.Fr.Bits(), threads)
+	probe.Observe(telemetry.KernelMSMG1, t0, len(points))
 	return r, ctx.Err()
 }
 
 // G2MSMCtx is the cancellable G2 MSM; see G1MSMCtx.
 func (c *Curve) G2MSMCtx(ctx context.Context, points []G2Affine, scalars []ff.Element, threads int) (G2Jac, error) {
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
 	limbs := frToLimbs(c.Fr, scalars)
 	r := msm[tower.E2](ctx, c.g2ops, points, limbs, c.Fr.Bits(), threads)
+	probe.Observe(telemetry.KernelMSMG2, t0, len(points))
 	return r, ctx.Err()
 }
 

@@ -20,6 +20,7 @@ import (
 	"zkperf/internal/poly"
 	"zkperf/internal/qap"
 	"zkperf/internal/r1cs"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/trace"
 	"zkperf/internal/witness"
 )
@@ -401,18 +402,31 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 // [1, public wires] produced by the witness stage). It returns nil if the
 // proof is valid.
 func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) error {
+	return e.VerifyCtx(context.Background(), vk, proof, public)
+}
+
+// VerifyCtx is Verify with a context: the IC MSM picks up cancellation
+// and the telemetry probe from ctx, and the pairing check is attributed
+// as a kernel span (four Miller loops + one final exponentiation).
+func (e *Engine) VerifyCtx(ctx context.Context, vk *VerifyingKey, proof *Proof, public []ff.Element) error {
 	c := e.Curve
 	rec := e.Rec
+	probe := telemetry.ProbeFromContext(ctx)
 	defer e.attachCounters()()
 	if len(public) != len(vk.IC) {
 		return fmt.Errorf("groth16: public witness length %d != %d", len(public), len(vk.IC))
 	}
 	// IC = Σ publicᵢ·ICᵢ
 	var ic curve.G1Affine
+	var icErr error
 	rec.PhaseRun("msm/IC", 1, func() {
-		icAcc := c.G1MSM(vk.IC, public, 1)
+		var icAcc curve.G1Jac
+		icAcc, icErr = c.G1MSMCtx(ctx, vk.IC, public, 1)
 		c.G1ToAffine(&ic, &icAcc)
 	})
+	if icErr != nil {
+		return icErr
+	}
 
 	// e(A,B) == e(α,β)·e(IC,γ)·e(C,δ)  ⇔
 	// e(A,B)·e(−α,β)·e(−IC,γ)·e(−C,δ) == 1
@@ -423,12 +437,14 @@ func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) err
 	ok := false
 	// The four Miller loops are independent (grain 4); the shared final
 	// exponentiation is serial.
+	t0 := probe.Begin()
 	rec.PhaseRun("pairing/check", 4, func() {
 		ok = e.Pair.PairingCheck(
 			[]curve.G1Affine{proof.A, negAlpha, negIC, negC},
 			[]curve.G2Affine{proof.B, vk.Beta2, vk.Gamma2, vk.Delta2},
 		)
 	})
+	probe.Observe(telemetry.KernelPairing, t0, 4)
 	e.recPairing(4)
 	if !ok {
 		return ErrInvalidProof

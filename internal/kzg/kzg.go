@@ -19,6 +19,7 @@ import (
 	"zkperf/internal/ff"
 	"zkperf/internal/pairing"
 	"zkperf/internal/poly"
+	"zkperf/internal/telemetry"
 )
 
 // SRS is the structured reference string (powers of the toxic τ in G1,
@@ -150,6 +151,13 @@ func ReadSRS(r io.Reader, c *curve.Curve) (*SRS, error) {
 // Verify checks an opening: that the committed polynomial evaluates to
 // eval at z.
 func (s *SRS) Verify(eng *pairing.Engine, commitment *curve.G1Affine, z, eval *ff.Element, proof *curve.G1Affine) bool {
+	return s.VerifyCtx(context.Background(), eng, commitment, z, eval, proof)
+}
+
+// VerifyCtx is Verify with a context, so the pairing check is attributed
+// to a telemetry probe riding in ctx (two Miller loops + one final
+// exponentiation per opening).
+func (s *SRS) VerifyCtx(ctx context.Context, eng *pairing.Engine, commitment *curve.G1Affine, z, eval *ff.Element, proof *curve.G1Affine) bool {
 	c := s.C
 	// e(C − [eval]G1, G2) == e(W, [τ]G2 − [z]G2)
 	// ⇔ e(C − [eval]G1, −G2) · e(W, [τ−z]G2) == 1 … rearranged as
@@ -180,8 +188,12 @@ func (s *SRS) Verify(eng *pairing.Engine, commitment *curve.G1Affine, z, eval *f
 	var negProof curve.G1Affine
 	c.G1NegAffine(&negProof, proof)
 
-	return eng.PairingCheck(
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
+	ok := eng.PairingCheck(
 		[]curve.G1Affine{lhsA, negProof},
 		[]curve.G2Affine{c.G2Gen, rhs2A},
 	)
+	probe.Observe(telemetry.KernelPairing, t0, 2)
+	return ok
 }

@@ -11,6 +11,7 @@ import (
 	"zkperf/internal/pairing"
 	"zkperf/internal/parallel"
 	"zkperf/internal/poly"
+	"zkperf/internal/telemetry"
 )
 
 // ErrInvalidProof is returned by Verify when a proof fails one of the
@@ -289,14 +290,21 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		return nil, err
 	}
 
+	// The probe (if any) is resolved once per prove; the MSM hooks inside
+	// the KZG commits fire on their own via the curve layer, so only the
+	// NTT blocks are attributed here.
+	probe := telemetry.ProbeFromContext(ctx)
+
 	// Wire values on H, then coefficient form.
 	av, bv, cv, err := c.wireValues(w, n)
 	if err != nil {
 		return nil, err
 	}
+	nttT0 := probe.Begin()
 	aCoef := intt(d, av)
 	bCoef := intt(d, bv)
 	cCoef := intt(d, cv)
+	probe.Observe(telemetry.KernelNTT, nttT0, n)
 
 	proof := &Proof{}
 	if proof.CA, err = pk.SRS.CommitCtx(ctx, aCoef, e.threads()); err != nil {
@@ -374,6 +382,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		d4.CosetNTT(out)
 		return out
 	}
+	nttT0 = probe.Begin()
 	aX := toCoset(aCoef)
 	bX := toCoset(bCoef)
 	cX := toCoset(cCoef)
@@ -408,6 +417,9 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		fr.Neg(&piVals[i], &public[i])
 	}
 	piX := toCoset(intt(d, piVals))
+	// 14 coset extensions over the 4N domain make up the prover's big NTT
+	// block; one span covers them all.
+	probe.Observe(telemetry.KernelNTT, nttT0, d4.N)
 
 	// Z_H and L1 on the coset; Z_H has period 4 there (ω₄^N has order 4).
 	zhVals := make([]ff.Element, 4)
@@ -500,7 +512,9 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	}); err != nil {
 		return nil, err
 	}
+	nttT0 = probe.Begin()
 	d4.CosetINTT(tEval)
+	probe.Observe(telemetry.KernelNTT, nttT0, d4.N)
 	// Degree sanity: everything beyond 3N must vanish.
 	for j := 3 * n; j < d4.N; j++ {
 		if !fr.IsZero(&tEval[j]) {
@@ -601,6 +615,13 @@ func absorbVKVerifier(tr *transcript, vk *VerifyingKey, public []ff.Element) {
 
 // Verify checks a proof against the public inputs.
 func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) error {
+	return e.VerifyCtx(context.Background(), vk, proof, public)
+}
+
+// VerifyCtx is Verify with a context: the commitment-combining MSM and
+// the two KZG opening checks pick up cancellation and the telemetry
+// probe from ctx.
+func (e *Engine) VerifyCtx(ctx context.Context, vk *VerifyingKey, proof *Proof, public []ff.Element) error {
 	fr := e.Curve.Fr
 	if len(public) != vk.NumPub {
 		return fmt.Errorf("plonk: %d public values, circuit declares %d", len(public), vk.NumPub)
@@ -748,16 +769,19 @@ func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) err
 		fr.Add(&combinedEval, &combinedEval, &tmp)
 		fr.Mul(&vPow, &vPow, &v)
 	}
-	accJ := e.Curve.G1MSM(points, scalars, 1)
+	accJ, err := e.Curve.G1MSMCtx(ctx, points, scalars, 1)
+	if err != nil {
+		return err
+	}
 	var combinedC curve.G1Affine
 	e.Curve.G1ToAffine(&combinedC, &accJ)
-	if !vk.SRS.Verify(e.Pair, &combinedC, &zeta, &combinedEval, &proof.Wz) {
+	if !vk.SRS.VerifyCtx(ctx, e.Pair, &combinedC, &zeta, &combinedEval, &proof.Wz) {
 		return fmt.Errorf("%w: batched opening at ζ fails", ErrInvalidProof)
 	}
 
 	var zetaOmega ff.Element
 	fr.Mul(&zetaOmega, &zeta, &vk.Omega)
-	if !vk.SRS.Verify(e.Pair, &proof.CZ, &zetaOmega, &proof.EvZw, &proof.Wzw) {
+	if !vk.SRS.VerifyCtx(ctx, e.Pair, &proof.CZ, &zetaOmega, &proof.EvZw, &proof.Wzw) {
 		return fmt.Errorf("%w: opening of z at ζω fails", ErrInvalidProof)
 	}
 	return nil

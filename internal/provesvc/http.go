@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
 	"zkperf/internal/backend"
 	"zkperf/internal/ff"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
 
@@ -21,8 +23,14 @@ import (
 //	POST /v1/prove        {"curve","backend","circuit","inputs":{name:value},"timeout_ms"}
 //	POST /v1/prove/batch  {"requests":[<prove body>, …]}
 //	POST /v1/verify       {"curve","backend","circuit","proof","public":[values]}
-//	GET  /v1/stats        counters, cache hit rate, per-stage and per-backend p50/p95/p99
+//	GET  /v1/stats        the documented {service,queue,cache,backends} snapshot
+//	GET  /v1/metrics      Prometheus text exposition of the telemetry registry
 //	GET  /v1/healthz      200 while accepting work, 503 while draining
+//
+// Every request gets an ID: the value of an incoming X-Request-Id header
+// if present, a fresh one otherwise. The ID is echoed in the response's
+// X-Request-Id header, attached to the request context (visible to the
+// telemetry probe and access logs) for the whole job.
 //
 // The legacy unversioned paths answer 308 Permanent Redirect to their
 // /v1 equivalents (clients following redirects re-send the body, per RFC
@@ -78,18 +86,63 @@ type verifyBody struct {
 }
 
 // NewHandler wraps the service in an http.Handler serving the /v1 API,
-// with 308 redirects from the legacy unversioned paths.
+// with 308 redirects from the legacy unversioned paths and request-ID
+// stamping on every route.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/healthz"} {
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/metrics", "/healthz"} {
 		mux.Handle(path, http.RedirectHandler("/v1"+path, http.StatusPermanentRedirect))
 	}
-	return mux
+	return withRequestID(mux)
+}
+
+// withRequestID is the edge middleware that gives every request an ID:
+// reuse the client's X-Request-Id when sane, mint one otherwise, echo it
+// in the response and thread it through the context so the job's probe
+// and the access log can report it.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithRequestID(r.Context(), id)))
+	})
+}
+
+// statusRecorder captures the status code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// LogRequests wraps a handler with a structured access log: one line per
+// request with method, path, status, duration and request ID. logger may
+// be nil for the stdlib default logger.
+func LogRequests(next http.Handler, logger *log.Logger) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, r)
+		logger.Printf("http method=%s path=%s status=%d dur_ms=%.1f request_id=%s",
+			r.Method, r.URL.Path, rec.status,
+			float64(time.Since(t0))/1e6, rec.Header().Get("X-Request-Id"))
+	})
 }
 
 // errorClass maps a service error to its HTTP status, stable error code
@@ -294,6 +347,20 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.tel.Registry()
+	if reg == nil {
+		writeJSON(w, http.StatusNotFound, &errEnvelope{
+			Code:      "telemetry_disabled",
+			Message:   "provesvc: telemetry is disabled on this service",
+			Retryable: false,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WriteText(w)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

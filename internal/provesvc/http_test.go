@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
@@ -112,14 +116,20 @@ func TestHTTPProveVerifyStats(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Completed != 2 {
-		t.Errorf("completed = %d, want 2", st.Completed)
+	if st.Service.Completed != 2 {
+		t.Errorf("completed = %d, want 2", st.Service.Completed)
 	}
-	if st.CacheHits == 0 {
+	if st.Cache.Hits == 0 {
 		t.Error("cache hits = 0, want > 0 after repeated proves")
 	}
-	if st.Setups != 1 {
-		t.Errorf("setups = %d, want 1", st.Setups)
+	if st.Cache.Setups != 1 {
+		t.Errorf("setups = %d, want 1", st.Cache.Setups)
+	}
+	if st.Queue.Capacity != 8 {
+		t.Errorf("queue capacity = %d, want 8", st.Queue.Capacity)
+	}
+	if st.Service.Workers != 2 {
+		t.Errorf("workers = %d, want 2", st.Service.Workers)
 	}
 
 	// Bad requests are 400s with the error envelope.
@@ -379,4 +389,256 @@ func TestHTTPHealthAndErrorClass(t *testing.T) {
 		t.Errorf("prove while draining = %d, want 503", resp.StatusCode)
 	}
 	wantEnvelope(t, out, "draining", true)
+}
+
+// TestHTTPMetrics is the tentpole acceptance round-trip: a real prove
+// through the handler populates the telemetry registry, and
+// GET /v1/metrics exposes it as Prometheus text with per-
+// (backend, curve, stage) histograms and kernel counters.
+func TestHTTPMetrics(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(23))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	resp, out := postJSON(t, ts.URL+"/v1/prove", map[string]any{
+		"circuit": src,
+		"inputs":  map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prove status = %d, body %v", resp.StatusCode, out)
+	}
+
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d, want 200", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE zkp_stage_duration_seconds histogram",
+		`zkp_stage_duration_seconds_count{backend="groth16",curve="bn128",stage="witness"} 1`,
+		`zkp_stage_duration_seconds_count{backend="groth16",curve="bn128",stage="prove"} 1`,
+		`zkp_kernel_duration_seconds_count{backend="groth16",curve="bn128",kernel="msm_g1"}`,
+		`zkp_kernel_duration_seconds_count{backend="groth16",curve="bn128",kernel="ntt"}`,
+		`zkp_kernel_invocations_total{backend="groth16",curve="bn128",kernel="msm_g1"}`,
+		`zkp_kernel_items_total{backend="groth16",curve="bn128",kernel="msm_g1"}`,
+		`zkp_requests_total{backend="groth16",curve="bn128",outcome="completed"} 1`,
+		"zkp_queue_capacity 4",
+		"zkp_workers 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// The legacy path answers 308 like every other route.
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	lresp, err := noFollow.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusPermanentRedirect {
+		t.Errorf("/metrics status = %d, want 308", lresp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsDisabled pins the opt-out: with telemetry off the
+// endpoint answers 404 with a stable error code instead of an empty
+// exposition.
+func TestHTTPMetricsDisabled(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(2), WithSeed(29), WithTelemetry(nil))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics status = %d, want 404 when telemetry disabled", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, out, "telemetry_disabled", false)
+}
+
+// TestHTTPRequestID checks the edge middleware: a sane client-supplied
+// X-Request-Id is echoed back, and requests without one get a fresh ID.
+func TestHTTPRequestID(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(2), WithSeed(31))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-supplied-42" {
+		t.Errorf("X-Request-Id = %q, want the client's ID echoed", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); len(got) != 16 {
+		t.Errorf("generated X-Request-Id = %q, want 16 hex chars", got)
+	}
+}
+
+// TestHTTPHealthzFlipsDuringDrain parks a job on the test gate, starts
+// Shutdown, and checks /v1/healthz flips 200 → 503 while the drain is
+// still in progress (not merely after it finishes).
+func TestHTTPHealthzFlipsDuringDrain(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(37))
+	s.hookJobStart = func() { <-gate }
+	s.Start()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	statusOf := func() int {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := statusOf(); got != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", got)
+	}
+
+	j, err := s.enqueue(context.Background(), ProveRequest{
+		Curve: "bn128", Source: circuit.ExponentiateSource(8),
+		Inputs: assignX(t, s, "bn128", 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "worker to pick up the job", func() bool {
+		return s.met.inFlight.Load() == 1
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+	waitFor(t, 10*time.Second, "healthz to flip to 503 mid-drain", func() bool {
+		return statusOf() == http.StatusServiceUnavailable
+	})
+
+	close(gate)
+	<-done
+	<-j.done
+	if j.err != nil {
+		t.Errorf("in-flight job failed: %v", j.err)
+	}
+}
+
+// TestStatsPerBackendShed pins the fixed accounting: queue-full
+// rejections and cancelled jobs are attributed to the backend that shed
+// them, both in /v1/stats and in the Prometheus outcome counters.
+func TestStatsPerBackendShed(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(WithWorkers(1), WithQueueDepth(1), WithSeed(41))
+	s.hookJobStart = func() { <-gate }
+	s.Start()
+	defer func() {
+		s.Shutdown(context.Background())
+	}()
+
+	src := circuit.ExponentiateSource(8)
+	req := ProveRequest{Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 2)}
+
+	// Fill the worker and the single queue slot, then overflow.
+	j1, err := s.enqueue(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "worker to pick up j1", func() bool {
+		return s.met.inFlight.Load() == 1
+	})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	j2, err := s.enqueue(ctx2, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prove(context.Background(), req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+
+	// Cancel the queued job, then release the worker.
+	cancel2()
+	close(gate)
+	<-j1.done
+	<-j2.done
+	if !errors.Is(j2.err, context.Canceled) {
+		t.Fatalf("j2 err = %v, want context.Canceled", j2.err)
+	}
+
+	st := s.Stats()
+	bst, ok := st.Backends[DefaultBackend]
+	if !ok {
+		t.Fatalf("stats missing backends[%q]", DefaultBackend)
+	}
+	if bst.Rejected != 1 {
+		t.Errorf("backend rejected = %d, want 1", bst.Rejected)
+	}
+	if bst.Cancelled != 1 {
+		t.Errorf("backend cancelled = %d, want 1", bst.Cancelled)
+	}
+	if bst.Completed != 1 {
+		t.Errorf("backend completed = %d, want 1", bst.Completed)
+	}
+	if st.Service.Rejected != 1 || st.Service.Cancelled != 1 {
+		t.Errorf("service rejected/cancelled = %d/%d, want 1/1",
+			st.Service.Rejected, st.Service.Cancelled)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Telemetry().Registry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`zkp_requests_total{backend="groth16",curve="bn128",outcome="rejected"} 1`,
+		`zkp_requests_total{backend="groth16",curve="bn128",outcome="cancelled"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry output missing %q", want)
+		}
+	}
 }

@@ -202,17 +202,14 @@ func TestProveVerifyEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			st := s.Stats()
-			if st.CacheHits == 0 {
+			if st.Cache.Hits == 0 {
 				t.Errorf("cache hits = 0 after repeated proves, want > 0")
 			}
-			if st.Setups != 1 {
-				t.Errorf("setups = %d, want 1", st.Setups)
+			if st.Cache.Setups != 1 {
+				t.Errorf("setups = %d, want 1", st.Cache.Setups)
 			}
-			if st.Completed != 2 {
-				t.Errorf("completed = %d, want 2", st.Completed)
-			}
-			if st.Stages["prove"].Count != 2 {
-				t.Errorf("prove histogram count = %d, want 2", st.Stages["prove"].Count)
+			if st.Service.Completed != 2 {
+				t.Errorf("completed = %d, want 2", st.Service.Completed)
 			}
 			bst, ok := st.Backends[backendName]
 			if !ok {
@@ -220,6 +217,9 @@ func TestProveVerifyEndToEnd(t *testing.T) {
 			}
 			if bst.Completed != 2 {
 				t.Errorf("backend completed = %d, want 2", bst.Completed)
+			}
+			if bst.Stages["prove"].Count != 2 {
+				t.Errorf("backend prove histogram count = %d, want 2", bst.Stages["prove"].Count)
 			}
 			if bst.Stages["prove"].P99Ms <= 0 {
 				t.Errorf("backend prove p99 = %v, want > 0", bst.Stages["prove"].P99Ms)
@@ -245,7 +245,7 @@ func TestUnknownBackendRejected(t *testing.T) {
 			t.Fatalf("backend %q err = %v, want ErrUnknownBackend", name, err)
 		}
 	}
-	if got := s.Stats().Rejected; got != 2 {
+	if got := s.Stats().Service.Rejected; got != 2 {
 		t.Errorf("rejected = %d, want 2", got)
 	}
 	if got := s.Backends(); len(got) != 1 || got[0] != "groth16" {
@@ -253,13 +253,17 @@ func TestUnknownBackendRejected(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConfigConstructor keeps the struct-form constructor
-// working for callers predating the options API.
-func TestDeprecatedConfigConstructor(t *testing.T) {
-	s := NewWithConfig(Config{Workers: 1, QueueDepth: 2, Seed: 21})
+// TestOptionDefaults pins the options constructor's behaviour with no
+// options at all: sane worker/queue defaults, the default backend, and
+// telemetry enabled out of the box.
+func TestOptionDefaults(t *testing.T) {
+	s := New(WithSeed(21))
 	s.Start()
 	defer s.Shutdown(context.Background())
 
+	if s.Telemetry() == nil || !s.Telemetry().Enabled() {
+		t.Error("telemetry should be enabled by default")
+	}
 	src := circuit.ExponentiateSource(16)
 	res, err := s.Prove(context.Background(), ProveRequest{
 		Curve: "bn128", Source: src, Inputs: assignX(t, s, "bn128", 2),
@@ -330,7 +334,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if _, err := s.Prove(context.Background(), req); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
 	}
-	if got := s.Stats().Rejected; got != 1 {
+	if got := s.Stats().Service.Rejected; got != 1 {
 		t.Errorf("rejected = %d, want 1", got)
 	}
 
@@ -409,8 +413,8 @@ func testCancellationAbortsProve(t *testing.T, backendName string) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("deadline err = %v, want context.DeadlineExceeded", err)
 	}
-	waitFor(t, 30*time.Second, "canceled counter", func() bool {
-		return s.Stats().Canceled >= 2
+	waitFor(t, 30*time.Second, "cancelled counter", func() bool {
+		return s.Stats().Service.Cancelled >= 2
 	})
 }
 
@@ -495,7 +499,7 @@ func TestGracefulDrain(t *testing.T) {
 	if rep.Drained != 1 {
 		t.Errorf("drained = %d, want 1", rep.Drained)
 	}
-	if got := s.Stats().Dropped; got != 3 {
+	if got := s.Stats().Service.Dropped; got != 3 {
 		t.Errorf("stats dropped = %d, want 3", got)
 	}
 }

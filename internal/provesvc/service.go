@@ -12,6 +12,12 @@
 // carries a context so client cancellations and deadlines propagate into
 // the MSM/NTT kernels of whichever backend runs it; and Shutdown drains
 // in-flight work with a deadline and reports what was dropped.
+//
+// Observability is always on by default: each job gets a telemetry.Probe
+// (stage spans plus the NTT/MSM/pairing kernel sub-spans the kernels
+// record), and finished requests fold into the process-wide metrics
+// registry served at GET /v1/metrics. WithTelemetry(nil) disables all of
+// it at one branch per hook.
 package provesvc
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"zkperf/internal/backend"
 	"zkperf/internal/ff"
+	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
 
@@ -43,73 +50,75 @@ var (
 // DefaultBackend is assumed when a request does not name one.
 const DefaultBackend = "groth16"
 
-// Config sizes the service. Zero values pick sensible defaults.
-//
-// Deprecated: construct services with New and functional options
-// (WithWorkers, WithQueueDepth, WithBackends, …); Config remains for
-// callers predating the options API and is consumed via NewWithConfig.
-type Config struct {
-	// Workers is the number of concurrent proving workers
-	// (default GOMAXPROCS).
-	Workers int
-	// QueueDepth bounds the number of queued-but-not-started jobs
-	// (default 64). When full, submissions fail fast with ErrQueueFull.
-	QueueDepth int
-	// ProveThreads is the engine parallelism *inside* one prove/setup
-	// (default 1): Workers×ProveThreads ≈ cores keeps the box busy
-	// without oversubscription collapse.
-	ProveThreads int
-	// DefaultTimeout caps each job's execution unless the request
-	// overrides it; 0 disables the default deadline.
-	DefaultTimeout time.Duration
-	// Seed seeds the setup and blinding RNGs. Pin it for reproducible
-	// experiments; vary it in production.
-	Seed uint64
-	// Backends lists the proving backends to serve (default: all
-	// registered — currently groth16 and plonk).
-	Backends []string
+// config sizes the service; it is built from Options and zero values
+// pick sensible defaults.
+type config struct {
+	workers        int
+	queueDepth     int
+	proveThreads   int
+	defaultTimeout time.Duration
+	seed           uint64
+	backends       []string
+	tel            *telemetry.Telemetry
+	telSet         bool // distinguishes "default" from WithTelemetry(nil)
 }
 
-func (c Config) withDefaults() Config {
-	if c.Workers < 1 {
-		c.Workers = runtime.GOMAXPROCS(0)
+func (c config) withDefaults() config {
+	if c.workers < 1 {
+		c.workers = runtime.GOMAXPROCS(0)
 	}
-	if c.QueueDepth < 1 {
-		c.QueueDepth = 64
+	if c.queueDepth < 1 {
+		c.queueDepth = 64
 	}
-	if c.ProveThreads < 1 {
-		c.ProveThreads = 1
+	if c.proveThreads < 1 {
+		c.proveThreads = 1
 	}
-	if len(c.Backends) == 0 {
-		c.Backends = backend.Names()
+	if len(c.backends) == 0 {
+		c.backends = backend.Names()
+	}
+	if !c.telSet {
+		c.tel = telemetry.New()
 	}
 	return c
 }
 
 // Option configures a Service at construction.
-type Option func(*Config)
+type Option func(*config)
 
-// WithWorkers sets the number of concurrent proving workers.
-func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+// WithWorkers sets the number of concurrent proving workers
+// (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
-// WithQueueDepth bounds the queued-but-not-started job count.
-func WithQueueDepth(d int) Option { return func(c *Config) { c.QueueDepth = d } }
+// WithQueueDepth bounds the queued-but-not-started job count
+// (default 64). When full, submissions fail fast with ErrQueueFull.
+func WithQueueDepth(d int) Option { return func(c *config) { c.queueDepth = d } }
 
-// WithProveThreads sets the kernel parallelism inside one prove/setup.
-func WithProveThreads(n int) Option { return func(c *Config) { c.ProveThreads = n } }
+// WithProveThreads sets the kernel parallelism *inside* one prove/setup
+// (default 1): Workers×ProveThreads ≈ cores keeps the box busy without
+// oversubscription collapse.
+func WithProveThreads(n int) Option { return func(c *config) { c.proveThreads = n } }
 
 // WithDefaultTimeout caps each job's execution unless the request
-// overrides it.
+// overrides it; 0 disables the default deadline.
 func WithDefaultTimeout(d time.Duration) Option {
-	return func(c *Config) { c.DefaultTimeout = d }
+	return func(c *config) { c.defaultTimeout = d }
 }
 
-// WithSeed seeds the setup and blinding RNGs.
-func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+// WithSeed seeds the setup and blinding RNGs. Pin it for reproducible
+// experiments; vary it in production.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// WithBackends restricts the service to the named proving backends.
+// WithBackends restricts the service to the named proving backends
+// (default: all registered — currently groth16 and plonk).
 func WithBackends(names ...string) Option {
-	return func(c *Config) { c.Backends = names }
+	return func(c *config) { c.backends = names }
+}
+
+// WithTelemetry replaces the service's telemetry handle. The default is
+// a fresh enabled handle; pass nil to disable observability entirely, or
+// a shared handle to aggregate several services into one registry.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(c *config) { c.tel = t; c.telSet = true }
 }
 
 // ProveRequest asks the service for one proof.
@@ -185,9 +194,10 @@ type DrainReport struct {
 
 // Service is the concurrent proving service.
 type Service struct {
-	cfg Config
+	cfg config
 	reg *Registry
 	met metrics
+	tel *telemetry.Telemetry
 
 	jobs chan *job
 	done chan struct{} // closed by Shutdown: workers exit when idle
@@ -208,30 +218,34 @@ type Service struct {
 
 // New creates a service; call Start before submitting work.
 func New(opts ...Option) *Service {
-	var cfg Config
+	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return NewWithConfig(cfg)
-}
-
-// NewWithConfig creates a service from a Config struct.
-//
-// Deprecated: use New with functional options.
-func NewWithConfig(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
-		reg:        NewRegistry(cfg.ProveThreads, cfg.Seed, cfg.Backends),
-		jobs:       make(chan *job, cfg.QueueDepth),
+		reg:        NewRegistry(cfg.proveThreads, cfg.seed, cfg.backends),
+		tel:        cfg.tel,
+		jobs:       make(chan *job, cfg.queueDepth),
 		done:       make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
-	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.Backends))
+	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.backends))
 	for _, name := range s.reg.Backends() {
 		s.met.perBackend[name] = &backendMetrics{}
+	}
+	if reg := s.tel.Registry(); reg != nil {
+		reg.GaugeFunc("zkp_queue_depth", "Jobs queued but not yet started.",
+			func() float64 { return float64(len(s.jobs)) })
+		reg.GaugeFunc("zkp_queue_capacity", "Job queue capacity.",
+			func() float64 { return float64(cap(s.jobs)) })
+		reg.GaugeFunc("zkp_in_flight", "Jobs currently executing on a worker.",
+			func() float64 { return float64(s.met.inFlight.Load()) })
+		reg.GaugeFunc("zkp_workers", "Size of the proving worker pool.",
+			func() float64 { return float64(s.cfg.workers) })
 	}
 	return s
 }
@@ -242,9 +256,12 @@ func (s *Service) Registry() *Registry { return s.reg }
 // Backends returns the backend names this service serves.
 func (s *Service) Backends() []string { return s.reg.Backends() }
 
+// Telemetry returns the service's telemetry handle (nil when disabled).
+func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
+
 // Start launches the worker pool.
 func (s *Service) Start() {
-	for i := 0; i < s.cfg.Workers; i++ {
+	for i := 0; i < s.cfg.workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
@@ -295,6 +312,15 @@ func (s *Service) ProveBatch(ctx context.Context, reqs []ProveRequest) ([]*Prove
 	return results, errs
 }
 
+// reject books a shed request into the global and per-backend counters.
+func (s *Service) reject(req ProveRequest) {
+	s.met.rejected.Add(1)
+	if bm := s.met.forBackend(req.Backend); bm != nil {
+		bm.rejected.Add(1)
+	}
+	s.tel.CountRequest(req.Backend, req.Curve, "rejected")
+}
+
 func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	if req.Curve == "" {
 		req.Curve = "bn128"
@@ -310,7 +336,7 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	}
 	timeout := req.Timeout
 	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
+		timeout = s.cfg.defaultTimeout
 	}
 	var jctx context.Context
 	var cancel context.CancelFunc
@@ -318,6 +344,13 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 		jctx, cancel = context.WithTimeout(ctx, timeout)
 	} else {
 		jctx, cancel = context.WithCancel(ctx)
+	}
+	// Give the job its probe unless the caller already attached one (an
+	// embedded caller aggregating spans itself). The probe carries the
+	// request ID the HTTP edge stamped into ctx, and the kernels below
+	// will find it through jctx.
+	if s.tel.Enabled() && telemetry.ProbeFromContext(jctx) == nil {
+		jctx = telemetry.WithProbe(jctx, telemetry.NewProbe(telemetry.RequestIDFromContext(ctx)))
 	}
 	// A forced shutdown (drain deadline expired) aborts this job too.
 	stop := context.AfterFunc(s.baseCtx, cancel)
@@ -339,7 +372,7 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	if s.draining {
 		cancel()
 		stop()
-		s.met.rejected.Add(1)
+		s.reject(req)
 		return nil, ErrDraining
 	}
 	select {
@@ -349,7 +382,7 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	default:
 		cancel()
 		stop()
-		s.met.rejected.Add(1)
+		s.reject(req)
 		return nil, ErrQueueFull
 	}
 }
@@ -378,8 +411,7 @@ func (s *Service) run(j *job) {
 	s.met.queueWait.Observe(wait)
 
 	if err := j.ctx.Err(); err != nil {
-		s.met.canceled.Add(1)
-		j.finish(nil, err)
+		s.fail(j, err)
 		return
 	}
 
@@ -389,28 +421,30 @@ func (s *Service) run(j *job) {
 		return
 	}
 	bm := s.met.forBackend(j.req.Backend)
+	probe := telemetry.ProbeFromContext(j.ctx)
 
 	t0 := time.Now()
+	endWitness := probe.StartStage(telemetry.StageWitness)
 	w, err := witness.Solve(art.Sys, art.Prog, j.req.Inputs)
+	endWitness()
 	if err != nil {
 		s.fail(j, fmt.Errorf("provesvc: witness: %w", err))
 		return
 	}
 	witnessTime := time.Since(t0)
-	s.met.witnessLat.Observe(witnessTime)
 
 	t1 := time.Now()
-	rng := ff.NewRNG(mix64(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * s.seedCtr.Add(1))))
+	rng := ff.NewRNG(mix64(s.cfg.seed ^ (0x9e3779b97f4a7c15 * s.seedCtr.Add(1))))
+	endProve := probe.StartStage(telemetry.StageProve)
 	proof, err := art.Backend.Prove(j.ctx, art.Sys, art.PK, w, rng)
+	endProve()
 	if err != nil {
 		s.fail(j, err)
 		return
 	}
 	proveTime := time.Since(t1)
-	s.met.proveLat.Observe(proveTime)
 
 	total := time.Since(j.enq)
-	s.met.totalLat.Observe(total)
 	s.met.completed.Add(1)
 	if bm != nil {
 		bm.witnessLat.Observe(witnessTime)
@@ -418,6 +452,10 @@ func (s *Service) run(j *job) {
 		bm.totalLat.Observe(total)
 		bm.completed.Add(1)
 	}
+	s.tel.ObserveStage(j.req.Backend, j.req.Curve, telemetry.StageWitness, witnessTime)
+	s.tel.ObserveStage(j.req.Backend, j.req.Curve, telemetry.StageProve, proveTime)
+	s.tel.CountRequest(j.req.Backend, j.req.Curve, "completed")
+	s.tel.ObserveProbe(j.req.Backend, j.req.Curve, probe)
 	j.finish(&ProveResult{
 		Proof:       proof,
 		Public:      w.Public,
@@ -431,11 +469,21 @@ func (s *Service) run(j *job) {
 
 // fail records a job failure, classifying cancellations separately.
 func (s *Service) fail(j *job, err error) {
+	bm := s.met.forBackend(j.req.Backend)
+	outcome := "failed"
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		outcome = "cancelled"
 		s.met.canceled.Add(1)
+		if bm != nil {
+			bm.cancelled.Add(1)
+		}
 	} else {
 		s.met.failed.Add(1)
+		if bm != nil {
+			bm.failed.Add(1)
+		}
 	}
+	s.tel.CountRequest(j.req.Backend, j.req.Curve, outcome)
 	j.finish(nil, err)
 }
 
@@ -457,14 +505,23 @@ func (s *Service) Verify(ctx context.Context, req VerifyRequest) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	probe := telemetry.ProbeFromContext(ctx)
+	if s.tel.Enabled() && probe == nil {
+		probe = telemetry.NewProbe(telemetry.RequestIDFromContext(ctx))
+		ctx = telemetry.WithProbe(ctx, probe)
+	}
 	t0 := time.Now()
-	err = art.Backend.Verify(art.VK, req.Proof, req.Public)
+	endVerify := probe.StartStage(telemetry.StageVerify)
+	err = art.Backend.Verify(ctx, art.VK, req.Proof, req.Public)
+	endVerify()
 	d := time.Since(t0)
-	s.met.verifyLat.Observe(d)
 	s.met.verified.Add(1)
 	if bm := s.met.forBackend(req.Backend); bm != nil {
 		bm.verifyLat.Observe(d)
 	}
+	s.tel.ObserveStage(req.Backend, req.Curve, telemetry.StageVerify, d)
+	s.tel.CountRequest(req.Backend, req.Curve, "verified")
+	s.tel.ObserveProbe(req.Backend, req.Curve, probe)
 	if errors.Is(err, backend.ErrInvalidProof) {
 		return false, nil
 	}
@@ -474,7 +531,7 @@ func (s *Service) Verify(ctx context.Context, req VerifyRequest) (bool, error) {
 	return true, nil
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters in the documented /v1/stats shape.
 func (s *Service) Stats() Snapshot {
 	s.mu.RLock()
 	draining := s.draining
@@ -489,31 +546,28 @@ func (s *Service) Stats() Snapshot {
 		backends[name] = bm.snapshot()
 	}
 	return Snapshot{
-		Accepted:  s.met.accepted.Load(),
-		Rejected:  s.met.rejected.Load(),
-		Completed: s.met.completed.Load(),
-		Failed:    s.met.failed.Load(),
-		Canceled:  s.met.canceled.Load(),
-		Dropped:   s.met.dropped.Load(),
-		Verified:  s.met.verified.Load(),
-
-		Workers:    s.cfg.Workers,
-		InFlight:   int(s.met.inFlight.Load()),
-		QueueDepth: len(s.jobs),
-		QueueCap:   cap(s.jobs),
-		Draining:   draining,
-
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheHitRate: hitRate,
-		Setups:       s.reg.Setups(),
-
-		Stages: map[string]LatencySummary{
-			"queue_wait": s.met.queueWait.summary(),
-			"witness":    s.met.witnessLat.summary(),
-			"prove":      s.met.proveLat.summary(),
-			"total":      s.met.totalLat.summary(),
-			"verify":     s.met.verifyLat.summary(),
+		Service: ServiceStats{
+			Accepted:  s.met.accepted.Load(),
+			Rejected:  s.met.rejected.Load(),
+			Completed: s.met.completed.Load(),
+			Failed:    s.met.failed.Load(),
+			Cancelled: s.met.canceled.Load(),
+			Dropped:   s.met.dropped.Load(),
+			Verified:  s.met.verified.Load(),
+			Workers:   s.cfg.workers,
+			Draining:  draining,
+		},
+		Queue: QueueStats{
+			Depth:    len(s.jobs),
+			Capacity: cap(s.jobs),
+			InFlight: int(s.met.inFlight.Load()),
+			Wait:     s.met.queueWait.summary(),
+		},
+		Cache: CacheStats{
+			Hits:    hits,
+			Misses:  misses,
+			HitRate: hitRate,
+			Setups:  s.reg.Setups(),
 		},
 		Backends: backends,
 	}

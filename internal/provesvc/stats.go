@@ -34,8 +34,10 @@ func (h *histogram) Observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 }
 
-// LatencySummary is the JSON-friendly digest of one histogram.
-type LatencySummary struct {
+// StageSummary is the JSON digest of one latency histogram — the
+// {count, p50_ms, p95_ms, p99_ms} leaf of the documented /v1/stats
+// schema (mean_ms rides along for capacity math).
+type StageSummary struct {
 	Count  uint64  `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
@@ -43,14 +45,14 @@ type LatencySummary struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
-func (h *histogram) summary() LatencySummary {
+func (h *histogram) summary() StageSummary {
 	var counts [histBuckets]uint64
 	var total uint64
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	s := LatencySummary{Count: total}
+	s := StageSummary{Count: total}
 	if total == 0 {
 		return s
 	}
@@ -77,10 +79,14 @@ func (h *histogram) summary() LatencySummary {
 }
 
 // backendMetrics is the per-backend slice of the service metrics, so
-// /stats can show where each scheme's latency distribution sits (the
-// MSM- vs NTT-bound trade-off the comparative literature predicts).
+// /v1/stats can show where each scheme's latency distribution sits (the
+// MSM- vs NTT-bound trade-off the comparative literature predicts) and
+// where its load was shed.
 type backendMetrics struct {
 	completed  atomic.Uint64
+	failed     atomic.Uint64
+	rejected   atomic.Uint64 // ErrQueueFull + ErrDraining, attributed here
+	cancelled  atomic.Uint64 // cancellation / deadline during execution
 	witnessLat histogram
 	proveLat   histogram
 	totalLat   histogram
@@ -101,11 +107,7 @@ type metrics struct {
 	verified  atomic.Uint64 // verify requests served (valid or not)
 	inFlight  atomic.Int64  // jobs currently executing on a worker
 
-	queueWait  histogram // enqueue → worker pickup
-	witnessLat histogram
-	proveLat   histogram
-	totalLat   histogram // enqueue → completion, successful jobs only
-	verifyLat  histogram
+	queueWait histogram // enqueue → worker pickup
 
 	perBackend map[string]*backendMetrics
 }
@@ -116,16 +118,55 @@ func (m *metrics) forBackend(name string) *backendMetrics {
 	return m.perBackend[name]
 }
 
-// BackendSnapshot is the per-backend block of the /stats response.
+// ServiceStats is the `service` block of the /v1/stats schema: lifetime
+// request counters and the worker-pool state.
+type ServiceStats struct {
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Dropped   uint64 `json:"dropped"`
+	Verified  uint64 `json:"verified"`
+	Workers   int    `json:"workers"`
+	Draining  bool   `json:"draining"`
+}
+
+// QueueStats is the `queue` block: the live queue state plus the
+// enqueue-to-pickup wait distribution.
+type QueueStats struct {
+	Depth    int          `json:"depth"`
+	Capacity int          `json:"capacity"`
+	InFlight int          `json:"in_flight"`
+	Wait     StageSummary `json:"wait"`
+}
+
+// CacheStats is the `cache` block: the circuit registry's hit/miss
+// counters and how many trusted setups actually ran.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Setups  uint64  `json:"setups"`
+}
+
+// BackendSnapshot is one entry of the `backends` map: outcome counters
+// and per-stage latency summaries for a single proving scheme.
 type BackendSnapshot struct {
-	Completed uint64                    `json:"completed"`
-	Stages    map[string]LatencySummary `json:"stages"`
+	Completed uint64                  `json:"completed"`
+	Failed    uint64                  `json:"failed"`
+	Rejected  uint64                  `json:"rejected"`
+	Cancelled uint64                  `json:"cancelled"`
+	Stages    map[string]StageSummary `json:"stages"`
 }
 
 func (b *backendMetrics) snapshot() BackendSnapshot {
 	return BackendSnapshot{
 		Completed: b.completed.Load(),
-		Stages: map[string]LatencySummary{
+		Failed:    b.failed.Load(),
+		Rejected:  b.rejected.Load(),
+		Cancelled: b.cancelled.Load(),
+		Stages: map[string]StageSummary{
 			"witness": b.witnessLat.summary(),
 			"prove":   b.proveLat.summary(),
 			"total":   b.totalLat.summary(),
@@ -134,28 +175,24 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 	}
 }
 
-// Snapshot is a point-in-time view of the service counters, safe to
-// serialize as the /stats response.
+// Snapshot is the stable /v1/stats response shape, shared by the HTTP
+// handler and the zkcli `stats` subcommand:
+//
+//	{
+//	  "service":  {accepted, rejected, completed, failed, cancelled,
+//	               dropped, verified, workers, draining},
+//	  "queue":    {depth, capacity, in_flight, wait:{count,…,p99_ms}},
+//	  "cache":    {hits, misses, hit_rate, setups},
+//	  "backends": {"groth16": {completed, failed, rejected, cancelled,
+//	               stages:{"witness"|"prove"|"verify"|"total": {count,
+//	               mean_ms, p50_ms, p95_ms, p99_ms}}}, …}
+//	}
+//
+// The shape is documented in docs/API.md; additions are allowed, renames
+// and removals are not.
 type Snapshot struct {
-	Accepted  uint64 `json:"accepted"`
-	Rejected  uint64 `json:"rejected"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	Canceled  uint64 `json:"canceled"`
-	Dropped   uint64 `json:"dropped"`
-	Verified  uint64 `json:"verified"`
-
-	Workers    int  `json:"workers"`
-	InFlight   int  `json:"in_flight"`
-	QueueDepth int  `json:"queue_depth"`
-	QueueCap   int  `json:"queue_cap"`
-	Draining   bool `json:"draining"`
-
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	Setups       uint64  `json:"setups"`
-
-	Stages   map[string]LatencySummary  `json:"stages"`
+	Service  ServiceStats               `json:"service"`
+	Queue    QueueStats                 `json:"queue"`
+	Cache    CacheStats                 `json:"cache"`
 	Backends map[string]BackendSnapshot `json:"backends"`
 }

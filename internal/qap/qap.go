@@ -16,6 +16,7 @@ import (
 	"zkperf/internal/ff"
 	"zkperf/internal/poly"
 	"zkperf/internal/r1cs"
+	"zkperf/internal/telemetry"
 )
 
 // Evaluations holds u_i(τ), v_i(τ), w_i(τ) for every witness variable i.
@@ -111,7 +112,10 @@ func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w [
 
 	// To coefficient form, then to the coset. Seven transform passes in
 	// total (counting the final CosetINTT); cancellation is re-checked
-	// before each one.
+	// before each one. The whole transform block is one "ntt" kernel span:
+	// the probe rides in ctx and is resolved once, not per pass.
+	probe := telemetry.ProbeFromContext(ctx)
+	t0 := probe.Begin()
 	for _, pass := range []func(){
 		func() { d.INTT(a) },
 		func() { d.INTT(b) },
@@ -148,5 +152,6 @@ func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w [
 		return nil, err
 	}
 	d.CosetINTT(h)
+	probe.Observe(telemetry.KernelNTT, t0, n)
 	return h[:n-1], nil
 }

@@ -1,0 +1,42 @@
+package telemetry
+
+import "context"
+
+type ctxKey int
+
+const (
+	probeKey ctxKey = iota
+	requestIDKey
+)
+
+// WithProbe attaches a probe to the context so kernels down-stack can
+// record into it. Attaching nil is a no-op (returns ctx unchanged) so
+// the disabled path adds no context layer.
+func WithProbe(ctx context.Context, p *Probe) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, probeKey, p)
+}
+
+// ProbeFromContext extracts the probe, or nil when none is attached.
+// Kernels call this once per invocation — at the same function boundary
+// the cancellation plumbing checks — never per chunk.
+func ProbeFromContext(ctx context.Context) *Probe {
+	p, _ := ctx.Value(probeKey).(*Probe)
+	return p
+}
+
+// WithRequestID attaches the request ID generated at the HTTP edge.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFromContext returns the request ID, or "" when none is set.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -1,0 +1,281 @@
+// Package telemetry is the serving stack's low-overhead, always-on
+// observability layer — the production counterpart of the heavyweight
+// paper-analysis recorder in internal/trace. Where trace serializes a
+// run to attribute every field operation, telemetry is built to ride
+// along with live traffic: per-request span trees (stage and kernel
+// attribution, the same witness/prove/verify + NTT/MSM/pairing taxonomy
+// the paper measures per run), a process-wide metrics registry exposed
+// in Prometheus text format, and request IDs threaded through context
+// from the HTTP edge into the backends.
+//
+// The cost contract: a nil *Probe or nil *Telemetry disables everything,
+// and every hot-path hook is a single branch on that nil (methods have
+// nil-receiver fast paths and allocate nothing when disabled). Kernels
+// extract the probe from context once per kernel invocation — the same
+// boundaries the context-cancellation plumbing already touches — never
+// per chunk.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage names: the request-level phases of the zk-SNARK workflow, matching
+// the paper's taxonomy (compile and setup are amortized by the registry
+// and attributed there).
+const (
+	StageWitness = "witness"
+	StageProve   = "prove"
+	StageVerify  = "verify"
+)
+
+// Kernel names: the hot compute kernels the accelerator literature
+// (PipeZK, ZKProphet, SZKP) targets. Hooks for these live at the same
+// chunk boundaries the cancellation plumbing checks.
+const (
+	KernelNTT     = "ntt"
+	KernelMSMG1   = "msm_g1"
+	KernelMSMG2   = "msm_g2"
+	KernelPairing = "pairing"
+)
+
+// kernelNames is the set ObserveProbe folds into the kernel metrics.
+var kernelNames = map[string]bool{
+	KernelNTT:     true,
+	KernelMSMG1:   true,
+	KernelMSMG2:   true,
+	KernelPairing: true,
+}
+
+// Span is one timed region of a request: a stage (witness/prove/verify)
+// or a kernel leaf under it. Start is the offset from the probe's birth,
+// so a tree prints as a waterfall.
+type Span struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	Items    int64 // work size: MSM points, NTT domain size, Miller loops
+	Children []*Span
+}
+
+// WriteTree pretty-prints the span tree as an indented waterfall:
+//
+//	request                       +0.000ms    12.345ms
+//	  prove                       +0.102ms    11.980ms
+//	    msm_g1                    +1.337ms     4.200ms  n=2048
+func (s *Span) WriteTree(w io.Writer) {
+	s.writeTree(w, 0)
+}
+
+func (s *Span) writeTree(w io.Writer, depth int) {
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	pad := 2 * depth
+	fmt.Fprintf(w, "%*s%-*s %+9.3fms %11.3fms", pad, "", 24-pad, s.Name, ms(s.Start), ms(s.Duration))
+	if s.Items > 0 {
+		fmt.Fprintf(w, "  n=%d", s.Items)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		c.writeTree(w, depth+1)
+	}
+}
+
+// visit walks the tree depth-first.
+func (s *Span) visit(fn func(*Span)) {
+	fn(s)
+	for _, c := range s.Children {
+		c.visit(fn)
+	}
+}
+
+// Probe collects the span tree of one request. A nil *Probe is the
+// disabled state: every method short-circuits on one branch. The probe
+// travels in the request context (WithProbe / ProbeFromContext) and is
+// folded into the metrics registry when the request finishes.
+//
+// Access is serialized with a mutex for -race cleanliness, but the
+// expected usage is sequential: the engines call kernels one at a time
+// from the job's worker goroutine (kernel-internal parallelism lives
+// below the hook).
+type Probe struct {
+	id string
+	t0 time.Time
+
+	mu   sync.Mutex
+	root Span
+	open []*Span // span stack; open[0] == &root
+}
+
+// NewProbe starts an empty probe. id is the request ID ("" when the
+// request has none, e.g. CLI runs).
+func NewProbe(id string) *Probe {
+	p := &Probe{id: id, t0: time.Now()}
+	p.root.Name = "request"
+	p.open = []*Span{&p.root}
+	return p
+}
+
+// RequestID returns the ID the probe was created with ("" for nil).
+func (p *Probe) RequestID() string {
+	if p == nil {
+		return ""
+	}
+	return p.id
+}
+
+var noopEnd = func() {}
+
+// StartStage opens a nested stage span; the returned closure ends it.
+// Safe (and free) on a nil probe.
+func (p *Probe) StartStage(name string) func() {
+	if p == nil {
+		return noopEnd
+	}
+	p.mu.Lock()
+	sp := &Span{Name: name, Start: time.Since(p.t0)}
+	top := p.open[len(p.open)-1]
+	top.Children = append(top.Children, sp)
+	p.open = append(p.open, sp)
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		sp.Duration = time.Since(p.t0) - sp.Start
+		// Pop to sp's level; tolerate a missed End below us.
+		for len(p.open) > 1 {
+			last := p.open[len(p.open)-1]
+			p.open = p.open[:len(p.open)-1]
+			if last == sp {
+				break
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Begin returns the start marker for a kernel hook — the zero time on a
+// nil probe, so the paired Observe is one branch and the disabled path
+// never reads the clock.
+func (p *Probe) Begin() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Observe records a completed kernel leaf under the innermost open span.
+// items is the kernel's work size (MSM points, NTT domain size).
+func (p *Probe) Observe(kernel string, start time.Time, items int) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	top := p.open[len(p.open)-1]
+	top.Children = append(top.Children, &Span{
+		Name:     kernel,
+		Start:    start.Sub(p.t0),
+		Duration: now.Sub(start),
+		Items:    int64(items),
+	})
+	p.mu.Unlock()
+}
+
+// Tree finalizes and returns the request's span tree (nil for a nil
+// probe). The root duration is stamped on first call.
+func (p *Probe) Tree() *Span {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.root.Duration == 0 {
+		p.root.Duration = time.Since(p.t0)
+	}
+	return &p.root
+}
+
+// Telemetry is the process-wide handle: the metrics registry plus the
+// naming scheme the serving layer records under. A nil *Telemetry
+// disables everything at one branch per call.
+type Telemetry struct {
+	reg *Registry
+}
+
+// New creates an enabled telemetry handle with an empty registry.
+func New() *Telemetry { return &Telemetry{reg: NewRegistry()} }
+
+// Enabled reports whether the handle records anything.
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Registry exposes the metrics registry (nil for a nil handle).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// ObserveStage records one request-stage duration into the
+// per-(backend, curve, stage) histogram.
+func (t *Telemetry) ObserveStage(backend, curve, stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram("zkp_stage_duration_seconds",
+		"Per-request stage latency by backend, curve and stage.",
+		Label{"backend", backend}, Label{"curve", curve}, Label{"stage", stage},
+	).Observe(d)
+}
+
+// CountRequest bumps the request counter for one outcome
+// (completed, failed, canceled, rejected, verified).
+func (t *Telemetry) CountRequest(backend, curve, outcome string) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter("zkp_requests_total",
+		"Requests by backend, curve and outcome.",
+		Label{"backend", backend}, Label{"curve", curve}, Label{"outcome", outcome},
+	).Inc()
+}
+
+// ObserveProbe folds a finished request's kernel spans into the
+// per-(backend, curve, kernel) histograms and counters. Safe on a nil
+// handle or nil probe.
+func (t *Telemetry) ObserveProbe(backend, curve string, p *Probe) {
+	if t == nil || p == nil {
+		return
+	}
+	bl, cl := Label{"backend", backend}, Label{"curve", curve}
+	p.Tree().visit(func(s *Span) {
+		if !kernelNames[s.Name] {
+			return
+		}
+		kl := Label{"kernel", s.Name}
+		t.reg.Histogram("zkp_kernel_duration_seconds",
+			"Kernel invocation latency by backend, curve and kernel.",
+			bl, cl, kl).Observe(s.Duration)
+		t.reg.Counter("zkp_kernel_invocations_total",
+			"Kernel invocations by backend, curve and kernel.",
+			bl, cl, kl).Inc()
+		t.reg.Counter("zkp_kernel_items_total",
+			"Kernel work items (MSM points, NTT domain size, Miller loops).",
+			bl, cl, kl).Add(uint64(s.Items))
+	})
+}
+
+// NewRequestID returns a fresh 16-hex-char request ID for the HTTP edge.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand is effectively infallible; degrade to a timestamp
+		// rather than failing a request over an ID.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0xfffffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
