@@ -6,6 +6,10 @@
 # telemetry overhead pair (disabled must stay within noise of the
 # pre-telemetry prove path — TestDisabledHookOverhead enforces the
 # nanosecond-level bound; this prints the full-prove numbers for review).
+# After that, the robustness gates: an explicit fault-injection pass over
+# the provesvc failure paths (panic isolation, breaker, deadlines,
+# artifact quarantine), and short fuzz smokes over the wire decoders —
+# the surfaces that read attacker-controlled bytes.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -14,3 +18,9 @@ go vet ./...
 go test -race ./...
 go test -run '^$' -bench '^BenchmarkBackends$' -benchtime=1x .
 go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime=1x .
+go test -race -count=1 \
+    -run 'TestPanicMidProve|TestArtifact|TestBreaker|TestDeadline|TestMaxTimeout|TestDrainWithExpiring|TestHTTPErrorCodes' \
+    ./internal/provesvc/
+go test -run '^$' -fuzz '^FuzzReadProof$' -fuzztime=5s ./internal/backend/
+go test -run '^$' -fuzz '^FuzzReadProvingKey$' -fuzztime=5s ./internal/backend/
+go test -run '^$' -fuzz '^FuzzReadVerifyingKey$' -fuzztime=5s ./internal/backend/

@@ -19,6 +19,13 @@
 // /v1/stats and renders the documented schema as a table; -json dumps
 // the raw snapshot.
 //
+// prove and verify also take -addr to run against a remote zkserve
+// instead of local files (prove needs -circuit/-input, verify needs
+// -circuit/-public). Remote calls honour the server's error envelope:
+// retryable failures (queue_full, draining, circuit_open,
+// deadline_exceeded) are retried up to -retries times with jittered
+// exponential backoff starting at -retry-backoff.
+//
 // The -input flag may repeat; values are decimal or 0x-hex field elements.
 // `zkcli gen -e N -o c.zkc` emits the paper's exponentiation benchmark
 // circuit source.
@@ -263,7 +270,21 @@ func cmdProve(args []string) error {
 	seed := fs.Uint64("seed", uint64(time.Now().UnixNano()), "blinding RNG seed")
 	threads := fs.Int("threads", 1, "worker threads")
 	telemetryOn := fs.Bool("telemetry", false, "record kernel spans and print the span tree after proving")
+	addr := fs.String("addr", "", "prove remotely against a zkserve base URL instead of local files")
+	circuitPath := fs.String("circuit", "", "circuit source file (remote mode)")
+	timeout := fs.Duration("timeout", 0, "remote per-request deadline (0: server default)")
+	retries := fs.Int("retries", 3, "remote mode: extra attempts for retryable errors")
+	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "remote mode: base retry backoff (doubles per attempt, jittered)")
+	var inputs inputFlags
+	fs.Var(&inputs, "input", "input assignment name=value (remote mode, repeatable)")
 	fs.Parse(args)
+	if *addr != "" {
+		if *circuitPath == "" {
+			return fmt.Errorf("-circuit is required with -addr")
+		}
+		return proveRemote(*addr, *curveName, *backendName, *circuitPath, *proofPath,
+			inputs, *timeout, *retries, *retryBackoff)
+	}
 	c, err := getCurve(*curveName)
 	if err != nil {
 		return err
@@ -327,7 +348,20 @@ func cmdVerify(args []string) error {
 	vkPath := fs.String("vk", "circuit.vk", "verification key")
 	wtnsPath := fs.String("wtns", "circuit.wtns", "witness (public part is used)")
 	proofPath := fs.String("proof", "circuit.proof", "proof")
+	addr := fs.String("addr", "", "verify remotely against a zkserve base URL instead of local files")
+	circuitPath := fs.String("circuit", "", "circuit source file (remote mode)")
+	retries := fs.Int("retries", 3, "remote mode: extra attempts for retryable errors")
+	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "remote mode: base retry backoff (doubles per attempt, jittered)")
+	var publics inputFlags
+	fs.Var(&publics, "public", "public input value (remote mode, repeatable, in wire order)")
 	fs.Parse(args)
+	if *addr != "" {
+		if *circuitPath == "" {
+			return fmt.Errorf("-circuit is required with -addr")
+		}
+		return verifyRemote(*addr, *curveName, *backendName, *circuitPath, *proofPath,
+			publics, *retries, *retryBackoff)
+	}
 	c, err := getCurve(*curveName)
 	if err != nil {
 		return err

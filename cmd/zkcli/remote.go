@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Remote mode: `zkcli prove -addr http://host:8090 …` and `zkcli verify
+// -addr …` drive a running zkserve instead of the local file pipeline.
+// The client honours the server's error envelope: responses whose
+// {"code","message","retryable"} envelope says retryable=true (queue
+// full, draining, circuit breaker cooldown, deadline) are retried with
+// jittered exponential backoff, everything else fails immediately.
+
+// wireError mirrors the server's error envelope.
+type wireError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+func (e *wireError) Error() string {
+	return fmt.Sprintf("%s: %s (retryable=%v)", e.Code, e.Message, e.Retryable)
+}
+
+// retryJitter computes the sleep before retry attempt n (0-based): the
+// base doubles each attempt and the result is drawn uniformly from
+// [d/2, d), so a burst of shed clients does not come back in lockstep.
+func retryJitter(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > time.Minute {
+		d = time.Minute
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// postWithRetry posts payload to url, retrying network errors and
+// envelope-retryable failures up to retries extra attempts. The last
+// error is returned verbatim (as *wireError for envelope failures, so
+// callers and tests can inspect the code).
+func postWithRetry(client *http.Client, url string, payload []byte, retries int, backoff time.Duration) ([]byte, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, retryable, err := postOnce(client, url, payload)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= retries {
+			return nil, lastErr
+		}
+		d := retryJitter(backoff, attempt, rng)
+		fmt.Fprintf(os.Stderr, "zkcli: retryable failure (%v), retrying in %v [%d/%d]\n",
+			err, d.Round(time.Millisecond), attempt+1, retries)
+		time.Sleep(d)
+	}
+}
+
+func postOnce(client *http.Client, url string, payload []byte) (data []byte, retryable bool, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		// Network-level failures (connection refused, reset) are always
+		// worth a retry: the server may be restarting behind us.
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return body, false, nil
+	}
+	env := &wireError{}
+	if jsonErr := json.Unmarshal(body, env); jsonErr != nil || env.Code == "" {
+		return nil, false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil, env.Retryable, env
+}
+
+// proveRemote posts one prove request and writes the returned proof
+// bytes where the local pipeline would have.
+func proveRemote(addr, curveName, backendName, circuitPath, proofPath string, inputs inputFlags, timeout time.Duration, retries int, backoff time.Duration) error {
+	src, err := os.ReadFile(circuitPath)
+	if err != nil {
+		return err
+	}
+	in := make(map[string]string, len(inputs))
+	for _, pair := range inputs {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("malformed -input %q (want name=value)", pair)
+		}
+		in[name] = val
+	}
+	payload, err := json.Marshal(map[string]any{
+		"curve":      curveName,
+		"backend":    backendName,
+		"circuit":    string(src),
+		"inputs":     in,
+		"timeout_ms": timeout.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	data, err := postWithRetry(nil, strings.TrimRight(addr, "/")+"/v1/prove", payload, retries, backoff)
+	if err != nil {
+		return err
+	}
+	var reply struct {
+		Backend string   `json:"backend"`
+		Proof   string   `json:"proof"`
+		Public  []string `json:"public"`
+		ProveMs float64  `json:"prove_ms"`
+		TotalMs float64  `json:"total_ms"`
+	}
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return fmt.Errorf("decoding prove reply: %v", err)
+	}
+	raw, err := hex.DecodeString(reply.Proof)
+	if err != nil {
+		return fmt.Errorf("decoding proof hex: %v", err)
+	}
+	if err := os.WriteFile(proofPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[%s@%s] prove=%.0fms total=%.0fms round-trip=%v public=%v\n",
+		reply.Backend, addr, reply.ProveMs, reply.TotalMs,
+		time.Since(t0).Round(time.Millisecond), reply.Public)
+	return nil
+}
+
+// verifyRemote posts a proof (as written by proveRemote or the local
+// pipeline — both use the backend's serialization) for server-side
+// verification against the circuit's cached verifying key.
+func verifyRemote(addr, curveName, backendName, circuitPath, proofPath string, publics inputFlags, retries int, backoff time.Duration) error {
+	src, err := os.ReadFile(circuitPath)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(proofPath)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(map[string]any{
+		"curve":   curveName,
+		"backend": backendName,
+		"circuit": string(src),
+		"proof":   hex.EncodeToString(raw),
+		"public":  []string(publics),
+	})
+	if err != nil {
+		return err
+	}
+	data, err := postWithRetry(nil, strings.TrimRight(addr, "/")+"/v1/verify", payload, retries, backoff)
+	if err != nil {
+		return err
+	}
+	var reply struct {
+		Valid bool `json:"valid"`
+	}
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return fmt.Errorf("decoding verify reply: %v", err)
+	}
+	if !reply.Valid {
+		return fmt.Errorf("proof is INVALID")
+	}
+	fmt.Printf("OK: proof is valid [%s@%s]\n", backendName, addr)
+	return nil
+}

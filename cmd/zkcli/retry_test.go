@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zkperf/internal/provesvc"
+)
+
+// flakyServer fails the first n requests with the given envelope, then
+// serves 200 {"ok":true}.
+func flakyServer(t *testing.T, n int, status int, env wireError) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(env)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestRetryEventualSuccess exercises the satellite contract: a server
+// shedding with a retryable envelope (queue_full here, the same shape
+// circuit_open and draining use) is retried and the call succeeds once
+// the server recovers.
+func TestRetryEventualSuccess(t *testing.T) {
+	srv, calls := flakyServer(t, 2, http.StatusTooManyRequests,
+		wireError{Code: "queue_full", Message: "job queue full", Retryable: true})
+	data, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 3, time.Millisecond)
+	if err != nil {
+		t.Fatalf("expected eventual success, got %v", err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("unexpected body %q", data)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestRetryNonRetryableFailsFast: a retryable=false envelope must not be
+// retried, no matter the budget.
+func TestRetryNonRetryableFailsFast(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusBadRequest,
+		wireError{Code: "bad_request", Message: "no circuit", Retryable: false})
+	_, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 5, time.Millisecond)
+	var env *wireError
+	if !errors.As(err, &env) || env.Code != "bad_request" {
+		t.Fatalf("want *wireError bad_request, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never recovers surfaces the
+// last envelope after retries+1 total attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusServiceUnavailable,
+		wireError{Code: "circuit_open", Message: "breaker cooling down", Retryable: true})
+	_, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 2, time.Millisecond)
+	var env *wireError
+	if !errors.As(err, &env) || env.Code != "circuit_open" {
+		t.Fatalf("want *wireError circuit_open, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryNetworkError: a dead endpoint counts as retryable.
+func TestRetryNetworkError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // now nothing listens there
+	_, err := postWithRetry(nil, url, []byte(`{}`), 1, time.Millisecond)
+	if err == nil {
+		t.Fatal("expected a network error")
+	}
+	var env *wireError
+	if errors.As(err, &env) {
+		t.Fatalf("network failure misclassified as envelope error: %v", err)
+	}
+}
+
+// TestRetryJitterBounds: the backoff doubles per attempt, stays within
+// [d/2, d], and never goes non-positive or unbounded.
+func TestRetryJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 20; attempt++ {
+		d := retryJitter(base, attempt, rng)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d > time.Minute {
+			t.Fatalf("attempt %d: backoff %v above the 1m cap", attempt, d)
+		}
+		if attempt < 5 {
+			want := base << uint(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+// TestRemoteProveVerify drives the remote mode end to end against an
+// in-process zkserve handler: prove writes a proof file, verify accepts
+// it, and a wrong public input is rejected.
+func TestRemoteProveVerify(t *testing.T) {
+	svc := provesvc.New(provesvc.WithWorkers(1), provesvc.WithSeed(7), provesvc.WithTelemetry(nil))
+	svc.Start()
+	defer svc.Shutdown(context.Background())
+	srv := httptest.NewServer(provesvc.NewHandler(svc))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	circuitPath := filepath.Join(dir, "c.zkc")
+	proofPath := filepath.Join(dir, "c.proof")
+	if err := cmdGen([]string{"-e", "16", "-o", circuitPath}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdProve([]string{"-addr", srv.URL, "-circuit", circuitPath,
+		"-proof", proofPath, "-input", "x=3"}); err != nil {
+		t.Fatalf("remote prove: %v", err)
+	}
+	// 3^16 = 43046721 is the circuit's lone public output.
+	if err := cmdVerify([]string{"-addr", srv.URL, "-circuit", circuitPath,
+		"-proof", proofPath, "-public", "43046721"}); err != nil {
+		t.Fatalf("remote verify: %v", err)
+	}
+	if err := cmdVerify([]string{"-addr", srv.URL, "-circuit", circuitPath,
+		"-proof", proofPath, "-public", "42"}); err == nil {
+		t.Fatal("remote verify accepted a wrong public input")
+	}
+}

@@ -2,7 +2,13 @@
 // long-lived deployment shape that amortizes circuit compilation and
 // trusted setup across many prove/verify requests.
 //
-//	zkserve -addr :8090 -workers 4 -queue 256 -threads 1 -timeout 30s
+//	zkserve -addr :8090 -workers 4 -queue 256 -threads 1 -timeout 30s \
+//	        -artifact-dir /var/lib/zkserve
+//
+// -artifact-dir persists setup artifacts crash-safely so restarts skip
+// the trusted setup; -max-timeout caps per-request timeout_ms overrides;
+// -breaker-threshold/-breaker-cooldown size the per-circuit breaker that
+// sheds poisoned circuits with 503 circuit_open.
 //
 // Endpoints (JSON bodies; see internal/provesvc):
 //
@@ -42,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"zkperf/internal/faultinject"
 	"zkperf/internal/provesvc"
 	"zkperf/internal/telemetry"
 )
@@ -52,20 +59,44 @@ func main() {
 	queue := flag.Int("queue", 256, "job queue depth (beyond this, requests get 429)")
 	threads := flag.Int("threads", 1, "engine threads inside one prove/setup")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline (0 disables)")
+	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request timeout_ms overrides (0: no ceiling)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "RNG seed (pin for reproducible runs)")
 	backendsFlag := flag.String("backends", "", "comma-separated proving backends to serve (default: all)")
+	artifactDir := flag.String("artifact-dir", "", "directory for crash-safe setup-artifact persistence (empty disables)")
+	maxBody := flag.Int64("max-body", provesvc.DefaultMaxBodyBytes, "request body size limit in bytes for /v1 prove and verify")
+	breakerN := flag.Int("breaker-threshold", provesvc.DefaultBreakerThreshold, "consecutive per-circuit failures that open its breaker (0 disables)")
+	breakerCool := flag.Duration("breaker-cooldown", provesvc.DefaultBreakerCooldown, "breaker open-state cooldown before a probe is admitted")
 	telemetryOn := flag.Bool("telemetry", true, "always-on telemetry (stage/kernel metrics at /v1/metrics)")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 	accessLog := flag.Bool("access-log", true, "log one line per HTTP request")
+	// -fault is deliberately undocumented in the usage line: it arms the
+	// fault-injection harness (internal/faultinject) for chaos drills and
+	// integration tests, never for production traffic.
+	faultSpec := flag.String("fault", "", "")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		for _, spec := range strings.Split(*faultSpec, ",") {
+			if _, err := faultinject.ParseSpec(strings.TrimSpace(spec)); err != nil {
+				log.Fatalf("zkserve: -fault: %v", err)
+			}
+		}
+		log.Printf("zkserve: FAULT INJECTION ARMED (%s) — not for production", *faultSpec)
+	}
 
 	opts := []provesvc.Option{
 		provesvc.WithWorkers(*workers),
 		provesvc.WithQueueDepth(*queue),
 		provesvc.WithProveThreads(*threads),
 		provesvc.WithDefaultTimeout(*timeout),
+		provesvc.WithMaxTimeout(*maxTimeout),
+		provesvc.WithMaxBodyBytes(*maxBody),
+		provesvc.WithBreaker(*breakerN, *breakerCool),
 		provesvc.WithSeed(*seed),
+	}
+	if *artifactDir != "" {
+		opts = append(opts, provesvc.WithArtifactDir(*artifactDir))
 	}
 	if !*telemetryOn {
 		opts = append(opts, provesvc.WithTelemetry(nil))
@@ -80,13 +111,29 @@ func main() {
 		opts = append(opts, provesvc.WithBackends(names...))
 	}
 	svc := provesvc.New(opts...)
+	if err := svc.ArtifactDirError(); err != nil {
+		// Persistence failing to initialize is fatal at boot: silently
+		// re-running every trusted setup after a restart is exactly the
+		// surprise -artifact-dir exists to prevent.
+		log.Fatalf("zkserve: -artifact-dir: %v", err)
+	}
 	svc.Start()
 
 	handler := provesvc.NewHandler(svc)
 	if *accessLog {
 		handler = provesvc.LogRequests(handler, nil)
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// Edge timeouts: header/body reads and idle keep-alives are bounded so
+	// a slowloris client cannot pin a connection, but there is deliberately
+	// no WriteTimeout — a prove response legitimately takes minutes and is
+	// bounded by the job deadline instead.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job, backends %v)",
@@ -97,7 +144,13 @@ func main() {
 	// never exposed by accident: it only exists when -debug-addr is set.
 	var dbg *http.Server
 	if *debugAddr != "" {
-		dbg = &http.Server{Addr: *debugAddr, Handler: debugMux(svc.Telemetry())}
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(svc.Telemetry()),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("zkserve: debug server: %v", err)

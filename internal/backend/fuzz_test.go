@@ -1,0 +1,141 @@
+package backend
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/r1cs"
+	"zkperf/internal/witness"
+)
+
+// Fuzz targets for the wire decoders — the surfaces that consume
+// attacker-controlled bytes (HTTP proof hex, artifact files, CLI file
+// pipelines). The invariant under fuzzing is purely "return an error,
+// never panic, never allocate absurdly": length prefixes are u64 fields
+// an attacker fully controls, so any decoder that trusts one for a
+// make() or an int conversion is a remote DoS.
+
+// fuzzFixture compiles one small circuit per backend and produces real
+// serialized artifacts for the seed corpus, so the fuzzer starts from
+// well-formed encodings and mutates toward the interesting boundaries.
+func fuzzFixture(f *testing.F, name string) (Backend, *r1cs.System, []byte, []byte, []byte) {
+	f.Helper()
+	c := curve.NewCurve("bn128")
+	sys, prog, err := circuit.CompileSource(c.Fr, circuit.ExponentiateSource(1<<4))
+	if err != nil {
+		f.Fatalf("compile: %v", err)
+	}
+	bk, err := New(name, c, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rng := ff.NewRNG(1)
+	pk, vk, err := bk.Setup(context.Background(), sys, rng)
+	if err != nil {
+		f.Fatalf("setup: %v", err)
+	}
+	var pkBuf, vkBuf bytes.Buffer
+	if err := pk.Encode(&pkBuf); err != nil {
+		f.Fatal(err)
+	}
+	if err := vk.Encode(&vkBuf); err != nil {
+		f.Fatal(err)
+	}
+	var x ff.Element
+	c.Fr.SetUint64(&x, 3)
+	w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+	if err != nil {
+		f.Fatalf("witness: %v", err)
+	}
+	proof, err := bk.Prove(context.Background(), sys, pk, w, rng)
+	if err != nil {
+		f.Fatalf("prove: %v", err)
+	}
+	var prBuf bytes.Buffer
+	if err := proof.Encode(&prBuf); err != nil {
+		f.Fatal(err)
+	}
+	return bk, sys, pkBuf.Bytes(), vkBuf.Bytes(), prBuf.Bytes()
+}
+
+// maxFuzzInput skips pathological giant inputs: the decoders bound their
+// own allocations, so beyond this size a case only burns fuzzing time.
+const maxFuzzInput = 1 << 20
+
+func FuzzReadProof(f *testing.F) {
+	type fixture struct {
+		bk Backend
+	}
+	var fixtures []fixture
+	for _, name := range Names() {
+		bk, _, _, _, proof := fuzzFixture(f, name)
+		fixtures = append(fixtures, fixture{bk: bk})
+		f.Add(proof)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		for _, fx := range fixtures {
+			// Must never panic; errors are the expected outcome.
+			if p, err := fx.bk.ReadProof(bytes.NewReader(data)); err == nil && p == nil {
+				t.Fatalf("%s: nil proof with nil error", fx.bk.Name())
+			}
+		}
+	})
+}
+
+func FuzzReadProvingKey(f *testing.F) {
+	type fixture struct {
+		bk  Backend
+		sys *r1cs.System
+	}
+	var fixtures []fixture
+	for _, name := range Names() {
+		bk, sys, pk, _, _ := fuzzFixture(f, name)
+		fixtures = append(fixtures, fixture{bk: bk, sys: sys})
+		f.Add(pk)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		for _, fx := range fixtures {
+			if k, err := fx.bk.ReadProvingKey(bytes.NewReader(data), fx.sys); err == nil && k == nil {
+				t.Fatalf("%s: nil key with nil error", fx.bk.Name())
+			}
+		}
+	})
+}
+
+func FuzzReadVerifyingKey(f *testing.F) {
+	type fixture struct {
+		bk Backend
+	}
+	var fixtures []fixture
+	for _, name := range Names() {
+		bk, _, _, vk, _ := fuzzFixture(f, name)
+		fixtures = append(fixtures, fixture{bk: bk})
+		f.Add(vk)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		for _, fx := range fixtures {
+			if k, err := fx.bk.ReadVerifyingKey(bytes.NewReader(data)); err == nil && k == nil {
+				t.Fatalf("%s: nil key with nil error", fx.bk.Name())
+			}
+		}
+	})
+}

@@ -99,21 +99,38 @@ func (c *Curve) WriteG1Slice(w io.Writer, ps []G1Affine) error {
 	return nil
 }
 
+// sliceAllocCap bounds the eager allocation for a length-prefixed array
+// read: an attacker-controlled u64 prefix must never size a make() call
+// directly, so readers pre-allocate at most this many elements and grow
+// by appending as real data actually arrives.
+const sliceAllocCap = 1 << 16
+
+// prealloc clamps an untrusted declared length to a safe initial
+// capacity.
+func prealloc(n uint64) int {
+	if n > sliceAllocCap {
+		return sliceAllocCap
+	}
+	return int(n)
+}
+
 // ReadG1Slice reads a length-prefixed G1 point array.
 func (c *Curve) ReadG1Slice(r io.Reader) ([]G1Affine, error) {
 	n, err := readU64(r)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]G1Affine, n)
+	out := make([]G1Affine, 0, prealloc(n))
 	buf := make([]byte, c.G1EncodedLen())
-	for i := range out {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		if err := c.G1SetBytes(&out[i], buf); err != nil {
+		var p G1Affine
+		if err := c.G1SetBytes(&p, buf); err != nil {
 			return nil, err
 		}
+		out = append(out, p)
 	}
 	return out, nil
 }
@@ -137,15 +154,17 @@ func (c *Curve) ReadG2Slice(r io.Reader) ([]G2Affine, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]G2Affine, n)
+	out := make([]G2Affine, 0, prealloc(n))
 	buf := make([]byte, c.G2EncodedLen())
-	for i := range out {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		if err := c.G2SetBytes(&out[i], buf); err != nil {
+		var p G2Affine
+		if err := c.G2SetBytes(&p, buf); err != nil {
 			return nil, err
 		}
+		out = append(out, p)
 	}
 	return out, nil
 }
@@ -169,13 +188,15 @@ func ReadFrSlice(r io.Reader, fr *ff.Field) ([]ff.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ff.Element, n)
+	out := make([]ff.Element, 0, prealloc(n))
 	buf := make([]byte, fr.ByteLen())
-	for i := range out {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		fr.SetBytes(&out[i], buf)
+		var e ff.Element
+		fr.SetBytes(&e, buf)
+		out = append(out, e)
 	}
 	return out, nil
 }

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointIsNil(t *testing.T) {
+	if err := Point(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if err := Point(nil, "nowhere"); err != nil {
+		t.Fatalf("disarmed point with nil ctx returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true with empty registry")
+	}
+}
+
+func TestArmErrorAndDisarm(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	disarm := Arm("p", Fault{Kind: KindError, Err: sentinel})
+	if !Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	if err := Point(nil, "p"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	disarm()
+	if err := Point(nil, "p"); err != nil {
+		t.Fatalf("err after disarm = %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true after disarm")
+	}
+}
+
+func TestDefaultErrIsErrInjected(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Kind: KindError})
+	if err := Point(nil, "p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Kind: KindPanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), `"p"`) {
+			t.Fatalf("panic message %q does not name the point", r)
+		}
+	}()
+	Point(nil, "p")
+}
+
+func TestAfterAndCount(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Kind: KindError, After: 1, Count: 2})
+	var errsSeen int
+	for i := 0; i < 5; i++ {
+		if Point(nil, "p") != nil {
+			errsSeen++
+			if i == 0 {
+				t.Error("fault fired on the skipped first hit")
+			}
+		}
+	}
+	if errsSeen != 2 {
+		t.Fatalf("fault fired %d times, want 2", errsSeen)
+	}
+}
+
+func TestContextFaultIsScoped(t *testing.T) {
+	ctx := WithFault(context.Background(), "p", Fault{Kind: KindError})
+	if err := Point(ctx, "p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ctx-armed point: %v, want ErrInjected", err)
+	}
+	// A sibling context is untouched, and so is the global registry.
+	if err := Point(context.Background(), "p"); err != nil {
+		t.Fatalf("sibling ctx hit the fault: %v", err)
+	}
+	if Armed() {
+		t.Fatal("context arming leaked into the global registry")
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Kind: KindDelay, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if err := Point(ctx, "p"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(t0) > 10*time.Second {
+		t.Fatal("delay did not abort on cancellation")
+	}
+}
+
+func TestLimitWriterTruncates(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Kind: KindPartialWrite, Bytes: 5})
+	var buf bytes.Buffer
+	w := LimitWriter(nil, "p", &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("buffer = %q, want the 5-byte prefix", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write err = %v, want ErrInjected", err)
+	}
+	// Point itself must not fail the partial-write point: the fault acts
+	// through the writer.
+	Reset()
+	Arm("p", Fault{Kind: KindPartialWrite, Bytes: 5})
+	if err := Point(nil, "p"); err != nil {
+		t.Fatalf("Point on partial-write fault = %v, want nil", err)
+	}
+}
+
+func TestLimitWriterPassThroughWhenDisarmed(t *testing.T) {
+	var buf bytes.Buffer
+	if w := LimitWriter(nil, "p", &buf); w != &buf {
+		t.Fatal("LimitWriter wrapped the writer with nothing armed")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	disarm, err := ParseSpec("worker.run=panic, backend.prove=error@2, backend.setup=delay:1ms, artifact.write=partial:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	if !Armed() {
+		t.Fatal("spec did not arm anything")
+	}
+	if err := Point(nil, PointBackendProve); !errors.Is(err, ErrInjected) {
+		t.Fatalf("backend.prove = %v, want ErrInjected", err)
+	}
+	if err := Point(nil, PointBackendProve); !errors.Is(err, ErrInjected) {
+		t.Fatalf("backend.prove second hit = %v, want ErrInjected", err)
+	}
+	if err := Point(nil, PointBackendProve); err != nil {
+		t.Fatalf("backend.prove after count exhausted = %v, want nil", err)
+	}
+	if err := Point(nil, PointBackendSetup); err != nil {
+		t.Fatalf("delay fault returned %v", err)
+	}
+	disarm()
+	if Armed() {
+		t.Fatal("disarm left faults armed")
+	}
+
+	for _, bad := range []string{"nokind", "p=wat", "p=delay:xyz", "p=partial:-1", "p=error@0"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+	if Armed() {
+		t.Fatal("failed parses left faults armed")
+	}
+}

@@ -61,6 +61,12 @@ func (pk *ProvingKey) Deserialize(r io.Reader, c *curve.Curve) error {
 	if err != nil {
 		return err
 	}
+	// The domain size is attacker-controlled on the wire; bound it before
+	// the int conversion so it cannot wrap negative or claim an absurd
+	// evaluation domain.
+	if n > 1<<32 {
+		return fmt.Errorf("groth16: malformed proving key: domain size %d", n)
+	}
 	pk.DomainSize = int(n)
 	if pk.A, err = c.ReadG1Slice(r); err != nil {
 		return err

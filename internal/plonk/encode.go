@@ -99,7 +99,9 @@ func (pk *ProvingKey) Deserialize(r io.Reader, c *curve.Curve) error {
 	if err != nil {
 		return err
 	}
-	if len(srs.G1) < int(n)+1 {
+	// Compare in uint64: a hostile n near 2^64 must not wrap negative
+	// through int(n) and slip past the size check.
+	if n >= uint64(len(srs.G1)) {
 		return fmt.Errorf("plonk: SRS size %d below domain %d", len(srs.G1), n)
 	}
 	*pk = ProvingKey{SRS: srs}
@@ -146,6 +148,13 @@ func (vk *VerifyingKey) Deserialize(r io.Reader, c *curve.Curve) error {
 	numPub, err := readU64(r)
 	if err != nil {
 		return err
+	}
+	// Both sizes are attacker-controlled on the wire: bound them before
+	// the int conversions so they can neither wrap negative nor size a
+	// later allocation absurdly.
+	const maxDomain = 1 << 32
+	if n > maxDomain || numPub > n {
+		return fmt.Errorf("plonk: malformed verifying key sizes (n=%d, pub=%d)", n, numPub)
 	}
 	vk.N, vk.NumPub = int(n), int(numPub)
 	sbuf := make([]byte, c.Fr.ByteLen())

@@ -1,0 +1,349 @@
+package provesvc
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"zkperf/internal/backend"
+	"zkperf/internal/faultinject"
+	"zkperf/internal/r1cs"
+)
+
+// The disk artifact store. The comparative literature (ZKProphet, SZKP)
+// treats setup/key material as the dominant amortizable cost of a
+// prover; our in-memory registry amortizes it across requests, and this
+// store amortizes it across process restarts. The failure model is
+// deliberately paranoid, because a corrupt proving key is the worst
+// artifact to load — it silently produces garbage proofs:
+//
+//   - Writes are crash-safe: payload → temp file in the same directory,
+//     fsync, atomic rename over the final name, fsync of the directory.
+//     A crash at any point leaves either the old file or a stray *.tmp
+//     (swept on startup), never a torn *.zka.
+//   - Every file carries a header checksum (SHA-256 of the payload) plus
+//     the full circuit key; loads verify both before decoding.
+//   - Anything invalid — bad magic, short file, checksum mismatch, key
+//     mismatch, decode failure — quarantines the file (rename to
+//     *.corrupt) and reports a cache miss so the registry recompiles.
+//     Corruption is never a panic and never an error surfaced to a job.
+//
+// File format (everything little-endian):
+//
+//	magic   [8]byte  "ZKARTv1\n"
+//	sum     [32]byte sha256 of the payload (everything after the header)
+//	payload:
+//	  backend  u16 len + bytes      curve  u16 len + bytes
+//	  srcHash  [32]byte             (the registry's circuit-source hash)
+//	  pk       u64 len + bytes      (backend.ProvingKey.Encode)
+//	  vk       u64 len + bytes      (backend.VerifyingKey.Encode)
+//
+// Only keys are persisted: the constraint system and solver program are
+// recompiled from source (cheap, and the source is the cache key anyway).
+// PLONK's proving key serializes as SRS+domain and is re-preprocessed on
+// load by its ReadProvingKey, exactly like the CLI pipeline.
+
+var artifactMagic = [8]byte{'Z', 'K', 'A', 'R', 'T', 'v', '1', '\n'}
+
+// errArtifactCorrupt tags validation failures that quarantine a file.
+var errArtifactCorrupt = errors.New("provesvc: corrupt artifact file")
+
+// artifactStore persists (ProvingKey, VerifyingKey) pairs per CircuitKey
+// under one directory. Concurrency: the registry's singleflight already
+// serializes all work per key, so the store itself needs no locking
+// beyond its counters.
+type artifactStore struct {
+	dir string
+
+	diskLoads   atomic.Uint64 // artifacts served from disk (setup skipped)
+	diskWrites  atomic.Uint64 // artifacts persisted
+	quarantined atomic.Uint64 // files renamed to *.corrupt
+	writeErrors atomic.Uint64 // failed persists (job unaffected)
+}
+
+// newArtifactStore opens (creating if needed) dir and sweeps stale temp
+// files left by a previous crash, quarantining any *.zka that fails its
+// checksum so startup never trusts a torn file.
+func newArtifactStore(dir string) (*artifactStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("provesvc: artifact dir: %w", err)
+	}
+	st := &artifactStore{dir: dir}
+	st.scan()
+	return st, nil
+}
+
+// scan validates every *.zka header+checksum, quarantining failures, and
+// removes orphaned *.tmp files from interrupted writes.
+func (st *artifactStore) scan() {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		path := filepath.Join(st.dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(path) // a write that never reached its rename
+		case strings.HasSuffix(name, ".zka"):
+			if _, err := st.readValidated(path); err != nil {
+				st.quarantine(path)
+			}
+		}
+	}
+}
+
+// path names the artifact file for key: the leading 12 bytes of the
+// source hash plus the curve and backend, all filename-safe.
+func (st *artifactStore) path(key CircuitKey) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, strings.ToLower(s))
+	}
+	return filepath.Join(st.dir, fmt.Sprintf("%s.%s.%s.zka",
+		hex.EncodeToString(key.SourceHash[:12]), clean(key.Curve), clean(key.Backend)))
+}
+
+// quarantine renames a corrupt file out of the cache namespace so it is
+// preserved for inspection but never considered again.
+func (st *artifactStore) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Rename can only really fail if the file vanished; removing the
+		// source of corruption matters more than preserving it.
+		os.Remove(path)
+	}
+	st.quarantined.Add(1)
+}
+
+// readValidated reads path and returns its payload after verifying the
+// magic and checksum. Any validation failure wraps errArtifactCorrupt.
+func (st *artifactStore) readValidated(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(artifactMagic)+sha256.Size {
+		return nil, fmt.Errorf("%w: %d-byte file shorter than header", errArtifactCorrupt, len(raw))
+	}
+	if !bytes.Equal(raw[:len(artifactMagic)], artifactMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", errArtifactCorrupt)
+	}
+	payload := raw[len(artifactMagic)+sha256.Size:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(raw[len(artifactMagic):len(artifactMagic)+sha256.Size], sum[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errArtifactCorrupt)
+	}
+	return payload, nil
+}
+
+// load returns the persisted keys for key, decoded against bk and sys.
+// ok is false on any miss — absent file, corrupt file (quarantined), or
+// decode failure — and the caller falls back to a fresh setup.
+func (st *artifactStore) load(ctx context.Context, key CircuitKey, bk backend.Backend, sys *r1cs.System) (pk backend.ProvingKey, vk backend.VerifyingKey, ok bool) {
+	path := st.path(key)
+	payload, err := st.readValidated(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, false
+	}
+	if err == nil {
+		err = faultinject.Point(ctx, faultinject.PointArtifactLoad)
+	}
+	if err == nil {
+		pk, vk, err = decodeArtifactPayload(payload, key, bk, sys)
+	}
+	if err != nil {
+		st.quarantine(path)
+		return nil, nil, false
+	}
+	st.diskLoads.Add(1)
+	return pk, vk, true
+}
+
+func decodeArtifactPayload(payload []byte, key CircuitKey, bk backend.Backend, sys *r1cs.System) (backend.ProvingKey, backend.VerifyingKey, error) {
+	r := bytes.NewReader(payload)
+	readStr := func() (string, error) {
+		var n uint16
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	backendName, err := readStr()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errArtifactCorrupt, err)
+	}
+	curveName, err := readStr()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errArtifactCorrupt, err)
+	}
+	var srcHash [sha256.Size]byte
+	if _, err := io.ReadFull(r, srcHash[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errArtifactCorrupt, err)
+	}
+	if backendName != key.Backend || curveName != key.Curve || srcHash != key.SourceHash {
+		return nil, nil, fmt.Errorf("%w: artifact key mismatch (have %s/%s, want %s/%s)",
+			errArtifactCorrupt, backendName, curveName, key.Backend, key.Curve)
+	}
+	readBlob := func() ([]byte, error) {
+		var n uint64
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", n, r.Len())
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	pkBytes, err := readBlob()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errArtifactCorrupt, err)
+	}
+	vkBytes, err := readBlob()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errArtifactCorrupt, err)
+	}
+	pk, err := bk.ReadProvingKey(bytes.NewReader(pkBytes), sys)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: proving key: %v", errArtifactCorrupt, err)
+	}
+	vk, err := bk.ReadVerifyingKey(bytes.NewReader(vkBytes))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: verifying key: %v", errArtifactCorrupt, err)
+	}
+	return pk, vk, nil
+}
+
+// save persists the keys for key crash-safely. Persistence failures are
+// counted, the job that produced the keys is never affected, and a
+// failed write leaves no *.zka behind (at worst a *.tmp swept on the
+// next start — the kill-between-write window).
+func (st *artifactStore) save(ctx context.Context, key CircuitKey, pk backend.ProvingKey, vk backend.VerifyingKey) error {
+	err := st.trySave(ctx, key, pk, vk)
+	if err != nil {
+		st.writeErrors.Add(1)
+		return err
+	}
+	st.diskWrites.Add(1)
+	return nil
+}
+
+func (st *artifactStore) trySave(ctx context.Context, key CircuitKey, pk backend.ProvingKey, vk backend.VerifyingKey) error {
+	var payload bytes.Buffer
+	writeStr := func(s string) {
+		binary.Write(&payload, binary.LittleEndian, uint16(len(s)))
+		payload.WriteString(s)
+	}
+	writeStr(key.Backend)
+	writeStr(key.Curve)
+	payload.Write(key.SourceHash[:])
+	writeBlob := func(enc func(io.Writer) error) error {
+		var b bytes.Buffer
+		if err := enc(&b); err != nil {
+			return err
+		}
+		binary.Write(&payload, binary.LittleEndian, uint64(b.Len()))
+		payload.Write(b.Bytes())
+		return nil
+	}
+	if err := writeBlob(pk.Encode); err != nil {
+		return fmt.Errorf("provesvc: encoding proving key: %w", err)
+	}
+	if err := writeBlob(vk.Encode); err != nil {
+		return fmt.Errorf("provesvc: encoding verifying key: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
+	final := st.path(key)
+	f, err := os.CreateTemp(st.dir, filepath.Base(final)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// The fault-injection writer simulates the process dying with the
+	// temp file half-written; the stray *.tmp is what scan() sweeps.
+	w := faultinject.LimitWriter(ctx, faultinject.PointArtifactWrite, f)
+	if _, err = w.Write(artifactMagic[:]); err == nil {
+		if _, err = w.Write(sum[:]); err == nil {
+			_, err = w.Write(payload.Bytes())
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// The kill-between-write window: temp file durable, rename not yet
+		// performed.
+		err = faultinject.Point(ctx, faultinject.PointArtifactRename)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// fsync the directory so the rename itself survives a power cut.
+	if d, derr := os.Open(st.dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ArtifactStats is the `artifacts` block of /v1/stats.
+type ArtifactStats struct {
+	// Enabled is true when WithArtifactDir configured a store.
+	Enabled bool `json:"enabled"`
+	// Dir is the persistence directory ("" when disabled).
+	Dir string `json:"dir,omitempty"`
+	// DiskLoads counts artifacts served from disk — each one a trusted
+	// setup that did not have to re-run after a restart.
+	DiskLoads uint64 `json:"disk_loads"`
+	// DiskWrites counts artifacts persisted.
+	DiskWrites uint64 `json:"disk_writes"`
+	// Quarantined counts corrupt files renamed to *.corrupt.
+	Quarantined uint64 `json:"quarantined"`
+	// WriteErrors counts failed persists (the proving job is unaffected).
+	WriteErrors uint64 `json:"write_errors"`
+}
+
+func (st *artifactStore) stats() ArtifactStats {
+	if st == nil {
+		return ArtifactStats{}
+	}
+	return ArtifactStats{
+		Enabled:     true,
+		Dir:         st.dir,
+		DiskLoads:   st.diskLoads.Load(),
+		DiskWrites:  st.diskWrites.Load(),
+		Quarantined: st.quarantined.Load(),
+		WriteErrors: st.writeErrors.Load(),
+	}
+}

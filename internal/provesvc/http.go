@@ -12,10 +12,17 @@ import (
 	"time"
 
 	"zkperf/internal/backend"
+	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
+
+// DefaultMaxBodyBytes bounds /v1 prove and verify request bodies unless
+// WithMaxBodyBytes overrides it. Circuit sources and proofs are small;
+// 4 MiB leaves generous headroom for batch bodies while keeping a
+// hostile client from ballooning the decoder.
+const DefaultMaxBodyBytes = 4 << 20
 
 // The HTTP front-end: stdlib-only JSON endpoints over the service,
 // versioned under /v1.
@@ -148,6 +155,7 @@ func LogRequests(next http.Handler, logger *log.Logger) http.Handler {
 // errorClass maps a service error to its HTTP status, stable error code
 // and retryability. Documented in the README's error-code table.
 func errorClass(err error) (status int, code string, retryable bool) {
+	var tooBig *http.MaxBytesError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full", true
@@ -155,6 +163,12 @@ func errorClass(err error) (status int, code string, retryable bool) {
 		return http.StatusServiceUnavailable, "draining", true
 	case errors.Is(err, ErrDropped):
 		return http.StatusServiceUnavailable, "dropped", true
+	case errors.Is(err, ErrCircuitOpen):
+		return http.StatusServiceUnavailable, "circuit_open", true
+	case errors.Is(err, ErrInternal):
+		return http.StatusInternalServerError, "internal_error", false
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, "body_too_large", false
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded", true
 	case errors.Is(err, context.Canceled):
@@ -181,9 +195,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError serves the envelope and books the code into the `errors`
+// block of /v1/stats and the zkp_http_errors_total metric, so every
+// error code a client can see is also visible to the operator.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status, env := envelope(err)
+	s.recordErrorCode(env.Code)
 	writeJSON(w, status, env)
+}
+
+func (s *Service) recordErrorCode(code string) {
+	s.met.countError(code)
+	if reg := s.tel.Registry(); reg != nil {
+		reg.Counter("zkp_http_errors_total",
+			"Error envelopes served, by stable code.",
+			telemetry.Label{Name: "code", Value: code}).Inc()
+	}
 }
 
 // toRequest converts the wire form to a ProveRequest, parsing inputs in
@@ -244,33 +271,43 @@ func (s *Service) toReply(res *ProveResult) (*proveReply, error) {
 }
 
 func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(r.Context(), faultinject.PointHTTPProve); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrInternal, err))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	var body proveBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
 	req, err := s.toRequest(body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	res, err := s.Prove(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	reply, err := s.toReply(res)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
 
 func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(r.Context(), faultinject.PointHTTPProve); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrInternal, err))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	var body batchBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
 	reqs := make([]ProveRequest, len(body.Requests))
@@ -290,15 +327,21 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			_, items[i].Error = envelope(err)
+			s.recordErrorCode(items[i].Error.Code)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": items})
 }
 
 func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(r.Context(), faultinject.PointHTTPVerify); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrInternal, err))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	var body verifyBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
 	if body.Curve == "" {
@@ -309,17 +352,17 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	bk, err := s.reg.BackendFor(body.Curve, body.Backend)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	raw, err := hex.DecodeString(body.Proof)
 	if err != nil {
-		writeError(w, fmt.Errorf("provesvc: bad proof hex: %w", err))
+		s.writeError(w, fmt.Errorf("provesvc: bad proof hex: %w", err))
 		return
 	}
 	proof, err := bk.ReadProof(bytes.NewReader(raw))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, body.Backend, err))
+		s.writeError(w, fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, body.Backend, err))
 		return
 	}
 	fr := bk.Curve().Fr
@@ -327,7 +370,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	fr.One(&public[0])
 	for i, v := range body.Public {
 		if _, err := fr.SetString(&public[i+1], v); err != nil {
-			writeError(w, fmt.Errorf("provesvc: public[%d]: %w", i, err))
+			s.writeError(w, fmt.Errorf("provesvc: public[%d]: %w", i, err))
 			return
 		}
 	}
@@ -339,7 +382,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		Public:  public,
 	})
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"valid": valid})

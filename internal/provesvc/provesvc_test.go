@@ -139,8 +139,13 @@ func TestRegistryCachesErrors(t *testing.T) {
 	if err2 == nil {
 		t.Fatal("expected the cached compile error")
 	}
-	if got := reg.Setups(); got != 1 {
-		t.Errorf("setups = %d, want 1 (errors should be cached)", got)
+	// One miss (the build) for two Gets proves the error was cached; no
+	// setup ever ran because compilation failed before it.
+	if got := reg.Misses(); got != 1 {
+		t.Errorf("misses = %d, want 1 (errors should be cached)", got)
+	}
+	if got := reg.Setups(); got != 0 {
+		t.Errorf("setups = %d, want 0 (compile failed before setup)", got)
 	}
 	if _, err := reg.Get(context.Background(), "no-such-curve", "groth16", "x"); !errors.Is(err, ErrUnknownCurve) {
 		t.Fatalf("unknown curve err = %v, want ErrUnknownCurve", err)

@@ -12,6 +12,7 @@ import (
 	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
 	"zkperf/internal/curve"
+	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
 	"zkperf/internal/r1cs"
 	"zkperf/internal/witness"
@@ -67,6 +68,8 @@ type Registry struct {
 
 	enabled map[string]bool // backend names this registry will serve
 
+	store *artifactStore // nil: no persistence
+
 	mu       sync.Mutex
 	entries  map[CircuitKey]*registryEntry
 	curves   map[string]*curve.Curve
@@ -101,6 +104,24 @@ func NewRegistry(threads int, seed uint64, backends []string) *Registry {
 		backends: make(map[string]backend.Backend),
 	}
 }
+
+// SetArtifactDir attaches a crash-safe disk store under dir: setup
+// artifacts are persisted on build and reloaded (checksum-verified,
+// corrupt files quarantined) instead of re-running setup. Must be called
+// before the registry serves requests. Disk loads ride the same
+// singleflight slots as compiles, so a cold key is read at most once.
+func (r *Registry) SetArtifactDir(dir string) error {
+	st, err := newArtifactStore(dir)
+	if err != nil {
+		return err
+	}
+	r.store = st
+	return nil
+}
+
+// ArtifactStats reports the disk store's counters (zero-valued when no
+// artifact dir is configured).
+func (r *Registry) ArtifactStats() ArtifactStats { return r.store.stats() }
 
 // Hits, Misses, and Setups expose the cache counters. A "hit" is any Get
 // that found an entry, including waiters that piggybacked on an in-flight
@@ -208,9 +229,16 @@ func (r *Registry) Get(ctx context.Context, curveName, backendName, source strin
 
 // build runs compile → setup for one key and publishes the result. Errors
 // are cached too: compilation is deterministic, so every retry of a
-// broken circuit would fail identically.
+// broken circuit would fail identically. build runs on a detached
+// goroutine, so a panicking backend must be caught here — it becomes the
+// entry's error (wrapping ErrInternal), never a process crash.
 func (r *Registry) build(key CircuitKey, curveName, backendName, source string, e *registryEntry) {
 	defer close(e.ready)
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.err = fmt.Errorf("%w: setup panic: %v", ErrInternal, rec)
+		}
+	}()
 
 	bk, err := r.BackendFor(curveName, backendName)
 	if err != nil {
@@ -218,7 +246,6 @@ func (r *Registry) build(key CircuitKey, curveName, backendName, source string, 
 		return
 	}
 
-	r.setups.Add(1)
 	t0 := time.Now()
 	sys, prog, err := circuit.CompileSource(bk.Curve().Fr, source)
 	if err != nil {
@@ -227,6 +254,30 @@ func (r *Registry) build(key CircuitKey, curveName, backendName, source string, 
 	}
 	compileTime := time.Since(t0)
 
+	art := &Artifact{
+		Key:         key,
+		Backend:     bk,
+		Sys:         sys,
+		Prog:        prog,
+		CompileTime: compileTime,
+	}
+
+	// A persisted artifact skips the expensive setup entirely — the point
+	// of the disk store. Corrupt or mismatched files quarantine inside
+	// load and fall through to a fresh setup.
+	if r.store != nil {
+		if pk, vk, ok := r.store.load(context.Background(), key, bk, sys); ok {
+			art.PK, art.VK = pk, vk
+			e.art = art
+			return
+		}
+	}
+
+	if err := faultinject.Point(context.Background(), faultinject.PointBackendSetup); err != nil {
+		e.err = fmt.Errorf("provesvc: setup: %w", err)
+		return
+	}
+	r.setups.Add(1)
 	t1 := time.Now()
 	rng := ff.NewRNG(mix64(r.seedBase + r.seedCtr.Add(1)))
 	pk, vk, err := bk.Setup(context.Background(), sys, rng)
@@ -234,17 +285,15 @@ func (r *Registry) build(key CircuitKey, curveName, backendName, source string, 
 		e.err = fmt.Errorf("provesvc: setup: %w", err)
 		return
 	}
+	art.PK, art.VK = pk, vk
+	art.SetupTime = time.Since(t1)
 
-	e.art = &Artifact{
-		Key:         key,
-		Backend:     bk,
-		Sys:         sys,
-		Prog:        prog,
-		PK:          pk,
-		VK:          vk,
-		CompileTime: compileTime,
-		SetupTime:   time.Since(t1),
+	if r.store != nil {
+		// Persistence is best-effort: a failed write is counted in the
+		// store's stats but never fails the build that produced the keys.
+		r.store.save(context.Background(), key, pk, vk)
 	}
+	e.art = art
 }
 
 // mix64 is SplitMix64's finalizer — it turns a sequential counter into a

@@ -22,6 +22,7 @@ package provesvc
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"zkperf/internal/backend"
+	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
@@ -45,6 +47,14 @@ var (
 	// ErrDropped is the failure recorded on jobs that were still queued
 	// when Shutdown ran — they never started executing.
 	ErrDropped = errors.New("provesvc: job dropped during shutdown")
+	// ErrInternal is the failure recorded on jobs whose backend panicked;
+	// the panic is recovered on the worker (which survives) and the HTTP
+	// layer maps this to 500 internal_error.
+	ErrInternal = errors.New("provesvc: internal error")
+	// ErrCircuitOpen is returned when the per-circuit breaker is shedding
+	// a poisoned circuit; the HTTP layer maps it to 503 circuit_open
+	// (retryable — the breaker admits a probe after its cooldown).
+	ErrCircuitOpen = errors.New("provesvc: circuit breaker open")
 )
 
 // DefaultBackend is assumed when a request does not name one.
@@ -57,8 +67,14 @@ type config struct {
 	queueDepth     int
 	proveThreads   int
 	defaultTimeout time.Duration
+	maxTimeout     time.Duration
 	seed           uint64
 	backends       []string
+	artifactDir    string
+	maxBodyBytes   int64
+	brkThreshold   int
+	brkCooldown    time.Duration
+	brkSet         bool // distinguishes "default" from WithBreaker(0, …)
 	tel            *telemetry.Telemetry
 	telSet         bool // distinguishes "default" from WithTelemetry(nil)
 }
@@ -75,6 +91,13 @@ func (c config) withDefaults() config {
 	}
 	if len(c.backends) == 0 {
 		c.backends = backend.Names()
+	}
+	if c.maxBodyBytes <= 0 {
+		c.maxBodyBytes = DefaultMaxBodyBytes
+	}
+	if !c.brkSet {
+		c.brkThreshold = DefaultBreakerThreshold
+		c.brkCooldown = DefaultBreakerCooldown
 	}
 	if !c.telSet {
 		c.tel = telemetry.New()
@@ -102,6 +125,37 @@ func WithProveThreads(n int) Option { return func(c *config) { c.proveThreads = 
 // overrides it; 0 disables the default deadline.
 func WithDefaultTimeout(d time.Duration) Option {
 	return func(c *config) { c.defaultTimeout = d }
+}
+
+// WithMaxTimeout caps the per-request timeout_ms override: requests
+// asking for more (or for no deadline at all, when a ceiling is set) are
+// clamped to d. 0 means no ceiling.
+func WithMaxTimeout(d time.Duration) Option {
+	return func(c *config) { c.maxTimeout = d }
+}
+
+// WithArtifactDir persists setup artifacts (proving/verifying keys)
+// crash-safely under dir and reloads them across restarts, so a process
+// crash never costs a trusted setup. Corrupt files are quarantined
+// (never loaded, never a panic) and rebuilt.
+func WithArtifactDir(dir string) Option {
+	return func(c *config) { c.artifactDir = dir }
+}
+
+// WithMaxBodyBytes bounds /v1 prove and verify request bodies (default
+// DefaultMaxBodyBytes); larger bodies fail with 413 body_too_large.
+func WithMaxBodyBytes(n int64) Option {
+	return func(c *config) { c.maxBodyBytes = n }
+}
+
+// WithBreaker sizes the per-circuit breaker: threshold consecutive
+// failures open it, and after cooldown a single probe is admitted.
+// threshold 0 disables the breaker. The default is
+// DefaultBreakerThreshold/DefaultBreakerCooldown.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *config) {
+		c.brkThreshold, c.brkCooldown, c.brkSet = threshold, cooldown, true
+	}
 }
 
 // WithSeed seeds the setup and blinding RNGs. Pin it for reproducible
@@ -166,6 +220,7 @@ type job struct {
 	cancel context.CancelFunc
 	stop   func() bool // detaches the shutdown watcher
 	req    ProveRequest
+	key    CircuitKey // breaker identity, computed at admission
 	enq    time.Time
 
 	res  *ProveResult
@@ -194,10 +249,16 @@ type DrainReport struct {
 
 // Service is the concurrent proving service.
 type Service struct {
-	cfg config
-	reg *Registry
-	met metrics
-	tel *telemetry.Telemetry
+	cfg     config
+	reg     *Registry
+	met     metrics
+	tel     *telemetry.Telemetry
+	breaker *breakerGroup
+
+	// artifactErr records a WithArtifactDir init failure: the service
+	// still serves (without persistence), and the caller decides whether
+	// that is fatal via ArtifactDirError.
+	artifactErr error
 
 	jobs chan *job
 	done chan struct{} // closed by Shutdown: workers exit when idle
@@ -228,10 +289,14 @@ func New(opts ...Option) *Service {
 		cfg:        cfg,
 		reg:        NewRegistry(cfg.proveThreads, cfg.seed, cfg.backends),
 		tel:        cfg.tel,
+		breaker:    newBreakerGroup(cfg.brkThreshold, cfg.brkCooldown),
 		jobs:       make(chan *job, cfg.queueDepth),
 		done:       make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+	}
+	if cfg.artifactDir != "" {
+		s.artifactErr = s.reg.SetArtifactDir(cfg.artifactDir)
 	}
 	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.backends))
 	for _, name := range s.reg.Backends() {
@@ -246,9 +311,25 @@ func New(opts ...Option) *Service {
 			func() float64 { return float64(s.met.inFlight.Load()) })
 		reg.GaugeFunc("zkp_workers", "Size of the proving worker pool.",
 			func() float64 { return float64(s.cfg.workers) })
+		reg.GaugeFunc("zkp_panics_total", "Prove panics recovered on workers.",
+			func() float64 { return float64(s.met.panics.Load()) })
+		reg.GaugeFunc("zkp_timeouts_total", "Jobs that exceeded their deadline.",
+			func() float64 { return float64(s.met.timeouts.Load()) })
+		reg.GaugeFunc("zkp_breaker_open", "Circuits currently shed by the breaker.",
+			func() float64 { return float64(s.breaker.openCount()) })
+		reg.GaugeFunc("zkp_breaker_trips_total", "Lifetime circuit-breaker trips.",
+			func() float64 { return float64(s.breaker.trips.Load()) })
+		reg.GaugeFunc("zkp_breaker_shed_total", "Requests shed with circuit_open.",
+			func() float64 { return float64(s.breaker.shed.Load()) })
 	}
 	return s
 }
+
+// ArtifactDirError reports a WithArtifactDir initialization failure (nil
+// when persistence is off or healthy). The service runs either way —
+// without persistence every setup is recomputed, which is slow but
+// correct — so the caller chooses whether to treat this as fatal.
+func (s *Service) ArtifactDirError() error { return s.artifactErr }
 
 // Registry exposes the circuit cache (e.g. to pre-warm circuits at boot).
 func (s *Service) Registry() *Registry { return s.reg }
@@ -334,9 +415,29 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 		s.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w %q (serving: %v)", backend.ErrUnknownBackend, req.Backend, s.reg.Backends())
 	}
+	key := CircuitKey{
+		SourceHash: sha256.Sum256([]byte(req.Source)),
+		Curve:      req.Curve,
+		Backend:    req.Backend,
+	}
+	// A circuit whose breaker is open is shed here, before it can consume
+	// a queue slot or a worker for another doomed multi-second prove.
+	if !s.breaker.allow(key) {
+		s.met.rejected.Add(1)
+		if bm := s.met.forBackend(req.Backend); bm != nil {
+			bm.rejected.Add(1)
+		}
+		s.tel.CountRequest(req.Backend, req.Curve, "circuit_open")
+		return nil, fmt.Errorf("%w for this circuit (cooldown %v)", ErrCircuitOpen, s.cfg.brkCooldown)
+	}
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.defaultTimeout
+	}
+	// The service-wide ceiling clamps both oversized overrides and the
+	// "no deadline" case — with a ceiling set, nothing runs unbounded.
+	if max := s.cfg.maxTimeout; max > 0 && (timeout <= 0 || timeout > max) {
+		timeout = max
 	}
 	var jctx context.Context
 	var cancel context.CancelFunc
@@ -360,6 +461,7 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 		cancel: cancel,
 		stop:   stop,
 		req:    req,
+		key:    key,
 		enq:    time.Now(),
 		done:   make(chan struct{}),
 	}
@@ -399,7 +501,9 @@ func (s *Service) worker() {
 	}
 }
 
-// run executes one job on the calling worker goroutine.
+// run executes one job on the calling worker goroutine and feeds the
+// outcome to the circuit breaker. Panics are contained inside execute,
+// so the worker always survives to take the next job.
 func (s *Service) run(j *job) {
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
@@ -410,15 +514,48 @@ func (s *Service) run(j *job) {
 	wait := time.Since(j.enq)
 	s.met.queueWait.Observe(wait)
 
-	if err := j.ctx.Err(); err != nil {
+	res, err := s.execute(j, wait)
+	if err != nil {
+		// A pure client cancellation says nothing about the circuit's
+		// health; everything else — panics, prove errors, deadline
+		// expiries (a stuck kernel looks exactly like one) — counts
+		// toward its breaker.
+		if errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.breaker.onCancel(j.key)
+		} else {
+			s.breaker.onFailure(j.key)
+		}
 		s.fail(j, err)
 		return
+	}
+	s.breaker.onSuccess(j.key)
+	j.finish(res, nil)
+}
+
+// execute runs lookup → witness → prove for one job. A panic anywhere
+// below — a backend bug, a poisoned artifact — is recovered here and
+// becomes that job's ErrInternal failure, never a process crash.
+func (s *Service) execute(j *job, wait time.Duration) (res *ProveResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Add(1)
+			if bm := s.met.forBackend(j.req.Backend); bm != nil {
+				bm.panics.Add(1)
+			}
+			res, err = nil, fmt.Errorf("%w: prove panicked: %v", ErrInternal, rec)
+		}
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Point(j.ctx, faultinject.PointWorkerRun); err != nil {
+		return nil, err
 	}
 
 	art, err := s.reg.Get(j.ctx, j.req.Curve, j.req.Backend, j.req.Source)
 	if err != nil {
-		s.fail(j, err)
-		return
+		return nil, err
 	}
 	bm := s.met.forBackend(j.req.Backend)
 	probe := telemetry.ProbeFromContext(j.ctx)
@@ -428,19 +565,20 @@ func (s *Service) run(j *job) {
 	w, err := witness.Solve(art.Sys, art.Prog, j.req.Inputs)
 	endWitness()
 	if err != nil {
-		s.fail(j, fmt.Errorf("provesvc: witness: %w", err))
-		return
+		return nil, fmt.Errorf("provesvc: witness: %w", err)
 	}
 	witnessTime := time.Since(t0)
 
+	if err := faultinject.Point(j.ctx, faultinject.PointBackendProve); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	rng := ff.NewRNG(mix64(s.cfg.seed ^ (0x9e3779b97f4a7c15 * s.seedCtr.Add(1))))
 	endProve := probe.StartStage(telemetry.StageProve)
 	proof, err := art.Backend.Prove(j.ctx, art.Sys, art.PK, w, rng)
 	endProve()
 	if err != nil {
-		s.fail(j, err)
-		return
+		return nil, err
 	}
 	proveTime := time.Since(t1)
 
@@ -456,7 +594,7 @@ func (s *Service) run(j *job) {
 	s.tel.ObserveStage(j.req.Backend, j.req.Curve, telemetry.StageProve, proveTime)
 	s.tel.CountRequest(j.req.Backend, j.req.Curve, "completed")
 	s.tel.ObserveProbe(j.req.Backend, j.req.Curve, probe)
-	j.finish(&ProveResult{
+	return &ProveResult{
 		Proof:       proof,
 		Public:      w.Public,
 		Artifact:    art,
@@ -464,20 +602,39 @@ func (s *Service) run(j *job) {
 		WitnessTime: witnessTime,
 		ProveTime:   proveTime,
 		Total:       total,
-	}, nil)
+	}, nil
 }
 
-// fail records a job failure, classifying cancellations separately.
+// fail records a job failure, classifying deadline expiries and client
+// cancellations separately from real failures.
 func (s *Service) fail(j *job, err error) {
 	bm := s.met.forBackend(j.req.Backend)
 	outcome := "failed"
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// Deadlines stay in the cancelled bucket (the job was aborted,
+		// not broken) but are additionally counted as timeouts so a
+		// deadline storm is visible on its own.
+		outcome = "deadline_exceeded"
+		s.met.canceled.Add(1)
+		s.met.timeouts.Add(1)
+		if bm != nil {
+			bm.cancelled.Add(1)
+			bm.timeouts.Add(1)
+		}
+	case errors.Is(err, context.Canceled):
 		outcome = "cancelled"
 		s.met.canceled.Add(1)
 		if bm != nil {
 			bm.cancelled.Add(1)
 		}
-	} else {
+	case errors.Is(err, ErrInternal):
+		outcome = "internal_error"
+		s.met.failed.Add(1)
+		if bm != nil {
+			bm.failed.Add(1)
+		}
+	default:
 		s.met.failed.Add(1)
 		if bm != nil {
 			bm.failed.Add(1)
@@ -554,6 +711,8 @@ func (s *Service) Stats() Snapshot {
 			Cancelled: s.met.canceled.Load(),
 			Dropped:   s.met.dropped.Load(),
 			Verified:  s.met.verified.Load(),
+			Panics:    s.met.panics.Load(),
+			Timeouts:  s.met.timeouts.Load(),
 			Workers:   s.cfg.workers,
 			Draining:  draining,
 		},
@@ -569,7 +728,10 @@ func (s *Service) Stats() Snapshot {
 			HitRate: hitRate,
 			Setups:  s.reg.Setups(),
 		},
-		Backends: backends,
+		Backends:  backends,
+		Breaker:   s.breaker.stats(),
+		Artifacts: s.reg.ArtifactStats(),
+		Errors:    s.met.errorSnapshot(),
 	}
 }
 

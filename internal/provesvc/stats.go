@@ -2,6 +2,7 @@ package provesvc
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -85,8 +86,10 @@ func (h *histogram) summary() StageSummary {
 type backendMetrics struct {
 	completed  atomic.Uint64
 	failed     atomic.Uint64
-	rejected   atomic.Uint64 // ErrQueueFull + ErrDraining, attributed here
+	rejected   atomic.Uint64 // ErrQueueFull + ErrDraining + circuit_open, attributed here
 	cancelled  atomic.Uint64 // cancellation / deadline during execution
+	panics     atomic.Uint64 // prove panics recovered on a worker
+	timeouts   atomic.Uint64 // deadline expiries (also counted in cancelled)
 	witnessLat histogram
 	proveLat   histogram
 	totalLat   histogram
@@ -105,11 +108,40 @@ type metrics struct {
 	canceled  atomic.Uint64 // jobs aborted by cancellation or deadline
 	dropped   atomic.Uint64 // queued jobs discarded during shutdown
 	verified  atomic.Uint64 // verify requests served (valid or not)
+	panics    atomic.Uint64 // prove panics recovered on workers
+	timeouts  atomic.Uint64 // deadline expiries (also counted in canceled)
 	inFlight  atomic.Int64  // jobs currently executing on a worker
 
 	queueWait histogram // enqueue → worker pickup
 
 	perBackend map[string]*backendMetrics
+
+	// errCodes counts the error envelopes the HTTP layer served, by
+	// stable code — the `errors` block of /v1/stats. Errors are rare and
+	// off the prove hot path, so a mutex-guarded map is fine.
+	errMu    sync.Mutex
+	errCodes map[string]uint64
+}
+
+// countError books one served error envelope under its stable code.
+func (m *metrics) countError(code string) {
+	m.errMu.Lock()
+	if m.errCodes == nil {
+		m.errCodes = make(map[string]uint64)
+	}
+	m.errCodes[code]++
+	m.errMu.Unlock()
+}
+
+// errorSnapshot copies the error-code counters for /v1/stats.
+func (m *metrics) errorSnapshot() map[string]uint64 {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	out := make(map[string]uint64, len(m.errCodes))
+	for code, n := range m.errCodes {
+		out[code] = n
+	}
+	return out
 }
 
 // forBackend returns the per-backend slice, or nil for names outside the
@@ -128,6 +160,8 @@ type ServiceStats struct {
 	Cancelled uint64 `json:"cancelled"`
 	Dropped   uint64 `json:"dropped"`
 	Verified  uint64 `json:"verified"`
+	Panics    uint64 `json:"panics"`
+	Timeouts  uint64 `json:"timeouts"`
 	Workers   int    `json:"workers"`
 	Draining  bool   `json:"draining"`
 }
@@ -157,6 +191,8 @@ type BackendSnapshot struct {
 	Failed    uint64                  `json:"failed"`
 	Rejected  uint64                  `json:"rejected"`
 	Cancelled uint64                  `json:"cancelled"`
+	Panics    uint64                  `json:"panics"`
+	Timeouts  uint64                  `json:"timeouts"`
 	Stages    map[string]StageSummary `json:"stages"`
 }
 
@@ -166,6 +202,8 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 		Failed:    b.failed.Load(),
 		Rejected:  b.rejected.Load(),
 		Cancelled: b.cancelled.Load(),
+		Panics:    b.panics.Load(),
+		Timeouts:  b.timeouts.Load(),
 		Stages: map[string]StageSummary{
 			"witness": b.witnessLat.summary(),
 			"prove":   b.proveLat.summary(),
@@ -179,13 +217,18 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 // handler and the zkcli `stats` subcommand:
 //
 //	{
-//	  "service":  {accepted, rejected, completed, failed, cancelled,
-//	               dropped, verified, workers, draining},
-//	  "queue":    {depth, capacity, in_flight, wait:{count,…,p99_ms}},
-//	  "cache":    {hits, misses, hit_rate, setups},
-//	  "backends": {"groth16": {completed, failed, rejected, cancelled,
-//	               stages:{"witness"|"prove"|"verify"|"total": {count,
-//	               mean_ms, p50_ms, p95_ms, p99_ms}}}, …}
+//	  "service":   {accepted, rejected, completed, failed, cancelled,
+//	                dropped, verified, panics, timeouts, workers, draining},
+//	  "queue":     {depth, capacity, in_flight, wait:{count,…,p99_ms}},
+//	  "cache":     {hits, misses, hit_rate, setups},
+//	  "backends":  {"groth16": {completed, failed, rejected, cancelled,
+//	                panics, timeouts,
+//	                stages:{"witness"|"prove"|"verify"|"total": {count,
+//	                mean_ms, p50_ms, p95_ms, p99_ms}}}, …},
+//	  "breaker":   {enabled, threshold, cooldown_ms, open, trips, shed},
+//	  "artifacts": {enabled, dir, disk_loads, disk_writes, quarantined,
+//	                write_errors},
+//	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …}
 //	}
 //
 // The shape is documented in docs/API.md; additions are allowed, renames
@@ -195,4 +238,10 @@ type Snapshot struct {
 	Queue    QueueStats                 `json:"queue"`
 	Cache    CacheStats                 `json:"cache"`
 	Backends map[string]BackendSnapshot `json:"backends"`
+	// Breaker is the per-circuit breaker's aggregate state.
+	Breaker BreakerStats `json:"breaker"`
+	// Artifacts is the disk artifact store's state (zero when disabled).
+	Artifacts ArtifactStats `json:"artifacts"`
+	// Errors counts served error envelopes by stable code.
+	Errors map[string]uint64 `json:"errors"`
 }
