@@ -34,7 +34,12 @@ func (e *wireError) Error() string {
 // retryJitter computes the sleep before retry attempt n (0-based): the
 // base doubles each attempt and the result is drawn uniformly from
 // [d/2, d), so a burst of shed clients does not come back in lockstep.
+// A base of zero (-retry-backoff 0) means immediate retries; the 1m cap
+// only applies to oversized backoffs and shift overflow.
 func retryJitter(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return 0
+	}
 	d := base << uint(attempt)
 	if d <= 0 || d > time.Minute {
 		d = time.Minute

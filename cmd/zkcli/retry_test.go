@@ -119,6 +119,19 @@ func TestRetryJitterBounds(t *testing.T) {
 	}
 }
 
+// TestRetryJitterZeroBase: -retry-backoff 0 asks for immediate retries;
+// it must not be clamped up to the one-minute overflow cap.
+func TestRetryJitterZeroBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, base := range []time.Duration{0, -time.Second} {
+		for attempt := 0; attempt < 5; attempt++ {
+			if d := retryJitter(base, attempt, rng); d != 0 {
+				t.Fatalf("base %v attempt %d: backoff %v, want 0", base, attempt, d)
+			}
+		}
+	}
+}
+
 // TestRemoteProveVerify drives the remote mode end to end against an
 // in-process zkserve handler: prove writes a proof file, verify accepts
 // it, and a wrong public input is rejected.

@@ -148,11 +148,15 @@ func (g *breakerGroup) onFailure(key CircuitKey) (tripped bool) {
 	}
 }
 
-// onCancel releases a half-open probe slot when the probe was aborted by
-// a pure client cancellation — an outcome that says nothing about the
-// circuit, so the breaker neither closes nor re-trips, but the next
-// request may probe again.
-func (g *breakerGroup) onCancel(key CircuitKey) {
+// release returns an admission without a verdict: the admitted request
+// produced no evidence about the circuit's health — a pure client
+// cancellation, a deadline that expired before any work ran, or a
+// rejection/drop after allow() but before execution (queue full,
+// draining, drained on shutdown). Every allow() that does not reach
+// onSuccess/onFailure MUST be released, otherwise a half-open probe
+// slot leaks and the circuit sheds forever. The breaker neither closes
+// nor re-trips; the next request may probe again.
+func (g *breakerGroup) release(key CircuitKey) {
 	if !g.enabled() {
 		return
 	}

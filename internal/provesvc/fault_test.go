@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -330,6 +331,145 @@ func TestBreakerPerCircuitIsolation(t *testing.T) {
 	}
 	if br := s.Stats().Breaker; br.Open != 1 {
 		t.Errorf("breaker = %+v, want exactly the poisoned circuit open", br)
+	}
+}
+
+// TestBreakerProbeReleasedOnShed: a half-open probe that wins breaker
+// admission but is then shed at the queue (ErrQueueFull) must hand its
+// probe slot back. A leaked slot would leave the circuit answering
+// circuit_open forever — precisely under the overload that trips
+// breakers in the first place.
+func TestBreakerProbeReleasedOnShed(t *testing.T) {
+	const cooldown = 20 * time.Millisecond
+	var gated atomic.Bool
+	gate := make(chan struct{})
+	s := New(WithWorkers(1), WithQueueDepth(1), WithSeed(91), WithBreaker(1, cooldown))
+	s.hookJobStart = func() {
+		if gated.Load() {
+			<-gate
+		}
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	bad := circuit.ExponentiateSource(8)
+	other := circuit.ExponentiateSource(16)
+	in := assignX(t, s, "bn128", 3)
+
+	// Trip the breaker for `bad` (threshold 1), then let the cooldown
+	// lapse so the next admission for it is the half-open probe.
+	poisoned := faultinject.WithFault(context.Background(), faultinject.PointWorkerRun,
+		faultinject.Fault{Kind: faultinject.KindError})
+	if _, err := s.Prove(poisoned, ProveRequest{Source: bad, Inputs: in}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("poisoned prove: %v", err)
+	}
+	time.Sleep(2 * cooldown)
+
+	// Saturate the service with a healthy circuit: the lone worker parks
+	// on the gate and the lone queue slot fills behind it.
+	gated.Store(true)
+	j1, err := s.enqueue(context.Background(), ProveRequest{Source: other, Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "worker to pick up j1", func() bool {
+		return s.met.inFlight.Load() == 1
+	})
+	j2, err := s.enqueue(context.Background(), ProveRequest{Source: other, Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The probe wins breaker admission but loses the queue slot.
+	if _, err := s.Prove(context.Background(), ProveRequest{Source: bad, Inputs: in}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("probe during saturation: %v, want ErrQueueFull", err)
+	}
+
+	gated.Store(false)
+	close(gate)
+	for i, j := range []*job{j1, j2} {
+		select {
+		case <-j.done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("j%d did not finish after gate opened", i+1)
+		}
+	}
+
+	// The queue rejection must have released the probe slot: this prove
+	// is admitted as the next probe and closes the breaker.
+	if _, err := s.Prove(context.Background(), ProveRequest{Source: bad, Inputs: in}); err != nil {
+		t.Fatalf("probe after shed: %v (leaked half-open probe slot?)", err)
+	}
+	if br := s.Stats().Breaker; br.Open != 0 {
+		t.Errorf("breaker = %+v, want open=0 after successful probe", br)
+	}
+}
+
+// TestQueuedDeadlineExpiryNotABreakerFailure: a job whose deadline fires
+// while it is still queued never attempted a prove, so it must not count
+// toward its circuit's breaker — queue congestion plus tight client
+// timeouts would otherwise trip breakers on perfectly healthy circuits.
+func TestQueuedDeadlineExpiryNotABreakerFailure(t *testing.T) {
+	var gated atomic.Bool
+	gated.Store(true)
+	gate := make(chan struct{})
+	s := New(WithWorkers(1), WithQueueDepth(1), WithSeed(93), WithBreaker(1, time.Minute))
+	s.hookJobStart = func() {
+		if gated.Load() {
+			<-gate
+		}
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	src := circuit.ExponentiateSource(16)
+	in := assignX(t, s, "bn128", 3)
+
+	// j1 parks the worker; j2 waits in the queue with a deadline that
+	// expires before the worker frees up.
+	j1, err := s.enqueue(context.Background(), ProveRequest{Source: src, Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "worker to pick up j1", func() bool {
+		return s.met.inFlight.Load() == 1
+	})
+	j2, err := s.enqueue(context.Background(), ProveRequest{Source: src, Inputs: in, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.ctx.Done()
+	gated.Store(false)
+	close(gate)
+
+	for i, j := range []*job{j1, j2} {
+		select {
+		case <-j.done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("j%d did not finish after gate opened", i+1)
+		}
+	}
+	if j1.err != nil {
+		t.Fatalf("j1: %v", j1.err)
+	}
+	if !errors.Is(j2.err, context.DeadlineExceeded) {
+		t.Fatalf("j2: err = %v, want DeadlineExceeded", j2.err)
+	}
+
+	// Threshold is 1: had the queued expiry counted as a failure, this
+	// circuit would now be shedding circuit_open.
+	if _, err := s.Prove(context.Background(), ProveRequest{Source: src, Inputs: in}); err != nil {
+		t.Fatalf("prove after queued expiry: %v (expiry counted as breaker failure?)", err)
+	}
+	snap := s.Stats()
+	if br := snap.Breaker; br.Open != 0 || br.Trips != 0 {
+		t.Errorf("breaker = %+v, want no open circuits and no trips", br)
+	}
+	// The expiry is still booked once, as a timeout inside the cancelled
+	// bucket — not as a failure.
+	if snap.Service.Timeouts != 1 || snap.Service.Cancelled != 1 || snap.Service.Failed != 0 {
+		t.Errorf("stats = timeouts %d cancelled %d failed %d, want 1/1/0",
+			snap.Service.Timeouts, snap.Service.Cancelled, snap.Service.Failed)
 	}
 }
 

@@ -471,9 +471,14 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	// concurrent enqueue.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// Rejection after allow() must hand the breaker admission back (it
+	// may hold the circuit's lone half-open probe slot), or the circuit
+	// sheds with circuit_open forever — exactly under the overload that
+	// trips breakers in the first place.
 	if s.draining {
 		cancel()
 		stop()
+		s.breaker.release(key)
 		s.reject(req)
 		return nil, ErrDraining
 	}
@@ -484,6 +489,7 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 	default:
 		cancel()
 		stop()
+		s.breaker.release(key)
 		s.reject(req)
 		return nil, ErrQueueFull
 	}
@@ -514,14 +520,25 @@ func (s *Service) run(j *job) {
 	wait := time.Since(j.enq)
 	s.met.queueWait.Observe(wait)
 
+	// A deadline (or cancellation) that fired while the job was still
+	// queued says nothing about the circuit — no prove was attempted —
+	// so it releases the breaker admission instead of counting as a
+	// failure. Otherwise queue congestion plus tight client timeouts
+	// would trip breakers on perfectly healthy circuits.
+	if err := j.ctx.Err(); err != nil {
+		s.breaker.release(j.key)
+		s.fail(j, err)
+		return
+	}
+
 	res, err := s.execute(j, wait)
 	if err != nil {
 		// A pure client cancellation says nothing about the circuit's
 		// health; everything else — panics, prove errors, deadline
-		// expiries (a stuck kernel looks exactly like one) — counts
-		// toward its breaker.
+		// expiries past this point (a stuck kernel looks exactly like
+		// one) — counts toward its breaker.
 		if errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			s.breaker.onCancel(j.key)
+			s.breaker.release(j.key)
 		} else {
 			s.breaker.onFailure(j.key)
 		}
@@ -546,9 +563,6 @@ func (s *Service) execute(j *job, wait time.Duration) (res *ProveResult, err err
 		}
 	}()
 
-	if err := j.ctx.Err(); err != nil {
-		return nil, err
-	}
 	if err := faultinject.Point(j.ctx, faultinject.PointWorkerRun); err != nil {
 		return nil, err
 	}
@@ -757,6 +771,7 @@ func (s *Service) Shutdown(ctx context.Context) (*DrainReport, error) {
 		case j := <-s.jobs:
 			s.met.dropped.Add(1)
 			rep.Dropped++
+			s.breaker.release(j.key) // never ran: hand back its admission
 			j.finish(nil, ErrDropped)
 		default:
 			goto emptied
