@@ -679,6 +679,97 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// kernelG1Points builds n distinct affine G1 points cheaply (successive
+// generator additions + one batch normalization) — large MSM inputs
+// would take minutes to generate via per-point scalar multiplication.
+func kernelG1Points(c *curve.Curve, n int) []curve.G1Affine {
+	jacs := make([]curve.G1Jac, n)
+	var acc curve.G1Jac
+	c.G1FromAffine(&acc, &c.G1Gen)
+	for i := 0; i < n; i++ {
+		jacs[i] = acc
+		c.G1AddAffine(&acc, &acc, &c.G1Gen)
+	}
+	out := make([]curve.G1Affine, n)
+	c.G1BatchToAffine(out, jacs)
+	return out
+}
+
+func kernelG2Points(c *curve.Curve, n int) []curve.G2Affine {
+	jacs := make([]curve.G2Jac, n)
+	var acc curve.G2Jac
+	c.G2FromAffine(&acc, &c.G2Gen)
+	for i := 0; i < n; i++ {
+		jacs[i] = acc
+		c.G2AddAffine(&acc, &acc, &c.G2Gen)
+	}
+	out := make([]curve.G2Affine, n)
+	c.G2BatchToAffine(out, jacs)
+	return out
+}
+
+func kernelScalars(fr *ff.Field, n int) []ff.Element {
+	rng := ff.NewRNG(17)
+	out := make([]ff.Element, n)
+	for i := range out {
+		fr.Random(&out[i], rng)
+	}
+	return out
+}
+
+// BenchmarkKernels tracks the two accelerator-target kernels (the NTT and
+// the MSM, per the paper's hardware discussion) at proving-scale sizes and
+// several thread counts. ci.sh runs the 2^10 slice as a smoke test; the
+// larger sizes back the README's kernel performance table.
+func BenchmarkKernels(b *testing.B) {
+	c := curve.NewBN254()
+	fr := c.Fr
+	threadCounts := []int{1, 4, 8}
+	for _, logN := range []int{10, 14, 16} {
+		n := 1 << logN
+		d, err := poly.NewDomain(fr, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := kernelScalars(fr, n)
+		buf := make([]ff.Element, n)
+		for _, th := range threadCounts {
+			b.Run(fmt.Sprintf("ntt/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					copy(buf, a)
+					if err := d.NTTCtx(context.Background(), buf, th); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	for _, logN := range []int{10, 14, 16} {
+		n := 1 << logN
+		points := kernelG1Points(c, n)
+		scalars := kernelScalars(fr, n)
+		for _, th := range threadCounts {
+			b.Run(fmt.Sprintf("msm-g1/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = c.G1MSM(points, scalars, th)
+				}
+			})
+		}
+	}
+	for _, logN := range []int{10, 14, 16} {
+		n := 1 << logN
+		points := kernelG2Points(c, n)
+		scalars := kernelScalars(fr, n)
+		for _, th := range threadCounts {
+			b.Run(fmt.Sprintf("msm-g2/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = c.G2MSM(points, scalars, th)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBackends is the head-to-head backend sweep on the paper's 2^10
 // exponentiation circuit: the same compiled R1CS proved under Groth16 and
 // PLONK through the unified backend interface. Setup runs once per

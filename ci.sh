@@ -18,6 +18,10 @@ go vet ./...
 go test -race ./...
 go test -run '^$' -bench '^BenchmarkBackends$' -benchtime=1x .
 go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime=1x .
+# Kernel smoke: the 2^10 slice of the NTT/MSM tracking benchmark — one
+# iteration per (kernel, thread count) so a kernel regression that only
+# shows up off the test sizes still gets exercised in CI.
+go test -run '^$' -bench 'BenchmarkKernels/.*/n=2\^10' -benchtime=1x .
 go test -race -count=1 \
     -run 'TestPanicMidProve|TestArtifact|TestBreaker|TestDeadline|TestMaxTimeout|TestDrainWithExpiring|TestHTTPErrorCodes' \
     ./internal/provesvc/

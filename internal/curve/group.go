@@ -172,15 +172,59 @@ func jacAdd[E any](ops Ops[E], z, p, q *Jac[E]) {
 	ops.Set(&z.Z, &z3)
 }
 
-// jacAddAffine sets z = p + q for an affine q (mixed addition).
+// jacAddAffine sets z = p + q for an affine q using the madd-2007-bl
+// mixed-addition formulas (7M + 4S, vs 11M + 5S for the general add),
+// handling identity and doubling edge cases.
 func jacAddAffine[E any](ops Ops[E], z, p *Jac[E], q *Affine[E]) {
 	if q.Inf {
 		*z = *p
 		return
 	}
-	var qj Jac[E]
-	fromAffine(ops, &qj, q)
-	jacAdd(ops, z, p, &qj)
+	if jacIsInfinity(ops, p) {
+		fromAffine(ops, z, q)
+		return
+	}
+	var z1z1, u2, s2, h, hh, i, j, r, v, t, t2 E
+	ops.Square(&z1z1, &p.Z)
+	ops.Mul(&u2, &q.X, &z1z1)
+	ops.Mul(&t, &p.Z, &z1z1)
+	ops.Mul(&s2, &q.Y, &t)
+	ops.Sub(&h, &u2, &p.X)
+	ops.Sub(&r, &s2, &p.Y)
+	if ops.IsZero(&h) {
+		if ops.IsZero(&r) {
+			jacDouble(ops, z, p)
+			return
+		}
+		jacSetInfinity(ops, z)
+		return
+	}
+	ops.Square(&hh, &h)
+	ops.Double(&i, &hh)
+	ops.Double(&i, &i) // I = 4·HH
+	ops.Mul(&j, &h, &i)
+	ops.Double(&r, &r) // r = 2(S2−Y1)
+	ops.Mul(&v, &p.X, &i)
+	// Z3 = (Z1+H)² − Z1Z1 − HH — before X/Y for aliasing safety.
+	var z3 E
+	ops.Add(&z3, &p.Z, &h)
+	ops.Square(&z3, &z3)
+	ops.Sub(&z3, &z3, &z1z1)
+	ops.Sub(&z3, &z3, &hh)
+	// X3 = r² − J − 2V
+	ops.Square(&t, &r)
+	ops.Sub(&t, &t, &j)
+	ops.Double(&t2, &v)
+	ops.Sub(&t, &t, &t2)
+	// Y3 = r(V − X3) − 2·Y1·J
+	ops.Sub(&t2, &v, &t)
+	ops.Mul(&t2, &r, &t2)
+	var y1j E
+	ops.Mul(&y1j, &p.Y, &j)
+	ops.Double(&y1j, &y1j)
+	ops.Sub(&z.Y, &t2, &y1j)
+	ops.Set(&z.X, &t)
+	ops.Set(&z.Z, &z3)
 }
 
 // jacNeg sets z = −p.

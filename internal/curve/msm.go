@@ -2,10 +2,10 @@ package curve
 
 import (
 	"context"
-	"runtime"
 	"sync"
 
 	"zkperf/internal/ff"
+	"zkperf/internal/parallel"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/tower"
 )
@@ -14,12 +14,13 @@ import (
 // bucket algorithm. MSM dominates the Groth16 setup and proving stages —
 // it is one of the two kernels (with the NTT) that hardware accelerators
 // such as PipeZK target — so this implementation mirrors the structure of
-// production libraries: windowed signed-digit-free bucketing with the
-// window width chosen from the instance size, and optional parallelism
-// across windows.
+// production libraries: signed-digit windows (2^{c−1} buckets), bucket
+// accumulation through batched-affine additions with one field inversion
+// amortized over a whole round, and parallelism across windows and point
+// chunks within windows.
 
 // msmWindowSize picks the Pippenger window width c for n points. The
-// classic cost model minimizes n·⌈b/c⌉ + ⌈b/c⌉·2^c additions.
+// classic cost model minimizes n·⌈b/c⌉ + ⌈b/c⌉·2^{c−1} additions.
 func msmWindowSize(n int) int {
 	switch {
 	case n < 8:
@@ -41,7 +42,7 @@ func msmWindowSize(n int) int {
 	}
 }
 
-// scalarDigits extracts the w-th c-bit window digit from a canonical
+// windowDigit extracts the w-th c-bit window digit from a canonical
 // little-endian limb scalar.
 func windowDigit(limbs []uint64, w, c int) int {
 	bitPos := w * c
@@ -57,11 +58,212 @@ func windowDigit(limbs []uint64, w, c int) int {
 	return int(digit & ((1 << uint(c)) - 1))
 }
 
+// signedDigits decomposes every scalar into ⌈(scalarBits+1)/c⌉ signed
+// c-bit digits in [−2^{c−1}, 2^{c−1}]: whenever an unsigned digit exceeds
+// 2^{c−1} it becomes d − 2^c with a carry into the next window. Since
+// −d·P is just d·(−P) and affine negation is free, the digit range — and
+// with it the bucket count and the running-sum pass — is halved. The
+// extra window absorbs the final carry: scalars are < 2^scalarBits, so
+// the top digit is at most 2^{c−1} and never carries out.
+func signedDigits(scalars [][]uint64, scalarBits, c int) ([]int32, int) {
+	numWindows := (scalarBits + c) / c // ⌈(scalarBits+1)/c⌉
+	n := len(scalars)
+	digits := make([]int32, numWindows*n)
+	half := 1 << uint(c-1)
+	for i, limbs := range scalars {
+		carry := 0
+		for w := 0; w < numWindows; w++ {
+			d := windowDigit(limbs, w, c) + carry
+			carry = 0
+			if d > half {
+				d -= 1 << uint(c)
+				carry = 1
+			}
+			digits[w*n+i] = int32(d)
+		}
+	}
+	return digits, numWindows
+}
+
+// batchAffineCap bounds the number of deferred bucket additions flushed
+// per batched inversion. The working size is min(cap, buckets/4): large
+// enough to amortize the inversion (a Fermat exponentiation, ~300 field
+// multiplications) down to ~1 multiplication per addition, but small
+// relative to the bucket count so that most pushes land in distinct
+// buckets and the (Jacobian) collision path stays rare.
+const batchAffineCap = 1024
+
+// batchSizeFor picks the flush threshold for a given bucket count.
+func batchSizeFor(numBuckets int) int {
+	b := numBuckets / 4
+	if b > batchAffineCap {
+		b = batchAffineCap
+	}
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// minChunkPoints floors the per-chunk point count so point-chunk
+// parallelism never splits the input finer than the bucket work it has
+// to repay.
+const minChunkPoints = 512
+
+// pendingOp is a bucket addition waiting on the batched inversion: add
+// the (already sign-adjusted) affine point q into bucket, doubling when
+// the bucket currently holds the same point.
+type pendingOp[E any] struct {
+	bucket int
+	isDbl  bool
+	q      Affine[E]
+}
+
+// msmScratch is one worker's reusable state: the affine bucket array,
+// the batch-affine buffers, and the Jacobian overflow buckets that absorb
+// conflicting additions. Workers pull scratch from a pool and reuse it
+// across every window/chunk task they run, so buckets are allocated once
+// per worker rather than once per window.
+type msmScratch[E any] struct {
+	batchSize  int
+	buckets    []Affine[E]
+	busy       []bool         // bucket has an op in the current batch
+	batch      []pendingOp[E] // ops awaiting the shared inversion, ≤ 1 per bucket
+	denoms     []E            // λ denominators, aligned with batch
+	prefix     []E            // prefix products for the batched inversion
+	bucketsJac []Jac[E]       // overflow accumulators for conflicted adds
+	jacUsed    []bool         // bucketsJac[b] is live this task
+	conflicted []int32        // live overflow buckets, for cheap reset
+}
+
+// reset prepares the scratch for a new window/chunk task. Affine buckets
+// clear via their Inf flags; only the overflow buckets touched by the
+// previous task are re-zeroed.
+func (sc *msmScratch[E]) reset(ops Ops[E]) {
+	for b := range sc.buckets {
+		sc.buckets[b].Inf = true
+	}
+	for _, b := range sc.conflicted {
+		jacSetInfinity(ops, &sc.bucketsJac[b])
+		sc.jacUsed[b] = false
+	}
+	sc.conflicted = sc.conflicted[:0]
+}
+
+// enqueue routes ±P into bucket b through the batch-affine scheduler.
+// When the bucket already has an op in the current batch, the point goes
+// to the bucket's Jacobian overflow accumulator instead of stalling —
+// conflicts cost one mixed Jacobian addition but never shrink the batch,
+// so the amortized inversion stays amortized.
+func (sc *msmScratch[E]) enqueue(ops Ops[E], b int, px, py *E, neg bool) {
+	var q Affine[E]
+	ops.Set(&q.X, px)
+	if neg {
+		ops.Neg(&q.Y, py)
+	} else {
+		ops.Set(&q.Y, py)
+	}
+	if sc.busy[b] {
+		if !sc.jacUsed[b] {
+			sc.jacUsed[b] = true
+			sc.conflicted = append(sc.conflicted, int32(b))
+		}
+		jacAddAffine(ops, &sc.bucketsJac[b], &sc.bucketsJac[b], &q)
+		return
+	}
+	sc.push(ops, b, &q)
+	if len(sc.batch) >= sc.batchSize {
+		sc.applyBatch(ops)
+	}
+}
+
+// push runs the affine-addition case analysis against the bucket's
+// current state. Cases not needing a division resolve immediately (empty
+// bucket: direct set; P + (−P): infinity); the rest record their λ
+// denominator and join the batch.
+func (sc *msmScratch[E]) push(ops Ops[E], b int, q *Affine[E]) {
+	bk := &sc.buckets[b]
+	if bk.Inf {
+		*bk = *q
+		return
+	}
+	op := pendingOp[E]{bucket: b, q: *q}
+	var denom E
+	if ops.Equal(&bk.X, &q.X) {
+		if !ops.Equal(&bk.Y, &q.Y) || ops.IsZero(&q.Y) {
+			// P + (−P), or doubling a 2-torsion point: bucket empties.
+			bk.Inf = true
+			return
+		}
+		op.isDbl = true
+		ops.Double(&denom, &q.Y) // λ = 3x²/2y
+	} else {
+		ops.Sub(&denom, &q.X, &bk.X) // λ = (y₂−y₁)/(x₂−x₁)
+	}
+	sc.busy[b] = true
+	sc.batch = append(sc.batch, op)
+	sc.denoms = append(sc.denoms, denom)
+}
+
+// applyBatch performs the deferred affine additions with one batched
+// inversion (Montgomery trick over the coordinate field) and writes the
+// results back into the buckets. Denominators are nonzero by the push
+// case analysis.
+func (sc *msmScratch[E]) applyBatch(ops Ops[E]) {
+	m := len(sc.batch)
+	if m == 0 {
+		return
+	}
+	if len(sc.prefix) < m {
+		sc.prefix = make([]E, m)
+	}
+	var acc E
+	ops.SetOne(&acc)
+	for i := 0; i < m; i++ {
+		ops.Set(&sc.prefix[i], &acc)
+		ops.Mul(&acc, &acc, &sc.denoms[i])
+	}
+	var inv E
+	ops.Inverse(&inv, &acc)
+	for i := m - 1; i >= 0; i-- {
+		var dinv E
+		ops.Mul(&dinv, &inv, &sc.prefix[i])
+		ops.Mul(&inv, &inv, &sc.denoms[i])
+		op := &sc.batch[i]
+		bk := &sc.buckets[op.bucket]
+		var lambda, t, x3 E
+		if op.isDbl {
+			ops.Square(&t, &bk.X)
+			ops.Double(&lambda, &t)
+			ops.Add(&lambda, &lambda, &t)
+			ops.Mul(&lambda, &lambda, &dinv)
+		} else {
+			ops.Sub(&lambda, &op.q.Y, &bk.Y)
+			ops.Mul(&lambda, &lambda, &dinv)
+		}
+		ops.Square(&x3, &lambda)
+		ops.Sub(&x3, &x3, &bk.X)
+		ops.Sub(&x3, &x3, &op.q.X)
+		ops.Sub(&t, &bk.X, &x3)
+		ops.Mul(&t, &lambda, &t)
+		ops.Sub(&t, &t, &bk.Y)
+		ops.Set(&bk.X, &x3)
+		ops.Set(&bk.Y, &t)
+		sc.busy[op.bucket] = false
+	}
+	sc.batch = sc.batch[:0]
+	sc.denoms = sc.denoms[:0]
+}
+
 // msm is the generic Pippenger core. scalars are given as canonical
 // little-endian limb arrays of uniform length; threads bounds the number
-// of concurrent window workers (≤ 1 disables parallelism). Cancellation
-// is checked at window boundaries: once ctx is done no further window is
-// processed, and the (partial) result must be discarded by the caller.
+// of concurrent workers (≤ 1 runs serially). Work splits into
+// numWindows × pointChunks independent tasks — the running-sum bucket
+// reduction is linear, so per-chunk partial sums combine by plain
+// addition — and the partials are combined in a fixed order, making the
+// result identical for every thread count. Cancellation is checked at
+// task boundaries; on a cancelled ctx the (partial) result must be
+// discarded by the caller.
 func msm[E any](ctx context.Context, ops Ops[E], points []Affine[E], scalars [][]uint64, scalarBits, threads int) Jac[E] {
 	n := len(points)
 	var result Jac[E]
@@ -73,100 +275,129 @@ func msm[E any](ctx context.Context, ops Ops[E], points []Affine[E], scalars [][
 		panic("curve: MSM points/scalars length mismatch")
 	}
 	c := msmWindowSize(n)
-	numWindows := (scalarBits + c - 1) / c
-	windowSums := make([]Jac[E], numWindows)
+	digits, numWindows := signedDigits(scalars, scalarBits, c)
+	numBuckets := 1 << uint(c-1)
 
-	processWindow := func(w int) {
-		buckets := make([]Jac[E], 1<<uint(c))
-		occupied := make([]bool, 1<<uint(c))
-		for i := range buckets {
-			jacSetInfinity(ops, &buckets[i])
+	// Point-chunk parallelism: when threads exceed the window count,
+	// split each window's points so every thread still has work.
+	chunks := 1
+	if threads > numWindows {
+		chunks = (threads + numWindows - 1) / numWindows
+		if maxChunks := (n + minChunkPoints - 1) / minChunkPoints; chunks > maxChunks {
+			chunks = maxChunks
 		}
-		for i := 0; i < n; i++ {
-			d := windowDigit(scalars[i], w, c)
-			if d == 0 {
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	chunkSz := (n + chunks - 1) / chunks
+	tasks := numWindows * chunks
+	partials := make([]Jac[E], tasks)
+
+	batchSize := batchSizeFor(numBuckets)
+	pool := sync.Pool{New: func() any {
+		return &msmScratch[E]{
+			batchSize:  batchSize,
+			buckets:    make([]Affine[E], numBuckets),
+			busy:       make([]bool, numBuckets),
+			batch:      make([]pendingOp[E], 0, batchSize),
+			denoms:     make([]E, 0, batchSize),
+			prefix:     make([]E, batchSize),
+			bucketsJac: make([]Jac[E], numBuckets),
+			jacUsed:    make([]bool, numBuckets),
+		}
+	}}
+
+	runTask := func(sc *msmScratch[E], t int) {
+		w := t / chunks
+		ci := t % chunks
+		lo := ci * chunkSz
+		hi := lo + chunkSz
+		if hi > n {
+			hi = n
+		}
+		sc.reset(ops)
+		row := digits[w*n : (w+1)*n]
+		for i := lo; i < hi; i++ {
+			d := row[i]
+			if d == 0 || points[i].Inf {
 				continue
 			}
-			jacAddAffine(ops, &buckets[d], &buckets[d], &points[i])
-			occupied[d] = true
+			if d > 0 {
+				sc.enqueue(ops, int(d)-1, &points[i].X, &points[i].Y, false)
+			} else {
+				sc.enqueue(ops, int(-d)-1, &points[i].X, &points[i].Y, true)
+			}
 		}
-		// Running-sum trick: Σ d·bucket[d] via two passes of additions.
+		sc.applyBatch(ops)
+		// Running-sum trick: Σ (b+1)·bucket[b] via two passes of
+		// additions, linear in the (halved) bucket count, folding in the
+		// Jacobian overflow accumulators where conflicts spilled.
 		var running, sum Jac[E]
 		jacSetInfinity(ops, &running)
 		jacSetInfinity(ops, &sum)
-		for d := (1 << uint(c)) - 1; d >= 1; d-- {
-			if occupied[d] {
-				jacAdd(ops, &running, &running, &buckets[d])
+		for b := numBuckets - 1; b >= 0; b-- {
+			if !sc.buckets[b].Inf {
+				jacAddAffine(ops, &running, &running, &sc.buckets[b])
+			}
+			if sc.jacUsed[b] {
+				jacAdd(ops, &running, &running, &sc.bucketsJac[b])
 			}
 			jacAdd(ops, &sum, &sum, &running)
 		}
-		windowSums[w] = sum
+		partials[t] = sum
 	}
 
-	if threads <= 1 || numWindows == 1 {
-		for w := 0; w < numWindows; w++ {
+	if threads <= 1 || tasks == 1 {
+		sc := pool.Get().(*msmScratch[E])
+		for t := 0; t < tasks; t++ {
 			if ctx.Err() != nil {
 				return result
 			}
-			processWindow(w)
+			runTask(sc, t)
 		}
+		pool.Put(sc)
 	} else {
-		if threads > runtime.GOMAXPROCS(0)*4 {
-			threads = runtime.GOMAXPROCS(0) * 4
-		}
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for t := 0; t < threads; t++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for w := range work {
-					if ctx.Err() != nil {
-						continue // drain remaining windows without work
-					}
-					processWindow(w)
+		_ = parallel.ChunksCtx(ctx, tasks, threads, func(lo, hi int) {
+			sc := pool.Get().(*msmScratch[E])
+			for t := lo; t < hi; t++ {
+				if ctx.Err() != nil {
+					break
 				}
-			}()
-		}
-		for w := 0; w < numWindows; w++ {
-			work <- w
-		}
-		close(work)
-		wg.Wait()
+				runTask(sc, t)
+			}
+			pool.Put(sc)
+		})
 	}
 	if ctx.Err() != nil {
 		return result
 	}
 
-	// Combine windows: result = Σ_w 2^{cw} · windowSums[w], evaluated
-	// Horner-style from the top window down.
+	// Combine: each window's chunk partials sum in a fixed order, then
+	// Horner over windows: result = Σ_w 2^{cw}·windowSum[w].
 	for w := numWindows - 1; w >= 0; w-- {
 		if w != numWindows-1 {
 			for b := 0; b < c; b++ {
 				jacDouble(ops, &result, &result)
 			}
 		}
-		jacAdd(ops, &result, &result, &windowSums[w])
+		for ci := 0; ci < chunks; ci++ {
+			jacAdd(ops, &result, &result, &partials[w*chunks+ci])
+		}
 	}
 	return result
 }
 
 // frToLimbs converts scalar-field elements (Montgomery form) to canonical
-// little-endian limb arrays for digit extraction.
+// little-endian limb arrays for digit extraction, writing limbs directly
+// from the Montgomery reduction instead of round-tripping through Bytes.
 func frToLimbs(fr *ff.Field, scalars []ff.Element) [][]uint64 {
 	out := make([][]uint64, len(scalars))
 	nl := fr.NumLimbs()
 	backing := make([]uint64, len(scalars)*nl)
 	for i := range scalars {
-		limbs := backing[i*nl : (i+1)*nl]
-		b := fr.Bytes(&scalars[i]) // canonical big-endian
-		for j := 0; j < nl; j++ {
-			var v uint64
-			for k := 0; k < 8; k++ {
-				v = v<<8 | uint64(b[len(b)-8*(j+1)+k])
-			}
-			limbs[j] = v
-		}
+		limbs := backing[i*nl : (i+1)*nl : (i+1)*nl]
+		fr.CanonicalLimbs(&scalars[i], limbs)
 		out[i] = limbs
 	}
 	return out
@@ -184,11 +415,11 @@ func (c *Curve) G2MSM(points []G2Affine, scalars []ff.Element, threads int) G2Ja
 	return r
 }
 
-// G1MSMCtx is the cancellable G1 MSM: window workers stop picking up new
-// Pippenger windows once ctx is done, and the call returns ctx.Err(). On
-// error the returned point is meaningless and must be discarded. The
+// G1MSMCtx is the cancellable G1 MSM: workers stop picking up new
+// window/chunk tasks once ctx is done, and the call returns ctx.Err().
+// On error the returned point is meaningless and must be discarded. The
 // telemetry probe (if one rides in ctx) is resolved once here, not per
-// window.
+// task.
 func (c *Curve) G1MSMCtx(ctx context.Context, points []G1Affine, scalars []ff.Element, threads int) (G1Jac, error) {
 	probe := telemetry.ProbeFromContext(ctx)
 	t0 := probe.Begin()

@@ -1,0 +1,283 @@
+package curve
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"runtime"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+// TestSignedDigitsReconstruct: the signed-digit decomposition must satisfy
+// Σ d_w·2^{cw} == scalar exactly, digits within [−2^{c−1}, 2^{c−1}].
+func TestSignedDigitsReconstruct(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(41)
+	scalars := make([]ff.Element, 64)
+	for i := range scalars {
+		fr.Random(&scalars[i], rng)
+	}
+	// Edge scalars: 0, 1, p−1, 2^k.
+	fr.Zero(&scalars[0])
+	fr.One(&scalars[1])
+	var one ff.Element
+	fr.One(&one)
+	fr.Neg(&scalars[2], &one)
+	fr.SetUint64(&scalars[3], 1<<63)
+	limbs := frToLimbs(fr, scalars)
+	for _, c := range []int{2, 5, 11, 15} {
+		digits, numWindows := signedDigits(limbs, fr.Bits(), c)
+		half := 1 << uint(c-1)
+		for i := range scalars {
+			got := new(big.Int)
+			for w := numWindows - 1; w >= 0; w-- {
+				d := int(digits[w*len(scalars)+i])
+				if d > half || d < -half {
+					t.Fatalf("c=%d scalar %d window %d: digit %d out of range", c, i, w, d)
+				}
+				got.Lsh(got, uint(c))
+				got.Add(got, big.NewInt(int64(d)))
+			}
+			want := fr.BigInt(&scalars[i])
+			if got.Cmp(want) != 0 {
+				t.Fatalf("c=%d scalar %d: digits reconstruct %s, want %s", c, i, got, want)
+			}
+		}
+	}
+}
+
+// TestMSMSignedMatchesNaive cross-checks the signed-digit batch-affine
+// MSM against the double-and-add reference across sizes × curves ×
+// thread counts, and checks that every thread count yields the same
+// group element.
+func TestMSMSignedMatchesNaive(t *testing.T) {
+	threadCounts := []int{1, 4, runtime.NumCPU()}
+	for _, c := range testCurves() {
+		for _, logN := range []int{4, 6, 9} {
+			n := 1 << uint(logN)
+			points, scalars := msmTestVectors(c, n, uint64(60+logN))
+			naive := c.G1MSMNaive(points, scalars)
+			for _, th := range threadCounts {
+				t.Run(fmt.Sprintf("%s/n=2^%d/threads=%d", c.Name, logN, th), func(t *testing.T) {
+					got := c.G1MSM(points, scalars, th)
+					if !c.G1Equal(&got, &naive) {
+						t.Fatal("MSM != naive reference")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMSMLargeLinearity covers 2^12 (where the naive reference gets
+// expensive) through the linearity identity Σ(a·sᵢ+b·tᵢ)Pᵢ =
+// a·ΣsᵢPᵢ + b·ΣtᵢPᵢ, which any bucket-accounting bug breaks.
+func TestMSMLargeLinearity(t *testing.T) {
+	c := NewBN254()
+	fr := c.Fr
+	const n = 1 << 12
+	points, s := msmTestVectors(c, n, 71)
+	rng := ff.NewRNG(72)
+	tt := make([]ff.Element, n)
+	for i := range tt {
+		fr.Random(&tt[i], rng)
+	}
+	var a, b ff.Element
+	fr.Random(&a, rng)
+	fr.Random(&b, rng)
+	comb := make([]ff.Element, n)
+	var tmp ff.Element
+	for i := range comb {
+		fr.Mul(&comb[i], &a, &s[i])
+		fr.Mul(&tmp, &b, &tt[i])
+		fr.Add(&comb[i], &comb[i], &tmp)
+	}
+	for _, th := range []int{1, runtime.NumCPU()} {
+		rs := c.G1MSM(points, s, th)
+		rt := c.G1MSM(points, tt, th)
+		rc := c.G1MSM(points, comb, th)
+		var want, bt G1Jac
+		c.G1ScalarMul(&want, &rs, &a)
+		c.G1ScalarMul(&bt, &rt, &b)
+		c.G1Add(&want, &want, &bt)
+		if !c.G1Equal(&rc, &want) {
+			t.Fatalf("threads=%d: MSM linearity identity failed at n=2^12", th)
+		}
+	}
+}
+
+// TestMSMDeterministic: the same inputs and thread count must give the
+// exact same Jacobian coordinates — the partial combination order is
+// fixed, so scheduling cannot leak into the result.
+func TestMSMDeterministic(t *testing.T) {
+	c := NewBN254()
+	points, scalars := msmTestVectors(c, 300, 73)
+	for _, th := range []int{1, 4} {
+		r1 := c.G1MSM(points, scalars, th)
+		r2 := c.G1MSM(points, scalars, th)
+		if !c.Fp.Equal(&r1.X, &r2.X) || !c.Fp.Equal(&r1.Y, &r2.Y) || !c.Fp.Equal(&r1.Z, &r2.Z) {
+			t.Fatalf("threads=%d: repeated MSM runs gave different coordinates", th)
+		}
+	}
+}
+
+// TestMSMBucketCollisions stresses the batch-affine scheduler's
+// slow paths: repeated identical points (bucket doubling + busy queue),
+// P/−P pairs (bucket annihilation), and a single repeated scalar (all
+// points funneled into one bucket per window).
+func TestMSMBucketCollisions(t *testing.T) {
+	for _, c := range testCurves() {
+		fr := c.Fr
+		const n = 96
+		rng := ff.NewRNG(79)
+
+		// All points identical, all scalars identical.
+		points := make([]G1Affine, n)
+		scalars := make([]ff.Element, n)
+		for i := range points {
+			points[i] = c.G1Gen
+		}
+		var k ff.Element
+		fr.Random(&k, rng)
+		for i := range scalars {
+			fr.Set(&scalars[i], &k)
+		}
+		got := c.G1MSM(points, scalars, 1)
+		want := c.G1MSMNaive(points, scalars)
+		if !c.G1Equal(&got, &want) {
+			t.Fatalf("%s: repeated-point MSM != naive", c.Name)
+		}
+
+		// P and −P interleaved with the same scalar: exact cancellation.
+		var negGen G1Affine
+		negGen = c.G1Gen
+		c.Fp.Neg(&negGen.Y, &negGen.Y)
+		for i := range points {
+			if i%2 == 1 {
+				points[i] = negGen
+			}
+		}
+		got = c.G1MSM(points, scalars, 1)
+		if !c.G1IsInfinity(&got) {
+			t.Fatalf("%s: P/−P pairs should cancel to infinity", c.Name)
+		}
+
+		// Distinct points, one shared scalar: every point lands in the
+		// same bucket per window (maximum queue pressure).
+		pts, _ := msmTestVectors(c, n, 83)
+		got = c.G1MSM(pts, scalars, 1)
+		want = c.G1MSMNaive(pts, scalars)
+		if !c.G1Equal(&got, &want) {
+			t.Fatalf("%s: shared-scalar MSM != naive", c.Name)
+		}
+
+		// Tiny scalars (1 and p−1) exercise digit ±1 and negation.
+		small := make([]ff.Element, n)
+		var one ff.Element
+		fr.One(&one)
+		for i := range small {
+			if i%2 == 0 {
+				fr.Set(&small[i], &one)
+			} else {
+				fr.Neg(&small[i], &one)
+			}
+		}
+		got = c.G1MSM(pts, small, 1)
+		want = c.G1MSMNaive(pts, small)
+		if !c.G1Equal(&got, &want) {
+			t.Fatalf("%s: ±1-scalar MSM != naive", c.Name)
+		}
+	}
+}
+
+// TestG2MSMSignedMatchesNaive: the generic core instantiated over the
+// quadratic extension (exercises the generic batched inversion on E2).
+func TestG2MSMSignedMatchesNaive(t *testing.T) {
+	for _, c := range testCurves() {
+		const n = 64
+		rng := ff.NewRNG(89)
+		points := make([]G2Affine, n)
+		scalars := make([]ff.Element, n)
+		var g, p G2Jac
+		c.G2FromAffine(&g, &c.G2Gen)
+		for i := 0; i < n; i++ {
+			var k ff.Element
+			c.Fr.Random(&k, rng)
+			c.G2ScalarMul(&p, &g, &k)
+			c.G2ToAffine(&points[i], &p)
+			c.Fr.Random(&scalars[i], rng)
+		}
+		var want, term, pj G2Jac
+		c.G2Infinity(&want)
+		for i := range points {
+			c.G2FromAffine(&pj, &points[i])
+			c.G2ScalarMul(&term, &pj, &scalars[i])
+			c.G2Add(&want, &want, &term)
+		}
+		for _, th := range []int{1, 4, runtime.NumCPU()} {
+			got := c.G2MSM(points, scalars, th)
+			if !c.G2Equal(&got, &want) {
+				t.Fatalf("%s threads=%d: G2 MSM != naive reference", c.Name, th)
+			}
+		}
+	}
+}
+
+// TestMSMCtxCancelMidKernel: cancelling while workers are inside the
+// kernel stops the MSM and surfaces ctx.Err().
+func TestMSMCtxCancelMidKernel(t *testing.T) {
+	c := NewBN254()
+	points, scalars := msmTestVectors(c, 2048, 97)
+
+	// Already-cancelled context: immediate error, no work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.G1MSMCtx(ctx, points, scalars, 4); err == nil {
+		t.Fatal("pre-cancelled ctx: expected error")
+	}
+
+	// Cancel from another goroutine mid-run. The kernel must return
+	// (with an error) rather than run to completion or hang.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel2()
+	}()
+	close(started)
+	if _, err := c.G1MSMCtx(ctx2, points, scalars, 4); err == nil {
+		// The race between cancel and completion is legal; only a
+		// missing error after cancellation would be a bug. Check ctx
+		// state to distinguish.
+		if ctx2.Err() != nil {
+			t.Log("MSM completed before cancellation took effect (legal)")
+		}
+	}
+	cancel2()
+}
+
+// TestFrToLimbsCanonical: the direct Montgomery→canonical limb path must
+// agree with an independent big.Int decomposition.
+func TestFrToLimbsCanonical(t *testing.T) {
+	for _, c := range testCurves() {
+		fr := c.Fr
+		rng := ff.NewRNG(91)
+		scalars := make([]ff.Element, 32)
+		for i := range scalars {
+			fr.Random(&scalars[i], rng)
+		}
+		limbs := frToLimbs(fr, scalars)
+		mask := new(big.Int).SetUint64(^uint64(0))
+		for i := range scalars {
+			v := fr.BigInt(&scalars[i])
+			for j := 0; j < fr.NumLimbs(); j++ {
+				want := new(big.Int).And(new(big.Int).Rsh(v, uint(64*j)), mask).Uint64()
+				if limbs[i][j] != want {
+					t.Fatalf("%s: scalar %d limb %d = %#x, want %#x", fr.Name, i, j, limbs[i][j], want)
+				}
+			}
+		}
+	}
+}

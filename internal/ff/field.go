@@ -274,6 +274,16 @@ func (f *Field) Bytes(x *Element) []byte {
 	return out
 }
 
+// CanonicalLimbs writes the canonical (non-Montgomery) value of x into dst
+// as little-endian 64-bit limbs. len(dst) must be at least NumLimbs. It is
+// the allocation-free path the MSM digit decomposition uses: one Montgomery
+// reduction per scalar, no byte round-trip.
+func (f *Field) CanonicalLimbs(x *Element, dst []uint64) {
+	var t Element = *x
+	f.fromMont(&t)
+	copy(dst, t[:f.n])
+}
+
 // SetBytes deserializes big-endian bytes (as produced by Bytes) into z,
 // reducing mod p.
 func (f *Field) SetBytes(z *Element, data []byte) *Element {

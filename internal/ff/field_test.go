@@ -215,6 +215,108 @@ func TestBatchInverse(t *testing.T) {
 	}
 }
 
+// TestSquareMatchesMul cross-checks the dedicated SOS squaring against the
+// generic CIOS multiplier on random elements plus the boundary values the
+// doubling/carry chains are most likely to get wrong (0, 1, −1, p−2).
+func TestSquareMatchesMul(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(101)
+		cases := randElems(f, 200, 103)
+		var special Element
+		f.Zero(&special)
+		cases = append(cases, special)
+		f.One(&special)
+		cases = append(cases, special)
+		var one Element
+		f.One(&one)
+		f.Neg(&special, &one)
+		cases = append(cases, special) // p−1: largest residue
+		var two Element
+		f.SetUint64(&two, 2)
+		f.Sub(&special, &special, &one)
+		cases = append(cases, special) // p−2
+		for i := 0; i < 50; i++ {
+			// All-ones-ish limbs: max out the cross-product carries.
+			var e Element
+			f.Random(&e, rng)
+			f.Mul(&e, &e, &two)
+			cases = append(cases, e)
+		}
+		for i := range cases {
+			var sq, mul Element
+			f.Square(&sq, &cases[i])
+			f.Mul(&mul, &cases[i], &cases[i])
+			if !f.Equal(&sq, &mul) {
+				t.Fatalf("%s: Square != Mul(x,x) at case %d (x=%s)", f.Name, i, f.String(&cases[i]))
+			}
+			want := new(big.Int).Mul(f.BigInt(&cases[i]), f.BigInt(&cases[i]))
+			want.Mod(want, f.Modulus())
+			if got := f.BigInt(&sq); got.Cmp(want) != 0 {
+				t.Fatalf("%s: Square mismatch vs big.Int at case %d", f.Name, i)
+			}
+		}
+	}
+}
+
+// TestSquareAliasing: Square must tolerate z aliasing x (the NTT twiddle
+// chain squares in place).
+func TestSquareAliasing(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(107)
+		for i := 0; i < 20; i++ {
+			var a, b Element
+			f.Random(&a, rng)
+			f.Set(&b, &a)
+			f.Square(&a, &a)
+			var want Element
+			f.Mul(&want, &b, &b)
+			if !f.Equal(&a, &want) {
+				t.Fatalf("%s: in-place Square wrong", f.Name)
+			}
+		}
+	}
+}
+
+// TestSquareOpCount: the Sq counter still ticks (and Mul does not) on the
+// dedicated path.
+func TestSquareOpCount(t *testing.T) {
+	f := NewBN254Fr()
+	var c OpCount
+	f.Count = &c
+	defer func() { f.Count = nil }()
+	var a, z Element
+	f.SetUint64(&a, 12345)
+	c.Reset()
+	f.Square(&z, &a)
+	if c.Sq != 1 || c.Mul != 0 {
+		t.Errorf("Square counted as Sq=%d Mul=%d, want 1/0", c.Sq, c.Mul)
+	}
+}
+
+// TestCanonicalLimbs: the direct limb path agrees with the Bytes round
+// trip it replaces on the MSM hot path.
+func TestCanonicalLimbs(t *testing.T) {
+	for _, f := range testFields {
+		rng := NewRNG(109)
+		for i := 0; i < 50; i++ {
+			var a Element
+			f.Random(&a, rng)
+			limbs := make([]uint64, f.NumLimbs())
+			f.CanonicalLimbs(&a, limbs)
+			b := f.Bytes(&a) // canonical big-endian
+			for j := 0; j < f.NumLimbs(); j++ {
+				var v uint64
+				for k := 0; k < 8; k++ {
+					v = v<<8 | uint64(b[len(b)-8*(j+1)+k])
+				}
+				if limbs[j] != v {
+					t.Fatalf("%s: limb %d = %#x, Bytes says %#x", f.Name, j, limbs[j], v)
+				}
+			}
+		}
+	}
+}
+
 func TestBytesRoundTrip(t *testing.T) {
 	for _, f := range testFields {
 		rng := NewRNG(29)

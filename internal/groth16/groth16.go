@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
@@ -300,7 +301,7 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	// phase grain reflects the butterfly-block independence per layer.
 	var h []ff.Element
 	rec.PhaseRun("ntt/quotient", d.N/64+1, func() {
-		h, err = qap.QuotientEvalsCtx(ctx, sys, d, w.Full)
+		h, err = qap.QuotientEvalsCtx(ctx, sys, d, w.Full, e.threads())
 	})
 	e.recQuotient(sys, d.N, d.LogN)
 	if err != nil {
@@ -315,22 +316,76 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	nPub := 1 + sys.NumPublic
 	wPriv := w.Full[nPub:]
 
-	msmG1 := func(name string, points []curve.G1Affine, scalars []ff.Element) (curve.G1Jac, error) {
-		var out curve.G1Jac
-		var merr error
-		grain := (fr.Bits() + 10) / 11 // ≈ number of Pippenger windows
-		rec.PhaseRun("msm/"+name, grain, func() {
-			out, merr = c.G1MSMCtx(ctx, points, scalars, e.threads())
+	// The five proof MSMs — A, B1, K, H over G1 and B2 over G2 — read
+	// disjoint outputs and share only immutable inputs, so with a
+	// multi-thread budget they run overlapped, each MSM internally
+	// parallel under a weighted share of the budget (the G2 MSM costs
+	// roughly 3× a same-size G1 MSM, so it gets the largest share).
+	// Under tracing (threads()==1) they run back to back in the original
+	// phase order.
+	var aAcc, bAcc1, kAcc, hAcc curve.G1Jac
+	var bAcc2 curve.G2Jac
+	if th := e.threads(); th > 1 {
+		share := func(weight int) int {
+			s := th * weight / 11
+			if s < 1 {
+				s = 1
+			}
+			return s
+		}
+		var errA, errB1, errB2, errK, errH error
+		var wg sync.WaitGroup
+		run := func(f func()) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f()
+			}()
+		}
+		run(func() { aAcc, errA = c.G1MSMCtx(ctx, pk.A, w.Full, share(2)) })
+		run(func() { bAcc1, errB1 = c.G1MSMCtx(ctx, pk.B1, w.Full, share(2)) })
+		run(func() { bAcc2, errB2 = c.G2MSMCtx(ctx, pk.B2, w.Full, share(3)) })
+		run(func() { kAcc, errK = c.G1MSMCtx(ctx, pk.K, wPriv, share(2)) })
+		run(func() { hAcc, errH = c.G1MSMCtx(ctx, pk.H[:len(h)], h, share(2)) })
+		wg.Wait()
+		for _, merr := range []error{errA, errB1, errB2, errK, errH} {
+			if merr != nil {
+				return nil, merr
+			}
+		}
+	} else {
+		msmG1 := func(name string, dst *curve.G1Jac, points []curve.G1Affine, scalars []ff.Element) error {
+			var merr error
+			grain := (fr.Bits() + 10) / 11 // ≈ number of Pippenger windows
+			rec.PhaseRun("msm/"+name, grain, func() {
+				*dst, merr = c.G1MSMCtx(ctx, points, scalars, 1)
+			})
+			e.recMSM(name, len(points), false)
+			return merr
+		}
+		if err = msmG1("A", &aAcc, pk.A, w.Full); err != nil {
+			return nil, err
+		}
+		grain := (fr.Bits() + 10) / 11
+		rec.PhaseRun("msm/B2", grain, func() {
+			bAcc2, err = c.G2MSMCtx(ctx, pk.B2, w.Full, 1)
 		})
-		e.recMSM(name, len(points), false)
-		return out, merr
+		e.recMSM("B2", len(pk.B2), true)
+		if err != nil {
+			return nil, err
+		}
+		if err = msmG1("B1", &bAcc1, pk.B1, w.Full); err != nil {
+			return nil, err
+		}
+		if err = msmG1("K", &kAcc, pk.K, wPriv); err != nil {
+			return nil, err
+		}
+		if err = msmG1("H", &hAcc, pk.H[:len(h)], h); err != nil {
+			return nil, err
+		}
 	}
 
 	// A = α + Σ wᵢ·[uᵢ(τ)]₁ + r·δ
-	aAcc, err := msmG1("A", pk.A, w.Full)
-	if err != nil {
-		return nil, err
-	}
 	var tj curve.G1Jac
 	c.G1FromAffine(&tj, &pk.Alpha1)
 	c.G1Add(&aAcc, &aAcc, &tj)
@@ -341,15 +396,6 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	c.G1Add(&aAcc, &aAcc, &rDelta)
 
 	// B (G2) = β + Σ wᵢ·[vᵢ(τ)]₂ + s·δ; and its G1 shadow for C.
-	var bAcc2 curve.G2Jac
-	grain := (fr.Bits() + 10) / 11
-	rec.PhaseRun("msm/B2", grain, func() {
-		bAcc2, err = c.G2MSMCtx(ctx, pk.B2, w.Full, e.threads())
-	})
-	e.recMSM("B2", len(pk.B2), true)
-	if err != nil {
-		return nil, err
-	}
 	var tj2 curve.G2Jac
 	c.G2FromAffine(&tj2, &pk.Beta2)
 	c.G2Add(&bAcc2, &bAcc2, &tj2)
@@ -358,10 +404,6 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	c.G2ScalarMul(&sDelta2, &delta2J, &s)
 	c.G2Add(&bAcc2, &bAcc2, &sDelta2)
 
-	bAcc1, err := msmG1("B1", pk.B1, w.Full)
-	if err != nil {
-		return nil, err
-	}
 	c.G1FromAffine(&tj, &pk.Beta1)
 	c.G1Add(&bAcc1, &bAcc1, &tj)
 	var sDelta1 curve.G1Jac
@@ -369,14 +411,7 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	c.G1Add(&bAcc1, &bAcc1, &sDelta1)
 
 	// C = Σ_priv wᵢ·Kᵢ + Σ hᵢ·Hᵢ + s·A + r·B1 − r·s·δ
-	cAcc, err := msmG1("K", pk.K, wPriv)
-	if err != nil {
-		return nil, err
-	}
-	hAcc, err := msmG1("H", pk.H[:len(h)], h)
-	if err != nil {
-		return nil, err
-	}
+	cAcc := kAcc
 	c.G1Add(&cAcc, &cAcc, &hAcc)
 	var term curve.G1Jac
 	rec.PhaseRun("bigint/proof-assembly", 1, func() {

@@ -69,9 +69,11 @@ func (e *Engine) recMSM(name string, n int, g2 bool) {
 		pointBytes *= 2
 		jacBytes *= 2
 	}
+	// Signed-digit windows: one extra window absorbs the final carry and
+	// the bucket count halves to 2^{c−1}.
 	c := msmWindowForSize(n)
-	windows := (e.Curve.Fr.Bits() + c - 1) / c
-	buckets := int64(1) << uint(c)
+	windows := (e.Curve.Fr.Bits() + c) / c
+	buckets := int64(1) << uint(c-1)
 	// Every window streams all points and scalars once…
 	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.points." + name,
 		RegionBytes: int64(n) * pointBytes, ElemSize: int(pointBytes), Touches: int64(n * windows)}))

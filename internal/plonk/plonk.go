@@ -300,10 +300,29 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	if err != nil {
 		return nil, err
 	}
+	// inttCtx interpolates values on H into coefficient form
+	// (non-destructive), parallel across e.Threads and cancellable at
+	// butterfly-layer boundaries.
+	inttCtx := func(dm *poly.Domain, vals []ff.Element) ([]ff.Element, error) {
+		out := make([]ff.Element, dm.N)
+		copy(out, vals)
+		if err := dm.INTTCtx(ctx, out, e.threads()); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
 	nttT0 := probe.Begin()
-	aCoef := intt(d, av)
-	bCoef := intt(d, bv)
-	cCoef := intt(d, cv)
+	var aCoef, bCoef, cCoef []ff.Element
+	if aCoef, err = inttCtx(d, av); err != nil {
+		return nil, err
+	}
+	if bCoef, err = inttCtx(d, bv); err != nil {
+		return nil, err
+	}
+	if cCoef, err = inttCtx(d, cv); err != nil {
+		return nil, err
+	}
 	probe.Observe(telemetry.KernelNTT, nttT0, n)
 
 	proof := &Proof{}
@@ -364,7 +383,10 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		fr.Mul(&t1, &nums[i], &dens[i])
 		fr.Mul(&zv[i+1], &zv[i], &t1)
 	}
-	zCoef := intt(d, zv)
+	zCoef, err := inttCtx(d, zv)
+	if err != nil {
+		return nil, err
+	}
 	if proof.CZ, err = pk.SRS.CommitCtx(ctx, zCoef, e.threads()); err != nil {
 		return nil, err
 	}
@@ -376,10 +398,17 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	if err != nil {
 		return nil, err
 	}
+	// toCoset extends a coefficient vector onto the 4N coset. A
+	// cancellation inside any extension latches cosetErr and turns the
+	// remaining calls into cheap copies; the error is surfaced once after
+	// the block.
+	var cosetErr error
 	toCoset := func(coef []ff.Element) []ff.Element {
 		out := make([]ff.Element, d4.N)
 		copy(out, coef)
-		d4.CosetNTT(out)
+		if cosetErr == nil {
+			cosetErr = d4.CosetNTTCtx(ctx, out, e.threads())
+		}
 		return out
 	}
 	nttT0 = probe.Begin()
@@ -396,17 +425,11 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		fr.Mul(&wp, &wp, &d.Root)
 	}
 	zwX := toCoset(zwCoef)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	qlX := toCoset(pk.Ql)
 	qrX := toCoset(pk.Qr)
 	qoX := toCoset(pk.Qo)
 	qmX := toCoset(pk.Qm)
 	qcX := toCoset(pk.Qc)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	s1X := toCoset(pk.S1)
 	s2X := toCoset(pk.S2)
 	s3X := toCoset(pk.S3)
@@ -416,7 +439,14 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	for i := 0; i < c.nPub; i++ {
 		fr.Neg(&piVals[i], &public[i])
 	}
-	piX := toCoset(intt(d, piVals))
+	piCoef, err := inttCtx(d, piVals)
+	if err != nil {
+		return nil, err
+	}
+	piX := toCoset(piCoef)
+	if cosetErr != nil {
+		return nil, cosetErr
+	}
 	// 14 coset extensions over the 4N domain make up the prover's big NTT
 	// block; one span covers them all.
 	probe.Observe(telemetry.KernelNTT, nttT0, d4.N)
@@ -513,7 +543,9 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		return nil, err
 	}
 	nttT0 = probe.Begin()
-	d4.CosetINTT(tEval)
+	if err := d4.CosetINTTCtx(ctx, tEval, e.threads()); err != nil {
+		return nil, err
+	}
 	probe.Observe(telemetry.KernelNTT, nttT0, d4.N)
 	// Degree sanity: everything beyond 3N must vanish.
 	for j := 3 * n; j < d4.N; j++ {
@@ -584,14 +616,6 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		return nil, err
 	}
 	return proof, nil
-}
-
-// intt interpolates values on H into coefficient form (non-destructive).
-func intt(d *poly.Domain, vals []ff.Element) []ff.Element {
-	out := make([]ff.Element, d.N)
-	copy(out, vals)
-	d.INTT(out)
-	return out
 }
 
 // absorbVK binds the transcript to the preprocessed circuit and the

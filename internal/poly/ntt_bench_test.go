@@ -1,0 +1,44 @@
+package poly
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+// BenchmarkNTT compares the table-driven kernel against the on-the-fly
+// twiddle-chain reference (the pre-table implementation kept in
+// ntt_parallel_test.go as the correctness oracle).
+func BenchmarkNTT(b *testing.B) {
+	fr := ff.NewBN254Fr()
+	for _, logN := range []int{10, 14, 16} {
+		n := 1 << uint(logN)
+		d, err := NewDomain(fr, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.initTables() // exclude one-time table construction
+		rng := ff.NewRNG(uint64(logN))
+		a := make([]ff.Element, n)
+		for i := range a {
+			fr.Random(&a[i], rng)
+		}
+		buf := make([]ff.Element, n)
+		b.Run(fmt.Sprintf("table/n=2^%d", logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, a)
+				if err := d.NTTCtx(context.Background(), buf, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain-ref/n=2^%d", logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, a)
+				refNTT(d, buf, &d.Root)
+			}
+		})
+	}
+}

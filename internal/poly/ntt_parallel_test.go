@@ -1,0 +1,195 @@
+package poly
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+// refNTT is the pre-table reference transform: on-the-fly twiddle chain
+// (w *= wLen per butterfly), strictly serial. The table-driven kernel
+// must match it bit for bit at every size and thread count.
+func refNTT(d *Domain, a []ff.Element, root *ff.Element) {
+	fr := d.Fr
+	bitReverse(a, d.LogN)
+	for length := 2; length <= d.N; length <<= 1 {
+		var wLen ff.Element
+		fr.Set(&wLen, root)
+		for l := length; l < d.N; l <<= 1 {
+			fr.Square(&wLen, &wLen)
+		}
+		half := length >> 1
+		for start := 0; start < d.N; start += length {
+			var w ff.Element
+			fr.One(&w)
+			for k := 0; k < half; k++ {
+				var t ff.Element
+				fr.Mul(&t, &a[start+k+half], &w)
+				fr.Sub(&a[start+k+half], &a[start+k], &t)
+				fr.Add(&a[start+k], &a[start+k], &t)
+				fr.Mul(&w, &w, &wLen)
+			}
+		}
+	}
+}
+
+func refForward(d *Domain, a []ff.Element) { refNTT(d, a, &d.Root) }
+func refInverse(d *Domain, a []ff.Element) {
+	fr := d.Fr
+	refNTT(d, a, &d.RootInv)
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &d.NInv)
+	}
+}
+func refCosetForward(d *Domain, a []ff.Element) {
+	fr := d.Fr
+	var pow ff.Element
+	fr.One(&pow)
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &pow)
+		fr.Mul(&pow, &pow, &d.CosetGen)
+	}
+	refNTT(d, a, &d.Root)
+}
+func refCosetInverse(d *Domain, a []ff.Element) {
+	fr := d.Fr
+	refNTT(d, a, &d.RootInv)
+	var pow ff.Element
+	fr.One(&pow)
+	for i := range a {
+		fr.Mul(&a[i], &a[i], &d.NInv)
+		fr.Mul(&a[i], &a[i], &pow)
+		fr.Mul(&pow, &pow, &d.CosetGenInv)
+	}
+}
+
+// TestNTTMatchesReference cross-checks all four table-driven transforms
+// against the serial on-the-fly reference across sizes × fields × thread
+// counts. Field arithmetic is exact, so equality must be exact too.
+func TestNTTMatchesReference(t *testing.T) {
+	type variant struct {
+		name string
+		tab  func(d *Domain, ctx context.Context, a []ff.Element, threads int) error
+		ref  func(d *Domain, a []ff.Element)
+	}
+	variants := []variant{
+		{"ntt", (*Domain).NTTCtx, refForward},
+		{"intt", (*Domain).INTTCtx, refInverse},
+		{"coset-ntt", (*Domain).CosetNTTCtx, refCosetForward},
+		{"coset-intt", (*Domain).CosetINTTCtx, refCosetInverse},
+	}
+	threadCounts := []int{1, 4, runtime.NumCPU()}
+	for _, fr := range fields() {
+		for logN := 0; logN <= 12; logN += 3 {
+			n := 1 << uint(logN)
+			d, err := NewDomain(fr, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := ff.NewRNG(uint64(100 + logN))
+			input := make([]ff.Element, n)
+			for i := range input {
+				fr.Random(&input[i], rng)
+			}
+			for _, v := range variants {
+				want := make([]ff.Element, n)
+				copy(want, input)
+				v.ref(d, want)
+				for _, th := range threadCounts {
+					t.Run(fmt.Sprintf("%s/%s/n=%d/threads=%d", fr.Name, v.name, n, th), func(t *testing.T) {
+						got := make([]ff.Element, n)
+						copy(got, input)
+						if err := v.tab(d, context.Background(), got, th); err != nil {
+							t.Fatal(err)
+						}
+						for i := range got {
+							if !fr.Equal(&got[i], &want[i]) {
+								t.Fatalf("differs from serial reference at index %d", i)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestNTTCtxCancelled: a cancelled context stops the transform and
+// surfaces the error from every Ctx variant.
+func TestNTTCtxCancelled(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, err := NewDomain(fr, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := make([]ff.Element, d.N)
+	rng := ff.NewRNG(7)
+	for i := range a {
+		fr.Random(&a[i], rng)
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func(context.Context, []ff.Element, int) error
+	}{
+		{"ntt", d.NTTCtx},
+		{"intt", d.INTTCtx},
+		{"coset-ntt", d.CosetNTTCtx},
+		{"coset-intt", d.CosetINTTCtx},
+	} {
+		for _, th := range []int{1, 4} {
+			buf := make([]ff.Element, d.N)
+			copy(buf, a)
+			if err := tc.fn(ctx, buf, th); err == nil {
+				t.Errorf("%s threads=%d: cancelled ctx returned nil error", tc.name, th)
+			}
+		}
+	}
+}
+
+// TestNTTConcurrentSharedDomain: one Domain serving transforms from many
+// goroutines at once (the plonk proving key shares a Domain across
+// concurrent proves) — exercises the lazy table init under race.
+func TestNTTConcurrentSharedDomain(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	d, err := NewDomain(fr, 1<<8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(8)
+	input := make([]ff.Element, d.N)
+	for i := range input {
+		fr.Random(&input[i], rng)
+	}
+	want := make([]ff.Element, d.N)
+	copy(want, input)
+	refForward(d, want)
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			buf := make([]ff.Element, d.N)
+			copy(buf, input)
+			if err := d.NTTCtx(context.Background(), buf, 2); err != nil {
+				done <- err
+				return
+			}
+			for i := range buf {
+				if !fr.Equal(&buf[i], &want[i]) {
+					done <- fmt.Errorf("concurrent NTT diverged at %d", i)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

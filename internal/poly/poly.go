@@ -7,11 +7,14 @@
 package poly
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
+	"sync"
 
 	"zkperf/internal/ff"
+	"zkperf/internal/parallel"
 )
 
 // Domain is a multiplicative subgroup {1, ω, ω², …, ω^{N−1}} of Fr* of
@@ -28,6 +31,17 @@ type Domain struct {
 
 	CosetGen    ff.Element // multiplicative shift g (a quadratic non-residue)
 	CosetGenInv ff.Element
+
+	// Twiddle tables and coset scale vectors, built lazily on first
+	// transform. A Domain is shared across concurrent proves (plonk keeps
+	// one on the proving key), so initialization is Once-guarded; after
+	// that the tables are read-only and safe for concurrent transforms on
+	// distinct slices.
+	tablesOnce  sync.Once
+	twiddles    [][]ff.Element // twiddles[s][k] = (Root^{N/2^{s+1}})^k, k < 2^s
+	twiddlesInv [][]ff.Element // same powers of RootInv
+	cosetScale  []ff.Element   // g^i
+	cosetUnwind []ff.Element   // N⁻¹·g^{−i} (N⁻¹ folded into the coset unwind)
 }
 
 // NewDomain returns a domain of the smallest power-of-two size ≥ minSize.
@@ -94,75 +108,196 @@ func bitReverse(a []ff.Element, logN int) {
 	}
 }
 
-// ntt is the in-place iterative Cooley-Tukey transform with the given
-// root (ω for forward, ω⁻¹ for inverse).
-func (d *Domain) ntt(a []ff.Element, root *ff.Element) {
+// initTables builds the per-stage twiddle tables and coset scale vectors.
+// Stage s of the bit-reversed-input DIT transform needs the powers
+// wLen^k for k < 2^s where wLen = root^{N/2^{s+1}}; the tables total N−1
+// elements per direction. Precomputing them removes the sequential
+// w *= wLen chain from the butterfly loop — one multiply per butterfly
+// instead of two — and makes every butterfly in a stage independent,
+// which is what lets the stages parallelize.
+func (d *Domain) initTables() {
+	d.tablesOnce.Do(func() {
+		fr := d.Fr
+		build := func(root *ff.Element) [][]ff.Element {
+			tables := make([][]ff.Element, d.LogN)
+			for s := 0; s < d.LogN; s++ {
+				half := 1 << uint(s)
+				var wLen ff.Element
+				fr.Set(&wLen, root)
+				for l := half << 1; l < d.N; l <<= 1 {
+					fr.Square(&wLen, &wLen)
+				}
+				tw := make([]ff.Element, half)
+				fr.One(&tw[0])
+				for k := 1; k < half; k++ {
+					fr.Mul(&tw[k], &tw[k-1], &wLen)
+				}
+				tables[s] = tw
+			}
+			return tables
+		}
+		d.twiddles = build(&d.Root)
+		d.twiddlesInv = build(&d.RootInv)
+
+		d.cosetScale = make([]ff.Element, d.N)
+		d.cosetUnwind = make([]ff.Element, d.N)
+		fr.One(&d.cosetScale[0])
+		fr.Set(&d.cosetUnwind[0], &d.NInv)
+		for i := 1; i < d.N; i++ {
+			fr.Mul(&d.cosetScale[i], &d.cosetScale[i-1], &d.CosetGen)
+			fr.Mul(&d.cosetUnwind[i], &d.cosetUnwind[i-1], &d.CosetGenInv)
+		}
+	})
+}
+
+// parallelNTTMin: below this size the per-stage fork/join overhead
+// outweighs the butterfly work, so transforms run serially regardless of
+// the requested thread count.
+const parallelNTTMin = 1 << 9
+
+// nttCtx is the in-place iterative Cooley-Tukey transform driven by the
+// given per-stage twiddle tables. Each stage's butterflies are mutually
+// independent: early stages parallelize across blocks, late stages (few
+// wide blocks) across the butterflies inside each block. Cancellation is
+// checked at stage boundaries and inside ChunksCtx's dispenser; because
+// field arithmetic is exact, the result is identical for every thread
+// count.
+func (d *Domain) nttCtx(ctx context.Context, a []ff.Element, tw [][]ff.Element, threads int) error {
 	fr := d.Fr
 	bitReverse(a, d.LogN)
-	for length := 2; length <= d.N; length <<= 1 {
-		// wLen = root^{N/length}
-		var wLen ff.Element
-		fr.Set(&wLen, root)
-		for l := length; l < d.N; l <<= 1 {
-			fr.Square(&wLen, &wLen)
+	for s := 0; s < d.LogN; s++ {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		half := length >> 1
-		for start := 0; start < d.N; start += length {
-			var w ff.Element
-			fr.One(&w)
-			for k := 0; k < half; k++ {
-				var t ff.Element
-				fr.Mul(&t, &a[start+k+half], &w)
-				fr.Sub(&a[start+k+half], &a[start+k], &t)
-				fr.Add(&a[start+k], &a[start+k], &t)
-				fr.Mul(&w, &w, &wLen)
+		half := 1 << uint(s)
+		length := half << 1
+		stage := tw[s]
+		blocks := d.N >> uint(s+1)
+		doBlocks := func(bLo, bHi int) {
+			for b := bLo; b < bHi; b++ {
+				start := b * length
+				for k := 0; k < half; k++ {
+					var t ff.Element
+					fr.Mul(&t, &a[start+k+half], &stage[k])
+					fr.Sub(&a[start+k+half], &a[start+k], &t)
+					fr.Add(&a[start+k], &a[start+k], &t)
+				}
+			}
+		}
+		if threads <= 1 || d.N < parallelNTTMin {
+			doBlocks(0, blocks)
+			continue
+		}
+		if blocks >= threads {
+			if err := parallel.ChunksCtx(ctx, blocks, threads, doBlocks); err != nil {
+				return err
+			}
+			continue
+		}
+		for b := 0; b < blocks; b++ {
+			start := b * length
+			err := parallel.ChunksCtx(ctx, half, threads, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					var t ff.Element
+					fr.Mul(&t, &a[start+k+half], &stage[k])
+					fr.Sub(&a[start+k+half], &a[start+k], &t)
+					fr.Add(&a[start+k], &a[start+k], &t)
+				}
+			})
+			if err != nil {
+				return err
 			}
 		}
 	}
+	return ctx.Err()
+}
+
+// scaleCtx multiplies a[i] *= scale[i] element-wise, parallelized when
+// asked.
+func (d *Domain) scaleCtx(ctx context.Context, a, scale []ff.Element, threads int) error {
+	fr := d.Fr
+	if threads <= 1 || d.N < parallelNTTMin {
+		for i := range a {
+			fr.Mul(&a[i], &a[i], &scale[i])
+		}
+		return ctx.Err()
+	}
+	return parallel.ChunksCtx(ctx, len(a), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fr.Mul(&a[i], &a[i], &scale[i])
+		}
+	})
 }
 
 // NTT transforms coefficients to evaluations over the domain, in place.
 // len(a) must equal the domain size.
 func (d *Domain) NTT(a []ff.Element) {
+	_ = d.NTTCtx(context.Background(), a, 1)
+}
+
+// NTTCtx is NTT with cancellation and an explicit thread budget.
+func (d *Domain) NTTCtx(ctx context.Context, a []ff.Element, threads int) error {
 	d.checkLen(a)
-	d.ntt(a, &d.Root)
+	d.initTables()
+	return d.nttCtx(ctx, a, d.twiddles, threads)
 }
 
 // INTT transforms evaluations back to coefficients, in place.
 func (d *Domain) INTT(a []ff.Element) {
+	_ = d.INTTCtx(context.Background(), a, 1)
+}
+
+// INTTCtx is INTT with cancellation and an explicit thread budget.
+func (d *Domain) INTTCtx(ctx context.Context, a []ff.Element, threads int) error {
 	d.checkLen(a)
-	d.ntt(a, &d.RootInv)
-	fr := d.Fr
-	for i := range a {
-		fr.Mul(&a[i], &a[i], &d.NInv)
+	d.initTables()
+	if err := d.nttCtx(ctx, a, d.twiddlesInv, threads); err != nil {
+		return err
 	}
+	fr := d.Fr
+	if threads <= 1 || d.N < parallelNTTMin {
+		for i := range a {
+			fr.Mul(&a[i], &a[i], &d.NInv)
+		}
+		return ctx.Err()
+	}
+	return parallel.ChunksCtx(ctx, len(a), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fr.Mul(&a[i], &a[i], &d.NInv)
+		}
+	})
 }
 
 // CosetNTT evaluates the coefficient vector over the coset g·H, in place.
 func (d *Domain) CosetNTT(a []ff.Element) {
+	_ = d.CosetNTTCtx(context.Background(), a, 1)
+}
+
+// CosetNTTCtx is CosetNTT with cancellation and an explicit thread budget.
+func (d *Domain) CosetNTTCtx(ctx context.Context, a []ff.Element, threads int) error {
 	d.checkLen(a)
-	fr := d.Fr
-	var pow ff.Element
-	fr.One(&pow)
-	for i := range a {
-		fr.Mul(&a[i], &a[i], &pow)
-		fr.Mul(&pow, &pow, &d.CosetGen)
+	d.initTables()
+	if err := d.scaleCtx(ctx, a, d.cosetScale, threads); err != nil {
+		return err
 	}
-	d.ntt(a, &d.Root)
+	return d.nttCtx(ctx, a, d.twiddles, threads)
 }
 
 // CosetINTT interpolates coset evaluations back to coefficients, in place.
 func (d *Domain) CosetINTT(a []ff.Element) {
+	_ = d.CosetINTTCtx(context.Background(), a, 1)
+}
+
+// CosetINTTCtx is CosetINTT with cancellation and an explicit thread
+// budget. The N⁻¹ factor is folded into the coset unwind vector, so the
+// whole post-pass is one multiply per element.
+func (d *Domain) CosetINTTCtx(ctx context.Context, a []ff.Element, threads int) error {
 	d.checkLen(a)
-	fr := d.Fr
-	d.ntt(a, &d.RootInv)
-	var pow ff.Element
-	fr.One(&pow)
-	for i := range a {
-		fr.Mul(&a[i], &a[i], &d.NInv)
-		fr.Mul(&a[i], &a[i], &pow)
-		fr.Mul(&pow, &pow, &d.CosetGenInv)
+	d.initTables()
+	if err := d.nttCtx(ctx, a, d.twiddlesInv, threads); err != nil {
+		return err
 	}
+	return d.scaleCtx(ctx, a, d.cosetUnwind, threads)
 }
 
 func (d *Domain) checkLen(a []ff.Element) {

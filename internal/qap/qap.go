@@ -89,15 +89,15 @@ func EvalAtPoint(sys *r1cs.System, d *poly.Domain, tau *ff.Element) (*Evaluation
 // etc. The division by Z happens on a multiplicative coset where
 // Z(g·ω^k) = g^N − 1 is a nonzero constant.
 func QuotientEvals(sys *r1cs.System, d *poly.Domain, w []ff.Element) []ff.Element {
-	h, _ := QuotientEvalsCtx(context.Background(), sys, d, w)
+	h, _ := QuotientEvalsCtx(context.Background(), sys, d, w, 1)
 	return h
 }
 
-// QuotientEvalsCtx is the cancellable QuotientEvals: ctx is checked at the
-// NTT-pass boundaries (each pass is an O(N·logN) butterfly network), so an
-// abandoned proving job stops within one pass. On cancellation it returns
-// ctx.Err() and a nil slice.
-func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w []ff.Element) ([]ff.Element, error) {
+// QuotientEvalsCtx is the cancellable QuotientEvals: ctx is checked inside
+// each transform at butterfly-layer boundaries, so an abandoned proving job
+// stops within one layer. threads bounds the worker count of each NTT's
+// butterfly stages. On cancellation it returns ctx.Err() and a nil slice.
+func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w []ff.Element, threads int) ([]ff.Element, error) {
 	fr := sys.Fr
 	n := d.N
 	a := make([]ff.Element, n)
@@ -116,18 +116,17 @@ func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w [
 	// the probe rides in ctx and is resolved once, not per pass.
 	probe := telemetry.ProbeFromContext(ctx)
 	t0 := probe.Begin()
-	for _, pass := range []func(){
-		func() { d.INTT(a) },
-		func() { d.INTT(b) },
-		func() { d.INTT(c) },
-		func() { d.CosetNTT(a) },
-		func() { d.CosetNTT(b) },
-		func() { d.CosetNTT(c) },
+	for _, pass := range []func() error{
+		func() error { return d.INTTCtx(ctx, a, threads) },
+		func() error { return d.INTTCtx(ctx, b, threads) },
+		func() error { return d.INTTCtx(ctx, c, threads) },
+		func() error { return d.CosetNTTCtx(ctx, a, threads) },
+		func() error { return d.CosetNTTCtx(ctx, b, threads) },
+		func() error { return d.CosetNTTCtx(ctx, c, threads) },
 	} {
-		if err := ctx.Err(); err != nil {
+		if err := pass(); err != nil {
 			return nil, err
 		}
-		pass()
 	}
 
 	// On the coset, Z(g·ω^k) = g^N·(ω^N)^k − 1 = g^N − 1 (constant).
@@ -148,10 +147,9 @@ func QuotientEvalsCtx(ctx context.Context, sys *r1cs.System, d *poly.Domain, w [
 		fr.Sub(&t, &t, &c[k])
 		fr.Mul(&h[k], &t, &zInv)
 	}
-	if err := ctx.Err(); err != nil {
+	if err := d.CosetINTTCtx(ctx, h, threads); err != nil {
 		return nil, err
 	}
-	d.CosetINTT(h)
 	probe.Observe(telemetry.KernelNTT, t0, n)
 	return h[:n-1], nil
 }
