@@ -28,3 +28,7 @@ go test -race -count=1 \
 go test -run '^$' -fuzz '^FuzzReadProof$' -fuzztime=5s ./internal/backend/
 go test -run '^$' -fuzz '^FuzzReadProvingKey$' -fuzztime=5s ./internal/backend/
 go test -run '^$' -fuzz '^FuzzReadVerifyingKey$' -fuzztime=5s ./internal/backend/
+# Cluster smoke: two zkserve nodes behind zkgateway over real loopback
+# sockets — async jobs complete, routing stays shard-stable (per-node
+# setup counters stop growing), and killing a node fails its shard over.
+sh scripts/e2e_cluster.sh

@@ -34,6 +34,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -44,6 +45,7 @@ import (
 
 	"zkperf/internal/backend"
 	"zkperf/internal/circuit"
+	"zkperf/internal/client"
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
 	"zkperf/internal/groth16"
@@ -77,19 +79,41 @@ func main() {
 		err = cmdBackends(args)
 	case "stats":
 		err = cmdStats(args)
+	case "job":
+		err = cmdJob(args)
 	default:
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "zkcli %s: %v\n", cmd, err)
-		os.Exit(1)
+		var env *client.Error
+		if errors.As(err, &env) && !env.Retryable {
+			// A non-retryable server envelope means the request itself is
+			// wrong (bad circuit, unknown backend, invalid proof) — print
+			// the machine-readable code and exit with a distinct status so
+			// scripts can tell it apart from transient failures.
+			fmt.Fprintf(os.Stderr, "zkcli %s: server rejected request: code=%s: %s\n", cmd, env.Code, env.Message)
+		} else {
+			fmt.Fprintf(os.Stderr, "zkcli %s: %v\n", cmd, err)
+		}
+		os.Exit(exitStatus(err))
 	}
 	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify|backends|stats> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: zkcli <gen|compile|setup|witness|prove|verify|backends|stats|job> [flags]")
 	os.Exit(2)
+}
+
+// exitStatus maps a command failure to the process exit status: 3 for a
+// non-retryable server envelope (the request is wrong; retrying cannot
+// help), 1 for everything else. Usage errors exit 2 via usage().
+func exitStatus(err error) int {
+	var env *client.Error
+	if errors.As(err, &env) && !env.Retryable {
+		return 3
+	}
+	return 1
 }
 
 // inputFlags collects repeated -input name=value pairs.

@@ -1,145 +1,113 @@
 package main
 
 import (
-	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"flag"
 	"fmt"
-	"io"
-	"math/rand"
-	"net/http"
 	"os"
 	"strings"
 	"time"
+
+	"zkperf/internal/client"
 )
 
-// Remote mode: `zkcli prove -addr http://host:8090 …` and `zkcli verify
-// -addr …` drive a running zkserve instead of the local file pipeline.
-// The client honours the server's error envelope: responses whose
-// {"code","message","retryable"} envelope says retryable=true (queue
-// full, draining, circuit breaker cooldown, deadline) are retried with
-// jittered exponential backoff, everything else fails immediately.
+// Remote mode: `zkcli prove -addr http://host:8090 …`, `zkcli verify
+// -addr …` and the `zkcli job …` subcommands drive a running zkserve
+// (or zkgateway) instead of the local file pipeline. The transport is
+// the shared internal/client package — the same envelope-aware retry
+// policy the gateway uses — so retryable sheds (queue full, draining,
+// circuit breaker cooldown, deadline) back off with jitter and honor
+// the server's Retry-After hint, while non-retryable errors surface
+// immediately with their envelope code.
 
-// wireError mirrors the server's error envelope.
-type wireError struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	Retryable bool   `json:"retryable"`
-}
-
-func (e *wireError) Error() string {
-	return fmt.Sprintf("%s: %s (retryable=%v)", e.Code, e.Message, e.Retryable)
-}
-
-// retryJitter computes the sleep before retry attempt n (0-based): the
-// base doubles each attempt and the result is drawn uniformly from
-// [d/2, d), so a burst of shed clients does not come back in lockstep.
-// A base of zero (-retry-backoff 0) means immediate retries; the 1m cap
-// only applies to oversized backoffs and shift overflow.
-func retryJitter(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
-	if base <= 0 {
-		return 0
-	}
-	d := base << uint(attempt)
-	if d <= 0 || d > time.Minute {
-		d = time.Minute
-	}
-	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
-}
-
-// postWithRetry posts payload to url, retrying network errors and
-// envelope-retryable failures up to retries extra attempts. The last
-// error is returned verbatim (as *wireError for envelope failures, so
-// callers and tests can inspect the code).
-func postWithRetry(client *http.Client, url string, payload []byte, retries int, backoff time.Duration) ([]byte, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		data, retryable, err := postOnce(client, url, payload)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
-		if !retryable || attempt >= retries {
-			return nil, lastErr
-		}
-		d := retryJitter(backoff, attempt, rng)
+// newRemoteClient builds the shared client with zkcli's retry budget
+// and a stderr progress line per retry.
+func newRemoteClient(addr string, retries int, backoff time.Duration) *client.Client {
+	c := client.New(addr)
+	c.Retries = retries
+	c.Backoff = backoff
+	c.OnRetry = func(err error, delay time.Duration, attempt, total int) {
 		fmt.Fprintf(os.Stderr, "zkcli: retryable failure (%v), retrying in %v [%d/%d]\n",
-			err, d.Round(time.Millisecond), attempt+1, retries)
-		time.Sleep(d)
+			err, delay.Round(time.Millisecond), attempt, total)
 	}
+	return c
 }
 
-func postOnce(client *http.Client, url string, payload []byte) (data []byte, retryable bool, err error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		// Network-level failures (connection refused, reset) are always
-		// worth a retry: the server may be restarting behind us.
-		return nil, true, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return nil, true, err
-	}
-	if resp.StatusCode == http.StatusOK {
-		return body, false, nil
-	}
-	env := &wireError{}
-	if jsonErr := json.Unmarshal(body, env); jsonErr != nil || env.Code == "" {
-		return nil, false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return nil, env.Retryable, env
-}
-
-// proveRemote posts one prove request and writes the returned proof
-// bytes where the local pipeline would have.
-func proveRemote(addr, curveName, backendName, circuitPath, proofPath string, inputs inputFlags, timeout time.Duration, retries int, backoff time.Duration) error {
+// proveBody assembles the /v1/prove (and prove-kind /v1/jobs) payload.
+func proveBody(curveName, backendName, circuitPath string, inputs inputFlags, timeout time.Duration) (map[string]any, error) {
 	src, err := os.ReadFile(circuitPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	in := make(map[string]string, len(inputs))
 	for _, pair := range inputs {
 		name, val, ok := strings.Cut(pair, "=")
 		if !ok {
-			return fmt.Errorf("malformed -input %q (want name=value)", pair)
+			return nil, fmt.Errorf("malformed -input %q (want name=value)", pair)
 		}
 		in[name] = val
 	}
-	payload, err := json.Marshal(map[string]any{
+	return map[string]any{
 		"curve":      curveName,
 		"backend":    backendName,
 		"circuit":    string(src),
 		"inputs":     in,
 		"timeout_ms": timeout.Milliseconds(),
-	})
+	}, nil
+}
+
+// verifyBody assembles the /v1/verify (and verify-kind /v1/jobs) payload.
+func verifyBody(curveName, backendName, circuitPath, proofPath string, publics inputFlags) (map[string]any, error) {
+	src, err := os.ReadFile(circuitPath)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(proofPath)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"curve":   curveName,
+		"backend": backendName,
+		"circuit": string(src),
+		"proof":   hex.EncodeToString(raw),
+		"public":  []string(publics),
+	}, nil
+}
+
+// proveReply mirrors the server's prove response.
+type proveReply struct {
+	Backend string   `json:"backend"`
+	Proof   string   `json:"proof"`
+	Public  []string `json:"public"`
+	ProveMs float64  `json:"prove_ms"`
+	TotalMs float64  `json:"total_ms"`
+}
+
+// writeProof decodes the reply's hex proof and writes it where the
+// local pipeline would have.
+func (r *proveReply) writeProof(path string) error {
+	raw, err := hex.DecodeString(r.Proof)
+	if err != nil {
+		return fmt.Errorf("decoding proof hex: %v", err)
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// proveRemote posts one synchronous prove request and writes the
+// returned proof bytes.
+func proveRemote(addr, curveName, backendName, circuitPath, proofPath string, inputs inputFlags, timeout time.Duration, retries int, backoff time.Duration) error {
+	body, err := proveBody(curveName, backendName, circuitPath, inputs, timeout)
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
-	data, err := postWithRetry(nil, strings.TrimRight(addr, "/")+"/v1/prove", payload, retries, backoff)
-	if err != nil {
+	var reply proveReply
+	if err := newRemoteClient(addr, retries, backoff).PostJSON("/v1/prove", body, &reply); err != nil {
 		return err
 	}
-	var reply struct {
-		Backend string   `json:"backend"`
-		Proof   string   `json:"proof"`
-		Public  []string `json:"public"`
-		ProveMs float64  `json:"prove_ms"`
-		TotalMs float64  `json:"total_ms"`
-	}
-	if err := json.Unmarshal(data, &reply); err != nil {
-		return fmt.Errorf("decoding prove reply: %v", err)
-	}
-	raw, err := hex.DecodeString(reply.Proof)
-	if err != nil {
-		return fmt.Errorf("decoding proof hex: %v", err)
-	}
-	if err := os.WriteFile(proofPath, raw, 0o644); err != nil {
+	if err := reply.writeProof(proofPath); err != nil {
 		return err
 	}
 	fmt.Printf("[%s@%s] prove=%.0fms total=%.0fms round-trip=%v public=%v\n",
@@ -152,37 +120,206 @@ func proveRemote(addr, curveName, backendName, circuitPath, proofPath string, in
 // pipeline — both use the backend's serialization) for server-side
 // verification against the circuit's cached verifying key.
 func verifyRemote(addr, curveName, backendName, circuitPath, proofPath string, publics inputFlags, retries int, backoff time.Duration) error {
-	src, err := os.ReadFile(circuitPath)
-	if err != nil {
-		return err
-	}
-	raw, err := os.ReadFile(proofPath)
-	if err != nil {
-		return err
-	}
-	payload, err := json.Marshal(map[string]any{
-		"curve":   curveName,
-		"backend": backendName,
-		"circuit": string(src),
-		"proof":   hex.EncodeToString(raw),
-		"public":  []string(publics),
-	})
-	if err != nil {
-		return err
-	}
-	data, err := postWithRetry(nil, strings.TrimRight(addr, "/")+"/v1/verify", payload, retries, backoff)
+	body, err := verifyBody(curveName, backendName, circuitPath, proofPath, publics)
 	if err != nil {
 		return err
 	}
 	var reply struct {
 		Valid bool `json:"valid"`
 	}
-	if err := json.Unmarshal(data, &reply); err != nil {
-		return fmt.Errorf("decoding verify reply: %v", err)
+	if err := newRemoteClient(addr, retries, backoff).PostJSON("/v1/verify", body, &reply); err != nil {
+		return err
 	}
 	if !reply.Valid {
 		return fmt.Errorf("proof is INVALID")
 	}
 	fmt.Printf("OK: proof is valid [%s@%s]\n", backendName, addr)
+	return nil
+}
+
+// jobStatus mirrors the server's /v1/jobs/{id} response.
+type jobStatus struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	State  string          `json:"state"`
+	WaitMs float64         `json:"wait_ms"`
+	RunMs  float64         `json:"run_ms"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
+	} `json:"error,omitempty"`
+}
+
+// failure converts a failed job's embedded envelope into a *client.Error
+// so `zkcli job wait` exits with the same status discipline as the
+// synchronous path (nil when the job did not fail).
+func (j *jobStatus) failure() error {
+	if j.State != "failed" {
+		return nil
+	}
+	if j.Error == nil {
+		return fmt.Errorf("job %s failed without an error envelope", j.ID)
+	}
+	return &client.Error{Code: j.Error.Code, Message: j.Error.Message, Retryable: j.Error.Retryable}
+}
+
+// newJobFlagSet builds a flag set for one job subcommand.
+func newJobFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
+}
+
+// cmdJob dispatches the async-job subcommands.
+func cmdJob(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: zkcli job <submit|status|wait|cancel> [flags]")
+	}
+	switch args[0] {
+	case "submit":
+		return cmdJobSubmit(args[1:])
+	case "status":
+		return cmdJobStatus(args[1:])
+	case "wait":
+		return cmdJobWait(args[1:])
+	case "cancel":
+		return cmdJobCancel(args[1:])
+	default:
+		return fmt.Errorf("unknown job subcommand %q (want submit, status, wait or cancel)", args[0])
+	}
+}
+
+func cmdJobSubmit(args []string) error {
+	fs := newJobFlagSet("job submit")
+	addr := fs.String("addr", "http://localhost:8090", "zkserve or zkgateway base URL")
+	kind := fs.String("kind", "prove", "job kind: prove or verify")
+	curveName := fs.String("curve", "bn128", "curve")
+	backendName := fs.String("backend", "groth16", "proving backend")
+	circuitPath := fs.String("circuit", "", "circuit source file (.zkc)")
+	proofPath := fs.String("proof", "circuit.proof", "proof file (verify kind)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline once running (0: server default)")
+	retries := fs.Int("retries", 3, "extra attempts for retryable errors")
+	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "base retry backoff")
+	var inputs, publics inputFlags
+	fs.Var(&inputs, "input", "input assignment name=value (prove kind, repeatable)")
+	fs.Var(&publics, "public", "public input value (verify kind, repeatable, in wire order)")
+	fs.Parse(args)
+	if *circuitPath == "" {
+		return fmt.Errorf("-circuit is required")
+	}
+	var body map[string]any
+	var err error
+	switch *kind {
+	case "prove":
+		body, err = proveBody(*curveName, *backendName, *circuitPath, inputs, *timeout)
+	case "verify":
+		body, err = verifyBody(*curveName, *backendName, *circuitPath, *proofPath, publics)
+	default:
+		return fmt.Errorf("unknown job kind %q (want prove or verify)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	body["kind"] = *kind
+	var st jobStatus
+	if err := newRemoteClient(*addr, *retries, *retryBackoff).PostJSON("/v1/jobs", body, &st); err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", st.ID)
+	fmt.Fprintf(os.Stderr, "zkcli: job %s accepted (%s, %s)\n", st.ID, st.Kind, st.State)
+	return nil
+}
+
+func cmdJobStatus(args []string) error {
+	fs := newJobFlagSet("job status")
+	addr := fs.String("addr", "http://localhost:8090", "zkserve or zkgateway base URL")
+	id := fs.String("id", "", "job ID (from `zkcli job submit`)")
+	asJSON := fs.Bool("json", false, "print the raw JSON status")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	var st jobStatus
+	if err := client.New(*addr).GetJSON("/v1/jobs/"+*id, &st); err != nil {
+		return err
+	}
+	return printJobStatus(&st, *asJSON)
+}
+
+func cmdJobWait(args []string) error {
+	fs := newJobFlagSet("job wait")
+	addr := fs.String("addr", "http://localhost:8090", "zkserve or zkgateway base URL")
+	id := fs.String("id", "", "job ID (from `zkcli job submit`)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
+	proofPath := fs.String("proof", "", "write the proof here when a prove job finishes")
+	asJSON := fs.Bool("json", false, "print the raw JSON status")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	c := client.New(*addr)
+	deadline := time.Now().Add(*timeout)
+	for {
+		var st jobStatus
+		if err := c.GetJSON("/v1/jobs/"+*id, &st); err != nil {
+			return err
+		}
+		if st.State == "done" || st.State == "failed" {
+			if err := printJobStatus(&st, *asJSON); err != nil {
+				return err
+			}
+			if st.State == "done" && st.Kind == "prove" && *proofPath != "" {
+				var reply proveReply
+				if err := json.Unmarshal(st.Result, &reply); err != nil {
+					return fmt.Errorf("decoding prove result: %v", err)
+				}
+				if err := reply.writeProof(*proofPath); err != nil {
+					return err
+				}
+			}
+			return st.failure()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %v", *id, st.State, *timeout)
+		}
+		time.Sleep(*poll)
+	}
+}
+
+func cmdJobCancel(args []string) error {
+	fs := newJobFlagSet("job cancel")
+	addr := fs.String("addr", "http://localhost:8090", "zkserve or zkgateway base URL")
+	id := fs.String("id", "", "job ID (from `zkcli job submit`)")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	var st jobStatus
+	if err := client.New(*addr).Delete("/v1/jobs/"+*id, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "zkcli: job %s now %s\n", st.ID, st.State)
+	return nil
+}
+
+func printJobStatus(st *jobStatus, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("job %s: kind=%s state=%s wait=%.0fms run=%.0fms\n",
+		st.ID, st.Kind, st.State, st.WaitMs, st.RunMs)
+	if st.State == "done" && st.Kind == "prove" {
+		var reply proveReply
+		if err := json.Unmarshal(st.Result, &reply); err == nil {
+			fmt.Printf("  [%s] prove=%.0fms total=%.0fms public=%v\n",
+				reply.Backend, reply.ProveMs, reply.TotalMs, reply.Public)
+		}
+	}
+	if st.Error != nil {
+		fmt.Printf("  error: %s: %s (retryable=%v)\n", st.Error.Code, st.Error.Message, st.Error.Retryable)
+	}
 	return nil
 }

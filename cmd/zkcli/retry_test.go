@@ -1,134 +1,75 @@
 package main
 
+// The retry/jitter/envelope transport tests moved to internal/client
+// alongside the shared implementation; what stays here is the zkcli
+// glue: the exit-status mapping and the remote mode driven end to end
+// against an in-process zkserve handler.
+
 import (
 	"context"
 	"encoding/json"
 	"errors"
-	"math/rand"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
-	"sync/atomic"
 	"testing"
-	"time"
 
+	"zkperf/internal/client"
 	"zkperf/internal/provesvc"
 )
 
-// flakyServer fails the first n requests with the given envelope, then
-// serves 200 {"ok":true}.
-func flakyServer(t *testing.T, n int, status int, env wireError) (*httptest.Server, *atomic.Int64) {
-	t.Helper()
-	var calls atomic.Int64
+// TestExitStatus: non-retryable server envelopes exit 3 (distinct from
+// the generic 1) so scripts can tell a bad request from a flaky server.
+func TestExitStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&client.Error{Code: "bad_request", Retryable: false}, 3},
+		{&client.Error{Code: "invalid_proof", Retryable: false}, 3},
+		{fmt.Errorf("wrapped: %w", &client.Error{Code: "bad_request"}), 3},
+		{&client.Error{Code: "queue_full", Retryable: true}, 1},
+		{errors.New("dial tcp: connection refused"), 1},
+		{nil, 1},
+	}
+	for _, c := range cases {
+		if got := exitStatus(c.err); got != c.want {
+			t.Errorf("exitStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRemoteNonRetryableSurfacesEnvelope: a 400 envelope comes back as
+// *client.Error after exactly one attempt, mapping to exit status 3.
+func TestRemoteNonRetryableSurfacesEnvelope(t *testing.T) {
+	var calls int
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if calls.Add(1) <= int64(n) {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(env)
-			return
-		}
-		w.Write([]byte(`{"ok":true}`))
+		calls++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{
+			"code": "bad_request", "message": "compile failed", "retryable": false,
+		})
 	}))
-	t.Cleanup(srv.Close)
-	return srv, &calls
-}
+	defer srv.Close()
 
-// TestRetryEventualSuccess exercises the satellite contract: a server
-// shedding with a retryable envelope (queue_full here, the same shape
-// circuit_open and draining use) is retried and the call succeeds once
-// the server recovers.
-func TestRetryEventualSuccess(t *testing.T) {
-	srv, calls := flakyServer(t, 2, http.StatusTooManyRequests,
-		wireError{Code: "queue_full", Message: "job queue full", Retryable: true})
-	data, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 3, time.Millisecond)
-	if err != nil {
-		t.Fatalf("expected eventual success, got %v", err)
+	dir := t.TempDir()
+	circuitPath := filepath.Join(dir, "c.zkc")
+	if err := cmdGen([]string{"-e", "16", "-o", circuitPath}); err != nil {
+		t.Fatalf("gen: %v", err)
 	}
-	if string(data) != `{"ok":true}` {
-		t.Fatalf("unexpected body %q", data)
-	}
-	if got := calls.Load(); got != 3 {
-		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", got)
-	}
-}
-
-// TestRetryNonRetryableFailsFast: a retryable=false envelope must not be
-// retried, no matter the budget.
-func TestRetryNonRetryableFailsFast(t *testing.T) {
-	srv, calls := flakyServer(t, 100, http.StatusBadRequest,
-		wireError{Code: "bad_request", Message: "no circuit", Retryable: false})
-	_, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 5, time.Millisecond)
-	var env *wireError
+	err := cmdProve([]string{"-addr", srv.URL, "-circuit", circuitPath,
+		"-proof", filepath.Join(dir, "c.proof"), "-input", "x=3", "-retries", "5"})
+	var env *client.Error
 	if !errors.As(err, &env) || env.Code != "bad_request" {
-		t.Fatalf("want *wireError bad_request, got %v", err)
+		t.Fatalf("want *client.Error bad_request, got %v", err)
 	}
-	if got := calls.Load(); got != 1 {
-		t.Fatalf("server saw %d calls, want exactly 1", got)
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 (no retries on non-retryable)", calls)
 	}
-}
-
-// TestRetryBudgetExhausted: a server that never recovers surfaces the
-// last envelope after retries+1 total attempts.
-func TestRetryBudgetExhausted(t *testing.T) {
-	srv, calls := flakyServer(t, 100, http.StatusServiceUnavailable,
-		wireError{Code: "circuit_open", Message: "breaker cooling down", Retryable: true})
-	_, err := postWithRetry(srv.Client(), srv.URL, []byte(`{}`), 2, time.Millisecond)
-	var env *wireError
-	if !errors.As(err, &env) || env.Code != "circuit_open" {
-		t.Fatalf("want *wireError circuit_open, got %v", err)
-	}
-	if got := calls.Load(); got != 3 {
-		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
-	}
-}
-
-// TestRetryNetworkError: a dead endpoint counts as retryable.
-func TestRetryNetworkError(t *testing.T) {
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
-	url := srv.URL
-	srv.Close() // now nothing listens there
-	_, err := postWithRetry(nil, url, []byte(`{}`), 1, time.Millisecond)
-	if err == nil {
-		t.Fatal("expected a network error")
-	}
-	var env *wireError
-	if errors.As(err, &env) {
-		t.Fatalf("network failure misclassified as envelope error: %v", err)
-	}
-}
-
-// TestRetryJitterBounds: the backoff doubles per attempt, stays within
-// [d/2, d], and never goes non-positive or unbounded.
-func TestRetryJitterBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	base := 100 * time.Millisecond
-	for attempt := 0; attempt < 20; attempt++ {
-		d := retryJitter(base, attempt, rng)
-		if d <= 0 {
-			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
-		}
-		if d > time.Minute {
-			t.Fatalf("attempt %d: backoff %v above the 1m cap", attempt, d)
-		}
-		if attempt < 5 {
-			want := base << uint(attempt)
-			if d < want/2 || d > want {
-				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
-			}
-		}
-	}
-}
-
-// TestRetryJitterZeroBase: -retry-backoff 0 asks for immediate retries;
-// it must not be clamped up to the one-minute overflow cap.
-func TestRetryJitterZeroBase(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	for _, base := range []time.Duration{0, -time.Second} {
-		for attempt := 0; attempt < 5; attempt++ {
-			if d := retryJitter(base, attempt, rng); d != 0 {
-				t.Fatalf("base %v attempt %d: backoff %v, want 0", base, attempt, d)
-			}
-		}
+	if got := exitStatus(err); got != 3 {
+		t.Fatalf("exitStatus = %d, want 3", got)
 	}
 }
 

@@ -15,8 +15,11 @@
 //	POST /v1/prove        prove a circuit ("backend" picks groth16/plonk)
 //	POST /v1/prove/batch  prove several requests in one call
 //	POST /v1/verify       check a proof against a circuit's verifying key
+//	POST /v1/jobs         submit a prove/verify asynchronously → 202 + job ID
+//	GET  /v1/jobs/{id}    poll an async job (DELETE cancels it); finished
+//	                      jobs are retained for -job-ttl
 //	GET  /v1/stats        counters, cache hit rate, per-stage and
-//	                      per-backend latencies
+//	                      per-backend latencies, async job state
 //	GET  /v1/metrics      Prometheus text exposition of the telemetry
 //	                      registry (404 with -telemetry=false)
 //	GET  /v1/healthz      200 while accepting work, 503 while draining
@@ -67,6 +70,8 @@ func main() {
 	maxBody := flag.Int64("max-body", provesvc.DefaultMaxBodyBytes, "request body size limit in bytes for /v1 prove and verify")
 	breakerN := flag.Int("breaker-threshold", provesvc.DefaultBreakerThreshold, "consecutive per-circuit failures that open its breaker (0 disables)")
 	breakerCool := flag.Duration("breaker-cooldown", provesvc.DefaultBreakerCooldown, "breaker open-state cooldown before a probe is admitted")
+	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "retention of finished async jobs (/v1/jobs) before eviction")
+	jobMax := flag.Int("job-max", 1024, "cap on queued+running async jobs (beyond this, submits get 429)")
 	telemetryOn := flag.Bool("telemetry", true, "always-on telemetry (stage/kernel metrics at /v1/metrics)")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 	accessLog := flag.Bool("access-log", true, "log one line per HTTP request")
@@ -93,6 +98,8 @@ func main() {
 		provesvc.WithMaxTimeout(*maxTimeout),
 		provesvc.WithMaxBodyBytes(*maxBody),
 		provesvc.WithBreaker(*breakerN, *breakerCool),
+		provesvc.WithJobTTL(*jobTTL, 0),
+		provesvc.WithJobMaxActive(*jobMax),
 		provesvc.WithSeed(*seed),
 	}
 	if *artifactDir != "" {
@@ -138,7 +145,7 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job, backends %v)",
 		*addr, *workers, *queue, *threads, svc.Backends())
-	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/stats /v1/metrics /v1/healthz (legacy paths 308-redirect)")
+	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/jobs /v1/stats /v1/metrics /v1/healthz (legacy paths 308-redirect)")
 
 	// The debug listener is separate from the serving port so pprof is
 	// never exposed by accident: it only exists when -debug-addr is set.

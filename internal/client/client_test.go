@@ -1,0 +1,236 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type testEnv struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// flakyServer fails the first n requests with the given envelope (and
+// optional Retry-After header), then serves 200 {"ok":true}.
+func flakyServer(t *testing.T, n int, status int, env testEnv, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Content-Type", "application/json")
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(env)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func newTestClient(srv *httptest.Server, retries int, backoff time.Duration) *Client {
+	c := New(srv.URL)
+	c.HTTP = srv.Client()
+	c.Retries = retries
+	c.Backoff = backoff
+	return c
+}
+
+// TestRetryEventualSuccess: a server shedding with a retryable envelope
+// (queue_full here, the same shape circuit_open and draining use) is
+// retried and the call succeeds once the server recovers.
+func TestRetryEventualSuccess(t *testing.T) {
+	srv, calls := flakyServer(t, 2, http.StatusTooManyRequests,
+		testEnv{Code: "queue_full", Message: "job queue full", Retryable: true}, "")
+	data, err := newTestClient(srv, 3, time.Millisecond).Do(http.MethodPost, "/", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("expected eventual success, got %v", err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("unexpected body %q", data)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestRetryNonRetryableFailsFast: a retryable=false envelope must not be
+// retried, no matter the budget.
+func TestRetryNonRetryableFailsFast(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusBadRequest,
+		testEnv{Code: "bad_request", Message: "no circuit", Retryable: false}, "")
+	_, err := newTestClient(srv, 5, time.Millisecond).Do(http.MethodPost, "/", []byte(`{}`))
+	var env *Error
+	if !errors.As(err, &env) || env.Code != "bad_request" || env.Status != http.StatusBadRequest {
+		t.Fatalf("want *Error bad_request status 400, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never recovers surfaces the
+// last envelope after retries+1 total attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusServiceUnavailable,
+		testEnv{Code: "circuit_open", Message: "breaker cooling down", Retryable: true}, "")
+	_, err := newTestClient(srv, 2, time.Millisecond).Do(http.MethodPost, "/", []byte(`{}`))
+	var env *Error
+	if !errors.As(err, &env) || env.Code != "circuit_open" {
+		t.Fatalf("want *Error circuit_open, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryNetworkError: a dead endpoint counts as retryable and is not
+// misclassified as an envelope error.
+func TestRetryNetworkError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // now nothing listens there
+	c := New(url)
+	c.Retries = 1
+	c.Backoff = time.Millisecond
+	_, err := c.Do(http.MethodPost, "/", []byte(`{}`))
+	if err == nil {
+		t.Fatal("expected a network error")
+	}
+	var env *Error
+	if errors.As(err, &env) {
+		t.Fatalf("network failure misclassified as envelope error: %v", err)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a Retry-After header on a shed response is
+// a floor on the backoff sleep — with a tiny base backoff the client
+// must still wait out the server's hint before retrying.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	srv, calls := flakyServer(t, 1, http.StatusTooManyRequests,
+		testEnv{Code: "queue_full", Message: "job queue full", Retryable: true}, "1")
+	c := newTestClient(srv, 2, time.Nanosecond)
+	var sawDelay time.Duration
+	c.OnRetry = func(err error, delay time.Duration, attempt, retries int) { sawDelay = delay }
+	t0 := time.Now()
+	if _, err := c.Do(http.MethodPost, "/", []byte(`{}`)); err != nil {
+		t.Fatalf("expected success after the hinted wait, got %v", err)
+	}
+	if sawDelay < time.Second {
+		t.Fatalf("retry delay %v ignored the Retry-After: 1 hint", sawDelay)
+	}
+	if elapsed := time.Since(t0); elapsed < time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After elapsed", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestErrorCarriesRetryAfter: the parsed hint is visible on the error a
+// caller gets back (the gateway uses it to stamp its own responses).
+func TestErrorCarriesRetryAfter(t *testing.T) {
+	srv, _ := flakyServer(t, 100, http.StatusServiceUnavailable,
+		testEnv{Code: "circuit_open", Message: "cooling down", Retryable: true}, "7")
+	_, err := newTestClient(srv, 0, 0).Do(http.MethodPost, "/", []byte(`{}`))
+	var env *Error
+	if !errors.As(err, &env) || env.RetryAfter != 7*time.Second {
+		t.Fatalf("want RetryAfter=7s on the envelope error, got %v", err)
+	}
+}
+
+// TestJitterBounds: the backoff doubles per attempt, stays within
+// [d/2, d], and never goes non-positive or unbounded.
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 20; attempt++ {
+		d := jitter(base, attempt, rng)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d > time.Minute {
+			t.Fatalf("attempt %d: backoff %v above the 1m cap", attempt, d)
+		}
+		if attempt < 5 {
+			want := base << uint(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+// TestJitterZeroBase: a zero base asks for immediate retries; it must
+// not be clamped up to the one-minute overflow cap.
+func TestJitterZeroBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, base := range []time.Duration{0, -time.Second} {
+		for attempt := 0; attempt < 5; attempt++ {
+			if d := jitter(base, attempt, rng); d != 0 {
+				t.Fatalf("base %v attempt %d: backoff %v, want 0", base, attempt, d)
+			}
+		}
+	}
+}
+
+// TestParseRetryAfter covers the delta-seconds and garbage forms.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"5", 5 * time.Second},
+		{"-3", 0},
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestJSONHelpers: PostJSON/GetJSON round-trip typed payloads and
+// accept 202 as success (the async submit status).
+func TestJSONHelpers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var in map[string]string
+			json.NewDecoder(r.Body).Decode(&in)
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]string{"echo": in["msg"]})
+		case http.MethodGet:
+			json.NewEncoder(w).Encode(map[string]string{"echo": "get"})
+		case http.MethodDelete:
+			json.NewEncoder(w).Encode(map[string]string{"echo": "gone"})
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	var out struct {
+		Echo string `json:"echo"`
+	}
+	if err := c.PostJSON("/x", map[string]string{"msg": "hi"}, &out); err != nil || out.Echo != "hi" {
+		t.Fatalf("PostJSON = (%+v, %v)", out, err)
+	}
+	if err := c.GetJSON("/x", &out); err != nil || out.Echo != "get" {
+		t.Fatalf("GetJSON = (%+v, %v)", out, err)
+	}
+	if err := c.Delete("/x", &out); err != nil || out.Echo != "gone" {
+		t.Fatalf("Delete = (%+v, %v)", out, err)
+	}
+}

@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/provesvc"
+	"zkperf/internal/telemetry"
+)
+
+// testCluster is a gateway in front of n in-process zkserve nodes.
+type testCluster struct {
+	gw      *Gateway
+	gwURL   string
+	nodes   []*httptest.Server
+	svcs    []*provesvc.Service
+	gwSrv   *httptest.Server
+	cancels []func()
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	cfgs := make([]NodeConfig, n)
+	for i := 0; i < n; i++ {
+		svc := provesvc.New(provesvc.WithWorkers(2), provesvc.WithQueueDepth(8),
+			provesvc.WithSeed(uint64(100+i)))
+		svc.Start()
+		ts := httptest.NewServer(provesvc.NewHandler(svc))
+		tc.svcs = append(tc.svcs, svc)
+		tc.nodes = append(tc.nodes, ts)
+		cfgs[i] = NodeConfig{Name: fmt.Sprintf("n%d", i), URL: ts.URL}
+	}
+	gw, err := New(Config{
+		Nodes: cfgs,
+		// Long cadence: tests drive probeAll directly for determinism.
+		ProbeEvery:    time.Hour,
+		FailThreshold: 1,
+		Telemetry:     telemetry.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	tc.gw = gw
+	tc.gwSrv = httptest.NewServer(gw.Handler())
+	tc.gwURL = tc.gwSrv.URL
+	t.Cleanup(func() {
+		tc.gwSrv.Close()
+		gw.Shutdown(context.Background())
+		for i, ts := range tc.nodes {
+			ts.Close()
+			tc.svcs[i].Shutdown(context.Background())
+		}
+	})
+	return tc
+}
+
+// owner returns the index of the node that owns the circuit's shard.
+func (tc *testCluster) owner(src string) int {
+	name := tc.gw.candidates(routeKey("", "", src))[0].name
+	for i := range tc.nodes {
+		if fmt.Sprintf("n%d", i) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response from %s: %v", url, err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response from %s: %v", url, err)
+	}
+	return resp, out
+}
+
+func TestRingDeterminismAndCoverage(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r1 := newRing(names, 64)
+	r2 := newRing(names, 64)
+	counts := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		key := hashKey("circuit", fmt.Sprint(i))
+		o1, o2 := r1.order(key), r2.order(key)
+		if len(o1) != 3 {
+			t.Fatalf("order(%d) = %v, want all 3 nodes", key, o1)
+		}
+		seen := map[int]bool{}
+		for j, n := range o1 {
+			if n != o2[j] {
+				t.Fatalf("ring not deterministic: %v vs %v", o1, o2)
+			}
+			if seen[n] {
+				t.Fatalf("order(%d) repeats node %d: %v", key, n, o1)
+			}
+			seen[n] = true
+		}
+		counts[o1[0]]++
+	}
+	// 64 virtual points per node keeps a 3-node split roughly even; a
+	// node owning under 15% of keys means the ring is badly skewed.
+	for n, c := range counts {
+		if c < 150 {
+			t.Errorf("node %d owns %d/1000 keys — ring badly unbalanced (%v)", n, c, counts)
+		}
+	}
+}
+
+// TestRoutingAffinity is the cache-affinity acceptance check: repeated
+// proves of the same circuits through the gateway never duplicate a
+// trusted setup onto a second node — each circuit's setup count across
+// the cluster stays at one.
+func TestRoutingAffinity(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	srcs := []string{circuit.ExponentiateSource(16), circuit.ExponentiateSource(32)}
+	for round := 0; round < 3; round++ {
+		for _, src := range srcs {
+			resp, out := postJSON(t, tc.gwURL+"/v1/prove", map[string]any{
+				"circuit": src, "inputs": map[string]string{"x": "3"},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("prove via gateway = %d (body %v)", resp.StatusCode, out)
+			}
+		}
+	}
+	// Across all rounds the cluster performed at most one setup per
+	// distinct circuit (exactly one if both shards map to one node).
+	totalSetups := uint64(0)
+	for _, svc := range tc.svcs {
+		totalSetups += svc.Stats().Cache.Setups
+	}
+	if want := uint64(len(srcs)); totalSetups != want {
+		t.Errorf("cluster performed %d setups for %d circuits — routing is not shard-stable", totalSetups, want)
+	}
+
+	// The cluster stats rollup agrees.
+	_, st := getJSON(t, tc.gwURL+"/v1/stats")
+	agg, _ := st["aggregate"].(map[string]any)
+	if agg["completed"].(float64) != 6 {
+		t.Errorf("aggregate.completed = %v, want 6", agg["completed"])
+	}
+	if agg["setups"].(float64) != float64(len(srcs)) {
+		t.Errorf("aggregate.setups = %v, want %d", agg["setups"], len(srcs))
+	}
+	gwStats, _ := st["gateway"].(map[string]any)
+	if gwStats["proxied"].(float64) < 6 {
+		t.Errorf("gateway.proxied = %v, want >= 6", gwStats["proxied"])
+	}
+}
+
+// TestFailoverOnNodeDeath kills a circuit's shard owner mid-cluster and
+// checks the next prove fails over to the surviving node — and that the
+// job ran exactly once (no double-run).
+func TestFailoverOnNodeDeath(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	src := circuit.ExponentiateSource(16)
+	body := map[string]any{"circuit": src, "inputs": map[string]string{"x": "3"}}
+
+	owner := tc.owner(src)
+	if resp, out := postJSON(t, tc.gwURL+"/v1/prove", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up prove = %d (body %v)", resp.StatusCode, out)
+	}
+	if got := tc.svcs[owner].Stats().Service.Completed; got != 1 {
+		t.Fatalf("owner node completed %d proves, want 1 — owner detection is off", got)
+	}
+
+	tc.nodes[owner].Close() // node dies
+	resp, out := postJSON(t, tc.gwURL+"/v1/prove", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prove after owner death = %d, want 200 via failover (body %v)", resp.StatusCode, out)
+	}
+	if out["proof"] == nil {
+		t.Fatalf("failover prove returned no proof: %v", out)
+	}
+	survivor := 1 - owner
+	if got := tc.svcs[survivor].Stats().Service.Completed; got != 1 {
+		t.Errorf("survivor completed %d proves, want exactly 1 (no double-run)", got)
+	}
+	if got := tc.gw.failovers.Load(); got == 0 {
+		t.Error("gateway failover counter = 0, want > 0 after a node death")
+	}
+
+	// The transport failure opened the dead node (threshold 1).
+	if tc.gw.nodes[owner].isHealthy() {
+		t.Error("dead node still marked healthy after a transport failure at threshold 1")
+	}
+	// healthz stays 200 while one node survives.
+	if resp, _ := getJSON(t, tc.gwURL+"/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d with one healthy node, want 200", resp.StatusCode)
+	}
+
+	// Probe recovery: the node comes back (new server on the handler),
+	// and a probe pass closes it again.
+	tc.nodes[owner] = httptest.NewServer(provesvc.NewHandler(tc.svcs[owner]))
+	tc.gw.byName[fmt.Sprintf("n%d", owner)].cl.BaseURL = tc.nodes[owner].URL
+	tc.gw.byName[fmt.Sprintf("n%d", owner)].probe.BaseURL = tc.nodes[owner].URL
+	tc.gw.probeAll()
+	if !tc.gw.nodes[owner].isHealthy() {
+		t.Error("revived node still unhealthy after a successful probe")
+	}
+}
+
+// TestExecutedErrorsDoNotFailOver pins the no-double-run rule from the
+// other side: a node that *executed* the request and failed it (here a
+// 400 unknown_curve) is authoritative — the gateway must not replay the
+// work on another node.
+func TestExecutedErrorsDoNotFailOver(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	resp, out := postJSON(t, tc.gwURL+"/v1/prove", map[string]any{
+		"circuit": circuit.ExponentiateSource(16),
+		"curve":   "secp256k1",
+		"inputs":  map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown curve via gateway = %d, want 400 passthrough (body %v)", resp.StatusCode, out)
+	}
+	if out["code"] != "unknown_curve" {
+		t.Errorf("envelope code = %v, want unknown_curve", out["code"])
+	}
+	if got := tc.gw.failovers.Load(); got != 0 {
+		t.Errorf("gateway failed over %d times on an executed 400 — must not replay", got)
+	}
+}
+
+// TestJobsThroughGateway drives the async path end to end: submit via
+// the gateway (ID gains the @node suffix), poll and cancel route by
+// that suffix with no gateway state.
+func TestJobsThroughGateway(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	src := circuit.ExponentiateSource(16)
+	resp, out := postJSON(t, tc.gwURL+"/v1/jobs", map[string]any{
+		"circuit": src, "inputs": map[string]string{"x": "3"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit via gateway = %d (body %v)", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+	wantSuffix := fmt.Sprintf("@n%d", tc.owner(src))
+	if !strings.HasSuffix(id, wantSuffix) {
+		t.Fatalf("gateway job id = %q, want suffix %q (shard owner)", id, wantSuffix)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var final map[string]any
+	for {
+		resp, final = getJSON(t, tc.gwURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job poll via gateway = %d (body %v)", resp.StatusCode, final)
+		}
+		if final["state"] == "done" || final["state"] == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %v", id, final)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final["state"] != "done" {
+		t.Fatalf("job state = %v (body %v)", final["state"], final)
+	}
+	if final["id"] != id {
+		t.Errorf("poll reply id = %v, want the gateway form %q", final["id"], id)
+	}
+	result, _ := final["result"].(map[string]any)
+	if result["proof"] == nil {
+		t.Errorf("done job carries no proof: %v", final)
+	}
+
+	// Unknown node in the ID → 404 envelope, no proxying.
+	resp, out = getJSON(t, tc.gwURL+"/v1/jobs/deadbeef@nope")
+	if resp.StatusCode != http.StatusNotFound || out["code"] != "job_not_found" {
+		t.Errorf("unknown-node job = %d %v, want 404 job_not_found", resp.StatusCode, out)
+	}
+	// Malformed (no @) → 404 as well.
+	if resp, _ := getJSON(t, tc.gwURL+"/v1/jobs/deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("suffixless job id = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBatchScatterGather proves a batch whose circuits shard to
+// different owners and checks the gathered results stay in request
+// order with every proof present.
+func TestBatchScatterGather(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	reqs := []map[string]any{
+		{"circuit": circuit.ExponentiateSource(16), "inputs": map[string]string{"x": "2"}},
+		{"circuit": circuit.ExponentiateSource(32), "inputs": map[string]string{"x": "3"}},
+		{"circuit": circuit.ExponentiateSource(16), "inputs": map[string]string{"x": "5"}},
+	}
+	resp, out := postJSON(t, tc.gwURL+"/v1/prove/batch", map[string]any{"requests": reqs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch via gateway = %d (body %v)", resp.StatusCode, out)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(results), len(reqs))
+	}
+	// 2^16=65536, 3^32, 5^16 — distinct publics prove order survived the
+	// scatter/gather reassembly.
+	wantY := []string{"65536", "1853020188851841", "152587890625"}
+	for i, r := range results {
+		item, _ := r.(map[string]any)
+		if item["error"] != nil {
+			t.Fatalf("batch item %d failed: %v", i, item["error"])
+		}
+		pub, _ := item["public"].([]any)
+		if len(pub) != 1 || pub[0] != wantY[i] {
+			t.Errorf("batch item %d public = %v, want [%s]", i, pub, wantY[i])
+		}
+	}
+}
+
+// TestGatewayMetricsAndHealth covers the observability surface: zkgw_*
+// series appear in /v1/metrics and healthz flips to 503 only when every
+// node is gone.
+func TestGatewayMetricsAndHealth(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	resp, err := http.Get(tc.gwURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, series := range []string{"zkgw_nodes", "zkgw_node_healthy", "zkgw_proxied_total", "zkgw_failovers_total"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/v1/metrics missing %s series", series)
+		}
+	}
+
+	for _, ts := range tc.nodes {
+		ts.Close()
+	}
+	tc.gw.probeAll()
+	if n := tc.gw.healthyCount(); n != 0 {
+		t.Fatalf("healthyCount = %d after all nodes died and a probe pass, want 0", n)
+	}
+	if resp, out := getJSON(t, tc.gwURL+"/v1/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz with no nodes = %d %v, want 503", resp.StatusCode, out)
+	}
+	// With every node down, a prove sheds with no_healthy_node.
+	resp2, out := postJSON(t, tc.gwURL+"/v1/prove", map[string]any{
+		"circuit": circuit.ExponentiateSource(16), "inputs": map[string]string{"x": "3"},
+	})
+	if resp2.StatusCode != http.StatusServiceUnavailable || out["code"] != "no_healthy_node" {
+		t.Errorf("prove with dead cluster = %d %v, want 503 no_healthy_node", resp2.StatusCode, out)
+	}
+	if out["retryable"] != true {
+		t.Errorf("no_healthy_node should be retryable: %v", out)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := New(Config{Nodes: []NodeConfig{{Name: "a@b", URL: "http://x"}}}); err == nil {
+		t.Error("node name with '@' accepted — would corrupt job IDs")
+	}
+	if _, err := New(Config{Nodes: []NodeConfig{
+		{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate node names accepted")
+	}
+}
+
+func TestSplitJobID(t *testing.T) {
+	cases := []struct {
+		in           string
+		remote, node string
+		ok           bool
+	}{
+		{"j-abc123@n0", "j-abc123", "n0", true},
+		{"weird@id@n1", "weird@id", "n1", true}, // last '@' wins
+		{"noseparator", "", "", false},
+		{"@n0", "", "", false},
+		{"j-abc@", "", "", false},
+	}
+	for _, c := range cases {
+		remote, node, ok := splitJobID(c.in)
+		if ok != c.ok || (ok && (remote != c.remote || node != c.node)) {
+			t.Errorf("splitJobID(%q) = %q,%q,%v want %q,%q,%v", c.in, remote, node, ok, c.remote, c.node, c.ok)
+		}
+	}
+}

@@ -1,0 +1,527 @@
+// Package cluster is the multi-node proving tier: a gateway that
+// shards work across N zkserve nodes by consistent-hashing the circuit
+// key, so each node's registry and artifact cache stays hot for its
+// shard — the same setup-amortization argument provesvc makes within a
+// process, applied across the cluster. Per-node health follows the
+// breaker pattern from the per-circuit breaker: consecutive transport
+// failures open a node, a background prober's /v1/healthz success
+// closes it, and routing fails over along the ring in the meantime.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkperf/internal/client"
+	"zkperf/internal/telemetry"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultProbeEvery    = 2 * time.Second
+	DefaultFailThreshold = 3
+	DefaultCooldown      = 10 * time.Second
+)
+
+// NodeConfig names one zkserve backend.
+type NodeConfig struct {
+	// Name identifies the node in job IDs, stats and metrics. Must be
+	// unique and must not contain '@' (the job-ID separator).
+	Name string
+	// URL is the node's base URL, e.g. "http://10.0.0.1:8090".
+	URL string
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	Nodes []NodeConfig
+	// Replicas is the virtual points per node on the hash ring
+	// (default 64).
+	Replicas int
+	// ProbeEvery is the health-probe cadence (default 2s).
+	ProbeEvery time.Duration
+	// FailThreshold consecutive transport failures mark a node unhealthy
+	// (default 3; 1 marks on the first failure).
+	FailThreshold int
+	// Cooldown is how long an unhealthy node is skipped before the
+	// prober's verdict alone decides again (default 10s). Routing never
+	// waits on it — a probe success reopens the node immediately.
+	Cooldown time.Duration
+	// Telemetry receives the gateway's metrics (nil disables).
+	Telemetry *telemetry.Telemetry
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = DefaultProbeEvery
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	return c
+}
+
+// node is one backend plus its health state. Health transitions follow
+// the provesvc breaker discipline: consecutive transport failures open
+// it, one probe success closes it.
+type node struct {
+	name string
+	url  string
+	// cl is the proxy transport: no retries (the ring walk is the retry)
+	// and no client timeout (proves are bounded by the job deadline).
+	cl *client.Client
+	// probe is a short-deadline client for /v1/healthz.
+	probe *client.Client
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	openedAt    time.Time
+	lastErr     string
+
+	routed    atomic.Uint64 // requests this node served (or errored executing)
+	failovers atomic.Uint64 // transport/shed failures that moved work off it
+}
+
+func (n *node) markFailure(threshold int, err error) {
+	n.mu.Lock()
+	n.consecFails++
+	n.lastErr = err.Error()
+	if n.consecFails >= threshold && n.healthy {
+		n.healthy = false
+		n.openedAt = time.Now()
+	}
+	n.mu.Unlock()
+}
+
+func (n *node) markSuccess() {
+	n.mu.Lock()
+	n.consecFails = 0
+	n.lastErr = ""
+	n.healthy = true
+	n.mu.Unlock()
+}
+
+func (n *node) isHealthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healthy
+}
+
+// Gateway routes /v1 traffic across the configured nodes.
+type Gateway struct {
+	cfg    Config
+	nodes  []*node
+	byName map[string]*node
+	ring   *ring
+	tel    *telemetry.Telemetry
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	proxied       atomic.Uint64 // requests forwarded (any outcome)
+	failovers     atomic.Uint64 // ring-walk hops past a failed node
+	noHealthy     atomic.Uint64 // requests failed with no_healthy_node
+	jobsRouted    atomic.Uint64 // async submits accepted
+	statsScrapes  atomic.Uint64
+	probeFailures atomic.Uint64
+}
+
+// New builds a gateway; call Start to launch the health prober.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		byName: make(map[string]*node, len(cfg.Nodes)),
+		tel:    cfg.Telemetry,
+		stop:   make(chan struct{}),
+	}
+	names := make([]string, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		if nc.Name == "" || nc.URL == "" {
+			return nil, fmt.Errorf("cluster: node %d needs both a name and a URL", i)
+		}
+		if containsAt(nc.Name) {
+			return nil, fmt.Errorf("cluster: node name %q must not contain '@'", nc.Name)
+		}
+		if g.byName[nc.Name] != nil {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", nc.Name)
+		}
+		n := &node{
+			name:    nc.Name,
+			url:     nc.URL,
+			cl:      client.New(nc.URL),
+			probe:   client.New(nc.URL),
+			healthy: true, // optimistic until traffic or the prober says otherwise
+		}
+		n.probe.HTTP = &http.Client{Timeout: 2 * time.Second}
+		g.nodes = append(g.nodes, n)
+		g.byName[nc.Name] = n
+		names[i] = nc.Name
+	}
+	g.ring = newRing(names, cfg.Replicas)
+	g.registerMetrics()
+	return g, nil
+}
+
+func containsAt(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '@' {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Gateway) registerMetrics() {
+	reg := g.tel.Registry()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("zkgw_nodes", "Cluster nodes by health.",
+		func() float64 { return float64(g.healthyCount()) },
+		telemetry.Label{Name: "state", Value: "healthy"})
+	reg.GaugeFunc("zkgw_nodes", "Cluster nodes by health.",
+		func() float64 { return float64(len(g.nodes) - g.healthyCount()) },
+		telemetry.Label{Name: "state", Value: "unhealthy"})
+	reg.GaugeFunc("zkgw_proxied_total", "Requests forwarded to nodes.",
+		func() float64 { return float64(g.proxied.Load()) })
+	reg.GaugeFunc("zkgw_failovers_total", "Ring-walk hops past failed nodes.",
+		func() float64 { return float64(g.failovers.Load()) })
+	reg.GaugeFunc("zkgw_no_healthy_node_total", "Requests shed with no_healthy_node.",
+		func() float64 { return float64(g.noHealthy.Load()) })
+	reg.GaugeFunc("zkgw_jobs_routed_total", "Async job submissions accepted.",
+		func() float64 { return float64(g.jobsRouted.Load()) })
+	reg.GaugeFunc("zkgw_probe_failures_total", "Health probes that failed.",
+		func() float64 { return float64(g.probeFailures.Load()) })
+	for _, n := range g.nodes {
+		n := n
+		label := telemetry.Label{Name: "node", Value: n.name}
+		reg.GaugeFunc("zkgw_node_healthy", "1 while the node passes health checks.",
+			func() float64 {
+				if n.isHealthy() {
+					return 1
+				}
+				return 0
+			}, label)
+		reg.GaugeFunc("zkgw_node_routed_total", "Requests this node served.",
+			func() float64 { return float64(n.routed.Load()) }, label)
+		reg.GaugeFunc("zkgw_node_failovers_total", "Failures that moved work off this node.",
+			func() float64 { return float64(n.failovers.Load()) }, label)
+	}
+}
+
+func (g *Gateway) healthyCount() int {
+	c := 0
+	for _, n := range g.nodes {
+		if n.isHealthy() {
+			c++
+		}
+	}
+	return c
+}
+
+// Start launches the background health prober.
+func (g *Gateway) Start() {
+	g.wg.Add(1)
+	go g.prober()
+}
+
+// Shutdown stops the prober. In-flight proxied requests are owned by
+// the HTTP server's own drain.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// prober polls every node's /v1/healthz on the configured cadence. A
+// success closes an open node immediately; a failure counts toward the
+// threshold exactly like a proxy-path transport failure.
+func (g *Gateway) prober() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, n := range g.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var status struct {
+				Status string `json:"status"`
+			}
+			err := n.probe.GetJSON("/v1/healthz", &status)
+			if err == nil {
+				n.markSuccess()
+				return
+			}
+			g.probeFailures.Add(1)
+			// A draining node answers 503 with a JSON body — that is a
+			// deliberate "stop sending me work", not a transport flake, so
+			// it opens the node immediately.
+			if we, ok := err.(*client.Error); ok && we.Status == http.StatusServiceUnavailable {
+				n.markFailure(1, err)
+				return
+			}
+			n.markFailure(g.cfg.FailThreshold, err)
+		}()
+	}
+	wg.Wait()
+}
+
+// candidates returns the ring-walk node order for key, healthy nodes
+// first (in ring order), then unhealthy ones (a desperation pass — a
+// node can recover before the prober notices).
+func (g *Gateway) candidates(key uint64) []*node {
+	order := g.ring.order(key)
+	healthy := make([]*node, 0, len(order))
+	var down []*node
+	for _, i := range order {
+		n := g.nodes[i]
+		if n.isHealthy() {
+			healthy = append(healthy, n)
+		} else {
+			down = append(down, n)
+		}
+	}
+	return append(healthy, down...)
+}
+
+// routeKey computes the shard key for a request: the circuit source
+// plus curve and backend with the node-side defaults applied, so the
+// gateway's shard map matches the per-node registry's cache key.
+func routeKey(curve, backend, circuit string) uint64 {
+	if curve == "" {
+		curve = "bn128"
+	}
+	if backend == "" {
+		backend = "groth16"
+	}
+	return hashKey(curve, backend, circuit)
+}
+
+// shedCodes are envelope codes a node returns *before* executing a
+// request — queue admission and breaker sheds. Failing over on them is
+// safe (nothing ran) and is exactly what a saturated shard wants.
+// Executed failures (deadline_exceeded, internal_error, bad_request…)
+// must NOT fail over: the work already ran once, and a deterministic
+// failure would just run again.
+var shedCodes = map[string]bool{
+	"queue_full":    true,
+	"too_many_jobs": true,
+	"draining":      true,
+	"dropped":       true,
+	"circuit_open":  true,
+}
+
+// forward walks the candidate nodes for key, POSTing payload to path
+// on each until one executes it. Returns the executing node and its
+// raw response. Transport errors and pre-execution sheds advance the
+// walk; an executed error (envelope from a node that ran the request)
+// is returned as-is with its node.
+func (g *Gateway) forward(key uint64, path string, payload []byte) (*node, []byte, error) {
+	g.proxied.Add(1)
+	cands := g.candidates(key)
+	var lastErr error
+	for i, n := range cands {
+		data, err := n.cl.Do(http.MethodPost, path, payload)
+		if err == nil {
+			n.markSuccess()
+			n.routed.Add(1)
+			return n, data, nil
+		}
+		if we, ok := err.(*client.Error); ok {
+			if !shedCodes[we.Code] {
+				// The node executed (or authoritatively judged) the request:
+				// its verdict stands, no failover.
+				n.markSuccess()
+				n.routed.Add(1)
+				return n, nil, err
+			}
+			// Pre-execution shed: the node is up but won't take this work
+			// now. Try the next ring node without dinging its health.
+		} else {
+			// Transport failure: the node may be down.
+			n.markFailure(g.cfg.FailThreshold, err)
+		}
+		lastErr = err
+		n.failovers.Add(1)
+		if i < len(cands)-1 {
+			g.failovers.Add(1)
+		}
+	}
+	g.noHealthy.Add(1)
+	return nil, nil, &client.Error{
+		Code:      "no_healthy_node",
+		Message:   fmt.Sprintf("cluster: all %d nodes failed; last: %v", len(cands), lastErr),
+		Retryable: true,
+		Status:    http.StatusServiceUnavailable,
+	}
+}
+
+// splitJobID splits a gateway job ID "<remote>@<node>" into its parts.
+func splitJobID(id string) (remote, nodeName string, ok bool) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '@' {
+			return id[:i], id[i+1:], i > 0 && i < len(id)-1
+		}
+	}
+	return "", "", false
+}
+
+// NodeStats is one node's slice of the cluster stats rollup.
+type NodeStats struct {
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	ConsecFails int    `json:"consec_fails"`
+	LastError   string `json:"last_error,omitempty"`
+	Routed      uint64 `json:"routed"`
+	Failovers   uint64 `json:"failovers"`
+	// Stats is the node's own /v1/stats snapshot; null when the scrape
+	// failed. Kept as raw JSON so the gateway never narrows a node's
+	// schema.
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// GatewayStats is the gateway's own counters.
+type GatewayStats struct {
+	Proxied       uint64 `json:"proxied"`
+	Failovers     uint64 `json:"failovers"`
+	NoHealthyNode uint64 `json:"no_healthy_node"`
+	JobsRouted    uint64 `json:"jobs_routed"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	HealthyNodes  int    `json:"healthy_nodes"`
+	TotalNodes    int    `json:"total_nodes"`
+}
+
+// AggregateStats sums the headline counters across reachable nodes.
+type AggregateStats struct {
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+	Verified  uint64 `json:"verified"`
+	Setups    uint64 `json:"setups"`
+	CacheHits uint64 `json:"cache_hits"`
+	JobsDone  uint64 `json:"jobs_done"`
+}
+
+// ClusterStats is the GET /v1/stats response of the gateway.
+type ClusterStats struct {
+	Gateway   GatewayStats   `json:"gateway"`
+	Aggregate AggregateStats `json:"aggregate"`
+	Nodes     []NodeStats    `json:"nodes"`
+}
+
+// nodeSnapshot is the subset of a node's /v1/stats the rollup sums.
+// Field names compile against the documented schema keys.
+type nodeSnapshot struct {
+	Service struct {
+		Accepted  uint64 `json:"accepted"`
+		Completed uint64 `json:"completed"`
+		Failed    uint64 `json:"failed"`
+		Rejected  uint64 `json:"rejected"`
+		Verified  uint64 `json:"verified"`
+	} `json:"service"`
+	Cache struct {
+		Hits   uint64 `json:"hits"`
+		Setups uint64 `json:"setups"`
+	} `json:"cache"`
+	Jobs struct {
+		Completed uint64 `json:"completed"`
+	} `json:"jobs"`
+}
+
+// Stats scrapes every node concurrently and rolls the cluster view up.
+func (g *Gateway) Stats() ClusterStats {
+	g.statsScrapes.Add(1)
+	out := ClusterStats{
+		Gateway: GatewayStats{
+			Proxied:       g.proxied.Load(),
+			Failovers:     g.failovers.Load(),
+			NoHealthyNode: g.noHealthy.Load(),
+			JobsRouted:    g.jobsRouted.Load(),
+			ProbeFailures: g.probeFailures.Load(),
+			HealthyNodes:  g.healthyCount(),
+			TotalNodes:    len(g.nodes),
+		},
+		Nodes: make([]NodeStats, len(g.nodes)),
+	}
+	var wg sync.WaitGroup
+	for i, n := range g.nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.mu.Lock()
+			out.Nodes[i] = NodeStats{
+				Name:        n.name,
+				URL:         n.url,
+				Healthy:     n.healthy,
+				ConsecFails: n.consecFails,
+				LastError:   n.lastErr,
+			}
+			n.mu.Unlock()
+			out.Nodes[i].Routed = n.routed.Load()
+			out.Nodes[i].Failovers = n.failovers.Load()
+			raw, err := n.probe.Do(http.MethodGet, "/v1/stats", nil)
+			if err != nil {
+				return
+			}
+			out.Nodes[i].Stats = json.RawMessage(raw)
+		}()
+	}
+	wg.Wait()
+	for _, ns := range out.Nodes {
+		if ns.Stats == nil {
+			continue
+		}
+		var snap nodeSnapshot
+		if err := json.Unmarshal(ns.Stats, &snap); err != nil {
+			continue
+		}
+		out.Aggregate.Accepted += snap.Service.Accepted
+		out.Aggregate.Completed += snap.Service.Completed
+		out.Aggregate.Failed += snap.Service.Failed
+		out.Aggregate.Rejected += snap.Service.Rejected
+		out.Aggregate.Verified += snap.Service.Verified
+		out.Aggregate.Setups += snap.Cache.Setups
+		out.Aggregate.CacheHits += snap.Cache.Hits
+		out.Aggregate.JobsDone += snap.Jobs.Completed
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"zkperf/internal/client"
+	"zkperf/internal/telemetry"
+)
+
+// The gateway speaks the same /v1 wire API as a single zkserve node, so
+// zkcli (and any other client) points at it unchanged:
+//
+//	POST   /v1/prove        routed by circuit shard, ring failover
+//	POST   /v1/prove/batch  scatter-gathered across shard owners
+//	POST   /v1/verify       routed by circuit shard
+//	POST   /v1/jobs         routed; returned job IDs become "<id>@<node>"
+//	GET    /v1/jobs/{id}    "<id>@<node>" → proxied to that node
+//	DELETE /v1/jobs/{id}    likewise (cancel)
+//	GET    /v1/stats        cluster rollup (gateway + per-node + aggregate)
+//	GET    /v1/metrics      gateway registry (zkgw_* series)
+//	GET    /v1/healthz      200 while ≥1 node is healthy
+//
+// Error envelopes from nodes pass through verbatim with their original
+// status; gateway-originated failures use the same {code, message,
+// retryable} shape with codes node_unreachable (502, one node down) and
+// no_healthy_node (503, ring exhausted), both retryable.
+
+// maxGatewayBody bounds request bodies the gateway will buffer before
+// forwarding; matches the node-side default so the gateway never
+// accepts what every node would refuse.
+const maxGatewayBody = 4 << 20
+
+// gwEnvelope mirrors the node error envelope on gateway-originated
+// failures.
+type gwEnvelope struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+func gwWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// gwWriteError relays an error to the client. A *client.Error carries
+// the upstream node's envelope (or a gateway-synthesized one) with its
+// status and Retry-After; anything else is a 400 bad_request.
+func gwWriteError(w http.ResponseWriter, err error) {
+	if we, ok := err.(*client.Error); ok {
+		status := we.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		if we.RetryAfter > 0 {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((we.RetryAfter+time.Second-1)/time.Second)))
+		}
+		gwWriteJSON(w, status, gwEnvelope{Code: we.Code, Message: we.Message, Retryable: we.Retryable})
+		return
+	}
+	gwWriteJSON(w, http.StatusBadRequest, gwEnvelope{Code: "bad_request", Message: err.Error()})
+}
+
+// routeFields is the subset of a prove/verify/job body the gateway
+// needs for sharding; unknown fields are preserved by forwarding the
+// raw bytes, not this struct.
+type routeFields struct {
+	Curve   string `json:"curve"`
+	Backend string `json:"backend"`
+	Circuit string `json:"circuit"`
+}
+
+// Handler serves the gateway API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prove", g.handleRouted("/v1/prove"))
+	mux.HandleFunc("POST /v1/verify", g.handleRouted("/v1/verify"))
+	mux.HandleFunc("POST /v1/prove/batch", g.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", g.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobByID(http.MethodGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobByID(http.MethodDelete))
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	return gwRequestID(mux)
+}
+
+// gwRequestID stamps X-Request-Id exactly like a node does, so one ID
+// follows a request through the gateway log and the node's access log.
+func gwRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithRequestID(r.Context(), id)))
+	})
+}
+
+// readBody buffers the (bounded) request body and extracts the shard
+// key fields from it.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, routeFields, error) {
+	var rf routeFields
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGatewayBody))
+	if err != nil {
+		return nil, rf, fmt.Errorf("cluster: reading request body: %w", err)
+	}
+	if err := json.Unmarshal(buf, &rf); err != nil {
+		return nil, rf, fmt.Errorf("cluster: bad request body: %w", err)
+	}
+	return buf, rf, nil
+}
+
+// handleRouted forwards a single-circuit request (prove or verify) to
+// its shard owner, failing over along the ring.
+func (g *Gateway) handleRouted(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		payload, rf, err := readBody(w, r)
+		if err != nil {
+			gwWriteError(w, err)
+			return
+		}
+		_, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), path, payload)
+		if err != nil {
+			gwWriteError(w, err)
+			return
+		}
+		writeRaw(w, http.StatusOK, data)
+	}
+}
+
+func writeRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// handleJobSubmit routes an async submit like a prove, then rewrites
+// the returned job ID to "<id>@<node>" so the gateway can route the
+// poll and cancel statelessly — the ID itself names the owner.
+func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	payload, rf, err := readBody(w, r)
+	if err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	n, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), "/v1/jobs", payload)
+	if err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	rewritten, err := rewriteJobID(data, n.name)
+	if err != nil {
+		gwWriteError(w, &client.Error{
+			Code:      "internal_error",
+			Message:   fmt.Sprintf("cluster: undecodable job reply from %s: %v", n.name, err),
+			Status:    http.StatusBadGateway,
+			Retryable: true,
+		})
+		return
+	}
+	g.jobsRouted.Add(1)
+	writeRaw(w, http.StatusAccepted, rewritten)
+}
+
+// rewriteJobID suffixes the node name onto the "id" field of a job
+// reply, preserving every other field verbatim.
+func rewriteJobID(data []byte, nodeName string) ([]byte, error) {
+	var rep map[string]json.RawMessage
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	var id string
+	if err := json.Unmarshal(rep["id"], &id); err != nil {
+		return nil, fmt.Errorf("missing job id: %w", err)
+	}
+	idRaw, err := json.Marshal(id + "@" + nodeName)
+	if err != nil {
+		return nil, err
+	}
+	rep["id"] = idRaw
+	return json.Marshal(rep)
+}
+
+// handleJobByID proxies a job poll or cancel to the node named in the
+// "<id>@<node>" gateway job ID.
+func (g *Gateway) handleJobByID(method string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		gwID := r.PathValue("id")
+		remote, nodeName, ok := splitJobID(gwID)
+		if !ok {
+			gwWriteError(w, &client.Error{
+				Code:    "job_not_found",
+				Message: fmt.Sprintf("cluster: job id %q is not of the form <id>@<node>", gwID),
+				Status:  http.StatusNotFound,
+			})
+			return
+		}
+		n := g.byName[nodeName]
+		if n == nil {
+			gwWriteError(w, &client.Error{
+				Code:    "job_not_found",
+				Message: fmt.Sprintf("cluster: job %q names unknown node %q", gwID, nodeName),
+				Status:  http.StatusNotFound,
+			})
+			return
+		}
+		data, err := n.cl.Do(method, "/v1/jobs/"+remote, nil)
+		if err != nil {
+			if we, ok := err.(*client.Error); ok {
+				// Node answered: its verdict (404 after TTL, envelope on a
+				// failed cancel…) passes through.
+				gwWriteError(w, we)
+				return
+			}
+			n.markFailure(g.cfg.FailThreshold, err)
+			gwWriteError(w, &client.Error{
+				Code:      "node_unreachable",
+				Message:   fmt.Sprintf("cluster: node %s: %v", nodeName, err),
+				Status:    http.StatusBadGateway,
+				Retryable: true,
+			})
+			return
+		}
+		n.markSuccess()
+		rewritten, rwErr := rewriteJobID(data, nodeName)
+		if rwErr != nil {
+			rewritten = data // degrade to the raw reply rather than failing the poll
+		}
+		writeRaw(w, http.StatusOK, rewritten)
+	}
+}
+
+// handleBatch splits a batch across shard owners, proves each group's
+// sub-batch concurrently on its node (with ring failover), and stitches
+// the results back in request order. A group whose ring walk is
+// exhausted yields per-item error envelopes instead of failing the
+// whole batch.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxGatewayBody)
+	var body struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		gwWriteError(w, fmt.Errorf("cluster: bad request body: %w", err))
+		return
+	}
+	type group struct {
+		key     uint64
+		indices []int
+		items   []json.RawMessage
+	}
+	// Group items by shard owner so each node sees one sub-batch and its
+	// own batch executor schedules within it.
+	groups := map[string]*group{}
+	for i, raw := range body.Requests {
+		var rf routeFields
+		if err := json.Unmarshal(raw, &rf); err != nil {
+			gwWriteError(w, fmt.Errorf("cluster: bad request %d in batch: %w", i, err))
+			return
+		}
+		key := routeKey(rf.Curve, rf.Backend, rf.Circuit)
+		owner := "-"
+		if cands := g.candidates(key); len(cands) > 0 {
+			owner = cands[0].name
+		}
+		gr := groups[owner]
+		if gr == nil {
+			gr = &group{key: key}
+			groups[owner] = gr
+		}
+		gr.indices = append(gr.indices, i)
+		gr.items = append(gr.items, raw)
+	}
+
+	results := make([]json.RawMessage, len(body.Requests))
+	var wg sync.WaitGroup
+	for _, gr := range groups {
+		gr := gr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, _ := json.Marshal(map[string]any{"requests": gr.items})
+			_, data, err := g.forward(gr.key, "/v1/prove/batch", sub)
+			if err != nil {
+				env := gwEnvelope{Code: "no_healthy_node", Message: err.Error(), Retryable: true}
+				if we, ok := err.(*client.Error); ok {
+					env = gwEnvelope{Code: we.Code, Message: we.Message, Retryable: we.Retryable}
+				}
+				item, _ := json.Marshal(map[string]any{"error": env})
+				for _, idx := range gr.indices {
+					results[idx] = item
+				}
+				return
+			}
+			var rep struct {
+				Results []json.RawMessage `json:"results"`
+			}
+			if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) != len(gr.indices) {
+				item, _ := json.Marshal(map[string]any{"error": gwEnvelope{
+					Code:      "internal_error",
+					Message:   "cluster: sub-batch reply did not match request count",
+					Retryable: true,
+				}})
+				for _, idx := range gr.indices {
+					results[idx] = item
+				}
+				return
+			}
+			for k, idx := range gr.indices {
+				results[idx] = rep.Results[k]
+			}
+		}()
+	}
+	wg.Wait()
+	gwWriteJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	gwWriteJSON(w, http.StatusOK, g.Stats())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := g.tel.Registry()
+	if reg == nil {
+		gwWriteJSON(w, http.StatusNotFound, gwEnvelope{
+			Code:    "not_found",
+			Message: "telemetry disabled",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WriteText(w)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.healthyCount() == 0 {
+		gwWriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no_healthy_node"})
+		return
+	}
+	gwWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

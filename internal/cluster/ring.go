@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is how many virtual points each node gets on the
+// ring. 64 keeps the shard imbalance of a small cluster within a few
+// percent while the ring stays tiny (N×64 points).
+const defaultReplicas = 64
+
+// ring is a consistent-hash ring over node indices. Circuit keys walk
+// the ring clockwise from their hash; the first node is the shard
+// owner, the rest are the failover order. Adding or removing one node
+// only remaps the keys that hashed onto its points — every other
+// circuit keeps its warm registry/artifact cache.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// newRing builds the ring for n nodes identified by name. Names (not
+// indices) feed the point hashes, so the same cluster config yields
+// the same shard map regardless of node order.
+func newRing(names []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{nodes: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*replicas)
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(name, strconv.Itoa(v)),
+				node: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// order returns all node indices in ring-walk order from key: the
+// shard owner first, then each distinct node as the walk encounters
+// it — the failover sequence.
+func (r *ring) order(key uint64) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]int, 0, r.nodes)
+	seen := make([]bool, r.nodes)
+	for i := 0; i < len(r.points) && len(out) < r.nodes; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// hashKey hashes the concatenated parts (NUL-separated, so "ab"+"c"
+// and "a"+"bc" differ) to a ring position.
+func hashKey(parts ...string) uint64 {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}

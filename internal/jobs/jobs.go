@@ -1,0 +1,513 @@
+// Package jobs is the async job subsystem behind POST /v1/jobs: a
+// bounded registry of fire-and-poll work items so clients stop holding
+// connections through multi-second proves. The serving layer submits a
+// closure per job; the manager runs it on a dispatcher pool detached
+// from the submitting request, tracks the queued → running → done/failed
+// lifecycle, retains results for a configurable TTL, and evicts expired
+// jobs with a background sweeper.
+//
+// The package is deliberately generic — it knows nothing about proving.
+// provesvc wraps prove/verify calls in RunFuncs and renders results and
+// errors into its own wire shapes; zkgateway proxies the same job IDs
+// across nodes. That keeps the lifecycle state machine testable in
+// isolation and reusable for any future long-running request type.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one phase of the job lifecycle. Transitions only move
+// forward: queued → running → done|failed, or queued → failed (canceled
+// or dropped before dispatch).
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+var (
+	// ErrTooManyJobs is returned by Submit when the active (queued +
+	// running) job count is at the configured cap; the HTTP layer maps it
+	// to 429 with a Retry-After.
+	ErrTooManyJobs = errors.New("jobs: too many active jobs")
+	// ErrDraining is returned by Submit after Shutdown began.
+	ErrDraining = errors.New("jobs: manager is draining")
+	// ErrNotFound is returned for job IDs that never existed or whose
+	// results were already evicted by the TTL sweeper.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrCanceled is the failure recorded on jobs canceled before their
+	// RunFunc ever started (mid-run cancellations surface the RunFunc's
+	// own context error instead).
+	ErrCanceled = fmt.Errorf("jobs: canceled: %w", context.Canceled)
+	// ErrDropped is the failure recorded on jobs still queued when
+	// Shutdown ran.
+	ErrDropped = errors.New("jobs: dropped during shutdown")
+)
+
+// RunFunc executes one job. ctx is canceled by DELETE /v1/jobs/{id} and
+// by manager shutdown — implementations must honor it (the proving
+// kernels already do). Calling started() marks the moment real work
+// begins (e.g. a service worker picked the job up), flipping the job
+// from queued to running; a RunFunc that never calls it leaves the job
+// reported queued until it finishes. The returned value is retained as
+// the job's result until TTL eviction.
+type RunFunc func(ctx context.Context, started func()) (any, error)
+
+// Job is one tracked work item. All state transitions happen under mu;
+// Done is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	id      string
+	kind    string // request class for stats/rendering: "prove", "verify", …
+	created time.Time
+	ctx     context.Context // what the RunFunc observes
+	cancel  context.CancelFunc
+	run     RunFunc // cleared at dispatch
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+	done     chan struct{}
+}
+
+// ID returns the job's identifier (16 hex chars, minted at submit).
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the request class the job was submitted under.
+func (j *Job) Kind() string { return j.kind }
+
+// Created returns the submit time.
+func (j *Job) Created() time.Time { return j.created }
+
+// Done returns a channel closed when the job reaches done or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal outcome: the RunFunc's value on done, its
+// error on failed. Both are zero while the job is still live.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Timing reports the queue wait and run duration observed so far (run
+// is measured to now while running).
+func (j *Job) Timing() (wait, run time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued:
+		return time.Since(j.created), 0
+	case j.started.IsZero():
+		// Finished without ever starting (canceled/dropped while queued).
+		return j.finished.Sub(j.created), 0
+	case j.state == StateRunning:
+		return j.started.Sub(j.created), time.Since(j.started)
+	default:
+		return j.started.Sub(j.created), j.finished.Sub(j.started)
+	}
+}
+
+// markStarted flips queued → running (idempotent; a no-op once terminal).
+func (j *Job) markStarted() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// finalize moves the job to its terminal state exactly once and reports
+// whether this call did the transition.
+func (j *Job) finalize(result any, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return false
+	}
+	j.finished = time.Now()
+	if err != nil {
+		j.state, j.err = StateFailed, err
+	} else {
+		j.state, j.result = StateDone, result
+	}
+	j.cancel() // release the context subtree either way
+	close(j.done)
+	return true
+}
+
+// Config sizes a Manager; zero values pick the documented defaults.
+type Config struct {
+	// TTL is how long done/failed jobs are retained for polling before
+	// the sweeper evicts them (default 5 minutes).
+	TTL time.Duration
+	// SweepEvery is the sweeper cadence (default TTL/4, clamped to
+	// [50ms, 10s]).
+	SweepEvery time.Duration
+	// MaxActive caps queued+running jobs; Submit sheds with
+	// ErrTooManyJobs beyond it (default 1024). Retained results do not
+	// count — memory there is bounded by TTL instead.
+	MaxActive int
+	// Parallel is how many RunFuncs execute concurrently (default 16).
+	// For provesvc this is sized against the service's worker pool and
+	// queue so dispatched jobs never overflow the sync queue.
+	Parallel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = 5 * time.Minute
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.TTL / 4
+		if c.SweepEvery < 50*time.Millisecond {
+			c.SweepEvery = 50 * time.Millisecond
+		}
+		if c.SweepEvery > 10*time.Second {
+			c.SweepEvery = 10 * time.Second
+		}
+	}
+	if c.MaxActive < 1 {
+		c.MaxActive = 1024
+	}
+	if c.Parallel < 1 {
+		c.Parallel = 16
+	}
+	return c
+}
+
+// Manager owns the job registry, the dispatcher pool and the TTL
+// sweeper. Create with New, call Start, submit via Submit, and stop with
+// Shutdown.
+type Manager struct {
+	cfg Config
+
+	baseCtx   context.Context // parent of every job context
+	cancelAll context.CancelFunc
+	stop      chan struct{} // closed by Shutdown: dispatchers + sweeper exit
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	active   int // queued + running
+	draining bool
+
+	queue chan *Job // buffered MaxActive: sends under mu never block
+
+	loopWG sync.WaitGroup // dispatchers + sweeper
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64 // cancels requested via Cancel
+	evicted   atomic.Uint64
+	rejected  atomic.Uint64 // MaxActive sheds
+}
+
+// New creates a manager; call Start before submitting.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:       cfg,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		stop:      make(chan struct{}),
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, cfg.MaxActive),
+	}
+}
+
+// Start launches the dispatcher pool and the TTL sweeper.
+func (m *Manager) Start() {
+	for i := 0; i < m.cfg.Parallel; i++ {
+		m.loopWG.Add(1)
+		go m.dispatcher()
+	}
+	m.loopWG.Add(1)
+	go m.sweeper()
+}
+
+// TTL returns the configured retention period for finished jobs.
+func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
+
+// Submit registers a job and queues it for execution, returning
+// immediately. kind labels the job for stats and rendering. The run
+// closure receives a context detached from the submitting request —
+// canceled only by Cancel or Shutdown.
+func (m *Manager) Submit(kind string, run RunFunc) (*Job, error) {
+	jctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		id:      newID(),
+		kind:    kind,
+		created: time.Now(),
+		ctx:     jctx,
+		cancel:  cancel,
+		run:     run,
+		state:   StateQueued,
+		done:    make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	if m.active >= m.cfg.MaxActive {
+		m.rejected.Add(1)
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrTooManyJobs
+	}
+	m.active++
+	m.jobs[j.id] = j
+	m.submitted.Add(1)
+	// The queue is buffered to MaxActive and active is counted under this
+	// same lock, so the send cannot block.
+	m.queue <- j
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get returns the job for id, or ErrNotFound if it never existed or was
+// already evicted.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cancellation of a job. A still-queued job fails
+// immediately with ErrCanceled; a running one has its context canceled
+// and finalizes when its RunFunc returns (the proving kernels abort at
+// the next chunk boundary). Terminal jobs are returned unchanged, so
+// DELETE is idempotent.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel()
+	if j.finalize(nil, ErrCanceled) {
+		// Canceled before the RunFunc started; the dispatcher will skip it.
+		m.canceled.Add(1)
+		m.failed.Add(1)
+		m.release()
+	} else if j.State() == StateRunning {
+		m.canceled.Add(1)
+	}
+	return j, nil
+}
+
+// release gives back one active slot.
+func (m *Manager) release() {
+	m.mu.Lock()
+	m.active--
+	m.mu.Unlock()
+}
+
+func (m *Manager) dispatcher() {
+	defer m.loopWG.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job's RunFunc and finalizes it. Jobs already
+// terminal (canceled while queued) are skipped — their slot was released
+// by Cancel.
+func (m *Manager) runJob(j *Job) {
+	select {
+	case <-j.done:
+		j.run = nil
+		return
+	default:
+	}
+	run := j.run
+	j.run = nil
+	res, err := run(j.ctx, j.markStarted)
+	if j.finalize(res, err) {
+		if err != nil {
+			m.failed.Add(1)
+		} else {
+			m.completed.Add(1)
+		}
+		m.release()
+	}
+}
+
+func (m *Manager) sweeper() {
+	defer m.loopWG.Done()
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.sweep(time.Now())
+		}
+	}
+}
+
+// sweep evicts finished jobs whose TTL expired.
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed
+		expired := terminal && now.Sub(j.finished) >= m.cfg.TTL
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+			m.evicted.Add(1)
+		}
+	}
+}
+
+// Stats is the `jobs` block of /v1/stats.
+type Stats struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Retained int `json:"retained"` // done+failed awaiting TTL eviction
+
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Evicted   uint64 `json:"evicted"`
+	Rejected  uint64 `json:"rejected"`
+
+	OldestQueuedMs   float64 `json:"oldest_queued_ms"`
+	OldestRetainedMs float64 `json:"oldest_retained_ms"`
+	TTLMs            float64 `json:"ttl_ms"`
+	MaxActive        int     `json:"max_active"`
+}
+
+// Snapshot counts jobs by state and ages for /v1/stats and the metrics
+// gauges. O(jobs) under the lock — fine at MaxActive + retained scale.
+func (m *Manager) Snapshot() Stats {
+	now := time.Now()
+	st := Stats{
+		Submitted: m.submitted.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Canceled:  m.canceled.Load(),
+		Evicted:   m.evicted.Load(),
+		Rejected:  m.rejected.Load(),
+		TTLMs:     float64(m.cfg.TTL) / 1e6,
+		MaxActive: m.cfg.MaxActive,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+			if age := float64(now.Sub(j.created)) / 1e6; age > st.OldestQueuedMs {
+				st.OldestQueuedMs = age
+			}
+		case StateRunning:
+			st.Running++
+		default:
+			st.Retained++
+			if age := float64(now.Sub(j.finished)) / 1e6; age > st.OldestRetainedMs {
+				st.OldestRetainedMs = age
+			}
+		}
+		j.mu.Unlock()
+	}
+	return st
+}
+
+// Drain stops intake: subsequent Submits fail with ErrDraining. Safe to
+// call more than once.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Shutdown drains the manager: intake stops, still-queued jobs fail with
+// ErrDropped, running jobs get until ctx expires before their contexts
+// are canceled. Dispatchers and the sweeper exit before it returns.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.Drain()
+	// Fail everything still queued; dispatchers racing us will see the
+	// terminal state and skip.
+	for {
+		select {
+		case j := <-m.queue:
+			if j.finalize(nil, ErrDropped) {
+				m.failed.Add(1)
+				m.release()
+			}
+		default:
+			goto drained
+		}
+	}
+drained:
+	// Running jobs (plus any a dispatcher raced off the queue before the
+	// drain) get until ctx expires, then their contexts are canceled and
+	// the RunFuncs abort at the next ctx check. Polling the active count
+	// keeps the dispatcher hot path free of shutdown bookkeeping.
+	expired := false
+	for {
+		m.mu.Lock()
+		n := m.active
+		m.mu.Unlock()
+		if n == 0 || expired {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			expired = true
+			m.cancelAll()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	m.cancelAll()
+	close(m.stop)
+	m.loopWG.Wait() // busy dispatchers finish their (now canceled) RunFunc first
+}
+
+// newID mints a 16-hex-char job ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0xfffffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}

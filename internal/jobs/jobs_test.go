@@ -1,0 +1,357 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m := New(cfg)
+	m.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return m
+}
+
+func TestLifecycleDone(t *testing.T) {
+	m := newTestManager(t, Config{})
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		return "result", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never finished")
+	}
+	if got := j.State(); got != StateDone {
+		t.Fatalf("state = %v, want done", got)
+	}
+	res, jerr := j.Result()
+	if jerr != nil || res != "result" {
+		t.Fatalf("result = (%v, %v), want (result, nil)", res, jerr)
+	}
+	got, err := m.Get(j.ID())
+	if err != nil || got != j {
+		t.Fatalf("Get returned (%v, %v), want the submitted job", got, err)
+	}
+	st := m.Snapshot()
+	if st.Submitted != 1 || st.Completed != 1 || st.Retained != 1 {
+		t.Fatalf("stats = %+v, want submitted=completed=retained=1", st)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	m := newTestManager(t, Config{})
+	boom := errors.New("boom")
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if got := j.State(); got != StateFailed {
+		t.Fatalf("state = %v, want failed", got)
+	}
+	if _, jerr := j.Result(); !errors.Is(jerr, boom) {
+		t.Fatalf("err = %v, want boom", jerr)
+	}
+	if st := m.Snapshot(); st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", st.Failed)
+	}
+}
+
+// TestStartedCallbackGatesRunning: a job whose RunFunc has not yet called
+// started() still reports queued — the state the service's own bounded
+// queue imposes — and flips to running at the callback.
+func TestStartedCallbackGatesRunning(t *testing.T) {
+	m := newTestManager(t, Config{})
+	begin := make(chan func())
+	release := make(chan struct{})
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		begin <- started
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := <-begin // RunFunc is executing but has not called started()
+	if got := j.State(); got != StateQueued {
+		t.Fatalf("state before started() = %v, want queued", got)
+	}
+	started()
+	if got := j.State(); got != StateRunning {
+		t.Fatalf("state after started() = %v, want running", got)
+	}
+	close(release)
+	<-j.Done()
+}
+
+// TestTTLEviction: finished jobs disappear after the TTL — Get returns
+// ErrNotFound (the HTTP 404 path) and the eviction is counted.
+func TestTTLEviction(t *testing.T) {
+	m := newTestManager(t, Config{TTL: 50 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if _, err := m.Get(j.ID()); err != nil {
+		t.Fatalf("job should still be retained right after finish: %v", err)
+	}
+	waitFor(t, 5*time.Second, "TTL eviction", func() bool {
+		_, err := m.Get(j.ID())
+		return errors.Is(err, ErrNotFound)
+	})
+	if st := m.Snapshot(); st.Evicted != 1 || st.Retained != 0 {
+		t.Fatalf("stats after eviction = %+v, want evicted=1 retained=0", st)
+	}
+}
+
+// TestCancelQueued: canceling a job its dispatcher has not reached fails
+// it immediately with ErrCanceled and frees the active slot.
+func TestCancelQueued(t *testing.T) {
+	m := newTestManager(t, Config{Parallel: 1, MaxActive: 8})
+	gate := make(chan struct{})
+	// Occupy the lone dispatcher so the second job stays queued.
+	blocker, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "blocker running", func() bool { return blocker.State() == StateRunning })
+
+	queued, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		t.Error("canceled queued job must never run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := queued.State(); got != StateQueued {
+		t.Fatalf("state = %v, want queued", got)
+	}
+	if _, err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	<-queued.Done()
+	if _, jerr := queued.Result(); !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", jerr)
+	}
+	close(gate)
+	<-blocker.Done()
+	st := m.Snapshot()
+	if st.Canceled != 1 || st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want canceled=1 completed=1 failed=1", st)
+	}
+}
+
+// TestCancelRunning: canceling a running job cancels its context; the
+// job finalizes with the RunFunc's error once it observes the cancel.
+func TestCancelRunning(t *testing.T) {
+	m := newTestManager(t, Config{})
+	running := make(chan struct{})
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	t0 := time.Now()
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled job never finalized")
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("cancel took %v to finalize a cooperative RunFunc", d)
+	}
+	if _, jerr := j.Result(); !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", jerr)
+	}
+	// Idempotent: a second DELETE sees the terminal job unchanged.
+	again, err := m.Cancel(j.ID())
+	if err != nil || again.State() != StateFailed {
+		t.Fatalf("second cancel = (%v, %v), want the failed job", again, err)
+	}
+	if st := m.Snapshot(); st.Canceled != 1 {
+		t.Fatalf("canceled = %d, want 1 (idempotent cancel double-counted)", st.Canceled)
+	}
+}
+
+// TestMaxActiveSheds: the MaxActive cap sheds with ErrTooManyJobs, and
+// slots free as jobs finish.
+func TestMaxActiveSheds(t *testing.T) {
+	m := newTestManager(t, Config{MaxActive: 2, Parallel: 1})
+	gate := make(chan struct{})
+	run := func(ctx context.Context, started func()) (any, error) {
+		started()
+		<-gate
+		return nil, nil
+	}
+	j1, err := m.Submit("prove", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("prove", run); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("prove", run); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("third submit err = %v, want ErrTooManyJobs", err)
+	}
+	if st := m.Snapshot(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	close(gate)
+	<-j1.Done()
+	waitFor(t, 2*time.Second, "slot release", func() bool {
+		_, err := m.Submit("noop", func(ctx context.Context, started func()) (any, error) { return nil, nil })
+		return err == nil
+	})
+}
+
+// TestShutdownDropsQueued: shutdown fails still-queued jobs with
+// ErrDropped, lets running ones finish, and rejects new submits.
+func TestShutdownDropsQueued(t *testing.T) {
+	m := New(Config{Parallel: 1, MaxActive: 8})
+	m.Start()
+	gate := make(chan struct{})
+	running, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		<-gate
+		return "finished", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "running", func() bool { return running.State() == StateRunning })
+	queued, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		t.Error("dropped job must not run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	waitFor(t, 2*time.Second, "queued job dropped", func() bool { return queued.State() == StateFailed })
+	if _, jerr := queued.Result(); !errors.Is(jerr, ErrDropped) {
+		t.Fatalf("queued err = %v, want ErrDropped", jerr)
+	}
+	if _, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain err = %v, want ErrDraining", err)
+	}
+	close(gate)
+	<-done
+	if res, jerr := running.Result(); jerr != nil || res != "finished" {
+		t.Fatalf("running job = (%v, %v), want it drained to completion", res, jerr)
+	}
+}
+
+// TestShutdownForceCancels: a drain deadline in the past cancels running
+// job contexts instead of waiting forever.
+func TestShutdownForceCancels(t *testing.T) {
+	m := New(Config{Parallel: 1})
+	m.Start()
+	running := make(chan struct{})
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		close(running)
+		<-ctx.Done() // only a forced cancel releases this job
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	m.Shutdown(ctx)
+	if _, jerr := j.Result(); !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the forced drain", jerr)
+	}
+}
+
+// TestConcurrentSubmitPoll hammers submit/get/cancel/stats concurrently;
+// run under -race this is the locking acceptance test.
+func TestConcurrentSubmitPoll(t *testing.T) {
+	m := newTestManager(t, Config{MaxActive: 256, Parallel: 8, TTL: 20 * time.Millisecond, SweepEvery: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+					started()
+					ran.Add(1)
+					return i, nil
+				})
+				if err != nil {
+					continue // MaxActive shed under load is fine
+				}
+				m.Get(j.ID())
+				if i%5 == 0 {
+					m.Cancel(j.ID())
+				}
+				m.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, "all jobs settled", func() bool {
+		st := m.Snapshot()
+		return st.Queued == 0 && st.Running == 0
+	})
+	st := m.Snapshot()
+	if st.Completed+st.Failed != st.Submitted {
+		t.Fatalf("outcomes %d+%d != submitted %d", st.Completed, st.Failed, st.Submitted)
+	}
+}

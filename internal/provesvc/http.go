@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"zkperf/internal/backend"
 	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
+	"zkperf/internal/jobs"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
@@ -30,7 +32,9 @@ const DefaultMaxBodyBytes = 4 << 20
 //	POST /v1/prove        {"curve","backend","circuit","inputs":{name:value},"timeout_ms"}
 //	POST /v1/prove/batch  {"requests":[<prove body>, …]}
 //	POST /v1/verify       {"curve","backend","circuit","proof","public":[values]}
-//	GET  /v1/stats        the documented {service,queue,cache,backends} snapshot
+//	POST /v1/jobs         async submit: {"kind", …} → 202 + job ID (see jobs_http.go)
+//	GET  /v1/jobs/{id}    poll an async job; DELETE cancels it
+//	GET  /v1/stats        the documented {service,queue,cache,backends,…,jobs} snapshot
 //	GET  /v1/metrics      Prometheus text exposition of the telemetry registry
 //	GET  /v1/healthz      200 while accepting work, 503 while draining
 //
@@ -100,6 +104,9 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -159,9 +166,13 @@ func errorClass(err error) (status int, code string, retryable bool) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full", true
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, jobs.ErrTooManyJobs):
+		return http.StatusTooManyRequests, "too_many_jobs", true
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound, "job_not_found", false
+	case errors.Is(err, ErrDraining), errors.Is(err, jobs.ErrDraining):
 		return http.StatusServiceUnavailable, "draining", true
-	case errors.Is(err, ErrDropped):
+	case errors.Is(err, ErrDropped), errors.Is(err, jobs.ErrDropped):
 		return http.StatusServiceUnavailable, "dropped", true
 	case errors.Is(err, ErrCircuitOpen):
 		return http.StatusServiceUnavailable, "circuit_open", true
@@ -197,11 +208,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError serves the envelope and books the code into the `errors`
 // block of /v1/stats and the zkp_http_errors_total metric, so every
-// error code a client can see is also visible to the operator.
+// error code a client can see is also visible to the operator. Shed
+// responses carry a Retry-After hint so well-behaved clients back off
+// at least as long as the condition will actually last.
 func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status, env := envelope(err)
+	if ra := s.retryAfter(env.Code); ra > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+	}
 	s.recordErrorCode(env.Code)
 	writeJSON(w, status, env)
+}
+
+// retryAfter derives the Retry-After hint for a shed code: circuit_open
+// lasts exactly the breaker cooldown; queue saturation usually clears
+// within a prove; a drain means "find another node", so the hint is
+// longer. 0 means no header.
+func (s *Service) retryAfter(code string) time.Duration {
+	switch code {
+	case "circuit_open":
+		if d := s.cfg.brkCooldown; d > time.Second {
+			return d
+		}
+		return time.Second
+	case "queue_full", "too_many_jobs":
+		return time.Second
+	case "draining", "dropped":
+		return 5 * time.Second
+	}
+	return 0
 }
 
 func (s *Service) recordErrorCode(code string) {
@@ -344,43 +379,12 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
-	if body.Curve == "" {
-		body.Curve = "bn128"
-	}
-	if body.Backend == "" {
-		body.Backend = DefaultBackend
-	}
-	bk, err := s.reg.BackendFor(body.Curve, body.Backend)
+	req, err := s.toVerifyRequest(body)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	raw, err := hex.DecodeString(body.Proof)
-	if err != nil {
-		s.writeError(w, fmt.Errorf("provesvc: bad proof hex: %w", err))
-		return
-	}
-	proof, err := bk.ReadProof(bytes.NewReader(raw))
-	if err != nil {
-		s.writeError(w, fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, body.Backend, err))
-		return
-	}
-	fr := bk.Curve().Fr
-	public := make([]ff.Element, len(body.Public)+1)
-	fr.One(&public[0])
-	for i, v := range body.Public {
-		if _, err := fr.SetString(&public[i+1], v); err != nil {
-			s.writeError(w, fmt.Errorf("provesvc: public[%d]: %w", i, err))
-			return
-		}
-	}
-	valid, err := s.Verify(r.Context(), VerifyRequest{
-		Curve:   body.Curve,
-		Backend: body.Backend,
-		Source:  body.Circuit,
-		Proof:   proof,
-		Public:  public,
-	})
+	valid, err := s.Verify(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return

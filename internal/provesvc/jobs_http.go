@@ -1,0 +1,193 @@
+package provesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"zkperf/internal/backend"
+	"zkperf/internal/ff"
+	"zkperf/internal/jobs"
+	"zkperf/internal/telemetry"
+)
+
+// The async job API, backed by internal/jobs:
+//
+//	POST   /v1/jobs       {"kind":"prove"|"verify", …prove or verify body}
+//	                      → 202 {"id","kind","state"}
+//	GET    /v1/jobs/{id}  → {"id","kind","state","wait_ms","run_ms",
+//	                         "result"?, "error"?}
+//	DELETE /v1/jobs/{id}  → same shape; cancels a live job (idempotent)
+//
+// A submitted job's context is detached from the submitting connection —
+// clients may disconnect and poll from anywhere. result appears when
+// state is "done" (the same reply shape as the synchronous endpoint);
+// error carries the standard envelope when state is "failed". Finished
+// jobs are retained for the configured TTL (ttl_ms in /v1/stats), then
+// GET returns 404 job_not_found.
+
+// jobBody is the POST /v1/jobs request: kind plus the union of the
+// prove and verify bodies (proveBody fields promote via embedding).
+type jobBody struct {
+	Kind string `json:"kind"`
+	proveBody
+	Proof  string   `json:"proof"`
+	Public []string `json:"public"`
+}
+
+// jobReply is the wire form of one job's status.
+type jobReply struct {
+	ID     string       `json:"id"`
+	Kind   string       `json:"kind"`
+	State  string       `json:"state"`
+	WaitMs float64      `json:"wait_ms"`
+	RunMs  float64      `json:"run_ms"`
+	Result any          `json:"result,omitempty"`
+	Error  *errEnvelope `json:"error,omitempty"`
+}
+
+func jobReplyOf(j *jobs.Job) *jobReply {
+	wait, run := j.Timing()
+	rep := &jobReply{
+		ID:     j.ID(),
+		Kind:   j.Kind(),
+		State:  string(j.State()),
+		WaitMs: float64(wait) / 1e6,
+		RunMs:  float64(run) / 1e6,
+	}
+	// Result is only read once the state observed above is terminal, so a
+	// done/failed transition between the two reads cannot leak a result
+	// under a non-terminal state.
+	switch jobs.State(rep.State) {
+	case jobs.StateDone:
+		rep.Result, _ = j.Result()
+	case jobs.StateFailed:
+		_, err := j.Result()
+		_, rep.Error = envelope(err)
+	}
+	return rep
+}
+
+func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
+	var body jobBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	if body.Kind == "" {
+		body.Kind = "prove"
+	}
+	// The job context is detached from this request, but the request ID
+	// travels with it so the probe and access logs line up across the
+	// submit and the eventual execution.
+	reqID := telemetry.RequestIDFromContext(r.Context())
+
+	var run jobs.RunFunc
+	switch body.Kind {
+	case "prove":
+		req, err := s.toRequest(body.proveBody)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		run = func(ctx context.Context, started func()) (any, error) {
+			ctx = telemetry.WithRequestID(ctx, reqID)
+			req.OnStart = started
+			res, err := s.Prove(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return s.toReply(res)
+		}
+	case "verify":
+		vreq, err := s.toVerifyRequest(verifyBody{
+			Curve:   body.Curve,
+			Backend: body.Backend,
+			Circuit: body.Circuit,
+			Proof:   body.Proof,
+			Public:  body.Public,
+		})
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		run = func(ctx context.Context, started func()) (any, error) {
+			// Verify runs inline on the dispatcher — there is no worker
+			// queue in front of it, so it is running from the first moment.
+			started()
+			ctx = telemetry.WithRequestID(ctx, reqID)
+			valid, err := s.Verify(ctx, vreq)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]bool{"valid": valid}, nil
+		}
+	default:
+		s.writeError(w, fmt.Errorf("provesvc: unknown job kind %q (want prove or verify)", body.Kind))
+		return
+	}
+
+	j, err := s.jobMgr.Submit(body.Kind, run)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobReplyOf(j))
+}
+
+func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobMgr.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobReplyOf(j))
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobMgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobReplyOf(j))
+}
+
+// toVerifyRequest parses the wire verify body into a VerifyRequest,
+// decoding the proof in the named backend's serialization. Shared by
+// the synchronous handler and the async submit path.
+func (s *Service) toVerifyRequest(body verifyBody) (VerifyRequest, error) {
+	req := VerifyRequest{Curve: body.Curve, Backend: body.Backend, Source: body.Circuit}
+	if req.Curve == "" {
+		req.Curve = "bn128"
+	}
+	if req.Backend == "" {
+		req.Backend = DefaultBackend
+	}
+	bk, err := s.reg.BackendFor(req.Curve, req.Backend)
+	if err != nil {
+		return req, err
+	}
+	raw, err := hex.DecodeString(body.Proof)
+	if err != nil {
+		return req, fmt.Errorf("provesvc: bad proof hex: %w", err)
+	}
+	proof, err := bk.ReadProof(bytes.NewReader(raw))
+	if err != nil {
+		return req, fmt.Errorf("%w: undecodable %s proof: %v", backend.ErrInvalidProof, req.Backend, err)
+	}
+	req.Proof = proof
+	fr := bk.Curve().Fr
+	req.Public = make([]ff.Element, len(body.Public)+1)
+	fr.One(&req.Public[0])
+	for i, v := range body.Public {
+		if _, err := fr.SetString(&req.Public[i+1], v); err != nil {
+			return req, fmt.Errorf("provesvc: public[%d]: %w", i, err)
+		}
+	}
+	return req, nil
+}

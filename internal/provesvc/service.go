@@ -33,6 +33,7 @@ import (
 	"zkperf/internal/backend"
 	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
+	"zkperf/internal/jobs"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
@@ -75,6 +76,9 @@ type config struct {
 	brkThreshold   int
 	brkCooldown    time.Duration
 	brkSet         bool // distinguishes "default" from WithBreaker(0, …)
+	jobTTL         time.Duration
+	jobSweep       time.Duration
+	jobMaxActive   int
 	tel            *telemetry.Telemetry
 	telSet         bool // distinguishes "default" from WithTelemetry(nil)
 }
@@ -158,6 +162,19 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	}
 }
 
+// WithJobTTL sets how long finished async jobs (POST /v1/jobs) are
+// retained for polling before the sweeper evicts them (default 5m), and
+// optionally the sweep cadence (0 picks TTL/4 clamped to [50ms, 10s]).
+func WithJobTTL(ttl, sweepEvery time.Duration) Option {
+	return func(c *config) { c.jobTTL, c.jobSweep = ttl, sweepEvery }
+}
+
+// WithJobMaxActive caps queued+running async jobs (default 1024);
+// submissions beyond it are shed with 429 too_many_jobs.
+func WithJobMaxActive(n int) Option {
+	return func(c *config) { c.jobMaxActive = n }
+}
+
 // WithSeed seeds the setup and blinding RNGs. Pin it for reproducible
 // experiments; vary it in production.
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
@@ -187,6 +204,11 @@ type ProveRequest struct {
 	Inputs witness.Assignment
 	// Timeout overrides the service's default job deadline when > 0.
 	Timeout time.Duration
+	// OnStart, when set, is invoked on the worker just before execution
+	// begins — after the queue wait, before compile/witness/prove. The
+	// async job layer uses it to flip a job from queued to running at the
+	// moment a worker actually picks it up.
+	OnStart func()
 }
 
 // ProveResult is a completed proof plus its public wires and stage
@@ -254,6 +276,7 @@ type Service struct {
 	met     metrics
 	tel     *telemetry.Telemetry
 	breaker *breakerGroup
+	jobMgr  *jobs.Manager
 
 	// artifactErr records a WithArtifactDir init failure: the service
 	// still serves (without persistence), and the caller decides whether
@@ -295,6 +318,15 @@ func New(opts ...Option) *Service {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	// Async job dispatch parallelism matches the worker pool: a
+	// dispatched job either runs immediately or waits in the service
+	// queue behind sync traffic, still reported "queued" either way.
+	s.jobMgr = jobs.New(jobs.Config{
+		TTL:        cfg.jobTTL,
+		SweepEvery: cfg.jobSweep,
+		MaxActive:  cfg.jobMaxActive,
+		Parallel:   cfg.workers,
+	})
 	if cfg.artifactDir != "" {
 		s.artifactErr = s.reg.SetArtifactDir(cfg.artifactDir)
 	}
@@ -321,6 +353,22 @@ func New(opts ...Option) *Service {
 			func() float64 { return float64(s.breaker.trips.Load()) })
 		reg.GaugeFunc("zkp_breaker_shed_total", "Requests shed with circuit_open.",
 			func() float64 { return float64(s.breaker.shed.Load()) })
+		reg.GaugeFunc("zkp_jobs_active", "Async jobs by live state.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Queued) },
+			telemetry.Label{Name: "state", Value: "queued"})
+		reg.GaugeFunc("zkp_jobs_active", "Async jobs by live state.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Running) },
+			telemetry.Label{Name: "state", Value: "running"})
+		reg.GaugeFunc("zkp_jobs_retained", "Finished async jobs awaiting TTL eviction.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Retained) })
+		reg.GaugeFunc("zkp_jobs_submitted_total", "Async jobs accepted lifetime.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Submitted) })
+		reg.GaugeFunc("zkp_jobs_evicted_total", "Async job results evicted by the TTL sweeper.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Evicted) })
+		reg.GaugeFunc("zkp_jobs_rejected_total", "Async job submissions shed at the active cap.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Rejected) })
+		reg.GaugeFunc("zkp_jobs_oldest_queued_ms", "Age of the oldest queued async job.",
+			func() float64 { return s.jobMgr.Snapshot().OldestQueuedMs })
 	}
 	return s
 }
@@ -340,13 +388,18 @@ func (s *Service) Backends() []string { return s.reg.Backends() }
 // Telemetry returns the service's telemetry handle (nil when disabled).
 func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// Start launches the worker pool.
+// Start launches the worker pool and the async job manager.
 func (s *Service) Start() {
 	for i := 0; i < s.cfg.workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	s.jobMgr.Start()
 }
+
+// Jobs exposes the async job manager (e.g. for embedded callers that
+// submit work without the HTTP layer).
+func (s *Service) Jobs() *jobs.Manager { return s.jobMgr }
 
 // Prove submits a request and blocks until the proof is ready, the
 // request's deadline expires, ctx is cancelled, or the service sheds it.
@@ -529,6 +582,9 @@ func (s *Service) run(j *job) {
 		s.breaker.release(j.key)
 		s.fail(j, err)
 		return
+	}
+	if j.req.OnStart != nil {
+		j.req.OnStart()
 	}
 
 	res, err := s.execute(j, wait)
@@ -746,6 +802,7 @@ func (s *Service) Stats() Snapshot {
 		Breaker:   s.breaker.stats(),
 		Artifacts: s.reg.ArtifactStats(),
 		Errors:    s.met.errorSnapshot(),
+		Jobs:      s.jobMgr.Snapshot(),
 	}
 }
 
@@ -761,6 +818,13 @@ func (s *Service) Shutdown(ctx context.Context) (*DrainReport, error) {
 	}
 	s.draining = true
 	s.mu.Unlock()
+
+	// The async layer drains first, while the sync path below it still
+	// serves: queued jobs are dropped, running ones get the remaining
+	// budget before their contexts are canceled. Their RunFuncs go
+	// through Prove/Verify, so the in-flight accounting below covers
+	// whatever they still have on workers.
+	s.jobMgr.Shutdown(ctx)
 
 	rep := &DrainReport{}
 

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zkperf/internal/jobs"
 )
 
 // histBuckets bounds the log₂ latency histogram: bucket 40 covers ~18
@@ -228,7 +230,10 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 //	  "breaker":   {enabled, threshold, cooldown_ms, open, trips, shed},
 //	  "artifacts": {enabled, dir, disk_loads, disk_writes, quarantined,
 //	                write_errors},
-//	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …}
+//	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …},
+//	  "jobs":      {queued, running, retained, submitted, completed,
+//	                failed, canceled, evicted, rejected, oldest_queued_ms,
+//	                oldest_retained_ms, ttl_ms, max_active}
 //	}
 //
 // The shape is documented in docs/API.md; additions are allowed, renames
@@ -244,4 +249,6 @@ type Snapshot struct {
 	Artifacts ArtifactStats `json:"artifacts"`
 	// Errors counts served error envelopes by stable code.
 	Errors map[string]uint64 `json:"errors"`
+	// Jobs is the async job subsystem's state (POST /v1/jobs).
+	Jobs jobs.Stats `json:"jobs"`
 }
