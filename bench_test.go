@@ -770,6 +770,58 @@ func BenchmarkKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyBatch measures the folded batch verify against the
+// per-proof baseline on BN254: one random-linear-combination
+// multi-pairing (N+3 Miller loops, one shared final exponentiation)
+// versus N independent 4-pairing checks. The us/proof metric is the
+// amortized per-proof cost — the acceptance target is ≥3× lower at
+// N=64 than N=1. ci.sh runs the n=1 and n=64 slices as a smoke test.
+func BenchmarkVerifyBatch(b *testing.B) {
+	const maxN = 256
+	c := curve.NewBN254()
+	eng := groth16.NewEngine(c)
+	sys, prog, err := circuit.CompileSource(c.Fr, circuit.ExponentiateSource(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := ff.NewRNG(23)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proofs := make([]*groth16.Proof, maxN)
+	publics := make([][]ff.Element, maxN)
+	for i := 0; i < maxN; i++ {
+		var x ff.Element
+		c.Fr.SetUint64(&x, uint64(i+2))
+		w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if proofs[i], err = eng.Prove(sys, pk, w, rng); err != nil {
+			b.Fatal(err)
+		}
+		publics[i] = w.Public
+	}
+	ctx := context.Background()
+	for _, n := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := eng.VerifyBatchCtx(ctx, vk, proofs[:n], publics[:n])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, v := range results {
+					if v != nil {
+						b.Fatalf("proof %d rejected: %v", j, v)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n)/1e3, "us/proof")
+		})
+	}
+}
+
 // BenchmarkBackends is the head-to-head backend sweep on the paper's 2^10
 // exponentiation circuit: the same compiled R1CS proved under Groth16 and
 // PLONK through the unified backend interface. Setup runs once per

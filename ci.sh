@@ -22,6 +22,10 @@ go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime=1x .
 # iteration per (kernel, thread count) so a kernel regression that only
 # shows up off the test sizes still gets exercised in CI.
 go test -run '^$' -bench 'BenchmarkKernels/.*/n=2\^10' -benchtime=1x .
+# Batched-verify smoke: the folded multi-pairing's per-proof cost at
+# n=64 against the n=1 baseline (the ≥3× amortization target lives in
+# the benchmark's us/proof metric; one iteration keeps CI honest).
+go test -run '^$' -bench 'BenchmarkVerifyBatch/n=(1|64)$' -benchtime=1x .
 go test -race -count=1 \
     -run 'TestPanicMidProve|TestArtifact|TestBreaker|TestDeadline|TestMaxTimeout|TestDrainWithExpiring|TestHTTPErrorCodes' \
     ./internal/provesvc/

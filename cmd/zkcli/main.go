@@ -374,11 +374,18 @@ func cmdVerify(args []string) error {
 	proofPath := fs.String("proof", "circuit.proof", "proof")
 	addr := fs.String("addr", "", "verify remotely against a zkserve base URL instead of local files")
 	circuitPath := fs.String("circuit", "", "circuit source file (remote mode)")
+	batchPath := fs.String("batch", "", "remote mode: verify a JSON manifest of {circuit, proof, public} entries in one /v1/verify/batch call")
 	retries := fs.Int("retries", 3, "remote mode: extra attempts for retryable errors")
 	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "remote mode: base retry backoff (doubles per attempt, jittered)")
 	var publics inputFlags
 	fs.Var(&publics, "public", "public input value (remote mode, repeatable, in wire order)")
 	fs.Parse(args)
+	if *batchPath != "" {
+		if *addr == "" {
+			return fmt.Errorf("-batch requires -addr (batch verify is remote-only)")
+		}
+		return verifyBatchRemote(*addr, *batchPath, *curveName, *backendName, *retries, *retryBackoff)
+	}
 	if *addr != "" {
 		if *circuitPath == "" {
 			return fmt.Errorf("-circuit is required with -addr")

@@ -137,6 +137,85 @@ func verifyRemote(addr, curveName, backendName, circuitPath, proofPath string, p
 	return nil
 }
 
+// batchManifestEntry is one line of the -batch manifest: file paths for
+// the circuit and proof plus the public inputs, mirroring the flags of a
+// single verify. Empty curve/backend fall back to the command's flags.
+type batchManifestEntry struct {
+	Curve   string   `json:"curve,omitempty"`
+	Backend string   `json:"backend,omitempty"`
+	Circuit string   `json:"circuit"`
+	Proof   string   `json:"proof"`
+	Public  []string `json:"public"`
+}
+
+// verifyBatchRemote reads a JSON manifest of {circuit, proof, public}
+// entries and checks them all in one POST /v1/verify/batch — the server
+// folds same-circuit items into a single pairing check. Exit status is
+// an error if any item is invalid or errored; every item's verdict is
+// printed either way.
+func verifyBatchRemote(addr, manifestPath, defCurve, defBackend string, retries int, backoff time.Duration) error {
+	raw, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	var entries []batchManifestEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return fmt.Errorf("parsing manifest %s: %v (want a JSON array of {circuit, proof, public})", manifestPath, err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("manifest %s is empty", manifestPath)
+	}
+	items := make([]client.VerifyItem, len(entries))
+	for i, e := range entries {
+		src, err := os.ReadFile(e.Circuit)
+		if err != nil {
+			return fmt.Errorf("manifest entry %d: %v", i, err)
+		}
+		proof, err := os.ReadFile(e.Proof)
+		if err != nil {
+			return fmt.Errorf("manifest entry %d: %v", i, err)
+		}
+		curveName, backendName := e.Curve, e.Backend
+		if curveName == "" {
+			curveName = defCurve
+		}
+		if backendName == "" {
+			backendName = defBackend
+		}
+		items[i] = client.VerifyItem{
+			Curve:   curveName,
+			Backend: backendName,
+			Circuit: string(src),
+			Proof:   hex.EncodeToString(proof),
+			Public:  e.Public,
+		}
+	}
+	t0 := time.Now()
+	results, err := newRemoteClient(addr, retries, backoff).VerifyBatch(items)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			bad++
+			fmt.Printf("[%d] %s: ERROR %s: %s\n", i, entries[i].Proof, r.Err.Code, r.Err.Message)
+		case r.Valid != nil && *r.Valid:
+			fmt.Printf("[%d] %s: OK\n", i, entries[i].Proof)
+		default:
+			bad++
+			fmt.Printf("[%d] %s: INVALID\n", i, entries[i].Proof)
+		}
+	}
+	fmt.Printf("%d/%d proofs valid [%s] round-trip=%v\n",
+		len(results)-bad, len(results), addr, time.Since(t0).Round(time.Millisecond))
+	if bad > 0 {
+		return fmt.Errorf("%d of %d proofs failed verification", bad, len(results))
+	}
+	return nil
+}
+
 // jobStatus mirrors the server's /v1/jobs/{id} response.
 type jobStatus struct {
 	ID     string          `json:"id"`

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"zkperf/internal/client"
@@ -101,5 +103,33 @@ func TestRemoteProveVerify(t *testing.T) {
 	if err := cmdVerify([]string{"-addr", srv.URL, "-circuit", circuitPath,
 		"-proof", proofPath, "-public", "42"}); err == nil {
 		t.Fatal("remote verify accepted a wrong public input")
+	}
+
+	// Batch mode: a manifest of (valid, invalid) entries goes through
+	// /v1/verify/batch; the invalid entry makes the command fail.
+	manifestPath := filepath.Join(dir, "manifest.json")
+	manifest := fmt.Sprintf(`[
+		{"circuit": %q, "proof": %q, "public": ["43046721"]},
+		{"circuit": %q, "proof": %q, "public": ["42"]}
+	]`, circuitPath, proofPath, circuitPath, proofPath)
+	if err := os.WriteFile(manifestPath, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdVerify([]string{"-addr", srv.URL, "-batch", manifestPath})
+	if err == nil {
+		t.Fatal("batch verify with an invalid entry should fail")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("batch verify error = %v, want one of two proofs failing", err)
+	}
+
+	// All-valid manifest succeeds.
+	allValid := fmt.Sprintf(`[{"circuit": %q, "proof": %q, "public": ["43046721"]}]`,
+		circuitPath, proofPath)
+	if err := os.WriteFile(manifestPath, []byte(allValid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-addr", srv.URL, "-batch", manifestPath}); err != nil {
+		t.Fatalf("batch verify of a valid manifest: %v", err)
 	}
 }

@@ -12,21 +12,30 @@
 //
 // Endpoints (JSON bodies; see internal/provesvc):
 //
-//	POST /v1/prove        prove a circuit ("backend" picks groth16/plonk)
-//	POST /v1/prove/batch  prove several requests in one call
-//	POST /v1/verify       check a proof against a circuit's verifying key
-//	POST /v1/jobs         submit a prove/verify asynchronously → 202 + job ID
-//	GET  /v1/jobs/{id}    poll an async job (DELETE cancels it); finished
-//	                      jobs are retained for -job-ttl
-//	GET  /v1/stats        counters, cache hit rate, per-stage and
-//	                      per-backend latencies, async job state
-//	GET  /v1/metrics      Prometheus text exposition of the telemetry
-//	                      registry (404 with -telemetry=false)
-//	GET  /v1/healthz      200 while accepting work, 503 while draining
+//	POST /v1/prove         prove a circuit ("backend" picks groth16/plonk)
+//	POST /v1/prove/batch   prove several items in one call
+//	POST /v1/verify        check a proof against a circuit's verifying key
+//	POST /v1/verify/batch  check many proofs; same-circuit groth16 items
+//	                       fold into one multi-pairing check
+//	POST /v1/jobs          submit a prove/verify asynchronously → 202 + job
+//	                       ID; {"items":[…]} submits a batch
+//	GET  /v1/jobs/{id}     poll an async job (DELETE cancels it); finished
+//	                       jobs are retained for -job-ttl
+//	GET  /v1/stats         counters, cache hit rate, per-stage and
+//	                       per-backend latencies, async job state
+//	GET  /v1/metrics       Prometheus text exposition of the telemetry
+//	                       registry (404 with -telemetry=false)
+//	GET  /v1/healthz       200 while accepting work, 503 while draining
 //
-// The legacy unversioned paths answer 308 redirects to /v1. Every
-// response carries an X-Request-Id header (the client's, when sane) that
-// also appears in the access log.
+// -verify-coalesce-window/-verify-coalesce-max fold concurrent single
+// /v1/verify calls for the same circuit into batched pairing checks: a
+// request waits up to the window for company and a pending group flushes
+// once it holds max requests. Off by default — lone requests would pay
+// the window as pure latency.
+//
+// The legacy unversioned paths answer 410 with envelope code "gone".
+// Every response carries an X-Request-Id header (the client's, when
+// sane) that also appears in the access log.
 //
 // -debug-addr starts a second listener serving net/http/pprof (and the
 // same /v1/metrics) for profiling; it is off by default so production
@@ -72,6 +81,8 @@ func main() {
 	breakerCool := flag.Duration("breaker-cooldown", provesvc.DefaultBreakerCooldown, "breaker open-state cooldown before a probe is admitted")
 	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "retention of finished async jobs (/v1/jobs) before eviction")
 	jobMax := flag.Int("job-max", 1024, "cap on queued+running async jobs (beyond this, submits get 429)")
+	verifyWindow := flag.Duration("verify-coalesce-window", 0, "max wait to coalesce concurrent single verifies of one circuit into a batched pairing check (0 disables)")
+	verifyMax := flag.Int("verify-coalesce-max", 32, "flush a coalesced verify group once it holds this many requests")
 	telemetryOn := flag.Bool("telemetry", true, "always-on telemetry (stage/kernel metrics at /v1/metrics)")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 	accessLog := flag.Bool("access-log", true, "log one line per HTTP request")
@@ -104,6 +115,9 @@ func main() {
 	}
 	if *artifactDir != "" {
 		opts = append(opts, provesvc.WithArtifactDir(*artifactDir))
+	}
+	if *verifyWindow > 0 {
+		opts = append(opts, provesvc.WithVerifyCoalesce(*verifyWindow, *verifyMax))
 	}
 	if !*telemetryOn {
 		opts = append(opts, provesvc.WithTelemetry(nil))
@@ -145,7 +159,10 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("zkserve listening on %s (%d workers, queue %d, %d threads/job, backends %v)",
 		*addr, *workers, *queue, *threads, svc.Backends())
-	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/jobs /v1/stats /v1/metrics /v1/healthz (legacy paths 308-redirect)")
+	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/verify/batch /v1/jobs /v1/stats /v1/metrics /v1/healthz (legacy paths answer 410 gone)")
+	if *verifyWindow > 0 {
+		log.Printf("zkserve: verify coalescing on (window %v, max %d)", *verifyWindow, *verifyMax)
+	}
 
 	// The debug listener is separate from the serving port so pprof is
 	// never exposed by accident: it only exists when -debug-addr is set.

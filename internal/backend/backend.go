@@ -76,6 +76,41 @@ type Verifier interface {
 	Verify(ctx context.Context, vk VerifyingKey, proof Proof, public []ff.Element) error
 }
 
+// BatchVerifier is an optional capability: schemes whose verification
+// equations fold under a random linear combination (Groth16's pairing
+// product) implement it to check many proofs against one verifying key
+// with a single shared final exponentiation. results is index-aligned
+// with proofs — nil for valid, an error wrapping ErrInvalidProof
+// otherwise; the second return is a batch-level infrastructure error.
+// Callers should not type-assert this directly: VerifyBatch falls back
+// to a per-proof loop for backends without the capability, keeping the
+// API backend-neutral.
+type BatchVerifier interface {
+	VerifyBatch(ctx context.Context, vk VerifyingKey, proofs []Proof, publics [][]ff.Element) ([]error, error)
+}
+
+// VerifyBatch checks many proofs through v, using the native folded
+// check when v implements BatchVerifier and a per-proof Verify loop
+// otherwise. The loop stops early only on infrastructure errors —
+// invalid proofs are recorded per index and do not abort the batch.
+func VerifyBatch(ctx context.Context, v Verifier, vk VerifyingKey, proofs []Proof, publics [][]ff.Element) ([]error, error) {
+	if len(proofs) != len(publics) {
+		return nil, fmt.Errorf("backend: %d proofs but %d public witnesses", len(proofs), len(publics))
+	}
+	if bv, ok := v.(BatchVerifier); ok {
+		return bv.VerifyBatch(ctx, vk, proofs, publics)
+	}
+	results := make([]error, len(proofs))
+	for i := range proofs {
+		err := v.Verify(ctx, vk, proofs[i], publics[i])
+		if err != nil && !errors.Is(err, ErrInvalidProof) {
+			return nil, err
+		}
+		results[i] = err
+	}
+	return results, nil
+}
+
 // Backend is one proving scheme bound to one curve: the three protocol
 // roles plus decoding of the wire formats its handles write.
 type Backend interface {

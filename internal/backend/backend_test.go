@@ -93,6 +93,53 @@ func TestCrossBackendProveVerify(t *testing.T) {
 	}
 }
 
+// TestVerifyBatchBothBackends runs the package-level VerifyBatch helper
+// over both backends: groth16 takes the native folded path (it implements
+// BatchVerifier), plonk takes the per-proof fallback loop. A proof paired
+// with the wrong statement's public inputs must be attributed to its
+// index without contaminating its neighbours.
+func TestVerifyBatchBothBackends(t *testing.T) {
+	c := curve.NewBN254()
+	sysA, wA := compileFixture(t, c, circuit.ExponentiateSource(1<<6), map[string]uint64{"x": 3})
+	_, wB := compileFixture(t, c, circuit.ExponentiateSource(1<<6), map[string]uint64{"x": 5})
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			bk, err := New(name, c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, isBatch := bk.(BatchVerifier); isBatch != (name == "groth16") {
+				t.Errorf("BatchVerifier capability: got %v for %s", isBatch, name)
+			}
+			rng := ff.NewRNG(42)
+			pk, vk, err := bk.Setup(context.Background(), sysA, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proofA, err := bk.Prove(context.Background(), sysA, pk, wA, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proofB, err := bk.Prove(context.Background(), sysA, pk, wB, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proofs := []Proof{proofA, proofB, proofA}
+			publics := [][]ff.Element{wA.Public, wB.Public, wB.Public} // last is mismatched
+			results, err := VerifyBatch(context.Background(), bk, vk, proofs, publics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[0] != nil || results[1] != nil {
+				t.Errorf("valid proofs rejected: %v %v", results[0], results[1])
+			}
+			if !errors.Is(results[2], ErrInvalidProof) {
+				t.Errorf("mismatched proof/public not attributed: %v", results[2])
+			}
+		})
+	}
+}
+
 // TestBridgeMixedLinComb proves a circuit whose constraints carry
 // multi-term LCs through both backends.
 func TestBridgeMixedLinComb(t *testing.T) {

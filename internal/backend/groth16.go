@@ -92,6 +92,50 @@ func (b *groth16Backend) Verify(ctx context.Context, vk VerifyingKey, proof Proo
 	return nil
 }
 
+// VerifyBatch implements the BatchVerifier capability natively: N proofs
+// fold into one multi-pairing (N+3 Miller loops, one shared final
+// exponentiation) via groth16's random-linear-combination check.
+// Malformed handles (wrong backend) are attributed per index rather than
+// failing the whole batch, matching the shape-error convention of the
+// underlying engine.
+func (b *groth16Backend) VerifyBatch(ctx context.Context, vk VerifyingKey, proofs []Proof, publics [][]ff.Element) ([]error, error) {
+	if len(proofs) != len(publics) {
+		return nil, fmt.Errorf("backend: %d proofs but %d public witnesses", len(proofs), len(publics))
+	}
+	k, ok := vk.(*groth16VK)
+	if !ok {
+		return nil, fmt.Errorf("%w: groth16 given %s verifying key", ErrInvalidProof, vk.Backend())
+	}
+	results := make([]error, len(proofs))
+	native := make([]*groth16.Proof, len(proofs))
+	for i, pr := range proofs {
+		if p, ok := pr.(*groth16Proof); ok {
+			native[i] = p.p
+		} else {
+			// Leave native[i] nil: the engine attributes it as invalid,
+			// keeping this slot out of the fold.
+			results[i] = fmt.Errorf("%w: groth16 given %s proof", ErrInvalidProof, pr.Backend())
+		}
+	}
+	verdicts, err := b.eng.VerifyBatchCtx(ctx, k.vk, native, publics)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range verdicts {
+		if results[i] != nil {
+			continue // wrong-backend handle, already attributed
+		}
+		if v != nil {
+			if errors.Is(v, groth16.ErrInvalidProof) {
+				results[i] = fmt.Errorf("%w: %v", ErrInvalidProof, v)
+			} else {
+				results[i] = v
+			}
+		}
+	}
+	return results, nil
+}
+
 func (b *groth16Backend) ReadProvingKey(r io.Reader, sys *r1cs.System) (ProvingKey, error) {
 	pk := new(groth16.ProvingKey)
 	if err := pk.Deserialize(r, b.eng.Curve); err != nil {

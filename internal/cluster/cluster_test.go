@@ -343,6 +343,74 @@ func TestBatchScatterGather(t *testing.T) {
 	}
 }
 
+// TestVerifyBatchScatterGather proves on two circuits through the
+// gateway, then verifies all the proofs in one /v1/verify/batch: items
+// scatter to their shard owners, gather back in request order, and the
+// per-item indices are rewritten from node-local to global positions.
+func TestVerifyBatchScatterGather(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	srcA := circuit.ExponentiateSource(16)
+	srcB := circuit.ExponentiateSource(32)
+
+	proofs := map[string]string{}
+	for src, x := range map[string]string{srcA: "2", srcB: "3"} {
+		resp, out := postJSON(t, tc.gwURL+"/v1/prove", map[string]any{
+			"circuit": src, "inputs": map[string]string{"x": x},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("prove via gateway = %d (body %v)", resp.StatusCode, out)
+		}
+		proofs[src], _ = out["proof"].(string)
+	}
+
+	items := []map[string]any{
+		{"circuit": srcA, "proof": proofs[srcA], "public": []string{"65536"}},
+		{"circuit": srcB, "proof": proofs[srcB], "public": []string{"1853020188851841"}},
+		{"circuit": srcA, "proof": proofs[srcA], "public": []string{"999"}}, // wrong public
+	}
+	resp, out := postJSON(t, tc.gwURL+"/v1/verify/batch", map[string]any{"items": items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify/batch via gateway = %d (body %v)", resp.StatusCode, out)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != len(items) {
+		t.Fatalf("verify/batch returned %d results for %d items", len(results), len(items))
+	}
+	for i, wantValid := range []bool{true, true, false} {
+		item, _ := results[i].(map[string]any)
+		if item["error"] != nil {
+			t.Fatalf("verify item %d failed: %v", i, item["error"])
+		}
+		if item["index"] != float64(i) {
+			t.Errorf("verify item %d index = %v — node-local index leaked through the gather", i, item["index"])
+		}
+		if item["valid"] != wantValid {
+			t.Errorf("verify item %d valid = %v, want %v", i, item["valid"], wantValid)
+		}
+	}
+
+	// The same-circuit items (0 and 2) reached the shard owner as one
+	// sub-batch and shared its fold.
+	var batches, folded uint64
+	for _, svc := range tc.svcs {
+		st := svc.Stats().VerifyBatch
+		batches += st.Batches
+		folded += st.Proofs
+	}
+	if folded != 3 {
+		t.Errorf("cluster folded %d proofs, want 3", folded)
+	}
+	if batches != 2 {
+		t.Errorf("cluster ran %d verify batches for 2 circuits, want 2", batches)
+	}
+
+	// Unversioned paths answer the nodes' 410 contract at the gateway too.
+	gresp, gout := postJSON(t, tc.gwURL+"/verify/batch", map[string]any{})
+	if gresp.StatusCode != http.StatusGone || gout["code"] != "gone" {
+		t.Errorf("legacy /verify/batch = %d %v, want 410 gone", gresp.StatusCode, gout)
+	}
+}
+
 // TestGatewayMetricsAndHealth covers the observability surface: zkgw_*
 // series appear in /v1/metrics and healthz flips to 503 only when every
 // node is gone.

@@ -16,15 +16,22 @@ import (
 // The gateway speaks the same /v1 wire API as a single zkserve node, so
 // zkcli (and any other client) points at it unchanged:
 //
-//	POST   /v1/prove        routed by circuit shard, ring failover
-//	POST   /v1/prove/batch  scatter-gathered across shard owners
-//	POST   /v1/verify       routed by circuit shard
-//	POST   /v1/jobs         routed; returned job IDs become "<id>@<node>"
-//	GET    /v1/jobs/{id}    "<id>@<node>" → proxied to that node
-//	DELETE /v1/jobs/{id}    likewise (cancel)
-//	GET    /v1/stats        cluster rollup (gateway + per-node + aggregate)
-//	GET    /v1/metrics      gateway registry (zkgw_* series)
-//	GET    /v1/healthz      200 while ≥1 node is healthy
+//	POST   /v1/prove         routed by circuit shard, ring failover
+//	POST   /v1/prove/batch   scatter-gathered across shard owners
+//	POST   /v1/verify        routed by circuit shard
+//	POST   /v1/verify/batch  scatter-gathered; same-shard items reach one
+//	                         node as one sub-batch, so they share a fold
+//	POST   /v1/jobs          routed; returned job IDs become "<id>@<node>"
+//	GET    /v1/jobs/{id}     "<id>@<node>" → proxied to that node
+//	DELETE /v1/jobs/{id}     likewise (cancel)
+//	GET    /v1/stats         cluster rollup (gateway + per-node + aggregate)
+//	GET    /v1/metrics       gateway registry (zkgw_* series)
+//	GET    /v1/healthz       200 while ≥1 node is healthy
+//
+// Batch endpoints speak the unified convention: {"items":[…]} in,
+// index-aligned {"results":[{"index",…}]} out (prove/batch also accepts
+// the deprecated {"requests":[…]} alias for one release). Unversioned
+// paths answer 410 with envelope code "gone", matching the nodes.
 //
 // Error envelopes from nodes pass through verbatim with their original
 // status; gateway-originated failures use the same {code, message,
@@ -83,13 +90,17 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", g.handleRouted("/v1/prove"))
 	mux.HandleFunc("POST /v1/verify", g.handleRouted("/v1/verify"))
-	mux.HandleFunc("POST /v1/prove/batch", g.handleBatch)
+	mux.HandleFunc("POST /v1/prove/batch", g.handleScatterBatch("/v1/prove/batch"))
+	mux.HandleFunc("POST /v1/verify/batch", g.handleScatterBatch("/v1/verify/batch"))
 	mux.HandleFunc("POST /v1/jobs", g.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobByID(http.MethodGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobByID(http.MethodDelete))
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
 	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/verify/batch", "/jobs", "/stats", "/metrics", "/healthz"} {
+		mux.HandleFunc(path, handleLegacyGone(path))
+	}
 	return gwRequestID(mux)
 }
 
@@ -240,89 +251,126 @@ func (g *Gateway) handleJobByID(method string) http.HandlerFunc {
 	}
 }
 
-// handleBatch splits a batch across shard owners, proves each group's
-// sub-batch concurrently on its node (with ring failover), and stitches
-// the results back in request order. A group whose ring walk is
-// exhausted yields per-item error envelopes instead of failing the
-// whole batch.
-func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxGatewayBody)
-	var body struct {
-		Requests []json.RawMessage `json:"requests"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		gwWriteError(w, fmt.Errorf("cluster: bad request body: %w", err))
-		return
-	}
-	type group struct {
-		key     uint64
-		indices []int
-		items   []json.RawMessage
-	}
-	// Group items by shard owner so each node sees one sub-batch and its
-	// own batch executor schedules within it.
-	groups := map[string]*group{}
-	for i, raw := range body.Requests {
-		var rf routeFields
-		if err := json.Unmarshal(raw, &rf); err != nil {
-			gwWriteError(w, fmt.Errorf("cluster: bad request %d in batch: %w", i, err))
+// handleScatterBatch splits a unified {"items":[…]} batch across shard
+// owners, runs each group's sub-batch concurrently on its node (with
+// ring failover), and stitches the results back in request order — so
+// same-circuit verify items land on one node and share its folded
+// pairing check. A group whose ring walk is exhausted yields per-item
+// error envelopes instead of failing the whole batch. Node-local result
+// indices are rewritten to the caller's global positions.
+func (g *Gateway) handleScatterBatch(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxGatewayBody)
+		var body struct {
+			Items []json.RawMessage `json:"items"`
+			// Deprecated alias, accepted on prove/batch for one release.
+			Requests []json.RawMessage `json:"requests"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			gwWriteError(w, fmt.Errorf("cluster: bad request body: %w", err))
 			return
 		}
-		key := routeKey(rf.Curve, rf.Backend, rf.Circuit)
-		owner := "-"
-		if cands := g.candidates(key); len(cands) > 0 {
-			owner = cands[0].name
+		list := body.Items
+		if list == nil {
+			list = body.Requests
 		}
-		gr := groups[owner]
-		if gr == nil {
-			gr = &group{key: key}
-			groups[owner] = gr
+		type group struct {
+			key     uint64
+			indices []int
+			items   []json.RawMessage
 		}
-		gr.indices = append(gr.indices, i)
-		gr.items = append(gr.items, raw)
-	}
+		// Group items by shard owner so each node sees one sub-batch and its
+		// own batch executor (or verify fold) schedules within it.
+		groups := map[string]*group{}
+		for i, raw := range list {
+			var rf routeFields
+			if err := json.Unmarshal(raw, &rf); err != nil {
+				gwWriteError(w, fmt.Errorf("cluster: bad request %d in batch: %w", i, err))
+				return
+			}
+			key := routeKey(rf.Curve, rf.Backend, rf.Circuit)
+			owner := "-"
+			if cands := g.candidates(key); len(cands) > 0 {
+				owner = cands[0].name
+			}
+			gr := groups[owner]
+			if gr == nil {
+				gr = &group{key: key}
+				groups[owner] = gr
+			}
+			gr.indices = append(gr.indices, i)
+			gr.items = append(gr.items, raw)
+		}
 
-	results := make([]json.RawMessage, len(body.Requests))
-	var wg sync.WaitGroup
-	for _, gr := range groups {
-		gr := gr
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sub, _ := json.Marshal(map[string]any{"requests": gr.items})
-			_, data, err := g.forward(gr.key, "/v1/prove/batch", sub)
-			if err != nil {
-				env := gwEnvelope{Code: "no_healthy_node", Message: err.Error(), Retryable: true}
-				if we, ok := err.(*client.Error); ok {
-					env = gwEnvelope{Code: we.Code, Message: we.Message, Retryable: we.Retryable}
+		results := make([]json.RawMessage, len(list))
+		var wg sync.WaitGroup
+		for _, gr := range groups {
+			gr := gr
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sub, _ := client.MarshalBatch(gr.items)
+				_, data, err := g.forward(gr.key, path, sub)
+				if err != nil {
+					env := gwEnvelope{Code: "no_healthy_node", Message: err.Error(), Retryable: true}
+					if we, ok := err.(*client.Error); ok {
+						env = gwEnvelope{Code: we.Code, Message: we.Message, Retryable: we.Retryable}
+					}
+					for _, idx := range gr.indices {
+						item, _ := json.Marshal(map[string]any{"index": idx, "error": env})
+						results[idx] = item
+					}
+					return
 				}
-				item, _ := json.Marshal(map[string]any{"error": env})
-				for _, idx := range gr.indices {
-					results[idx] = item
+				rep, err := client.SplitBatchResults(data, len(gr.indices))
+				if err != nil {
+					for _, idx := range gr.indices {
+						item, _ := json.Marshal(map[string]any{"index": idx, "error": gwEnvelope{
+							Code:      "internal_error",
+							Message:   "cluster: " + err.Error(),
+							Retryable: true,
+						}})
+						results[idx] = item
+					}
+					return
 				}
-				return
-			}
-			var rep struct {
-				Results []json.RawMessage `json:"results"`
-			}
-			if err := json.Unmarshal(data, &rep); err != nil || len(rep.Results) != len(gr.indices) {
-				item, _ := json.Marshal(map[string]any{"error": gwEnvelope{
-					Code:      "internal_error",
-					Message:   "cluster: sub-batch reply did not match request count",
-					Retryable: true,
-				}})
-				for _, idx := range gr.indices {
-					results[idx] = item
+				for k, idx := range gr.indices {
+					results[idx] = rewriteIndex(rep[k], idx)
 				}
-				return
-			}
-			for k, idx := range gr.indices {
-				results[idx] = rep.Results[k]
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+		gwWriteJSON(w, http.StatusOK, map[string]any{"results": results})
 	}
-	wg.Wait()
-	gwWriteJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// rewriteIndex replaces a sub-batch result's node-local index with the
+// item's position in the caller's batch, preserving every other field.
+// An undecodable item passes through untouched — better a wrong index
+// than a dropped result.
+func rewriteIndex(raw json.RawMessage, idx int) json.RawMessage {
+	var item map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &item); err != nil {
+		return raw
+	}
+	item["index"], _ = json.Marshal(idx)
+	out, err := json.Marshal(item)
+	if err != nil {
+		return raw
+	}
+	return out
+}
+
+// handleLegacyGone answers an unversioned path with the same 410
+// envelope the nodes emit, so clients migrating through a gateway see
+// one consistent contract.
+func handleLegacyGone(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		gwWriteJSON(w, http.StatusGone, gwEnvelope{
+			Code:    "gone",
+			Message: fmt.Sprintf("cluster: unversioned path %s was removed; use /v1%s", path, path),
+		})
+	}
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

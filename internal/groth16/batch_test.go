@@ -1,0 +1,217 @@
+package groth16
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/witness"
+)
+
+// batchFixture compiles one exponentiation circuit and returns n proofs
+// of distinct statements (x = 2, 3, …) with their public witnesses.
+func batchFixture(t *testing.T, c *curve.Curve, exp, n int) (*Engine, *VerifyingKey, []*Proof, [][]ff.Element) {
+	t.Helper()
+	fr := c.Fr
+	eng := NewEngine(c)
+	sys, prog, err := circuit.CompileSource(fr, circuit.ExponentiateSource(exp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ff.NewRNG(11)
+	pk, vk, err := eng.Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofs := make([]*Proof, n)
+	publics := make([][]ff.Element, n)
+	for i := 0; i < n; i++ {
+		var x ff.Element
+		fr.SetUint64(&x, uint64(2+i))
+		w, err := witness.Solve(sys, prog, witness.Assignment{"x": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proofs[i], err = eng.Prove(sys, pk, w, rng); err != nil {
+			t.Fatal(err)
+		}
+		publics[i] = w.Public
+	}
+	return eng, vk, proofs, publics
+}
+
+func TestVerifyBatchAllValid(t *testing.T) {
+	eng, vk, proofs, publics := batchFixture(t, curve.NewBN254(), 16, 5)
+	results, err := eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("proof %d rejected: %v", i, r)
+		}
+	}
+}
+
+func TestVerifyBatchCorruptedAttribution(t *testing.T) {
+	// One corrupted proof in a batch of 64 must be detected and attributed
+	// to the right index, leaving the other 63 verdicts clean. The batch
+	// reuses a few base proofs across slots — legitimate (a proof may be
+	// submitted twice) and it keeps the fixture cheap.
+	eng, vk, base, basePub := batchFixture(t, curve.NewBN254(), 16, 4)
+	const n = 64
+	proofs := make([]*Proof, n)
+	publics := make([][]ff.Element, n)
+	for i := 0; i < n; i++ {
+		proofs[i] = base[i%len(base)]
+		publics[i] = basePub[i%len(base)]
+	}
+	const bad = 17
+	tampered := *base[bad%len(base)]
+	tampered.A = eng.Curve.G1Gen
+	proofs[bad] = &tampered
+
+	results, err := eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if i == bad {
+			if !errors.Is(r, ErrInvalidProof) {
+				t.Errorf("corrupted proof %d not attributed: %v", i, r)
+			}
+			continue
+		}
+		if r != nil {
+			t.Errorf("valid proof %d rejected: %v", i, r)
+		}
+	}
+}
+
+func TestVerifyBatchMultipleCorrupted(t *testing.T) {
+	eng, vk, base, basePub := batchFixture(t, curve.NewBN254(), 16, 3)
+	const n = 16
+	proofs := make([]*Proof, n)
+	publics := make([][]ff.Element, n)
+	for i := 0; i < n; i++ {
+		proofs[i] = base[i%len(base)]
+		publics[i] = basePub[i%len(base)]
+	}
+	badSet := map[int]bool{0: true, 7: true, 15: true}
+	for i := range badSet {
+		tampered := *proofs[i]
+		tampered.C = eng.Curve.G1Gen
+		proofs[i] = &tampered
+	}
+	results, err := eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if badSet[i] != errors.Is(r, ErrInvalidProof) {
+			t.Errorf("proof %d: corrupted=%v but verdict %v", i, badSet[i], r)
+		}
+	}
+}
+
+func TestVerifyBatchRandomScalarsDefeatCancellation(t *testing.T) {
+	// Forgery: from a valid proof (A,B,C) craft (A,B,C+G) and (A,B,C−G).
+	// Each is individually invalid, but their invalid terms cancel in an
+	// UNrandomized fold: e(−(C+G),δ)·e(−(C−G),δ) contributes e(−2C,δ)
+	// exactly as two honest copies would. With per-proof random scalars
+	// the leftover e((r2−r1)·G, δ) survives and the fold rejects.
+	eng, vk, base, basePub := batchFixture(t, curve.NewBN254(), 16, 1)
+	c := eng.Curve
+
+	forge := func(sign int) *Proof {
+		p := *base[0]
+		var cj curve.G1Jac
+		c.G1FromAffine(&cj, &p.C)
+		g := c.G1Gen
+		if sign < 0 {
+			c.G1NegAffine(&g, &c.G1Gen)
+		}
+		c.G1AddAffine(&cj, &cj, &g)
+		c.G1ToAffine(&p.C, &cj)
+		return &p
+	}
+	proofs := []*Proof{forge(+1), forge(-1)}
+	publics := [][]ff.Element{basePub[0], basePub[0]}
+
+	// Both forgeries must fail individually.
+	for i, p := range proofs {
+		if err := eng.Verify(vk, p, publics[i]); !errors.Is(err, ErrInvalidProof) {
+			t.Fatalf("forged proof %d not rejected individually: %v", i, err)
+		}
+	}
+
+	// With fixed all-ones scalars the fold is fooled — this is exactly the
+	// attack the CSPRNG scalars exist to prevent.
+	fr := c.Fr
+	ones := make([]ff.Element, 2)
+	fr.One(&ones[0])
+	fr.One(&ones[1])
+	ok, err := eng.foldCheck(context.Background(), vk, proofs, publics, ones, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("unrandomized fold rejected the cancellation pair — test construction broken")
+	}
+
+	// The real API draws random scalars and must reject both.
+	results, err := eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !errors.Is(r, ErrInvalidProof) {
+			t.Errorf("randomized batch accepted forged proof %d (verdict %v)", i, r)
+		}
+	}
+}
+
+func TestVerifyBatchShapeErrors(t *testing.T) {
+	eng, vk, proofs, publics := batchFixture(t, curve.NewBN254(), 16, 3)
+	proofs = append(proofs, nil)
+	publics = append(publics, publics[0])
+	publics[1] = publics[1][:1] // truncated public witness
+
+	results, err := eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[3], ErrInvalidProof) {
+		t.Errorf("nil proof verdict: %v", results[3])
+	}
+	if !errors.Is(results[1], ErrInvalidProof) {
+		t.Errorf("short public witness verdict: %v", results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] != nil {
+			t.Errorf("valid proof %d rejected alongside malformed items: %v", i, results[i])
+		}
+	}
+}
+
+func TestVerifyBatchEdgeSizes(t *testing.T) {
+	eng, vk, proofs, publics := batchFixture(t, curve.NewBN254(), 16, 1)
+	results, err := eng.VerifyBatch(vk, nil, nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v %v", results, err)
+	}
+	results, err = eng.VerifyBatch(vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != nil {
+		t.Fatalf("singleton batch rejected valid proof: %v", results[0])
+	}
+	// Mismatched slice lengths are a caller bug, not a per-proof verdict.
+	if _, err := eng.VerifyBatch(vk, proofs, nil); err == nil {
+		t.Error("proofs/publics length mismatch not rejected")
+	}
+}

@@ -1,0 +1,123 @@
+package provesvc
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// coalescer opportunistically folds concurrent single /v1/verify calls
+// for the same circuit into one batched pairing check, so single-verify
+// callers get the shared-final-exponentiation amortization for free at
+// high QPS. A request waits at most window for company; a group flushes
+// early the moment it reaches max. At low QPS the only cost is the
+// window of added latency on lone requests — the latency/throughput
+// trade-off the window flag prices explicitly.
+type coalescer struct {
+	s      *Service
+	window time.Duration
+	max    int
+
+	mu     sync.Mutex
+	groups map[CircuitKey]*coalesceGroup
+}
+
+// coalesceGroup is the pending batch for one circuit key. It lives in
+// coalescer.groups until detached (by the max-filling caller or the
+// window timer); after detach it is owned by exactly one goroutine.
+type coalesceGroup struct {
+	reqs  []VerifyRequest
+	outs  []chan verifyOutcome
+	timer *time.Timer
+}
+
+// verifyOutcome carries one coalesced verify verdict back to its caller.
+type verifyOutcome struct {
+	ok  bool
+	err error
+}
+
+func newCoalescer(s *Service, window time.Duration, max int) *coalescer {
+	return &coalescer{s: s, window: window, max: max, groups: make(map[CircuitKey]*coalesceGroup)}
+}
+
+// verify enqueues one request into its circuit's pending group and waits
+// for the folded verdict. The caller that fills a group to max detaches
+// and runs it inline — no goroutine handoff on the hot path; otherwise
+// the window timer flushes whatever has accumulated.
+func (c *coalescer) verify(ctx context.Context, req VerifyRequest) (bool, error) {
+	if req.Curve == "" {
+		req.Curve = "bn128"
+	}
+	if req.Backend == "" {
+		req.Backend = DefaultBackend
+	}
+	if req.Proof == nil {
+		return false, fmt.Errorf("provesvc: verify: missing proof")
+	}
+	key := CircuitKey{
+		SourceHash: sha256.Sum256([]byte(req.Source)),
+		Curve:      req.Curve,
+		Backend:    req.Backend,
+	}
+	ch := make(chan verifyOutcome, 1)
+
+	c.mu.Lock()
+	g := c.groups[key]
+	if g == nil {
+		g = &coalesceGroup{}
+		c.groups[key] = g
+		g.timer = time.AfterFunc(c.window, func() { c.flushTimer(key, g) })
+	}
+	g.reqs = append(g.reqs, req)
+	g.outs = append(g.outs, ch)
+	var run *coalesceGroup
+	if len(g.reqs) >= c.max {
+		// Detach under the lock so no group ever exceeds max.
+		delete(c.groups, key)
+		run = g
+	}
+	c.mu.Unlock()
+	if run != nil {
+		run.timer.Stop()
+		c.run(run)
+	}
+
+	select {
+	case out := <-ch:
+		return out.ok, out.err
+	case <-ctx.Done():
+		// The fold still completes for the group's other members (it runs
+		// under the service context); this caller just stops waiting.
+		return false, ctx.Err()
+	}
+}
+
+// flushTimer is the window-expiry path: detach the group unless the
+// max-size path already won the race, then run it.
+func (c *coalescer) flushTimer(key CircuitKey, g *coalesceGroup) {
+	c.mu.Lock()
+	if c.groups[key] != g {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.groups, key)
+	c.mu.Unlock()
+	c.run(g)
+}
+
+// run executes a detached group's folded verify and delivers per-caller
+// verdicts. The batch runs under the service's base context, not any
+// single caller's: one caller's cancellation must not fail its
+// neighbours' verifies.
+func (c *coalescer) run(g *coalesceGroup) {
+	oks, errs := c.s.VerifyBatch(c.s.baseCtx, g.reqs)
+	if n := len(g.reqs); n > 1 {
+		c.s.met.vbCoalesced.Add(uint64(n))
+	}
+	for i, ch := range g.outs {
+		ch <- verifyOutcome{ok: oks[i], err: errs[i]}
+	}
+}

@@ -29,23 +29,29 @@ const DefaultMaxBodyBytes = 4 << 20
 // The HTTP front-end: stdlib-only JSON endpoints over the service,
 // versioned under /v1.
 //
-//	POST /v1/prove        {"curve","backend","circuit","inputs":{name:value},"timeout_ms"}
-//	POST /v1/prove/batch  {"requests":[<prove body>, …]}
-//	POST /v1/verify       {"curve","backend","circuit","proof","public":[values]}
-//	POST /v1/jobs         async submit: {"kind", …} → 202 + job ID (see jobs_http.go)
-//	GET  /v1/jobs/{id}    poll an async job; DELETE cancels it
-//	GET  /v1/stats        the documented {service,queue,cache,backends,…,jobs} snapshot
-//	GET  /v1/metrics      Prometheus text exposition of the telemetry registry
-//	GET  /v1/healthz      200 while accepting work, 503 while draining
+//	POST /v1/prove         {"curve","backend","circuit","inputs":{name:value},"timeout_ms"}
+//	POST /v1/prove/batch   {"items":[<prove body>, …]}
+//	POST /v1/verify        {"curve","backend","circuit","proof","public":[values]}
+//	POST /v1/verify/batch  {"items":[<verify body>, …]}
+//	POST /v1/jobs          async submit: {"kind", …} or {"items":[…]} → 202 (see jobs_http.go)
+//	GET  /v1/jobs/{id}     poll an async job; DELETE cancels it
+//	GET  /v1/stats         the documented {service,queue,cache,backends,…,jobs} snapshot
+//	GET  /v1/metrics       Prometheus text exposition of the telemetry registry
+//	GET  /v1/healthz       200 while accepting work, 503 while draining
 //
 // Every request gets an ID: the value of an incoming X-Request-Id header
 // if present, a fresh one otherwise. The ID is echoed in the response's
 // X-Request-Id header, attached to the request context (visible to the
 // telemetry probe and access logs) for the whole job.
 //
-// The legacy unversioned paths answer 308 Permanent Redirect to their
-// /v1 equivalents (clients following redirects re-send the body, per RFC
-// 9110 §15.4.9). "backend" selects the proving scheme and defaults to
+// The batch endpoints share one convention: the request is
+// {"items":[…]} and the response is {"results":[{"index",…}]} with one
+// entry per item, where a failed item carries the standard error
+// envelope under "error" instead of its result fields. /v1/prove/batch
+// also still accepts the deprecated {"requests":[…]} spelling for one
+// release. The legacy unversioned paths (removed after a deprecation
+// cycle of 308 redirects) answer 410 with the error envelope, code
+// "gone". "backend" selects the proving scheme and defaults to
 // "groth16". Field elements travel as decimal or 0x-hex strings; proofs
 // as hex of the backend's serialization.
 //
@@ -74,6 +80,10 @@ type proveReply struct {
 }
 
 type batchBody struct {
+	// Items is the unified batch shape shared with /v1/verify/batch and
+	// POST /v1/jobs. Requests is the pre-unification spelling, still
+	// accepted for one release; Items wins when both are present.
+	Items    []proveBody `json:"items"`
 	Requests []proveBody `json:"requests"`
 }
 
@@ -84,6 +94,7 @@ type errEnvelope struct {
 }
 
 type batchItem struct {
+	Index int `json:"index"`
 	*proveReply
 	Error *errEnvelope `json:"error,omitempty"`
 }
@@ -96,24 +107,52 @@ type verifyBody struct {
 	Public  []string `json:"public"`
 }
 
+type verifyBatchBody struct {
+	Items []verifyBody `json:"items"`
+}
+
+// verifyBatchItem is one slot of the /v1/verify/batch response. Valid is
+// a pointer so a checked-but-invalid proof serializes as "valid": false
+// while an errored item omits the field entirely.
+type verifyBatchItem struct {
+	Index int          `json:"index"`
+	Valid *bool        `json:"valid,omitempty"`
+	Error *errEnvelope `json:"error,omitempty"`
+}
+
 // NewHandler wraps the service in an http.Handler serving the /v1 API,
-// with 308 redirects from the legacy unversioned paths and request-ID
-// stamping on every route.
+// with request-ID stamping on every route. The legacy unversioned paths
+// (308 redirects until their deprecation cycle ended) now answer 410
+// with the standard envelope, code "gone".
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/metrics", "/healthz"} {
-		mux.Handle(path, http.RedirectHandler("/v1"+path, http.StatusPermanentRedirect))
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/verify/batch", "/jobs", "/stats", "/metrics", "/healthz"} {
+		mux.HandleFunc(path, s.handleLegacyGone)
 	}
 	return withRequestID(mux)
+}
+
+// handleLegacyGone answers the removed unversioned paths. A JSON
+// envelope (not a redirect) keeps the failure explicit and machine
+// readable: code "gone" is non-retryable, and the message names the
+// /v1 path to use instead.
+func (s *Service) handleLegacyGone(w http.ResponseWriter, r *http.Request) {
+	s.recordErrorCode("gone")
+	writeJSON(w, http.StatusGone, &errEnvelope{
+		Code:      "gone",
+		Message:   fmt.Sprintf("provesvc: unversioned path %s was removed; use /v1%s", r.URL.Path, r.URL.Path),
+		Retryable: false,
+	})
 }
 
 // withRequestID is the edge middleware that gives every request an ID:
@@ -345,14 +384,19 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
-	reqs := make([]ProveRequest, len(body.Requests))
-	parseErrs := make([]error, len(body.Requests))
-	for i, b := range body.Requests {
+	list := body.Items
+	if list == nil {
+		list = body.Requests // deprecated spelling, one-release grace
+	}
+	reqs := make([]ProveRequest, len(list))
+	parseErrs := make([]error, len(list))
+	for i, b := range list {
 		reqs[i], parseErrs[i] = s.toRequest(b)
 	}
 	results, errs := s.ProveBatch(r.Context(), reqs)
 	items := make([]batchItem, len(reqs))
 	for i := range items {
+		items[i].Index = i
 		err := parseErrs[i]
 		if err == nil {
 			err = errs[i]
@@ -364,6 +408,45 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 			_, items[i].Error = envelope(err)
 			s.recordErrorCode(items[i].Error.Code)
 		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
+}
+
+// handleVerifyBatch is POST /v1/verify/batch: the unified batch shape
+// over VerifyBatch, so all same-circuit items share one folded pairing
+// check. Per-item failures (undecodable proof, unknown backend) ride in
+// the item's error envelope; the batch itself always answers 200.
+func (s *Service) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(r.Context(), faultinject.PointHTTPVerify); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrInternal, err))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
+	var body verifyBatchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	reqs := make([]VerifyRequest, len(body.Items))
+	parseErrs := make([]error, len(body.Items))
+	for i, b := range body.Items {
+		reqs[i], parseErrs[i] = s.toVerifyRequest(b)
+	}
+	oks, errs := s.VerifyBatch(r.Context(), reqs)
+	items := make([]verifyBatchItem, len(reqs))
+	for i := range items {
+		items[i].Index = i
+		err := parseErrs[i]
+		if err == nil {
+			err = errs[i]
+		}
+		if err != nil {
+			_, items[i].Error = envelope(err)
+			s.recordErrorCode(items[i].Error.Code)
+			continue
+		}
+		valid := oks[i]
+		items[i].Valid = &valid
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": items})
 }

@@ -247,46 +247,40 @@ func TestHTTPPlonkProveVerify(t *testing.T) {
 	}
 }
 
-// TestHTTPLegacyRedirect pins the migration contract: unversioned paths
-// answer 308 with the /v1 location, and a client that follows redirects
-// (re-sending the POST body, per RFC 9110 §15.4.9) still gets served.
-func TestHTTPLegacyRedirect(t *testing.T) {
+// TestHTTPLegacyGone pins the end of the migration contract: the
+// unversioned paths, deprecated as 308 redirects since the /v1 split,
+// now answer 410 with the standard envelope (code "gone", not
+// retryable) naming the /v1 replacement — and the error is visible to
+// the operator in the /v1/stats errors block.
+func TestHTTPLegacyGone(t *testing.T) {
 	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(19))
 	s.Start()
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 
-	noFollow := &http.Client{
-		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			return http.ErrUseLastResponse
-		},
-	}
-	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/stats", "/healthz"} {
-		resp, err := noFollow.Post(ts.URL+path, "application/json", bytes.NewReader([]byte("{}")))
-		if err != nil {
-			t.Fatal(err)
+	for _, path := range []string{"/prove", "/prove/batch", "/verify", "/verify/batch", "/jobs", "/stats", "/healthz"} {
+		resp, out := postJSON(t, ts.URL+path, map[string]any{})
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("%s status = %d, want 410", path, resp.StatusCode)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusPermanentRedirect {
-			t.Errorf("%s status = %d, want 308", path, resp.StatusCode)
-		}
-		if loc := resp.Header.Get("Location"); loc != "/v1"+path {
-			t.Errorf("%s Location = %q, want %q", path, loc, "/v1"+path)
+		wantEnvelope(t, out, "gone", false)
+		if msg, _ := out["message"].(string); !strings.Contains(msg, "/v1"+path) {
+			t.Errorf("%s gone message %q does not name the /v1 path", path, msg)
 		}
 	}
 
-	// The default client follows the 308 and re-sends the body: a legacy
-	// prove call keeps working end to end.
-	resp, out := postJSON(t, ts.URL+"/prove", map[string]any{
-		"circuit": circuit.ExponentiateSource(8),
-		"inputs":  map[string]string{"x": "2"},
-	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy prove via redirect status = %d, body %v", resp.StatusCode, out)
+	var st Snapshot
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if p, _ := out["proof"].(string); p == "" {
-		t.Fatal("legacy prove via redirect returned no proof")
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors["gone"] != 7 {
+		t.Errorf("errors[gone] = %d, want 7", st.Errors["gone"])
 	}
 }
 
@@ -444,19 +438,14 @@ func TestHTTPMetrics(t *testing.T) {
 		}
 	}
 
-	// The legacy path answers 308 like every other route.
-	noFollow := &http.Client{
-		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			return http.ErrUseLastResponse
-		},
-	}
-	lresp, err := noFollow.Get(ts.URL + "/metrics")
+	// The legacy path answers 410 like every other unversioned route.
+	lresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	lresp.Body.Close()
-	if lresp.StatusCode != http.StatusPermanentRedirect {
-		t.Errorf("/metrics status = %d, want 308", lresp.StatusCode)
+	if lresp.StatusCode != http.StatusGone {
+		t.Errorf("/metrics status = %d, want 410", lresp.StatusCode)
 	}
 }
 

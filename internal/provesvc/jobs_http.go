@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"zkperf/internal/backend"
@@ -18,6 +19,9 @@ import (
 //
 //	POST   /v1/jobs       {"kind":"prove"|"verify", …prove or verify body}
 //	                      → 202 {"id","kind","state"}
+//	POST   /v1/jobs       {"items":[<job body>, …]} → 202 {"results":
+//	                      [{"index","id","kind","state"} | {"index","error"}]}
+//	                      — the unified batch shape; admission is per item
 //	GET    /v1/jobs/{id}  → {"id","kind","state","wait_ms","run_ms",
 //	                         "result"?, "error"?}
 //	DELETE /v1/jobs/{id}  → same shape; cancels a live job (idempotent)
@@ -71,30 +75,30 @@ func jobReplyOf(j *jobs.Job) *jobReply {
 	return rep
 }
 
-func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
-	var body jobBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
-		return
-	}
-	if body.Kind == "" {
-		body.Kind = "prove"
-	}
-	// The job context is detached from this request, but the request ID
-	// travels with it so the probe and access logs line up across the
-	// submit and the eventual execution.
-	reqID := telemetry.RequestIDFromContext(r.Context())
+// jobBatchItem is one slot of the batch-submit response: the accepted
+// job's reply fields, or the error envelope for a rejected item.
+type jobBatchItem struct {
+	Index int `json:"index"`
+	*jobReply
+	Error *errEnvelope `json:"error,omitempty"`
+}
 
-	var run jobs.RunFunc
-	switch body.Kind {
+// buildJobRun converts one job body into (kind, RunFunc); shared by the
+// single and batch submit paths. reqID travels with the detached job
+// context so the probe and access logs line up across submit and
+// execution.
+func (s *Service) buildJobRun(body jobBody, reqID string) (string, jobs.RunFunc, error) {
+	kind := body.Kind
+	if kind == "" {
+		kind = "prove"
+	}
+	switch kind {
 	case "prove":
 		req, err := s.toRequest(body.proveBody)
 		if err != nil {
-			s.writeError(w, err)
-			return
+			return kind, nil, err
 		}
-		run = func(ctx context.Context, started func()) (any, error) {
+		return kind, func(ctx context.Context, started func()) (any, error) {
 			ctx = telemetry.WithRequestID(ctx, reqID)
 			req.OnStart = started
 			res, err := s.Prove(ctx, req)
@@ -102,7 +106,7 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return s.toReply(res)
-		}
+		}, nil
 	case "verify":
 		vreq, err := s.toVerifyRequest(verifyBody{
 			Curve:   body.Curve,
@@ -112,10 +116,9 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			Public:  body.Public,
 		})
 		if err != nil {
-			s.writeError(w, err)
-			return
+			return kind, nil, err
 		}
-		run = func(ctx context.Context, started func()) (any, error) {
+		return kind, func(ctx context.Context, started func()) (any, error) {
 			// Verify runs inline on the dispatcher — there is no worker
 			// queue in front of it, so it is running from the first moment.
 			started()
@@ -125,13 +128,57 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return map[string]bool{"valid": valid}, nil
-		}
+		}, nil
 	default:
-		s.writeError(w, fmt.Errorf("provesvc: unknown job kind %q (want prove or verify)", body.Kind))
+		return kind, nil, fmt.Errorf("provesvc: unknown job kind %q (want prove or verify)", kind)
+	}
+}
+
+func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	reqID := telemetry.RequestIDFromContext(r.Context())
+
+	// The unified batch shape: {"items":[…]} submits several jobs with
+	// per-item admission. Any object without items is a single submit.
+	var batch struct {
+		Items []jobBody `json:"items"`
+	}
+	if err := json.Unmarshal(data, &batch); err == nil && len(batch.Items) > 0 {
+		out := make([]jobBatchItem, len(batch.Items))
+		for i, body := range batch.Items {
+			out[i].Index = i
+			kind, run, err := s.buildJobRun(body, reqID)
+			var j *jobs.Job
+			if err == nil {
+				j, err = s.jobMgr.Submit(kind, run)
+			}
+			if err != nil {
+				_, out[i].Error = envelope(err)
+				s.recordErrorCode(out[i].Error.Code)
+				continue
+			}
+			out[i].jobReply = jobReplyOf(j)
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"results": out})
 		return
 	}
 
-	j, err := s.jobMgr.Submit(body.Kind, run)
+	var body jobBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
+		return
+	}
+	kind, run, err := s.buildJobRun(body, reqID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.jobMgr.Submit(kind, run)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -79,6 +79,8 @@ type config struct {
 	jobTTL         time.Duration
 	jobSweep       time.Duration
 	jobMaxActive   int
+	verifyWindow   time.Duration
+	verifyMax      int
 	tel            *telemetry.Telemetry
 	telSet         bool // distinguishes "default" from WithTelemetry(nil)
 }
@@ -173,6 +175,16 @@ func WithJobTTL(ttl, sweepEvery time.Duration) Option {
 // submissions beyond it are shed with 429 too_many_jobs.
 func WithJobMaxActive(n int) Option {
 	return func(c *config) { c.jobMaxActive = n }
+}
+
+// WithVerifyCoalesce folds concurrent single Verify calls for the same
+// circuit into batched pairing checks: a request waits up to window for
+// company and a pending group flushes as soon as it holds max requests.
+// Disabled by default (window 0 or max < 2) — lone requests would pay
+// the window as pure added latency; enable it on deployments where
+// verify QPS per circuit makes batches actually form.
+func WithVerifyCoalesce(window time.Duration, max int) Option {
+	return func(c *config) { c.verifyWindow, c.verifyMax = window, max }
 }
 
 // WithSeed seeds the setup and blinding RNGs. Pin it for reproducible
@@ -277,6 +289,7 @@ type Service struct {
 	tel     *telemetry.Telemetry
 	breaker *breakerGroup
 	jobMgr  *jobs.Manager
+	coal    *coalescer // nil unless WithVerifyCoalesce enabled it
 
 	// artifactErr records a WithArtifactDir init failure: the service
 	// still serves (without persistence), and the caller decides whether
@@ -330,6 +343,9 @@ func New(opts ...Option) *Service {
 	if cfg.artifactDir != "" {
 		s.artifactErr = s.reg.SetArtifactDir(cfg.artifactDir)
 	}
+	if cfg.verifyWindow > 0 && cfg.verifyMax > 1 {
+		s.coal = newCoalescer(s, cfg.verifyWindow, cfg.verifyMax)
+	}
 	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.backends))
 	for _, name := range s.reg.Backends() {
 		s.met.perBackend[name] = &backendMetrics{}
@@ -369,6 +385,18 @@ func New(opts ...Option) *Service {
 			func() float64 { return float64(s.jobMgr.Snapshot().Rejected) })
 		reg.GaugeFunc("zkp_jobs_oldest_queued_ms", "Age of the oldest queued async job.",
 			func() float64 { return s.jobMgr.Snapshot().OldestQueuedMs })
+		reg.GaugeFunc("zkp_verify_batch_total", "Folded verify batches served.",
+			func() float64 { return float64(s.met.vbBatches.Load()) })
+		reg.GaugeFunc("zkp_verify_batch_proofs_total", "Proofs verified through folded batches.",
+			func() float64 { return float64(s.met.vbProofs.Load()) })
+		reg.GaugeFunc("zkp_verify_coalesced_total", "Single verifies opportunistically folded into shared batches.",
+			func() float64 { return float64(s.met.vbCoalesced.Load()) })
+		reg.GaugeFunc("zkp_verify_batch_size", "Verify batch size distribution.",
+			func() float64 { return float64(s.met.vbSize.quantile(0.50)) },
+			telemetry.Label{Name: "quantile", Value: "p50"})
+		reg.GaugeFunc("zkp_verify_batch_size", "Verify batch size distribution.",
+			func() float64 { return float64(s.met.vbSize.quantile(0.95)) },
+			telemetry.Label{Name: "quantile", Value: "p95"})
 	}
 	return s
 }
@@ -719,6 +747,11 @@ func (s *Service) fail(j *job, err error) {
 // not worth a queue slot. Returns (false, nil) for a well-formed but
 // invalid proof and (false, err) for infrastructure errors.
 func (s *Service) Verify(ctx context.Context, req VerifyRequest) (bool, error) {
+	// Under coalescing, single verifies detour through the shared-batch
+	// collector; the folded check itself runs via VerifyBatch.
+	if s.coal != nil {
+		return s.coal.verify(ctx, req)
+	}
 	if req.Curve == "" {
 		req.Curve = "bn128"
 	}
@@ -798,7 +831,14 @@ func (s *Service) Stats() Snapshot {
 			HitRate: hitRate,
 			Setups:  s.reg.Setups(),
 		},
-		Backends:  backends,
+		Backends: backends,
+		VerifyBatch: VerifyBatchStats{
+			Batches:   s.met.vbBatches.Load(),
+			Proofs:    s.met.vbProofs.Load(),
+			Coalesced: s.met.vbCoalesced.Load(),
+			Size:      s.met.vbSize.summary(),
+			Latency:   s.met.vbLat.summary(),
+		},
 		Breaker:   s.breaker.stats(),
 		Artifacts: s.reg.ArtifactStats(),
 		Errors:    s.met.errorSnapshot(),

@@ -81,6 +81,72 @@ func (h *histogram) summary() StageSummary {
 	return s
 }
 
+// sizeHistogram is the count analogue of histogram: lock-free log₂
+// buckets over small integers (verify batch sizes). Bucket i covers
+// [2^{i−1}, 2^i); quantiles report the bucket's upper bound.
+type sizeHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [17]atomic.Uint64 // bucket 16 covers sizes ≥ 32768
+}
+
+func (h *sizeHistogram) Observe(n int) {
+	if n < 0 {
+		n = 0
+	}
+	i := bits.Len64(uint64(n))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// quantile returns the p-quantile as a bucket upper bound (0 when empty).
+func (h *sizeHistogram) quantile(p float64) uint64 {
+	var counts [17]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(p * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << uint(len(counts)-1)
+}
+
+// SizeSummary is the JSON digest of a sizeHistogram.
+type SizeSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+}
+
+func (h *sizeHistogram) summary() SizeSummary {
+	s := SizeSummary{Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(h.sum.Load()) / float64(s.Count)
+	s.P50 = h.quantile(0.50)
+	s.P95 = h.quantile(0.95)
+	return s
+}
+
 // backendMetrics is the per-backend slice of the service metrics, so
 // /v1/stats can show where each scheme's latency distribution sits (the
 // MSM- vs NTT-bound trade-off the comparative literature predicts) and
@@ -115,6 +181,14 @@ type metrics struct {
 	inFlight  atomic.Int64  // jobs currently executing on a worker
 
 	queueWait histogram // enqueue → worker pickup
+
+	// Folded-verify accounting: one "batch" per same-circuit group that
+	// went through a folded check (VerifyBatch or the coalescer).
+	vbBatches   atomic.Uint64
+	vbProofs    atomic.Uint64
+	vbCoalesced atomic.Uint64 // single verifies that shared a fold
+	vbSize      sizeHistogram
+	vbLat       histogram // wall time per folded batch
 
 	perBackend map[string]*backendMetrics
 
@@ -215,6 +289,18 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 	}
 }
 
+// VerifyBatchStats is the `verify_batch` block of /v1/stats: how many
+// folded verify checks ran, how many proofs they covered, how many
+// single verifies the coalescer folded together, and the batch size and
+// latency distributions.
+type VerifyBatchStats struct {
+	Batches   uint64       `json:"batches"`
+	Proofs    uint64       `json:"proofs"`
+	Coalesced uint64       `json:"coalesced"`
+	Size      SizeSummary  `json:"size"`
+	Latency   StageSummary `json:"latency"`
+}
+
 // Snapshot is the stable /v1/stats response shape, shared by the HTTP
 // handler and the zkcli `stats` subcommand:
 //
@@ -227,6 +313,9 @@ func (b *backendMetrics) snapshot() BackendSnapshot {
 //	                panics, timeouts,
 //	                stages:{"witness"|"prove"|"verify"|"total": {count,
 //	                mean_ms, p50_ms, p95_ms, p99_ms}}}, …},
+//	  "verify_batch": {batches, proofs, coalesced,
+//	                size:{count, mean, p50, p95},
+//	                latency:{count, mean_ms, p50_ms, p95_ms, p99_ms}},
 //	  "breaker":   {enabled, threshold, cooldown_ms, open, trips, shed},
 //	  "artifacts": {enabled, dir, disk_loads, disk_writes, quarantined,
 //	                write_errors},
@@ -243,6 +332,9 @@ type Snapshot struct {
 	Queue    QueueStats                 `json:"queue"`
 	Cache    CacheStats                 `json:"cache"`
 	Backends map[string]BackendSnapshot `json:"backends"`
+	// VerifyBatch aggregates the folded-verification path (/v1/verify/batch
+	// and the single-verify coalescer).
+	VerifyBatch VerifyBatchStats `json:"verify_batch"`
 	// Breaker is the per-circuit breaker's aggregate state.
 	Breaker BreakerStats `json:"breaker"`
 	// Artifacts is the disk artifact store's state (zero when disabled).

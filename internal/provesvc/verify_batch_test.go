@@ -1,0 +1,333 @@
+package provesvc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zkperf/internal/circuit"
+	"zkperf/internal/ff"
+)
+
+// proveOne is a test helper: one synchronous prove through the service,
+// returning the result so its proof/public can feed verify requests.
+func proveOne(t *testing.T, s *Service, src, backendName string, x uint64) *ProveResult {
+	t.Helper()
+	res, err := s.Prove(context.Background(), ProveRequest{
+		Backend: backendName,
+		Source:  src,
+		Inputs:  assignX(t, s, "bn128", x),
+	})
+	if err != nil {
+		t.Fatalf("prove(%s, x=%d): %v", backendName, x, err)
+	}
+	return res
+}
+
+// TestServiceVerifyBatchGrouping drives VerifyBatch with a mixed bag:
+// two distinct circuits (two fold groups), a valid and an invalid proof
+// in the same group, and a malformed request. Results must stay
+// index-aligned and the batch counters must reflect two folds.
+func TestServiceVerifyBatchGrouping(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(31))
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	srcA := circuit.ExponentiateSource(8)
+	srcB := circuit.ExponentiateSource(16)
+	resA := proveOne(t, s, srcA, "", 2)
+	resA2 := proveOne(t, s, srcA, "", 3)
+	resB := proveOne(t, s, srcB, "", 2)
+
+	reqs := []VerifyRequest{
+		{Source: srcA, Proof: resA.Proof, Public: resA.Public},
+		{Source: srcB, Proof: resB.Proof, Public: resB.Public},
+		// Same group as item 0, but the proof belongs to x=3 while the
+		// public claims x=2's output: invalid, and only this item.
+		{Source: srcA, Proof: resA2.Proof, Public: resA.Public},
+		{Source: srcA}, // missing proof: per-item error, never folded
+	}
+	oks, errs := s.VerifyBatch(context.Background(), reqs)
+	if !oks[0] || !oks[1] {
+		t.Errorf("oks = %v, want items 0 and 1 valid", oks)
+	}
+	if oks[2] || errs[2] != nil {
+		t.Errorf("item 2 = (%v, %v), want invalid with nil error", oks[2], errs[2])
+	}
+	if errs[3] == nil {
+		t.Error("item 3 with nil proof should carry an error")
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Errorf("errs = %v, want nil for valid items", errs)
+	}
+
+	st := s.Stats().VerifyBatch
+	if st.Batches != 2 {
+		t.Errorf("verify_batch.batches = %d, want 2 (one per circuit)", st.Batches)
+	}
+	if st.Proofs != 3 {
+		t.Errorf("verify_batch.proofs = %d, want 3 (malformed item excluded)", st.Proofs)
+	}
+	if st.Coalesced != 0 {
+		t.Errorf("verify_batch.coalesced = %d, want 0 without the coalescer", st.Coalesced)
+	}
+	if st.Size.Count != 2 || st.Latency.Count != 2 {
+		t.Errorf("verify_batch size/latency counts = %d/%d, want 2/2", st.Size.Count, st.Latency.Count)
+	}
+}
+
+// TestHTTPVerifyBatch pins the POST /v1/verify/batch wire contract:
+// {"items":[…]} in, index-aligned {"results":[{"index","valid"|"error"}]}
+// out, always 200 — per-item failures never fail their neighbours.
+func TestHTTPVerifyBatch(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(37))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	prove := map[string]any{"circuit": src, "inputs": map[string]string{"x": "3"}}
+	resp, out := postJSON(t, ts.URL+"/v1/prove", prove)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prove status = %d, body %v", resp.StatusCode, out)
+	}
+	proofHex, _ := out["proof"].(string)
+
+	body := map[string]any{"items": []map[string]any{
+		{"circuit": src, "proof": proofHex, "public": []string{"43046721"}},
+		{"circuit": src, "proof": proofHex, "public": []string{"999"}},  // wrong public: invalid
+		{"circuit": src, "proof": "zz", "public": []string{"43046721"}}, // undecodable: envelope
+		{"circuit": src, "proof": proofHex, "public": []string{"43046721"}, "backend": "stark"},
+	}}
+	resp, out = postJSON(t, ts.URL+"/v1/verify/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify/batch status = %d, body %v", resp.StatusCode, out)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("results = %d items, want 4", len(results))
+	}
+	for i, want := range []struct {
+		valid any
+		code  string
+	}{
+		{valid: true},
+		{valid: false},
+		{code: "bad_request"},
+		{code: "unknown_backend"},
+	} {
+		item := results[i].(map[string]any)
+		if idx := item["index"]; idx != float64(i) {
+			t.Errorf("results[%d].index = %v, want %d", i, idx, i)
+		}
+		if want.code != "" {
+			env, _ := item["error"].(map[string]any)
+			if env == nil {
+				t.Errorf("results[%d] = %v, want an error envelope", i, item)
+				continue
+			}
+			wantEnvelope(t, env, want.code, false)
+			if _, has := item["valid"]; has {
+				t.Errorf("results[%d] carries both valid and error", i)
+			}
+			continue
+		}
+		if item["valid"] != want.valid {
+			t.Errorf("results[%d].valid = %v, want %v", i, item["valid"], want.valid)
+		}
+	}
+
+	var st Snapshot
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.VerifyBatch.Batches != 1 || st.VerifyBatch.Proofs != 2 {
+		t.Errorf("verify_batch = %+v, want 1 batch of 2 folded proofs", st.VerifyBatch)
+	}
+}
+
+// TestHTTPProveBatchItems pins the unified request shape: /v1/prove/batch
+// takes {"items":[…]} (the deprecated {"requests":[…]} alias is covered by
+// TestHTTPBatch) and each result slot carries its index.
+func TestHTTPProveBatchItems(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(41))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	body := map[string]any{"items": []map[string]any{
+		{"circuit": src, "inputs": map[string]string{"x": "2"}},
+		{"circuit": src, "inputs": map[string]string{}}, // missing input
+	}}
+	resp, out := postJSON(t, ts.URL+"/v1/prove/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d items, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["index"] != float64(0) || first["proof"] == "" {
+		t.Errorf("results[0] = %v, want index 0 with a proof", first)
+	}
+	second := results[1].(map[string]any)
+	env, _ := second["error"].(map[string]any)
+	if second["index"] != float64(1) || env == nil {
+		t.Fatalf("results[1] = %v, want index 1 with an error envelope", second)
+	}
+	wantEnvelope(t, env, "bad_request", false)
+}
+
+// TestHTTPJobsBatchSubmit pins batch submit on POST /v1/jobs: admission
+// is per item — a rejected slot carries its envelope while its
+// neighbours are accepted and run to completion.
+func TestHTTPJobsBatchSubmit(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(43))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	body := map[string]any{"items": []map[string]any{
+		{"kind": "prove", "circuit": src, "inputs": map[string]string{"x": "2"}},
+		{"kind": "transmute", "circuit": src},
+	}}
+	resp, out := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("jobs batch status = %d, body %v", resp.StatusCode, out)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d items, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	id, _ := first["id"].(string)
+	if first["index"] != float64(0) || id == "" {
+		t.Fatalf("results[0] = %v, want index 0 with a job id", first)
+	}
+	second := results[1].(map[string]any)
+	env, _ := second["error"].(map[string]any)
+	if env == nil {
+		t.Fatalf("results[1] = %v, want an error envelope for the unknown kind", second)
+	}
+	wantEnvelope(t, env, "bad_request", false)
+
+	// The accepted job runs to completion and serves its result.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jresp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr map[string]any
+		if err := json.NewDecoder(jresp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		jresp.Body.Close()
+		if jr["state"] == "done" {
+			break
+		}
+		if jr["state"] == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job %s state = %v, want done", id, jr["state"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestVerifyCoalesceBounds exercises the coalescer's two flush paths
+// under -race: with max=4 and nine concurrent same-circuit callers the
+// group splits 4+4+1 (appends are serialized and a group detaches the
+// instant it reaches max, so no batch ever exceeds it), and the
+// straggler is flushed by the window timer rather than waiting forever.
+// One caller presents a wrong public input and must be the only one
+// told invalid.
+func TestVerifyCoalesceBounds(t *testing.T) {
+	const window, max = 250 * time.Millisecond, 4
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(47),
+		WithVerifyCoalesce(window, max))
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	src := circuit.ExponentiateSource(8)
+	res := proveOne(t, s, src, "", 2)
+
+	const callers = 9
+	const badCaller = 5
+	oks := make([]bool, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := VerifyRequest{Source: src, Proof: res.Proof, Public: res.Public}
+			if i == badCaller {
+				// Claim y=1 instead of the real output: invalid, and the
+				// fold's bisection must pin the blame on this caller alone.
+				pub := make([]ff.Element, len(res.Public))
+				copy(pub, res.Public)
+				pub[1] = pub[0]
+				req.Public = pub
+			}
+			oks[i], errs[i] = s.Verify(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Errorf("caller %d error: %v", i, errs[i])
+		}
+		if oks[i] != (i != badCaller) {
+			t.Errorf("caller %d valid = %v, want %v", i, oks[i], i != badCaller)
+		}
+	}
+	// The straggler group waits for the window timer; everyone is done
+	// within a few windows (plus fold time — generous for -race), not
+	// hanging on a never-filled group.
+	if elapsed > 30*window {
+		t.Errorf("coalesced verifies took %v, want well under %v", elapsed, 30*window)
+	}
+
+	st := s.Stats().VerifyBatch
+	if st.Proofs != callers {
+		t.Errorf("verify_batch.proofs = %d, want %d", st.Proofs, callers)
+	}
+	if st.Batches != 3 {
+		t.Errorf("verify_batch.batches = %d, want 3 (4+4+1 split)", st.Batches)
+	}
+	if st.Coalesced != 8 {
+		t.Errorf("verify_batch.coalesced = %d, want 8 (the two full groups)", st.Coalesced)
+	}
+
+	// A caller whose context is already dead stops waiting immediately
+	// but must not poison the group: the timer still folds it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Verify(ctx, VerifyRequest{Source: src, Proof: res.Proof, Public: res.Public}); err == nil {
+		t.Error("verify with canceled context should return the context error")
+	}
+	deadline := time.Now().Add(20 * window)
+	for s.Stats().VerifyBatch.Batches != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned request was never flushed by the window timer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

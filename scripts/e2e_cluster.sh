@@ -98,6 +98,32 @@ SETUPS2=$(setups_total)
     exit 1
 }
 
+echo "e2e: batched verify through the gateway (scatter across both shards)"
+"$BASE/zkcli" prove -addr "$GW_URL" -circuit "$BASE/c32.zkc" -input x=2 \
+    -proof "$BASE/c32.proof" >>"$BASE/cli.log" 2>&1
+"$BASE/zkcli" prove -addr "$GW_URL" -circuit "$BASE/c64.zkc" -input x=2 \
+    -proof "$BASE/c64.proof" >>"$BASE/cli.log" 2>&1
+cat > "$BASE/manifest.json" <<EOF
+[
+  {"circuit": "$BASE/c32.zkc", "proof": "$BASE/c32.proof", "public": ["4294967296"]},
+  {"circuit": "$BASE/c64.zkc", "proof": "$BASE/c64.proof", "public": ["18446744073709551616"]}
+]
+EOF
+"$BASE/zkcli" verify -addr "$GW_URL" -batch "$BASE/manifest.json" >>"$BASE/cli.log" 2>&1 || {
+    echo "e2e: FAIL gateway verify-batch rejected valid proofs"; exit 1
+}
+# A corrupted manifest entry must fail the command (per-item attribution).
+cat > "$BASE/manifest-bad.json" <<EOF
+[
+  {"circuit": "$BASE/c32.zkc", "proof": "$BASE/c32.proof", "public": ["4294967296"]},
+  {"circuit": "$BASE/c64.zkc", "proof": "$BASE/c64.proof", "public": ["999"]}
+]
+EOF
+if "$BASE/zkcli" verify -addr "$GW_URL" -batch "$BASE/manifest-bad.json" >>"$BASE/cli.log" 2>&1; then
+    echo "e2e: FAIL gateway verify-batch accepted a wrong public input"
+    exit 1
+fi
+
 echo "e2e: killing node a — its shard must fail over"
 kill "$(cat "$BASE/node-a.pid")"
 rm -f "$BASE/node-a.pid"
