@@ -36,3 +36,13 @@ go test -run '^$' -fuzz '^FuzzReadVerifyingKey$' -fuzztime=5s ./internal/backend
 # sockets — async jobs complete, routing stays shard-stable (per-node
 # setup counters stop growing), and killing a node fails its shard over.
 sh scripts/e2e_cluster.sh
+# Load-harness smoke: a short closed-loop zkload run against an
+# in-process zkserve (Zipf 1.0, a few hundred requests) must finish with
+# non-zero throughput (zkload exits 1 on zero successes) and a
+# well-formed percentile report.
+out="$(go run ./cmd/zkload -inproc -inproc-workers 2 -requests 300 \
+    -warmup 0s -measure 60s -circuits 8 -clients 4 -zipf 1.0 -seed 7)"
+echo "$out"
+echo "$out" | grep -q 'zkload: result ok=300 err=0'
+echo "$out" | grep -Eq 'zkload: latency_ms all +n=300 p50=[0-9.]+ p90=[0-9.]+ p95=[0-9.]+ p99=[0-9.]+'
+echo "$out" | grep -q 'zkload: sched enabled=true'

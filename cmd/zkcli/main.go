@@ -472,6 +472,19 @@ func cmdStats(args []string) error {
 		st.Queue.Wait.P50Ms, st.Queue.Wait.P99Ms)
 	fmt.Printf("cache:   hits=%d misses=%d hit_rate=%.2f setups=%d\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate, st.Cache.Setups)
+	sc := st.Sched
+	fmt.Printf("sched:   enabled=%v workers=%d reserved=%d cold=%d budget=%d threads hot=%d queue(hot=%d cold=%d) arrivals=%.2f/s drain=%.2f/s\n",
+		sc.Enabled, sc.Workers, sc.ReservedWorkers, sc.ColdWorkers,
+		sc.ThreadBudget, sc.HotCount, sc.HotQueueDepth, sc.ColdQueueDepth,
+		sc.ArrivalRatePerSec, sc.DrainRatePerSec)
+	if sc.ThreadGrant.Count > 0 {
+		fmt.Printf("  grants count=%-6d mean=%.1f p50=%d p95=%d threads/job\n",
+			sc.ThreadGrant.Count, sc.ThreadGrant.Mean, sc.ThreadGrant.P50, sc.ThreadGrant.P95)
+	}
+	for _, hc := range sc.Hot {
+		fmt.Printf("  hot %s backend=%s curve=%s rate=%.2f/s reserved=%d queued=%d\n",
+			hc.Circuit, hc.Backend, hc.Curve, hc.RatePerSec, hc.Reserved, hc.QueueDepth)
+	}
 	names := make([]string, 0, len(st.Backends))
 	for name := range st.Backends {
 		names = append(names, name)

@@ -33,6 +33,14 @@
 // once it holds max requests. Off by default — lone requests would pay
 // the window as pure latency.
 //
+// -sched (on by default) enables workload-aware scheduling: circuits
+// whose decayed arrival rate crosses -sched-hot-rate get -sched-reserve
+// dedicated workers each (at most -sched-max-hot circuits), everything
+// else shares the residual pool, and the -sched-budget kernel thread
+// budget is split jobs × threads from live queue depth. The live
+// classification is the "sched" block of /v1/stats; cmd/zkload measures
+// the effect.
+//
 // The legacy unversioned paths answer 410 with envelope code "gone".
 // Every response carries an X-Request-Id header (the client's, when
 // sane) that also appears in the access log.
@@ -83,6 +91,11 @@ func main() {
 	jobMax := flag.Int("job-max", 1024, "cap on queued+running async jobs (beyond this, submits get 429)")
 	verifyWindow := flag.Duration("verify-coalesce-window", 0, "max wait to coalesce concurrent single verifies of one circuit into a batched pairing check (0 disables)")
 	verifyMax := flag.Int("verify-coalesce-max", 32, "flush a coalesced verify group once it holds this many requests")
+	schedOn := flag.Bool("sched", true, "workload-aware scheduling: dedicated workers for hot circuits plus a dynamic intra/inter-job thread split")
+	schedBudget := flag.Int("sched-budget", 0, "kernel thread budget the scheduler splits across in-flight jobs (0: GOMAXPROCS)")
+	schedHotRate := flag.Float64("sched-hot-rate", 0.5, "decayed arrival rate (req/s) at which a circuit is classified hot")
+	schedMaxHot := flag.Int("sched-max-hot", 0, "cap on simultaneously hot circuits (0: as many as the pool can reserve for)")
+	schedReserve := flag.Int("sched-reserve", 1, "dedicated workers per hot circuit")
 	telemetryOn := flag.Bool("telemetry", true, "always-on telemetry (stage/kernel metrics at /v1/metrics)")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 	accessLog := flag.Bool("access-log", true, "log one line per HTTP request")
@@ -112,6 +125,13 @@ func main() {
 		provesvc.WithJobTTL(*jobTTL, 0),
 		provesvc.WithJobMaxActive(*jobMax),
 		provesvc.WithSeed(*seed),
+		provesvc.WithWorkloadSched(provesvc.WorkloadConfig{
+			Enabled:       *schedOn,
+			ThreadBudget:  *schedBudget,
+			HotMinRate:    *schedHotRate,
+			MaxHot:        *schedMaxHot,
+			ReservePerHot: *schedReserve,
+		}),
 	}
 	if *artifactDir != "" {
 		opts = append(opts, provesvc.WithArtifactDir(*artifactDir))
@@ -162,6 +182,10 @@ func main() {
 	log.Printf("zkserve: serving /v1/prove /v1/prove/batch /v1/verify /v1/verify/batch /v1/jobs /v1/stats /v1/metrics /v1/healthz (legacy paths answer 410 gone)")
 	if *verifyWindow > 0 {
 		log.Printf("zkserve: verify coalescing on (window %v, max %d)", *verifyWindow, *verifyMax)
+	}
+	if *schedOn {
+		log.Printf("zkserve: workload-aware scheduling on (hot-rate %.2f/s, reserve %d/hot, budget %d threads)",
+			*schedHotRate, *schedReserve, *schedBudget)
 	}
 
 	// The debug listener is separate from the serving port so pprof is

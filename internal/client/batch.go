@@ -6,11 +6,13 @@ import (
 	"net/http"
 )
 
-// The unified /v1 batch convention: requests are {"items":[…]} and
-// responses are {"results":[{"index",…}|{"index","error"}]}, with
-// results index-aligned to items. These helpers are the one place the
-// shape is spelled out — zkcli's batch verify and the gateway's
-// scatter-gather both build and split batches through them.
+// The unified /v1 batch convention: a batch body is {"items":[…]} and
+// the response is {"results":[{"index",…}|{"index","error"}]}, with
+// results index-aligned to items. The pre-unification {"requests":[…]}
+// spelling is retired — servers reject it with invalid_request. These
+// helpers are the one place the shape is spelled out — zkcli's batch
+// verify and the gateway's scatter-gather both build and split batches
+// through them.
 
 // BatchError is the per-item error envelope inside a batch result.
 type BatchError struct {

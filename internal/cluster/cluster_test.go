@@ -320,7 +320,14 @@ func TestBatchScatterGather(t *testing.T) {
 		{"circuit": circuit.ExponentiateSource(32), "inputs": map[string]string{"x": "3"}},
 		{"circuit": circuit.ExponentiateSource(16), "inputs": map[string]string{"x": "5"}},
 	}
+	// The retired {"requests"} alias is rejected at the gateway edge
+	// before any scatter, matching the node-side envelope.
 	resp, out := postJSON(t, tc.gwURL+"/v1/prove/batch", map[string]any{"requests": reqs})
+	if resp.StatusCode != http.StatusBadRequest || out["code"] != "invalid_request" {
+		t.Fatalf("alias batch = %d %v, want 400 invalid_request", resp.StatusCode, out)
+	}
+
+	resp, out = postJSON(t, tc.gwURL+"/v1/prove/batch", map[string]any{"items": reqs})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch via gateway = %d (body %v)", resp.StatusCode, out)
 	}

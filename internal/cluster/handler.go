@@ -29,9 +29,10 @@ import (
 //	GET    /v1/healthz       200 while ≥1 node is healthy
 //
 // Batch endpoints speak the unified convention: {"items":[…]} in,
-// index-aligned {"results":[{"index",…}]} out (prove/batch also accepts
-// the deprecated {"requests":[…]} alias for one release). Unversioned
-// paths answer 410 with envelope code "gone", matching the nodes.
+// index-aligned {"results":[{"index",…}]} out; the retired
+// {"requests":[…]} alias is rejected with code "invalid_request".
+// Unversioned paths answer 410 with envelope code "gone", matching the
+// nodes.
 //
 // Error envelopes from nodes pass through verbatim with their original
 // status; gateway-originated failures use the same {code, message,
@@ -263,17 +264,24 @@ func (g *Gateway) handleScatterBatch(path string) http.HandlerFunc {
 		r.Body = http.MaxBytesReader(w, r.Body, maxGatewayBody)
 		var body struct {
 			Items []json.RawMessage `json:"items"`
-			// Deprecated alias, accepted on prove/batch for one release.
-			Requests []json.RawMessage `json:"requests"`
+			// The deprecated "requests" alias finished its one-release
+			// grace period; its presence is rejected, matching the nodes.
+			Requests json.RawMessage `json:"requests"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			gwWriteError(w, fmt.Errorf("cluster: bad request body: %w", err))
 			return
 		}
-		list := body.Items
-		if list == nil {
-			list = body.Requests
+		if body.Requests != nil {
+			gwWriteError(w, &client.Error{
+				Code:      "invalid_request",
+				Message:   `cluster: the deprecated "requests" batch field was removed; send {"items":[…]}`,
+				Status:    http.StatusBadRequest,
+				Retryable: false,
+			})
+			return
 		}
+		list := body.Items
 		type group struct {
 			key     uint64
 			indices []int

@@ -187,13 +187,13 @@ func (e *Engine) foldCheck(ctx context.Context, vk *VerifyingKey, proofs []*Proo
 	var icAcc, cAcc curve.G1Jac
 	var msmErr error
 	rec.PhaseRun("msm/batch-IC", 1, func() {
-		icAcc, msmErr = c.G1MSMCtx(ctx, vk.IC, icScalars, e.threads())
+		icAcc, msmErr = c.G1MSMCtx(ctx, vk.IC, icScalars, e.threads(ctx))
 	})
 	if msmErr != nil {
 		return false, msmErr
 	}
 	rec.PhaseRun("msm/batch-C", 1, func() {
-		cAcc, msmErr = c.G1MSMCtx(ctx, cPoints, cScalars, e.threads())
+		cAcc, msmErr = c.G1MSMCtx(ctx, cPoints, cScalars, e.threads(ctx))
 	})
 	if msmErr != nil {
 		return false, msmErr

@@ -18,6 +18,7 @@ import (
 	"zkperf/internal/curve"
 	"zkperf/internal/ff"
 	"zkperf/internal/pairing"
+	"zkperf/internal/parallel"
 	"zkperf/internal/poly"
 	"zkperf/internal/qap"
 	"zkperf/internal/r1cs"
@@ -90,12 +91,15 @@ type Engine struct {
 	g2Tab *curve.G2Table
 }
 
-// threads returns the effective worker count (1 under tracing).
-func (e *Engine) threads() int {
+// threads returns the effective worker count for one call: a per-job
+// thread budget carried by ctx (granted by the serving layer's workload
+// scheduler) overrides the engine's configured Threads; tracing forces 1
+// regardless, since instrumentation serializes execution anyway.
+func (e *Engine) threads(ctx context.Context) int {
 	if e.Rec != nil {
 		return 1
 	}
-	return e.Threads
+	return parallel.ThreadBudget(ctx, e.Threads)
 }
 
 // attachCounters routes field-operation counts into the recorder for the
@@ -215,7 +219,7 @@ func (e *Engine) SetupCtx(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (*
 		var out []curve.G1Affine
 		var ferr error
 		rec.PhaseRun("msm/fixed-base-"+name, len(scalars), func() {
-			out, ferr = e.g1Tab.MulBatchCtx(ctx, scalars, e.threads())
+			out, ferr = e.g1Tab.MulBatchCtx(ctx, scalars, e.threads(ctx))
 		})
 		e.recFixedBase(name, len(scalars), false)
 		return out, ferr
@@ -227,7 +231,7 @@ func (e *Engine) SetupCtx(ctx context.Context, sys *r1cs.System, rng *ff.RNG) (*
 		return nil, nil, err
 	}
 	rec.PhaseRun("msm/fixed-base-B2", len(ev.V), func() {
-		pk.B2, err = e.g2Tab.MulBatchCtx(ctx, ev.V, e.threads())
+		pk.B2, err = e.g2Tab.MulBatchCtx(ctx, ev.V, e.threads(ctx))
 	})
 	e.recFixedBase("B2", len(ev.V), true)
 	if err != nil {
@@ -301,7 +305,7 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	// phase grain reflects the butterfly-block independence per layer.
 	var h []ff.Element
 	rec.PhaseRun("ntt/quotient", d.N/64+1, func() {
-		h, err = qap.QuotientEvalsCtx(ctx, sys, d, w.Full, e.threads())
+		h, err = qap.QuotientEvalsCtx(ctx, sys, d, w.Full, e.threads(ctx))
 	})
 	e.recQuotient(sys, d.N, d.LogN)
 	if err != nil {
@@ -325,7 +329,7 @@ func (e *Engine) ProveCtx(ctx context.Context, sys *r1cs.System, pk *ProvingKey,
 	// phase order.
 	var aAcc, bAcc1, kAcc, hAcc curve.G1Jac
 	var bAcc2 curve.G2Jac
-	if th := e.threads(); th > 1 {
+	if th := e.threads(ctx); th > 1 {
 		share := func(weight int) int {
 			s := th * weight / 11
 			if s < 1 {

@@ -1,0 +1,29 @@
+package parallel
+
+import "context"
+
+// budgetKey carries a per-job kernel thread budget in a context. The
+// workload-aware scheduler (internal/provesvc) grants each job a thread
+// count from live queue depth — a deep queue runs many jobs × few
+// threads, an idle service one job × the full budget — and the proving
+// engines consult the grant at their fork-join boundaries.
+type budgetKey struct{}
+
+// WithThreadBudget returns a context carrying a kernel thread budget of
+// n for the job it accompanies. n < 1 returns ctx unchanged.
+func WithThreadBudget(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, n)
+}
+
+// ThreadBudget returns the thread budget carried by ctx, or fallback
+// when none is set. The returned value is always ≥ 1 when fallback is,
+// so callers can pass it straight to Chunks/ChunksCtx.
+func ThreadBudget(ctx context.Context, fallback int) int {
+	if n, ok := ctx.Value(budgetKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return fallback
+}

@@ -77,12 +77,15 @@ func NewEngine(c *curve.Curve) *Engine {
 	return &Engine{Curve: c, Pair: pairing.NewEngine(c), Threads: 1}
 }
 
-// threads returns the effective worker count.
-func (e *Engine) threads() int {
-	if e.Threads < 1 {
+// threads returns the effective worker count for one call: a per-job
+// thread budget carried by ctx (granted by the serving layer's workload
+// scheduler) overrides the engine's configured Threads.
+func (e *Engine) threads(ctx context.Context) int {
+	n := parallel.ThreadBudget(ctx, e.Threads)
+	if n < 1 {
 		return 1
 	}
-	return e.Threads
+	return n
 }
 
 // Setup preprocesses the circuit: builds the evaluation domain, the σ
@@ -105,7 +108,7 @@ func (e *Engine) SetupCtx(ctx context.Context, c *Circuit, rng *ff.RNG) (*Provin
 		return nil, nil, err
 	}
 
-	srs, err := kzg.NewSRSCtx(ctx, e.Curve, d.N+1, rng, e.threads())
+	srs, err := kzg.NewSRSCtx(ctx, e.Curve, d.N+1, rng, e.threads(ctx))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,7 +242,7 @@ func (e *Engine) BuildVK(ctx context.Context, pk *ProvingKey) (*VerifyingKey, er
 	}
 	var err error
 	commit := func(p []ff.Element) (curve.G1Affine, error) {
-		return pk.SRS.CommitCtx(ctx, p, e.threads())
+		return pk.SRS.CommitCtx(ctx, p, e.threads(ctx))
 	}
 	if vk.CQl, err = commit(pk.Ql); err != nil {
 		return nil, err
@@ -306,7 +309,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	inttCtx := func(dm *poly.Domain, vals []ff.Element) ([]ff.Element, error) {
 		out := make([]ff.Element, dm.N)
 		copy(out, vals)
-		if err := dm.INTTCtx(ctx, out, e.threads()); err != nil {
+		if err := dm.INTTCtx(ctx, out, e.threads(ctx)); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -326,13 +329,13 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	probe.Observe(telemetry.KernelNTT, nttT0, n)
 
 	proof := &Proof{}
-	if proof.CA, err = pk.SRS.CommitCtx(ctx, aCoef, e.threads()); err != nil {
+	if proof.CA, err = pk.SRS.CommitCtx(ctx, aCoef, e.threads(ctx)); err != nil {
 		return nil, err
 	}
-	if proof.CB, err = pk.SRS.CommitCtx(ctx, bCoef, e.threads()); err != nil {
+	if proof.CB, err = pk.SRS.CommitCtx(ctx, bCoef, e.threads(ctx)); err != nil {
 		return nil, err
 	}
-	if proof.CC, err = pk.SRS.CommitCtx(ctx, cCoef, e.threads()); err != nil {
+	if proof.CC, err = pk.SRS.CommitCtx(ctx, cCoef, e.threads(ctx)); err != nil {
 		return nil, err
 	}
 
@@ -387,7 +390,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	if err != nil {
 		return nil, err
 	}
-	if proof.CZ, err = pk.SRS.CommitCtx(ctx, zCoef, e.threads()); err != nil {
+	if proof.CZ, err = pk.SRS.CommitCtx(ctx, zCoef, e.threads(ctx)); err != nil {
 		return nil, err
 	}
 	tr.absorbPoint(&proof.CZ)
@@ -407,7 +410,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		out := make([]ff.Element, d4.N)
 		copy(out, coef)
 		if cosetErr == nil {
-			cosetErr = d4.CosetNTTCtx(ctx, out, e.threads())
+			cosetErr = d4.CosetNTTCtx(ctx, out, e.threads(ctx))
 		}
 		return out
 	}
@@ -486,7 +489,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	// chunk recomputes its starting coset point g·ω₄^lo and walks its own
 	// power chain. ChunksCtx both spreads it across e.Threads workers and
 	// bounds the cancellation latency to one chunk.
-	if err := parallel.ChunksCtx(ctx, d4.N, e.threads(), func(lo, hi int) {
+	if err := parallel.ChunksCtx(ctx, d4.N, e.threads(ctx), func(lo, hi int) {
 		var xj, rootLo ff.Element
 		fr.ExpUint64(&rootLo, &d4.Root, uint64(lo))
 		fr.Mul(&xj, &d4.CosetGen, &rootLo)
@@ -543,7 +546,7 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		return nil, err
 	}
 	nttT0 = probe.Begin()
-	if err := d4.CosetINTTCtx(ctx, tEval, e.threads()); err != nil {
+	if err := d4.CosetINTTCtx(ctx, tEval, e.threads(ctx)); err != nil {
 		return nil, err
 	}
 	probe.Observe(telemetry.KernelNTT, nttT0, d4.N)
@@ -556,13 +559,13 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 	tLo := tEval[:n]
 	tMid := tEval[n : 2*n]
 	tHi := tEval[2*n : 3*n]
-	if proof.CTlo, err = pk.SRS.CommitCtx(ctx, tLo, e.threads()); err != nil {
+	if proof.CTlo, err = pk.SRS.CommitCtx(ctx, tLo, e.threads(ctx)); err != nil {
 		return nil, err
 	}
-	if proof.CTmid, err = pk.SRS.CommitCtx(ctx, tMid, e.threads()); err != nil {
+	if proof.CTmid, err = pk.SRS.CommitCtx(ctx, tMid, e.threads(ctx)); err != nil {
 		return nil, err
 	}
-	if proof.CThi, err = pk.SRS.CommitCtx(ctx, tHi, e.threads()); err != nil {
+	if proof.CThi, err = pk.SRS.CommitCtx(ctx, tHi, e.threads(ctx)); err != nil {
 		return nil, err
 	}
 	tr.absorbPoint(&proof.CTlo)
@@ -609,10 +612,10 @@ func (e *Engine) ProveCtx(ctx context.Context, pk *ProvingKey, w Assignment, pub
 		}
 		fr.Mul(&vPow, &vPow, &v)
 	}
-	if _, proof.Wz, err = pk.SRS.OpenCtx(ctx, batched, &zeta, e.threads()); err != nil {
+	if _, proof.Wz, err = pk.SRS.OpenCtx(ctx, batched, &zeta, e.threads(ctx)); err != nil {
 		return nil, err
 	}
-	if _, proof.Wzw, err = pk.SRS.OpenCtx(ctx, zCoef, &zetaOmega, e.threads()); err != nil {
+	if _, proof.Wzw, err = pk.SRS.OpenCtx(ctx, zCoef, &zetaOmega, e.threads(ctx)); err != nil {
 		return nil, err
 	}
 	return proof, nil

@@ -47,13 +47,14 @@ const DefaultMaxBodyBytes = 4 << 20
 // The batch endpoints share one convention: the request is
 // {"items":[…]} and the response is {"results":[{"index",…}]} with one
 // entry per item, where a failed item carries the standard error
-// envelope under "error" instead of its result fields. /v1/prove/batch
-// also still accepts the deprecated {"requests":[…]} spelling for one
-// release. The legacy unversioned paths (removed after a deprecation
-// cycle of 308 redirects) answer 410 with the error envelope, code
-// "gone". "backend" selects the proving scheme and defaults to
-// "groth16". Field elements travel as decimal or 0x-hex strings; proofs
-// as hex of the backend's serialization.
+// envelope under "error" instead of its result fields. The deprecated
+// {"requests":[…]} spelling on /v1/prove/batch finished its
+// one-release grace period and is rejected with code "invalid_request".
+// The legacy unversioned paths (removed after a deprecation cycle of
+// 308 redirects) answer 410 with the error envelope, code "gone".
+// "backend" selects the proving scheme and defaults to "groth16".
+// Field elements travel as decimal or 0x-hex strings; proofs as hex of
+// the backend's serialization.
 //
 // Errors share one JSON envelope: {"code","message","retryable"}. code
 // is a stable machine-readable string (see errorClass), retryable tells
@@ -81,10 +82,11 @@ type proveReply struct {
 
 type batchBody struct {
 	// Items is the unified batch shape shared with /v1/verify/batch and
-	// POST /v1/jobs. Requests is the pre-unification spelling, still
-	// accepted for one release; Items wins when both are present.
-	Items    []proveBody `json:"items"`
-	Requests []proveBody `json:"requests"`
+	// POST /v1/jobs. The pre-unification "requests" spelling finished
+	// its one-release deprecation cycle and is now rejected outright —
+	// Requests only exists to detect it and answer invalid_request.
+	Items    []proveBody     `json:"items"`
+	Requests json.RawMessage `json:"requests"`
 }
 
 type errEnvelope struct {
@@ -260,9 +262,11 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 }
 
 // retryAfter derives the Retry-After hint for a shed code: circuit_open
-// lasts exactly the breaker cooldown; queue saturation usually clears
-// within a prove; a drain means "find another node", so the hint is
-// longer. 0 means no header.
+// lasts exactly the breaker cooldown; queue saturation clears when the
+// queue drains, so the hint is depth ÷ observed drain rate (from the
+// scheduler's decayed counters), falling back to a flat second before
+// any drain has been observed; a drain means "find another node", so
+// the hint is longer. 0 means no header.
 func (s *Service) retryAfter(code string) time.Duration {
 	switch code {
 	case "circuit_open":
@@ -271,6 +275,9 @@ func (s *Service) retryAfter(code string) time.Duration {
 		}
 		return time.Second
 	case "queue_full", "too_many_jobs":
+		if d, ok := s.sched.retryAfterHint(); ok {
+			return d
+		}
 		return time.Second
 	case "draining", "dropped":
 		return 5 * time.Second
@@ -384,10 +391,20 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("provesvc: bad request body: %w", err))
 		return
 	}
-	list := body.Items
-	if list == nil {
-		list = body.Requests // deprecated spelling, one-release grace
+	// The "requests" alias was deprecated for one release (PR 7) and is
+	// now retired: any body carrying the key — even alongside "items" —
+	// is rejected so stale clients fail loudly instead of silently
+	// losing whichever spelling lost the merge.
+	if body.Requests != nil {
+		s.recordErrorCode("invalid_request")
+		writeJSON(w, http.StatusBadRequest, &errEnvelope{
+			Code:      "invalid_request",
+			Message:   `provesvc: the deprecated "requests" batch field was removed; send {"items":[…]}`,
+			Retryable: false,
+		})
+		return
 	}
+	list := body.Items
 	reqs := make([]ProveRequest, len(list))
 	parseErrs := make([]error, len(list))
 	for i, b := range list {

@@ -292,7 +292,7 @@ func TestHTTPBatch(t *testing.T) {
 	defer ts.Close()
 
 	src := circuit.ExponentiateSource(16)
-	body := map[string]any{"requests": []map[string]any{
+	body := map[string]any{"items": []map[string]any{
 		{"circuit": src, "inputs": map[string]string{"x": "2"}},
 		{"circuit": src, "backend": "plonk", "inputs": map[string]string{"x": "3"}},
 		{"circuit": src, "inputs": map[string]string{}}, // missing input
@@ -320,6 +320,46 @@ func TestHTTPBatch(t *testing.T) {
 		t.Fatal("batch[2] with missing input should carry an error envelope")
 	}
 	wantEnvelope(t, env, "bad_request", false)
+}
+
+// TestHTTPBatchAliasRetired pins the end of the {"requests":[…]}
+// deprecation cycle: any body carrying the retired key — alone or
+// alongside "items" — is rejected whole with the invalid_request
+// envelope naming the unified spelling.
+func TestHTTPBatchAliasRetired(t *testing.T) {
+	s := New(WithWorkers(1), WithQueueDepth(4), WithSeed(13))
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	src := circuit.ExponentiateSource(16)
+	item := map[string]any{"circuit": src, "inputs": map[string]string{"x": "2"}}
+	for _, body := range []map[string]any{
+		{"requests": []map[string]any{item}},
+		{"items": []map[string]any{item}, "requests": []map[string]any{item}},
+		{"requests": []map[string]any{}},
+	} {
+		resp, out := postJSON(t, ts.URL+"/v1/prove/batch", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("alias body %v status = %d, want 400", body, resp.StatusCode)
+		}
+		wantEnvelope(t, out, "invalid_request", false)
+		if msg, _ := out["message"].(string); !strings.Contains(msg, "items") {
+			t.Errorf("invalid_request message %q should name the items field", msg)
+		}
+	}
+
+	// The unified spelling still works on the same service.
+	resp, out := postJSON(t, ts.URL+"/v1/prove/batch", map[string]any{
+		"items": []map[string]any{item},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("items batch status = %d (body %v)", resp.StatusCode, out)
+	}
+	if results, _ := out["results"].([]any); len(results) != 1 {
+		t.Fatalf("items batch results = %v, want 1 entry", out)
+	}
 }
 
 func TestHTTPHealthAndErrorClass(t *testing.T) {

@@ -34,6 +34,7 @@ import (
 	"zkperf/internal/faultinject"
 	"zkperf/internal/ff"
 	"zkperf/internal/jobs"
+	"zkperf/internal/parallel"
 	"zkperf/internal/telemetry"
 	"zkperf/internal/witness"
 )
@@ -81,6 +82,7 @@ type config struct {
 	jobMaxActive   int
 	verifyWindow   time.Duration
 	verifyMax      int
+	sched          WorkloadConfig
 	tel            *telemetry.Telemetry
 	telSet         bool // distinguishes "default" from WithTelemetry(nil)
 }
@@ -187,6 +189,18 @@ func WithVerifyCoalesce(window time.Duration, max int) Option {
 	return func(c *config) { c.verifyWindow, c.verifyMax = window, max }
 }
 
+// WithWorkloadSched configures workload-aware scheduling (disabled by
+// default): hot circuits — classified from decayed per-circuit arrival
+// rates — get dedicated workers fed from private queues, and each job
+// is granted a slice of the kernel thread budget sized from live queue
+// depth (deep queue → many jobs × few threads; idle → few jobs × full
+// threads). Zero-valued WorkloadConfig fields pick their defaults; see
+// WorkloadConfig. Arrival/drain-rate accounting (the sched stats block
+// and drain-rate Retry-After hints) is always on regardless.
+func WithWorkloadSched(wc WorkloadConfig) Option {
+	return func(c *config) { c.sched = wc }
+}
+
 // WithSeed seeds the setup and blinding RNGs. Pin it for reproducible
 // experiments; vary it in production.
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
@@ -290,6 +304,7 @@ type Service struct {
 	breaker *breakerGroup
 	jobMgr  *jobs.Manager
 	coal    *coalescer // nil unless WithVerifyCoalesce enabled it
+	sched   *scheduler // always non-nil; dedicated workers + thread grants only when enabled
 
 	// artifactErr records a WithArtifactDir init failure: the service
 	// still serves (without persistence), and the caller decides whether
@@ -346,6 +361,7 @@ func New(opts ...Option) *Service {
 	if cfg.verifyWindow > 0 && cfg.verifyMax > 1 {
 		s.coal = newCoalescer(s, cfg.verifyWindow, cfg.verifyMax)
 	}
+	s.sched = newScheduler(s, cfg.sched)
 	s.met.perBackend = make(map[string]*backendMetrics, len(cfg.backends))
 	for _, name := range s.reg.Backends() {
 		s.met.perBackend[name] = &backendMetrics{}
@@ -397,6 +413,33 @@ func New(opts ...Option) *Service {
 		reg.GaugeFunc("zkp_verify_batch_size", "Verify batch size distribution.",
 			func() float64 { return float64(s.met.vbSize.quantile(0.95)) },
 			telemetry.Label{Name: "quantile", Value: "p95"})
+		reg.GaugeFunc("zkp_sched_enabled", "1 when workload-aware scheduling is on.",
+			func() float64 {
+				if s.sched.cfg.Enabled {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("zkp_sched_hot_circuits", "Circuits currently classified hot.",
+			func() float64 { return float64(len(s.sched.plan.Load().hotQueues)) })
+		reg.GaugeFunc("zkp_sched_reserved_workers", "Workers dedicated to hot circuits.",
+			func() float64 { return float64(s.sched.plan.Load().reserved) })
+		reg.GaugeFunc("zkp_sched_thread_budget", "Kernel thread budget the scheduler splits.",
+			func() float64 { return float64(s.sched.cfg.ThreadBudget) })
+		reg.GaugeFunc("zkp_sched_promotions_total", "Lifetime cold-to-hot promotions.",
+			func() float64 { return float64(s.sched.promotions.Load()) })
+		reg.GaugeFunc("zkp_sched_demotions_total", "Lifetime hot-to-cold demotions.",
+			func() float64 { return float64(s.sched.demotions.Load()) })
+		reg.GaugeFunc("zkp_sched_drain_rate", "Decayed queue drain rate, jobs/s.",
+			func() float64 { return s.sched.drain.rate(s.sched.now(), s.sched.cfg.HalfLife) })
+		reg.GaugeFunc("zkp_sched_hot_queue_depth", "Jobs queued across hot-circuit queues.",
+			func() float64 { return float64(s.sched.queuedTotal() - len(s.jobs)) })
+		reg.GaugeFunc("zkp_sched_thread_grant", "Per-job kernel thread grant distribution.",
+			func() float64 { return float64(s.sched.grantHist.quantile(0.50)) },
+			telemetry.Label{Name: "quantile", Value: "p50"})
+		reg.GaugeFunc("zkp_sched_thread_grant", "Per-job kernel thread grant distribution.",
+			func() float64 { return float64(s.sched.grantHist.quantile(0.95)) },
+			telemetry.Label{Name: "quantile", Value: "p95"})
 	}
 	return s
 }
@@ -416,12 +459,14 @@ func (s *Service) Backends() []string { return s.reg.Backends() }
 // Telemetry returns the service's telemetry handle (nil when disabled).
 func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// Start launches the worker pool and the async job manager.
+// Start launches the worker pool, the workload classifier and the async
+// job manager.
 func (s *Service) Start() {
 	for i := 0; i < s.cfg.workers; i++ {
 		s.workerWG.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
+	s.sched.start()
 	s.jobMgr.Start()
 }
 
@@ -563,29 +608,27 @@ func (s *Service) enqueue(ctx context.Context, req ProveRequest) (*job, error) {
 		s.reject(req)
 		return nil, ErrDraining
 	}
-	select {
-	case s.jobs <- j:
+	// Route through the scheduler: the circuit's private hot queue if it
+	// is classified hot, the shared cold queue otherwise. Arrivals are
+	// booked before admission — shed requests are still demand.
+	s.sched.observeArrival(key)
+	if s.sched.offer(j) {
 		s.met.accepted.Add(1)
 		return j, nil
-	default:
-		cancel()
-		stop()
-		s.breaker.release(key)
-		s.reject(req)
-		return nil, ErrQueueFull
 	}
+	cancel()
+	stop()
+	s.breaker.release(key)
+	s.reject(req)
+	return nil, ErrQueueFull
 }
 
-func (s *Service) worker() {
+// worker is one pool goroutine; its scheduling loop (which queues it
+// serves) lives on the scheduler so reservation changes retarget it
+// without restarting the pool.
+func (s *Service) worker(id int) {
 	defer s.workerWG.Done()
-	for {
-		select {
-		case <-s.done:
-			return
-		case j := <-s.jobs:
-			s.run(j)
-		}
-	}
+	s.sched.workerLoop(id)
 }
 
 // run executes one job on the calling worker goroutine and feeds the
@@ -600,6 +643,14 @@ func (s *Service) run(j *job) {
 
 	wait := time.Since(j.enq)
 	s.met.queueWait.Observe(wait)
+	// The job just left a queue for a worker: book the drain event and
+	// size its kernel thread grant from the demand behind it. The grant
+	// rides j.ctx to the NTT/MSM fork-join boundaries; 0 (scheduler
+	// disabled) leaves the engines' static thread count in force.
+	s.sched.observeDrain()
+	if g := s.sched.grantThreads(); g > 0 {
+		j.ctx = parallel.WithThreadBudget(j.ctx, g)
+	}
 
 	// A deadline (or cancellation) that fired while the job was still
 	// queued says nothing about the circuit — no prove was attempted —
@@ -843,6 +894,7 @@ func (s *Service) Stats() Snapshot {
 		Artifacts: s.reg.ArtifactStats(),
 		Errors:    s.met.errorSnapshot(),
 		Jobs:      s.jobMgr.Snapshot(),
+		Sched:     s.sched.stats(),
 	}
 }
 
@@ -868,20 +920,12 @@ func (s *Service) Shutdown(ctx context.Context) (*DrainReport, error) {
 
 	rep := &DrainReport{}
 
-	// Discard queued jobs. Workers may race us for them — jobs they win
-	// become in-flight and are drained below, which only shrinks Dropped.
-	for {
-		select {
-		case j := <-s.jobs:
-			s.met.dropped.Add(1)
-			rep.Dropped++
-			s.breaker.release(j.key) // never ran: hand back its admission
-			j.finish(nil, ErrDropped)
-		default:
-			goto emptied
-		}
-	}
-emptied:
+	// Stop the classifier first so no further demotions spawn movers,
+	// then discard queued jobs across the cold and hot queues. Workers
+	// may race us for them — jobs they win become in-flight and are
+	// drained below, which only shrinks Dropped.
+	s.sched.stop()
+	s.sched.sweep(rep)
 	rep.Drained = int(s.met.inFlight.Load())
 	close(s.done) // idle workers exit; busy ones finish their job first
 
@@ -901,5 +945,11 @@ emptied:
 		err = ctx.Err()
 	}
 	s.baseCancel()
+	// Demotion movers unblock via s.done (dropping what they carried) —
+	// wait them out, then sweep once more: a mover may have re-queued
+	// jobs after the first sweep, and with the workers gone nothing else
+	// will ever fail those jobs' waiters.
+	s.sched.moverWait()
+	s.sched.sweep(rep)
 	return rep, err
 }

@@ -301,6 +301,44 @@ type VerifyBatchStats struct {
 	Latency   StageSummary `json:"latency"`
 }
 
+// HotCircuit is one entry of the sched block's hot set: a circuit the
+// classifier currently gives dedicated workers.
+type HotCircuit struct {
+	// Circuit is the first 8 bytes of the source hash, hex — enough to
+	// correlate with client-side hashes without echoing source text.
+	Circuit    string  `json:"circuit"`
+	Backend    string  `json:"backend"`
+	Curve      string  `json:"curve"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Reserved   int     `json:"reserved"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// SchedStats is the `sched` block of /v1/stats: the workload-aware
+// scheduler's live classification (hot set, worker split), queue depths
+// per class, and the thread-grant distribution.
+type SchedStats struct {
+	Enabled         bool         `json:"enabled"`
+	ThreadBudget    int          `json:"thread_budget"`
+	Workers         int          `json:"workers"`
+	ReservedWorkers int          `json:"reserved_workers"`
+	ColdWorkers     int          `json:"cold_workers"`
+	HotCount        int          `json:"hot_count"`
+	HotMinRate      float64      `json:"hot_min_rate"`
+	Hot             []HotCircuit `json:"hot,omitempty"`
+	ColdQueueDepth  int          `json:"cold_queue_depth"`
+	HotQueueDepth   int          `json:"hot_queue_depth"`
+	Promotions      uint64       `json:"promotions"`
+	Demotions       uint64       `json:"demotions"`
+	// ArrivalRatePerSec is the decayed offered load across all circuits;
+	// DrainRatePerSec is how fast jobs are leaving the queues for
+	// workers (the rate Retry-After hints are derived from).
+	ArrivalRatePerSec float64 `json:"arrival_rate_per_sec"`
+	DrainRatePerSec   float64 `json:"drain_rate_per_sec"`
+	// ThreadGrant is the distribution of per-job kernel thread grants.
+	ThreadGrant SizeSummary `json:"thread_grant"`
+}
+
 // Snapshot is the stable /v1/stats response shape, shared by the HTTP
 // handler and the zkcli `stats` subcommand:
 //
@@ -322,7 +360,14 @@ type VerifyBatchStats struct {
 //	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …},
 //	  "jobs":      {queued, running, retained, submitted, completed,
 //	                failed, canceled, evicted, rejected, oldest_queued_ms,
-//	                oldest_retained_ms, ttl_ms, max_active}
+//	                oldest_retained_ms, ttl_ms, max_active},
+//	  "sched":     {enabled, thread_budget, workers, reserved_workers,
+//	                cold_workers, hot_count, hot_min_rate,
+//	                hot:[{circuit, backend, curve, rate_per_sec,
+//	                reserved, queue_depth}], cold_queue_depth,
+//	                hot_queue_depth, promotions, demotions,
+//	                arrival_rate_per_sec, drain_rate_per_sec,
+//	                thread_grant:{count, mean, p50, p95}}
 //	}
 //
 // The shape is documented in docs/API.md; additions are allowed, renames
@@ -343,4 +388,8 @@ type Snapshot struct {
 	Errors map[string]uint64 `json:"errors"`
 	// Jobs is the async job subsystem's state (POST /v1/jobs).
 	Jobs jobs.Stats `json:"jobs"`
+	// Sched is the workload-aware scheduler's state (hot set, worker
+	// split, thread grants); present even when the scheduler is disabled
+	// so the drain/arrival rates are always visible.
+	Sched SchedStats `json:"sched"`
 }

@@ -157,8 +157,8 @@ func TestHTTPVerifyBatch(t *testing.T) {
 }
 
 // TestHTTPProveBatchItems pins the unified request shape: /v1/prove/batch
-// takes {"items":[…]} (the deprecated {"requests":[…]} alias is covered by
-// TestHTTPBatch) and each result slot carries its index.
+// takes {"items":[…]} (the retired {"requests":[…]} alias is rejected,
+// see TestHTTPBatchAliasRetired) and each result slot carries its index.
 func TestHTTPProveBatchItems(t *testing.T) {
 	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(41))
 	s.Start()
