@@ -32,10 +32,19 @@ go test -race -count=1 \
 go test -run '^$' -fuzz '^FuzzReadProof$' -fuzztime=5s ./internal/backend/
 go test -run '^$' -fuzz '^FuzzReadProvingKey$' -fuzztime=5s ./internal/backend/
 go test -run '^$' -fuzz '^FuzzReadVerifyingKey$' -fuzztime=5s ./internal/backend/
+# The job-journal WAL decoder reads whatever a crash left on disk —
+# attacker-grade bytes as far as replay is concerned (lying length
+# prefixes, torn frames, bit rot).
+go test -run '^$' -fuzz '^FuzzJournalDecode$' -fuzztime=5s ./internal/jobs/
 # Cluster smoke: two zkserve nodes behind zkgateway over real loopback
 # sockets — async jobs complete, routing stays shard-stable (per-node
 # setup counters stop growing), and killing a node fails its shard over.
 sh scripts/e2e_cluster.sh
+# Durability chaos drill: a journaled zkserve under zkload -async
+# traffic is SIGKILLed mid-job and restarted on the same WAL — accepted
+# jobs replay, queued-at-crash work re-executes, Idempotency-Key dedup
+# crosses the crash, and an injected torn tail quarantines cleanly.
+sh scripts/e2e_crash.sh
 # Load-harness smoke: a short closed-loop zkload run against an
 # in-process zkserve (Zipf 1.0, a few hundred requests) must finish with
 # non-zero throughput (zkload exits 1 on zero successes) and a

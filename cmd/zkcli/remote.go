@@ -1,10 +1,13 @@
 package main
 
 import (
+	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -229,6 +232,7 @@ type jobStatus struct {
 		Message   string `json:"message"`
 		Retryable bool   `json:"retryable"`
 	} `json:"error,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // failure converts a failed job's embedded envelope into a *client.Error
@@ -279,12 +283,20 @@ func cmdJobSubmit(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request deadline once running (0: server default)")
 	retries := fs.Int("retries", 3, "extra attempts for retryable errors")
 	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "base retry backoff")
+	idemKey := fs.String("idempotency-key", "auto", "Idempotency-Key header so a retried submit dedups to one job on a journaled server (\"auto\" mints a random key, empty disables)")
 	var inputs, publics inputFlags
 	fs.Var(&inputs, "input", "input assignment name=value (prove kind, repeatable)")
 	fs.Var(&publics, "public", "public input value (verify kind, repeatable, in wire order)")
 	fs.Parse(args)
 	if *circuitPath == "" {
 		return fmt.Errorf("-circuit is required")
+	}
+	if *idemKey == "auto" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("minting idempotency key: %v", err)
+		}
+		*idemKey = "zkcli-" + hex.EncodeToString(b[:])
 	}
 	var body map[string]any
 	var err error
@@ -300,12 +312,20 @@ func cmdJobSubmit(args []string) error {
 		return err
 	}
 	body["kind"] = *kind
+	var header http.Header
+	if *idemKey != "" {
+		header = http.Header{"Idempotency-Key": []string{*idemKey}}
+	}
 	var st jobStatus
-	if err := newRemoteClient(*addr, *retries, *retryBackoff).PostJSON("/v1/jobs", body, &st); err != nil {
+	if _, err := newRemoteClient(*addr, *retries, *retryBackoff).PostJSONWith("/v1/jobs", header, body, &st); err != nil {
 		return err
 	}
 	fmt.Printf("%s\n", st.ID)
-	fmt.Fprintf(os.Stderr, "zkcli: job %s accepted (%s, %s)\n", st.ID, st.Kind, st.State)
+	if st.Deduped {
+		fmt.Fprintf(os.Stderr, "zkcli: job %s already submitted under this idempotency key (%s, %s)\n", st.ID, st.Kind, st.State)
+	} else {
+		fmt.Fprintf(os.Stderr, "zkcli: job %s accepted (%s, %s)\n", st.ID, st.Kind, st.State)
+	}
 	return nil
 }
 
@@ -339,11 +359,30 @@ func cmdJobWait(args []string) error {
 	}
 	c := client.New(*addr)
 	deadline := time.Now().Add(*timeout)
+	seen := false // the job existed at least once during this wait
 	for {
 		var st jobStatus
-		if err := c.GetJSON("/v1/jobs/"+*id, &st); err != nil {
+		hint, err := c.GetJSONHint("/v1/jobs/"+*id, &st)
+		switch {
+		case err == nil:
+		case isJobGone(err):
+			// A 404 after we have seen the job is the TTL sweeper, not a
+			// typo'd ID — say so, they need different fixes.
+			if seen {
+				return fmt.Errorf("job %s finished and its result was already evicted by the server's TTL; rerun with a larger -job-ttl or poll sooner", *id)
+			}
+			return fmt.Errorf("job %s does not exist on %s (never submitted there, or long since evicted)", *id, *addr)
+		case time.Now().After(deadline):
 			return err
+		default:
+			// Transient trouble (connection refused while the server
+			// restarts, a shed) is exactly what a durable-jobs wait must
+			// ride out: keep polling until the deadline.
+			fmt.Fprintf(os.Stderr, "zkcli: poll failed (%v), retrying\n", err)
+			time.Sleep(*poll)
+			continue
 		}
+		seen = true
 		if st.State == "done" || st.State == "failed" {
 			if err := printJobStatus(&st, *asJSON); err != nil {
 				return err
@@ -362,8 +401,21 @@ func cmdJobWait(args []string) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("job %s still %s after %v", *id, st.State, *timeout)
 		}
-		time.Sleep(*poll)
+		// The server paces pollers via Retry-After on live jobs; honor it
+		// when it asks for more patience than our own interval.
+		sleep := *poll
+		if hint > sleep {
+			sleep = hint
+		}
+		time.Sleep(sleep)
 	}
+}
+
+// isJobGone reports whether err is the server's 404 job_not_found
+// envelope (as opposed to transport trouble or some other envelope).
+func isJobGone(err error) bool {
+	var we *client.Error
+	return errors.As(err, &we) && we.Code == "job_not_found"
 }
 
 func cmdJobCancel(args []string) error {

@@ -27,6 +27,13 @@
 // latency splits in the report make the scheduler's hot/cold behavior
 // visible directly.
 //
+// -async switches the harness to the async job API: each request is a
+// POST /v1/jobs submit followed by polling (every -poll) until the job
+// is terminal, with latency measured submit → completion. This is the
+// mode the crash-restart drill (scripts/e2e_crash.sh) uses — pollers
+// ride out a server restart instead of failing the sample on the first
+// refused connection.
+//
 // Output is stable, grep-friendly "zkload: key=value" lines; exit
 // status is nonzero when the measurement window completes zero
 // successful proofs.
@@ -152,6 +159,8 @@ type loadgen struct {
 	deadline time.Time
 	budget   int64 // 0: unbounded; else total request cap
 	churn    bool  // cold ranks are one-off circuits (fresh cache key each)
+	async    bool  // drive POST /v1/jobs + poll instead of sync /v1/prove
+	poll     time.Duration
 	issued   atomic.Int64
 	nonce    atomic.Int64
 	inflight atomic.Int64
@@ -175,6 +184,10 @@ func (g *loadgen) take() bool {
 // the cache key, not the constraint system), so every cold request pays
 // the full compile+setup a one-off circuit pays in production.
 func (g *loadgen) fire(rank int) {
+	if g.async {
+		g.fireAsync(rank)
+		return
+	}
 	src := g.sources[rank]
 	if g.churn && rank > 0 {
 		src = fmt.Sprintf("// one-off %d\n%s", g.nonce.Add(1), src)
@@ -211,6 +224,118 @@ func (g *loadgen) fire(rank int) {
 	if measured {
 		g.rec.err(env.Code)
 	}
+}
+
+// fireAsync drives one prove through the async job API: submit, then
+// poll every g.poll until the job is terminal. Latency is submit →
+// observed completion, so manager queue wait is included — the delay an
+// async client actually experiences. Polling deliberately ignores the
+// server's coarse 1s Retry-After pacing hint (meant for humans and
+// CLIs, too slow for a load generator) and rides out transport errors —
+// the crash drill restarts the server mid-poll.
+func (g *loadgen) fireAsync(rank int) {
+	src := g.sources[rank]
+	if g.churn && rank > 0 {
+		src = fmt.Sprintf("// one-off %d\n%s", g.nonce.Add(1), src)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"kind":    "prove",
+		"circuit": src,
+		"backend": g.backend,
+		"inputs":  map[string]string{"x": "2"},
+	})
+	start := time.Now()
+	measured := !start.Before(g.measure0)
+	resp, err := g.client.Post(g.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		if measured {
+			g.rec.err("transport")
+		}
+		return
+	}
+	var sub struct {
+		ID   string `json:"id"`
+		Code string `json:"code"` // error envelope on a rejected submit
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		code := sub.Code
+		if code == "" {
+			code = "http_" + strconv.Itoa(resp.StatusCode)
+		}
+		if measured {
+			g.rec.err(code)
+		}
+		return
+	}
+	if decErr != nil || sub.ID == "" {
+		if measured {
+			g.rec.err("bad_job_reply")
+		}
+		return
+	}
+	// Jobs accepted near the deadline still get a grace window to finish;
+	// a poller that outlives it books poll_timeout rather than spinning
+	// forever.
+	grace := g.deadline.Add(30 * time.Second)
+	for {
+		state, code, ok := g.pollJob(sub.ID)
+		if ok {
+			switch state {
+			case "done":
+				if measured {
+					g.rec.ok(rank, time.Since(start))
+				}
+				return
+			case "failed":
+				if measured {
+					g.rec.err(code)
+				}
+				return
+			}
+		}
+		if !time.Now().Before(grace) {
+			if measured {
+				g.rec.err("poll_timeout")
+			}
+			return
+		}
+		time.Sleep(g.poll)
+	}
+}
+
+// pollJob fetches one job's state; code carries the failure envelope
+// for failed (or evicted) jobs. ok is false on transport or decode
+// trouble — the caller keeps polling, the server may be restarting.
+func (g *loadgen) pollJob(id string) (state, code string, ok bool) {
+	resp, err := g.client.Get(g.base + "/v1/jobs/" + id)
+	if err != nil {
+		return "", "", false
+	}
+	defer resp.Body.Close()
+	var st struct {
+		State string `json:"state"`
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+		Code string `json:"code"` // top-level envelope (e.g. 404 job_not_found)
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return "", "", false
+	}
+	if resp.StatusCode != http.StatusOK {
+		code = st.Code
+		if code == "" {
+			code = "http_" + strconv.Itoa(resp.StatusCode)
+		}
+		return "failed", code, true
+	}
+	code = st.Error.Code
+	if st.State == "failed" && code == "" {
+		code = "job_failed"
+	}
+	return st.State, code, true
 }
 
 // runClosed keeps `clients` requests outstanding until the deadline or
@@ -326,6 +451,8 @@ func main() {
 	measure := flag.Duration("measure", 10*time.Second, "measurement window per run")
 	requests := flag.Int64("requests", 0, "stop after this many requests (0: time-bounded only)")
 	churn := flag.Bool("churn", false, "cold ranks are one-off circuits: each request gets a fresh cache key and pays compile+setup")
+	async := flag.Bool("async", false, "drive POST /v1/jobs + poll-until-done instead of synchronous /v1/prove")
+	pollIv := flag.Duration("poll", 50*time.Millisecond, "job status poll interval in -async mode")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	inproc := flag.Bool("inproc", false, "spin up an in-process zkserve on a loopback port")
 	inprocWorkers := flag.Int("inproc-workers", 4, "in-process service worker pool size")
@@ -399,6 +526,8 @@ func main() {
 			deadline: time.Now().Add(*warmup + *measure),
 			budget:   *requests,
 			churn:    *churn,
+			async:    *async,
+			poll:     *pollIv,
 		}
 		start := time.Now()
 		if rate > 0 {
@@ -417,8 +546,8 @@ func main() {
 	if *sweep != "" || *rate > 0 {
 		mode = "open"
 	}
-	fmt.Printf("zkload: config mode=%s target=%s backend=%s zipf=%.2f circuits=%d size=%d clients=%d warmup=%v measure=%v requests=%d churn=%v\n",
-		mode, base, *backendName, *zipfS, *ncirc, *size, *clients, *warmup, *measure, *requests, *churn)
+	fmt.Printf("zkload: config mode=%s target=%s backend=%s zipf=%.2f circuits=%d size=%d clients=%d warmup=%v measure=%v requests=%d churn=%v async=%v\n",
+		mode, base, *backendName, *zipfS, *ncirc, *size, *clients, *warmup, *measure, *requests, *churn, *async)
 	if *coldSize > 0 {
 		fmt.Printf("zkload: config cold_size=%d (heterogeneous: hot=%d constraints, cold=%d+)\n", *coldSize, *size, *coldSize)
 	}

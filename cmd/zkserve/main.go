@@ -6,7 +6,10 @@
 //	        -artifact-dir /var/lib/zkserve
 //
 // -artifact-dir persists setup artifacts crash-safely so restarts skip
-// the trusted setup; -max-timeout caps per-request timeout_ms overrides;
+// the trusted setup; -job-journal-dir does the same for async jobs — a
+// checksummed WAL replays on boot, so accepted job IDs survive a crash,
+// interrupted jobs re-execute, and Idempotency-Key dedup holds across
+// restarts; -max-timeout caps per-request timeout_ms overrides;
 // -breaker-threshold/-breaker-cooldown size the per-circuit breaker that
 // sheds poisoned circuits with 503 circuit_open.
 //
@@ -89,6 +92,7 @@ func main() {
 	breakerCool := flag.Duration("breaker-cooldown", provesvc.DefaultBreakerCooldown, "breaker open-state cooldown before a probe is admitted")
 	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "retention of finished async jobs (/v1/jobs) before eviction")
 	jobMax := flag.Int("job-max", 1024, "cap on queued+running async jobs (beyond this, submits get 429)")
+	jobJournalDir := flag.String("job-journal-dir", "", "directory for the crash-safe async job journal: accepted jobs survive and replay across restarts (empty disables)")
 	verifyWindow := flag.Duration("verify-coalesce-window", 0, "max wait to coalesce concurrent single verifies of one circuit into a batched pairing check (0 disables)")
 	verifyMax := flag.Int("verify-coalesce-max", 32, "flush a coalesced verify group once it holds this many requests")
 	schedOn := flag.Bool("sched", true, "workload-aware scheduling: dedicated workers for hot circuits plus a dynamic intra/inter-job thread split")
@@ -136,6 +140,9 @@ func main() {
 	if *artifactDir != "" {
 		opts = append(opts, provesvc.WithArtifactDir(*artifactDir))
 	}
+	if *jobJournalDir != "" {
+		opts = append(opts, provesvc.WithJobJournal(*jobJournalDir))
+	}
 	if *verifyWindow > 0 {
 		opts = append(opts, provesvc.WithVerifyCoalesce(*verifyWindow, *verifyMax))
 	}
@@ -157,6 +164,11 @@ func main() {
 		// re-running every trusted setup after a restart is exactly the
 		// surprise -artifact-dir exists to prevent.
 		log.Fatalf("zkserve: -artifact-dir: %v", err)
+	}
+	if err := svc.JobJournalError(); err != nil {
+		// Same contract as -artifact-dir: an operator who asked for durable
+		// jobs should not silently run without them.
+		log.Fatalf("zkserve: -job-journal-dir: %v", err)
 	}
 	svc.Start()
 

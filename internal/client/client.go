@@ -75,16 +75,30 @@ func (c *Client) httpClient() *http.Client {
 // verbatim — as *Error for envelope failures, so callers and tests can
 // inspect the code.
 func (c *Client) Do(method, path string, payload []byte) ([]byte, error) {
+	_, data, err := c.DoWith(method, path, payload, nil)
+	return data, err
+}
+
+// DoWith is Do plus the transport details some callers need: extra
+// request headers (e.g. Idempotency-Key), and the HTTP status of the
+// successful response — the jobs API distinguishes 202 accepted from
+// 200 deduplicated/ready on an otherwise identical body.
+func (c *Client) DoWith(method, path string, payload []byte, header http.Header) (status int, data []byte, err error) {
+	status, data, _, err = c.do(method, path, payload, header)
+	return status, data, err
+}
+
+// do runs the retry loop around once, threading headers in and the
+// status + Retry-After hint of the final response out.
+func (c *Client) do(method, path string, payload []byte, header http.Header) (status int, data []byte, retryAfter time.Duration, err error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, retryable, err := c.once(method, path, payload)
+		st, data, hint, retryable, err := c.once(method, path, payload, header)
 		if err == nil {
-			return data, nil
+			return st, data, hint, nil
 		}
-		lastErr = err
 		if !retryable || attempt >= c.Retries {
-			return nil, lastErr
+			return st, nil, hint, err
 		}
 		d := jitter(c.Backoff, attempt, rng)
 		// A server Retry-After hint is a floor on the sleep: backing off
@@ -101,64 +115,85 @@ func (c *Client) Do(method, path string, payload []byte) ([]byte, error) {
 
 // once performs a single exchange. Network-level failures (connection
 // refused, reset) report retryable: the server may be restarting.
-func (c *Client) once(method, path string, payload []byte) (data []byte, retryable bool, err error) {
+func (c *Client) once(method, path string, payload []byte, header http.Header) (status int, data []byte, retryAfter time.Duration, retryable bool, err error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
-		return nil, false, err
+		return 0, nil, 0, false, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, true, err
+		return 0, nil, 0, true, err
 	}
 	defer resp.Body.Close()
+	hint := parseRetryAfter(resp.Header.Get("Retry-After"))
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	if err != nil {
-		return nil, true, err
+		return resp.StatusCode, nil, hint, true, err
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return raw, false, nil
+		return resp.StatusCode, raw, hint, false, nil
 	}
-	env := &Error{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	env := &Error{Status: resp.StatusCode, RetryAfter: hint}
 	var wire struct {
 		Code      string `json:"code"`
 		Message   string `json:"message"`
 		Retryable bool   `json:"retryable"`
 	}
 	if jsonErr := json.Unmarshal(raw, &wire); jsonErr != nil || wire.Code == "" {
-		return nil, false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		return resp.StatusCode, nil, hint, false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
 	}
 	env.Code, env.Message, env.Retryable = wire.Code, wire.Message, wire.Retryable
-	return nil, env.Retryable, env
+	return resp.StatusCode, nil, hint, env.Retryable, env
 }
 
 // PostJSON marshals in, POSTs it to path, and decodes the response into
 // out (skipped when out is nil).
 func (c *Client) PostJSON(path string, in, out any) error {
+	_, err := c.PostJSONWith(path, nil, in, out)
+	return err
+}
+
+// PostJSONWith is PostJSON with extra request headers, reporting the
+// response status so callers can tell 202 accepted from 200 deduped.
+func (c *Client) PostJSONWith(path string, header http.Header, in, out any) (status int, err error) {
 	payload, err := json.Marshal(in)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	data, err := c.Do(http.MethodPost, path, payload)
+	status, data, err := c.DoWith(http.MethodPost, path, payload, header)
 	if err != nil {
-		return err
+		return status, err
 	}
-	return decode(data, out)
+	return status, decode(data, out)
 }
 
 // GetJSON GETs path and decodes the response into out.
 func (c *Client) GetJSON(path string, out any) error {
-	data, err := c.Do(http.MethodGet, path, nil)
+	_, err := c.GetJSONHint(path, out)
+	return err
+}
+
+// GetJSONHint is GetJSON, additionally returning the response's
+// Retry-After hint (zero when absent) — job pollers pace themselves by
+// it instead of a fixed interval.
+func (c *Client) GetJSONHint(path string, out any) (retryAfter time.Duration, err error) {
+	_, data, hint, err := c.do(http.MethodGet, path, nil, nil)
 	if err != nil {
-		return err
+		return hint, err
 	}
-	return decode(data, out)
+	return hint, decode(data, out)
 }
 
 // Delete issues a DELETE and decodes the response into out (skipped

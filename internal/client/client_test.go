@@ -234,3 +234,68 @@ func TestJSONHelpers(t *testing.T) {
 		t.Fatalf("Delete = (%+v, %v)", out, err)
 	}
 }
+
+// TestDoWithForwardsHeadersAndStatus: DoWith carries caller headers to
+// the wire (the Idempotency-Key path) and reports the response status,
+// so callers can tell a 200 dedup from a 202 accept.
+func TestDoWithForwardsHeadersAndStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Idempotency-Key") == "dup" {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"id":"old","deduped":true}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"new"}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+
+	status, data, err := c.DoWith(http.MethodPost, "/v1/jobs", []byte(`{}`),
+		http.Header{"Idempotency-Key": {"dup"}})
+	if err != nil || status != http.StatusOK || string(data) != `{"id":"old","deduped":true}` {
+		t.Fatalf("DoWith dup = (%d, %q, %v), want the 200 dedup reply", status, data, err)
+	}
+	status, data, err = c.DoWith(http.MethodPost, "/v1/jobs", []byte(`{}`), nil)
+	if err != nil || status != http.StatusAccepted || string(data) != `{"id":"new"}` {
+		t.Fatalf("DoWith fresh = (%d, %q, %v), want the 202 accept", status, data, err)
+	}
+
+	var out struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	status, err = c.PostJSONWith("/v1/jobs", http.Header{"Idempotency-Key": {"dup"}}, map[string]string{}, &out)
+	if err != nil || status != http.StatusOK || out.ID != "old" || !out.Deduped {
+		t.Fatalf("PostJSONWith = (%d, %+v, %v), want the decoded dedup reply", status, out, err)
+	}
+}
+
+// TestGetJSONHintSurfacesRetryAfter: a Retry-After on a SUCCESSFUL
+// response (the job-poll pacing hint) reaches the caller; its absence
+// reads as zero.
+func TestGetJSONHintSurfacesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/hinted" {
+			w.Header().Set("Retry-After", "2")
+		}
+		json.NewEncoder(w).Encode(map[string]string{"state": "running"})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+
+	var out struct {
+		State string `json:"state"`
+	}
+	hint, err := c.GetJSONHint("/hinted", &out)
+	if err != nil || out.State != "running" {
+		t.Fatalf("GetJSONHint = (%+v, %v)", out, err)
+	}
+	if hint != 2*time.Second {
+		t.Fatalf("hint = %v, want 2s from Retry-After", hint)
+	}
+	hint, err = c.GetJSONHint("/plain", &out)
+	if err != nil || hint != 0 {
+		t.Fatalf("unhinted GetJSONHint = (%v, %v), want zero hint", hint, err)
+	}
+}

@@ -348,20 +348,23 @@ var shedCodes = map[string]bool{
 }
 
 // forward walks the candidate nodes for key, POSTing payload to path
-// on each until one executes it. Returns the executing node and its
-// raw response. Transport errors and pre-execution sheds advance the
-// walk; an executed error (envelope from a node that ran the request)
-// is returned as-is with its node.
-func (g *Gateway) forward(key uint64, path string, payload []byte) (*node, []byte, error) {
+// on each until one executes it. Returns the executing node, the HTTP
+// status it answered with, and its raw response; header (may be nil)
+// rides along on each attempt — that's how Idempotency-Key reaches the
+// owning node, making the ring walk itself exactly-once. Transport
+// errors and pre-execution sheds advance the walk; an executed error
+// (envelope from a node that ran the request) is returned as-is with
+// its node.
+func (g *Gateway) forward(key uint64, path string, payload []byte, header http.Header) (*node, int, []byte, error) {
 	g.proxied.Add(1)
 	cands := g.candidates(key)
 	var lastErr error
 	for i, n := range cands {
-		data, err := n.cl.Do(http.MethodPost, path, payload)
+		status, data, err := n.cl.DoWith(http.MethodPost, path, payload, header)
 		if err == nil {
 			n.markSuccess()
 			n.routed.Add(1)
-			return n, data, nil
+			return n, status, data, nil
 		}
 		if we, ok := err.(*client.Error); ok {
 			if !shedCodes[we.Code] {
@@ -369,7 +372,7 @@ func (g *Gateway) forward(key uint64, path string, payload []byte) (*node, []byt
 				// its verdict stands, no failover.
 				n.markSuccess()
 				n.routed.Add(1)
-				return n, nil, err
+				return n, status, nil, err
 			}
 			// Pre-execution shed: the node is up but won't take this work
 			// now. Try the next ring node without dinging its health.
@@ -384,7 +387,7 @@ func (g *Gateway) forward(key uint64, path string, payload []byte) (*node, []byt
 		}
 	}
 	g.noHealthy.Add(1)
-	return nil, nil, &client.Error{
+	return nil, 0, nil, &client.Error{
 		Code:      "no_healthy_node",
 		Message:   fmt.Sprintf("cluster: all %d nodes failed; last: %v", len(cands), lastErr),
 		Retryable: true,

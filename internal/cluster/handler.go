@@ -141,7 +141,7 @@ func (g *Gateway) handleRouted(path string) http.HandlerFunc {
 			gwWriteError(w, err)
 			return
 		}
-		_, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), path, payload)
+		_, _, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), path, payload, nil)
 		if err != nil {
 			gwWriteError(w, err)
 			return
@@ -158,14 +158,20 @@ func writeRaw(w http.ResponseWriter, status int, data []byte) {
 
 // handleJobSubmit routes an async submit like a prove, then rewrites
 // the returned job ID to "<id>@<node>" so the gateway can route the
-// poll and cancel statelessly — the ID itself names the owner.
+// poll and cancel statelessly — the ID itself names the owner. The
+// Idempotency-Key header is forwarded, and the node's status is
+// mirrored so a dedup hit stays a 200 through the gateway.
 func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	payload, rf, err := readBody(w, r)
 	if err != nil {
 		gwWriteError(w, err)
 		return
 	}
-	n, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), "/v1/jobs", payload)
+	var header http.Header
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		header = http.Header{"Idempotency-Key": []string{key}}
+	}
+	n, status, data, err := g.forward(routeKey(rf.Curve, rf.Backend, rf.Circuit), "/v1/jobs", payload, header)
 	if err != nil {
 		gwWriteError(w, err)
 		return
@@ -181,7 +187,10 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.jobsRouted.Add(1)
-	writeRaw(w, http.StatusAccepted, rewritten)
+	if status < 200 || status > 299 {
+		status = http.StatusAccepted
+	}
+	writeRaw(w, status, rewritten)
 }
 
 // rewriteJobID suffixes the node name onto the "id" field of a job
@@ -247,6 +256,16 @@ func (g *Gateway) handleJobByID(method string) http.HandlerFunc {
 		rewritten, rwErr := rewriteJobID(data, nodeName)
 		if rwErr != nil {
 			rewritten = data // degrade to the raw reply rather than failing the poll
+		}
+		// Re-derive the node's poll pacing hint: a still-live job tells the
+		// poller to come back in about a second, matching the node's own
+		// Retry-After behavior.
+		var st struct {
+			State string `json:"state"`
+		}
+		if method == http.MethodGet && json.Unmarshal(data, &st) == nil &&
+			st.State != "done" && st.State != "failed" {
+			w.Header().Set("Retry-After", "1")
 		}
 		writeRaw(w, http.StatusOK, rewritten)
 	}
@@ -318,7 +337,7 @@ func (g *Gateway) handleScatterBatch(path string) http.HandlerFunc {
 			go func() {
 				defer wg.Done()
 				sub, _ := client.MarshalBatch(gr.items)
-				_, data, err := g.forward(gr.key, path, sub)
+				_, _, data, err := g.forward(gr.key, path, sub, nil)
 				if err != nil {
 					env := gwEnvelope{Code: "no_healthy_node", Message: err.Error(), Retryable: true}
 					if we, ok := err.(*client.Error); ok {

@@ -286,6 +286,13 @@ const (
 	// prove (and batch) and verify handlers.
 	PointHTTPProve  = "http.prove"
 	PointHTTPVerify = "http.verify"
+	// PointJournalAppend governs the job journal's WAL appends
+	// (partial-write faults tear a record mid-frame here).
+	PointJournalAppend = "jobs.journal.append"
+	// PointJournalReplay fires at the top of startup WAL replay.
+	PointJournalReplay = "jobs.journal.replay"
+	// PointJournalCompact fires before the journal's compaction rewrite.
+	PointJournalCompact = "jobs.journal.compact"
 )
 
 // Points lists the known injection point names, sorted.
@@ -294,6 +301,7 @@ func Points() []string {
 		PointWorkerRun, PointBackendSetup, PointBackendProve,
 		PointArtifactWrite, PointArtifactRename, PointArtifactLoad,
 		PointHTTPProve, PointHTTPVerify,
+		PointJournalAppend, PointJournalReplay, PointJournalCompact,
 	}
 	sort.Strings(out)
 	return out

@@ -17,6 +17,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -74,6 +75,11 @@ type Job struct {
 	cancel  context.CancelFunc
 	run     RunFunc // cleared at dispatch
 
+	// idemKey and payload ride along for the journal: the dedup key the
+	// submit carried and the serialized request replay re-arms from.
+	idemKey string
+	payload []byte
+
 	mu       sync.Mutex
 	state    State
 	started  time.Time
@@ -81,6 +87,9 @@ type Job struct {
 	result   any
 	err      error
 	done     chan struct{}
+	// pendingReplay marks a journaled job restored in queued state that
+	// has no RunFunc yet; Resume attaches one and enqueues it.
+	pendingReplay bool
 }
 
 // ID returns the job's identifier (16 hex chars, minted at submit).
@@ -128,14 +137,17 @@ func (j *Job) Timing() (wait, run time.Duration) {
 	}
 }
 
-// markStarted flips queued → running (idempotent; a no-op once terminal).
-func (j *Job) markStarted() {
+// markStarted flips queued → running, reporting whether this call did
+// the transition (idempotent; a no-op once terminal).
+func (j *Job) markStarted() bool {
 	j.mu.Lock()
-	if j.state == StateQueued {
-		j.state = StateRunning
-		j.started = time.Now()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
 	}
-	j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
 }
 
 // finalize moves the job to its terminal state exactly once and reports
@@ -173,6 +185,18 @@ type Config struct {
 	// For provesvc this is sized against the service's worker pool and
 	// queue so dispatched jobs never overflow the sync queue.
 	Parallel int
+	// Journal, when set, makes the manager durable: every lifecycle
+	// transition is appended to the WAL, sweeps compact it, and New
+	// replays it — finished jobs come back retained (pollable until TTL)
+	// and queued/running-at-crash jobs come back as pending replays the
+	// owner re-arms via PendingReplays + Resume. The manager owns the
+	// journal from here on and closes it at Shutdown.
+	Journal *Journal
+	// ErrorClass classifies a failed job's error (HTTP status, stable
+	// code, retryability) for the journal's failed records, so a replayed
+	// failure renders the same envelope after a restart. Nil picks a
+	// generic internal classification.
+	ErrorClass func(err error) (status int, code string, retryable bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -209,33 +233,171 @@ type Manager struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	active   int // queued + running
+	idem     map[string]*Job // idempotency key → job, while the job lives
+	pending  []PendingReplay // journaled jobs awaiting Resume
+	active   int             // queued + running
 	draining bool
 
-	queue chan *Job // buffered MaxActive: sends under mu never block
+	// queue is buffered to MaxActive plus the replayed-pending count, so
+	// sends under mu never block.
+	queue chan *Job
 
 	loopWG sync.WaitGroup // dispatchers + sweeper
 
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	canceled  atomic.Uint64 // cancels requested via Cancel
-	evicted   atomic.Uint64
-	rejected  atomic.Uint64 // MaxActive sheds
+	submitted  atomic.Uint64
+	completed  atomic.Uint64
+	failed     atomic.Uint64
+	canceled   atomic.Uint64 // cancels requested via Cancel
+	evicted    atomic.Uint64
+	rejected   atomic.Uint64 // MaxActive sheds
+	replayed   atomic.Uint64 // jobs restored from the journal
+	reexecuted atomic.Uint64 // replayed jobs re-enqueued via Resume
+	dedupHits  atomic.Uint64 // submissions answered by Idempotency-Key
 }
 
-// New creates a manager; call Start before submitting.
+// New creates a manager; call Start before submitting. With a journal
+// configured, New replays it: finished jobs are restored retained, and
+// jobs that were queued or running when the previous process died are
+// restored queued, awaiting Resume (see PendingReplays).
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		cfg:       cfg,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		stop:      make(chan struct{}),
 		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, cfg.MaxActive),
+		idem:      make(map[string]*Job),
 	}
+	npending := 0
+	if cfg.Journal != nil {
+		npending = m.replayJournal()
+	}
+	m.queue = make(chan *Job, cfg.MaxActive+npending)
+	return m
+}
+
+// replayJournal merges the WAL into the registry and returns how many
+// jobs await Resume. An unreadable journal file is not fatal — the
+// manager starts empty and further appends are dropped (counted).
+func (m *Manager) replayJournal() int {
+	recs, err := m.cfg.Journal.replay()
+	if err != nil {
+		m.cfg.Journal.appendErrs.Add(1)
+		return 0
+	}
+	now := time.Now()
+	npending := 0
+	for _, rj := range recs {
+		if rj.State == StateDone || rj.State == StateFailed {
+			// Results whose TTL ran out while the process was down are
+			// gone, same as if the sweeper had evicted them.
+			if now.Sub(rj.Finished) >= m.cfg.TTL {
+				continue
+			}
+			done := make(chan struct{})
+			close(done)
+			j := &Job{
+				id:       rj.ID,
+				kind:     rj.Kind,
+				created:  rj.Created,
+				cancel:   func() {},
+				idemKey:  rj.Key,
+				payload:  rj.Payload,
+				state:    rj.State,
+				started:  rj.Started,
+				finished: rj.Finished,
+				done:     done,
+			}
+			if rj.State == StateDone {
+				j.result = rj.Result
+			} else {
+				j.err = rj.Err
+			}
+			m.jobs[j.id] = j
+			if j.idemKey != "" {
+				m.idem[j.idemKey] = j
+			}
+			m.replayed.Add(1)
+			continue
+		}
+		// Queued or running at crash: restore queued and wait for the
+		// owner to rebuild the RunFunc from the journaled request.
+		jctx, cancel := context.WithCancel(m.baseCtx)
+		j := &Job{
+			id:            rj.ID,
+			kind:          rj.Kind,
+			created:       rj.Created,
+			ctx:           jctx,
+			cancel:        cancel,
+			idemKey:       rj.Key,
+			payload:       rj.Payload,
+			state:         StateQueued,
+			done:          make(chan struct{}),
+			pendingReplay: true,
+		}
+		m.jobs[j.id] = j
+		if j.idemKey != "" {
+			m.idem[j.idemKey] = j
+		}
+		m.active++
+		m.pending = append(m.pending, PendingReplay{
+			ID:             rj.ID,
+			Kind:           rj.Kind,
+			IdempotencyKey: rj.Key,
+			Payload:        rj.Payload,
+			Created:        rj.Created,
+		})
+		m.replayed.Add(1)
+		npending++
+	}
+	return npending
+}
+
+// PendingReplay describes one journaled job that was queued or running
+// when the previous process died: the serialized request the owner needs
+// to rebuild its RunFunc and Resume it.
+type PendingReplay struct {
+	ID             string
+	Kind           string
+	IdempotencyKey string
+	Payload        []byte
+	Created        time.Time
+}
+
+// PendingReplays lists the replayed jobs awaiting Resume. Until resumed
+// they poll as queued; a pending job can still be cancelled, after which
+// Resume skips it.
+func (m *Manager) PendingReplays() []PendingReplay {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]PendingReplay(nil), m.pending...)
+}
+
+// Resume attaches a RunFunc to a pending replayed job and queues it for
+// re-execution. Jobs cancelled (or otherwise finalized) since replay are
+// skipped without error; unknown IDs return ErrNotFound.
+func (m *Manager) Resume(id string, run RunFunc) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	ok := j.pendingReplay && j.state == StateQueued
+	if ok {
+		j.pendingReplay = false
+		j.run = run
+	}
+	j.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	m.queue <- j
+	m.reexecuted.Add(1)
+	return nil
 }
 
 // Start launches the dispatcher pool and the TTL sweeper.
@@ -256,38 +418,78 @@ func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
 // closure receives a context detached from the submitting request —
 // canceled only by Cancel or Shutdown.
 func (m *Manager) Submit(kind string, run RunFunc) (*Job, error) {
+	j, _, err := m.SubmitWith(SubmitOptions{Kind: kind}, run)
+	return j, err
+}
+
+// SubmitOptions carries the durability extras of a submission beyond
+// Submit's kind.
+type SubmitOptions struct {
+	// Kind labels the job for stats and rendering ("prove", "verify", …).
+	Kind string
+	// IdempotencyKey, when non-empty, dedupes submissions: a second
+	// submit with a key already held by a live or retained job returns
+	// that job instead of creating one. Keys are journaled, so dedup
+	// survives a crash; they are forgotten when the job is evicted.
+	IdempotencyKey string
+	// Payload is the serialized request, stored in the journal's
+	// accepted record and handed back via PendingReplays after a crash.
+	Payload []byte
+}
+
+// SubmitWith is Submit plus idempotent-submission and journaling
+// support; deduped reports whether an existing job was returned for
+// opts.IdempotencyKey instead of a new one.
+func (m *Manager) SubmitWith(opts SubmitOptions, run RunFunc) (j *Job, deduped bool, err error) {
 	jctx, cancel := context.WithCancel(m.baseCtx)
-	j := &Job{
+	j = &Job{
 		id:      newID(),
-		kind:    kind,
+		kind:    opts.Kind,
 		created: time.Now(),
 		ctx:     jctx,
 		cancel:  cancel,
 		run:     run,
+		idemKey: opts.IdempotencyKey,
+		payload: opts.Payload,
 		state:   StateQueued,
 		done:    make(chan struct{}),
 	}
 
 	m.mu.Lock()
+	if j.idemKey != "" {
+		if prev := m.idem[j.idemKey]; prev != nil {
+			m.dedupHits.Add(1)
+			m.mu.Unlock()
+			cancel()
+			return prev, true, nil
+		}
+	}
 	if m.draining {
 		m.mu.Unlock()
 		cancel()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	if m.active >= m.cfg.MaxActive {
 		m.rejected.Add(1)
 		m.mu.Unlock()
 		cancel()
-		return nil, ErrTooManyJobs
+		return nil, false, ErrTooManyJobs
 	}
 	m.active++
 	m.jobs[j.id] = j
+	if j.idemKey != "" {
+		m.idem[j.idemKey] = j
+	}
 	m.submitted.Add(1)
-	// The queue is buffered to MaxActive and active is counted under this
-	// same lock, so the send cannot block.
+	// The queue is buffered to at least MaxActive and active is counted
+	// under this same lock, so the send cannot block.
 	m.queue <- j
 	m.mu.Unlock()
-	return j, nil
+	// The accepted record is appended (and fsynced) before Submit
+	// returns, so a job is on disk before any 202 reaches the client.
+	// Outside m.mu — see the lock-order note on Journal.
+	m.journalAccepted(j)
+	return j, false, nil
 }
 
 // Get returns the job for id, or ErrNotFound if it never existed or was
@@ -318,6 +520,7 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		m.canceled.Add(1)
 		m.failed.Add(1)
 		m.release()
+		m.journalFinished(j, nil, ErrCanceled)
 	} else if j.State() == StateRunning {
 		m.canceled.Add(1)
 	}
@@ -355,7 +558,11 @@ func (m *Manager) runJob(j *Job) {
 	}
 	run := j.run
 	j.run = nil
-	res, err := run(j.ctx, j.markStarted)
+	res, err := run(j.ctx, func() {
+		if j.markStarted() {
+			m.journalStarted(j)
+		}
+	})
 	if j.finalize(res, err) {
 		if err != nil {
 			m.failed.Add(1)
@@ -363,6 +570,7 @@ func (m *Manager) runJob(j *Job) {
 			m.completed.Add(1)
 		}
 		m.release()
+		m.journalFinished(j, res, err)
 	}
 }
 
@@ -376,11 +584,13 @@ func (m *Manager) sweeper() {
 			return
 		case <-t.C:
 			m.sweep(time.Now())
+			m.maybeCompact()
 		}
 	}
 }
 
-// sweep evicts finished jobs whose TTL expired.
+// sweep evicts finished jobs whose TTL expired, forgetting their
+// idempotency keys with them.
 func (m *Manager) sweep(now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -391,8 +601,143 @@ func (m *Manager) sweep(now time.Time) {
 		j.mu.Unlock()
 		if expired {
 			delete(m.jobs, id)
+			if j.idemKey != "" && m.idem[j.idemKey] == j {
+				delete(m.idem, j.idemKey)
+			}
 			m.evicted.Add(1)
 		}
+	}
+}
+
+// maybeCompact rewrites the journal down to the live jobs once evictions
+// have left enough dead records behind. Runs on the sweeper goroutine.
+func (m *Manager) maybeCompact() {
+	jl := m.cfg.Journal
+	if jl == nil {
+		return
+	}
+	m.mu.Lock()
+	live := len(m.jobs)
+	m.mu.Unlock()
+	if !jl.needsCompact(live) {
+		return
+	}
+	jl.compact(m.liveWALRecords)
+}
+
+// liveWALRecords snapshots the registry as WAL records — an accepted
+// record per job plus its latest transition — for compaction. Called by
+// Journal.compact under the journal lock (Journal.mu → Manager.mu is the
+// one permitted nesting).
+func (m *Manager) liveWALRecords() []walRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs := make([]walRecord, 0, 2*len(m.jobs))
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		recs = append(recs, walRecord{
+			Op: opAccepted, ID: j.id, Kind: j.kind,
+			At: j.created.UnixNano(), Key: j.idemKey, Req: j.payload,
+		})
+		switch j.state {
+		case StateRunning:
+			recs = append(recs, walRecord{Op: opStarted, ID: j.id, At: j.started.UnixNano()})
+		case StateDone:
+			data, err := json.Marshal(j.result)
+			if err != nil {
+				data = nil
+			}
+			recs = append(recs, walRecord{Op: opDone, ID: j.id, At: j.finished.UnixNano(), Res: data})
+		case StateFailed:
+			recs = append(recs, m.failedRecord(j.id, j.finished, j.err))
+		}
+		j.mu.Unlock()
+	}
+	return recs
+}
+
+// journalAccepted records a freshly-submitted job. Called outside
+// Manager.mu — see the lock-order note on Journal.
+func (m *Manager) journalAccepted(j *Job) {
+	jl := m.cfg.Journal
+	if jl == nil {
+		return
+	}
+	jl.append(walRecord{
+		Op: opAccepted, ID: j.id, Kind: j.kind,
+		At: j.created.UnixNano(), Key: j.idemKey, Req: j.payload,
+	})
+}
+
+// journalStarted records the queued → running transition.
+func (m *Manager) journalStarted(j *Job) {
+	jl := m.cfg.Journal
+	if jl == nil {
+		return
+	}
+	j.mu.Lock()
+	at := j.started.UnixNano()
+	j.mu.Unlock()
+	jl.append(walRecord{Op: opStarted, ID: j.id, At: at})
+}
+
+// journalFinished records a terminal transition: done with the marshaled
+// result, or failed/cancelled with the classified error envelope.
+func (m *Manager) journalFinished(j *Job, res any, err error) {
+	jl := m.cfg.Journal
+	if jl == nil {
+		return
+	}
+	j.mu.Lock()
+	at := j.finished
+	j.mu.Unlock()
+	if err == nil {
+		data, merr := json.Marshal(res)
+		if merr != nil {
+			data = nil
+		}
+		jl.append(walRecord{Op: opDone, ID: j.id, At: at.UnixNano(), Res: data})
+		return
+	}
+	jl.append(m.failedRecord(j.id, at, err))
+}
+
+// failedRecord builds the failed/cancelled WAL record for err, carrying
+// the classified envelope so the failure renders identically after a
+// restart.
+func (m *Manager) failedRecord(id string, at time.Time, err error) walRecord {
+	op := opFailed
+	if errors.Is(err, context.Canceled) || errors.Is(err, ErrCanceled) {
+		op = opCancelled
+	}
+	status, code, retryable := m.classify(err)
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	return walRecord{
+		Op: op, ID: id, At: at.UnixNano(),
+		ErrCode: code, ErrMsg: msg, ErrStatus: status, ErrRetryable: retryable,
+	}
+}
+
+// classify maps a job error to its wire envelope, via Config.ErrorClass
+// when set. Already-replayed errors keep their original classification.
+func (m *Manager) classify(err error) (status int, code string, retryable bool) {
+	var rep *ReplayedError
+	if errors.As(err, &rep) {
+		return rep.Status, rep.Code, rep.Retryable
+	}
+	if m.cfg.ErrorClass != nil {
+		return m.cfg.ErrorClass(err)
+	}
+	switch {
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return 408, "canceled", false
+	case errors.Is(err, ErrDropped):
+		return 503, "dropped", true
+	default:
+		return 500, "internal_error", false
 	}
 }
 
@@ -413,6 +758,33 @@ type Stats struct {
 	OldestRetainedMs float64 `json:"oldest_retained_ms"`
 	TTLMs            float64 `json:"ttl_ms"`
 	MaxActive        int     `json:"max_active"`
+
+	Journal JournalStats `json:"journal"`
+}
+
+// journalStats assembles the durability block. Takes Journal.mu, so it
+// must run before — never while — Manager.mu is held.
+func (m *Manager) journalStats() JournalStats {
+	jl := m.cfg.Journal
+	if jl == nil {
+		return JournalStats{}
+	}
+	st := JournalStats{
+		Enabled:       true,
+		Path:          jl.path,
+		Replayed:      m.replayed.Load(),
+		Reexecuted:    m.reexecuted.Load(),
+		DedupHits:     m.dedupHits.Load(),
+		Compactions:   jl.compactions.Load(),
+		TornRecords:   jl.torn.Load(),
+		AppendErrors:  jl.appendErrs.Load(),
+		CompactErrors: jl.compactErrs.Load(),
+	}
+	jl.mu.Lock()
+	st.Records = jl.records
+	st.SizeBytes = jl.off
+	jl.mu.Unlock()
+	return st
 }
 
 // Snapshot counts jobs by state and ages for /v1/stats and the metrics
@@ -428,6 +800,7 @@ func (m *Manager) Snapshot() Stats {
 		Rejected:  m.rejected.Load(),
 		TTLMs:     float64(m.cfg.TTL) / 1e6,
 		MaxActive: m.cfg.MaxActive,
+		Journal:   m.journalStats(), // before m.mu — journalStats takes Journal.mu
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -466,13 +839,16 @@ func (m *Manager) Drain() {
 func (m *Manager) Shutdown(ctx context.Context) {
 	m.Drain()
 	// Fail everything still queued; dispatchers racing us will see the
-	// terminal state and skip.
+	// terminal state and skip. Dropped jobs are journaled terminal —
+	// graceful shutdown is a decision, not a crash, so they do not
+	// re-execute on the next boot.
 	for {
 		select {
 		case j := <-m.queue:
 			if j.finalize(nil, ErrDropped) {
 				m.failed.Add(1)
 				m.release()
+				m.journalFinished(j, nil, ErrDropped)
 			}
 		default:
 			goto drained
@@ -501,6 +877,9 @@ drained:
 	m.cancelAll()
 	close(m.stop)
 	m.loopWG.Wait() // busy dispatchers finish their (now canceled) RunFunc first
+	if jl := m.cfg.Journal; jl != nil {
+		jl.Close()
+	}
 }
 
 // newID mints a 16-hex-char job ID.

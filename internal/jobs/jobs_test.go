@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -353,5 +354,60 @@ func TestConcurrentSubmitPoll(t *testing.T) {
 	st := m.Snapshot()
 	if st.Completed+st.Failed != st.Submitted {
 		t.Fatalf("outcomes %d+%d != submitted %d", st.Completed, st.Failed, st.Submitted)
+	}
+}
+
+// TestSweeperShutdownClean: Shutdown stops the sweeper without leaking
+// its goroutine, and a sweep or compaction racing past Close finds the
+// journal handle nil-guarded — a no-op, never a panic.
+func TestSweeperShutdownClean(t *testing.T) {
+	before := runtime.NumGoroutine()
+	jl, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Journal: jl, TTL: 10 * time.Millisecond, SweepEvery: time.Millisecond})
+	m.Start()
+	j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+		started()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m.Shutdown(ctx)
+	// Shutdown closed the journal; late sweeps must still be safe.
+	m.sweep(time.Now())
+	m.maybeCompact()
+	time.Sleep(5 * time.Millisecond) // several sweep intervals past Shutdown
+	waitFor(t, 5*time.Second, "manager goroutines to exit", func() bool {
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+// TestNonPositiveTTLDefaults: zero and negative TTLs mean "use the
+// default retention", never "evict immediately" — a finished job stays
+// pollable through a sweep and the effective TTL is the documented 5m.
+func TestNonPositiveTTLDefaults(t *testing.T) {
+	for _, ttl := range []time.Duration{0, -time.Second} {
+		m := newTestManager(t, Config{TTL: ttl})
+		if got := m.TTL(); got != 5*time.Minute {
+			t.Fatalf("TTL(%v) defaulted to %v, want 5m", ttl, got)
+		}
+		j, err := m.Submit("prove", func(ctx context.Context, started func()) (any, error) {
+			started()
+			return "kept", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+		m.sweep(time.Now())
+		if got, err := m.Get(j.ID()); err != nil || got.State() != StateDone {
+			t.Fatalf("TTL=%v: finished job gone after sweep (%v, %v); non-positive TTL must not mean instant eviction", ttl, got, err)
+		}
 	}
 }

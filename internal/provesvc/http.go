@@ -204,7 +204,19 @@ func LogRequests(next http.Handler, logger *log.Logger) http.Handler {
 // and retryability. Documented in the README's error-code table.
 func errorClass(err error) (status int, code string, retryable bool) {
 	var tooBig *http.MaxBytesError
+	var replayed *jobs.ReplayedError
 	switch {
+	case errors.As(err, &replayed):
+		// A journaled failure restored after a restart keeps the envelope
+		// its original error was classified into.
+		status, code, retryable = replayed.Status, replayed.Code, replayed.Retryable
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		if code == "" {
+			code = "internal_error"
+		}
+		return status, code, retryable
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full", true
 	case errors.Is(err, jobs.ErrTooManyJobs):

@@ -51,6 +51,9 @@ type jobReply struct {
 	RunMs  float64      `json:"run_ms"`
 	Result any          `json:"result,omitempty"`
 	Error  *errEnvelope `json:"error,omitempty"`
+	// Deduped marks a submit answered with an existing job because its
+	// Idempotency-Key was already taken (served 200, not 202).
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 func jobReplyOf(j *jobs.Job) *jobReply {
@@ -143,6 +146,12 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := telemetry.RequestIDFromContext(r.Context())
 
+	idemKey := r.Header.Get("Idempotency-Key")
+	if len(idemKey) > maxIdempotencyKey {
+		s.writeError(w, fmt.Errorf("provesvc: Idempotency-Key exceeds %d bytes", maxIdempotencyKey))
+		return
+	}
+
 	// The unified batch shape: {"items":[…]} submits several jobs with
 	// per-item admission. Any object without items is a single submit.
 	var batch struct {
@@ -155,7 +164,13 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			kind, run, err := s.buildJobRun(body, reqID)
 			var j *jobs.Job
 			if err == nil {
-				j, err = s.jobMgr.Submit(kind, run)
+				// Per-item payloads are re-marshaled so each job replays
+				// independently; the Idempotency-Key header stays single-submit
+				// only (one key cannot name N jobs).
+				payload, _ := json.Marshal(body)
+				j, _, err = s.jobMgr.SubmitWith(jobs.SubmitOptions{
+					Kind: kind, Payload: payload,
+				}, run)
 			}
 			if err != nil {
 				_, out[i].Error = envelope(err)
@@ -178,12 +193,53 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	j, err := s.jobMgr.Submit(kind, run)
+	j, deduped, err := s.jobMgr.SubmitWith(jobs.SubmitOptions{
+		Kind: kind, IdempotencyKey: idemKey, Payload: data,
+	}, run)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobReplyOf(j))
+	rep := jobReplyOf(j)
+	rep.Deduped = deduped
+	// A dedup hit is not a new acceptance: 200 with the original job.
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, rep)
+}
+
+// maxIdempotencyKey bounds the Idempotency-Key header; longer keys are
+// rejected rather than truncated (a truncated key could false-dedup).
+const maxIdempotencyKey = 128
+
+// resumeJournaledJobs re-arms jobs that were queued or running when the
+// previous process died: each journaled request is parsed back into a
+// RunFunc and re-enqueued. A payload that no longer parses fails its job
+// with the parse error instead of wedging it in queued forever.
+func (s *Service) resumeJournaledJobs() {
+	for _, pr := range s.jobMgr.PendingReplays() {
+		pr := pr
+		var run jobs.RunFunc
+		var body jobBody
+		if err := json.Unmarshal(pr.Payload, &body); err != nil {
+			perr := fmt.Errorf("provesvc: job %s: journaled request unparseable after restart: %w", pr.ID, err)
+			run = func(ctx context.Context, started func()) (any, error) {
+				started()
+				return nil, perr
+			}
+		} else if _, r, err := s.buildJobRun(body, "replay-"+pr.ID); err != nil {
+			rerr := err
+			run = func(ctx context.Context, started func()) (any, error) {
+				started()
+				return nil, rerr
+			}
+		} else {
+			run = r
+		}
+		s.jobMgr.Resume(pr.ID, run)
+	}
 }
 
 func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -192,7 +248,12 @@ func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, jobReplyOf(j))
+	rep := jobReplyOf(j)
+	if st := jobs.State(rep.State); st != jobs.StateDone && st != jobs.StateFailed {
+		// Pace pollers: the job is still live, come back in about a second.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {

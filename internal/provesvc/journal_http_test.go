@@ -1,0 +1,200 @@
+package provesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zkperf/internal/circuit"
+)
+
+// postJSONHeader is postJSON plus request headers.
+func postJSONHeader(t *testing.T, url string, header http.Header, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func proveJobBody() map[string]any {
+	return map[string]any{
+		"kind":    "prove",
+		"curve":   "bn128",
+		"circuit": circuit.ExponentiateSource(16),
+		"inputs":  map[string]string{"x": "3"},
+	}
+}
+
+// TestHTTPJournalRestartServesOldResults: a proof finished before a
+// clean restart stays pollable under its original ID afterwards, served
+// from the journal with the original result bytes.
+func TestHTTPJournalRestartServesOldResults(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(WithWorkers(2), WithQueueDepth(8), WithSeed(17), WithJobJournal(dir))
+	if err := s1.JobJournalError(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(NewHandler(s1))
+	resp, out := postJSON(t, ts1.URL+"/v1/jobs", proveJobBody())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %v)", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+	final := pollJob(t, ts1.URL, id, 30*time.Second)
+	if final["state"] != "done" {
+		t.Fatalf("pre-restart job state = %v (body %v)", final["state"], final)
+	}
+	wantProof, _ := final["result"].(map[string]any)["proof"].(string)
+	ts1.Close()
+	s1.Shutdown(context.Background())
+
+	s2 := New(WithWorkers(2), WithQueueDepth(8), WithSeed(17), WithJobJournal(dir))
+	if err := s2.JobJournalError(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(NewHandler(s2))
+	defer ts2.Close()
+
+	resp, out = getJSON(t, ts2.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusOK || out["state"] != "done" {
+		t.Fatalf("post-restart GET = %d %v, want the finished job", resp.StatusCode, out)
+	}
+	if gotProof, _ := out["result"].(map[string]any)["proof"].(string); gotProof != wantProof {
+		t.Fatalf("replayed proof differs from the one served before restart")
+	}
+	_, st := getJSON(t, ts2.URL+"/v1/stats")
+	jblock, _ := st["jobs"].(map[string]any)
+	journal, _ := jblock["journal"].(map[string]any)
+	if journal == nil {
+		t.Fatalf("/v1/stats jobs block has no journal sub-block: %v", jblock)
+	}
+	if replayed, _ := journal["replayed"].(float64); replayed != 1 {
+		t.Errorf("journal.replayed = %v, want 1", journal["replayed"])
+	}
+}
+
+// TestHTTPJournalCrashReexecutesQueued: a job accepted but never run
+// (the service is constructed without Start, standing in for a process
+// killed before any worker picked it up) is re-executed on the next
+// boot and completes under its original ID. Also pins the Retry-After
+// hint on polls of non-terminal jobs.
+func TestHTTPJournalCrashReexecutesQueued(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(WithWorkers(2), WithQueueDepth(8), WithSeed(17), WithJobJournal(dir))
+	if err := s1.JobJournalError(); err != nil {
+		t.Fatal(err)
+	}
+	// No Start(): the accepted record reaches the WAL, the job never runs.
+	ts1 := httptest.NewServer(NewHandler(s1))
+	resp, out := postJSON(t, ts1.URL+"/v1/jobs", proveJobBody())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %v)", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+	getResp, _ := getJSON(t, ts1.URL+"/v1/jobs/"+id)
+	if ra := getResp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After on queued job = %q, want \"1\"", ra)
+	}
+	ts1.Close() // abandon s1 without Shutdown: the crash
+
+	s2 := New(WithWorkers(2), WithQueueDepth(8), WithSeed(17), WithJobJournal(dir))
+	if err := s2.JobJournalError(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(NewHandler(s2))
+	defer ts2.Close()
+
+	final := pollJob(t, ts2.URL, id, 30*time.Second)
+	if final["state"] != "done" {
+		t.Fatalf("re-executed job state = %v (body %v)", final["state"], final)
+	}
+	if proof, _ := final["result"].(map[string]any)["proof"].(string); proof == "" {
+		t.Fatalf("re-executed job has no proof: %v", final)
+	}
+	_, st := getJSON(t, ts2.URL+"/v1/stats")
+	journal, _ := st["jobs"].(map[string]any)["journal"].(map[string]any)
+	if reex, _ := journal["reexecuted"].(float64); reex != 1 {
+		t.Errorf("journal.reexecuted = %v, want 1", journal["reexecuted"])
+	}
+	if ra := getResp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After hint = %q, want \"1\"", ra)
+	}
+}
+
+// TestHTTPIdempotencyKey: resubmitting under the same Idempotency-Key
+// returns the original job as 200 {"deduped":true}; distinct keys get
+// distinct jobs; oversized keys are rejected outright.
+func TestHTTPIdempotencyKey(t *testing.T) {
+	s := New(WithWorkers(2), WithQueueDepth(8), WithSeed(17), WithJobJournal(t.TempDir()))
+	if err := s.JobJournalError(); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	key := http.Header{"Idempotency-Key": {"req-abc"}}
+	resp, out := postJSONHeader(t, ts.URL+"/v1/jobs", key, proveJobBody())
+	if resp.StatusCode != http.StatusAccepted || out["deduped"] != nil {
+		t.Fatalf("first submit = %d %v, want a plain 202", resp.StatusCode, out)
+	}
+	id, _ := out["id"].(string)
+
+	resp, out = postJSONHeader(t, ts.URL+"/v1/jobs", key, proveJobBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate submit status = %d, want 200 (body %v)", resp.StatusCode, out)
+	}
+	if out["deduped"] != true || out["id"] != id {
+		t.Fatalf("duplicate submit = %v, want deduped:true with the original ID %s", out, id)
+	}
+
+	resp, out = postJSONHeader(t, ts.URL+"/v1/jobs",
+		http.Header{"Idempotency-Key": {"req-other"}}, proveJobBody())
+	if resp.StatusCode != http.StatusAccepted || out["id"] == id {
+		t.Fatalf("distinct key submit = %d %v, want a fresh 202", resp.StatusCode, out)
+	}
+
+	long := make([]byte, maxIdempotencyKey+1)
+	for i := range long {
+		long[i] = 'k'
+	}
+	resp, out = postJSONHeader(t, ts.URL+"/v1/jobs",
+		http.Header{"Idempotency-Key": {string(long)}}, proveJobBody())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized key status = %d, want 400 (body %v)", resp.StatusCode, out)
+	}
+	wantEnvelope(t, out, "bad_request", false)
+}

@@ -80,6 +80,7 @@ type config struct {
 	jobTTL         time.Duration
 	jobSweep       time.Duration
 	jobMaxActive   int
+	jobJournalDir  string
 	verifyWindow   time.Duration
 	verifyMax      int
 	sched          WorkloadConfig
@@ -177,6 +178,17 @@ func WithJobTTL(ttl, sweepEvery time.Duration) Option {
 // submissions beyond it are shed with 429 too_many_jobs.
 func WithJobMaxActive(n int) Option {
 	return func(c *config) { c.jobMaxActive = n }
+}
+
+// WithJobJournal makes async jobs durable: every lifecycle transition is
+// appended to a checksummed WAL under dir, and a restart replays it —
+// finished jobs stay pollable until TTL, jobs queued or running at a
+// crash are re-executed, and Idempotency-Key dedup survives the restart.
+// A corrupt or torn journal recovers by truncation/quarantine; an
+// unusable journal directory degrades to in-memory jobs (see
+// JobJournalError).
+func WithJobJournal(dir string) Option {
+	return func(c *config) { c.jobJournalDir = dir }
 }
 
 // WithVerifyCoalesce folds concurrent single Verify calls for the same
@@ -310,6 +322,10 @@ type Service struct {
 	// still serves (without persistence), and the caller decides whether
 	// that is fatal via ArtifactDirError.
 	artifactErr error
+	// journalErr records a WithJobJournal init failure, same contract:
+	// the service serves with in-memory jobs and the caller decides via
+	// JobJournalError.
+	journalErr error
 
 	jobs chan *job
 	done chan struct{} // closed by Shutdown: workers exit when idle
@@ -349,11 +365,19 @@ func New(opts ...Option) *Service {
 	// Async job dispatch parallelism matches the worker pool: a
 	// dispatched job either runs immediately or waits in the service
 	// queue behind sync traffic, still reported "queued" either way.
+	var jnl *jobs.Journal
+	if cfg.jobJournalDir != "" {
+		if jnl, s.journalErr = jobs.OpenJournal(cfg.jobJournalDir); s.journalErr != nil {
+			jnl = nil // degrade to in-memory jobs; caller decides via JobJournalError
+		}
+	}
 	s.jobMgr = jobs.New(jobs.Config{
 		TTL:        cfg.jobTTL,
 		SweepEvery: cfg.jobSweep,
 		MaxActive:  cfg.jobMaxActive,
 		Parallel:   cfg.workers,
+		Journal:    jnl,
+		ErrorClass: errorClass,
 	})
 	if cfg.artifactDir != "" {
 		s.artifactErr = s.reg.SetArtifactDir(cfg.artifactDir)
@@ -401,6 +425,18 @@ func New(opts ...Option) *Service {
 			func() float64 { return float64(s.jobMgr.Snapshot().Rejected) })
 		reg.GaugeFunc("zkp_jobs_oldest_queued_ms", "Age of the oldest queued async job.",
 			func() float64 { return s.jobMgr.Snapshot().OldestQueuedMs })
+		reg.GaugeFunc("zkp_journal_replayed_total", "Jobs restored from the journal at startup.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.Replayed) })
+		reg.GaugeFunc("zkp_journal_reexecuted_total", "Replayed jobs re-enqueued for execution.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.Reexecuted) })
+		reg.GaugeFunc("zkp_journal_dedup_hits_total", "Submissions answered via Idempotency-Key.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.DedupHits) })
+		reg.GaugeFunc("zkp_journal_compactions_total", "Journal compaction rewrites.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.Compactions) })
+		reg.GaugeFunc("zkp_journal_torn_records_total", "Torn/corrupt journal tails recovered at replay.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.TornRecords) })
+		reg.GaugeFunc("zkp_journal_size_bytes", "Live journal WAL size.",
+			func() float64 { return float64(s.jobMgr.Snapshot().Journal.SizeBytes) })
 		reg.GaugeFunc("zkp_verify_batch_total", "Folded verify batches served.",
 			func() float64 { return float64(s.met.vbBatches.Load()) })
 		reg.GaugeFunc("zkp_verify_batch_proofs_total", "Proofs verified through folded batches.",
@@ -450,6 +486,12 @@ func New(opts ...Option) *Service {
 // correct — so the caller chooses whether to treat this as fatal.
 func (s *Service) ArtifactDirError() error { return s.artifactErr }
 
+// JobJournalError reports a WithJobJournal initialization failure (nil
+// when the journal is off or healthy). The service runs either way —
+// with in-memory jobs, losing them on restart — so the caller chooses
+// whether to treat this as fatal.
+func (s *Service) JobJournalError() error { return s.journalErr }
+
 // Registry exposes the circuit cache (e.g. to pre-warm circuits at boot).
 func (s *Service) Registry() *Registry { return s.reg }
 
@@ -460,7 +502,8 @@ func (s *Service) Backends() []string { return s.reg.Backends() }
 func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // Start launches the worker pool, the workload classifier and the async
-// job manager.
+// job manager, then re-arms any journaled jobs that were queued or
+// running when the previous process died.
 func (s *Service) Start() {
 	for i := 0; i < s.cfg.workers; i++ {
 		s.workerWG.Add(1)
@@ -468,6 +511,7 @@ func (s *Service) Start() {
 	}
 	s.sched.start()
 	s.jobMgr.Start()
+	s.resumeJournaledJobs()
 }
 
 // Jobs exposes the async job manager (e.g. for embedded callers that

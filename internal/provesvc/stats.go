@@ -360,7 +360,10 @@ type SchedStats struct {
 //	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …},
 //	  "jobs":      {queued, running, retained, submitted, completed,
 //	                failed, canceled, evicted, rejected, oldest_queued_ms,
-//	                oldest_retained_ms, ttl_ms, max_active},
+//	                oldest_retained_ms, ttl_ms, max_active,
+//	                journal:{enabled, path, records, size_bytes, replayed,
+//	                reexecuted, dedup_hits, compactions, torn_records,
+//	                append_errors, compact_errors}},
 //	  "sched":     {enabled, thread_budget, workers, reserved_workers,
 //	                cold_workers, hot_count, hot_min_rate,
 //	                hot:[{circuit, backend, curve, rate_per_sec,

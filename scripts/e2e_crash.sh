@@ -1,0 +1,141 @@
+#!/bin/sh
+# Crash-restart chaos drill for the durable job journal: one journaled
+# zkserve under live zkload -async traffic, killed with SIGKILL mid-job
+# and restarted on the same WAL.
+#
+# What it proves, end to end over real sockets and a real kill -9:
+#   1. jobs accepted before the crash survive it — their IDs resolve
+#      after restart and queued-at-crash work re-executes to completion;
+#   2. Idempotency-Key dedup crosses the crash — retrying the same
+#      submit lands on the pre-crash job (200, same ID), so client
+#      retries are exactly-once;
+#   3. old IDs also resolve through a zkgateway (<id>@<node>);
+#   4. a torn WAL tail (the kill-between-write window, injected here as
+#      trailing garbage) is quarantined on boot, never fatal, and the
+#      records before it still replay.
+#
+# Ports are loopback-only and offbeat (1809x) to avoid colliding with a
+# developer's running zkserve.
+set -eu
+
+BASE="${TMPDIR:-/tmp}/zkperf-crash-$$"
+mkdir -p "$BASE"
+NODE=127.0.0.1:18095
+NODE_URL="http://$NODE"
+GW=127.0.0.1:18096
+GW_URL="http://$GW"
+WAL_DIR="$BASE/journal"
+
+cleanup() {
+    # shellcheck disable=SC2046 — word-splitting the PID list is the point
+    kill $(cat "$BASE"/*.pid 2>/dev/null) 2>/dev/null || true
+    rm -rf "$BASE"
+}
+trap cleanup EXIT INT TERM
+
+echo "crash: building binaries into $BASE"
+go build -o "$BASE/zkserve" ./cmd/zkserve
+go build -o "$BASE/zkgateway" ./cmd/zkgateway
+go build -o "$BASE/zkcli" ./cmd/zkcli
+go build -o "$BASE/zkload" ./cmd/zkload
+
+start_server() { # start_server logname
+    "$BASE/zkserve" -addr "$NODE" -workers 2 -queue 64 \
+        -job-journal-dir "$WAL_DIR" >"$BASE/$1.log" 2>&1 &
+    echo $! > "$BASE/server.pid"
+}
+
+wait_up() {
+    i=0
+    while ! "$BASE/zkcli" stats -addr "$1" -json >/dev/null 2>&1; do
+        i=$((i+1))
+        [ "$i" -gt 50 ] && { echo "crash: $1 never came up"; tail -n 20 "$BASE"/*.log; exit 1; }
+        sleep 0.2
+    done
+}
+
+# journal_stat name — pull one zkp journal counter out of /v1/stats.
+journal_stat() {
+    "$BASE/zkcli" stats -addr "$NODE_URL" -json \
+        | sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" | head -n 1
+}
+
+start_server server-1
+wait_up "$NODE_URL"
+"$BASE/zkcli" gen -e 16 -o "$BASE/c16.zkc"
+
+echo "crash: same-process idempotent submit dedups"
+ID_A=$("$BASE/zkcli" job submit -addr "$NODE_URL" -circuit "$BASE/c16.zkc" \
+    -input x=2 -idempotency-key live-key 2>>"$BASE/cli.log")
+ID_B=$("$BASE/zkcli" job submit -addr "$NODE_URL" -circuit "$BASE/c16.zkc" \
+    -input x=2 -idempotency-key live-key 2>>"$BASE/cli.log")
+[ "$ID_A" = "$ID_B" ] || { echo "crash: FAIL dedup returned $ID_B, want $ID_A"; exit 1; }
+
+echo "crash: starting zkload -async background traffic"
+"$BASE/zkload" -addr "$NODE_URL" -async -clients 4 -circuits 2 -size 16 \
+    -warmup 0 -measure 30s >"$BASE/zkload.log" 2>&1 &
+echo $! > "$BASE/zkload.pid"
+sleep 2
+
+echo "crash: submitting marker jobs, then kill -9 mid-traffic"
+MARKER=$("$BASE/zkcli" job submit -addr "$NODE_URL" -circuit "$BASE/c16.zkc" \
+    -input x=3 -idempotency-key crash-key 2>>"$BASE/cli.log")
+# A few extra accepted-but-likely-queued jobs so the WAL holds
+# non-terminal work at the moment of death (2 workers, flooded queue).
+for i in 1 2 3; do
+    "$BASE/zkcli" job submit -addr "$NODE_URL" -circuit "$BASE/c16.zkc" \
+        -input "x=$i" >>"$BASE/cli.log" 2>&1
+done
+kill -9 "$(cat "$BASE/server.pid")"
+sleep 0.5
+
+echo "crash: restarting on the same journal"
+start_server server-2
+wait_up "$NODE_URL"
+REPLAYED=$(journal_stat replayed)
+REEXECUTED=$(journal_stat reexecuted)
+echo "crash: journal replayed=$REPLAYED reexecuted=$REEXECUTED"
+[ "${REPLAYED:-0}" -ge 1 ] || { echo "crash: FAIL nothing replayed after restart"; exit 1; }
+[ "${REEXECUTED:-0}" -ge 1 ] || { echo "crash: FAIL no queued-at-crash job re-executed"; exit 1; }
+
+echo "crash: pre-crash job ID must resolve and complete"
+"$BASE/zkcli" job wait -addr "$NODE_URL" -id "$MARKER" -timeout 2m \
+    >>"$BASE/cli.log" 2>&1 || {
+    echo "crash: FAIL marker job $MARKER did not complete after restart"; exit 1
+}
+
+echo "crash: idempotent resubmit must dedup across the crash"
+ID_C=$("$BASE/zkcli" job submit -addr "$NODE_URL" -circuit "$BASE/c16.zkc" \
+    -input x=3 -idempotency-key crash-key 2>>"$BASE/cli.log")
+[ "$ID_C" = "$MARKER" ] || {
+    echo "crash: FAIL post-crash resubmit got $ID_C, want pre-crash $MARKER"; exit 1
+}
+# dedup_hits is a per-process counter: only the post-restart hit shows.
+DEDUP=$(journal_stat dedup_hits)
+[ "${DEDUP:-0}" -ge 1 ] || { echo "crash: FAIL dedup_hits=$DEDUP, want >= 1"; exit 1; }
+
+echo "crash: pre-crash ID must resolve through a gateway as <id>@<node>"
+"$BASE/zkgateway" -addr "$GW" -nodes "n=$NODE_URL" \
+    -probe-every 200ms >"$BASE/gateway.log" 2>&1 &
+echo $! > "$BASE/gateway.pid"
+wait_up "$GW_URL"
+"$BASE/zkcli" job status -addr "$GW_URL" -id "$MARKER@n" >>"$BASE/cli.log" 2>&1 || {
+    echo "crash: FAIL gateway lookup of $MARKER@n failed"; exit 1
+}
+
+echo "crash: torn-tail injection — garbage at the WAL tail must quarantine, not kill the boot"
+kill -9 "$(cat "$BASE/server.pid")"
+sleep 0.5
+printf 'TORN-TAIL-GARBAGE-NOT-A-FRAME' >> "$WAL_DIR/jobs.wal"
+start_server server-3
+wait_up "$NODE_URL"
+TORN=$(journal_stat torn_records)
+[ "${TORN:-0}" -ge 1 ] || { echo "crash: FAIL torn_records=$TORN after tail corruption"; exit 1; }
+[ -s "$WAL_DIR/jobs.wal.corrupt" ] || {
+    echo "crash: FAIL no quarantine file after tail corruption"; exit 1
+}
+"$BASE/zkcli" job status -addr "$NODE_URL" -id "$MARKER" >>"$BASE/cli.log" 2>&1 || {
+    echo "crash: FAIL marker job lost after torn-tail recovery"; exit 1
+}
+
+echo "crash: PASS"
