@@ -29,6 +29,7 @@ import (
 
 	"math/bits"
 
+	"zkperf/internal/pairing"
 	"zkperf/internal/plonk"
 	"zkperf/internal/poly"
 	"zkperf/internal/rns"
@@ -717,56 +718,89 @@ func kernelScalars(fr *ff.Field, n int) []ff.Element {
 	return out
 }
 
-// BenchmarkKernels tracks the two accelerator-target kernels (the NTT and
-// the MSM, per the paper's hardware discussion) at proving-scale sizes and
-// several thread counts. ci.sh runs the 2^10 slice as a smoke test; the
-// larger sizes back the README's kernel performance table.
+// BenchmarkKernels tracks the accelerator-target kernels (the NTT and the
+// MSM, per the paper's hardware discussion) plus the verifier-side pairing
+// primitives and the persisted fixed-base table path, on both curves, at
+// proving-scale sizes and several thread counts. ci.sh runs the 2^10 and
+// pairing slices as a smoke test; the larger sizes back the README's
+// kernel performance table.
 func BenchmarkKernels(b *testing.B) {
-	c := curve.NewBN254()
-	fr := c.Fr
 	threadCounts := []int{1, 4, 8}
-	for _, logN := range []int{10, 14, 16} {
-		n := 1 << logN
-		d, err := poly.NewDomain(fr, n)
-		if err != nil {
-			b.Fatal(err)
-		}
-		a := kernelScalars(fr, n)
-		buf := make([]ff.Element, n)
-		for _, th := range threadCounts {
-			b.Run(fmt.Sprintf("ntt/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					copy(buf, a)
-					if err := d.NTTCtx(context.Background(), buf, th); err != nil {
-						b.Fatal(err)
+	for _, c := range []*curve.Curve{curve.NewBN254(), curve.NewBLS12381()} {
+		fr := c.Fr
+		for _, logN := range []int{10, 14, 16} {
+			n := 1 << logN
+			d, err := poly.NewDomain(fr, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := kernelScalars(fr, n)
+			buf := make([]ff.Element, n)
+			for _, th := range threadCounts {
+				b.Run(fmt.Sprintf("ntt/curve=%s/n=2^%d/threads=%d", c.Name, logN, th), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						copy(buf, a)
+						if err := d.NTTCtx(context.Background(), buf, th); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
-	}
-	for _, logN := range []int{10, 14, 16} {
-		n := 1 << logN
-		points := kernelG1Points(c, n)
-		scalars := kernelScalars(fr, n)
-		for _, th := range threadCounts {
-			b.Run(fmt.Sprintf("msm-g1/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					_ = c.G1MSM(points, scalars, th)
-				}
-			})
+		for _, logN := range []int{10, 14, 16} {
+			n := 1 << logN
+			points := kernelG1Points(c, n)
+			scalars := kernelScalars(fr, n)
+			for _, th := range threadCounts {
+				b.Run(fmt.Sprintf("msm-g1/curve=%s/n=2^%d/threads=%d", c.Name, logN, th), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						_ = c.G1MSM(points, scalars, th)
+					}
+				})
+			}
 		}
-	}
-	for _, logN := range []int{10, 14, 16} {
-		n := 1 << logN
-		points := kernelG2Points(c, n)
-		scalars := kernelScalars(fr, n)
-		for _, th := range threadCounts {
-			b.Run(fmt.Sprintf("msm-g2/n=2^%d/threads=%d", logN, th), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					_ = c.G2MSM(points, scalars, th)
-				}
-			})
+		for _, logN := range []int{10, 14, 16} {
+			n := 1 << logN
+			points := kernelG2Points(c, n)
+			scalars := kernelScalars(fr, n)
+			for _, th := range threadCounts {
+				b.Run(fmt.Sprintf("msm-g2/curve=%s/n=2^%d/threads=%d", c.Name, logN, th), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						_ = c.G2MSM(points, scalars, th)
+					}
+				})
+			}
 		}
+		tab := c.G1GenTable()
+		for _, logN := range []int{10, 14, 16} {
+			scalars := kernelScalars(fr, 1<<logN)
+			for _, th := range threadCounts {
+				b.Run(fmt.Sprintf("tablemul-g1/curve=%s/n=2^%d/threads=%d", c.Name, logN, th), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := tab.MulBatchCtx(context.Background(), scalars, th); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+		eng := pairing.NewEngine(c)
+		f := eng.MillerLoop(&c.G1Gen, &c.G2Gen)
+		b.Run(fmt.Sprintf("pairing/curve=%s/op=miller", c.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.MillerLoop(&c.G1Gen, &c.G2Gen)
+			}
+		})
+		b.Run(fmt.Sprintf("pairing/curve=%s/op=finalexp", c.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.FinalExp(&f)
+			}
+		})
+		b.Run(fmt.Sprintf("pairing/curve=%s/op=pair", c.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.Pair(&c.G1Gen, &c.G2Gen)
+			}
+		})
 	}
 }
 

@@ -18,10 +18,13 @@ go vet ./...
 go test -race ./...
 go test -run '^$' -bench '^BenchmarkBackends$' -benchtime=1x .
 go test -run '^$' -bench '^BenchmarkTelemetryOverhead$' -benchtime=1x .
-# Kernel smoke: the 2^10 slice of the NTT/MSM tracking benchmark — one
-# iteration per (kernel, thread count) so a kernel regression that only
-# shows up off the test sizes still gets exercised in CI.
-go test -run '^$' -bench 'BenchmarkKernels/.*/n=2\^10' -benchtime=1x .
+# Kernel smoke: the 2^10 slice of the NTT/MSM/fixed-base tracking
+# benchmark — one iteration per (kernel, curve, thread count) so a kernel
+# regression that only shows up off the test sizes still gets exercised in
+# CI — plus the pairing primitives (Miller loop, final exponentiation,
+# reduced pairing) on both curves.
+go test -run '^$' -bench 'BenchmarkKernels/.*/.*/n=2\^10' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkKernels/pairing' -benchtime=1x .
 # Batched-verify smoke: the folded multi-pairing's per-proof cost at
 # n=64 against the n=1 baseline (the ≥3× amortization target lives in
 # the benchmark's us/proof metric; one iteration keeps CI honest).

@@ -472,6 +472,11 @@ func cmdStats(args []string) error {
 		st.Queue.Wait.P50Ms, st.Queue.Wait.P99Ms)
 	fmt.Printf("cache:   hits=%d misses=%d hit_rate=%.2f setups=%d\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.HitRate, st.Cache.Setups)
+	ar := st.Artifacts
+	fmt.Printf("artifacts: enabled=%v disk_loads=%d disk_writes=%d quarantined=%d write_errors=%d\n",
+		ar.Enabled, ar.DiskLoads, ar.DiskWrites, ar.Quarantined, ar.WriteErrors)
+	fmt.Printf("  tables builds=%d disk_loads=%d disk_writes=%d quarantined=%d\n",
+		ar.TableBuilds, ar.TableLoads, ar.TableWrites, ar.TableQuarantined)
 	sc := st.Sched
 	fmt.Printf("sched:   enabled=%v workers=%d reserved=%d cold=%d budget=%d threads hot=%d queue(hot=%d cold=%d) arrivals=%.2f/s drain=%.2f/s\n",
 		sc.Enabled, sc.Workers, sc.ReservedWorkers, sc.ColdWorkers,

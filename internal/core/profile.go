@@ -80,6 +80,11 @@ func (r *Runner) engine(curveName string) *groth16.Engine {
 		panic(fmt.Sprintf("core: unknown curve %q", curveName))
 	}
 	e := groth16.NewEngine(c)
+	// The profiles model the paper's snarkjs stack: its verifier runs the
+	// plain full-Fp12 Miller loop, so the traced op counts must come from
+	// the reference pairing path, not the optimized production loop —
+	// otherwise the Table V "verifying is compute-intensive" shape breaks.
+	e.Pair.Reference = true
 	r.engines[curveName] = e
 	return e
 }

@@ -2,6 +2,7 @@ package curve
 
 import (
 	"math/big"
+	"sync"
 
 	"zkperf/internal/ff"
 	"zkperf/internal/tower"
@@ -51,6 +52,12 @@ type Curve struct {
 
 	g1ops fpOps
 	g2ops e2Ops
+
+	// GLV endomorphism constants (β, λ, reduced lattice basis), derived
+	// lazily on first MSM use and validated against the generators; see
+	// glv.go.
+	glvOnce sync.Once
+	glv     *glvData
 }
 
 // fpOps adapts *ff.Field to the generic Ops interface.

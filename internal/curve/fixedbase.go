@@ -9,67 +9,112 @@ import (
 	"zkperf/internal/tower"
 )
 
-// Fixed-base scalar multiplication: the Groth16 setup performs hundreds of
-// thousands of scalar multiplications with the same base (the group
-// generator), so a windowed precomputation table turns each one into
-// ~⌈bits/c⌉ mixed additions. The table is built once per curve engine and
-// shared across all setups.
+// Fixed-base scalar multiplication: the Groth16 setup and KZG SRS
+// generation perform hundreds of thousands of scalar multiplications with
+// the same base (the group generator), so a windowed precomputation table
+// turns each one into ~⌈bits/c⌉ mixed additions. Tables use the same
+// signed-digit windows as the MSM: digits in [−2^{c−1}, 2^{c−1}] instead
+// of [0, 2^c), which halves each row (negation of an affine point is
+// free) — so window 9 costs the same storage as unsigned window 8 while
+// doing ~10% fewer additions per multiplication.
+//
+// Generator tables are shared process-wide and persisted into the
+// artifact store (tablestore.go): the table data is immutable after
+// construction, so instances bind their own field-op adapters to it for
+// correct per-curve operation accounting.
 
-// fixedBaseWindow is the table window width. 8 gives 255-entry rows and
-// 32 rows for a 254-bit scalar field: ~8k precomputed points.
-const fixedBaseWindow = 8
+// fixedBaseWindow is the table window width. Signed window 9 gives
+// 256-entry rows and 29 rows for a 254-bit scalar field: ~7.4k
+// precomputed points per table.
+const fixedBaseWindow = 9
 
-// FixedBaseTable holds the per-window multiples of one base point:
-// table[w][d−1] = [d·2^{cw}]·Base for digits d in 1..2^c−1.
-type FixedBaseTable[E any] struct {
-	ops     Ops[E]
-	windows [][]Affine[E]
+// FixedBaseWindowBits is the table window width, exported so op-count and
+// memory models can mirror the table geometry: (bits+c)/c windows of
+// 2^{c−1} signed-digit entries each.
+const FixedBaseWindowBits = fixedBaseWindow
+
+// fixedBaseData is the immutable precomputed table: the per-window
+// multiples of one base point, windows[w][d−1] = [d·2^{cw}]·Base for
+// digits d in 1..2^{c−1}. It carries no field ops, so it can be cached
+// process-wide and shared across curve instances.
+type fixedBaseData[E any] struct {
+	window  int
 	bits    int
+	windows [][]Affine[E]
 }
 
-// newFixedBaseTable precomputes the table for the given affine base.
-func newFixedBaseTable[E any](ops Ops[E], base *Affine[E], scalarBits int) *FixedBaseTable[E] {
+// FixedBaseTable binds a table to one curve instance's field ops.
+type FixedBaseTable[E any] struct {
+	ops  Ops[E]
+	data *fixedBaseData[E]
+}
+
+// newFixedBaseData precomputes the signed-window table for base.
+func newFixedBaseData[E any](ops Ops[E], base *Affine[E], scalarBits int) *fixedBaseData[E] {
 	c := fixedBaseWindow
-	numWindows := (scalarBits + c - 1) / c
-	t := &FixedBaseTable[E]{ops: ops, bits: scalarBits}
-	t.windows = make([][]Affine[E], numWindows)
+	// ⌈(scalarBits+1)/c⌉ windows: the extra bit absorbs the signed-digit
+	// carry, mirroring signedDigits in msm.go.
+	numWindows := (scalarBits + c) / c
+	half := 1 << uint(c-1)
+	d := &fixedBaseData[E]{window: c, bits: scalarBits}
+	d.windows = make([][]Affine[E], numWindows)
 
 	var windowBase Jac[E]
 	fromAffine(ops, &windowBase, base)
-	rowJac := make([]Jac[E], (1<<uint(c))-1)
+	rowJac := make([]Jac[E], half)
+	var tp jacTemps[E]
 	for w := 0; w < numWindows; w++ {
-		// Row: 1·B, 2·B, …, (2^c−1)·B where B = [2^{cw}]·base.
+		// Row: 1·B, 2·B, …, 2^{c−1}·B where B = [2^{cw}]·base.
 		var acc Jac[E]
 		jacSetInfinity(ops, &acc)
-		for d := 0; d < len(rowJac); d++ {
-			jacAdd(ops, &acc, &acc, &windowBase)
-			rowJac[d] = acc
+		for i := 0; i < half; i++ {
+			jacAddT(ops, &acc, &acc, &windowBase, &tp)
+			rowJac[i] = acc
 		}
-		row := make([]Affine[E], len(rowJac))
+		row := make([]Affine[E], half)
 		batchToAffine(ops, row, rowJac)
-		t.windows[w] = row
+		d.windows[w] = row
 		// Advance the window base: B ← [2^c]·B.
 		for i := 0; i < c; i++ {
-			jacDouble(ops, &windowBase, &windowBase)
+			jacDoubleT(ops, &windowBase, &windowBase, &tp)
 		}
 	}
-	return t
+	return d
 }
 
-// mul computes [k]·Base for a canonical little-endian limb scalar.
-func (t *FixedBaseTable[E]) mul(z *Jac[E], limbs []uint64) {
+// mul computes [k]·Base for a canonical little-endian limb scalar, using
+// caller-owned scratch (tp, qn) so batch callers pay no per-call
+// allocations.
+func (t *FixedBaseTable[E]) mul(z *Jac[E], limbs []uint64, tp *jacTemps[E], qn *Affine[E]) {
 	ops := t.ops
+	d := t.data
+	c := d.window
+	half := 1 << uint(c-1)
 	jacSetInfinity(ops, z)
-	for w := range t.windows {
-		d := windowDigit(limbs, w, fixedBaseWindow)
-		if d == 0 {
+	carry := 0
+	for w := range d.windows {
+		dig := windowDigit(limbs, w, c) + carry
+		carry = 0
+		if dig > half {
+			dig -= 1 << uint(c)
+			carry = 1
+		}
+		if dig == 0 {
 			continue
 		}
-		jacAddAffine(ops, z, z, &t.windows[w][d-1])
+		if dig > 0 {
+			jacAddAffineT(ops, z, z, &d.windows[w][dig-1], tp)
+		} else {
+			e := &d.windows[w][-dig-1]
+			qn.Inf = e.Inf
+			ops.Set(&qn.X, &e.X)
+			ops.Neg(&qn.Y, &e.Y)
+			jacAddAffineT(ops, z, z, qn, tp)
+		}
 	}
 }
 
-// G1Table is a fixed-base table over the G1 generator (or any G1 point).
+// G1Table is a fixed-base table over a G1 point.
 type G1Table struct {
 	c   *Curve
 	tab *FixedBaseTable[ff.Element]
@@ -81,26 +126,34 @@ type G2Table struct {
 	tab *FixedBaseTable[tower.E2]
 }
 
-// NewG1Table precomputes a fixed-base table for base.
+// NewG1Table precomputes a fixed-base table for base. For the group
+// generator prefer G1GenTable, which caches and persists the table.
 func (c *Curve) NewG1Table(base *G1Affine) *G1Table {
-	return &G1Table{c: c, tab: newFixedBaseTable[ff.Element](c.g1ops, base, c.Fr.Bits())}
+	data := newFixedBaseData[ff.Element](c.g1ops, base, c.Fr.Bits())
+	return &G1Table{c: c, tab: &FixedBaseTable[ff.Element]{ops: c.g1ops, data: data}}
 }
 
-// NewG2Table precomputes a fixed-base table for base.
+// NewG2Table precomputes a fixed-base table for base. For the group
+// generator prefer G2GenTable, which caches and persists the table.
 func (c *Curve) NewG2Table(base *G2Affine) *G2Table {
-	return &G2Table{c: c, tab: newFixedBaseTable[tower.E2](c.g2ops, base, c.Fr.Bits())}
+	data := newFixedBaseData[tower.E2](c.g2ops, base, c.Fr.Bits())
+	return &G2Table{c: c, tab: &FixedBaseTable[tower.E2]{ops: c.g2ops, data: data}}
 }
 
 // Mul sets z = [k]·Base for a scalar-field element k.
 func (t *G1Table) Mul(z *G1Jac, k *ff.Element) {
 	limbs := frToLimbs(t.c.Fr, []ff.Element{*k})
-	t.tab.mul(z, limbs[0])
+	var tp jacTemps[ff.Element]
+	var qn G1Affine
+	t.tab.mul(z, limbs[0], &tp, &qn)
 }
 
 // Mul sets z = [k]·Base for a scalar-field element k.
 func (t *G2Table) Mul(z *G2Jac, k *ff.Element) {
 	limbs := frToLimbs(t.c.Fr, []ff.Element{*k})
-	t.tab.mul(z, limbs[0])
+	var tp jacTemps[tower.E2]
+	var qn G2Affine
+	t.tab.mul(z, limbs[0], &tp, &qn)
 }
 
 // MulBatch computes [kᵢ]·Base for every scalar, in parallel worker chunks,
@@ -120,8 +173,10 @@ func (t *G1Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads
 	limbs := frToLimbs(t.c.Fr, scalars)
 	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
 		jacs := make([]G1Jac, hi-lo)
+		var tp jacTemps[ff.Element]
+		var qn G1Affine
 		for i := lo; i < hi; i++ {
-			t.tab.mul(&jacs[i-lo], limbs[i])
+			t.tab.mul(&jacs[i-lo], limbs[i], &tp, &qn)
 		}
 		batchToAffine[ff.Element](t.c.g1ops, out[lo:hi], jacs)
 	})
@@ -143,8 +198,10 @@ func (t *G2Table) MulBatchCtx(ctx context.Context, scalars []ff.Element, threads
 	limbs := frToLimbs(t.c.Fr, scalars)
 	err := parallel.ChunksCtx(ctx, len(scalars), threads, func(lo, hi int) {
 		jacs := make([]G2Jac, hi-lo)
+		var tp jacTemps[tower.E2]
+		var qn G2Affine
 		for i := lo; i < hi; i++ {
-			t.tab.mul(&jacs[i-lo], limbs[i])
+			t.tab.mul(&jacs[i-lo], limbs[i], &tp, &qn)
 		}
 		batchToAffine[tower.E2](t.c.g2ops, out[lo:hi], jacs)
 	})

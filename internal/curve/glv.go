@@ -1,0 +1,330 @@
+package curve
+
+import (
+	"context"
+	"math/big"
+
+	"zkperf/internal/ff"
+	"zkperf/internal/parallel"
+)
+
+// GLV endomorphism scalar decomposition. Both BN254 and BLS12-381 have
+// j-invariant 0 (y² = x³ + b), so the map φ(x, y) = (β·x, y) with β a
+// primitive cube root of unity in the coordinate field is an automorphism
+// of the curve. On the order-r subgroup it acts as multiplication by an
+// eigenvalue λ with λ² + λ + 1 ≡ 0 (mod r). Decomposing a scalar k into
+// k = k1 + λ·k2 with |k1|, |k2| ≈ √r (lattice reduction, precomputed
+// basis) lets the MSM run over 2n points at half the bit-length — fewer
+// windows over the same bucket machinery. The same construction covers G2:
+// β lies in Fp ⊂ Fp2, the automorphism commutes with Frobenius and so
+// preserves the G2 eigenspace, acting there as λ or λ² (= −1−λ); the
+// constructor picks whichever power of β gives the same λ on both groups
+// so one decomposition serves both MSMs.
+
+// glvData holds the per-curve endomorphism constants, derived once (lazily)
+// per curve instance and validated against the generators.
+type glvData struct {
+	lambda *big.Int   // shared eigenvalue: φ(P) = [λ]P on G1 and G2
+	beta1  ff.Element // G1 endomorphism: (x, y) ↦ (β1·x, y)
+	beta2  ff.Element // G2 endomorphism: (x, y) ↦ (β2·x, y), β2 ∈ Fp ⊂ Fp2
+
+	// Reduced lattice basis for {(x, y) : x + y·λ ≡ 0 mod r}; k decomposes
+	// via Babai rounding against (a1, b1), (a2, b2).
+	a1, b1, a2, b2 *big.Int
+
+	r    *big.Int
+	bits int // bound on subscalar bit length (drives the MSM window count)
+}
+
+// cubeRootOfUnity finds a primitive cube root of unity mod m (m ≡ 1 mod 3)
+// as g^((m−1)/3) for the first small g that gives a nontrivial root.
+func cubeRootOfUnity(m *big.Int) *big.Int {
+	e := new(big.Int).Sub(m, big.NewInt(1))
+	e.Div(e, big.NewInt(3))
+	one := big.NewInt(1)
+	for g := int64(2); ; g++ {
+		z := new(big.Int).Exp(big.NewInt(g), e, m)
+		if z.Cmp(one) != 0 {
+			return z
+		}
+	}
+}
+
+// glvLattice runs the extended Euclidean algorithm on (r, λ) and returns a
+// reduced basis of the GLV lattice: two short vectors (a1, b1), (a2, b2)
+// with a + b·λ ≡ 0 (mod r) and ‖·‖ ≈ √r (Guide to ECC, Alg. 3.74).
+func glvLattice(r, lambda *big.Int) (a1, b1, a2, b2 *big.Int) {
+	sqrtR := new(big.Int).Sqrt(r)
+	// Remainder sequence rᵢ with cofactors tᵢ: rᵢ = sᵢ·r + tᵢ·λ.
+	rPrev, rCur := new(big.Int).Set(r), new(big.Int).Set(lambda)
+	tPrev, tCur := big.NewInt(0), big.NewInt(1)
+	q, tmp := new(big.Int), new(big.Int)
+	for rCur.Cmp(sqrtR) >= 0 {
+		q.Div(rPrev, rCur)
+		tmp.Mul(q, rCur)
+		rPrev.Sub(rPrev, tmp)
+		rPrev, rCur = rCur, rPrev
+		tmp.Mul(q, tCur)
+		tPrev.Sub(tPrev, tmp)
+		tPrev, tCur = tCur, tPrev
+	}
+	// Here rCur = r_{m+1} < √r ≤ rPrev = r_m.
+	a1 = new(big.Int).Set(rCur)
+	b1 = new(big.Int).Neg(tCur)
+	// Second vector: (r_m, −t_m) or (r_{m+2}, −t_{m+2}), whichever is
+	// shorter by squared Euclidean norm.
+	candA := new(big.Int).Set(rPrev)
+	candB := new(big.Int).Neg(tPrev)
+	q.Div(rPrev, rCur)
+	rNext := new(big.Int).Mul(q, rCur)
+	rNext.Sub(rPrev, rNext)
+	tNext := new(big.Int).Mul(q, tCur)
+	tNext.Sub(tPrev, tNext)
+	tNext.Neg(tNext)
+	if normSq(rNext, tNext).Cmp(normSq(candA, candB)) < 0 {
+		candA, candB = rNext, tNext
+	}
+	return a1, b1, candA, candB
+}
+
+func normSq(a, b *big.Int) *big.Int {
+	n := new(big.Int).Mul(a, a)
+	t := new(big.Int).Mul(b, b)
+	return n.Add(n, t)
+}
+
+// glvInit derives β, λ and the lattice basis, validating the eigenvalue
+// pairing against both generators. It runs once per curve instance.
+func (c *Curve) glvInit() {
+	r := c.Fr.Modulus()
+	lam := cubeRootOfUnity(r)
+	lam2 := new(big.Int).Mul(lam, lam)
+	lam2.Mod(lam2, r)
+
+	betaBig := cubeRootOfUnity(c.Fp.Modulus())
+	var beta, betaSq ff.Element
+	c.Fp.SetBigInt(&beta, betaBig)
+	c.Fp.Mul(&betaSq, &beta, &beta)
+
+	// Match each group's β power with the shared eigenvalue λ: exactly one
+	// of {β, β²} satisfies φ(Gen) = [λ]Gen in each group (the other gives
+	// λ² = −1−λ).
+	g := &glvData{lambda: lam, r: r}
+	matched := false
+	for _, cand := range []ff.Element{beta, betaSq} {
+		if c.g1PhiMatches(&cand, lam) {
+			g.beta1 = cand
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		// λ and λ² are the only primitive cube roots; if β and β² both
+		// pair with λ² on G1, swap the eigenvalue.
+		lam, lam2 = lam2, lam
+		g.lambda = lam
+		for _, cand := range []ff.Element{beta, betaSq} {
+			if c.g1PhiMatches(&cand, lam) {
+				g.beta1 = cand
+				matched = true
+				break
+			}
+		}
+	}
+	if !matched {
+		panic("curve: GLV eigenvalue matching failed on G1")
+	}
+	matched = false
+	for _, cand := range []ff.Element{beta, betaSq} {
+		if c.g2PhiMatches(&cand, lam) {
+			g.beta2 = cand
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		panic("curve: GLV eigenvalue matching failed on G2")
+	}
+
+	g.a1, g.b1, g.a2, g.b2 = glvLattice(r, lam)
+	// Babai rounding below assumes det(v1, v2) = a1·b2 − a2·b1 = +r; the
+	// EEA can hand back a basis with determinant −r (it does for
+	// BLS12-381, whose remainder sequence collapses from √r straight to 1
+	// because λ is a root of λ²∓λ+1). Negating one vector flips the sign
+	// without changing the lattice.
+	det := new(big.Int).Mul(g.a1, g.b2)
+	det.Sub(det, new(big.Int).Mul(g.a2, g.b1))
+	if det.CmpAbs(r) != 0 {
+		panic("curve: GLV basis determinant != ±r")
+	}
+	if det.Sign() < 0 {
+		g.a2.Neg(g.a2)
+		g.b2.Neg(g.b2)
+	}
+	// Babai rounding error is bounded by the basis vectors themselves:
+	// |k1| ≤ |a1| + |a2|, |k2| ≤ |b1| + |b2| (up to the rounding half-unit),
+	// so two guard bits over the longest basis coordinate are enough.
+	maxBits := 0
+	for _, v := range []*big.Int{g.a1, g.b1, g.a2, g.b2} {
+		if l := v.BitLen(); l > maxBits {
+			maxBits = l
+		}
+	}
+	g.bits = maxBits + 2
+	c.glv = g
+}
+
+// g1PhiMatches reports whether (β·x, y) = [λ]G1Gen.
+func (c *Curve) g1PhiMatches(beta *ff.Element, lam *big.Int) bool {
+	var phi G1Affine
+	c.Fp.Mul(&phi.X, &c.G1Gen.X, beta)
+	c.Fp.Set(&phi.Y, &c.G1Gen.Y)
+	var want, got G1Jac
+	c.G1FromAffine(&got, &phi)
+	c.G1FromAffine(&want, &c.G1Gen)
+	c.G1ScalarMulBig(&want, &want, lam)
+	return c.G1Equal(&got, &want)
+}
+
+// g2PhiMatches reports whether (β·x, y) = [λ]G2Gen for β ∈ Fp ⊂ Fp2.
+func (c *Curve) g2PhiMatches(beta *ff.Element, lam *big.Int) bool {
+	var phi G2Affine
+	c.Tw.E2MulByElement(&phi.X, &c.G2Gen.X, beta)
+	c.Tw.E2Set(&phi.Y, &c.G2Gen.Y)
+	var want, got G2Jac
+	c.G2FromAffine(&got, &phi)
+	c.G2FromAffine(&want, &c.G2Gen)
+	c.G2ScalarMulBig(&want, &want, lam)
+	return c.G2Equal(&got, &want)
+}
+
+// GLV returns the curve's endomorphism data, deriving it on first use.
+func (c *Curve) GLV() *glvData {
+	c.glvOnce.Do(c.glvInit)
+	return c.glv
+}
+
+// GLVLambda exposes the eigenvalue for tests and op-count models.
+func (c *Curve) GLVLambda() *big.Int { return new(big.Int).Set(c.GLV().lambda) }
+
+// GLVBits exposes the subscalar bit bound for tests and op-count models.
+func (c *Curve) GLVBits() int { return c.GLV().bits }
+
+// G1Phi applies the G1 endomorphism: z = φ(p) = (β·x, y) = [λ]p.
+func (c *Curve) G1Phi(z, p *G1Affine) {
+	z.Inf = p.Inf
+	c.Fp.Mul(&z.X, &p.X, &c.GLV().beta1)
+	c.Fp.Set(&z.Y, &p.Y)
+}
+
+// G2Phi applies the G2 endomorphism: z = φ(p) = (β·x, y) = [λ]p.
+func (c *Curve) G2Phi(z, p *G2Affine) {
+	z.Inf = p.Inf
+	c.Tw.E2MulByElement(&z.X, &p.X, &c.GLV().beta2)
+	c.Tw.E2Set(&z.Y, &p.Y)
+}
+
+// glvScratch is per-worker big.Int scratch for the decomposition loop, so
+// the per-scalar cost is a handful of word-sliced multiplications with no
+// steady-state allocation.
+type glvScratch struct {
+	k, c1, c2, t1, t2 big.Int
+}
+
+// Decompose splits canonical k ∈ [0, r) into (k1, sign1), (k2, sign2) with
+// k ≡ ±k1 + λ·(±k2) (mod r) and both magnitudes below 2^bits. The
+// magnitudes land in dst1/dst2 (little-endian limbs, zero-padded).
+func (g *glvData) decompose(k *big.Int, sc *glvScratch, dst1, dst2 []uint64) (neg1, neg2 bool) {
+	// Babai rounding: cᵢ = ⌊bᵢ'·k/r⌉ with (b1', b2') = (b2, −b1).
+	roundDiv := func(z, num *big.Int) {
+		// round(num/r) = ⌊(2·num + r) / (2r)⌋ for r > 0, any sign of num.
+		z.Lsh(num, 1)
+		z.Add(z, g.r)
+		z.Div(z, sc.t2.Lsh(g.r, 1))
+	}
+	sc.t1.Mul(g.b2, k)
+	roundDiv(&sc.c1, &sc.t1)
+	sc.t1.Mul(g.b1, k)
+	sc.t1.Neg(&sc.t1)
+	roundDiv(&sc.c2, &sc.t1)
+
+	// k1 = k − c1·a1 − c2·a2 ; k2 = −c1·b1 − c2·b2.
+	sc.k.Set(k)
+	sc.t1.Mul(&sc.c1, g.a1)
+	sc.k.Sub(&sc.k, &sc.t1)
+	sc.t1.Mul(&sc.c2, g.a2)
+	sc.k.Sub(&sc.k, &sc.t1)
+	neg1 = sc.k.Sign() < 0
+
+	sc.t1.Mul(&sc.c1, g.b1)
+	sc.t2.Mul(&sc.c2, g.b2)
+	sc.t1.Add(&sc.t1, &sc.t2)
+	sc.t1.Neg(&sc.t1)
+	neg2 = sc.t1.Sign() < 0
+
+	fillLimbs(dst1, &sc.k)
+	fillLimbs(dst2, &sc.t1)
+	if sc.k.BitLen() > g.bits || sc.t1.BitLen() > g.bits {
+		// Mathematically impossible for k < r with a reduced basis; a
+		// failure here means the precomputed constants are corrupt.
+		panic("curve: GLV subscalar exceeds bit bound")
+	}
+	return neg1, neg2
+}
+
+// fillLimbs writes |v| into dst as little-endian limbs (zero-padded).
+func fillLimbs(dst []uint64, v *big.Int) {
+	words := v.Bits()
+	for i := range dst {
+		if i < len(words) {
+			dst[i] = uint64(words[i])
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// glvMinPoints gates the GLV path: below this size the decomposition
+// overhead and doubled point array outweigh the saved windows.
+const glvMinPoints = 64
+
+// GLVMinPoints is the MSM size at and above which the endomorphism path
+// kicks in, exported so op-count and memory models can mirror the gate.
+const GLVMinPoints = glvMinPoints
+
+// glvExpand builds the doubled point/limb arrays for the endomorphism MSM:
+// entry i is ±Pᵢ (sign of k1ᵢ), entry n+i is ±φ(Pᵢ) (sign of k2ᵢ). The
+// decomposition is embarrassingly parallel and deterministic, so the split
+// cannot perturb the MSM result.
+func glvExpand[E any](ctx context.Context, ops Ops[E], g *glvData, phi func(z, p *Affine[E]), points []Affine[E], scalars []ff.Element, fr *ff.Field, threads int) ([]Affine[E], [][]uint64) {
+	if len(points) != len(scalars) {
+		panic("curve: MSM points/scalars length mismatch")
+	}
+	n := len(points)
+	nl := fr.NumLimbs()
+	pts2 := make([]Affine[E], 2*n)
+	limbs2 := make([][]uint64, 2*n)
+	backing := make([]uint64, 2*n*nl)
+	for i := 0; i < 2*n; i++ {
+		limbs2[i] = backing[i*nl : (i+1)*nl : (i+1)*nl]
+	}
+	_ = parallel.ChunksCtx(ctx, n, threads, func(lo, hi int) {
+		var sc glvScratch
+		var k big.Int
+		var y E // hoisted: an in-loop E escapes through ops.Neg, once per point
+		for i := lo; i < hi; i++ {
+			fr.BigIntInto(&k, &scalars[i])
+			neg1, neg2 := g.decompose(&k, &sc, limbs2[i], limbs2[n+i])
+			pts2[i] = points[i]
+			phi(&pts2[n+i], &points[i])
+			if neg1 && !pts2[i].Inf {
+				ops.Neg(&pts2[i].Y, &points[i].Y)
+			}
+			if neg2 && !pts2[n+i].Inf {
+				ops.Neg(&y, &pts2[n+i].Y)
+				pts2[n+i].Y = y
+			}
+		}
+	})
+	return pts2, limbs2
+}

@@ -1,0 +1,137 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+
+	"zkperf/internal/ff"
+)
+
+// TestGLVDecompose: the lattice decomposition must satisfy
+// k ≡ ±k1 + λ·(±k2) (mod r) with both subscalar magnitudes within the
+// precomputed bit bound, on both curves, over random and edge-case scalars.
+func TestGLVDecompose(t *testing.T) {
+	for _, c := range testCurves() {
+		g := c.GLV()
+		r := c.Fr.Modulus()
+		nl := c.Fr.NumLimbs()
+
+		edge := []*big.Int{
+			big.NewInt(0),
+			big.NewInt(1),
+			new(big.Int).Sub(r, big.NewInt(1)),
+			new(big.Int).Set(g.lambda),
+			new(big.Int).Sqrt(r),
+		}
+		rng := ff.NewRNG(97)
+		var e ff.Element
+		for i := 0; i < 200; i++ {
+			c.Fr.Random(&e, rng)
+			edge = append(edge, c.Fr.BigInt(&e))
+		}
+
+		var sc glvScratch
+		dst1 := make([]uint64, nl)
+		dst2 := make([]uint64, nl)
+		for _, k := range edge {
+			neg1, neg2 := g.decompose(k, &sc, dst1, dst2)
+			k1 := limbsToBigTest(dst1)
+			k2 := limbsToBigTest(dst2)
+			if k1.BitLen() > g.bits || k2.BitLen() > g.bits {
+				t.Fatalf("%s: subscalar exceeds bound: |k1|=%d |k2|=%d bound=%d",
+					c.Name, k1.BitLen(), k2.BitLen(), g.bits)
+			}
+			if neg1 {
+				k1.Neg(k1)
+			}
+			if neg2 {
+				k2.Neg(k2)
+			}
+			// k1 + λ·k2 ≡ k (mod r)
+			got := new(big.Int).Mul(g.lambda, k2)
+			got.Add(got, k1)
+			got.Mod(got, r)
+			want := new(big.Int).Mod(k, r)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%s: decompose(%v) reconstructs %v, want %v", c.Name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestGLVSubscalarsHalfWidth: the whole point of GLV is half-width
+// subscalars; the bound must sit well below the full scalar width.
+func TestGLVSubscalarsHalfWidth(t *testing.T) {
+	for _, c := range testCurves() {
+		full := c.Fr.Bits()
+		if b := c.GLVBits(); b > full/2+4 {
+			t.Errorf("%s: GLV bit bound %d not half-width (scalar field %d bits)", c.Name, b, full)
+		}
+	}
+}
+
+// TestGLVPhi: the endomorphism must map curve points to curve points and
+// act as multiplication by λ, on random points of both groups.
+func TestGLVPhi(t *testing.T) {
+	for _, c := range testCurves() {
+		lam := c.GLVLambda()
+		rng := ff.NewRNG(131)
+		var k ff.Element
+		kb := new(big.Int)
+		for i := 0; i < 8; i++ {
+			c.Fr.Random(&k, rng)
+			c.Fr.BigIntInto(kb, &k)
+
+			// G1: P = [k]Gen, check φ(P) on-curve and φ(P) == [λ]P.
+			var pj, want G1Jac
+			c.G1FromAffine(&pj, &c.G1Gen)
+			c.G1ScalarMulBig(&pj, &pj, kb)
+			var p, phiP G1Affine
+			c.G1ToAffine(&p, &pj)
+			c.G1Phi(&phiP, &p)
+			if !c.G1IsOnCurve(&phiP) {
+				t.Fatalf("%s: G1 φ(P) not on curve", c.Name)
+			}
+			c.G1ScalarMulBig(&want, &pj, lam)
+			var phiJ G1Jac
+			c.G1FromAffine(&phiJ, &phiP)
+			if !c.G1Equal(&phiJ, &want) {
+				t.Fatalf("%s: G1 φ(P) != [λ]P", c.Name)
+			}
+
+			// G2: same for the twist group.
+			var qj, want2 G2Jac
+			c.G2FromAffine(&qj, &c.G2Gen)
+			c.G2ScalarMulBig(&qj, &qj, kb)
+			var q, phiQ G2Affine
+			c.G2ToAffine(&q, &qj)
+			c.G2Phi(&phiQ, &q)
+			if !c.G2IsOnCurve(&phiQ) {
+				t.Fatalf("%s: G2 φ(Q) not on curve", c.Name)
+			}
+			c.G2ScalarMulBig(&want2, &qj, lam)
+			var phiJ2 G2Jac
+			c.G2FromAffine(&phiJ2, &phiQ)
+			if !c.G2Equal(&phiJ2, &want2) {
+				t.Fatalf("%s: G2 φ(Q) != [λ]Q", c.Name)
+			}
+
+			// Infinity passes through.
+			inf := G1Affine{Inf: true}
+			var phiInf G1Affine
+			c.G1Phi(&phiInf, &inf)
+			if !phiInf.Inf {
+				t.Fatalf("%s: G1 φ(∞) != ∞", c.Name)
+			}
+		}
+	}
+}
+
+func limbsToBigTest(limbs []uint64) *big.Int {
+	z := new(big.Int)
+	for i := len(limbs) - 1; i >= 0; i-- {
+		z.Lsh(z, 64)
+		z.Or(z, new(big.Int).SetUint64(limbs[i]))
+	}
+	return z
+}

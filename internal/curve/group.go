@@ -79,46 +79,68 @@ func toAffine[E any](ops Ops[E], z *Affine[E], p *Jac[E]) {
 	ops.Mul(&z.Y, &p.Y, &zinv3)
 }
 
+// jacTemps holds the intermediates of one Jacobian group operation. The
+// generic formulas call the coordinate field through the Ops interface,
+// which escape analysis cannot see through, so every temporary passed by
+// pointer is heap-allocated at function entry. Hot loops (MSM bucket
+// accumulation runs millions of additions) route through the *T variants
+// below, which draw temporaries from a caller-owned scratch instead; the
+// plain wrappers keep the one-shot API and pay the allocation once.
+type jacTemps[E any] struct{ v [14]E }
+
 // jacDouble sets z = 2p using the a=0 dbl-2009-l formulas.
 func jacDouble[E any](ops Ops[E], z, p *Jac[E]) {
+	var tp jacTemps[E]
+	jacDoubleT(ops, z, p, &tp)
+}
+
+// jacDoubleT is jacDouble drawing temporaries from tp.
+func jacDoubleT[E any](ops Ops[E], z, p *Jac[E], tp *jacTemps[E]) {
 	if jacIsInfinity(ops, p) {
 		*z = *p
 		return
 	}
-	var a, b, c, d, e, f, t, t2 E
-	ops.Square(&a, &p.X) // A = X²
-	ops.Square(&b, &p.Y) // B = Y²
-	ops.Square(&c, &b)   // C = B²
+	a, b, c, d := &tp.v[0], &tp.v[1], &tp.v[2], &tp.v[3]
+	e, f, t, t2 := &tp.v[4], &tp.v[5], &tp.v[6], &tp.v[7]
+	z3 := &tp.v[8]
+	ops.Square(a, &p.X) // A = X²
+	ops.Square(b, &p.Y) // B = Y²
+	ops.Square(c, b)    // C = B²
 	// D = 2((X+B)² − A − C)
-	ops.Add(&t, &p.X, &b)
-	ops.Square(&t, &t)
-	ops.Sub(&t, &t, &a)
-	ops.Sub(&t, &t, &c)
-	ops.Double(&d, &t)
+	ops.Add(t, &p.X, b)
+	ops.Square(t, t)
+	ops.Sub(t, t, a)
+	ops.Sub(t, t, c)
+	ops.Double(d, t)
 	// E = 3A, F = E²
-	ops.Double(&e, &a)
-	ops.Add(&e, &e, &a)
-	ops.Square(&f, &e)
+	ops.Double(e, a)
+	ops.Add(e, e, a)
+	ops.Square(f, e)
 	// Z3 = 2·Y·Z (computed before X/Y in case z aliases p)
-	var z3 E
-	ops.Mul(&z3, &p.Y, &p.Z)
-	ops.Double(&z3, &z3)
+	ops.Mul(z3, &p.Y, &p.Z)
+	ops.Double(z3, z3)
 	// X3 = F − 2D
-	ops.Double(&t, &d)
-	ops.Sub(&z.X, &f, &t)
+	ops.Double(t, d)
+	ops.Sub(&z.X, f, t)
 	// Y3 = E(D − X3) − 8C
-	ops.Sub(&t, &d, &z.X)
-	ops.Mul(&t, &e, &t)
-	ops.Double(&t2, &c)
-	ops.Double(&t2, &t2)
-	ops.Double(&t2, &t2)
-	ops.Sub(&z.Y, &t, &t2)
-	ops.Set(&z.Z, &z3)
+	ops.Sub(t, d, &z.X)
+	ops.Mul(t, e, t)
+	ops.Double(t2, c)
+	ops.Double(t2, t2)
+	ops.Double(t2, t2)
+	ops.Sub(&z.Y, t, t2)
+	ops.Set(&z.Z, z3)
 }
 
 // jacAdd sets z = p + q using the add-2007-bl formulas, handling identity
 // and doubling edge cases.
 func jacAdd[E any](ops Ops[E], z, p, q *Jac[E]) {
+	var tp jacTemps[E]
+	jacAddT(ops, z, p, q, &tp)
+}
+
+// jacAddT is jacAdd drawing temporaries from tp.
+func jacAddT[E any](ops Ops[E], z, p, q *Jac[E], tp *jacTemps[E]) {
 	if jacIsInfinity(ops, p) {
 		*z = *q
 		return
@@ -127,55 +149,63 @@ func jacAdd[E any](ops Ops[E], z, p, q *Jac[E]) {
 		*z = *p
 		return
 	}
-	var z1z1, z2z2, u1, u2, s1, s2, h, i, j, r, v, t, t2 E
-	ops.Square(&z1z1, &p.Z)
-	ops.Square(&z2z2, &q.Z)
-	ops.Mul(&u1, &p.X, &z2z2)
-	ops.Mul(&u2, &q.X, &z1z1)
-	ops.Mul(&t, &q.Z, &z2z2)
-	ops.Mul(&s1, &p.Y, &t)
-	ops.Mul(&t, &p.Z, &z1z1)
-	ops.Mul(&s2, &q.Y, &t)
-	ops.Sub(&h, &u2, &u1)
-	ops.Sub(&r, &s2, &s1)
-	if ops.IsZero(&h) {
-		if ops.IsZero(&r) {
-			jacDouble(ops, z, p)
+	z1z1, z2z2, u1, u2 := &tp.v[0], &tp.v[1], &tp.v[2], &tp.v[3]
+	s1, s2, h, i := &tp.v[4], &tp.v[5], &tp.v[6], &tp.v[7]
+	j, r, v, t := &tp.v[8], &tp.v[9], &tp.v[10], &tp.v[11]
+	t2, z3 := &tp.v[12], &tp.v[13]
+	ops.Square(z1z1, &p.Z)
+	ops.Square(z2z2, &q.Z)
+	ops.Mul(u1, &p.X, z2z2)
+	ops.Mul(u2, &q.X, z1z1)
+	ops.Mul(t, &q.Z, z2z2)
+	ops.Mul(s1, &p.Y, t)
+	ops.Mul(t, &p.Z, z1z1)
+	ops.Mul(s2, &q.Y, t)
+	ops.Sub(h, u2, u1)
+	ops.Sub(r, s2, s1)
+	if ops.IsZero(h) {
+		if ops.IsZero(r) {
+			jacDoubleT(ops, z, p, tp)
 			return
 		}
 		jacSetInfinity(ops, z)
 		return
 	}
-	ops.Double(&r, &r) // r = 2(S2−S1)
-	ops.Double(&t, &h)
-	ops.Square(&i, &t) // I = (2H)²
-	ops.Mul(&j, &h, &i)
-	ops.Mul(&v, &u1, &i)
+	ops.Double(r, r) // r = 2(S2−S1)
+	ops.Double(t, h)
+	ops.Square(i, t) // I = (2H)²
+	ops.Mul(j, h, i)
+	ops.Mul(v, u1, i)
 	// Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H — before X/Y for aliasing safety.
-	var z3 E
-	ops.Add(&z3, &p.Z, &q.Z)
-	ops.Square(&z3, &z3)
-	ops.Sub(&z3, &z3, &z1z1)
-	ops.Sub(&z3, &z3, &z2z2)
-	ops.Mul(&z3, &z3, &h)
+	ops.Add(z3, &p.Z, &q.Z)
+	ops.Square(z3, z3)
+	ops.Sub(z3, z3, z1z1)
+	ops.Sub(z3, z3, z2z2)
+	ops.Mul(z3, z3, h)
 	// X3 = r² − J − 2V
-	ops.Square(&t, &r)
-	ops.Sub(&t, &t, &j)
-	ops.Double(&t2, &v)
-	ops.Sub(&z.X, &t, &t2)
+	ops.Square(t, r)
+	ops.Sub(t, t, j)
+	ops.Double(t2, v)
+	ops.Sub(&z.X, t, t2)
 	// Y3 = r(V − X3) − 2·S1·J
-	ops.Sub(&t, &v, &z.X)
-	ops.Mul(&t, &r, &t)
-	ops.Mul(&t2, &s1, &j)
-	ops.Double(&t2, &t2)
-	ops.Sub(&z.Y, &t, &t2)
-	ops.Set(&z.Z, &z3)
+	ops.Sub(t, v, &z.X)
+	ops.Mul(t, r, t)
+	ops.Mul(t2, s1, j)
+	ops.Double(t2, t2)
+	ops.Sub(&z.Y, t, t2)
+	ops.Set(&z.Z, z3)
 }
 
 // jacAddAffine sets z = p + q for an affine q using the madd-2007-bl
 // mixed-addition formulas (7M + 4S, vs 11M + 5S for the general add),
 // handling identity and doubling edge cases.
 func jacAddAffine[E any](ops Ops[E], z, p *Jac[E], q *Affine[E]) {
+	var tp jacTemps[E]
+	jacAddAffineT(ops, z, p, q, &tp)
+}
+
+// jacAddAffineT is jacAddAffine drawing temporaries from tp.
+func jacAddAffineT[E any](ops Ops[E], z, p *Jac[E], q *Affine[E], tp *jacTemps[E]) {
 	if q.Inf {
 		*z = *p
 		return
@@ -184,47 +214,48 @@ func jacAddAffine[E any](ops Ops[E], z, p *Jac[E], q *Affine[E]) {
 		fromAffine(ops, z, q)
 		return
 	}
-	var z1z1, u2, s2, h, hh, i, j, r, v, t, t2 E
-	ops.Square(&z1z1, &p.Z)
-	ops.Mul(&u2, &q.X, &z1z1)
-	ops.Mul(&t, &p.Z, &z1z1)
-	ops.Mul(&s2, &q.Y, &t)
-	ops.Sub(&h, &u2, &p.X)
-	ops.Sub(&r, &s2, &p.Y)
-	if ops.IsZero(&h) {
-		if ops.IsZero(&r) {
-			jacDouble(ops, z, p)
+	z1z1, u2, s2, h := &tp.v[0], &tp.v[1], &tp.v[2], &tp.v[3]
+	hh, i, j, r := &tp.v[4], &tp.v[5], &tp.v[6], &tp.v[7]
+	v, t, t2 := &tp.v[8], &tp.v[9], &tp.v[10]
+	z3, y1j := &tp.v[11], &tp.v[12]
+	ops.Square(z1z1, &p.Z)
+	ops.Mul(u2, &q.X, z1z1)
+	ops.Mul(t, &p.Z, z1z1)
+	ops.Mul(s2, &q.Y, t)
+	ops.Sub(h, u2, &p.X)
+	ops.Sub(r, s2, &p.Y)
+	if ops.IsZero(h) {
+		if ops.IsZero(r) {
+			jacDoubleT(ops, z, p, tp)
 			return
 		}
 		jacSetInfinity(ops, z)
 		return
 	}
-	ops.Square(&hh, &h)
-	ops.Double(&i, &hh)
-	ops.Double(&i, &i) // I = 4·HH
-	ops.Mul(&j, &h, &i)
-	ops.Double(&r, &r) // r = 2(S2−Y1)
-	ops.Mul(&v, &p.X, &i)
+	ops.Square(hh, h)
+	ops.Double(i, hh)
+	ops.Double(i, i) // I = 4·HH
+	ops.Mul(j, h, i)
+	ops.Double(r, r) // r = 2(S2−Y1)
+	ops.Mul(v, &p.X, i)
 	// Z3 = (Z1+H)² − Z1Z1 − HH — before X/Y for aliasing safety.
-	var z3 E
-	ops.Add(&z3, &p.Z, &h)
-	ops.Square(&z3, &z3)
-	ops.Sub(&z3, &z3, &z1z1)
-	ops.Sub(&z3, &z3, &hh)
+	ops.Add(z3, &p.Z, h)
+	ops.Square(z3, z3)
+	ops.Sub(z3, z3, z1z1)
+	ops.Sub(z3, z3, hh)
 	// X3 = r² − J − 2V
-	ops.Square(&t, &r)
-	ops.Sub(&t, &t, &j)
-	ops.Double(&t2, &v)
-	ops.Sub(&t, &t, &t2)
+	ops.Square(t, r)
+	ops.Sub(t, t, j)
+	ops.Double(t2, v)
+	ops.Sub(t, t, t2)
 	// Y3 = r(V − X3) − 2·Y1·J
-	ops.Sub(&t2, &v, &t)
-	ops.Mul(&t2, &r, &t2)
-	var y1j E
-	ops.Mul(&y1j, &p.Y, &j)
-	ops.Double(&y1j, &y1j)
-	ops.Sub(&z.Y, &t2, &y1j)
-	ops.Set(&z.X, &t)
-	ops.Set(&z.Z, &z3)
+	ops.Sub(t2, v, t)
+	ops.Mul(t2, r, t2)
+	ops.Mul(y1j, &p.Y, j)
+	ops.Double(y1j, y1j)
+	ops.Sub(&z.Y, t2, y1j)
+	ops.Set(&z.X, t)
+	ops.Set(&z.Z, z3)
 }
 
 // jacNeg sets z = −p.
@@ -306,18 +337,16 @@ func batchToAffine[E any](ops Ops[E], dst []Affine[E], src []Jac[E]) {
 			ops.Mul(&acc, &acc, &zs[i])
 		}
 	}
-	var inv E
+	var inv, zinv, tmp, zinv2, zinv3 E
 	ops.Inverse(&inv, &acc)
 	for i := n - 1; i >= 0; i-- {
 		if ops.IsZero(&zs[i]) {
 			dst[i].Inf = true
 			continue
 		}
-		var zinv, tmp E
 		ops.Mul(&zinv, &inv, &prefix[i])
 		ops.Mul(&inv, &inv, &zs[i])
 		dst[i].Inf = false
-		var zinv2, zinv3 E
 		ops.Square(&zinv2, &zinv)
 		ops.Mul(&zinv3, &zinv2, &zinv)
 		ops.Mul(&tmp, &src[i].X, &zinv2)

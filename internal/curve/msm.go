@@ -134,6 +134,16 @@ type msmScratch[E any] struct {
 	bucketsJac []Jac[E]       // overflow accumulators for conflicted adds
 	jacUsed    []bool         // bucketsJac[b] is live this task
 	conflicted []int32        // live overflow buckets, for cheap reset
+
+	// Reusable temporaries. The generic field ops are interface calls, so
+	// any `var x E` whose address they receive is heap-allocated; with
+	// millions of bucket additions per MSM that allocation traffic
+	// dominates. Keeping the temporaries in the worker's scratch removes
+	// it entirely from the hot path.
+	jt    jacTemps[E] // Jacobian formula temporaries (overflow/running-sum adds)
+	q     Affine[E]   // sign-adjusted point being enqueued
+	denom E           // λ denominator staging for push
+	et    [6]E        // applyBatch temporaries: acc, inv, dinv, λ, t, x3
 }
 
 // reset prepares the scratch for a new window/chunk task. Affine buckets
@@ -156,7 +166,7 @@ func (sc *msmScratch[E]) reset(ops Ops[E]) {
 // conflicts cost one mixed Jacobian addition but never shrink the batch,
 // so the amortized inversion stays amortized.
 func (sc *msmScratch[E]) enqueue(ops Ops[E], b int, px, py *E, neg bool) {
-	var q Affine[E]
+	q := &sc.q
 	ops.Set(&q.X, px)
 	if neg {
 		ops.Neg(&q.Y, py)
@@ -168,10 +178,10 @@ func (sc *msmScratch[E]) enqueue(ops Ops[E], b int, px, py *E, neg bool) {
 			sc.jacUsed[b] = true
 			sc.conflicted = append(sc.conflicted, int32(b))
 		}
-		jacAddAffine(ops, &sc.bucketsJac[b], &sc.bucketsJac[b], &q)
+		jacAddAffineT(ops, &sc.bucketsJac[b], &sc.bucketsJac[b], q, &sc.jt)
 		return
 	}
-	sc.push(ops, b, &q)
+	sc.push(ops, b, q)
 	if len(sc.batch) >= sc.batchSize {
 		sc.applyBatch(ops)
 	}
@@ -188,7 +198,7 @@ func (sc *msmScratch[E]) push(ops Ops[E], b int, q *Affine[E]) {
 		return
 	}
 	op := pendingOp[E]{bucket: b, q: *q}
-	var denom E
+	denom := &sc.denom
 	if ops.Equal(&bk.X, &q.X) {
 		if !ops.Equal(&bk.Y, &q.Y) || ops.IsZero(&q.Y) {
 			// P + (−P), or doubling a 2-torsion point: bucket empties.
@@ -196,13 +206,13 @@ func (sc *msmScratch[E]) push(ops Ops[E], b int, q *Affine[E]) {
 			return
 		}
 		op.isDbl = true
-		ops.Double(&denom, &q.Y) // λ = 3x²/2y
+		ops.Double(denom, &q.Y) // λ = 3x²/2y
 	} else {
-		ops.Sub(&denom, &q.X, &bk.X) // λ = (y₂−y₁)/(x₂−x₁)
+		ops.Sub(denom, &q.X, &bk.X) // λ = (y₂−y₁)/(x₂−x₁)
 	}
 	sc.busy[b] = true
 	sc.batch = append(sc.batch, op)
-	sc.denoms = append(sc.denoms, denom)
+	sc.denoms = append(sc.denoms, *denom)
 }
 
 // applyBatch performs the deferred affine additions with one batched
@@ -217,38 +227,36 @@ func (sc *msmScratch[E]) applyBatch(ops Ops[E]) {
 	if len(sc.prefix) < m {
 		sc.prefix = make([]E, m)
 	}
-	var acc E
-	ops.SetOne(&acc)
+	acc, inv, dinv := &sc.et[0], &sc.et[1], &sc.et[2]
+	lambda, t, x3 := &sc.et[3], &sc.et[4], &sc.et[5]
+	ops.SetOne(acc)
 	for i := 0; i < m; i++ {
-		ops.Set(&sc.prefix[i], &acc)
-		ops.Mul(&acc, &acc, &sc.denoms[i])
+		ops.Set(&sc.prefix[i], acc)
+		ops.Mul(acc, acc, &sc.denoms[i])
 	}
-	var inv E
-	ops.Inverse(&inv, &acc)
+	ops.Inverse(inv, acc)
 	for i := m - 1; i >= 0; i-- {
-		var dinv E
-		ops.Mul(&dinv, &inv, &sc.prefix[i])
-		ops.Mul(&inv, &inv, &sc.denoms[i])
+		ops.Mul(dinv, inv, &sc.prefix[i])
+		ops.Mul(inv, inv, &sc.denoms[i])
 		op := &sc.batch[i]
 		bk := &sc.buckets[op.bucket]
-		var lambda, t, x3 E
 		if op.isDbl {
-			ops.Square(&t, &bk.X)
-			ops.Double(&lambda, &t)
-			ops.Add(&lambda, &lambda, &t)
-			ops.Mul(&lambda, &lambda, &dinv)
+			ops.Square(t, &bk.X)
+			ops.Double(lambda, t)
+			ops.Add(lambda, lambda, t)
+			ops.Mul(lambda, lambda, dinv)
 		} else {
-			ops.Sub(&lambda, &op.q.Y, &bk.Y)
-			ops.Mul(&lambda, &lambda, &dinv)
+			ops.Sub(lambda, &op.q.Y, &bk.Y)
+			ops.Mul(lambda, lambda, dinv)
 		}
-		ops.Square(&x3, &lambda)
-		ops.Sub(&x3, &x3, &bk.X)
-		ops.Sub(&x3, &x3, &op.q.X)
-		ops.Sub(&t, &bk.X, &x3)
-		ops.Mul(&t, &lambda, &t)
-		ops.Sub(&t, &t, &bk.Y)
-		ops.Set(&bk.X, &x3)
-		ops.Set(&bk.Y, &t)
+		ops.Square(x3, lambda)
+		ops.Sub(x3, x3, &bk.X)
+		ops.Sub(x3, x3, &op.q.X)
+		ops.Sub(t, &bk.X, x3)
+		ops.Mul(t, lambda, t)
+		ops.Sub(t, t, &bk.Y)
+		ops.Set(&bk.X, x3)
+		ops.Set(&bk.Y, t)
 		sc.busy[op.bucket] = false
 	}
 	sc.batch = sc.batch[:0]
@@ -338,12 +346,12 @@ func msm[E any](ctx context.Context, ops Ops[E], points []Affine[E], scalars [][
 		jacSetInfinity(ops, &sum)
 		for b := numBuckets - 1; b >= 0; b-- {
 			if !sc.buckets[b].Inf {
-				jacAddAffine(ops, &running, &running, &sc.buckets[b])
+				jacAddAffineT(ops, &running, &running, &sc.buckets[b], &sc.jt)
 			}
 			if sc.jacUsed[b] {
-				jacAdd(ops, &running, &running, &sc.bucketsJac[b])
+				jacAddT(ops, &running, &running, &sc.bucketsJac[b], &sc.jt)
 			}
-			jacAdd(ops, &sum, &sum, &running)
+			jacAddT(ops, &sum, &sum, &running, &sc.jt)
 		}
 		partials[t] = sum
 	}
@@ -420,11 +428,21 @@ func (c *Curve) G2MSM(points []G2Affine, scalars []ff.Element, threads int) G2Ja
 // On error the returned point is meaningless and must be discarded. The
 // telemetry probe (if one rides in ctx) is resolved once here, not per
 // task.
+// Inputs of at least glvMinPoints take the GLV endomorphism path: each
+// scalar splits into two half-width subscalars, and the Pippenger core runs
+// over the doubled point set with roughly half the windows (glv.go).
 func (c *Curve) G1MSMCtx(ctx context.Context, points []G1Affine, scalars []ff.Element, threads int) (G1Jac, error) {
 	probe := telemetry.ProbeFromContext(ctx)
 	t0 := probe.Begin()
-	limbs := frToLimbs(c.Fr, scalars)
-	r := msm[ff.Element](ctx, c.g1ops, points, limbs, c.Fr.Bits(), threads)
+	var r G1Jac
+	if len(points) >= glvMinPoints {
+		g := c.GLV()
+		pts2, limbs2 := glvExpand[ff.Element](ctx, c.g1ops, g, c.G1Phi, points, scalars, c.Fr, threads)
+		r = msm[ff.Element](ctx, c.g1ops, pts2, limbs2, g.bits, threads)
+	} else {
+		limbs := frToLimbs(c.Fr, scalars)
+		r = msm[ff.Element](ctx, c.g1ops, points, limbs, c.Fr.Bits(), threads)
+	}
 	probe.Observe(telemetry.KernelMSMG1, t0, len(points))
 	return r, ctx.Err()
 }
@@ -433,8 +451,15 @@ func (c *Curve) G1MSMCtx(ctx context.Context, points []G1Affine, scalars []ff.El
 func (c *Curve) G2MSMCtx(ctx context.Context, points []G2Affine, scalars []ff.Element, threads int) (G2Jac, error) {
 	probe := telemetry.ProbeFromContext(ctx)
 	t0 := probe.Begin()
-	limbs := frToLimbs(c.Fr, scalars)
-	r := msm[tower.E2](ctx, c.g2ops, points, limbs, c.Fr.Bits(), threads)
+	var r G2Jac
+	if len(points) >= glvMinPoints {
+		g := c.GLV()
+		pts2, limbs2 := glvExpand[tower.E2](ctx, c.g2ops, g, c.G2Phi, points, scalars, c.Fr, threads)
+		r = msm[tower.E2](ctx, c.g2ops, pts2, limbs2, g.bits, threads)
+	} else {
+		limbs := frToLimbs(c.Fr, scalars)
+		r = msm[tower.E2](ctx, c.g2ops, points, limbs, c.Fr.Bits(), threads)
+	}
 	probe.Observe(telemetry.KernelMSMG2, t0, len(points))
 	return r, ctx.Err()
 }

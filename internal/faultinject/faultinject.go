@@ -282,6 +282,13 @@ const (
 	PointArtifactRename = "artifact.rename"
 	// PointArtifactLoad fires while decoding an artifact read from disk.
 	PointArtifactLoad = "artifact.load"
+	// PointTableWrite, PointTableRename and PointTableLoad are the
+	// fixed-base table store's analogues of the artifact points: partial
+	// writes truncate the temp file, rename faults hit the
+	// kill-between-write window, load faults fire while decoding.
+	PointTableWrite  = "table.write"
+	PointTableRename = "table.rename"
+	PointTableLoad   = "table.load"
 	// PointHTTPProve and PointHTTPVerify fire at the top of the /v1
 	// prove (and batch) and verify handlers.
 	PointHTTPProve  = "http.prove"
@@ -300,6 +307,7 @@ func Points() []string {
 	out := []string{
 		PointWorkerRun, PointBackendSetup, PointBackendProve,
 		PointArtifactWrite, PointArtifactRename, PointArtifactLoad,
+		PointTableWrite, PointTableRename, PointTableLoad,
 		PointHTTPProve, PointHTTPVerify,
 		PointJournalAppend, PointJournalReplay, PointJournalCompact,
 	}

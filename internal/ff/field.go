@@ -245,6 +245,23 @@ func (f *Field) BigInt(x *Element) *big.Int {
 	return limbsToBig(t[:f.n])
 }
 
+// BigIntInto writes the canonical (non-Montgomery) value of x into z,
+// reusing z's storage. The GLV decomposition calls this once per scalar, so
+// the per-call big.Int allocation of BigInt would dominate its cost.
+func (f *Field) BigIntInto(z *big.Int, x *Element) *big.Int {
+	var t Element = *x
+	f.fromMont(&t)
+	words := z.Bits()
+	if cap(words) < f.n {
+		words = make([]big.Word, f.n)
+	}
+	words = words[:f.n]
+	for i := 0; i < f.n; i++ {
+		words[i] = big.Word(t[i])
+	}
+	return z.SetBits(words)
+}
+
 // Uint64 returns the canonical value of x truncated to 64 bits, along with
 // whether x fits in a uint64.
 func (f *Field) Uint64(x *Element) (uint64, bool) {

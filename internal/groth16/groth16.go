@@ -119,8 +119,8 @@ func NewEngine(c *curve.Curve) *Engine {
 		Curve:   c,
 		Pair:    pairing.NewEngine(c),
 		Threads: 1,
-		g1Tab:   c.NewG1Table(&c.G1Gen),
-		g2Tab:   c.NewG2Table(&c.G2Gen),
+		g1Tab:   c.G1GenTable(),
+		g2Tab:   c.G2GenTable(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package groth16
 
 import (
+	"zkperf/internal/curve"
 	"zkperf/internal/r1cs"
 	"zkperf/internal/trace"
 )
@@ -25,7 +26,9 @@ func boxed(a trace.Access) trace.Access {
 
 // recFixedBase records the memory behaviour of one fixed-base MulBatch:
 // a sequential scan of the scalars, per-scalar random lookups into the
-// precomputed window table, and a sequential write of the results.
+// precomputed signed-window table, and a sequential write of the results.
+// Geometry mirrors curve.FixedBaseTable: (bits+c)/c windows of 2^{c−1}
+// entries each (negative digits reuse positive entries via negation).
 func (e *Engine) recFixedBase(name string, n int, g2 bool) {
 	rec := e.Rec
 	if rec == nil || n == 0 {
@@ -33,8 +36,10 @@ func (e *Engine) recFixedBase(name string, n int, g2 bool) {
 	}
 	coordBytes := int64(e.Curve.Fp.ByteLen())
 	pointBytes := 2 * coordBytes
-	tableRows := (e.Curve.Fr.Bits() + fixedBaseWindowBits - 1) / fixedBaseWindowBits
-	tableBytes := int64(tableRows) * 255 * pointBytes
+	c := curve.FixedBaseWindowBits
+	tableRows := (e.Curve.Fr.Bits() + c) / c
+	rowEntries := int64(1) << uint(c-1)
+	tableBytes := int64(tableRows) * rowEntries * pointBytes
 	if g2 {
 		tableBytes *= 2
 		pointBytes *= 2
@@ -51,12 +56,11 @@ func (e *Engine) recFixedBase(name string, n int, g2 bool) {
 		RegionBytes: int64(n) * pointBytes, ElemSize: int(pointBytes), Touches: int64(n), Write: true}))
 }
 
-// fixedBaseWindowBits mirrors curve.fixedBaseWindow for footprint math.
-const fixedBaseWindowBits = 8
-
 // recMSM records the memory behaviour of one Pippenger MSM: streaming
 // reads of points and scalars, random bucket updates, and the window
-// reduction.
+// reduction. At GLV sizes the endomorphism path doubles the streamed
+// point set (P and φ(P)) while the window passes run over the half-width
+// subscalars — the op-count model follows curve.G1MSMCtx exactly.
 func (e *Engine) recMSM(name string, n int, g2 bool) {
 	rec := e.Rec
 	if rec == nil || n == 0 {
@@ -70,20 +74,27 @@ func (e *Engine) recMSM(name string, n int, g2 bool) {
 		jacBytes *= 2
 	}
 	// Signed-digit windows: one extra window absorbs the final carry and
-	// the bucket count halves to 2^{c−1}.
-	c := msmWindowForSize(n)
-	windows := (e.Curve.Fr.Bits() + c) / c
+	// the bucket count halves to 2^{c−1}. The GLV path runs the same core
+	// over 2n points with subscalars of GLVBits() ≈ half width.
+	points := n
+	scalarBits := e.Curve.Fr.Bits()
+	if n >= curve.GLVMinPoints {
+		points = 2 * n
+		scalarBits = e.Curve.GLVBits()
+	}
+	c := msmWindowForSize(points)
+	windows := (scalarBits + c) / c
 	buckets := int64(1) << uint(c-1)
 	// Every window streams all points and scalars once…
 	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.points." + name,
-		RegionBytes: int64(n) * pointBytes, ElemSize: int(pointBytes), Touches: int64(n * windows)}))
+		RegionBytes: int64(points) * pointBytes, ElemSize: int(pointBytes), Touches: int64(points * windows)}))
 	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.scalars." + name,
-		RegionBytes: int64(n) * 32, ElemSize: 32, Touches: int64(n * windows)}))
+		RegionBytes: int64(points) * 32, ElemSize: 32, Touches: int64(points * windows)}))
 	// …and scatters into its bucket array (read-modify-write).
 	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: "msm.buckets." + name,
-		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(n * windows)}))
+		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(points * windows)}))
 	rec.Access(boxed(trace.Access{Kind: trace.Random, Region: "msm.buckets." + name,
-		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(n * windows), Write: true}))
+		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: int64(points * windows), Write: true}))
 	// Window reduction: a sequential sweep over the buckets per window.
 	rec.Access(boxed(trace.Access{Kind: trace.Sequential, Region: "msm.buckets." + name,
 		RegionBytes: buckets * jacBytes, ElemSize: int(jacBytes), Touches: buckets * int64(windows)}))

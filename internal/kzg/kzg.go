@@ -53,7 +53,7 @@ func NewSRSCtx(ctx context.Context, c *curve.Curve, size int, rng *ff.RNG, threa
 		scalars[i] = acc
 		c.Fr.Mul(&acc, &acc, &tau)
 	}
-	tab := c.NewG1Table(&c.G1Gen)
+	tab := c.G1GenTable()
 	g1, err := tab.MulBatchCtx(ctx, scalars, threads)
 	if err != nil {
 		return nil, err

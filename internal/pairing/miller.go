@@ -1,0 +1,247 @@
+package pairing
+
+import (
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/tower"
+)
+
+// This file is the production Miller loop. The accumulator point T stays in
+// affine coordinates over Fp2 on the twist (never untwisted), so a
+// doubling or addition step costs a handful of Fp2 operations plus one
+// shared slope inversion: all pairs of a multi-pairing stage their slope
+// denominators into one slice and a single Montgomery-batched Fp2
+// inversion serves every pair. Each line ℓ(P) is multiplied into f with a
+// sparse Fp12 product (E12MulLineD / E12MulLineM), exploiting that a line
+// has only three nonzero Fp2 coefficients.
+//
+// Line placement, D-twist (BN254, untwist x = x'·w², y = y'·w³): the
+// chord/tangent through T with twist slope λ' evaluated at P ∈ G1 is
+//
+//	ℓ(P) = yP − λ'·xP·w + (λ'·tx − ty)·v·w,
+//
+// exactly the reference value, so the D-twist loop is bit-identical to
+// MillerLoopReference. M-twist (BLS12-381, untwist x = x'·w⁴/ξ,
+// y = y'·w³/ξ): the same derivation leaves a 1/ξ factor; scaling by
+// ξ ∈ Fp2 ⊂ Fp6 (eliminated by the final exponentiation) gives
+//
+//	ξ·ℓ(P) = ξ·yP + (λ'·tx − ty)·v·w − λ'·xP·v²·w,
+//
+// so the raw M-twist Miller value differs from the reference by ξ^#lines
+// and only the reduced pairing is comparable.
+//
+// Degenerate inputs mirror the reference exactly: a pair with either input
+// at infinity contributes 1; T reaching ∞ (order-2 tangent or a vertical
+// chord) skips the line, and a later addition restarts from the addend.
+
+// pairState carries one pair's Miller-loop state across the shared steps.
+type pairState struct {
+	alive  bool // neither input at infinity: the pair contributes
+	tInf   bool // accumulator T is the point at infinity
+	active bool // a line is pending for this pair this half-step
+
+	tx, ty tower.E2   // T, affine on the twist
+	qx, qy tower.E2   // the original Q (loop-bit addend)
+	ox, oy tower.E2   // the addend of the pending addition step
+	num    tower.E2   // slope numerator
+	xsum   tower.E2   // x_T + x_addend, staged for x3
+	a0     tower.E2   // constant line coefficient: yP (D-twist) or ξ·yP
+	xP     ff.Element // P.X, scaling the slope coefficient of the line
+}
+
+// millerLoopMulti runs one Miller loop for all pairs at once, returning the
+// product of the per-pair Miller functions (up to subfield factors on
+// M-twist curves). The shared loop is what makes the batched inversion
+// profitable: k pairs cost one Fp2 inversion per step instead of k Fp12
+// inversions.
+func (e *Engine) millerLoopMulti(ps []curve.G1Affine, qs []curve.G2Affine) GT {
+	tw := e.C.Tw
+	var f tower.E12
+	tw.E12One(&f)
+	if len(ps) == 0 {
+		return f
+	}
+
+	st := make([]pairState, len(ps))
+	denoms := make([]tower.E2, len(ps))
+	scratch := make([]tower.E2, len(ps))
+	anyAlive := false
+	for i := range st {
+		s := &st[i]
+		s.alive = !ps[i].Inf && !qs[i].Inf
+		if !s.alive {
+			continue
+		}
+		anyAlive = true
+		s.qx, s.qy = qs[i].X, qs[i].Y
+		s.tx, s.ty = s.qx, s.qy
+		s.xP = ps[i].X
+		switch e.C.Twist {
+		case curve.DTwist:
+			s.a0.A0 = ps[i].Y
+			tw.F.Zero(&s.a0.A1)
+		case curve.MTwist:
+			tw.E2MulByElement(&s.a0, &tw.Xi, &ps[i].Y)
+		}
+	}
+	if !anyAlive {
+		return f
+	}
+
+	loop := e.C.LoopCount
+	for i := loop.BitLen() - 2; i >= 0; i-- {
+		tw.E12Square(&f, &f)
+		e.stepDouble(st, denoms, scratch, &f)
+		if loop.Bit(i) == 1 {
+			for j := range st {
+				if st[j].alive {
+					st[j].ox, st[j].oy = st[j].qx, st[j].qy
+				}
+			}
+			e.stepAdd(st, denoms, scratch, &f)
+		}
+	}
+
+	if e.C.LoopNeg {
+		// x < 0 (BLS12-381): f_{−|x|} ~ conj(f_{|x|}) up to factors killed
+		// by the final exponentiation.
+		tw.E12Conjugate(&f, &f)
+	}
+
+	if e.C.IsBN {
+		// Optimal ate for BN curves appends two endomorphism-twisted
+		// addition steps: T += ψ(Q), then T += −ψ²(Q), with
+		// ψ(x, y) = (conj(x)·γw², conj(y)·γw³) on the twist.
+		for j := range st {
+			s := &st[j]
+			if !s.alive {
+				continue
+			}
+			tw.E2Conjugate(&s.ox, &s.qx)
+			tw.E2Mul(&s.ox, &s.ox, &e.psiX)
+			tw.E2Conjugate(&s.oy, &s.qy)
+			tw.E2Mul(&s.oy, &s.oy, &e.psiY)
+		}
+		e.stepAdd(st, denoms, scratch, &f)
+		for j := range st {
+			s := &st[j]
+			if !s.alive {
+				continue
+			}
+			tw.E2MulByElement(&s.ox, &s.qx, &e.psi2X)
+			tw.E2MulByElement(&s.oy, &s.qy, &e.psi2Y)
+			tw.E2Neg(&s.oy, &s.oy)
+		}
+		e.stepAdd(st, denoms, scratch, &f)
+	}
+	return f
+}
+
+// stepDouble stages the tangent line of every live pair (T ← 2T) and
+// applies the batch. A pair whose T has order 2 (ty == 0) doubles to ∞
+// with a vertical tangent the final exponentiation would kill, so it emits
+// no line — mirroring the reference loop.
+func (e *Engine) stepDouble(st []pairState, denoms, scratch []tower.E2, f *tower.E12) {
+	tw := e.C.Tw
+	var x2 tower.E2
+	for j := range st {
+		s := &st[j]
+		s.active = false
+		if !s.alive || s.tInf {
+			tw.E2Zero(&denoms[j])
+			continue
+		}
+		if tw.E2IsZero(&s.ty) {
+			s.tInf = true
+			tw.E2Zero(&denoms[j])
+			continue
+		}
+		// λ' = 3tx² / 2ty
+		tw.E2Square(&x2, &s.tx)
+		tw.E2Add(&s.num, &x2, &x2)
+		tw.E2Add(&s.num, &s.num, &x2)
+		tw.E2Double(&denoms[j], &s.ty)
+		tw.E2Add(&s.xsum, &s.tx, &s.tx)
+		s.active = true
+	}
+	e.applyLines(st, denoms, scratch, f)
+}
+
+// stepAdd stages the chord through T and the pre-loaded addend (ox, oy)
+// for every live pair (T ← T + O) and applies the batch. Degenerate cases
+// follow the reference: T == ∞ restarts from O with no line; a vertical
+// chord (same x, different y) sends T to ∞ with no line; T == O falls back
+// to the tangent.
+func (e *Engine) stepAdd(st []pairState, denoms, scratch []tower.E2, f *tower.E12) {
+	tw := e.C.Tw
+	var x2 tower.E2
+	for j := range st {
+		s := &st[j]
+		s.active = false
+		if !s.alive {
+			tw.E2Zero(&denoms[j])
+			continue
+		}
+		if s.tInf {
+			s.tx, s.ty = s.ox, s.oy
+			s.tInf = false
+			tw.E2Zero(&denoms[j])
+			continue
+		}
+		if tw.E2Equal(&s.tx, &s.ox) {
+			if !tw.E2Equal(&s.ty, &s.oy) || tw.E2IsZero(&s.ty) {
+				// Vertical chord, or doubling an order-2 point: T + O = ∞.
+				s.tInf = true
+				tw.E2Zero(&denoms[j])
+				continue
+			}
+			// O == T: tangent.
+			tw.E2Square(&x2, &s.tx)
+			tw.E2Add(&s.num, &x2, &x2)
+			tw.E2Add(&s.num, &s.num, &x2)
+			tw.E2Double(&denoms[j], &s.ty)
+			tw.E2Add(&s.xsum, &s.tx, &s.tx)
+			s.active = true
+			continue
+		}
+		tw.E2Sub(&s.num, &s.oy, &s.ty)
+		tw.E2Sub(&denoms[j], &s.ox, &s.tx)
+		tw.E2Add(&s.xsum, &s.tx, &s.ox)
+		s.active = true
+	}
+	e.applyLines(st, denoms, scratch, f)
+}
+
+// applyLines inverts every staged denominator with one batched Fp2
+// inversion, then, per active pair, multiplies the evaluated line into f
+// sparsely and completes the point update
+// (x3 = λ'² − xsum, y3 = λ'(tx − x3) − ty).
+func (e *Engine) applyLines(st []pairState, denoms, scratch []tower.E2, f *tower.E12) {
+	tw := e.C.Tw
+	tw.E2BatchInverse(denoms, scratch)
+	var lambda, c, bd, x3, t tower.E2
+	for j := range st {
+		s := &st[j]
+		if !s.active {
+			continue
+		}
+		tw.E2Mul(&lambda, &s.num, &denoms[j])
+		// Line coefficients: c = λ'·tx − ty, b = −λ'·xP (a0 is fixed).
+		tw.E2Mul(&c, &lambda, &s.tx)
+		tw.E2Sub(&c, &c, &s.ty)
+		tw.E2MulByElement(&bd, &lambda, &s.xP)
+		tw.E2Neg(&bd, &bd)
+		switch e.C.Twist {
+		case curve.DTwist:
+			tw.E12MulLineD(f, f, &s.a0, &bd, &c)
+		case curve.MTwist:
+			tw.E12MulLineM(f, f, &s.a0, &c, &bd)
+		}
+		tw.E2Square(&x3, &lambda)
+		tw.E2Sub(&x3, &x3, &s.xsum)
+		tw.E2Sub(&t, &s.tx, &x3)
+		tw.E2Mul(&t, &lambda, &t)
+		tw.E2Sub(&s.ty, &t, &s.ty)
+		s.tx = x3
+	}
+}

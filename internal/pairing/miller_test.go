@@ -1,0 +1,192 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+
+	"zkperf/internal/curve"
+	"zkperf/internal/ff"
+	"zkperf/internal/tower"
+)
+
+// randomPair returns ([a]G1, [b]G2) in affine form for small random a, b.
+func randomPair(e *Engine, rng *ff.RNG) (curve.G1Affine, curve.G2Affine) {
+	c := e.C
+	var ka, kb ff.Element
+	c.Fr.Random(&ka, rng)
+	c.Fr.Random(&kb, rng)
+	var pj curve.G1Jac
+	c.G1FromAffine(&pj, &c.G1Gen)
+	c.G1ScalarMul(&pj, &pj, &ka)
+	var qj curve.G2Jac
+	c.G2FromAffine(&qj, &c.G2Gen)
+	c.G2ScalarMul(&qj, &qj, &kb)
+	var p curve.G1Affine
+	var q curve.G2Affine
+	c.G1ToAffine(&p, &pj)
+	c.G2ToAffine(&q, &qj)
+	return p, q
+}
+
+// TestPairAgainstReference: the sparse twist-coordinate fast path and the
+// full-Fp12 reference produce the same reduced pairing on both curves.
+func TestPairAgainstReference(t *testing.T) {
+	for _, e := range engines() {
+		rng := ff.NewRNG(101)
+		for i := 0; i < 4; i++ {
+			p, q := randomPair(e, rng)
+			fast := e.Pair(&p, &q)
+			ref := e.PairReference(&p, &q)
+			if !e.GTEqual(&fast, &ref) {
+				t.Fatalf("%s: fast pairing != reference (iteration %d)", e.C.Name, i)
+			}
+		}
+	}
+}
+
+// TestMillerLoopAgainstReferenceDTwist: on the D-twist curve the raw
+// Miller value (pre final exponentiation) is bit-identical to the
+// reference — the line placement derivation leaves no stray subfield
+// factor there.
+func TestMillerLoopAgainstReferenceDTwist(t *testing.T) {
+	e := NewEngine(curve.NewBN254())
+	rng := ff.NewRNG(103)
+	for i := 0; i < 4; i++ {
+		p, q := randomPair(e, rng)
+		fast := e.MillerLoop(&p, &q)
+		ref := e.MillerLoopReference(&p, &q)
+		if !e.C.Tw.E12Equal(&fast, &ref) {
+			t.Fatalf("BN254: raw Miller loop != reference (iteration %d)", i)
+		}
+	}
+}
+
+// TestFinalExpAgainstReference: the cyclotomic hard part equals the plain
+// square-and-multiply hard part on arbitrary Miller outputs.
+func TestFinalExpAgainstReference(t *testing.T) {
+	for _, e := range engines() {
+		rng := ff.NewRNG(107)
+		p, q := randomPair(e, rng)
+		f := e.MillerLoop(&p, &q)
+		fast := e.FinalExp(&f)
+		ref := e.FinalExpReference(&f)
+		if !e.GTEqual(&fast, &ref) {
+			t.Fatalf("%s: cyclotomic final exp != reference", e.C.Name)
+		}
+	}
+}
+
+// TestCyclotomicSquareProperty: after the easy part, Granger–Scott
+// squaring agrees with a plain E12 squaring.
+func TestCyclotomicSquareProperty(t *testing.T) {
+	for _, e := range engines() {
+		tw := e.C.Tw
+		rng := ff.NewRNG(109)
+		p, q := randomPair(e, rng)
+		f := e.MillerLoop(&p, &q)
+		// Easy part only: t = (conj(f)·f⁻¹)^{p²} · (conj(f)·f⁻¹).
+		var conj, inv, easy, tp2 tower.E12
+		tw.E12Conjugate(&conj, &f)
+		tw.E12Inverse(&inv, &f)
+		tw.E12Mul(&easy, &conj, &inv)
+		tw.E12FrobeniusN(&tp2, &easy, 2)
+		tw.E12Mul(&easy, &tp2, &easy)
+
+		var cyc, plain tower.E12
+		tw.E12CyclotomicSquare(&cyc, &easy)
+		tw.E12Square(&plain, &easy)
+		if !tw.E12Equal(&cyc, &plain) {
+			t.Fatalf("%s: cyclotomic square != plain square in cyclotomic subgroup", e.C.Name)
+		}
+	}
+}
+
+// TestMultiMillerMatchesPerPair: the shared-accumulator multi-pair loop
+// equals the product of single-pair loops after the final exponentiation,
+// including with infinity points mixed in.
+func TestMultiMillerMatchesPerPair(t *testing.T) {
+	for _, e := range engines() {
+		tw := e.C.Tw
+		rng := ff.NewRNG(113)
+		var ps []curve.G1Affine
+		var qs []curve.G2Affine
+		for i := 0; i < 3; i++ {
+			p, q := randomPair(e, rng)
+			ps = append(ps, p)
+			qs = append(qs, q)
+		}
+		// Mix in an infinity pair: it must contribute exactly 1.
+		ps = append(ps, curve.G1Affine{Inf: true})
+		qs = append(qs, e.C.G2Gen)
+
+		multi := e.millerLoopMulti(ps, qs)
+		multiRed := e.FinalExp(&multi)
+
+		var acc tower.E12
+		tw.E12One(&acc)
+		for i := range ps {
+			f := e.MillerLoop(&ps[i], &qs[i])
+			tw.E12Mul(&acc, &acc, &f)
+		}
+		accRed := e.FinalExp(&acc)
+		if !e.GTEqual(&multiRed, &accRed) {
+			t.Fatalf("%s: multi-pair Miller loop != product of single-pair loops", e.C.Name)
+		}
+	}
+}
+
+// TestPairDegenerateInputs: infinity on either side yields the identity on
+// the fast path, exactly as on the reference path.
+func TestPairDegenerateInputs(t *testing.T) {
+	for _, e := range engines() {
+		infG1 := curve.G1Affine{Inf: true}
+		infG2 := curve.G2Affine{Inf: true}
+		for _, tc := range []struct {
+			name string
+			p    curve.G1Affine
+			q    curve.G2Affine
+		}{
+			{"inf-g1", infG1, e.C.G2Gen},
+			{"inf-g2", e.C.G1Gen, infG2},
+			{"inf-both", infG1, infG2},
+		} {
+			gt := e.Pair(&tc.p, &tc.q)
+			if !e.GTIsOne(&gt) {
+				t.Errorf("%s/%s: pairing with infinity != 1", e.C.Name, tc.name)
+			}
+			ref := e.PairReference(&tc.p, &tc.q)
+			if !e.GTEqual(&gt, &ref) {
+				t.Errorf("%s/%s: fast != reference on degenerate input", e.C.Name, tc.name)
+			}
+		}
+	}
+}
+
+// TestPairingCheckSharedFinalExp: PairingCheck on {(P,Q), (−P,Q)} passes —
+// the canonical cancellation exercised through the shared Miller loop and
+// single final exponentiation.
+func TestPairingCheckSharedFinalExp(t *testing.T) {
+	for _, e := range engines() {
+		c := e.C
+		a := big.NewInt(271828)
+		var pj, npj curve.G1Jac
+		c.G1FromAffine(&pj, &c.G1Gen)
+		c.G1ScalarMulBig(&pj, &pj, a)
+		c.G1Neg(&npj, &pj)
+		var p, np curve.G1Affine
+		c.G1ToAffine(&p, &pj)
+		c.G1ToAffine(&np, &npj)
+		if !e.PairingCheck(
+			[]curve.G1Affine{p, np},
+			[]curve.G2Affine{c.G2Gen, c.G2Gen},
+		) {
+			t.Errorf("%s: e(P,Q)·e(−P,Q) != 1", c.Name)
+		}
+		if e.PairingCheck(
+			[]curve.G1Affine{p, p},
+			[]curve.G2Affine{c.G2Gen, c.G2Gen},
+		) {
+			t.Errorf("%s: e(P,Q)² == 1 unexpectedly", c.Name)
+		}
+	}
+}

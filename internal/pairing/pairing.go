@@ -1,19 +1,33 @@
 // Package pairing implements the optimal ate pairing for BN254 and
 // BLS12-381 — the core of the Groth16 verifying stage.
 //
-// Design: rather than maintaining twist-specific sparse line formulas, G2
-// points are untwisted into E(Fp12) once and the Miller loop runs with
-// affine arithmetic directly over Fp12. This trades constant factors for a
-// single uniform, auditable loop shared by the D-twist (BN254) and M-twist
-// (BLS12-381). Vertical-line denominators lie in the Fp6 subfield and are
-// eliminated by the final exponentiation, so the loop omits them (standard
-// denominator elimination).
+// Two implementations coexist:
+//
+//   - The production path (miller.go) keeps the Miller-loop accumulator
+//     point in affine coordinates over Fp2 on the twist, amortizes the
+//     per-step slope inversion across all pairs of a multi-pairing with one
+//     batched Fp2 inversion, multiplies each line into f with a sparse
+//     Fp12 product (13–14 Fp2 muls instead of 54), and exponentiates the
+//     hard part of the final exponentiation in the cyclotomic subgroup
+//     (Granger–Scott squarings, NAF digits, conjugation as inversion).
+//
+//   - The reference path below (MillerLoopReference / FinalExpReference /
+//     PairReference) untwists G2 points into E(Fp12) once and runs the
+//     loop with full Fp12 affine arithmetic: a single uniform, auditable
+//     recurrence shared by the D-twist (BN254) and M-twist (BLS12-381).
+//     It is retained as the correctness oracle the fast path is tested
+//     against, bit-for-bit on the reduced pairing.
+//
+// Vertical-line denominators lie in the Fp6 subfield and are eliminated by
+// the final exponentiation, so both loops omit them (standard denominator
+// elimination).
 package pairing
 
 import (
 	"math/big"
 
 	"zkperf/internal/curve"
+	"zkperf/internal/ff"
 	"zkperf/internal/tower"
 )
 
@@ -28,9 +42,24 @@ type Engine struct {
 	// untwist coefficients: x ← x'·cx, y ← y'·cy in Fp12.
 	cx, cy tower.E12
 
+	// Twisted endomorphism ψ on the twist curve, satisfying
+	// untwist(ψ(Q)) = π(untwist(Q)): ψ(x, y) = (conj(x)·psiX, conj(y)·psiY)
+	// with psiX = γw², psiY = γw³. ψ² multiplies coordinates by the norms
+	// N(γw²), N(γw³) ∈ Fp. Used by the BN optimal-ate tail.
+	psiX, psiY   tower.E2
+	psi2X, psi2Y ff.Element
+
 	// hardExp = (p⁴ − p² + 1)/r, the non-Frobenius part of the final
 	// exponentiation.
 	hardExp *big.Int
+
+	// Reference routes Pair and PairingCheck through the full-Fp12
+	// reference path. The profiling runner in internal/core sets it: the
+	// instruction and memory profiles model the paper's snarkjs verifier,
+	// which pays the plain per-step Fp12 arithmetic — not this package's
+	// batched-inversion fast loop — and the Table V opcode shares only
+	// reproduce if the traced op counts reflect that stack.
+	Reference bool
 }
 
 // e12Point is an affine point on E(Fp12) (the untwisted image of G2).
@@ -61,6 +90,18 @@ func NewEngine(c *curve.Curve) *Engine {
 		tw.E12Mul(&e.cx, &w4, &xiInv12)
 		tw.E12Mul(&e.cy, &w3, &xiInv12)
 	}
+
+	var gw, cj tower.E2
+	tw.FrobGammaW(&gw)
+	tw.E2Mul(&e.psiX, &gw, &gw)
+	tw.E2Mul(&e.psiY, &e.psiX, &gw)
+	// ψ² scales coordinates by norms, which land in Fp (imaginary part 0).
+	tw.E2Conjugate(&cj, &e.psiX)
+	tw.E2Mul(&cj, &cj, &e.psiX)
+	e.psi2X = cj.A0
+	tw.E2Conjugate(&cj, &e.psiY)
+	tw.E2Mul(&cj, &cj, &e.psiY)
+	e.psi2Y = cj.A0
 
 	p := c.Fp.Modulus()
 	r := c.Fr.Modulus()
@@ -146,8 +187,10 @@ func (e *Engine) lineAndStep(f *tower.E12, a, b *e12Point, xP, yP *tower.E12) e1
 	return sum
 }
 
-// MillerLoop computes the (un-exponentiated) Miller function for one pair.
-func (e *Engine) MillerLoop(p *curve.G1Affine, q *curve.G2Affine) GT {
+// MillerLoopReference computes the (un-exponentiated) Miller function for
+// one pair using full Fp12 affine arithmetic — the correctness oracle for
+// the sparse twist-coordinate loop in miller.go.
+func (e *Engine) MillerLoopReference(p *curve.G1Affine, q *curve.G2Affine) GT {
 	tw := e.C.Tw
 	var f tower.E12
 	tw.E12One(&f)
@@ -191,10 +234,9 @@ func (e *Engine) MillerLoop(p *curve.G1Affine, q *curve.G2Affine) GT {
 	return f
 }
 
-// FinalExp raises a Miller-loop output to (p¹² − 1)/r, mapping it into the
-// order-r target group. The easy part uses conjugation and Frobenius; the
-// hard part is a plain exponentiation by (p⁴ − p² + 1)/r.
-func (e *Engine) FinalExp(f *GT) GT {
+// FinalExpReference raises a Miller-loop output to (p¹² − 1)/r with a plain
+// square-and-multiply hard part — the oracle for the cyclotomic FinalExp.
+func (e *Engine) FinalExpReference(f *GT) GT {
 	tw := e.C.Tw
 	var out tower.E12
 	if tw.E12IsZero(f) {
@@ -213,28 +255,74 @@ func (e *Engine) FinalExp(f *GT) GT {
 	return out
 }
 
+// FinalExp raises a Miller-loop output to (p¹² − 1)/r, mapping it into the
+// order-r target group. The easy part (conjugation, inversion, Frobenius)
+// lands the element in the cyclotomic subgroup, where the hard-part
+// exponentiation uses Granger–Scott squarings and signed NAF digits with
+// conjugation as the free inverse.
+func (e *Engine) FinalExp(f *GT) GT {
+	tw := e.C.Tw
+	var out tower.E12
+	if tw.E12IsZero(f) {
+		tw.E12Zero(&out)
+		return out
+	}
+	var conj, inv, t, tp2 tower.E12
+	tw.E12Conjugate(&conj, f)
+	tw.E12Inverse(&inv, f)
+	tw.E12Mul(&t, &conj, &inv)
+	tw.E12FrobeniusN(&tp2, &t, 2)
+	tw.E12Mul(&t, &tp2, &t)
+	tw.E12CyclotomicExp(&out, &t, e.hardExp)
+	return out
+}
+
+// MillerLoop computes the (un-exponentiated) Miller function for one pair
+// on the fast twist-coordinate path. On M-twist curves its raw output
+// differs from MillerLoopReference by an Fp6-subfield factor that the final
+// exponentiation eliminates; on D-twist curves it is bit-identical.
+func (e *Engine) MillerLoop(p *curve.G1Affine, q *curve.G2Affine) GT {
+	return e.millerLoopMulti([]curve.G1Affine{*p}, []curve.G2Affine{*q})
+}
+
+// PairReference computes the reduced pairing entirely on the reference
+// path.
+func (e *Engine) PairReference(p *curve.G1Affine, q *curve.G2Affine) GT {
+	f := e.MillerLoopReference(p, q)
+	return e.FinalExpReference(&f)
+}
+
 // Pair computes the reduced optimal ate pairing e(p, q).
 func (e *Engine) Pair(p *curve.G1Affine, q *curve.G2Affine) GT {
+	if e.Reference {
+		return e.PairReference(p, q)
+	}
 	f := e.MillerLoop(p, q)
 	return e.FinalExp(&f)
 }
 
-// PairingCheck reports whether Π e(ps[i], qs[i]) == 1. It multiplies the
-// Miller-loop outputs and performs a single shared final exponentiation —
-// the structure used by Groth16 verification.
+// PairingCheck reports whether Π e(ps[i], qs[i]) == 1. All pairs share one
+// Miller loop — the per-step slope inversions are batched across pairs and
+// every line lands in a single f accumulator — followed by a single shared
+// final exponentiation. This is the structure used by Groth16 verification
+// (plain and RLC-batched).
 func (e *Engine) PairingCheck(ps []curve.G1Affine, qs []curve.G2Affine) bool {
 	if len(ps) != len(qs) {
 		panic("pairing: mismatched input lengths")
 	}
-	tw := e.C.Tw
-	var acc tower.E12
-	tw.E12One(&acc)
-	for i := range ps {
-		f := e.MillerLoop(&ps[i], &qs[i])
-		tw.E12Mul(&acc, &acc, &f)
+	if e.Reference {
+		var f GT
+		e.C.Tw.E12One(&f)
+		for i := range ps {
+			g := e.MillerLoopReference(&ps[i], &qs[i])
+			e.C.Tw.E12Mul(&f, &f, &g)
+		}
+		res := e.FinalExpReference(&f)
+		return e.C.Tw.E12IsOne(&res)
 	}
-	res := e.FinalExp(&acc)
-	return tw.E12IsOne(&res)
+	f := e.millerLoopMulti(ps, qs)
+	res := e.FinalExp(&f)
+	return e.C.Tw.E12IsOne(&res)
 }
 
 // GTMul returns a·b in the target group.

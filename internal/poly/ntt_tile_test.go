@@ -1,0 +1,125 @@
+package poly
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"zkperf/internal/cachesim"
+	"zkperf/internal/cpumodel"
+	"zkperf/internal/ff"
+	"zkperf/internal/trace"
+)
+
+// TestNTTTiledMatchesUntiled: the cache-blocked traversal is a pure
+// reordering — every tile size and thread count produces coefficients
+// identical to the untiled transform.
+func TestNTTTiledMatchesUntiled(t *testing.T) {
+	fr := ff.NewBN254Fr()
+	rng := ff.NewRNG(211)
+	for _, logN := range []int{6, 10, 13} {
+		n := 1 << logN
+		d, err := NewDomain(fr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := make([]ff.Element, n)
+		for i := range orig {
+			fr.Random(&orig[i], rng)
+		}
+
+		want := append([]ff.Element(nil), orig...)
+		d.SetTileLog(0)
+		d.NTT(want)
+
+		for _, tl := range []int{1, 4, 8, logN, logN + 3} {
+			for _, threads := range []int{1, 4} {
+				got := append([]ff.Element(nil), orig...)
+				d.SetTileLog(tl)
+				if err := d.NTTCtx(context.Background(), got, threads); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if !fr.Equal(&got[i], &want[i]) {
+						t.Fatalf("n=2^%d tile=2^%d threads=%d: element %d differs from untiled NTT",
+							logN, tl, threads, i)
+					}
+				}
+				// Round trip through the tiled inverse too.
+				if err := d.INTTCtx(context.Background(), got, threads); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if !fr.Equal(&got[i], &orig[i]) {
+						t.Fatalf("n=2^%d tile=2^%d threads=%d: INTT(NTT(a)) != a at %d",
+							logN, tl, threads, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNTTTileLogSizing: the tile must actually fit — tile data plus
+// twiddles within half of L2 — and grow with the modeled cache.
+func TestNTTTileLogSizing(t *testing.T) {
+	var prev int
+	var prevL2 int
+	for i, cpu := range cpumodel.All() {
+		b := NTTTileLog(cpu)
+		if b < 1 {
+			t.Fatalf("%s: tile log %d — tiling disabled on a modeled CPU", cpu.Name, b)
+		}
+		footprint := (int64(2) << uint(b)) * nttElemBytes
+		if footprint > int64(cpu.L2.SizeBytes/2) {
+			t.Fatalf("%s: tile footprint %d bytes exceeds half L2 (%d)",
+				cpu.Name, footprint, cpu.L2.SizeBytes/2)
+		}
+		if i > 0 && cpu.L2.SizeBytes >= prevL2 && b < prev {
+			t.Fatalf("%s: larger L2 produced a smaller tile (%d < %d)", cpu.Name, b, prev)
+		}
+		prev, prevL2 = b, cpu.L2.SizeBytes
+	}
+}
+
+// TestNTTTilingReducesSimulatedMisses replays the two traversal orders
+// through the cache simulator that motivated the tile size: the untiled
+// transform streams the whole array once per fused stage, while the tiled
+// one streams each cache-resident tile once and re-reads it from L2. The
+// simulated L2 misses of the tiled early stages must come in well under
+// the untiled ones.
+func TestNTTTilingReducesSimulatedMisses(t *testing.T) {
+	cpu := cpumodel.NewI5_11400()
+	tl := NTTTileLog(cpu)
+	logN := tl + 4 // big enough that the whole array blows past L2
+	n := int64(1) << uint(logN)
+	tileElems := int64(1) << uint(tl)
+	tiles := n / tileElems
+
+	// Untiled: tl separate stages, each one full sequential pass.
+	untiled := cachesim.New(cpu)
+	for s := 0; s < tl; s++ {
+		untiled.Replay(trace.Access{
+			Kind: trace.Sequential, Region: "ntt.a",
+			RegionBytes: n * nttElemBytes, ElemSize: int(nttElemBytes),
+			Touches: n,
+		})
+	}
+	untiledMisses := untiled.L2.Misses
+
+	// Tiled: each tile is touched tl times back to back while resident.
+	tiled := cachesim.New(cpu)
+	for ti := int64(0); ti < tiles; ti++ {
+		tiled.Replay(trace.Access{
+			Kind: trace.Sequential, Region: fmt.Sprintf("ntt.tile.%d", ti),
+			RegionBytes: tileElems * nttElemBytes, ElemSize: int(nttElemBytes),
+			Touches: int64(tl) * tileElems,
+		})
+	}
+	tiledMisses := tiled.L2.Misses
+
+	if tiledMisses*2 >= untiledMisses {
+		t.Fatalf("tiling did not cut simulated L2 misses: tiled %d vs untiled %d",
+			tiledMisses, untiledMisses)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"zkperf/internal/cpumodel"
 	"zkperf/internal/ff"
 	"zkperf/internal/parallel"
 )
@@ -31,6 +32,11 @@ type Domain struct {
 
 	CosetGen    ff.Element // multiplicative shift g (a quadratic non-residue)
 	CosetGenInv ff.Element
+
+	// tileLog is the number of leading DIT stages fused per cache-resident
+	// tile (see NTTTileLog); 0 disables tiling. Set at construction from
+	// the modeled cache geometry, overridable with SetTileLog.
+	tileLog int
 
 	// Twiddle tables and coset scale vectors, built lazily on first
 	// transform. A Domain is shared across concurrent proves (plonk keeps
@@ -70,7 +76,7 @@ func NewDomain(fr *ff.Field, minSize int) (*Domain, error) {
 		return nil, fmt.Errorf("poly: field %s supports domains up to 2^%d, need 2^%d", fr.Name, s, logN)
 	}
 
-	d := &Domain{Fr: fr, N: n, LogN: logN}
+	d := &Domain{Fr: fr, N: n, LogN: logN, tileLog: defaultTileLog}
 
 	// The smallest quadratic non-residue g generates the full 2-Sylow
 	// subgroup, so ω = g^{(p−1)/N} has exact order N; g itself serves as
@@ -155,17 +161,110 @@ func (d *Domain) initTables() {
 // the requested thread count.
 const parallelNTTMin = 1 << 9
 
+// nttElemBytes is the in-memory footprint of one coefficient.
+const nttElemBytes = int64(ff.MaxLimbs * 8)
+
+// NTTTileLog returns the number of leading DIT stages to fuse per
+// cache-resident tile on the given CPU: the largest B such that a tile of
+// 2^B coefficients plus its per-stage twiddle tables (which total another
+// ~2^B elements) fits in half the L2 data cache, leaving the other half
+// for everything else the core touches. Stage s of the bit-reversed-input
+// transform works in blocks of 2^{s+1} consecutive elements, so every
+// butterfly of stages 0..B−1 stays inside one 2^B-element tile — fusing
+// them turns B passes over the whole array into one.
+func NTTTileLog(cpu *cpumodel.CPU) int {
+	budget := int64(cpu.L2.SizeBytes / 2)
+	b := 0
+	for (int64(4)<<uint(b))*nttElemBytes <= budget {
+		b++
+	}
+	return b
+}
+
+// defaultTileLog sizes tiles for the smallest L2 among the modeled testbed
+// CPUs, so a tile stays resident on any of them. Tiling never changes
+// results (field arithmetic is exact), only the traversal order.
+var defaultTileLog = func() int {
+	best := 0
+	for i, cpu := range cpumodel.All() {
+		b := NTTTileLog(cpu)
+		if i == 0 || b < best {
+			best = b
+		}
+	}
+	return best
+}()
+
+// SetTileLog overrides the cache-tile size (2^log coefficients) used by
+// the transforms; log ≤ 0 disables tiling. Exposed for tuning to a
+// specific machine and for the tiled-vs-untiled equivalence tests.
+func (d *Domain) SetTileLog(log int) {
+	if log < 0 {
+		log = 0
+	}
+	d.tileLog = log
+}
+
 // nttCtx is the in-place iterative Cooley-Tukey transform driven by the
-// given per-stage twiddle tables. Each stage's butterflies are mutually
-// independent: early stages parallelize across blocks, late stages (few
-// wide blocks) across the butterflies inside each block. Cancellation is
-// checked at stage boundaries and inside ChunksCtx's dispenser; because
-// field arithmetic is exact, the result is identical for every thread
-// count.
+// given per-stage twiddle tables, in two phases. Phase 1 fuses the first
+// tileLog stages: each cache-sized tile of consecutive elements is carried
+// through all of them while resident, one memory pass instead of one per
+// stage (tiles are independent, so they parallelize). Phase 2 runs the
+// remaining wide stages one at a time: early ones parallelize across
+// blocks, late ones (few wide blocks) across the butterflies inside each
+// block. Cancellation is checked at stage boundaries and inside
+// ChunksCtx's dispenser; because field arithmetic is exact, the result is
+// identical for every thread count and tile size.
 func (d *Domain) nttCtx(ctx context.Context, a []ff.Element, tw [][]ff.Element, threads int) error {
 	fr := d.Fr
 	bitReverse(a, d.LogN)
-	for s := 0; s < d.LogN; s++ {
+
+	par := threads > 1 && d.N >= parallelNTTMin
+	tl := d.tileLog
+	if tl > d.LogN {
+		tl = d.LogN
+	}
+	// Keep at least one tile per thread: shrinking the tile costs little
+	// (the smaller tile still fits), starving threads costs the whole
+	// parallel speedup.
+	if par {
+		for tl > 0 && d.N>>uint(tl) < threads {
+			tl--
+		}
+	}
+
+	if tl > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tileSize := 1 << uint(tl)
+		tiles := d.N >> uint(tl)
+		doTiles := func(lo, hi int) {
+			for ti := lo; ti < hi; ti++ {
+				base := ti * tileSize
+				for s := 0; s < tl; s++ {
+					half := 1 << uint(s)
+					length := half << 1
+					stage := tw[s]
+					for start := base; start < base+tileSize; start += length {
+						for k := 0; k < half; k++ {
+							var t ff.Element
+							fr.Mul(&t, &a[start+k+half], &stage[k])
+							fr.Sub(&a[start+k+half], &a[start+k], &t)
+							fr.Add(&a[start+k], &a[start+k], &t)
+						}
+					}
+				}
+			}
+		}
+		if !par {
+			doTiles(0, tiles)
+		} else if err := parallel.ChunksCtx(ctx, tiles, threads, doTiles); err != nil {
+			return err
+		}
+	}
+
+	for s := tl; s < d.LogN; s++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -184,7 +283,7 @@ func (d *Domain) nttCtx(ctx context.Context, a []ff.Element, tw [][]ff.Element, 
 				}
 			}
 		}
-		if threads <= 1 || d.N < parallelNTTMin {
+		if !par {
 			doBlocks(0, blocks)
 			continue
 		}

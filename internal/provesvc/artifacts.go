@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"zkperf/internal/backend"
+	"zkperf/internal/curve"
 	"zkperf/internal/faultinject"
 	"zkperf/internal/r1cs"
 )
@@ -332,18 +333,31 @@ type ArtifactStats struct {
 	Quarantined uint64 `json:"quarantined"`
 	// WriteErrors counts failed persists (the proving job is unaffected).
 	WriteErrors uint64 `json:"write_errors"`
+	// Tables reports fixed-base generator-table provenance: TableBuilds
+	// counts tables computed from scratch this process, TableLoads tables
+	// served from disk — a warm restart shows table_builds == 0.
+	TableBuilds      uint64 `json:"table_builds"`
+	TableLoads       uint64 `json:"table_loads"`
+	TableWrites      uint64 `json:"table_writes"`
+	TableQuarantined uint64 `json:"table_quarantined"`
 }
 
 func (st *artifactStore) stats() ArtifactStats {
+	ts := curve.ReadTableStats()
+	out := ArtifactStats{
+		TableBuilds:      ts.Builds,
+		TableLoads:       ts.DiskLoads,
+		TableWrites:      ts.DiskWrites,
+		TableQuarantined: ts.Quarantined,
+	}
 	if st == nil {
-		return ArtifactStats{}
+		return out
 	}
-	return ArtifactStats{
-		Enabled:     true,
-		Dir:         st.dir,
-		DiskLoads:   st.diskLoads.Load(),
-		DiskWrites:  st.diskWrites.Load(),
-		Quarantined: st.quarantined.Load(),
-		WriteErrors: st.writeErrors.Load(),
-	}
+	out.Enabled = true
+	out.Dir = st.dir
+	out.DiskLoads = st.diskLoads.Load()
+	out.DiskWrites = st.diskWrites.Load()
+	out.Quarantined = st.quarantined.Load()
+	out.WriteErrors = st.writeErrors.Load()
+	return out
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"zkperf/internal/circuit"
+	"zkperf/internal/curve"
 	"zkperf/internal/faultinject"
 )
 
@@ -80,6 +81,8 @@ func TestArtifactRestartSkipsSetup(t *testing.T) {
 	dir := t.TempDir()
 	src := circuit.ExponentiateSource(16)
 
+	base := curve.ReadTableStats()
+
 	s1 := New(WithWorkers(1), WithSeed(31), WithArtifactDir(dir))
 	if err := s1.ArtifactDirError(); err != nil {
 		t.Fatal(err)
@@ -91,8 +94,18 @@ func TestArtifactRestartSkipsSetup(t *testing.T) {
 	if got := s1.Registry().Setups(); got != 1 {
 		t.Fatalf("first service setups = %d, want 1", got)
 	}
-	if st := s1.Registry().ArtifactStats(); st.DiskWrites != 1 || st.WriteErrors != 0 {
-		t.Fatalf("first service artifact stats = %+v, want 1 write", st)
+	st1 := s1.Registry().ArtifactStats()
+	if st1.DiskWrites != 1 || st1.WriteErrors != 0 {
+		t.Fatalf("first service artifact stats = %+v, want 1 write", st1)
+	}
+	// The cold boot built and persisted the generator tables (G1+G2) for
+	// the circuit's curve. (Table counters are process-wide; compare
+	// against the pre-test snapshot.)
+	if got := st1.TableBuilds - base.Builds; got != 2 {
+		t.Fatalf("cold-boot table builds = %d, want 2", got)
+	}
+	if got := st1.TableWrites - base.DiskWrites; got != 2 {
+		t.Fatalf("cold-boot table writes = %d, want 2", got)
 	}
 	s1.Shutdown(context.Background())
 	if got := zkaFiles(t, dir, ".zka"); len(got) != 1 {
@@ -113,8 +126,16 @@ func TestArtifactRestartSkipsSetup(t *testing.T) {
 	if got := s2.Registry().Setups(); got != 0 {
 		t.Errorf("setups after restart = %d, want 0 (keys must come from disk)", got)
 	}
-	if st := s2.Registry().ArtifactStats(); st.DiskLoads != 1 || st.Quarantined != 0 {
-		t.Errorf("artifact stats after restart = %+v, want 1 disk load, 0 quarantined", st)
+	st2 := s2.Registry().ArtifactStats()
+	if st2.DiskLoads != 1 || st2.Quarantined != 0 {
+		t.Errorf("artifact stats after restart = %+v, want 1 disk load, 0 quarantined", st2)
+	}
+	// Warm boot: zero table rebuilds, both tables served from disk.
+	if got := st2.TableBuilds - st1.TableBuilds; got != 0 {
+		t.Errorf("warm-boot table builds = %d, want 0 (tables must come from disk)", got)
+	}
+	if got := st2.TableLoads - st1.TableLoads; got != 2 {
+		t.Errorf("warm-boot table loads = %d, want 2", got)
 	}
 }
 

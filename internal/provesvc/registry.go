@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,12 @@ func NewRegistry(threads int, seed uint64, backends []string) *Registry {
 func (r *Registry) SetArtifactDir(dir string) error {
 	st, err := newArtifactStore(dir)
 	if err != nil {
+		return err
+	}
+	// Fixed-base generator tables persist beside the keys, under their own
+	// subdirectory: same crash-safety discipline, one more restart cost
+	// amortized to zero.
+	if err := curve.SetTableDir(filepath.Join(dir, "tables")); err != nil {
 		return err
 	}
 	r.store = st

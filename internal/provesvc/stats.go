@@ -356,7 +356,8 @@ type SchedStats struct {
 //	                latency:{count, mean_ms, p50_ms, p95_ms, p99_ms}},
 //	  "breaker":   {enabled, threshold, cooldown_ms, open, trips, shed},
 //	  "artifacts": {enabled, dir, disk_loads, disk_writes, quarantined,
-//	                write_errors},
+//	                write_errors, table_builds, table_loads, table_writes,
+//	                table_quarantined},
 //	  "errors":    {"deadline_exceeded": n, "circuit_open": n, …},
 //	  "jobs":      {queued, running, retained, submitted, completed,
 //	                failed, canceled, evicted, rejected, oldest_queued_ms,

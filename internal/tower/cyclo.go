@@ -1,0 +1,239 @@
+package tower
+
+import "math/big"
+
+// Cyclotomic-subgroup arithmetic and sparse line multiplication — the two
+// Fp12 specializations the pairing engine leans on. Elements that survive
+// the easy part of the final exponentiation lie in the cyclotomic subgroup
+// G_{Φ₆(p²)} ⊂ Fp12*, where squaring admits the Granger–Scott shortcut;
+// Miller-loop line evaluations occupy only three of the six Fp2
+// coefficients, so accumulating them with a full E12Mul wastes a third of
+// the multiplications.
+
+// fp4Square computes (x0 + x1·s)² in Fp4 = Fp2[s]/(s² − ξ):
+// c0 = x0² + ξ·x1², c1 = 2·x0·x1, using three Fp2 squarings
+// (2·x0·x1 = (x0+x1)² − x0² − x1²).
+func (t *Tower) fp4Square(c0, c1, x0, x1 *E2) {
+	var sq0, sq1, sum E2
+	t.E2Square(&sq0, x0)
+	t.E2Square(&sq1, x1)
+	t.E2Add(&sum, x0, x1)
+	t.E2Square(&sum, &sum)
+	t.E2Sub(&sum, &sum, &sq0)
+	t.E2Sub(c1, &sum, &sq1)
+	t.E2MulByXi(&sq1, &sq1)
+	t.E2Add(c0, &sq0, &sq1)
+}
+
+// E12CyclotomicSquare sets z = x² for x in the cyclotomic subgroup
+// (x^{p⁶+1} = 1). Granger–Scott: writing Fp12 = Fp4[u]/(u³ − s) with
+// x = A + B·u + C·u², the unitarity constraint collapses the full
+// squaring to three Fp4 squarings:
+//
+//	x² = (3A² − 2Ā) + (3sC² + 2B̄)·u + (3B² − 2C̄)·u²
+//
+// where conjugation is the Fp4 one (a + b·s ↦ a − b·s). In tower
+// coordinates A = (C0.B0, C1.B1), B = (C1.B0, C0.B2), C = (C0.B1, C1.B2).
+// The result is only correct for cyclotomic inputs; callers must square
+// general elements with E12Square.
+func (t *Tower) E12CyclotomicSquare(z, x *E12) *E12 {
+	var a0, a1, b0, b1, c0, c1 E2
+	t.fp4Square(&a0, &a1, &x.C0.B0, &x.C1.B1)
+	t.fp4Square(&b0, &b1, &x.C1.B0, &x.C0.B2)
+	t.fp4Square(&c0, &c1, &x.C0.B1, &x.C1.B2)
+
+	// three(z, v, g): z = 3v − 2g; threeC(z, v, g): z = 3v + 2g.
+	three := func(z, v, g *E2) {
+		var d E2
+		t.E2Sub(&d, v, g)
+		t.E2Double(&d, &d)
+		t.E2Add(z, &d, v)
+	}
+	threeC := func(z, v, g *E2) {
+		var d E2
+		t.E2Add(&d, v, g)
+		t.E2Double(&d, &d)
+		t.E2Add(z, &d, v)
+	}
+
+	var out E12
+	three(&out.C0.B0, &a0, &x.C0.B0)
+	threeC(&out.C1.B1, &a1, &x.C1.B1)
+	// B' = 3sC² + 2B̄: s·(c0 + c1·s) = ξc1 + c0·s.
+	var xiC1 E2
+	t.E2MulByXi(&xiC1, &c1)
+	threeC(&out.C1.B0, &xiC1, &x.C1.B0)
+	three(&out.C0.B2, &c0, &x.C0.B2)
+	three(&out.C0.B1, &b0, &x.C0.B1)
+	threeC(&out.C1.B2, &b1, &x.C1.B2)
+	return t.E12Set(z, &out)
+}
+
+// E12CyclotomicExp sets z = x^e for x in the cyclotomic subgroup, using
+// Granger–Scott squarings and a signed (NAF) digit recoding: in the
+// cyclotomic subgroup the inverse is the (free) conjugate, so negative
+// digits cost a conjugation instead of an inversion. The exponent is taken
+// as a non-negative integer.
+func (t *Tower) E12CyclotomicExp(z, x *E12, e *big.Int) *E12 {
+	naf := nafDigits(e)
+	var xInv E12
+	t.E12Conjugate(&xInv, x)
+	var acc E12
+	t.E12One(&acc)
+	for i := len(naf) - 1; i >= 0; i-- {
+		t.E12CyclotomicSquare(&acc, &acc)
+		switch naf[i] {
+		case 1:
+			t.E12Mul(&acc, &acc, x)
+		case -1:
+			t.E12Mul(&acc, &acc, &xInv)
+		}
+	}
+	return t.E12Set(z, &acc)
+}
+
+// nafDigits returns the non-adjacent-form digits of e (little-endian,
+// digits in {−1, 0, 1}, no two adjacent digits nonzero).
+func nafDigits(e *big.Int) []int8 {
+	k := new(big.Int).Set(e)
+	out := make([]int8, 0, e.BitLen()+1)
+	two := big.NewInt(2)
+	four := big.NewInt(4)
+	m := new(big.Int)
+	for k.Sign() > 0 {
+		if k.Bit(0) == 1 {
+			// d = 2 − (k mod 4) ∈ {−1, 1}
+			m.Mod(k, four)
+			d := int8(2 - m.Int64())
+			out = append(out, d)
+			if d == 1 {
+				k.Sub(k, big.NewInt(1))
+			} else {
+				k.Add(k, big.NewInt(1))
+			}
+		} else {
+			out = append(out, 0)
+		}
+		k.Div(k, two)
+	}
+	return out
+}
+
+// e6MulBy01 sets z = x·(e0 + e1·v), the 2-sparse Fp6 multiplication used by
+// D-twist lines. Five Fp2 multiplications (Karatsuba on the B0/B1 pair).
+func (t *Tower) e6MulBy01(z, x *E6, e0, e1 *E2) *E6 {
+	var t0, t1, m, se, sb, u0, u2 E2
+	t.E2Mul(&t0, &x.B0, e0)
+	t.E2Mul(&t1, &x.B1, e1)
+	t.E2Add(&sb, &x.B0, &x.B1)
+	t.E2Add(&se, e0, e1)
+	t.E2Mul(&m, &sb, &se)
+	t.E2Sub(&m, &m, &t0)
+	t.E2Sub(&m, &m, &t1) // B0·e1 + B1·e0
+
+	t.E2Mul(&u0, &x.B2, e1)
+	t.E2MulByXi(&u0, &u0)
+	t.E2Add(&u0, &u0, &t0) // B0·e0 + ξ·B2·e1
+	t.E2Mul(&u2, &x.B2, e0)
+	t.E2Add(&u2, &u2, &t1) // B1·e1 + B2·e0
+
+	z.B0, z.B1, z.B2 = u0, m, u2
+	return z
+}
+
+// e6MulBy12 sets z = x·(e1·v + e2·v²), the 2-sparse Fp6 multiplication used
+// by M-twist lines. Five Fp2 multiplications.
+func (t *Tower) e6MulBy12(z, x *E6, e1, e2 *E2) *E6 {
+	var t0, t1, m, se, sb, u0, u1 E2
+	t.E2Mul(&t0, &x.B0, e1)
+	t.E2Mul(&t1, &x.B1, e2)
+	t.E2Add(&sb, &x.B0, &x.B1)
+	t.E2Add(&se, e1, e2)
+	t.E2Mul(&m, &sb, &se)
+	t.E2Sub(&m, &m, &t0)
+	t.E2Sub(&m, &m, &t1) // B0·e2 + B1·e1
+
+	t.E2Mul(&u0, &x.B2, e1)
+	t.E2Add(&u0, &u0, &t1)
+	t.E2MulByXi(&u0, &u0) // ξ·(B1·e2 + B2·e1)
+	t.E2Mul(&u1, &x.B2, e2)
+	t.E2MulByXi(&u1, &u1)
+	t.E2Add(&u1, &u1, &t0) // B0·e1 + ξ·B2·e2
+
+	z.B0, z.B1, z.B2 = u0, u1, m
+	return z
+}
+
+// E12MulLineD sets z = x·ℓ where ℓ = a + (b + c·v)·w — the shape of a
+// D-twist (BN254) Miller-loop line, which has nonzero coefficients only at
+// 1, w and v·w. Thirteen Fp2 multiplications versus eighteen for a full
+// E12Mul. Alias-safe (z may be x).
+func (t *Tower) E12MulLineD(z, x *E12, a, b, c *E2) *E12 {
+	// ℓ = S0 + S1·w with S0 = (a,0,0), S1 = (b,c,0).
+	var v0, v1, mid, sum E6
+	t.E6MulByE2(&v0, &x.C0, a)    // 3M
+	t.e6MulBy01(&v1, &x.C1, b, c) // 5M
+	t.E6Add(&sum, &x.C0, &x.C1)
+	var ab E2
+	t.E2Add(&ab, a, b)
+	t.e6MulBy01(&mid, &sum, &ab, c) // 5M: (x0+x1)·(S0+S1), S0+S1 = (a+b, c, 0)
+	t.E6Sub(&mid, &mid, &v0)
+	t.E6Sub(&mid, &mid, &v1)
+	var vv1 E6
+	t.E6MulByV(&vv1, &v1)
+	t.E6Add(&z.C0, &v0, &vv1)
+	t.E6Set(&z.C1, &mid)
+	return z
+}
+
+// E12MulLineM sets z = x·ℓ where ℓ = a + (c·v + d·v²)·w — the shape of an
+// M-twist (BLS12-381) Miller-loop line (nonzero at 1, v·w and v²·w).
+// Fourteen Fp2 multiplications. Alias-safe.
+func (t *Tower) E12MulLineM(z, x *E12, a, c, d *E2) *E12 {
+	// ℓ = S0 + S1·w with S0 = (a,0,0), S1 = (0,c,d); S0+S1 = (a,c,d) is
+	// dense, so the Karatsuba middle term falls back to a full E6Mul.
+	var v0, v1, mid, sum, s E6
+	t.E6MulByE2(&v0, &x.C0, a)    // 3M
+	t.e6MulBy12(&v1, &x.C1, c, d) // 5M
+	t.E6Add(&sum, &x.C0, &x.C1)
+	s.B0, s.B1, s.B2 = *a, *c, *d
+	t.E6Mul(&mid, &sum, &s) // 6M
+	t.E6Sub(&mid, &mid, &v0)
+	t.E6Sub(&mid, &mid, &v1)
+	var vv1 E6
+	t.E6MulByV(&vv1, &v1)
+	t.E6Add(&z.C0, &v0, &vv1)
+	t.E6Set(&z.C1, &mid)
+	return z
+}
+
+// E2BatchInverse inverts every element of xs in place with one field
+// inversion (Montgomery's trick lifted to Fp2). Zero entries stay zero and
+// do not poison the batch. scratch must have len(xs) capacity; it is used
+// for the prefix products.
+func (t *Tower) E2BatchInverse(xs []E2, scratch []E2) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	scratch = scratch[:n]
+	var acc E2
+	t.E2One(&acc)
+	for i := 0; i < n; i++ {
+		scratch[i] = acc
+		if !t.E2IsZero(&xs[i]) {
+			t.E2Mul(&acc, &acc, &xs[i])
+		}
+	}
+	var inv E2
+	t.E2Inverse(&inv, &acc)
+	for i := n - 1; i >= 0; i-- {
+		if t.E2IsZero(&xs[i]) {
+			continue
+		}
+		var zi E2
+		t.E2Mul(&zi, &inv, &scratch[i])
+		t.E2Mul(&inv, &inv, &xs[i])
+		xs[i] = zi
+	}
+}

@@ -58,6 +58,11 @@ func New(f *ff.Field, xi0, xi1 uint64) *Tower {
 	return t
 }
 
+// FrobGammaW writes γw = ξ^((p−1)/6) into z. γw describes the Frobenius
+// action on w (π(w) = γw·w); its powers are the coefficients of the
+// twisted endomorphism ψ used by the BN optimal-ate tail.
+func (t *Tower) FrobGammaW(z *E2) *E2 { return t.E2Set(z, &t.frobGammaW) }
+
 // ---------- Fp2 arithmetic ----------
 
 // E2Zero sets z = 0.
